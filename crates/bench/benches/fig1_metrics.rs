@@ -1,0 +1,32 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use holes_bench::bench_pool;
+
+use holes_compiler::Personality;
+use holes_pipeline::regression::quantitative_study;
+
+/// Figure 1: line coverage, availability of variables and their product per
+/// compiler version and optimization level.
+fn bench(c: &mut Criterion) {
+    let pool = bench_pool(40_000);
+    for personality in [Personality::Ccg, Personality::Lcc] {
+        let rows = quantitative_study(&pool, personality);
+        println!("== Figure 1 ({personality}) ==");
+        println!("version    level  line-cov  avail   product");
+        for row in &rows {
+            println!(
+                "{:<10} {:<6} {:>7.3} {:>7.3} {:>8.3}",
+                row.version, row.level.flag(), row.metrics.line_coverage,
+                row.metrics.availability, row.metrics.product
+            );
+        }
+    }
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("quantitative_study_ccg", |b| {
+        b.iter(|| quantitative_study(&pool[..1], Personality::Ccg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

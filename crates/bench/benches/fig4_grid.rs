@@ -1,0 +1,23 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use holes_bench::bench_pool;
+
+use holes_compiler::Personality;
+use holes_pipeline::regression::{conjecture_grid, render_grid};
+
+/// Figure 4: per-program count of violated conjectures across gcc-like
+/// compiler versions.
+fn bench(c: &mut Criterion) {
+    let pool = bench_pool(46_000);
+    let grid = conjecture_grid(&pool, Personality::Ccg);
+    println!("== Figure 4 (ccg) — digits are #conjectures violated per program ==");
+    println!("{}", render_grid(&grid, Personality::Ccg));
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("grid_one_program", |b| {
+        b.iter(|| conjecture_grid(&pool[..1], Personality::Ccg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

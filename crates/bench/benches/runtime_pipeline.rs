@@ -1,0 +1,27 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use holes_bench::bench_pool;
+
+use holes_compiler::{CompilerConfig, OptLevel, Personality};
+
+/// §5.1 runtime: per-program, per-conjecture testing cost (the paper reports
+/// ~30 s per program per conjecture on real compilers; our substrate is a VM,
+/// so only the relative cost of the stages is meaningful).
+fn bench(c: &mut Criterion) {
+    let pool = bench_pool(47_000);
+    let subject = &pool[0];
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("compile_O2", |b| {
+        b.iter(|| subject.compile(&CompilerConfig::new(Personality::Ccg, OptLevel::O2)))
+    });
+    group.bench_function("trace_O2", |b| {
+        b.iter(|| subject.trace(&CompilerConfig::new(Personality::Ccg, OptLevel::O2)))
+    });
+    group.bench_function("check_conjectures_O2", |b| {
+        b.iter(|| subject.violations(&CompilerConfig::new(Personality::Ccg, OptLevel::O2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

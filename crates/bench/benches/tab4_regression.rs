@@ -1,0 +1,35 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use holes_bench::bench_pool;
+
+use holes_compiler::Personality;
+use holes_pipeline::regression::version_table;
+
+/// Table 4: unique violations across compiler versions, including the
+/// "patched" (gcc 105158 fix) and "trunk-star" (LSR partial fix) profiles.
+fn bench(c: &mut Criterion) {
+    let pool = bench_pool(45_000);
+    for personality in [Personality::Ccg, Personality::Lcc] {
+        let table = version_table(&pool, personality);
+        println!("== Table 4 ({personality}) ==");
+        println!("{}", table.render());
+        if personality == Personality::Ccg {
+            if let (Some(trunk), Some(patched)) =
+                (table.counts_for("trunk"), table.counts_for("patched"))
+            {
+                if trunk[0] > 0 {
+                    let drop = 100.0 * (trunk[0] - patched[0]) as f64 / trunk[0] as f64;
+                    println!("C1 reduction from the 105158-style patch: {drop:.1}%");
+                }
+            }
+        }
+    }
+    let mut group = c.benchmark_group("tab4");
+    group.sample_size(10);
+    group.bench_function("version_table_one_program", |b| {
+        b.iter(|| version_table(&pool[..1], Personality::Ccg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

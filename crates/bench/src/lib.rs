@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the paper (see `benches/`). Each bench prints the regenerated
+//! rows once (so `cargo bench` output doubles as the experiment log) and then
+//! measures the cost of the underlying pipeline stage on a small pool.
+
+#![forbid(unsafe_code)]
+
+use holes_pipeline::{subject_pool, Subject};
+
+/// Size of the program pool used by the benches. The paper uses 1000–5000
+/// programs; the benches default to a small pool so that `cargo bench`
+/// finishes quickly. Increase via the `HOLES_POOL` environment variable to
+/// approach the paper's scale.
+pub fn pool_size() -> usize {
+    std::env::var("HOLES_POOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Build the shared benchmark pool.
+pub fn bench_pool(seed: u64) -> Vec<Subject> {
+    subject_pool(seed, pool_size())
+}

@@ -1,0 +1,912 @@
+//! Code generation: register allocation, machine-code emission, and debug
+//! information emission.
+//!
+//! This is the compiler's always-on back end (the analogue of instruction
+//! selection and register allocation). Besides producing runnable
+//! [`MachineProgram`] code it is responsible for turning the IR's `DbgValue`
+//! bindings into DWARF-style variable DIEs with `DW_AT_location` location
+//! lists or `DW_AT_const_value` attributes, and for emitting the line table
+//! — the raw material of every experiment in the paper.
+
+use std::collections::HashMap;
+
+use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieId, DieTag, LineRow, LocListEntry, Location};
+use holes_machine::{
+    CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineProgram, Operand, Reg, NUM_REGS,
+};
+use holes_minic::ast::Program;
+
+use crate::ir::{DbgLoc, DebugVarId, IrFunction, IrProgram, Op, ScopeId, ScopeKind, SlotId, Temp, Value};
+
+/// Registers reserved as scratch for spills (the last three).
+const SCRATCH0: Reg = (NUM_REGS - 3) as Reg;
+const SCRATCH1: Reg = (NUM_REGS - 2) as Reg;
+/// Number of allocatable registers.
+const ALLOCATABLE: usize = NUM_REGS - 3;
+
+/// Where a temp lives after register allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alloc {
+    Reg(Reg),
+    Spill(u32),
+}
+
+/// Per-function code generation artifacts, before DIE construction.
+struct FunctionArtifacts {
+    machine: MFunction,
+    /// Line-table rows for this function.
+    line_rows: Vec<LineRow>,
+    /// Scope of every machine instruction.
+    inst_scopes: Vec<ScopeId>,
+    /// Variable binding timeline: `(machine index, var, location)`.
+    bindings: Vec<(usize, DebugVarId, Location)>,
+}
+
+/// Generate machine code and debug information for a lowered (and possibly
+/// optimized) program.
+pub fn codegen(source: &Program, ir: &IrProgram, source_name: &str) -> (MachineProgram, DebugInfo) {
+    let globals: Vec<GlobalSlot> = source
+        .globals
+        .iter()
+        .map(|g| GlobalSlot {
+            name: g.name.clone(),
+            elements: g.element_count(),
+            init: g.init.clone(),
+            bits: g.ty.bits(),
+            signed: g.ty.signed(),
+            volatile: g.is_volatile,
+        })
+        .collect();
+    let entry = source.main().0 as u32;
+
+    let artifacts: Vec<FunctionArtifacts> = ir
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(index, func)| FunctionEmitter::new(func, index).emit())
+        .collect();
+
+    let machine = MachineProgram {
+        functions: artifacts.iter().map(|a| a.machine.clone()).collect(),
+        globals,
+        entry,
+    };
+
+    let debug = emit_debug_info(source, ir, &artifacts, &machine, source_name);
+    (machine, debug)
+}
+
+struct FunctionEmitter<'f> {
+    func: &'f IrFunction,
+    #[allow(dead_code)]
+    index: usize,
+    alloc: HashMap<Temp, Alloc>,
+    spill_slots: u32,
+    code: Vec<MInst>,
+    inst_scopes: Vec<ScopeId>,
+    line_rows: Vec<LineRow>,
+    bindings: Vec<(usize, DebugVarId, Location)>,
+    label_positions: HashMap<u32, u32>,
+    fixups: Vec<(usize, u32)>,
+    base_address: u64,
+}
+
+impl<'f> FunctionEmitter<'f> {
+    fn new(func: &'f IrFunction, index: usize) -> FunctionEmitter<'f> {
+        FunctionEmitter {
+            func,
+            index,
+            alloc: HashMap::new(),
+            spill_slots: 0,
+            code: Vec::new(),
+            inst_scopes: Vec::new(),
+            line_rows: Vec::new(),
+            bindings: Vec::new(),
+            label_positions: HashMap::new(),
+            fixups: Vec::new(),
+            base_address: MachineProgram::default_base_address(index),
+        }
+    }
+
+    fn emit(mut self) -> FunctionArtifacts {
+        self.allocate_registers();
+        self.emit_code();
+        self.apply_fixups();
+        FunctionArtifacts {
+            machine: MFunction {
+                name: self.func.name.clone(),
+                code: self.code,
+                frame_slots: self.func.slots + self.spill_slots,
+                base_address: self.base_address,
+            },
+            line_rows: self.line_rows,
+            inst_scopes: self.inst_scopes,
+            bindings: self.bindings,
+        }
+    }
+
+    /// Linear-scan register allocation over temp live ranges. Temps that are
+    /// referenced by debug bindings are kept alive until the end of the
+    /// function so that variable locations stay valid — mirroring how the
+    /// unoptimized baseline keeps every variable observable.
+    fn allocate_registers(&mut self) {
+        let mut first_def: HashMap<Temp, usize> = HashMap::new();
+        let mut last_use: HashMap<Temp, usize> = HashMap::new();
+        let end = self.func.insts.len();
+        for (i, param) in self.func.param_temps.iter().enumerate() {
+            first_def.insert(*param, 0);
+            last_use.insert(*param, end);
+            let _ = i;
+        }
+        let extend = |map: &mut HashMap<Temp, usize>, t: Temp, i: usize| {
+            let entry = map.entry(t).or_insert(i);
+            *entry = (*entry).max(i);
+        };
+        for (i, inst) in self.func.insts.iter().enumerate() {
+            if let Some(d) = inst.op.def() {
+                first_def.entry(d).or_insert(i);
+                extend(&mut last_use, d, i);
+            }
+            for u in inst.op.uses() {
+                if let Value::Temp(t) = u {
+                    first_def.entry(t).or_insert(i);
+                    extend(&mut last_use, t, i);
+                }
+            }
+            if let Op::DbgValue { loc: DbgLoc::Value(Value::Temp(t)), .. } = inst.op {
+                first_def.entry(t).or_insert(i);
+                extend(&mut last_use, t, end);
+            }
+        }
+        // Loop back edges: a temp live anywhere inside a loop must stay live
+        // until the backward branch, otherwise a temp defined later in the
+        // body could take its register and clobber it on the next iteration.
+        let mut back_edges: Vec<(usize, usize)> = Vec::new();
+        let label_at = |label: crate::ir::BlockLabel| {
+            self.func
+                .insts
+                .iter()
+                .position(|i| matches!(i.op, Op::Label(l) if l == label))
+        };
+        for (i, inst) in self.func.insts.iter().enumerate() {
+            let target = match inst.op {
+                Op::Jump(l) | Op::BranchZero { target: l, .. } | Op::BranchNonZero { target: l, .. } => {
+                    label_at(l)
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t < i {
+                    back_edges.push((t, i));
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(header, branch) in &back_edges {
+                for (temp, start) in first_def.iter() {
+                    let stop = last_use.get(temp).copied().unwrap_or(*start);
+                    if *start <= branch && stop >= header && stop < branch {
+                        last_use.insert(*temp, branch);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut ranges: Vec<(Temp, usize, usize)> = first_def
+            .iter()
+            .map(|(t, start)| (*t, *start, *last_use.get(t).unwrap_or(start)))
+            .collect();
+        ranges.sort_by_key(|(t, start, _)| (*start, t.0));
+
+        let mut free: Vec<Reg> = (0..ALLOCATABLE as u8).rev().collect();
+        // Pre-colour parameters into the argument registers; they are pinned
+        // (never spilled) because the calling convention delivers arguments
+        // there.
+        let pinned: Vec<Temp> = self.func.param_temps.clone();
+        let mut active: Vec<(usize, Temp, Reg)> = Vec::new();
+        for (i, param) in self.func.param_temps.iter().enumerate() {
+            let reg = i as Reg;
+            free.retain(|r| *r != reg);
+            self.alloc.insert(*param, Alloc::Reg(reg));
+            active.push((end, *param, reg));
+        }
+        for (temp, start, stop) in ranges {
+            if self.alloc.contains_key(&temp) {
+                continue;
+            }
+            // Expire old intervals.
+            let mut still_active = Vec::new();
+            for (a_end, a_temp, a_reg) in active.drain(..) {
+                if a_end < start {
+                    free.push(a_reg);
+                } else {
+                    still_active.push((a_end, a_temp, a_reg));
+                }
+            }
+            active = still_active;
+            if let Some(reg) = free.pop() {
+                self.alloc.insert(temp, Alloc::Reg(reg));
+                active.push((stop, temp, reg));
+            } else {
+                // Spill: prefer to spill the spillable active interval that
+                // ends last (never a pinned parameter).
+                active.sort_by_key(|(e, _, _)| *e);
+                let victim_index = active
+                    .iter()
+                    .rposition(|(_, t, _)| !pinned.contains(t));
+                let spill_self = match victim_index {
+                    Some(vi) => active[vi].0 < stop,
+                    None => true,
+                };
+                if spill_self {
+                    let slot = self.func.slots + self.spill_slots;
+                    self.spill_slots += 1;
+                    self.alloc.insert(temp, Alloc::Spill(slot));
+                } else {
+                    let (_, victim, reg) = active.remove(victim_index.expect("victim exists"));
+                    let slot = self.func.slots + self.spill_slots;
+                    self.spill_slots += 1;
+                    self.alloc.insert(victim, Alloc::Spill(slot));
+                    self.alloc.insert(temp, Alloc::Reg(reg));
+                    active.push((stop, temp, reg));
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, inst: MInst, line: u32, scope: ScopeId, is_stmt: bool) {
+        let address = self.base_address + self.code.len() as u64;
+        self.line_rows.push(LineRow {
+            address,
+            line,
+            is_stmt,
+        });
+        self.code.push(inst);
+        self.inst_scopes.push(scope);
+    }
+
+    /// Materialize a value as an operand, loading spilled temps into a
+    /// scratch register first.
+    fn operand(&mut self, value: Value, scratch: Reg, line: u32, scope: ScopeId) -> Operand {
+        match value {
+            Value::Const(c) => Operand::Imm(c),
+            Value::Temp(t) => match self.alloc.get(&t) {
+                Some(Alloc::Reg(r)) => Operand::Reg(*r),
+                Some(Alloc::Spill(slot)) => {
+                    self.push(
+                        MInst::Load {
+                            dst: scratch,
+                            addr: MAddr::Frame { slot: *slot },
+                        },
+                        line,
+                        scope,
+                        false,
+                    );
+                    Operand::Reg(scratch)
+                }
+                None => Operand::Imm(0),
+            },
+        }
+    }
+
+    /// Register a value must live in (for address/index registers).
+    fn value_in_reg(&mut self, value: Value, scratch: Reg, line: u32, scope: ScopeId) -> Reg {
+        match self.operand(value, scratch, line, scope) {
+            Operand::Reg(r) => r,
+            Operand::Imm(v) => {
+                self.push(MInst::LoadImm { dst: scratch, value: v }, line, scope, false);
+                scratch
+            }
+            Operand::Slot(slot) => {
+                self.push(
+                    MInst::Load { dst: scratch, addr: MAddr::Frame { slot } },
+                    line,
+                    scope,
+                    false,
+                );
+                scratch
+            }
+        }
+    }
+
+    /// The register to compute a destination into, plus whether it must be
+    /// stored to a spill slot afterwards.
+    fn dest(&mut self, temp: Temp) -> (Reg, Option<u32>) {
+        match self.alloc.get(&temp) {
+            Some(Alloc::Reg(r)) => (*r, None),
+            Some(Alloc::Spill(slot)) => (SCRATCH0, Some(*slot)),
+            None => (SCRATCH0, None),
+        }
+    }
+
+    fn finish_dest(&mut self, spill: Option<u32>, reg: Reg, line: u32, scope: ScopeId) {
+        if let Some(slot) = spill {
+            self.push(
+                MInst::Store {
+                    addr: MAddr::Frame { slot },
+                    src: Operand::Reg(reg),
+                },
+                line,
+                scope,
+                false,
+            );
+        }
+    }
+
+    fn emit_code(&mut self) {
+        for inst in &self.func.insts {
+            let line = inst.line;
+            let scope = inst.scope;
+            let start = self.code.len();
+            match &inst.op {
+                Op::Label(l) => {
+                    self.label_positions.insert(l.0, self.code.len() as u32);
+                }
+                Op::DbgValue { var, loc } => {
+                    let location = self.lower_dbg_loc(*loc);
+                    // Coalesce bindings landing on the same machine address:
+                    // only the last one can ever take effect, and keeping the
+                    // earlier one would create an empty location range.
+                    self.bindings
+                        .retain(|(index, v, _)| !(*index == self.code.len() && v == var));
+                    self.bindings.push((self.code.len(), *var, location));
+                }
+                Op::Nop => {}
+                Op::Copy { dst, src } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let src_op = self.operand(*src, SCRATCH1, line, scope);
+                    self.push(MInst::Mov { dst: reg, src: src_op }, line, scope, true);
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::Un { dst, op, src } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let src_op = self.operand(*src, SCRATCH1, line, scope);
+                    self.push(MInst::Un { op: *op, dst: reg, src: src_op }, line, scope, true);
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::Bin { dst, op, lhs, rhs } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let lhs_reg = self.value_in_reg(*lhs, SCRATCH1, line, scope);
+                    let rhs_op = self.operand(*rhs, SCRATCH0, line, scope);
+                    self.push(
+                        MInst::Bin { op: *op, dst: reg, lhs: Operand::Reg(lhs_reg), rhs: rhs_op },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::Trunc { dst, src, bits, signed } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let src_op = self.operand(*src, SCRATCH1, line, scope);
+                    self.push(MInst::Mov { dst: reg, src: src_op }, line, scope, true);
+                    self.push(MInst::Trunc { dst: reg, bits: *bits, signed: *signed }, line, scope, false);
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::LoadGlobal { dst, global, index, .. } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let addr = self.global_addr(*global, *index, line, scope);
+                    self.push(MInst::Load { dst: reg, addr }, line, scope, true);
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::StoreGlobal { global, index, value, .. } => {
+                    let addr = self.global_addr(*global, *index, line, scope);
+                    let src = self.operand(*value, SCRATCH0, line, scope);
+                    self.push(MInst::Store { addr, src }, line, scope, true);
+                }
+                Op::LoadSlot { dst, slot } => {
+                    let (reg, spill) = self.dest(*dst);
+                    self.push(
+                        MInst::Load { dst: reg, addr: MAddr::Frame { slot: slot.0 } },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::StoreSlot { slot, value } => {
+                    let src = self.operand(*value, SCRATCH0, line, scope);
+                    self.push(
+                        MInst::Store { addr: MAddr::Frame { slot: slot.0 }, src },
+                        line,
+                        scope,
+                        true,
+                    );
+                }
+                Op::LoadPtr { dst, addr } => {
+                    let (reg, spill) = self.dest(*dst);
+                    let addr_reg = self.value_in_reg(*addr, SCRATCH1, line, scope);
+                    self.push(
+                        MInst::Load { dst: reg, addr: MAddr::Indirect { reg: addr_reg } },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::StorePtr { addr, value } => {
+                    let addr_reg = self.value_in_reg(*addr, SCRATCH1, line, scope);
+                    let src = self.operand(*value, SCRATCH0, line, scope);
+                    self.push(
+                        MInst::Store { addr: MAddr::Indirect { reg: addr_reg }, src },
+                        line,
+                        scope,
+                        true,
+                    );
+                }
+                Op::AddrGlobal { dst, global } => {
+                    let (reg, spill) = self.dest(*dst);
+                    self.push(
+                        MInst::Lea {
+                            dst: reg,
+                            addr: MAddr::Global { global: global.0 as u32, index: None, disp: 0 },
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::AddrSlot { dst, slot } => {
+                    let (reg, spill) = self.dest(*dst);
+                    self.push(
+                        MInst::Lea { dst: reg, addr: MAddr::Frame { slot: slot.0 } },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.finish_dest(spill, reg, line, scope);
+                }
+                Op::Jump(l) => {
+                    self.fixups.push((self.code.len(), l.0));
+                    self.push(MInst::Jump { target: 0 }, line, scope, true);
+                }
+                Op::BranchZero { cond, target } => {
+                    let reg = self.value_in_reg(*cond, SCRATCH1, line, scope);
+                    self.fixups.push((self.code.len(), target.0));
+                    self.push(MInst::BranchZero { cond: reg, target: 0 }, line, scope, true);
+                }
+                Op::BranchNonZero { cond, target } => {
+                    let reg = self.value_in_reg(*cond, SCRATCH1, line, scope);
+                    self.fixups.push((self.code.len(), target.0));
+                    self.push(MInst::BranchNonZero { cond: reg, target: 0 }, line, scope, true);
+                }
+                Op::Call { dst, callee, args } => {
+                    let arg_ops: Vec<Operand> = args.iter().map(|a| self.call_operand(*a)).collect();
+                    let ret = dst.map(|d| self.dest(d));
+                    self.push(
+                        MInst::Call {
+                            target: CallTarget::Function(callee.0 as u32),
+                            args: arg_ops,
+                            ret: ret.map(|(r, _)| r),
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
+                    if let Some((reg, spill)) = ret {
+                        self.finish_dest(spill, reg, line, scope);
+                    }
+                }
+                Op::CallSink { args } => {
+                    let arg_ops: Vec<Operand> = args.iter().map(|a| self.call_operand(*a)).collect();
+                    self.push(
+                        MInst::Call { target: CallTarget::Sink, args: arg_ops, ret: None },
+                        line,
+                        scope,
+                        true,
+                    );
+                }
+                Op::Ret { value } => {
+                    let v = value.map(|val| self.operand(val, SCRATCH1, line, scope));
+                    self.push(MInst::Ret { value: v }, line, scope, true);
+                }
+            }
+            // Make sure the first machine instruction of the IR instruction
+            // carries the statement flag; helpers may already have emitted
+            // spill loads flagged as non-statements, which is fine.
+            let _ = start;
+        }
+    }
+
+    /// Operand for a call argument: spilled temps are passed as frame-slot
+    /// operands so that several spilled arguments do not fight over the
+    /// scratch registers.
+    fn call_operand(&mut self, value: Value) -> Operand {
+        match value {
+            Value::Const(c) => Operand::Imm(c),
+            Value::Temp(t) => match self.alloc.get(&t) {
+                Some(Alloc::Reg(r)) => Operand::Reg(*r),
+                Some(Alloc::Spill(slot)) => Operand::Slot(*slot),
+                None => Operand::Imm(0),
+            },
+        }
+    }
+
+    fn global_addr(
+        &mut self,
+        global: holes_minic::ast::GlobalId,
+        index: Option<Value>,
+        line: u32,
+        scope: ScopeId,
+    ) -> MAddr {
+        match index {
+            None => MAddr::Global { global: global.0 as u32, index: None, disp: 0 },
+            Some(Value::Const(c)) => MAddr::Global {
+                global: global.0 as u32,
+                index: None,
+                disp: c.max(0) as u32,
+            },
+            Some(v) => {
+                let reg = self.value_in_reg(v, SCRATCH1, line, scope);
+                MAddr::Global { global: global.0 as u32, index: Some(reg), disp: 0 }
+            }
+        }
+    }
+
+    fn lower_dbg_loc(&self, loc: DbgLoc) -> Location {
+        match loc {
+            DbgLoc::Value(Value::Const(c)) => Location::ConstValue(c),
+            DbgLoc::Value(Value::Temp(t)) => match self.alloc.get(&t) {
+                Some(Alloc::Reg(r)) => Location::Register(*r),
+                Some(Alloc::Spill(slot)) => Location::FrameSlot(*slot),
+                None => Location::Empty,
+            },
+            DbgLoc::Slot(SlotId(s)) => Location::FrameSlot(s),
+            DbgLoc::Undef => Location::Empty,
+        }
+    }
+
+    fn apply_fixups(&mut self) {
+        for (inst_index, label) in std::mem::take(&mut self.fixups) {
+            let target = self
+                .label_positions
+                .get(&label)
+                .copied()
+                .unwrap_or(self.code.len() as u32);
+            match &mut self.code[inst_index] {
+                MInst::Jump { target: t }
+                | MInst::BranchZero { target: t, .. }
+                | MInst::BranchNonZero { target: t, .. } => *t = target,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Build the DIE tree from the per-function artifacts.
+fn emit_debug_info(
+    source: &Program,
+    ir: &IrProgram,
+    artifacts: &[FunctionArtifacts],
+    machine: &MachineProgram,
+    source_name: &str,
+) -> DebugInfo {
+    let mut info = DebugInfo::new(source_name);
+    // Global variable DIEs.
+    for (gi, global) in source.globals.iter().enumerate() {
+        let die = info.add_die(info.root(), DieTag::Variable);
+        info.set_attr(die, Attr::Name, AttrValue::Text(global.name.clone()));
+        info.set_attr(die, Attr::External, AttrValue::Flag(true));
+        let address = machine.global_base_address(gi as u32) as u64;
+        info.set_attr(
+            die,
+            Attr::Location,
+            AttrValue::LocList(vec![LocListEntry::new(0, u64::MAX, Location::GlobalAddress(address))]),
+        );
+    }
+    // Phase A: subprogram DIEs for every function.
+    let mut subprograms: Vec<DieId> = Vec::with_capacity(ir.functions.len());
+    for (fi, func) in ir.functions.iter().enumerate() {
+        let artifact = &artifacts[fi];
+        let die = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(die, Attr::Name, AttrValue::Text(func.name.clone()));
+        let (lo, hi) = artifact.machine.pc_range();
+        info.set_attr(die, Attr::LowPc, AttrValue::Addr(lo));
+        info.set_attr(die, Attr::HighPc, AttrValue::Addr(hi));
+        info.set_attr(die, Attr::DeclLine, AttrValue::Unsigned(func.decl_line as u64));
+        subprograms.push(die);
+    }
+    // Phase B: scopes and variables.
+    for (fi, func) in ir.functions.iter().enumerate() {
+        let artifact = &artifacts[fi];
+        for row in &artifact.line_rows {
+            info.line_table.push(*row);
+        }
+        let subprogram = subprograms[fi];
+        let base = artifact.machine.base_address;
+        let end = base + artifact.machine.code.len() as u64;
+        // Scope DIEs.
+        let mut scope_dies: Vec<DieId> = vec![subprogram];
+        for (si, scope) in func.scopes.iter().enumerate().skip(1) {
+            let range = scope_range(artifact, ScopeId(si as u32), base);
+            let (parent, tag, origin) = match scope {
+                ScopeKind::Function => (info.root(), DieTag::LexicalBlock, None),
+                ScopeKind::Block { parent } => (
+                    scope_dies.get(parent.0 as usize).copied().unwrap_or(subprogram),
+                    DieTag::LexicalBlock,
+                    None,
+                ),
+                ScopeKind::Inlined { parent, callee, .. } => (
+                    scope_dies.get(parent.0 as usize).copied().unwrap_or(subprogram),
+                    DieTag::InlinedSubroutine,
+                    Some(*callee),
+                ),
+            };
+            let die = info.add_die(parent, tag);
+            if let Some((lo, hi)) = range {
+                info.set_attr(die, Attr::LowPc, AttrValue::Addr(lo));
+                info.set_attr(die, Attr::HighPc, AttrValue::Addr(hi));
+            }
+            if let ScopeKind::Inlined { call_line, callee_name, .. } = scope {
+                info.set_attr(die, Attr::CallLine, AttrValue::Unsigned(*call_line as u64));
+                info.set_attr(die, Attr::Name, AttrValue::Text(callee_name.clone()));
+            }
+            if let Some(origin) = origin {
+                info.set_attr(die, Attr::AbstractOrigin, AttrValue::Ref(subprograms[origin.0]));
+            }
+            scope_dies.push(die);
+        }
+        // Variable DIEs with their location lists.
+        for (vi, var) in func.vars.iter().enumerate() {
+            if var.suppress_die {
+                continue;
+            }
+            let var_id = DebugVarId(vi as u32);
+            let parent = scope_dies.get(var.scope.0 as usize).copied().unwrap_or(subprogram);
+            let tag = if var.is_param {
+                DieTag::FormalParameter
+            } else {
+                DieTag::Variable
+            };
+            let die = info.add_die(parent, tag);
+            info.set_attr(die, Attr::Name, AttrValue::Text(var.name.clone()));
+            info.set_attr(die, Attr::DeclLine, AttrValue::Unsigned(var.decl_line as u64));
+            let events: Vec<(usize, Location)> = artifact
+                .bindings
+                .iter()
+                .filter(|(_, v, _)| *v == var_id)
+                .map(|(i, _, loc)| (*i, *loc))
+                .collect();
+            if events.is_empty() {
+                // No binding at all: the DIE stays without location (hollow).
+                continue;
+            }
+            let single_const = events.len() == 1 && matches!(events[0].1, Location::ConstValue(_));
+            let inlined_scope = matches!(
+                func.scopes.get(var.scope.0 as usize),
+                Some(ScopeKind::Inlined { .. })
+            );
+            if single_const && !inlined_scope {
+                if let Location::ConstValue(c) = events[0].1 {
+                    info.set_attr(die, Attr::ConstValue, AttrValue::Signed(c));
+                }
+                continue;
+            }
+            if single_const && inlined_scope {
+                // Inlined constants: the location lives only in the abstract
+                // origin (legitimate DWARF; the lldb-like debugger mishandles
+                // it, reproducing the paper's lldb bug 50076).
+                if let ScopeKind::Inlined { callee, .. } = &func.scopes[var.scope.0 as usize] {
+                    let origin_sub = subprograms[callee.0];
+                    if let Some(origin_var) = info.find_variable(origin_sub, &var.name, base) {
+                        info.set_attr(die, Attr::AbstractOrigin, AttrValue::Ref(origin_var));
+                        if let Location::ConstValue(c) = events[0].1 {
+                            info.set_attr(origin_var, Attr::ConstValue, AttrValue::Signed(c));
+                            info.remove_attr(origin_var, Attr::Location);
+                        }
+                        continue;
+                    }
+                }
+                if let Location::ConstValue(c) = events[0].1 {
+                    info.set_attr(die, Attr::ConstValue, AttrValue::Signed(c));
+                }
+                continue;
+            }
+            let mut entries = Vec::with_capacity(events.len());
+            for (pos, (start, loc)) in events.iter().enumerate() {
+                let range_end = events
+                    .get(pos + 1)
+                    .map(|(next, _)| base + *next as u64)
+                    .unwrap_or(end);
+                entries.push(LocListEntry::new(base + *start as u64, range_end, *loc));
+            }
+            info.set_attr(die, Attr::Location, AttrValue::LocList(entries));
+        }
+    }
+    info
+}
+
+fn scope_range(artifact: &FunctionArtifacts, scope: ScopeId, base: u64) -> Option<(u64, u64)> {
+    let mut lo = None;
+    let mut hi = None;
+    for (i, s) in artifact.inst_scopes.iter().enumerate() {
+        if *s == scope {
+            let addr = base + i as u64;
+            lo = Some(lo.map_or(addr, |l: u64| l.min(addr)));
+            hi = Some(hi.map_or(addr + 1, |h: u64| h.max(addr + 1)));
+        }
+    }
+    Some((lo?, hi?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use holes_machine::Machine;
+    use holes_minic::ast::{BinOp, Expr, LValue, Stmt, Ty, VarRef};
+    use holes_minic::build::ProgramBuilder;
+    use holes_minic::interp::Interpreter;
+
+    fn build_and_run(program: &Program) -> (holes_machine::RunOutcome, DebugInfo) {
+        let ir = lower_program(program);
+        let (machine, debug) = codegen(program, &ir, "test.c");
+        let outcome = Machine::new(&machine).run_to_completion().expect("runs");
+        (outcome, debug)
+    }
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let arr = b.global_array("a", Ty::I32, false, vec![3], vec![5, 6, 7]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(4))));
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(3))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(g),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::global(g),
+                        Expr::index(VarRef::Global(arr), vec![Expr::local(i)]),
+                    ),
+                )],
+            ),
+        );
+        b.push(main, Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]));
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let mut p = b.finish();
+        p.assign_lines();
+        p
+    }
+
+    #[test]
+    fn unoptimized_codegen_matches_interpreter() {
+        let p = sample_program();
+        let reference = Interpreter::new(&p).run().expect("interpreter runs");
+        let (outcome, _) = build_and_run(&p);
+        assert!(outcome.matches(&reference), "{outcome:?} vs {reference:?}");
+        assert_eq!(outcome.return_value, 18);
+    }
+
+    #[test]
+    fn line_table_covers_every_statement_line() {
+        let mut p = sample_program();
+        let map = p.assign_lines();
+        let ir = lower_program(&p);
+        let (_, debug) = codegen(&p, &ir, "test.c");
+        let main = p.main();
+        let steppable = debug.line_table.steppable_lines();
+        for line in map.lines_of(main) {
+            assert!(steppable.contains(line), "line {line} missing from line table");
+        }
+    }
+
+    #[test]
+    fn variables_have_dies_with_locations() {
+        let p = sample_program();
+        let (_, debug) = build_and_run(&p);
+        let sub = debug
+            .iter()
+            .find(|(_, d)| d.tag == DieTag::Subprogram && d.name() == Some("main"))
+            .map(|(id, _)| id)
+            .expect("main subprogram exists");
+        let (lo, _) = debug.die(sub).pc_range().unwrap();
+        for name in ["x", "i"] {
+            let var = debug.find_variable(sub, name, lo).expect("variable die");
+            let die = debug.die(var);
+            assert!(
+                die.attr(Attr::ConstValue).is_some() || die.attr(Attr::Location).is_some(),
+                "{name} has neither const value nor location"
+            );
+        }
+    }
+
+    #[test]
+    fn globals_have_external_dies() {
+        let p = sample_program();
+        let (_, debug) = build_and_run(&p);
+        let globals: Vec<_> = debug
+            .iter()
+            .filter(|(_, d)| {
+                d.tag == DieTag::Variable && d.attr(Attr::External).is_some()
+            })
+            .collect();
+        assert_eq!(globals.len(), 2);
+    }
+
+    #[test]
+    fn functions_with_many_locals_spill_but_stay_correct() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I64, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let mut sum = Expr::lit(0);
+        for i in 0..20 {
+            let v = b.local(main, &format!("v{i}"), Ty::I64);
+            b.push(main, Stmt::decl(v, Some(Expr::lit(i as i64))));
+            sum = Expr::binary(BinOp::Add, sum, Expr::local(v));
+        }
+        b.push(main, Stmt::assign(LValue::global(g), sum));
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let reference = Interpreter::new(&p).run().unwrap();
+        let (outcome, _) = build_and_run(&p);
+        assert!(outcome.matches(&reference));
+        assert_eq!(outcome.return_value, (0..20).sum::<i64>());
+    }
+
+    #[test]
+    fn pointer_programs_compile_correctly() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("b", Ty::I32, false, vec![5]);
+        let out = b.global("out", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        let ptr = b.local(main, "p", Ty::Ptr(&Ty::I32));
+        b.push(main, Stmt::decl(x, Some(Expr::lit(9))));
+        b.push(main, Stmt::decl(ptr, Some(Expr::addr_of(VarRef::Local(x)))));
+        b.push(main, Stmt::assign(LValue::Deref(VarRef::Local(ptr)), Expr::lit(11)));
+        b.push(main, Stmt::assign(LValue::local(ptr), Expr::addr_of(VarRef::Global(g))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(out),
+                Expr::binary(BinOp::Add, Expr::deref(Expr::local(ptr)), Expr::local(x)),
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(out))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let reference = Interpreter::new(&p).run().unwrap();
+        let (outcome, _) = build_and_run(&p);
+        assert!(outcome.matches(&reference), "{outcome:?} vs {reference:?}");
+        assert_eq!(outcome.return_value, 16);
+    }
+
+    #[test]
+    fn internal_calls_compile_correctly() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let callee = b.function("twice", Ty::I32);
+        let p0 = b.param(callee, "p0", Ty::I32);
+        b.push(
+            callee,
+            Stmt::ret(Some(Expr::binary(BinOp::Mul, Expr::local(p0), Expr::lit(2)))),
+        );
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::assign(LValue::global(g), Expr::call(callee, vec![Expr::lit(21)])),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let reference = Interpreter::new(&p).run().unwrap();
+        let (outcome, _) = build_and_run(&p);
+        assert!(outcome.matches(&reference));
+        assert_eq!(outcome.return_value, 42);
+    }
+}

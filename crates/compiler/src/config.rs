@@ -1,0 +1,442 @@
+//! Compiler configurations: personalities, optimization levels, versions and
+//! pass schedules.
+//!
+//! The paper evaluates two compilation systems (gcc and clang), several
+//! optimization levels (`-O0`, `-O1`, `-O2`, `-O3`, `-Og`, `-Os`, `-Oz`) and
+//! several releases of each compiler. Our substitutes are two *personalities*
+//! with distinct pass pipelines — [`Personality::Ccg`] (gcc-like) and
+//! [`Personality::Lcc`] (clang-like) — a matching set of levels, and a list
+//! of version profiles per personality. Versions differ in which injected
+//! defects are present (see [`crate::defects`]) and, mildly, in which passes
+//! are scheduled, reproducing the regression trends of Figure 1 and Table 4.
+
+use std::collections::BTreeSet;
+
+/// The two compiler personalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Personality {
+    /// The gcc-like personality (`ccg`), debugged with the gdb-like debugger.
+    Ccg,
+    /// The clang-like personality (`lcc`), debugged with the lldb-like
+    /// debugger.
+    Lcc,
+}
+
+impl Personality {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Personality::Ccg => "ccg",
+            Personality::Lcc => "lcc",
+        }
+    }
+
+    /// Version names, oldest first. The last two entries are the paper's
+    /// "trunk" and the patched / partially-fixed variant used by the
+    /// regression study (§5.4).
+    pub fn version_names(self) -> &'static [&'static str] {
+        match self {
+            Personality::Ccg => &["4.8", "6.5", "8.4", "10.3", "trunk", "patched"],
+            Personality::Lcc => &["5.0", "7.0", "9.0", "11.1", "trunk", "trunk-star"],
+        }
+    }
+
+    /// Index of the trunk version.
+    pub fn trunk(self) -> usize {
+        4
+    }
+
+    /// The optimization levels this personality supports, mirroring the
+    /// paper's setup (`-O1` is an alias of `-Og` for clang and is therefore
+    /// not listed for the lcc personality).
+    pub fn levels(self) -> &'static [OptLevel] {
+        match self {
+            Personality::Ccg => &[
+                OptLevel::Og,
+                OptLevel::O1,
+                OptLevel::O2,
+                OptLevel::O3,
+                OptLevel::Os,
+                OptLevel::Oz,
+            ],
+            Personality::Lcc => &[
+                OptLevel::Og,
+                OptLevel::O2,
+                OptLevel::O3,
+                OptLevel::Os,
+                OptLevel::Oz,
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for Personality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optimization levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization; the debug-information baseline.
+    O0,
+    /// The debugger-friendly level.
+    Og,
+    /// Light optimization.
+    O1,
+    /// Standard optimization.
+    O2,
+    /// Aggressive optimization.
+    O3,
+    /// Optimize for size.
+    Os,
+    /// Optimize for size aggressively.
+    Oz,
+}
+
+impl OptLevel {
+    /// All levels including `O0`.
+    pub const ALL: [OptLevel; 7] = [
+        OptLevel::O0,
+        OptLevel::Og,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::Os,
+        OptLevel::Oz,
+    ];
+
+    /// The flag spelling (`-O2`, `-Og`, ...).
+    pub fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::Og => "-Og",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+            OptLevel::Os => "-Os",
+            OptLevel::Oz => "-Oz",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// A complete compiler configuration: what the paper would call
+/// "compiler X version Y at level Z", plus the triage knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerConfig {
+    /// The personality (pipeline family).
+    pub personality: Personality,
+    /// Index into [`Personality::version_names`].
+    pub version: usize,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Passes disabled by `-fno-<pass>`-style flags (the gcc-style triage
+    /// mechanism of §4.3).
+    pub disabled_passes: BTreeSet<String>,
+    /// Stop the pipeline after this many passes (the clang
+    /// `-opt-bisect-limit`-style triage mechanism of §4.3).
+    pub pass_budget: Option<usize>,
+    /// Disable every injected defect (used by tests to obtain the
+    /// hypothetical defect-free compiler).
+    pub disable_defects: bool,
+}
+
+impl CompilerConfig {
+    /// Configuration for a personality's trunk version at a level.
+    pub fn new(personality: Personality, level: OptLevel) -> CompilerConfig {
+        CompilerConfig {
+            personality,
+            version: personality.trunk(),
+            level,
+            disabled_passes: BTreeSet::new(),
+            pass_budget: None,
+            disable_defects: false,
+        }
+    }
+
+    /// Same configuration with a different version index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range for the personality.
+    pub fn with_version(mut self, version: usize) -> CompilerConfig {
+        assert!(version < self.personality.version_names().len());
+        self.version = version;
+        self
+    }
+
+    /// Same configuration with a pass disabled.
+    pub fn with_disabled_pass(mut self, pass: &str) -> CompilerConfig {
+        self.disabled_passes.insert(pass.to_owned());
+        self
+    }
+
+    /// Same configuration with a pass budget (bisection).
+    pub fn with_pass_budget(mut self, budget: usize) -> CompilerConfig {
+        self.pass_budget = Some(budget);
+        self
+    }
+
+    /// Same configuration with all injected defects disabled.
+    pub fn without_defects(mut self) -> CompilerConfig {
+        self.disable_defects = true;
+        self
+    }
+
+    /// The version name.
+    pub fn version_name(&self) -> &'static str {
+        self.personality.version_names()[self.version]
+    }
+
+    /// The ordered pass schedule for this configuration, before applying
+    /// `disabled_passes` and `pass_budget` (the pipeline runner applies
+    /// those).
+    pub fn pass_schedule(&self) -> Vec<&'static str> {
+        let mut schedule = base_schedule(self.personality, self.level);
+        // Version-specific tweaks.
+        match self.personality {
+            Personality::Lcc => {
+                // Recent lcc releases enable loop removal even at -Og/-Os,
+                // mirroring the paper's observation on the latest clang.
+                if self.version >= 3
+                    && matches!(self.level, OptLevel::Og | OptLevel::Os)
+                    && !schedule.contains(&"loop-unroll")
+                {
+                    if let Some(pos) = schedule.iter().position(|p| *p == "lsr") {
+                        schedule.insert(pos, "loop-unroll");
+                    }
+                }
+            }
+            Personality::Ccg => {
+                // Early ccg releases lacked the early value-range pass.
+                if self.version < 2 {
+                    schedule.retain(|p| *p != "evrp");
+                }
+            }
+        }
+        schedule
+    }
+
+    /// The boolean `-fno-<pass>` style flags available for triage at this
+    /// configuration: one per scheduled pass.
+    pub fn triage_flags(&self) -> Vec<&'static str> {
+        self.pass_schedule()
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.personality.name(),
+            self.version_name(),
+            self.level.flag()
+        )
+    }
+}
+
+fn base_schedule(personality: Personality, level: OptLevel) -> Vec<&'static str> {
+    use OptLevel::*;
+    match personality {
+        Personality::Lcc => match level {
+            O0 => vec![],
+            Og | O1 => vec![
+                "simplifycfg",
+                "sroa",
+                "instcombine",
+                "loop-rotate",
+                "lsr",
+                "gvn",
+                "dce",
+                "simplifycfg-late",
+            ],
+            O2 | O3 => vec![
+                "simplifycfg",
+                "sroa",
+                "instcombine",
+                "ipsccp",
+                "inline",
+                "loop-rotate",
+                "indvars",
+                "loop-unroll",
+                "lsr",
+                "gvn",
+                "dce",
+                "dse",
+                "simplifycfg-late",
+                "machine-scheduler",
+            ],
+            Os => vec![
+                "simplifycfg",
+                "sroa",
+                "instcombine",
+                "ipsccp",
+                "inline",
+                "loop-rotate",
+                "lsr",
+                "gvn",
+                "dce",
+                "dse",
+                "simplifycfg-late",
+                "machine-scheduler",
+            ],
+            Oz => vec![
+                "simplifycfg",
+                "sroa",
+                "instcombine",
+                "ipsccp",
+                "loop-rotate",
+                "lsr",
+                "gvn",
+                "dce",
+                "dse",
+                "simplifycfg-late",
+                "machine-scheduler",
+            ],
+        },
+        Personality::Ccg => match level {
+            O0 => vec![],
+            Og => vec!["tree-ccp", "tree-fre", "tree-dce", "cprop-registers", "cfg-cleanup"],
+            O1 => vec![
+                "tree-ccp",
+                "tree-fre",
+                "ipa-pure-const",
+                "inline",
+                "tree-dce",
+                "ivopts",
+                "cprop-registers",
+                "cfg-cleanup",
+            ],
+            O2 => vec![
+                "tree-ccp",
+                "evrp",
+                "tree-fre",
+                "ipa-pure-const",
+                "inline",
+                "ipa-sra",
+                "tree-dce",
+                "tree-dse",
+                "ivopts",
+                "tree-vrp",
+                "cprop-registers",
+                "cfg-cleanup",
+                "schedule-insns2",
+                "toplevel-reorder",
+            ],
+            O3 => vec![
+                "tree-ccp",
+                "evrp",
+                "tree-fre",
+                "ipa-pure-const",
+                "inline",
+                "ipa-sra",
+                "tree-dce",
+                "tree-dse",
+                "cunroll",
+                "ivopts",
+                "tree-vrp",
+                "cprop-registers",
+                "cfg-cleanup",
+                "schedule-insns2",
+                "toplevel-reorder",
+            ],
+            Os => vec![
+                "tree-ccp",
+                "evrp",
+                "tree-fre",
+                "ipa-pure-const",
+                "inline",
+                "ipa-sra",
+                "tree-dce",
+                "tree-dse",
+                "cunroll",
+                "ivopts",
+                "tree-vrp",
+                "cprop-registers",
+                "cfg-cleanup",
+                "schedule-insns2",
+                "toplevel-reorder",
+            ],
+            Oz => vec![
+                "tree-ccp",
+                "evrp",
+                "tree-fre",
+                "ipa-pure-const",
+                "ipa-sra",
+                "tree-dce",
+                "tree-dse",
+                "cunroll",
+                "ivopts",
+                "tree-vrp",
+                "cprop-registers",
+                "cfg-cleanup",
+                "schedule-insns2",
+                "toplevel-reorder",
+            ],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o0_has_no_passes() {
+        for p in [Personality::Ccg, Personality::Lcc] {
+            let cfg = CompilerConfig::new(p, OptLevel::O0);
+            assert!(cfg.pass_schedule().is_empty());
+        }
+    }
+
+    #[test]
+    fn og_has_fewer_passes_than_o2() {
+        for p in [Personality::Ccg, Personality::Lcc] {
+            let og = CompilerConfig::new(p, OptLevel::Og).pass_schedule().len();
+            let o2 = CompilerConfig::new(p, OptLevel::O2).pass_schedule().len();
+            assert!(og < o2, "{p}: Og should schedule fewer passes than O2");
+        }
+    }
+
+    #[test]
+    fn lcc_recent_versions_unroll_at_og() {
+        let old = CompilerConfig::new(Personality::Lcc, OptLevel::Og).with_version(0);
+        let new = CompilerConfig::new(Personality::Lcc, OptLevel::Og);
+        assert!(!old.pass_schedule().contains(&"loop-unroll"));
+        assert!(new.pass_schedule().contains(&"loop-unroll"));
+    }
+
+    #[test]
+    fn version_names_have_six_entries() {
+        for p in [Personality::Ccg, Personality::Lcc] {
+            assert_eq!(p.version_names().len(), 6);
+            assert_eq!(p.version_names()[p.trunk()], "trunk");
+        }
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = CompilerConfig::new(Personality::Ccg, OptLevel::O2)
+            .with_version(2)
+            .with_disabled_pass("tree-ccp")
+            .with_pass_budget(3)
+            .without_defects();
+        assert_eq!(cfg.version_name(), "8.4");
+        assert!(cfg.disabled_passes.contains("tree-ccp"));
+        assert_eq!(cfg.pass_budget, Some(3));
+        assert!(cfg.disable_defects);
+        assert!(cfg.describe().contains("-O2"));
+    }
+
+    #[test]
+    fn lcc_levels_skip_o1() {
+        assert!(!Personality::Lcc.levels().contains(&OptLevel::O1));
+        assert!(Personality::Ccg.levels().contains(&OptLevel::O1));
+    }
+}

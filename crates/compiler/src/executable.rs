@@ -1,0 +1,42 @@
+//! The compiled artifact: machine code plus debug information.
+
+use holes_debuginfo::DebugInfo;
+use holes_machine::{Machine, MachineError, MachineProgram, RunOutcome};
+
+use crate::config::CompilerConfig;
+use crate::passes::PipelineReport;
+
+/// A compiled executable: runnable machine code, its DWARF-style debug
+/// information, and a record of how it was produced.
+#[derive(Debug, Clone)]
+pub struct Executable {
+    /// The machine program.
+    pub machine: MachineProgram,
+    /// Debug information (DIE tree and line table).
+    pub debug: DebugInfo,
+    /// The configuration that produced the executable.
+    pub config: CompilerConfig,
+    /// What the pipeline did (passes run, defects applied).
+    pub report: PipelineReport,
+}
+
+impl Executable {
+    /// Run the executable to completion and return the observable outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine error if execution faults or exceeds its budget.
+    pub fn run(&self) -> Result<RunOutcome, MachineError> {
+        Machine::new(&self.machine).run_to_completion()
+    }
+
+    /// Total number of machine instructions.
+    pub fn code_size(&self) -> usize {
+        self.machine.instruction_count()
+    }
+
+    /// The source lines a debugger can step on in this executable.
+    pub fn steppable_lines(&self) -> Vec<u32> {
+        self.debug.line_table.steppable_lines()
+    }
+}

@@ -1,0 +1,196 @@
+//! An optimizing MiniC compiler with two personalities, injected
+//! debug-information defects, and full DWARF-style debug output.
+//!
+//! This crate is the reproduction's substitute for gcc and clang. It lowers
+//! MiniC to a register IR, runs a per-configuration pass pipeline
+//! ([`config::CompilerConfig`] selects personality, version and optimization
+//! level), and generates code for the `holes-machine` VM together with
+//! DWARF-modelled debug information (`holes-debuginfo`).
+//!
+//! Two properties matter for the paper's methodology and are enforced by this
+//! crate's tests:
+//!
+//! 1. **Semantics preservation** — at every optimization level the compiled
+//!    executable produces the same observable outcome as the MiniC reference
+//!    interpreter (differential testing).
+//! 2. **Availability by default** — with injected defects disabled
+//!    ([`CompilerConfig::without_defects`]), optimization never removes a
+//!    variable's availability at the program points the three conjectures
+//!    inspect; every conjecture violation is therefore attributable to a
+//!    catalogued defect, exactly like the paper attributes violations to
+//!    compiler bugs.
+//!
+//! # Example
+//!
+//! ```
+//! use holes_compiler::{compile, CompilerConfig, OptLevel, Personality};
+//! use holes_minic::build::ProgramBuilder;
+//! use holes_minic::ast::{Expr, LValue, Stmt, Ty};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let g = b.global("g", Ty::I32, false, vec![0]);
+//! let main = b.function("main", Ty::I32);
+//! b.push(main, Stmt::assign(LValue::global(g), Expr::lit(41)));
+//! b.push(main, Stmt::ret(Some(Expr::lit(0))));
+//! let mut program = b.finish();
+//! program.assign_lines();
+//!
+//! let exe = compile(&program, &CompilerConfig::new(Personality::Ccg, OptLevel::O2));
+//! let outcome = exe.run()?;
+//! assert_eq!(outcome.final_globals[0], vec![41]);
+//! # Ok::<(), holes_machine::MachineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod codegen;
+pub mod config;
+pub mod defects;
+pub mod executable;
+pub mod ir;
+pub mod lower;
+pub mod passes;
+
+pub use config::{CompilerConfig, OptLevel, Personality};
+pub use defects::{catalogue, Defect, DefectAction};
+pub use executable::Executable;
+
+use holes_minic::ast::Program;
+
+/// Compile a MiniC program (whose lines have been assigned) under the given
+/// configuration.
+pub fn compile(program: &Program, config: &CompilerConfig) -> Executable {
+    let mut ir = lower::lower_program(program);
+    let report = passes::run_pipeline(&mut ir, program, config);
+    let (machine, debug) = codegen::codegen(program, &ir, "testcase.c");
+    Executable {
+        machine,
+        debug,
+        config: config.clone(),
+        report,
+    }
+}
+
+/// Compile the same program at every optimization level of a personality's
+/// version (including `-O0`), as the paper's campaigns do.
+pub fn compile_all_levels(
+    program: &Program,
+    personality: Personality,
+    version: usize,
+) -> Vec<Executable> {
+    let mut levels = vec![OptLevel::O0];
+    levels.extend_from_slice(personality.levels());
+    levels
+        .into_iter()
+        .map(|level| {
+            let config = CompilerConfig::new(personality, level).with_version(version);
+            compile(program, &config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_minic::interp::Interpreter;
+    use holes_progen::ProgramGenerator;
+
+    #[test]
+    fn all_levels_preserve_semantics_on_generated_programs() {
+        for seed in 0..12u64 {
+            let generated = ProgramGenerator::from_seed(seed).generate();
+            let reference = Interpreter::new(&generated.program).run().expect("reference runs");
+            for personality in [Personality::Ccg, Personality::Lcc] {
+                for level in personality.levels().iter().chain([&OptLevel::O0]) {
+                    let config = CompilerConfig::new(personality, *level);
+                    let exe = compile(&generated.program, &config);
+                    let outcome = exe.run().unwrap_or_else(|e| {
+                        panic!("seed {seed} {personality} {level}: execution failed: {e}")
+                    });
+                    assert!(
+                        outcome.matches(&reference),
+                        "seed {seed} {personality} {level}: outcome diverges\n{outcome:?}\n{reference:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_code_size() {
+        let generated = ProgramGenerator::from_seed(3).generate();
+        let o0 = compile(
+            &generated.program,
+            &CompilerConfig::new(Personality::Ccg, OptLevel::O0),
+        );
+        let o2 = compile(
+            &generated.program,
+            &CompilerConfig::new(Personality::Ccg, OptLevel::O2),
+        );
+        assert!(o2.code_size() <= o0.code_size());
+    }
+
+    #[test]
+    fn defect_free_and_defective_compilations_behave_identically() {
+        // Injected defects corrupt only debug information, never observable
+        // behaviour: both compilations must produce the same outcome and the
+        // same steppable lines (they may differ in register assignment, since
+        // debug bindings extend live ranges).
+        let generated = ProgramGenerator::from_seed(11).generate();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for level in personality.levels() {
+                let with = compile(
+                    &generated.program,
+                    &CompilerConfig::new(personality, *level),
+                );
+                let without = compile(
+                    &generated.program,
+                    &CompilerConfig::new(personality, *level).without_defects(),
+                );
+                let with_outcome = with.run().unwrap();
+                let without_outcome = without.run().unwrap();
+                assert_eq!(
+                    (
+                        &with_outcome.sink_calls,
+                        &with_outcome.final_globals,
+                        with_outcome.return_value
+                    ),
+                    (
+                        &without_outcome.sink_calls,
+                        &without_outcome.final_globals,
+                        without_outcome.return_value
+                    ),
+                    "{personality} {level}: defects changed observable behaviour"
+                );
+                assert_eq!(
+                    with.steppable_lines(),
+                    without.steppable_lines(),
+                    "{personality} {level}: defects changed the line table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versions_affect_debug_info_but_not_outcome() {
+        let generated = ProgramGenerator::from_seed(21).generate();
+        let reference = Interpreter::new(&generated.program).run().unwrap();
+        for version in 0..6 {
+            let exe = compile(
+                &generated.program,
+                &CompilerConfig::new(Personality::Ccg, OptLevel::O2).with_version(version),
+            );
+            assert!(exe.run().unwrap().matches(&reference), "version {version}");
+        }
+    }
+
+    #[test]
+    fn compile_all_levels_includes_o0_baseline() {
+        let generated = ProgramGenerator::from_seed(5).generate();
+        let exes = compile_all_levels(&generated.program, Personality::Lcc, 4);
+        assert_eq!(exes.len(), 1 + Personality::Lcc.levels().len());
+        assert_eq!(exes[0].config.level, OptLevel::O0);
+        assert!(exes[0].report.passes_run.is_empty());
+    }
+}
+

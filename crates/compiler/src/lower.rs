@@ -1,0 +1,735 @@
+//! Lowering from the MiniC AST to the compiler IR.
+//!
+//! Lowering is the *unoptimized* translation: every statement becomes a
+//! straightforward instruction sequence tagged with its source line, every
+//! local variable gets a *home* (a dedicated temp, or a frame slot when its
+//! address is taken), and a `DbgValue` binding is emitted after every
+//! assignment so that, before any optimization runs, every variable is
+//! available at every line of its lifetime — the `-O0` baseline the paper's
+//! metrics are computed against.
+
+use std::collections::HashMap;
+
+use holes_minic::ast::{
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, Ty,
+    VarRef,
+};
+
+use crate::ir::{
+    BlockLabel, DbgLoc, DebugVar, DebugVarId, Inst, IrFunction, IrProgram, LoopRegion, Op,
+    ScopeId, ScopeKind, SlotId, Temp, Value,
+};
+
+/// Lower a whole program.
+pub fn lower_program(program: &Program) -> IrProgram {
+    let functions = program
+        .functions_with_ids()
+        .map(|(id, func)| FunctionLowerer::new(program, id, func).lower())
+        .collect();
+    IrProgram { functions }
+}
+
+/// Where a local variable lives in the unoptimized IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    Temp(Temp),
+    Slot(SlotId),
+}
+
+struct FunctionLowerer<'p> {
+    program: &'p Program,
+    func: &'p Function,
+    ir: IrFunction,
+    homes: Vec<Home>,
+    local_vars: Vec<DebugVarId>,
+    labels: HashMap<u32, BlockLabel>,
+    current_scope: ScopeId,
+}
+
+impl<'p> FunctionLowerer<'p> {
+    fn new(program: &'p Program, id: FunctionId, func: &'p Function) -> FunctionLowerer<'p> {
+        let ir = IrFunction {
+            name: func.name.clone(),
+            source: id,
+            vars: Vec::new(),
+            scopes: vec![ScopeKind::Function],
+            slots: 0,
+            next_temp: 0,
+            insts: Vec::new(),
+            loops: Vec::new(),
+            param_temps: Vec::new(),
+            decl_line: func.decl_line,
+            pure_const: pure_const_value(func),
+        };
+        FunctionLowerer {
+            program,
+            func,
+            ir,
+            homes: Vec::new(),
+            local_vars: Vec::new(),
+            labels: HashMap::new(),
+            current_scope: ScopeId(0),
+        }
+    }
+
+    fn lower(mut self) -> IrFunction {
+        // Allocate homes and debug variables for every local.
+        for (i, local) in self.func.locals.iter().enumerate() {
+            let home = if local.address_taken {
+                let slot = SlotId(self.ir.slots);
+                self.ir.slots += 1;
+                Home::Slot(slot)
+            } else {
+                Home::Temp(self.ir.new_temp())
+            };
+            self.homes.push(home);
+            let var = self.ir.add_var(DebugVar {
+                name: local.name.clone(),
+                scope: ScopeId(0),
+                is_param: local.is_param,
+                decl_line: self.func.decl_line,
+                suppress_die: false,
+            });
+            self.local_vars.push(var);
+            if local.is_param {
+                if let Home::Temp(t) = home {
+                    self.ir.param_temps.push(t);
+                } else {
+                    // Address-taken parameter: give it an incoming temp that
+                    // is spilled to the slot at entry.
+                    let incoming = self.ir.new_temp();
+                    self.ir.param_temps.push(incoming);
+                }
+            }
+            let _ = i;
+        }
+        // Parameter prologue: wrap to the declared type and bind debug info.
+        for (i, param) in self.func.params().enumerate() {
+            let local = self.func.local(param);
+            let line = self.func.decl_line;
+            let incoming = self.ir.param_temps[i];
+            match self.homes[param.0] {
+                Home::Temp(home) => {
+                    debug_assert_eq!(home, incoming);
+                    if local.ty.bits() < 64 {
+                        self.emit(
+                            Op::Trunc {
+                                dst: home,
+                                src: Value::Temp(home),
+                                bits: local.ty.bits(),
+                                signed: local.ty.signed(),
+                            },
+                            line,
+                        );
+                    }
+                    self.emit(
+                        Op::DbgValue {
+                            var: self.local_vars[param.0],
+                            loc: DbgLoc::Value(Value::Temp(home)),
+                        },
+                        line,
+                    );
+                }
+                Home::Slot(slot) => {
+                    self.emit(
+                        Op::StoreSlot {
+                            slot,
+                            value: Value::Temp(incoming),
+                        },
+                        line,
+                    );
+                    self.emit(
+                        Op::DbgValue {
+                            var: self.local_vars[param.0],
+                            loc: DbgLoc::Slot(slot),
+                        },
+                        line,
+                    );
+                }
+            }
+        }
+        let body = self.func.body.clone();
+        self.lower_stmts(&body);
+        // Guarantee the function always returns.
+        self.emit(Op::Ret { value: None }, self.func.decl_line);
+        self.ir
+    }
+
+    fn emit(&mut self, op: Op, line: u32) {
+        let scope = self.current_scope;
+        self.ir.insts.push(Inst::in_scope(op, line, scope));
+    }
+
+    fn source_label(&mut self, label: u32) -> BlockLabel {
+        if let Some(l) = self.labels.get(&label) {
+            return *l;
+        }
+        let l = self.ir.new_label();
+        self.labels.insert(label, l);
+        l
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.lower_stmt(stmt);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Decl { local, init } => {
+                let value = match init {
+                    Some(e) => self.lower_expr(e, line),
+                    None => Value::Const(0),
+                };
+                self.assign_local(*local, value, line);
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.lower_expr(value, line);
+                self.lower_store(target, v, line);
+            }
+            StmtKind::For {
+                init, cond, step, body,
+            } => self.lower_for(init.as_deref(), cond.as_ref(), step.as_deref(), body, line),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.lower_expr(cond, line);
+                let else_label = self.ir.new_label();
+                let end_label = self.ir.new_label();
+                self.emit(
+                    Op::BranchZero {
+                        cond: c,
+                        target: else_label,
+                    },
+                    line,
+                );
+                self.lower_stmts(then_branch);
+                self.emit(Op::Jump(end_label), line);
+                self.emit(Op::Label(else_label), line);
+                self.lower_stmts(else_branch);
+                self.emit(Op::Label(end_label), line);
+            }
+            StmtKind::Call { callee, args } => {
+                let values: Vec<Value> = args.iter().map(|a| self.lower_expr(a, line)).collect();
+                match callee {
+                    Callee::Opaque => self.emit(Op::CallSink { args: values }, line),
+                    Callee::Internal(f) => self.emit(
+                        Op::Call {
+                            dst: None,
+                            callee: *f,
+                            args: values,
+                        },
+                        line,
+                    ),
+                }
+            }
+            StmtKind::Return(value) => {
+                let v = value.as_ref().map(|e| self.lower_expr(e, line));
+                let wrapped = v.map(|value| self.wrap_value(value, self.func.ret_ty, line));
+                self.emit(Op::Ret { value: wrapped }, line);
+            }
+            StmtKind::Goto(label) => {
+                let l = self.source_label(*label);
+                self.emit(Op::Jump(l), line);
+            }
+            StmtKind::Label(label) => {
+                let l = self.source_label(*label);
+                self.emit(Op::Label(l), line);
+            }
+            StmtKind::Block(body) => {
+                let parent = self.current_scope;
+                let scope = self.ir.add_scope(ScopeKind::Block { parent });
+                self.current_scope = scope;
+                self.lower_stmts(body);
+                self.current_scope = parent;
+            }
+            StmtKind::Empty => {}
+        }
+    }
+
+    fn lower_for(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Stmt>,
+        body: &[Stmt],
+        line: u32,
+    ) {
+        if let Some(s) = init {
+            self.lower_stmt(s);
+        }
+        let header = self.ir.new_label();
+        let exit = self.ir.new_label();
+        // Record canonical induction-variable metadata before lowering the
+        // body (the loop passes consume it).
+        let region = self.recognize_loop(init, cond, step, header, exit, line);
+        self.emit(Op::Label(header), line);
+        if let Some(c) = cond {
+            let cv = self.lower_expr(c, line);
+            self.emit(
+                Op::BranchZero {
+                    cond: cv,
+                    target: exit,
+                },
+                line,
+            );
+        }
+        self.lower_stmts(body);
+        if let Some(s) = step {
+            self.lower_stmt(s);
+        }
+        self.emit(Op::Jump(header), line);
+        self.emit(Op::Label(exit), line);
+        if let Some(region) = region {
+            self.ir.loops.push(region);
+        }
+    }
+
+    fn recognize_loop(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Stmt>,
+        header: BlockLabel,
+        exit: BlockLabel,
+        line: u32,
+    ) -> Option<LoopRegion> {
+        let assigned = |stmt: &Stmt| -> Option<(LocalId, Expr)> {
+            match &stmt.kind {
+                StmtKind::Assign {
+                    target: LValue::Var(VarRef::Local(l)),
+                    value,
+                } => Some((*l, value.clone())),
+                StmtKind::Decl {
+                    local,
+                    init: Some(value),
+                } => Some((*local, value.clone())),
+                _ => None,
+            }
+        };
+        let (iv, init_expr) = init.and_then(assigned)?;
+        let start = match init_expr.kind {
+            ExprKind::Lit(v) => Some(v),
+            _ => None,
+        };
+        let bound = cond.and_then(|c| match &c.kind {
+            ExprKind::Binary(holes_minic::ast::BinOp::Lt, lhs, rhs) => {
+                match (&lhs.kind, &rhs.kind) {
+                    (ExprKind::Var(VarRef::Local(l)), ExprKind::Lit(b)) if *l == iv => Some(*b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        });
+        let step_val = step.and_then(assigned).and_then(|(l, e)| {
+            if l != iv {
+                return None;
+            }
+            match &e.kind {
+                ExprKind::Binary(holes_minic::ast::BinOp::Add, lhs, rhs) => {
+                    match (&lhs.kind, &rhs.kind) {
+                        (ExprKind::Var(VarRef::Local(v)), ExprKind::Lit(s)) if *v == iv => Some(*s),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        });
+        let iv_temp = match self.homes[iv.0] {
+            Home::Temp(t) => Some(t),
+            Home::Slot(_) => None,
+        };
+        Some(LoopRegion {
+            header,
+            exit,
+            header_line: line,
+            iv_var: Some(self.local_vars[iv.0]),
+            iv_temp,
+            start,
+            bound,
+            step: step_val,
+        })
+    }
+
+    fn wrap_value(&mut self, value: Value, ty: Ty, line: u32) -> Value {
+        if ty.bits() >= 64 {
+            return value;
+        }
+        if let Value::Const(c) = value {
+            return Value::Const(ty.wrap(c));
+        }
+        let dst = self.ir.new_temp();
+        self.emit(
+            Op::Trunc {
+                dst,
+                src: value,
+                bits: ty.bits(),
+                signed: ty.signed(),
+            },
+            line,
+        );
+        Value::Temp(dst)
+    }
+
+    fn assign_local(&mut self, local: LocalId, value: Value, line: u32) {
+        let ty = self.func.local(local).ty;
+        let wrapped = self.wrap_value(value, ty, line);
+        let var = self.local_vars[local.0];
+        match self.homes[local.0] {
+            Home::Temp(home) => {
+                self.emit(Op::Copy { dst: home, src: wrapped }, line);
+                self.emit(
+                    Op::DbgValue {
+                        var,
+                        loc: DbgLoc::Value(Value::Temp(home)),
+                    },
+                    line,
+                );
+            }
+            Home::Slot(slot) => {
+                self.emit(Op::StoreSlot { slot, value: wrapped }, line);
+                self.emit(
+                    Op::DbgValue {
+                        var,
+                        loc: DbgLoc::Slot(slot),
+                    },
+                    line,
+                );
+            }
+        }
+    }
+
+    fn lower_store(&mut self, target: &LValue, value: Value, line: u32) {
+        match target {
+            LValue::Var(VarRef::Local(l)) => self.assign_local(*l, value, line),
+            LValue::Var(VarRef::Global(g)) => {
+                let volatile = self.program.global(*g).is_volatile;
+                self.emit(
+                    Op::StoreGlobal {
+                        global: *g,
+                        index: None,
+                        value,
+                        volatile,
+                    },
+                    line,
+                );
+            }
+            LValue::Index { base, indices } => match base {
+                VarRef::Global(g) => {
+                    let flat = self.flatten_index(*g, indices, line);
+                    let volatile = self.program.global(*g).is_volatile;
+                    self.emit(
+                        Op::StoreGlobal {
+                            global: *g,
+                            index: Some(flat),
+                            value,
+                            volatile,
+                        },
+                        line,
+                    );
+                }
+                VarRef::Local(_) => {
+                    // Locals are never arrays in MiniC; treat as a plain
+                    // assignment to keep lowering total.
+                    if let VarRef::Local(l) = base {
+                        self.assign_local(*l, value, line);
+                    }
+                }
+            },
+            LValue::Deref(ptr) => {
+                let addr = self.read_var(*ptr, line);
+                self.emit(Op::StorePtr { addr, value }, line);
+            }
+        }
+    }
+
+    fn read_var(&mut self, var: VarRef, line: u32) -> Value {
+        match var {
+            VarRef::Local(l) => match self.homes[l.0] {
+                Home::Temp(t) => Value::Temp(t),
+                Home::Slot(slot) => {
+                    let dst = self.ir.new_temp();
+                    self.emit(Op::LoadSlot { dst, slot }, line);
+                    Value::Temp(dst)
+                }
+            },
+            VarRef::Global(g) => {
+                let dst = self.ir.new_temp();
+                let volatile = self.program.global(g).is_volatile;
+                self.emit(
+                    Op::LoadGlobal {
+                        dst,
+                        global: g,
+                        index: None,
+                        volatile,
+                    },
+                    line,
+                );
+                Value::Temp(dst)
+            }
+        }
+    }
+
+    fn flatten_index(&mut self, global: holes_minic::ast::GlobalId, indices: &[Expr], line: u32) -> Value {
+        let dims = self.program.global(global).dims.clone();
+        let mut flat: Option<Value> = None;
+        for (i, idx) in indices.iter().enumerate() {
+            let v = self.lower_expr(idx, line);
+            let dim = dims.get(i).copied().unwrap_or(1) as i64;
+            flat = Some(match flat {
+                None => v,
+                Some(acc) => {
+                    let scaled = self.emit_bin(holes_minic::ast::BinOp::Mul, acc, Value::Const(dim), line);
+                    self.emit_bin(holes_minic::ast::BinOp::Add, scaled, v, line)
+                }
+            });
+        }
+        flat.unwrap_or(Value::Const(0))
+    }
+
+    fn emit_bin(
+        &mut self,
+        op: holes_minic::ast::BinOp,
+        lhs: Value,
+        rhs: Value,
+        line: u32,
+    ) -> Value {
+        let dst = self.ir.new_temp();
+        self.emit(Op::Bin { dst, op, lhs, rhs }, line);
+        Value::Temp(dst)
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, line: u32) -> Value {
+        match &expr.kind {
+            ExprKind::Lit(v) => Value::Const(*v),
+            ExprKind::Var(v) => self.read_var(*v, line),
+            ExprKind::Index { base, indices } => match base {
+                VarRef::Global(g) => {
+                    let flat = self.flatten_index(*g, indices, line);
+                    let dst = self.ir.new_temp();
+                    let volatile = self.program.global(*g).is_volatile;
+                    self.emit(
+                        Op::LoadGlobal {
+                            dst,
+                            global: *g,
+                            index: Some(flat),
+                            volatile,
+                        },
+                        line,
+                    );
+                    Value::Temp(dst)
+                }
+                VarRef::Local(l) => self.read_var(VarRef::Local(*l), line),
+            },
+            ExprKind::Unary(op, inner) => {
+                let v = self.lower_expr(inner, line);
+                let dst = self.ir.new_temp();
+                self.emit(Op::Un { dst, op: *op, src: v }, line);
+                Value::Temp(dst)
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.lower_expr(lhs, line);
+                let r = self.lower_expr(rhs, line);
+                self.emit_bin(*op, l, r, line)
+            }
+            ExprKind::AddrOf(var) => {
+                let dst = self.ir.new_temp();
+                match var {
+                    VarRef::Global(g) => self.emit(Op::AddrGlobal { dst, global: *g }, line),
+                    VarRef::Local(l) => match self.homes[l.0] {
+                        Home::Slot(slot) => self.emit(Op::AddrSlot { dst, slot }, line),
+                        Home::Temp(_) => {
+                            // Should not happen: address-taken locals get
+                            // slots. Fall back to a zero address.
+                            self.emit(Op::Copy { dst, src: Value::Const(0) }, line)
+                        }
+                    },
+                }
+                Value::Temp(dst)
+            }
+            ExprKind::Deref(inner) => {
+                let addr = self.lower_expr(inner, line);
+                let dst = self.ir.new_temp();
+                self.emit(Op::LoadPtr { dst, addr }, line);
+                Value::Temp(dst)
+            }
+            ExprKind::Call { callee, args } => {
+                let values: Vec<Value> = args.iter().map(|a| self.lower_expr(a, line)).collect();
+                let dst = self.ir.new_temp();
+                self.emit(
+                    Op::Call {
+                        dst: Some(dst),
+                        callee: *callee,
+                        args: values,
+                    },
+                    line,
+                );
+                Value::Temp(dst)
+            }
+        }
+    }
+}
+
+/// Whether a source function is side-effect free and simply returns a literal
+/// constant.
+fn pure_const_value(func: &Function) -> Option<i64> {
+    if func.body.len() != 1 {
+        return None;
+    }
+    match &func.body[0].kind {
+        StmtKind::Return(Some(expr)) => match expr.kind {
+            ExprKind::Lit(v) => Some(func.ret_ty.wrap(v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_minic::ast::{BinOp, Ty};
+    use holes_minic::build::ProgramBuilder;
+
+    fn lower_simple() -> (Program, IrProgram) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let arr = b.global_array("a", Ty::I32, false, vec![2, 3], (0..6).collect());
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I16);
+        let i = b.local(main, "i", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(70000))));
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(2))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(g),
+                    Expr::index(VarRef::Global(arr), vec![Expr::local(i), Expr::lit(1)]),
+                )],
+            ),
+        );
+        b.push(main, Stmt::call_opaque(vec![Expr::local(x)]));
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ir = lower_program(&p);
+        (p, ir)
+    }
+
+    #[test]
+    fn lowering_produces_instructions_with_lines() {
+        let (_p, ir) = lower_simple();
+        let main = &ir.functions[0];
+        assert!(main.insts.len() > 10);
+        assert!(main
+            .insts
+            .iter()
+            .filter(|i| !matches!(i.op, Op::Ret { .. }))
+            .all(|i| i.line > 0));
+    }
+
+    #[test]
+    fn every_local_has_a_dbg_value() {
+        let (_p, ir) = lower_simple();
+        let main = &ir.functions[0];
+        for (i, _var) in main.vars.iter().enumerate() {
+            assert!(
+                main.insts.iter().any(
+                    |inst| matches!(inst.op, Op::DbgValue { var, .. } if var == DebugVarId(i as u32))
+                ),
+                "variable {i} has no debug binding"
+            );
+        }
+    }
+
+    #[test]
+    fn loops_are_recognized_during_lowering() {
+        let (_p, ir) = lower_simple();
+        let main = &ir.functions[0];
+        assert_eq!(main.loops.len(), 1);
+        let region = &main.loops[0];
+        assert_eq!(region.start, Some(0));
+        assert_eq!(region.bound, Some(2));
+        assert_eq!(region.step, Some(1));
+        assert_eq!(region.trip_count(), Some(2));
+        assert!(region.iv_temp.is_some());
+    }
+
+    #[test]
+    fn pure_const_functions_are_detected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.function("f1", Ty::I32);
+        b.push(f, Stmt::ret(Some(Expr::lit(5))));
+        let g = b.function("f2", Ty::I32);
+        let p0 = b.param(g, "p0", Ty::I32);
+        b.push(g, Stmt::ret(Some(Expr::local(p0))));
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ir = lower_program(&p);
+        assert_eq!(ir.functions[0].pure_const, Some(5));
+        assert_eq!(ir.functions[1].pure_const, None);
+    }
+
+    #[test]
+    fn address_taken_locals_get_slots() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![1]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        let ptr = b.local(main, "p", Ty::Ptr(&Ty::I32));
+        b.push(main, Stmt::decl(x, Some(Expr::lit(2))));
+        b.push(main, Stmt::decl(ptr, Some(Expr::addr_of(VarRef::Local(x)))));
+        b.push(
+            main,
+            Stmt::assign(LValue::global(g), Expr::deref(Expr::local(ptr))),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ir = lower_program(&p);
+        let main_ir = &ir.functions[0];
+        assert_eq!(main_ir.slots, 1);
+        assert!(main_ir
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::AddrSlot { .. })));
+        assert!(main_ir
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Slot(_), .. })));
+    }
+
+    #[test]
+    fn unnamed_scopes_create_block_scopes() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let s = b.local(main, "s", Ty::I32);
+        b.push(
+            main,
+            Stmt::block(vec![
+                Stmt::decl(s, Some(Expr::lit(3))),
+                Stmt::assign(LValue::global(g), Expr::local(s)),
+            ]),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ir = lower_program(&p);
+        let main_ir = &ir.functions[0];
+        assert_eq!(main_ir.scopes.len(), 2);
+        assert!(main_ir.insts.iter().any(|i| i.scope == ScopeId(1)));
+    }
+}

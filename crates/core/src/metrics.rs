@@ -1,0 +1,152 @@
+//! The quantitative metrics of the paper's preliminary study (§2, Figure 1).
+//!
+//! Both metrics compare an optimized executable's debugging experience
+//! against the `-O0` baseline of the *same* program and compiler version:
+//!
+//! * **line coverage** — the ratio of unique source lines the debugger can
+//!   step on, compared to the baseline;
+//! * **availability of variables** — the average, over the lines steppable in
+//!   both instances, of the ratio of variables shown with a value;
+//! * their **product**, which the paper uses to compare optimization levels.
+
+use holes_debugger::DebugTrace;
+
+/// The three metrics for one (program, level) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Ratio of stepped lines vs the `-O0` baseline.
+    pub line_coverage: f64,
+    /// Average ratio of available variables on common lines.
+    pub availability: f64,
+    /// `line_coverage * availability`.
+    pub product: f64,
+}
+
+impl Metrics {
+    /// Compute the metrics of an optimized trace against its baseline.
+    pub fn compute(optimized: &DebugTrace, baseline: &DebugTrace) -> Metrics {
+        let line_coverage = line_coverage(optimized, baseline);
+        let availability = availability_of_variables(optimized, baseline);
+        Metrics {
+            line_coverage,
+            availability,
+            product: line_coverage * availability,
+        }
+    }
+
+    /// Average several metric values (used to report pool-wide averages, as
+    /// the paper does for its 5000-program study).
+    pub fn average(values: &[Metrics]) -> Metrics {
+        if values.is_empty() {
+            return Metrics {
+                line_coverage: 0.0,
+                availability: 0.0,
+                product: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        Metrics {
+            line_coverage: values.iter().map(|m| m.line_coverage).sum::<f64>() / n,
+            availability: values.iter().map(|m| m.availability).sum::<f64>() / n,
+            product: values.iter().map(|m| m.product).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Ratio of unique source lines stepped on, compared to the baseline.
+pub fn line_coverage(optimized: &DebugTrace, baseline: &DebugTrace) -> f64 {
+    let baseline_lines: Vec<u32> = baseline.reached.keys().copied().collect();
+    if baseline_lines.is_empty() {
+        return 0.0;
+    }
+    let common = baseline_lines
+        .iter()
+        .filter(|l| optimized.reached.contains_key(l))
+        .count();
+    common as f64 / baseline_lines.len() as f64
+}
+
+/// Average ratio of available variables on lines stepped on in both
+/// instances.
+pub fn availability_of_variables(optimized: &DebugTrace, baseline: &DebugTrace) -> f64 {
+    let mut ratios = Vec::new();
+    for (&line, _) in &baseline.reached {
+        if !optimized.reached.contains_key(&line) {
+            continue;
+        }
+        let base_count = baseline.available_count(line);
+        if base_count == 0 {
+            continue;
+        }
+        let opt_count = optimized.available_count(line).min(base_count);
+        ratios.push(opt_count as f64 / base_count as f64);
+    }
+    if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_compiler::{compile, CompilerConfig, OptLevel, Personality};
+    use holes_debugger::native_trace;
+    use holes_progen::ProgramGenerator;
+
+    fn traces_for(seed: u64, level: OptLevel) -> (DebugTrace, DebugTrace) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let baseline = compile(
+            &generated.program,
+            &CompilerConfig::new(Personality::Ccg, OptLevel::O0),
+        );
+        let optimized = compile(&generated.program, &CompilerConfig::new(Personality::Ccg, level));
+        (native_trace(&optimized), native_trace(&baseline))
+    }
+
+    #[test]
+    fn metrics_are_within_unit_interval() {
+        for seed in 0..6 {
+            for level in [OptLevel::Og, OptLevel::O2, OptLevel::Os] {
+                let (opt, base) = traces_for(seed, level);
+                let m = Metrics::compute(&opt, &base);
+                assert!((0.0..=1.0).contains(&m.line_coverage), "{m:?}");
+                assert!((0.0..=1.0).contains(&m.availability), "{m:?}");
+                assert!((0.0..=1.0).contains(&m.product), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_against_itself_is_perfect() {
+        let (_, base) = traces_for(3, OptLevel::O2);
+        let m = Metrics::compute(&base, &base);
+        assert!((m.line_coverage - 1.0).abs() < 1e-9);
+        assert!((m.availability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn og_preserves_at_least_as_many_lines_as_o3_on_average() {
+        let mut og = Vec::new();
+        let mut o3 = Vec::new();
+        for seed in 0..8 {
+            let (opt, base) = traces_for(seed, OptLevel::Og);
+            og.push(Metrics::compute(&opt, &base));
+            let (opt, base) = traces_for(seed, OptLevel::O3);
+            o3.push(Metrics::compute(&opt, &base));
+        }
+        let og_avg = Metrics::average(&og);
+        let o3_avg = Metrics::average(&o3);
+        assert!(
+            og_avg.line_coverage >= o3_avg.line_coverage - 1e-9,
+            "Og {og_avg:?} vs O3 {o3_avg:?}"
+        );
+    }
+
+    #[test]
+    fn average_of_empty_slice_is_zero() {
+        let m = Metrics::average(&[]);
+        assert_eq!(m.product, 0.0);
+    }
+}

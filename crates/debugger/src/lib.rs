@@ -1,0 +1,448 @@
+//! A source-level debugger for compiled MiniC executables.
+//!
+//! This is the reproduction's substitute for gdb and lldb. Following the
+//! paper's methodology (§4.2), [`trace`] places a **one-shot breakpoint on
+//! the first address of every steppable source line**, runs the program, and
+//! records — for each line the execution actually reaches — the variables
+//! visible in the current frame and, when debug information permits, their
+//! values.
+//!
+//! Two debugger personalities are provided, reproducing the debugger-side
+//! bugs of the paper:
+//!
+//! * [`DebuggerKind::GdbLike`] mishandles location lists that contain
+//!   empty (`start == end`) ranges before the covering entry (gdb bug 28987);
+//! * [`DebuggerKind::LldbLike`] cannot display variables of inlined
+//!   subroutines whose location lives only in the abstract origin
+//!   (lldb bug 50076).
+//!
+//! Cross-checking the two personalities is how the campaign pipeline decides
+//! whether a violation is a compiler or a debugger issue, exactly as the
+//! paper repeats each test "in a different debugger".
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashSet};
+
+use holes_compiler::Executable;
+use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location};
+use holes_machine::{Machine, StopReason};
+
+/// The debugger personality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DebuggerKind {
+    /// Mishandles empty location-list ranges (models gdb).
+    GdbLike,
+    /// Ignores abstract-origin-only locations of inlined variables
+    /// (models lldb).
+    LldbLike,
+}
+
+impl DebuggerKind {
+    /// The debugger a compiler personality's users would reach for, as in the
+    /// paper (gdb for gcc, lldb for clang).
+    pub fn native_for(personality: holes_compiler::Personality) -> DebuggerKind {
+        match personality {
+            holes_compiler::Personality::Ccg => DebuggerKind::GdbLike,
+            holes_compiler::Personality::Lcc => DebuggerKind::LldbLike,
+        }
+    }
+}
+
+/// How a variable shows up in the frame at a stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// The variable is listed and its value can be displayed.
+    Available(i64),
+    /// The variable is listed but its value cannot be produced
+    /// (`<optimized out>`).
+    OptimizedOut,
+}
+
+/// One variable of a frame listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarView {
+    /// Source-level name.
+    pub name: String,
+    /// Whether a value could be displayed.
+    pub availability: Availability,
+}
+
+/// One debugger stop: the first time a source line is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineStop {
+    /// The source line.
+    pub line: u32,
+    /// The breakpoint address.
+    pub address: u64,
+    /// Name of the function whose frame is shown.
+    pub function: String,
+    /// The frame's variable listing.
+    pub variables: Vec<VarView>,
+}
+
+/// Status of a named variable at a line, as the conjecture checkers consume
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// The variable is not listed in the frame at all.
+    NotVisible,
+    /// Listed but `<optimized out>`.
+    OptimizedOut,
+    /// Listed with a value.
+    Available(i64),
+}
+
+impl VarStatus {
+    /// Rank used by Conjecture 3: availability may only decay.
+    pub fn rank(self) -> u8 {
+        match self {
+            VarStatus::NotVisible => 0,
+            VarStatus::OptimizedOut => 1,
+            VarStatus::Available(_) => 2,
+        }
+    }
+
+    /// Whether a value is displayed.
+    pub fn is_available(self) -> bool {
+        matches!(self, VarStatus::Available(_))
+    }
+}
+
+/// A whole debugging session: one stop per executed steppable line.
+#[derive(Debug, Clone, Default)]
+pub struct DebugTrace {
+    /// Stops in execution order.
+    pub stops: Vec<LineStop>,
+    /// All steppable lines of the executable (whether executed or not).
+    pub steppable_lines: Vec<u32>,
+    /// Lines that were actually reached, mapped to their stop index.
+    pub reached: BTreeMap<u32, usize>,
+}
+
+impl DebugTrace {
+    /// The stop for a line, if the line was reached.
+    pub fn stop_at(&self, line: u32) -> Option<&LineStop> {
+        self.reached.get(&line).map(|&i| &self.stops[i])
+    }
+
+    /// Status of a variable at a line (see [`VarStatus`]); `None` when the
+    /// line was never reached.
+    pub fn var_at(&self, line: u32, name: &str) -> Option<VarStatus> {
+        let stop = self.stop_at(line)?;
+        Some(
+            stop.variables
+                .iter()
+                .find(|v| v.name == name)
+                .map(|v| match v.availability {
+                    Availability::Available(value) => VarStatus::Available(value),
+                    Availability::OptimizedOut => VarStatus::OptimizedOut,
+                })
+                .unwrap_or(VarStatus::NotVisible),
+        )
+    }
+
+    /// Number of distinct lines reached.
+    pub fn lines_reached(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// Number of available variables at a line (0 when not reached).
+    pub fn available_count(&self, line: u32) -> usize {
+        self.stop_at(line)
+            .map(|s| {
+                s.variables
+                    .iter()
+                    .filter(|v| matches!(v.availability, Availability::Available(_)))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Debug an executable: place one-shot breakpoints on every steppable line,
+/// run to completion, and record the frame at each first hit.
+pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
+    let steppable = executable.debug.line_table.steppable_lines();
+    let mut breakpoints: HashSet<u64> = steppable
+        .iter()
+        .filter_map(|&line| executable.debug.line_table.first_address_of_line(line))
+        .collect();
+    let mut address_to_line: BTreeMap<u64, u32> = BTreeMap::new();
+    for &line in &steppable {
+        if let Some(addr) = executable.debug.line_table.first_address_of_line(line) {
+            address_to_line.entry(addr).or_insert(line);
+        }
+    }
+    let mut machine = Machine::new(&executable.machine);
+    let mut trace = DebugTrace {
+        stops: Vec::new(),
+        steppable_lines: steppable,
+        reached: BTreeMap::new(),
+    };
+    loop {
+        match machine.run(&breakpoints) {
+            StopReason::Breakpoint { address } => {
+                breakpoints.remove(&address);
+                let line = address_to_line
+                    .get(&address)
+                    .copied()
+                    .or_else(|| executable.debug.line_table.line_for_address(address))
+                    .unwrap_or(0);
+                let stop = inspect_frame(&executable.debug, &machine, kind, address, line);
+                let index = trace.stops.len();
+                trace.reached.entry(line).or_insert(index);
+                trace.stops.push(stop);
+            }
+            StopReason::Finished { .. } | StopReason::Error(_) => break,
+        }
+    }
+    trace
+}
+
+/// Build the frame listing at a stop.
+fn inspect_frame(
+    debug: &DebugInfo,
+    machine: &Machine<'_>,
+    kind: DebuggerKind,
+    address: u64,
+    line: u32,
+) -> LineStop {
+    let mut variables = Vec::new();
+    let mut function = String::new();
+    if let Some(subprogram) = debug.subprogram_at(address) {
+        function = debug.die(subprogram).name().unwrap_or("?").to_owned();
+        let mut dies: Vec<(DieId, bool)> = debug
+            .data_dies_in_scope(subprogram, address)
+            .into_iter()
+            .map(|d| (d, false))
+            .collect();
+        if let Some(inlined) = debug.innermost_inlined_at(subprogram, address) {
+            for die in debug.data_dies_in_scope(inlined, address) {
+                dies.push((die, true));
+            }
+        }
+        for (die, in_inlined) in dies {
+            let entry = debug.die(die);
+            let Some(name) = entry.name() else { continue };
+            let availability = resolve_variable(debug, machine, kind, die, in_inlined, address);
+            variables.push(VarView {
+                name: name.to_owned(),
+                availability,
+            });
+        }
+    }
+    LineStop {
+        line,
+        address,
+        function,
+        variables,
+    }
+}
+
+/// Resolve one variable DIE to a value, honouring the personality quirks.
+fn resolve_variable(
+    debug: &DebugInfo,
+    machine: &Machine<'_>,
+    kind: DebuggerKind,
+    die: DieId,
+    in_inlined_scope: bool,
+    address: u64,
+) -> Availability {
+    let entry = debug.die(die);
+    if let Some(AttrValue::Signed(c)) = entry.attr(Attr::ConstValue) {
+        return Availability::Available(*c);
+    }
+    let mut loclist = entry.attr(Attr::Location).and_then(AttrValue::as_loclist);
+    // Follow the abstract origin when the concrete DIE has no location of its
+    // own — unless we are the lldb-like debugger looking at an inlined
+    // variable (the paper's lldb bug 50076).
+    let origin_entry;
+    if loclist.is_none() {
+        if let Some(AttrValue::Ref(origin)) = entry.attr(Attr::AbstractOrigin) {
+            if kind == DebuggerKind::LldbLike && in_inlined_scope {
+                return Availability::OptimizedOut;
+            }
+            origin_entry = debug.die(*origin);
+            if let Some(AttrValue::Signed(c)) = origin_entry.attr(Attr::ConstValue) {
+                return Availability::Available(*c);
+            }
+            loclist = origin_entry.attr(Attr::Location).and_then(AttrValue::as_loclist);
+        }
+    }
+    let Some(entries) = loclist else {
+        return Availability::OptimizedOut;
+    };
+    let location = match kind {
+        DebuggerKind::LldbLike => holes_debuginfo::location::lookup(entries, address),
+        DebuggerKind::GdbLike => gdb_lookup(entries, address),
+    };
+    match location {
+        Some(Location::ConstValue(c)) => Availability::Available(c),
+        Some(Location::Register(r)) => Availability::Available(machine.read_reg(r)),
+        Some(Location::FrameSlot(s)) => machine
+            .read_frame_slot(s)
+            .map(Availability::Available)
+            .unwrap_or(Availability::OptimizedOut),
+        Some(Location::GlobalAddress(addr)) => machine
+            .read_address(addr as i64)
+            .map(Availability::Available)
+            .unwrap_or(Availability::OptimizedOut),
+        Some(Location::Empty) | None => Availability::OptimizedOut,
+    }
+}
+
+/// The gdb-like location lookup: scanning stops at an empty range that
+/// precedes the covering entry (models gdb bug 28987).
+fn gdb_lookup(entries: &[LocListEntry], address: u64) -> Option<Location> {
+    for entry in entries {
+        if entry.is_empty_range() && entry.start <= address {
+            return None;
+        }
+        if entry.covers(address) {
+            return Some(entry.location);
+        }
+    }
+    None
+}
+
+/// Convenience: trace with the native debugger of the executable's compiler
+/// personality.
+pub fn native_trace(executable: &Executable) -> DebugTrace {
+    trace(executable, DebuggerKind::native_for(executable.config.personality))
+}
+
+/// List the variables whose DIEs exist somewhere in the executable's debug
+/// information (regardless of location); used by tests and examples.
+pub fn die_variable_names(debug: &DebugInfo) -> Vec<String> {
+    debug
+        .iter()
+        .filter(|(_, d)| d.tag == DieTag::Variable || d.tag == DieTag::FormalParameter)
+        .filter_map(|(_, d)| d.name().map(str::to_owned))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_compiler::{compile, CompilerConfig, OptLevel, Personality};
+    use holes_minic::ast::{BinOp, Expr, LValue, Program, Stmt, Ty, VarRef};
+    use holes_minic::build::ProgramBuilder;
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let arr = b.global_array("a", Ty::I32, false, vec![3], vec![5, 6, 7]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(4))));
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(3))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(g),
+                    Expr::index(VarRef::Global(arr), vec![Expr::local(i)]),
+                )],
+            ),
+        );
+        b.push(main, Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]));
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        p
+    }
+
+    #[test]
+    fn o0_trace_reaches_lines_and_shows_all_variables() {
+        let p = sample_program();
+        let exe = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O0));
+        let t = trace(&exe, DebuggerKind::GdbLike);
+        assert!(t.lines_reached() >= 4);
+        // At the sink call line, both x and i must be available.
+        let sink_line = *t.reached.keys().max().unwrap();
+        let x = t.var_at(sink_line, "x");
+        assert!(matches!(x, Some(VarStatus::Available(4))), "{x:?}");
+        assert!(t.var_at(sink_line, "i").unwrap().is_available());
+    }
+
+    #[test]
+    fn defect_free_optimized_trace_keeps_conjecture_variables_available() {
+        let p = sample_program();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for level in personality.levels() {
+                let cfg = CompilerConfig::new(personality, *level).without_defects();
+                let exe = compile(&p, &cfg);
+                let t = trace(&exe, DebuggerKind::native_for(personality));
+                let sink_line = *t.reached.keys().max().unwrap();
+                assert!(
+                    t.var_at(sink_line, "x").unwrap().is_available(),
+                    "{personality} {level}: x not available at the call"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traces_differ_between_o0_and_optimized_for_line_counts() {
+        let p = sample_program();
+        let o0 = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O0));
+        let o3 = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O3));
+        let t0 = trace(&o0, DebuggerKind::GdbLike);
+        let t3 = trace(&o3, DebuggerKind::GdbLike);
+        assert!(t3.lines_reached() <= t0.lines_reached());
+    }
+
+    #[test]
+    fn var_status_ranks_are_ordered() {
+        assert!(VarStatus::Available(1).rank() > VarStatus::OptimizedOut.rank());
+        assert!(VarStatus::OptimizedOut.rank() > VarStatus::NotVisible.rank());
+    }
+
+    #[test]
+    fn gdb_lookup_stops_at_empty_ranges() {
+        let entries = vec![
+            LocListEntry::new(10, 10, Location::Register(0)),
+            LocListEntry::new(10, 20, Location::Register(1)),
+        ];
+        assert_eq!(gdb_lookup(&entries, 12), None);
+        assert_eq!(
+            holes_debuginfo::location::lookup(&entries, 12),
+            Some(Location::Register(1))
+        );
+    }
+
+    #[test]
+    fn native_debugger_pairing() {
+        assert_eq!(DebuggerKind::native_for(Personality::Ccg), DebuggerKind::GdbLike);
+        assert_eq!(DebuggerKind::native_for(Personality::Lcc), DebuggerKind::LldbLike);
+    }
+
+    #[test]
+    fn unreached_lines_have_no_stop() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::if_stmt(
+                Expr::lit(0),
+                vec![Stmt::assign(LValue::global(g), Expr::lit(1))],
+                vec![],
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let exe = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O0));
+        let t = trace(&exe, DebuggerKind::GdbLike);
+        // The then-branch line exists in the line table but is never reached.
+        assert!(t.steppable_lines.len() > t.lines_reached());
+    }
+}

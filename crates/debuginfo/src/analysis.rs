@@ -1,0 +1,220 @@
+//! DIE-level completeness analysis.
+//!
+//! §5.3 of the paper divides its 35 compiler-related issues into four
+//! categories according to how the variable's DIE looks at the violating
+//! program point: *Missing DIE*, *Hollow DIE*, *Incomplete DIE* and
+//! *Incorrect DIE*. [`categorize_variable`] reproduces that classification;
+//! the campaign pipeline uses it to generate the "DWARF analysis" column of
+//! Table 3.
+
+use crate::die::{Attr, AttrValue, DebugInfo, DieId, DieTag};
+use crate::location::{self, Location};
+
+/// The DIE-level manifestation of a completeness problem (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DieCategory {
+    /// No DIE for the variable exists in the scope at the program point.
+    MissingDie,
+    /// A DIE exists but carries neither a location nor a constant value.
+    HollowDie,
+    /// A DIE with a location exists but the location list does not cover the
+    /// program point's address.
+    IncompleteDie,
+    /// A DIE with a covering location exists: the information is there, so if
+    /// the debugger still cannot display the value, either the DIE content or
+    /// the debugger's interpretation of it is wrong.
+    Covered,
+}
+
+impl std::fmt::Display for DieCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            DieCategory::MissingDie => "Missing DIE",
+            DieCategory::HollowDie => "Hollow DIE",
+            DieCategory::IncompleteDie => "Incomplete DIE",
+            DieCategory::Covered => "Covered DIE",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Classify the DIE of variable `name` at address `address`.
+///
+/// The lookup searches the subprogram covering `address`, its lexical blocks
+/// covering the address, and any inlined subroutines covering it (both the
+/// concrete instance's children and — like gdb does — the abstract origin's
+/// children).
+pub fn categorize_variable(info: &DebugInfo, name: &str, address: u64) -> DieCategory {
+    let Some(subprogram) = info.subprogram_at(address) else {
+        return DieCategory::MissingDie;
+    };
+    let mut candidates: Vec<DieId> = info
+        .data_dies_in_scope(subprogram, address)
+        .into_iter()
+        .filter(|id| info.die(*id).name() == Some(name))
+        .collect();
+    // Search inlined instances covering the address, merging abstract and
+    // concrete children (the most permissive, gdb-and-lldb union view).
+    if let Some(inlined) = info.innermost_inlined_at(subprogram, address) {
+        for id in info.data_dies_in_scope(inlined, address) {
+            if info.die(id).name() == Some(name) {
+                candidates.push(id);
+            }
+        }
+        if let Some(AttrValue::Ref(origin)) = info.die(inlined).attr(Attr::AbstractOrigin) {
+            for id in info.data_dies_in_scope(*origin, address) {
+                if info.die(id).name() == Some(name) {
+                    candidates.push(id);
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return DieCategory::MissingDie;
+    }
+    let mut best = DieCategory::MissingDie;
+    for id in candidates {
+        let category = categorize_die(info, id, address);
+        if rank(category) > rank(best) {
+            best = category;
+        }
+    }
+    best
+}
+
+/// Classify one specific data DIE at an address.
+pub fn categorize_die(info: &DebugInfo, die: DieId, address: u64) -> DieCategory {
+    let entry = info.die(die);
+    debug_assert!(entry.tag.is_data() || entry.tag == DieTag::Variable);
+    if entry.attr(Attr::ConstValue).is_some() {
+        return DieCategory::Covered;
+    }
+    let mut resolved = entry.attr(Attr::Location).and_then(AttrValue::as_loclist);
+    // A concrete inlined variable may omit its own location and defer to the
+    // abstract origin.
+    let origin_die;
+    if resolved.is_none() {
+        if let Some(AttrValue::Ref(origin)) = entry.attr(Attr::AbstractOrigin) {
+            origin_die = info.die(*origin);
+            if origin_die.attr(Attr::ConstValue).is_some() {
+                return DieCategory::Covered;
+            }
+            resolved = origin_die.attr(Attr::Location).and_then(AttrValue::as_loclist);
+        }
+    }
+    match resolved {
+        None => DieCategory::HollowDie,
+        Some(entries) if entries.is_empty() => DieCategory::HollowDie,
+        Some(entries) => match location::lookup(entries, address) {
+            Some(Location::Empty) | None => DieCategory::IncompleteDie,
+            Some(_) => DieCategory::Covered,
+        },
+    }
+}
+
+fn rank(category: DieCategory) -> u8 {
+    match category {
+        DieCategory::MissingDie => 0,
+        DieCategory::HollowDie => 1,
+        DieCategory::IncompleteDie => 2,
+        DieCategory::Covered => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::LocListEntry;
+
+    fn base_info() -> (DebugInfo, DieId) {
+        let mut info = DebugInfo::new("t.c");
+        let sub = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(sub, Attr::Name, AttrValue::Text("main".into()));
+        info.set_attr(sub, Attr::LowPc, AttrValue::Addr(0x100));
+        info.set_attr(sub, Attr::HighPc, AttrValue::Addr(0x200));
+        (info, sub)
+    }
+
+    #[test]
+    fn missing_die_when_variable_absent() {
+        let (info, _) = base_info();
+        assert_eq!(categorize_variable(&info, "x", 0x110), DieCategory::MissingDie);
+    }
+
+    #[test]
+    fn missing_die_when_no_subprogram_covers_pc() {
+        let (info, _) = base_info();
+        assert_eq!(categorize_variable(&info, "x", 0x900), DieCategory::MissingDie);
+    }
+
+    #[test]
+    fn hollow_die_without_location_or_const() {
+        let (mut info, sub) = base_info();
+        let var = info.add_die(sub, DieTag::Variable);
+        info.set_attr(var, Attr::Name, AttrValue::Text("x".into()));
+        assert_eq!(categorize_variable(&info, "x", 0x110), DieCategory::HollowDie);
+    }
+
+    #[test]
+    fn incomplete_die_when_range_does_not_cover() {
+        let (mut info, sub) = base_info();
+        let var = info.add_die(sub, DieTag::Variable);
+        info.set_attr(var, Attr::Name, AttrValue::Text("x".into()));
+        info.set_attr(
+            var,
+            Attr::Location,
+            AttrValue::LocList(vec![LocListEntry::new(0x100, 0x108, Location::Register(1))]),
+        );
+        assert_eq!(
+            categorize_variable(&info, "x", 0x150),
+            DieCategory::IncompleteDie
+        );
+        assert_eq!(categorize_variable(&info, "x", 0x104), DieCategory::Covered);
+    }
+
+    #[test]
+    fn const_value_attribute_is_covered() {
+        let (mut info, sub) = base_info();
+        let var = info.add_die(sub, DieTag::Variable);
+        info.set_attr(var, Attr::Name, AttrValue::Text("k".into()));
+        info.set_attr(var, Attr::ConstValue, AttrValue::Signed(3));
+        assert_eq!(categorize_variable(&info, "k", 0x110), DieCategory::Covered);
+    }
+
+    #[test]
+    fn abstract_origin_location_is_honoured() {
+        let (mut info, sub) = base_info();
+        // Abstract instance of an inlined callee with the variable's location.
+        let abstract_sub = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(abstract_sub, Attr::Name, AttrValue::Text("callee".into()));
+        let abstract_var = info.add_die(abstract_sub, DieTag::Variable);
+        info.set_attr(abstract_var, Attr::Name, AttrValue::Text("a".into()));
+        info.set_attr(abstract_var, Attr::ConstValue, AttrValue::Signed(4));
+        // Concrete inlined instance inside main, whose child refers to the
+        // abstract origin but has no location of its own.
+        let inlined = info.add_die(sub, DieTag::InlinedSubroutine);
+        info.set_attr(inlined, Attr::LowPc, AttrValue::Addr(0x140));
+        info.set_attr(inlined, Attr::HighPc, AttrValue::Addr(0x150));
+        info.set_attr(inlined, Attr::AbstractOrigin, AttrValue::Ref(abstract_sub));
+        let concrete_var = info.add_die(inlined, DieTag::Variable);
+        info.set_attr(concrete_var, Attr::Name, AttrValue::Text("a".into()));
+        info.set_attr(concrete_var, Attr::AbstractOrigin, AttrValue::Ref(abstract_var));
+        assert_eq!(categorize_variable(&info, "a", 0x145), DieCategory::Covered);
+    }
+
+    #[test]
+    fn empty_location_range_is_incomplete() {
+        let (mut info, sub) = base_info();
+        let var = info.add_die(sub, DieTag::Variable);
+        info.set_attr(var, Attr::Name, AttrValue::Text("x".into()));
+        info.set_attr(
+            var,
+            Attr::Location,
+            AttrValue::LocList(vec![LocListEntry::new(0x100, 0x180, Location::Empty)]),
+        );
+        assert_eq!(
+            categorize_variable(&info, "x", 0x110),
+            DieCategory::IncompleteDie
+        );
+    }
+}

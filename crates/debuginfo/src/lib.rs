@@ -1,0 +1,43 @@
+//! A DWARF-modelled debug information format.
+//!
+//! The paper analyses real DWARF: debug information entries (DIEs) with
+//! `DW_AT_location` location lists and `DW_AT_const_value` attributes, the
+//! line table, and the abstract/concrete representations of inlined
+//! subroutines. This crate reproduces exactly those entities so that:
+//!
+//! * the compiler (`holes-compiler`) can *emit* them,
+//! * the debugger (`holes-debugger`) can *consume* them, including the
+//!   personality quirks behind the paper's gdb and lldb bugs,
+//! * the analysis in [`analysis`] can classify a variable's DIE at a program
+//!   point into the paper's four completeness categories (*Missing*,
+//!   *Hollow*, *Incomplete*, *Incorrect* — Table 3).
+//!
+//! # Example
+//!
+//! ```
+//! use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieTag, LineRow, Location};
+//!
+//! let mut info = DebugInfo::new("example.c");
+//! let sub = info.add_die(info.root(), DieTag::Subprogram);
+//! info.set_attr(sub, Attr::Name, AttrValue::Text("main".into()));
+//! info.set_attr(sub, Attr::LowPc, AttrValue::Addr(0x1000));
+//! info.set_attr(sub, Attr::HighPc, AttrValue::Addr(0x1040));
+//! let var = info.add_die(sub, DieTag::Variable);
+//! info.set_attr(var, Attr::Name, AttrValue::Text("x".into()));
+//! info.set_attr(var, Attr::ConstValue, AttrValue::Signed(7));
+//! info.line_table.push(LineRow { address: 0x1000, line: 3, is_stmt: true });
+//! assert_eq!(info.subprogram_at(0x1002), Some(sub));
+//! let _ = Location::Register(0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod die;
+pub mod line_table;
+pub mod location;
+
+pub use analysis::{categorize_variable, DieCategory};
+pub use die::{Attr, AttrValue, DebugInfo, Die, DieId, DieTag};
+pub use line_table::{LineRow, LineTable};
+pub use location::{LocListEntry, Location};

@@ -1,0 +1,110 @@
+//! Variable locations and location lists (the model of `DW_AT_location`).
+
+/// Where a variable's value can be found at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// The value lives in a machine register of the current frame.
+    Register(u8),
+    /// The value lives in a stack slot of the current frame.
+    FrameSlot(u32),
+    /// The value lives at an absolute (global) memory address.
+    GlobalAddress(u64),
+    /// The value is the given compile-time constant (models a
+    /// `DW_OP_constu`-style location expression; distinct from the
+    /// `DW_AT_const_value` attribute but equivalent for availability).
+    ConstValue(i64),
+    /// The location expression is present but empty: the variable is
+    /// explicitly optimized out over this range.
+    Empty,
+}
+
+impl Location {
+    /// Whether a debugger can produce a value from this location.
+    pub fn yields_value(self) -> bool {
+        !matches!(self, Location::Empty)
+    }
+}
+
+/// One entry of a location list: a half-open address range `[start, end)`
+/// during which the variable can be found at `location`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocListEntry {
+    /// First address covered.
+    pub start: u64,
+    /// One past the last address covered.
+    pub end: u64,
+    /// Where the variable lives over the range.
+    pub location: Location,
+}
+
+impl LocListEntry {
+    /// Create an entry.
+    pub fn new(start: u64, end: u64, location: Location) -> LocListEntry {
+        LocListEntry {
+            start,
+            end,
+            location,
+        }
+    }
+
+    /// Whether the entry covers an address. Entries with `start == end` are
+    /// empty ranges; real DWARF permits them and the paper's gdb bug 28987
+    /// came from a debugger mishandling exactly that case.
+    pub fn covers(&self, address: u64) -> bool {
+        self.start <= address && address < self.end
+    }
+
+    /// Whether the entry is an empty range.
+    pub fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Find the location covering `address` in a location list, if any.
+pub fn lookup(entries: &[LocListEntry], address: u64) -> Option<Location> {
+    entries
+        .iter()
+        .find(|e| e.covers(address))
+        .map(|e| e.location)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_half_open() {
+        let e = LocListEntry::new(10, 20, Location::Register(1));
+        assert!(e.covers(10));
+        assert!(e.covers(19));
+        assert!(!e.covers(20));
+        assert!(!e.covers(9));
+    }
+
+    #[test]
+    fn empty_ranges_cover_nothing() {
+        let e = LocListEntry::new(10, 10, Location::Register(1));
+        assert!(e.is_empty_range());
+        assert!(!e.covers(10));
+    }
+
+    #[test]
+    fn lookup_finds_first_covering_entry() {
+        let entries = vec![
+            LocListEntry::new(0, 10, Location::Register(0)),
+            LocListEntry::new(10, 20, Location::ConstValue(5)),
+            LocListEntry::new(20, 30, Location::Empty),
+        ];
+        assert_eq!(lookup(&entries, 5), Some(Location::Register(0)));
+        assert_eq!(lookup(&entries, 15), Some(Location::ConstValue(5)));
+        assert_eq!(lookup(&entries, 25), Some(Location::Empty));
+        assert_eq!(lookup(&entries, 35), None);
+    }
+
+    #[test]
+    fn yields_value_distinguishes_empty() {
+        assert!(Location::Register(3).yields_value());
+        assert!(Location::ConstValue(0).yields_value());
+        assert!(!Location::Empty.yields_value());
+    }
+}

@@ -1,0 +1,756 @@
+//! The virtual machine: execution, stepping, breakpoints and state
+//! inspection.
+
+use std::collections::HashSet;
+
+use holes_minic::interp::{ExecOutcome, STACK_BASE};
+
+use crate::isa::{CallTarget, MAddr, MInst, MachineProgram, Operand, Reg, NUM_REGS};
+
+/// Default step budget; mirrors the reference interpreter's purpose of making
+/// non-termination observable.
+pub const DEFAULT_FUEL: u64 = 20_000_000;
+
+/// Why the machine stopped running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// A breakpoint address was reached (before executing the instruction).
+    Breakpoint {
+        /// The address that was hit.
+        address: u64,
+    },
+    /// The program finished; `main` returned the given value.
+    Finished {
+        /// Return value of the entry function.
+        return_value: i64,
+    },
+    /// Execution failed.
+    Error(MachineError),
+}
+
+/// Errors raised by the VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// A memory access hit an address outside every segment.
+    BadAddress(i64),
+    /// A branch target was outside the current function.
+    BadBranchTarget(u32),
+    /// A global element index was out of range.
+    GlobalIndexOutOfRange {
+        /// Global index.
+        global: u32,
+        /// Offending element index.
+        element: i64,
+    },
+    /// A frame slot index was out of range.
+    BadFrameSlot(u32),
+    /// Execution continued past the end of a function without a return.
+    FellOffEnd {
+        /// The function that ended without `Ret`.
+        function: String,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfFuel => write!(f, "machine exceeded its step budget"),
+            MachineError::BadAddress(a) => write!(f, "access to unmapped address {a:#x}"),
+            MachineError::BadBranchTarget(t) => write!(f, "branch to invalid target {t}"),
+            MachineError::GlobalIndexOutOfRange { global, element } => {
+                write!(f, "global {global} indexed out of range at element {element}")
+            }
+            MachineError::BadFrameSlot(s) => write!(f, "frame slot {s} out of range"),
+            MachineError::FellOffEnd { function } => {
+                write!(f, "function {function} ended without returning")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Outcome of running a program to completion, convertible to the reference
+/// interpreter's [`ExecOutcome`] for differential testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Arguments of each sink call, in call order.
+    pub sink_calls: Vec<Vec<i64>>,
+    /// Final value of every global, flattened, indexed by global id.
+    pub final_globals: Vec<Vec<i64>>,
+    /// Return value of the entry function.
+    pub return_value: i64,
+    /// Number of instructions executed.
+    pub steps: u64,
+}
+
+impl RunOutcome {
+    /// Compare against the reference interpreter's outcome (steps are not
+    /// compared: the instruction count legitimately differs from the
+    /// statement count).
+    pub fn matches(&self, reference: &ExecOutcome) -> bool {
+        self.sink_calls == reference.sink_calls
+            && self.final_globals == reference.final_globals
+            && self.return_value == reference.return_value
+    }
+}
+
+/// One call frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Index of the executing function.
+    pub function: u32,
+    /// Local instruction index (the next instruction to execute).
+    pub pc: u32,
+    /// Register file.
+    pub regs: [i64; NUM_REGS],
+    /// Base index of this frame's slots within the machine's stack memory.
+    pub slot_base: usize,
+    /// Number of slots owned by this frame.
+    pub slot_count: u32,
+    /// Caller register that receives the return value.
+    ret_reg: Option<Reg>,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p MachineProgram,
+    global_mem: Vec<i64>,
+    global_offsets: Vec<usize>,
+    stack_mem: Vec<i64>,
+    frames: Vec<Frame>,
+    sink_calls: Vec<Vec<i64>>,
+    steps: u64,
+    fuel: u64,
+    finished: Option<i64>,
+    error: Option<MachineError>,
+}
+
+impl<'p> Machine<'p> {
+    /// Create a machine ready to execute `program` from its entry function.
+    pub fn new(program: &'p MachineProgram) -> Machine<'p> {
+        Machine::with_fuel(program, DEFAULT_FUEL)
+    }
+
+    /// Create a machine with an explicit step budget.
+    pub fn with_fuel(program: &'p MachineProgram, fuel: u64) -> Machine<'p> {
+        let mut global_mem = Vec::new();
+        let mut global_offsets = Vec::with_capacity(program.globals.len());
+        for g in &program.globals {
+            global_offsets.push(global_mem.len());
+            global_mem.extend_from_slice(&g.init);
+        }
+        let mut machine = Machine {
+            program,
+            global_mem,
+            global_offsets,
+            stack_mem: Vec::new(),
+            frames: Vec::new(),
+            sink_calls: Vec::new(),
+            steps: 0,
+            fuel,
+            finished: None,
+            error: None,
+        };
+        machine.push_frame(program.entry, &[], None);
+        machine
+    }
+
+    fn push_frame(&mut self, function: u32, args: &[i64], ret_reg: Option<Reg>) {
+        let func = &self.program.functions[function as usize];
+        let slot_base = self.stack_mem.len();
+        self.stack_mem
+            .extend(std::iter::repeat(0).take(func.frame_slots as usize));
+        let mut regs = [0i64; NUM_REGS];
+        for (i, a) in args.iter().enumerate().take(NUM_REGS) {
+            regs[i] = *a;
+        }
+        self.frames.push(Frame {
+            function,
+            pc: 0,
+            regs,
+            slot_base,
+            slot_count: func.frame_slots,
+            ret_reg,
+        });
+    }
+
+    /// The current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program already finished (no frame exists).
+    pub fn current_frame(&self) -> &Frame {
+        self.frames.last().expect("machine has no active frame")
+    }
+
+    /// Depth of the call stack.
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The code address about to be executed, if the machine is still
+    /// running.
+    pub fn pc_address(&self) -> Option<u64> {
+        let frame = self.frames.last()?;
+        let func = &self.program.functions[frame.function as usize];
+        Some(func.address_of(frame.pc as usize))
+    }
+
+    /// Whether the program finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some() || self.error.is_some()
+    }
+
+    /// Read a register of the current frame.
+    pub fn read_reg(&self, reg: Reg) -> i64 {
+        self.current_frame().regs[reg as usize]
+    }
+
+    /// Read a frame slot of the current frame.
+    pub fn read_frame_slot(&self, slot: u32) -> Option<i64> {
+        let frame = self.frames.last()?;
+        if slot >= frame.slot_count {
+            return None;
+        }
+        self.stack_mem.get(frame.slot_base + slot as usize).copied()
+    }
+
+    /// Read one element of a global.
+    pub fn read_global(&self, global: u32, element: usize) -> Option<i64> {
+        let offset = *self.global_offsets.get(global as usize)?;
+        let size = self.program.globals[global as usize].elements;
+        if element >= size {
+            return None;
+        }
+        self.global_mem.get(offset + element).copied()
+    }
+
+    /// Read an absolute memory address (global segment or stack segment).
+    pub fn read_address(&self, address: i64) -> Option<i64> {
+        if address >= STACK_BASE {
+            let slot = ((address - STACK_BASE) / 8) as usize;
+            self.stack_mem.get(slot).copied()
+        } else if address >= holes_minic::interp::GLOBAL_BASE {
+            let elem = ((address - holes_minic::interp::GLOBAL_BASE) / 8) as usize;
+            self.global_mem.get(elem).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Arguments recorded by sink calls so far.
+    pub fn sink_calls(&self) -> &[Vec<i64>] {
+        &self.sink_calls
+    }
+
+    /// Run until a breakpoint, completion or error.
+    pub fn run(&mut self, breakpoints: &HashSet<u64>) -> StopReason {
+        loop {
+            if let Some(err) = &self.error {
+                return StopReason::Error(err.clone());
+            }
+            if let Some(ret) = self.finished {
+                return StopReason::Finished { return_value: ret };
+            }
+            if let Some(pc) = self.pc_address() {
+                if breakpoints.contains(&pc) {
+                    return StopReason::Breakpoint { address: pc };
+                }
+            }
+            if let Err(err) = self.step() {
+                self.error = Some(err.clone());
+                return StopReason::Error(err);
+            }
+        }
+    }
+
+    /// Run to completion ignoring breakpoints and produce the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine error if execution fails.
+    pub fn run_to_completion(mut self) -> Result<RunOutcome, MachineError> {
+        let empty = HashSet::new();
+        match self.run(&empty) {
+            StopReason::Finished { return_value } => {
+                let final_globals = self.final_globals();
+                Ok(RunOutcome {
+                    sink_calls: self.sink_calls,
+                    final_globals,
+                    return_value,
+                    steps: self.steps,
+                })
+            }
+            StopReason::Error(err) => Err(err),
+            StopReason::Breakpoint { .. } => unreachable!("no breakpoints were set"),
+        }
+    }
+
+    /// Snapshot of all globals, per global id.
+    pub fn final_globals(&self) -> Vec<Vec<i64>> {
+        self.program
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let offset = self.global_offsets[i];
+                self.global_mem[offset..offset + g.elements].to_vec()
+            })
+            .collect()
+    }
+
+    /// Execute a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if the instruction faults.
+    pub fn step(&mut self) -> Result<(), MachineError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            return Err(MachineError::OutOfFuel);
+        }
+        let Some(frame) = self.frames.last() else {
+            return Ok(());
+        };
+        let func_index = frame.function as usize;
+        let pc = frame.pc as usize;
+        let func = &self.program.functions[func_index];
+        let Some(inst) = func.code.get(pc).cloned() else {
+            return Err(MachineError::FellOffEnd {
+                function: func.name.clone(),
+            });
+        };
+        // Default: advance to next instruction; control flow overrides.
+        self.frames.last_mut().expect("frame exists").pc = (pc + 1) as u32;
+        match inst {
+            MInst::Nop => {}
+            MInst::LoadImm { dst, value } => self.write_reg(dst, value),
+            MInst::Mov { dst, src } => {
+                let v = self.operand(src);
+                self.write_reg(dst, v);
+            }
+            MInst::Bin { op, dst, lhs, rhs } => {
+                let l = self.operand(lhs);
+                let r = self.operand(rhs);
+                self.write_reg(dst, op.eval(l, r));
+            }
+            MInst::Un { op, dst, src } => {
+                let v = self.operand(src);
+                self.write_reg(dst, op.eval(v));
+            }
+            MInst::Trunc { dst, bits, signed } => {
+                let ty = width_to_ty(bits, signed);
+                let v = self.read_reg_raw(dst);
+                self.write_reg(dst, ty.wrap(v));
+            }
+            MInst::Load { dst, addr } => {
+                let v = self.load(addr)?;
+                self.write_reg(dst, v);
+            }
+            MInst::Store { addr, src } => {
+                let v = self.operand(src);
+                self.store(addr, v)?;
+            }
+            MInst::Lea { dst, addr } => {
+                let a = self.effective_address(addr)?;
+                self.write_reg(dst, a);
+            }
+            MInst::Jump { target } => self.branch(target)?,
+            MInst::BranchZero { cond, target } => {
+                if self.read_reg_raw(cond) == 0 {
+                    self.branch(target)?;
+                }
+            }
+            MInst::BranchNonZero { cond, target } => {
+                if self.read_reg_raw(cond) != 0 {
+                    self.branch(target)?;
+                }
+            }
+            MInst::Call { target, args, ret } => {
+                let values: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
+                match target {
+                    CallTarget::Sink => {
+                        self.sink_calls.push(values);
+                        if let Some(r) = ret {
+                            self.write_reg(r, 0);
+                        }
+                    }
+                    CallTarget::Function(f) => {
+                        self.push_frame(f, &values, ret);
+                    }
+                }
+            }
+            MInst::Ret { value } => {
+                let v = value.map(|op| self.operand(op)).unwrap_or(0);
+                let frame = self.frames.pop().expect("ret with no frame");
+                if let Some(caller) = self.frames.last_mut() {
+                    if let Some(r) = frame.ret_reg {
+                        caller.regs[r as usize] = v;
+                    }
+                } else {
+                    self.finished = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn branch(&mut self, target: u32) -> Result<(), MachineError> {
+        let frame = self.frames.last_mut().expect("branch with no frame");
+        let func = &self.program.functions[frame.function as usize];
+        if (target as usize) > func.code.len() {
+            return Err(MachineError::BadBranchTarget(target));
+        }
+        frame.pc = target;
+        Ok(())
+    }
+
+    fn operand(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.read_reg_raw(r),
+            Operand::Imm(v) => v,
+            Operand::Slot(slot) => {
+                let frame = self.frames.last().expect("no frame");
+                self.stack_mem
+                    .get(frame.slot_base + slot as usize)
+                    .copied()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    fn read_reg_raw(&self, reg: Reg) -> i64 {
+        self.frames.last().expect("no frame").regs[reg as usize]
+    }
+
+    fn write_reg(&mut self, reg: Reg, value: i64) {
+        self.frames.last_mut().expect("no frame").regs[reg as usize] = value;
+    }
+
+    fn effective_address(&self, addr: MAddr) -> Result<i64, MachineError> {
+        match addr {
+            MAddr::Global { global, index, disp } => {
+                let base = self.program.global_base_address(global);
+                let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0);
+                Ok(base + (idx + disp as i64) * 8)
+            }
+            MAddr::Frame { slot } => {
+                let frame = self.frames.last().expect("no frame");
+                if slot >= frame.slot_count {
+                    return Err(MachineError::BadFrameSlot(slot));
+                }
+                Ok(STACK_BASE + (frame.slot_base + slot as usize) as i64 * 8)
+            }
+            MAddr::Indirect { reg } => Ok(self.read_reg_raw(reg)),
+        }
+    }
+
+    fn load(&self, addr: MAddr) -> Result<i64, MachineError> {
+        match addr {
+            MAddr::Global { global, index, disp } => {
+                let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0) + disp as i64;
+                let size = self
+                    .program
+                    .globals
+                    .get(global as usize)
+                    .map(|g| g.elements)
+                    .unwrap_or(0);
+                if idx < 0 || idx as usize >= size {
+                    return Err(MachineError::GlobalIndexOutOfRange {
+                        global,
+                        element: idx,
+                    });
+                }
+                Ok(self.global_mem[self.global_offsets[global as usize] + idx as usize])
+            }
+            MAddr::Frame { slot } => {
+                let frame = self.frames.last().expect("no frame");
+                if slot >= frame.slot_count {
+                    return Err(MachineError::BadFrameSlot(slot));
+                }
+                Ok(self.stack_mem[frame.slot_base + slot as usize])
+            }
+            MAddr::Indirect { reg } => {
+                let address = self.read_reg_raw(reg);
+                self.read_address(address)
+                    .ok_or(MachineError::BadAddress(address))
+            }
+        }
+    }
+
+    fn store(&mut self, addr: MAddr, value: i64) -> Result<(), MachineError> {
+        match addr {
+            MAddr::Global { global, index, disp } => {
+                let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0) + disp as i64;
+                let slot = &self.program.globals[global as usize];
+                if idx < 0 || idx as usize >= slot.elements {
+                    return Err(MachineError::GlobalIndexOutOfRange {
+                        global,
+                        element: idx,
+                    });
+                }
+                let ty = width_to_ty(slot.bits, slot.signed);
+                self.global_mem[self.global_offsets[global as usize] + idx as usize] =
+                    ty.wrap(value);
+                Ok(())
+            }
+            MAddr::Frame { slot } => {
+                let frame = self.frames.last().expect("no frame");
+                if slot >= frame.slot_count {
+                    return Err(MachineError::BadFrameSlot(slot));
+                }
+                let index = frame.slot_base + slot as usize;
+                self.stack_mem[index] = value;
+                Ok(())
+            }
+            MAddr::Indirect { reg } => {
+                let address = self.read_reg_raw(reg);
+                self.store_address(address, value)
+            }
+        }
+    }
+
+    fn store_address(&mut self, address: i64, value: i64) -> Result<(), MachineError> {
+        if address >= STACK_BASE {
+            let slot = ((address - STACK_BASE) / 8) as usize;
+            if let Some(cell) = self.stack_mem.get_mut(slot) {
+                *cell = value;
+                return Ok(());
+            }
+            return Err(MachineError::BadAddress(address));
+        }
+        if address >= holes_minic::interp::GLOBAL_BASE {
+            let elem = ((address - holes_minic::interp::GLOBAL_BASE) / 8) as usize;
+            // Find which global owns the element so the store wraps correctly.
+            for (i, g) in self.program.globals.iter().enumerate() {
+                let offset = self.global_offsets[i];
+                if elem >= offset && elem < offset + g.elements {
+                    let ty = width_to_ty(g.bits, g.signed);
+                    self.global_mem[elem] = ty.wrap(value);
+                    return Ok(());
+                }
+            }
+        }
+        Err(MachineError::BadAddress(address))
+    }
+}
+
+fn width_to_ty(bits: u32, signed: bool) -> holes_minic::ast::Ty {
+    use holes_minic::ast::Ty;
+    match (bits, signed) {
+        (8, true) => Ty::I8,
+        (16, true) => Ty::I16,
+        (32, true) => Ty::I32,
+        (8, false) => Ty::U8,
+        (16, false) => Ty::U16,
+        (32, false) => Ty::U32,
+        (64, false) => Ty::U64,
+        _ => Ty::I64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{GlobalSlot, MFunction, MachineProgram, TEXT_BASE};
+    use holes_minic::ast::BinOp;
+
+    fn one_function_program(code: Vec<MInst>, globals: Vec<GlobalSlot>) -> MachineProgram {
+        MachineProgram {
+            functions: vec![MFunction {
+                name: "main".into(),
+                code,
+                frame_slots: 2,
+                base_address: TEXT_BASE,
+            }],
+            globals,
+            entry: 0,
+        }
+    }
+
+    fn int_global(name: &str, init: i64) -> GlobalSlot {
+        GlobalSlot {
+            name: name.into(),
+            elements: 1,
+            init: vec![init],
+            bits: 32,
+            signed: true,
+            volatile: false,
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 20 },
+                MInst::LoadImm { dst: 1, value: 22 },
+                MInst::Bin { op: BinOp::Add, dst: 2, lhs: Operand::Reg(0), rhs: Operand::Reg(1) },
+                MInst::Ret { value: Some(Operand::Reg(2)) },
+            ],
+            vec![],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 42);
+        assert_eq!(outcome.steps, 4);
+    }
+
+    #[test]
+    fn global_load_store_and_wrapping() {
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 300 },
+                MInst::Store { addr: MAddr::Global { global: 0, index: None, disp: 0 }, src: Operand::Reg(0) },
+                MInst::Load { dst: 1, addr: MAddr::Global { global: 0, index: None, disp: 0 } },
+                MInst::Ret { value: Some(Operand::Reg(1)) },
+            ],
+            vec![GlobalSlot { name: "g".into(), elements: 1, init: vec![0], bits: 8, signed: false, volatile: false }],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 44);
+        assert_eq!(outcome.final_globals, vec![vec![44]]);
+    }
+
+    #[test]
+    fn loops_with_branches() {
+        // sum = 0; for (i = 0; i < 5; i++) sum += i; return sum;
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 0 },          // i
+                MInst::LoadImm { dst: 1, value: 0 },          // sum
+                // header (index 2)
+                MInst::Bin { op: BinOp::Lt, dst: 2, lhs: Operand::Reg(0), rhs: Operand::Imm(5) },
+                MInst::BranchZero { cond: 2, target: 7 },
+                MInst::Bin { op: BinOp::Add, dst: 1, lhs: Operand::Reg(1), rhs: Operand::Reg(0) },
+                MInst::Bin { op: BinOp::Add, dst: 0, lhs: Operand::Reg(0), rhs: Operand::Imm(1) },
+                MInst::Jump { target: 2 },
+                MInst::Ret { value: Some(Operand::Reg(1)) },
+            ],
+            vec![],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 10);
+    }
+
+    #[test]
+    fn sink_calls_are_recorded() {
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 7 },
+                MInst::Call { target: CallTarget::Sink, args: vec![Operand::Reg(0), Operand::Imm(9)], ret: None },
+                MInst::Ret { value: None },
+            ],
+            vec![],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.sink_calls, vec![vec![7, 9]]);
+    }
+
+    #[test]
+    fn function_calls_pass_arguments_and_return() {
+        let callee = MFunction {
+            name: "add1".into(),
+            code: vec![
+                MInst::Bin { op: BinOp::Add, dst: 0, lhs: Operand::Reg(0), rhs: Operand::Imm(1) },
+                MInst::Ret { value: Some(Operand::Reg(0)) },
+            ],
+            frame_slots: 0,
+            base_address: MachineProgram::default_base_address(1),
+        };
+        let main = MFunction {
+            name: "main".into(),
+            code: vec![
+                MInst::Call { target: CallTarget::Function(1), args: vec![Operand::Imm(41)], ret: Some(3) },
+                MInst::Ret { value: Some(Operand::Reg(3)) },
+            ],
+            frame_slots: 0,
+            base_address: MachineProgram::default_base_address(0),
+        };
+        let prog = MachineProgram { functions: vec![main, callee], globals: vec![], entry: 0 };
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 42);
+    }
+
+    #[test]
+    fn breakpoints_stop_before_execution() {
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 1 },
+                MInst::LoadImm { dst: 1, value: 2 },
+                MInst::Ret { value: Some(Operand::Reg(1)) },
+            ],
+            vec![],
+        );
+        let mut machine = Machine::new(&prog);
+        let mut breaks = HashSet::new();
+        breaks.insert(TEXT_BASE + 1);
+        match machine.run(&breaks) {
+            StopReason::Breakpoint { address } => assert_eq!(address, TEXT_BASE + 1),
+            other => panic!("expected breakpoint, got {other:?}"),
+        }
+        assert_eq!(machine.read_reg(0), 1);
+        assert_eq!(machine.read_reg(1), 0, "instruction at breakpoint not yet executed");
+        // Resume without the breakpoint.
+        breaks.clear();
+        match machine.run(&breaks) {
+            StopReason::Finished { return_value } => assert_eq!(return_value, 2),
+            other => panic!("expected finish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lea_and_indirect_access() {
+        let prog = one_function_program(
+            vec![
+                MInst::Lea { dst: 0, addr: MAddr::Global { global: 0, index: None, disp: 0 } },
+                MInst::Store { addr: MAddr::Indirect { reg: 0 }, src: Operand::Imm(55) },
+                MInst::Load { dst: 1, addr: MAddr::Indirect { reg: 0 } },
+                MInst::Ret { value: Some(Operand::Reg(1)) },
+            ],
+            vec![int_global("g", 3)],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 55);
+        assert_eq!(outcome.final_globals, vec![vec![55]]);
+    }
+
+    #[test]
+    fn frame_slots_are_addressable() {
+        let prog = one_function_program(
+            vec![
+                MInst::Store { addr: MAddr::Frame { slot: 1 }, src: Operand::Imm(13) },
+                MInst::Lea { dst: 0, addr: MAddr::Frame { slot: 1 } },
+                MInst::Load { dst: 2, addr: MAddr::Indirect { reg: 0 } },
+                MInst::Ret { value: Some(Operand::Reg(2)) },
+            ],
+            vec![],
+        );
+        let outcome = Machine::new(&prog).run_to_completion().unwrap();
+        assert_eq!(outcome.return_value, 13);
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        let prog = one_function_program(vec![MInst::Jump { target: 0 }], vec![]);
+        let err = Machine::with_fuel(&prog, 100).run_to_completion().unwrap_err();
+        assert_eq!(err, MachineError::OutOfFuel);
+    }
+
+    #[test]
+    fn out_of_bounds_global_index_is_reported() {
+        let prog = one_function_program(
+            vec![
+                MInst::LoadImm { dst: 0, value: 5 },
+                MInst::Load { dst: 1, addr: MAddr::Global { global: 0, index: Some(0), disp: 0 } },
+                MInst::Ret { value: None },
+            ],
+            vec![int_global("g", 0)],
+        );
+        let err = Machine::new(&prog).run_to_completion().unwrap_err();
+        assert!(matches!(err, MachineError::GlobalIndexOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,330 @@
+//! Instruction set and program container for the register VM.
+
+use holes_minic::ast::{BinOp, UnOp};
+
+/// Number of general-purpose registers in a frame.
+pub const NUM_REGS: usize = 12;
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// Address stride between consecutive functions: each function occupies at
+/// most this many instruction slots.
+pub const FUNCTION_STRIDE: u64 = 0x1000;
+
+/// A register index (0 .. [`NUM_REGS`]).
+pub type Reg = u8;
+
+/// Either a register, an immediate, or a frame-slot operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i64),
+    /// Frame-slot operand (spilled values, mostly used for call arguments).
+    Slot(u32),
+}
+
+/// A memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MAddr {
+    /// Element of a global: the address is
+    /// `global_base(index) + (index_reg? * 8) + disp * 8`.
+    Global {
+        /// Index of the global in the program's global table.
+        global: u32,
+        /// Optional register holding a flattened element index.
+        index: Option<Reg>,
+        /// Constant element displacement.
+        disp: u32,
+    },
+    /// A slot of the current frame (address-taken locals and spills).
+    Frame {
+        /// Slot index within the frame.
+        slot: u32,
+    },
+    /// The address is held in a register (pointer dereference).
+    Indirect {
+        /// Register holding the absolute address.
+        reg: Reg,
+    },
+}
+
+/// Target of a call instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A function of the same program, by index.
+    Function(u32),
+    /// The opaque external sink: records its arguments as an observable
+    /// effect and returns 0.
+    Sink,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MInst {
+    /// `dst <- imm`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst <- src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst <- lhs <op> rhs` (wrapping arithmetic, comparisons yield 0/1).
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst <- <op> src`.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        src: Operand,
+    },
+    /// Truncate `dst` in place to `bits`, sign- or zero-extending.
+    Trunc {
+        /// Register truncated in place.
+        dst: Reg,
+        /// Width in bits.
+        bits: u32,
+        /// Whether to sign-extend.
+        signed: bool,
+    },
+    /// `dst <- memory[addr]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Memory address.
+        addr: MAddr,
+    },
+    /// `memory[addr] <- src`.
+    Store {
+        /// Memory address.
+        addr: MAddr,
+        /// Stored operand.
+        src: Operand,
+    },
+    /// `dst <- address-of(addr)`.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Memory address whose absolute value is computed.
+        addr: MAddr,
+    },
+    /// Unconditional branch to a local instruction index.
+    Jump {
+        /// Target instruction index within the same function.
+        target: u32,
+    },
+    /// Branch to `target` when the register is zero.
+    BranchZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index within the same function.
+        target: u32,
+    },
+    /// Branch to `target` when the register is non-zero.
+    BranchNonZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index within the same function.
+        target: u32,
+    },
+    /// Call a function or the sink. Arguments are passed as operands and
+    /// received by the callee in registers `0..args.len()`.
+    Call {
+        /// Call target.
+        target: CallTarget,
+        /// Argument operands, evaluated in the caller's frame.
+        args: Vec<Operand>,
+        /// Register receiving the return value, if used.
+        ret: Option<Reg>,
+    },
+    /// Return from the current function.
+    Ret {
+        /// Returned operand, if any.
+        value: Option<Operand>,
+    },
+    /// No operation (used by passes to blank out instructions without
+    /// renumbering).
+    Nop,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MFunction {
+    /// Function name.
+    pub name: String,
+    /// Instructions.
+    pub code: Vec<MInst>,
+    /// Number of frame slots (address-taken locals and spills).
+    pub frame_slots: u32,
+    /// Base code address of the function.
+    pub base_address: u64,
+}
+
+impl MFunction {
+    /// The code address of instruction `index`.
+    pub fn address_of(&self, index: usize) -> u64 {
+        self.base_address + index as u64
+    }
+
+    /// The `[low, high)` address range of the function.
+    pub fn pc_range(&self) -> (u64, u64) {
+        (self.base_address, self.base_address + self.code.len() as u64)
+    }
+}
+
+/// A global variable as laid out in the VM's data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSlot {
+    /// Name (for diagnostics).
+    pub name: String,
+    /// Number of scalar elements.
+    pub elements: usize,
+    /// Initial values (length `elements`).
+    pub init: Vec<i64>,
+    /// Bit width of each element.
+    pub bits: u32,
+    /// Whether elements are signed.
+    pub signed: bool,
+    /// Whether the global is volatile.
+    pub volatile: bool,
+}
+
+/// A complete machine program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineProgram {
+    /// Functions; `entry` indexes into this vector.
+    pub functions: Vec<MFunction>,
+    /// Globals.
+    pub globals: Vec<GlobalSlot>,
+    /// Index of the entry function (`main`).
+    pub entry: u32,
+}
+
+impl MachineProgram {
+    /// Compute the default base address for function `index`.
+    pub fn default_base_address(index: usize) -> u64 {
+        TEXT_BASE + index as u64 * FUNCTION_STRIDE
+    }
+
+    /// Find the function containing a code address.
+    pub fn function_at(&self, address: u64) -> Option<(u32, &MFunction)> {
+        self.functions.iter().enumerate().find_map(|(i, f)| {
+            let (lo, hi) = f.pc_range();
+            if lo <= address && address < hi {
+                Some((i as u32, f))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Base data address of global `index` (shares the scheme of the MiniC
+    /// reference interpreter so pointer values agree).
+    pub fn global_base_address(&self, index: u32) -> i64 {
+        let mut offset = 0i64;
+        for g in &self.globals[..index as usize] {
+            offset += g.elements as i64;
+        }
+        holes_minic::interp::GLOBAL_BASE + offset * 8
+    }
+
+    /// Total number of instructions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_address_ranges() {
+        let f = MFunction {
+            name: "main".into(),
+            code: vec![MInst::Nop, MInst::Ret { value: None }],
+            frame_slots: 0,
+            base_address: TEXT_BASE,
+        };
+        assert_eq!(f.address_of(1), TEXT_BASE + 1);
+        assert_eq!(f.pc_range(), (TEXT_BASE, TEXT_BASE + 2));
+    }
+
+    #[test]
+    fn function_lookup_by_address() {
+        let prog = MachineProgram {
+            functions: vec![
+                MFunction {
+                    name: "a".into(),
+                    code: vec![MInst::Ret { value: None }],
+                    frame_slots: 0,
+                    base_address: MachineProgram::default_base_address(0),
+                },
+                MFunction {
+                    name: "b".into(),
+                    code: vec![MInst::Nop, MInst::Ret { value: None }],
+                    frame_slots: 0,
+                    base_address: MachineProgram::default_base_address(1),
+                },
+            ],
+            globals: vec![],
+            entry: 0,
+        };
+        assert_eq!(prog.function_at(TEXT_BASE).map(|(i, _)| i), Some(0));
+        assert_eq!(
+            prog.function_at(TEXT_BASE + FUNCTION_STRIDE + 1).map(|(i, _)| i),
+            Some(1)
+        );
+        assert_eq!(prog.function_at(TEXT_BASE + 500), None);
+    }
+
+    #[test]
+    fn global_base_addresses_are_cumulative() {
+        let prog = MachineProgram {
+            functions: vec![],
+            globals: vec![
+                GlobalSlot {
+                    name: "g0".into(),
+                    elements: 3,
+                    init: vec![0, 0, 0],
+                    bits: 32,
+                    signed: true,
+                    volatile: false,
+                },
+                GlobalSlot {
+                    name: "g1".into(),
+                    elements: 1,
+                    init: vec![0],
+                    bits: 32,
+                    signed: true,
+                    volatile: false,
+                },
+            ],
+            entry: 0,
+        };
+        let base0 = prog.global_base_address(0);
+        let base1 = prog.global_base_address(1);
+        assert_eq!(base1 - base0, 24);
+        assert_eq!(base0, holes_minic::interp::GLOBAL_BASE);
+    }
+}

@@ -1,0 +1,28 @@
+//! A small register virtual machine — the reproduction's execution target.
+//!
+//! The paper compiles its test programs for x86_64 and runs them under a
+//! debugger. Our optimizing compiler targets this VM instead: a register
+//! machine with
+//!
+//! * [`NUM_REGS`] general-purpose registers per frame,
+//! * per-function stack frames with addressable slots,
+//! * a flat global memory segment shared with the MiniC reference
+//!   interpreter's address scheme (so pointer values observable through the
+//!   opaque `sink` call agree between the two),
+//! * a `sink` pseudo-call that records its arguments (the opaque external
+//!   function the paper links against its test programs).
+//!
+//! The VM supports single-stepping, address-based breakpoints and full state
+//! inspection, which is what the source-level debugger in `holes-debugger`
+//! drives.
+
+#![forbid(unsafe_code)]
+
+pub mod exec;
+pub mod isa;
+
+pub use exec::{Machine, MachineError, RunOutcome, StopReason};
+pub use isa::{
+    CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineProgram, Operand, Reg, FUNCTION_STRIDE,
+    NUM_REGS, TEXT_BASE,
+};

@@ -1,0 +1,291 @@
+//! Detection of canonical loop induction variables.
+//!
+//! The paper's Conjecture 2 treats loop induction variables that index global
+//! memory as "unalterable": the optimizer cannot change their value sequence
+//! without changing which memory cells are touched. We recognize the
+//! canonical `for (i = C0; i <cmp> C1; i = i + C2)` shape that both the
+//! generator and the paper's examples use.
+
+use crate::ast::{BinOp, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt, StmtKind};
+
+/// A loop with a recognized induction variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopIv {
+    /// Function containing the loop.
+    pub function: FunctionId,
+    /// Line of the `for (...)` header.
+    pub header_line: u32,
+    /// The induction variable.
+    pub var: LocalId,
+    /// Initial value, when the initializer is a literal.
+    pub start: Option<i64>,
+    /// Loop bound, when the condition compares against a literal.
+    pub bound: Option<i64>,
+    /// Step added each iteration, when the step is `i = i + literal`.
+    pub step: Option<i64>,
+    /// Lines of statements inside the loop body (recursively).
+    pub body_lines: Vec<u32>,
+    /// Nesting depth (0 for outermost loops).
+    pub depth: usize,
+}
+
+impl LoopIv {
+    /// Whether a line lies inside the loop body (header excluded).
+    pub fn contains_line(&self, line: u32) -> bool {
+        self.body_lines.contains(&line)
+    }
+}
+
+/// Find every canonical induction variable in the program.
+pub fn induction_variables(program: &Program) -> Vec<LoopIv> {
+    let mut out = Vec::new();
+    for (id, func) in program.functions_with_ids() {
+        walk(func, id, &func.body, 0, &mut out);
+    }
+    out
+}
+
+fn walk(func: &Function, id: FunctionId, stmts: &[Stmt], depth: usize, out: &mut Vec<LoopIv>) {
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::For {
+                init, cond, step, body,
+            } => {
+                if let Some(iv) = recognize(stmt.line, id, init.as_deref(), cond.as_ref(), step.as_deref(), body, depth)
+                {
+                    out.push(iv);
+                }
+                walk(func, id, body, depth + 1, out);
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk(func, id, then_branch, depth, out);
+                walk(func, id, else_branch, depth, out);
+            }
+            StmtKind::Block(body) => walk(func, id, body, depth, out),
+            _ => {}
+        }
+    }
+}
+
+fn assigned_local(stmt: &Stmt) -> Option<(LocalId, &crate::ast::Expr)> {
+    match &stmt.kind {
+        StmtKind::Assign {
+            target: LValue::Var(crate::ast::VarRef::Local(l)),
+            value,
+        } => Some((*l, value)),
+        StmtKind::Decl {
+            local,
+            init: Some(value),
+        } => Some((*local, value)),
+        _ => None,
+    }
+}
+
+fn recognize(
+    header_line: u32,
+    function: FunctionId,
+    init: Option<&Stmt>,
+    cond: Option<&crate::ast::Expr>,
+    step: Option<&Stmt>,
+    body: &[Stmt],
+    depth: usize,
+) -> Option<LoopIv> {
+    let (iv, init_expr) = assigned_local(init?)?;
+    let start = match init_expr.kind {
+        ExprKind::Lit(v) => Some(v),
+        _ => None,
+    };
+    // Condition must compare the induction variable against something.
+    let bound = match &cond?.kind {
+        ExprKind::Binary(op, lhs, rhs)
+            if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Ne | BinOp::Gt | BinOp::Ge) =>
+        {
+            match (&lhs.kind, &rhs.kind) {
+                (ExprKind::Var(crate::ast::VarRef::Local(l)), ExprKind::Lit(b)) if *l == iv => {
+                    Some(*b)
+                }
+                (ExprKind::Var(crate::ast::VarRef::Local(l)), _) if *l == iv => None,
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    // Step must be `iv = iv + lit` (or `iv - lit`).
+    let (step_var, step_expr) = assigned_local(step?)?;
+    if step_var != iv {
+        return None;
+    }
+    let step_val = match &step_expr.kind {
+        ExprKind::Binary(BinOp::Add, lhs, rhs) => match (&lhs.kind, &rhs.kind) {
+            (ExprKind::Var(crate::ast::VarRef::Local(l)), ExprKind::Lit(s)) if *l == iv => Some(*s),
+            _ => None,
+        },
+        ExprKind::Binary(BinOp::Sub, lhs, rhs) => match (&lhs.kind, &rhs.kind) {
+            (ExprKind::Var(crate::ast::VarRef::Local(l)), ExprKind::Lit(s)) if *l == iv => {
+                Some(-*s)
+            }
+            _ => None,
+        },
+        _ => None,
+    };
+    let mut body_lines = Vec::new();
+    collect_lines(body, &mut body_lines);
+    Some(LoopIv {
+        function,
+        header_line,
+        var: iv,
+        start,
+        bound,
+        step: step_val,
+        body_lines,
+        depth,
+    })
+}
+
+fn collect_lines(stmts: &[Stmt], out: &mut Vec<u32>) {
+    for stmt in stmts {
+        out.push(stmt.line);
+        match &stmt.kind {
+            StmtKind::For { body, .. } => collect_lines(body, out),
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_lines(then_branch, out);
+                collect_lines(else_branch, out);
+            }
+            StmtKind::Block(body) => collect_lines(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Ty, VarRef};
+    use crate::build::ProgramBuilder;
+
+    fn canonical_loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", Ty::I32, false, vec![4], vec![1, 2, 3, 4]);
+        let c = b.global("c", Ty::I32, true, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(4))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(c),
+                    Expr::index(VarRef::Global(a), vec![Expr::local(i)]),
+                )],
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        p
+    }
+
+    #[test]
+    fn canonical_loop_is_recognized() {
+        let p = canonical_loop_program();
+        let ivs = induction_variables(&p);
+        assert_eq!(ivs.len(), 1);
+        let iv = &ivs[0];
+        assert_eq!(iv.var, LocalId(0));
+        assert_eq!(iv.start, Some(0));
+        assert_eq!(iv.bound, Some(4));
+        assert_eq!(iv.step, Some(1));
+        assert_eq!(iv.depth, 0);
+        assert_eq!(iv.body_lines.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_yield_multiple_ivs_with_depth() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", Ty::I32, false, vec![2, 3], vec![0; 6]);
+        let c = b.global("c", Ty::I32, true, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        let j = b.local(main, "j", Ty::I32);
+        let inner = Stmt::for_loop(
+            Some(Stmt::assign(LValue::local(j), Expr::lit(0))),
+            Some(Expr::binary(BinOp::Lt, Expr::local(j), Expr::lit(3))),
+            Some(Stmt::assign(
+                LValue::local(j),
+                Expr::binary(BinOp::Add, Expr::local(j), Expr::lit(1)),
+            )),
+            vec![Stmt::assign(
+                LValue::global(c),
+                Expr::index(VarRef::Global(a), vec![Expr::local(i), Expr::local(j)]),
+            )],
+        );
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(2))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![inner],
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ivs = induction_variables(&p);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs.iter().filter(|iv| iv.depth == 0).count(), 1);
+        assert_eq!(ivs.iter().filter(|iv| iv.depth == 1).count(), 1);
+    }
+
+    #[test]
+    fn non_canonical_loop_is_ignored() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        // step multiplies instead of adding: not canonical
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(1))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(100))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Mul, Expr::local(i), Expr::lit(2)),
+                )),
+                vec![Stmt::assign(LValue::global(g), Expr::local(i))],
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let ivs = induction_variables(&p);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, None, "non-unit multiplicative step is not canonical");
+    }
+
+    #[test]
+    fn contains_line_matches_body() {
+        let p = canonical_loop_program();
+        let ivs = induction_variables(&p);
+        let body_line = ivs[0].body_lines[0];
+        assert!(ivs[0].contains_line(body_line));
+        assert!(!ivs[0].contains_line(ivs[0].header_line));
+    }
+}

@@ -1,0 +1,275 @@
+//! Conservative source-level liveness ("used later") information.
+//!
+//! Conjecture 2 only expects an *unalterable* constituent variable to be
+//! available if "the program may use it later" — otherwise the optimizer is
+//! entitled to reuse its storage while computing the assignment. We compute a
+//! conservative approximation: a local is *live after* line `L` when it has a
+//! syntactic read at a line greater than `L`, or when `L` lies inside a loop
+//! whose body (or header) also reads the variable — the loop back edge makes
+//! earlier reads reachable again.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{
+    Expr, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, VarRef,
+};
+
+/// Whether a use of a variable is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseKind {
+    /// The variable's value is read.
+    Read,
+    /// The variable is assigned.
+    Write,
+}
+
+/// Read/write line information for every local of every function, plus loop
+/// extents used to account for back edges.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessInfo {
+    reads: BTreeMap<(FunctionId, LocalId), Vec<u32>>,
+    writes: BTreeMap<(FunctionId, LocalId), Vec<u32>>,
+    /// `(header_line, body_lines)` of every loop, per function.
+    loops: BTreeMap<FunctionId, Vec<(u32, Vec<u32>)>>,
+}
+
+impl LivenessInfo {
+    /// Compute liveness information for a program with assigned lines.
+    pub fn compute(program: &Program) -> LivenessInfo {
+        let mut info = LivenessInfo::default();
+        for (id, func) in program.functions_with_ids() {
+            collect_stmts(id, &func.body, &mut info);
+        }
+        for lines in info.reads.values_mut().chain(info.writes.values_mut()) {
+            lines.sort_unstable();
+            lines.dedup();
+        }
+        info
+    }
+
+    /// Lines at which `local` is read in `function`.
+    pub fn read_lines(&self, function: FunctionId, local: LocalId) -> &[u32] {
+        self.reads
+            .get(&(function, local))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Lines at which `local` is written (declarations with initializers and
+    /// assignments) in `function`.
+    pub fn write_lines(&self, function: FunctionId, local: LocalId) -> &[u32] {
+        self.writes
+            .get(&(function, local))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Conservative "may be used after `line`" check (see module docs).
+    pub fn live_after(&self, function: FunctionId, local: LocalId, line: u32) -> bool {
+        let reads = self.read_lines(function, local);
+        if reads.iter().any(|&r| r > line) {
+            return true;
+        }
+        // Back edges: if `line` is inside a loop that also reads the local
+        // anywhere in its body or header, the value may be needed again.
+        if let Some(loops) = self.loops.get(&function) {
+            for (header, body) in loops {
+                let in_loop = body.contains(&line) || *header == line;
+                if in_loop
+                    && reads
+                        .iter()
+                        .any(|r| body.contains(r) || r == header)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn collect_stmts(func: FunctionId, stmts: &[Stmt], info: &mut LivenessInfo) {
+    for stmt in stmts {
+        collect_stmt(func, stmt, info);
+    }
+}
+
+fn record(map: &mut BTreeMap<(FunctionId, LocalId), Vec<u32>>, func: FunctionId, local: LocalId, line: u32) {
+    map.entry((func, local)).or_default().push(line);
+}
+
+fn record_expr_reads(func: FunctionId, expr: &Expr, line: u32, info: &mut LivenessInfo) {
+    for var in expr.reads() {
+        if let VarRef::Local(l) = var {
+            record(&mut info.reads, func, l, line);
+        }
+    }
+}
+
+fn collect_stmt(func: FunctionId, stmt: &Stmt, info: &mut LivenessInfo) {
+    match &stmt.kind {
+        StmtKind::Decl { local, init } => {
+            if let Some(e) = init {
+                record_expr_reads(func, e, stmt.line, info);
+                record(&mut info.writes, func, *local, stmt.line);
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            record_expr_reads(func, value, stmt.line, info);
+            match target {
+                LValue::Var(VarRef::Local(l)) => record(&mut info.writes, func, *l, stmt.line),
+                LValue::Var(VarRef::Global(_)) => {}
+                LValue::Index { base, indices } => {
+                    if let VarRef::Local(l) = base {
+                        record(&mut info.reads, func, *l, stmt.line);
+                    }
+                    for idx in indices {
+                        record_expr_reads(func, idx, stmt.line, info);
+                    }
+                }
+                LValue::Deref(v) => {
+                    if let VarRef::Local(l) = v {
+                        record(&mut info.reads, func, *l, stmt.line);
+                    }
+                }
+            }
+        }
+        StmtKind::For {
+            init, cond, step, body,
+        } => {
+            if let Some(s) = init {
+                collect_stmt(func, s, info);
+            }
+            if let Some(c) = cond {
+                record_expr_reads(func, c, stmt.line, info);
+            }
+            if let Some(s) = step {
+                collect_stmt(func, s, info);
+            }
+            collect_stmts(func, body, info);
+            let mut body_lines = vec![stmt.line];
+            collect_lines(body, &mut body_lines);
+            info.loops.entry(func).or_default().push((stmt.line, body_lines));
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            record_expr_reads(func, cond, stmt.line, info);
+            collect_stmts(func, then_branch, info);
+            collect_stmts(func, else_branch, info);
+        }
+        StmtKind::Call { args, .. } => {
+            for a in args {
+                record_expr_reads(func, a, stmt.line, info);
+            }
+        }
+        StmtKind::Return(Some(e)) => record_expr_reads(func, e, stmt.line, info),
+        StmtKind::Block(body) => collect_stmts(func, body, info),
+        StmtKind::Return(None) | StmtKind::Goto(_) | StmtKind::Label(_) | StmtKind::Empty => {}
+    }
+}
+
+fn collect_lines(stmts: &[Stmt], out: &mut Vec<u32>) {
+    for stmt in stmts {
+        out.push(stmt.line);
+        match &stmt.kind {
+            StmtKind::For { body, .. } => collect_lines(body, out),
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_lines(then_branch, out);
+                collect_lines(else_branch, out);
+            }
+            StmtKind::Block(body) => collect_lines(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Ty};
+    use crate::build::ProgramBuilder;
+
+    fn program_with_loop() -> (Program, FunctionId, LocalId, LocalId) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, true, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(5))));
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(3))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(g),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::local(x)),
+                )],
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::local(x))));
+        let mut p = b.finish();
+        p.assign_lines();
+        (p, main, i, x)
+    }
+
+    #[test]
+    fn reads_and_writes_are_collected() {
+        let (p, main, i, x) = program_with_loop();
+        let info = LivenessInfo::compute(&p);
+        assert!(!info.read_lines(main, i).is_empty());
+        assert!(!info.write_lines(main, i).is_empty());
+        assert!(!info.read_lines(main, x).is_empty());
+        assert_eq!(info.write_lines(main, x).len(), 1);
+    }
+
+    #[test]
+    fn live_after_sees_later_reads() {
+        let (p, main, _i, x) = program_with_loop();
+        let info = LivenessInfo::compute(&p);
+        let decl_line = info.write_lines(main, x)[0];
+        // x is read in the loop and in the return statement.
+        assert!(info.live_after(main, x, decl_line));
+        let last_read = *info.read_lines(main, x).last().unwrap();
+        assert!(!info.live_after(main, x, last_read));
+    }
+
+    #[test]
+    fn live_after_accounts_for_loop_back_edges() {
+        let (p, main, i, _x) = program_with_loop();
+        let info = LivenessInfo::compute(&p);
+        // The store inside the loop body reads i; at that very line, i is
+        // still live because the loop iterates again.
+        let body_read = *info
+            .read_lines(main, i)
+            .iter()
+            .max()
+            .expect("i is read somewhere");
+        assert!(info.live_after(main, i, body_read));
+    }
+
+    #[test]
+    fn unused_local_is_never_live() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        let dead = b.local(main, "dead", Ty::I32);
+        b.push(main, Stmt::decl(dead, Some(Expr::lit(1))));
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let info = LivenessInfo::compute(&p);
+        assert!(!info.live_after(main, dead, 1));
+        assert!(info.read_lines(main, dead).is_empty());
+    }
+}

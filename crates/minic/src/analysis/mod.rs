@@ -1,0 +1,68 @@
+//! Source-level static analyses used by the conjecture checkers.
+//!
+//! The three conjectures of the paper are phrased over source constructs:
+//!
+//! * **Conjecture 1** needs the *opaque-call argument sites*: lines where a
+//!   plain program variable is passed to a call whose target the optimizer
+//!   cannot see ([`sites::opaque_call_sites`]).
+//! * **Conjecture 2** needs the *global-store sites*: lines assigning to
+//!   global storage through a non-simplifiable expression, together with the
+//!   classification of each constituent variable (constant-valued,
+//!   address-constant, or unalterable loop index) and whether it is live
+//!   afterwards ([`sites::global_store_sites`]).
+//! * **Conjecture 3** needs the *local assignment sites*: for every local
+//!   variable, the lines at which it is (re)assigned, which delimit the
+//!   variable instances whose availability may only decay
+//!   ([`sites::local_assignment_sites`]).
+//!
+//! Supporting analyses: [`induction`] detects canonical loop induction
+//! variables and loop line ranges; [`liveness`] computes a conservative
+//! "used at or after a line" relation.
+
+pub mod induction;
+pub mod liveness;
+pub mod sites;
+
+pub use induction::{induction_variables, LoopIv};
+pub use liveness::{LivenessInfo, UseKind};
+pub use sites::{
+    global_store_sites, local_assignment_sites, opaque_call_sites, Constituent, ConstituentKind,
+    GlobalStoreSite, LocalAssignmentSite, OpaqueCallSite,
+};
+
+use crate::ast::Program;
+
+/// All analysis results bundled together; computed once per program and
+/// shared by every conjecture checker and the reducer oracle.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Canonical loop induction variables.
+    pub loops: Vec<LoopIv>,
+    /// Liveness / use information.
+    pub liveness: LivenessInfo,
+    /// Conjecture 1 sites.
+    pub opaque_calls: Vec<OpaqueCallSite>,
+    /// Conjecture 2 sites.
+    pub global_stores: Vec<GlobalStoreSite>,
+    /// Conjecture 3 sites.
+    pub local_assignments: Vec<LocalAssignmentSite>,
+}
+
+impl ProgramAnalysis {
+    /// Run every analysis on a program whose lines have already been
+    /// assigned (see [`Program::assign_lines`]).
+    pub fn analyze(program: &Program) -> ProgramAnalysis {
+        let loops = induction_variables(program);
+        let liveness = LivenessInfo::compute(program);
+        let opaque_calls = opaque_call_sites(program);
+        let global_stores = global_store_sites(program, &loops, &liveness);
+        let local_assignments = local_assignment_sites(program);
+        ProgramAnalysis {
+            loops,
+            liveness,
+            opaque_calls,
+            global_stores,
+            local_assignments,
+        }
+    }
+}

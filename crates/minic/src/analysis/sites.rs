@@ -1,0 +1,513 @@
+//! Conjecture sites: the program points each conjecture is checked at.
+
+use crate::analysis::induction::LoopIv;
+use crate::analysis::liveness::LivenessInfo;
+use crate::ast::{
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, VarRef,
+};
+
+/// A Conjecture 1 site: a statement-level call to the opaque sink function
+/// with at least one plain variable argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueCallSite {
+    /// Function containing the call.
+    pub function: FunctionId,
+    /// Source line of the call.
+    pub line: u32,
+    /// Plain variable arguments (the conjecture applies to each of them).
+    pub arg_vars: Vec<VarRef>,
+}
+
+/// How a constituent variable of a global-store expression is classified for
+/// Conjecture 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstituentKind {
+    /// Every assignment to the variable in the function is a literal, so it
+    /// holds a compile-time constant (trivial to describe in debug info).
+    ConstantValued,
+    /// Every assignment takes the address of another variable; also a
+    /// compile-time constant from the optimizer's point of view.
+    AddressConstant,
+    /// A canonical loop induction variable used to index global storage: the
+    /// optimizer cannot alter its value sequence.
+    UnalterableIndex,
+}
+
+/// One constituent variable of a Conjecture 2 site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constituent {
+    /// The local variable.
+    pub var: LocalId,
+    /// Why the conjecture expects it to be available.
+    pub kind: ConstituentKind,
+    /// Whether the variable may be used after the store line.
+    pub live_after: bool,
+}
+
+/// A Conjecture 2 site: an assignment to global storage through a
+/// non-simplifiable expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalStoreSite {
+    /// Function containing the assignment.
+    pub function: FunctionId,
+    /// Source line of the assignment.
+    pub line: u32,
+    /// The constituents the conjecture expects to be available.
+    pub constituents: Vec<Constituent>,
+    /// Whether the right-hand side is trivially simplifiable (e.g. contains a
+    /// multiplication by literal zero); such sites are skipped by the checker.
+    pub simplifiable: bool,
+}
+
+/// A Conjecture 3 site: an assignment (or initialized declaration) of a local
+/// variable. Consecutive sites of the same variable delimit its instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAssignmentSite {
+    /// Function containing the assignment.
+    pub function: FunctionId,
+    /// The assigned local.
+    pub local: LocalId,
+    /// Source line of the assignment.
+    pub line: u32,
+}
+
+/// Collect Conjecture 1 sites: opaque calls with plain-variable arguments.
+pub fn opaque_call_sites(program: &Program) -> Vec<OpaqueCallSite> {
+    let mut out = Vec::new();
+    for (id, func) in program.functions_with_ids() {
+        walk_stmts(&func.body, &mut |stmt| {
+            if let StmtKind::Call {
+                callee: Callee::Opaque,
+                args,
+            } = &stmt.kind
+            {
+                let arg_vars: Vec<VarRef> = args
+                    .iter()
+                    .filter_map(|a| match a.kind {
+                        ExprKind::Var(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                if !arg_vars.is_empty() {
+                    out.push(OpaqueCallSite {
+                        function: id,
+                        line: stmt.line,
+                        arg_vars,
+                    });
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Collect Conjecture 2 sites.
+pub fn global_store_sites(
+    program: &Program,
+    loops: &[LoopIv],
+    liveness: &LivenessInfo,
+) -> Vec<GlobalStoreSite> {
+    let mut out = Vec::new();
+    for (id, func) in program.functions_with_ids() {
+        walk_stmts(&func.body, &mut |stmt| {
+            if let StmtKind::Assign { target, value } = &stmt.kind {
+                if !target.writes_global_storage() {
+                    return;
+                }
+                let mut reads: Vec<LocalId> = Vec::new();
+                for v in value.reads() {
+                    if let VarRef::Local(l) = v {
+                        reads.push(l);
+                    }
+                }
+                if let LValue::Index { indices, .. } = target {
+                    for idx in indices {
+                        for v in idx.reads() {
+                            if let VarRef::Local(l) = v {
+                                reads.push(l);
+                            }
+                        }
+                    }
+                }
+                reads.sort_unstable();
+                reads.dedup();
+                if reads.is_empty() {
+                    return;
+                }
+                let constituents: Vec<Constituent> = reads
+                    .into_iter()
+                    .filter_map(|local| {
+                        classify_constituent(func, id, local, stmt, loops).map(|kind| Constituent {
+                            var: local,
+                            kind,
+                            live_after: liveness.live_after(id, local, stmt.line),
+                        })
+                    })
+                    .collect();
+                if constituents.is_empty() {
+                    return;
+                }
+                out.push(GlobalStoreSite {
+                    function: id,
+                    line: stmt.line,
+                    constituents,
+                    simplifiable: is_trivially_simplifiable(value),
+                });
+            }
+        });
+    }
+    out
+}
+
+/// Collect Conjecture 3 sites: every assignment to a local variable.
+pub fn local_assignment_sites(program: &Program) -> Vec<LocalAssignmentSite> {
+    let mut out = Vec::new();
+    for (id, func) in program.functions_with_ids() {
+        walk_stmts(&func.body, &mut |stmt| match &stmt.kind {
+            StmtKind::Decl {
+                local,
+                init: Some(_),
+            } => out.push(LocalAssignmentSite {
+                function: id,
+                local: *local,
+                line: stmt.line,
+            }),
+            StmtKind::Assign {
+                target: LValue::Var(VarRef::Local(l)),
+                ..
+            } => out.push(LocalAssignmentSite {
+                function: id,
+                local: *l,
+                line: stmt.line,
+            }),
+            _ => {}
+        });
+        let _ = func;
+    }
+    out.sort_by_key(|s| (s.function, s.local, s.line));
+    out
+}
+
+/// Classify a constituent local, returning `None` when the conjecture makes
+/// no claim about it (e.g. an ordinary mutable temporary).
+fn classify_constituent(
+    func: &Function,
+    func_id: FunctionId,
+    local: LocalId,
+    stmt: &Stmt,
+    loops: &[LoopIv],
+) -> Option<ConstituentKind> {
+    // Induction variable used at a line inside its own loop body.
+    let is_iv_here = loops.iter().any(|iv| {
+        iv.function == func_id && iv.var == local && iv.contains_line(stmt.line)
+    });
+    if is_iv_here {
+        return Some(ConstituentKind::UnalterableIndex);
+    }
+    // Constant-valued: every write in the function is a literal (or addr-of).
+    let writes = collect_writes(func, local);
+    if writes.is_empty() {
+        return None;
+    }
+    if writes.iter().all(|e| matches!(e.kind, ExprKind::Lit(_))) {
+        return Some(ConstituentKind::ConstantValued);
+    }
+    if writes.iter().all(|e| matches!(e.kind, ExprKind::AddrOf(_))) {
+        return Some(ConstituentKind::AddressConstant);
+    }
+    None
+}
+
+/// Every expression assigned to `local` anywhere in the function.
+fn collect_writes(func: &Function, local: LocalId) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(stmts: &'a [Stmt], local: LocalId, out: &mut Vec<&'a Expr>) {
+        for stmt in stmts {
+            match &stmt.kind {
+                StmtKind::Decl { local: l, init: Some(e) } if *l == local => out.push(e),
+                StmtKind::Assign {
+                    target: LValue::Var(VarRef::Local(l)),
+                    value,
+                } if *l == local => out.push(value),
+                StmtKind::For {
+                    init, step, body, ..
+                } => {
+                    if let Some(s) = init {
+                        walk(std::slice::from_ref(s), local, out);
+                    }
+                    if let Some(s) = step {
+                        walk(std::slice::from_ref(s), local, out);
+                    }
+                    walk(body, local, out);
+                }
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, local, out);
+                    walk(else_branch, local, out);
+                }
+                StmtKind::Block(body) => walk(body, local, out),
+                _ => {}
+            }
+        }
+    }
+    walk(&func.body, local, &mut out);
+    out
+}
+
+/// A right-hand side is trivially simplifiable when a sub-expression
+/// multiplies or ANDs a variable with a literal zero: the optimizer may drop
+/// constituents without this being a defect (the paper excludes such sites).
+pub fn is_trivially_simplifiable(expr: &Expr) -> bool {
+    match &expr.kind {
+        ExprKind::Binary(op, lhs, rhs) => {
+            let zero = |e: &Expr| matches!(e.kind, ExprKind::Lit(0));
+            let simplifying_op = matches!(op, crate::ast::BinOp::Mul | crate::ast::BinOp::And);
+            (simplifying_op && (zero(lhs) || zero(rhs)))
+                || is_trivially_simplifiable(lhs)
+                || is_trivially_simplifiable(rhs)
+        }
+        ExprKind::Unary(_, inner) | ExprKind::Deref(inner) => is_trivially_simplifiable(inner),
+        ExprKind::Index { indices, .. } => indices.iter().any(is_trivially_simplifiable),
+        ExprKind::Call { args, .. } => args.iter().any(is_trivially_simplifiable),
+        _ => false,
+    }
+}
+
+/// Depth-first walk over all statements, visiting loop init/step too.
+fn walk_stmts(stmts: &[Stmt], visit: &mut impl FnMut(&Stmt)) {
+    for stmt in stmts {
+        visit(stmt);
+        match &stmt.kind {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                if let Some(s) = init {
+                    visit(s);
+                }
+                if let Some(s) = step {
+                    visit(s);
+                }
+                walk_stmts(body, visit);
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk_stmts(then_branch, visit);
+                walk_stmts(else_branch, visit);
+            }
+            StmtKind::Block(body) => walk_stmts(body, visit),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::induction::induction_variables;
+    use crate::ast::{BinOp, Ty};
+    use crate::build::ProgramBuilder;
+
+    /// Program modelled on the paper's Conjecture 2 example (§3.3): nested
+    /// loops writing a volatile global indexed by induction variables.
+    fn lsr_style_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", Ty::I32, false, vec![2, 4], (0..8).collect());
+        let c = b.global("c", Ty::I32, true, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        let j = b.local(main, "j", Ty::I32);
+        let inner = Stmt::for_loop(
+            Some(Stmt::assign(LValue::local(j), Expr::lit(0))),
+            Some(Expr::binary(BinOp::Lt, Expr::local(j), Expr::lit(4))),
+            Some(Stmt::assign(
+                LValue::local(j),
+                Expr::binary(BinOp::Add, Expr::local(j), Expr::lit(1)),
+            )),
+            vec![Stmt::assign(
+                LValue::global(c),
+                Expr::index(VarRef::Global(a), vec![Expr::local(i), Expr::local(j)]),
+            )],
+        );
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(2))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![inner],
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        p.assign_lines();
+        p
+    }
+
+    #[test]
+    fn opaque_call_sites_pick_plain_variables_only() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        let y = b.local(main, "y", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(1))));
+        b.push(main, Stmt::decl(y, Some(Expr::lit(2))));
+        b.push(
+            main,
+            Stmt::call_opaque(vec![
+                Expr::local(x),
+                Expr::binary(BinOp::Add, Expr::local(y), Expr::lit(1)),
+            ]),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let sites = opaque_call_sites(&p);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].arg_vars, vec![VarRef::Local(x)]);
+    }
+
+    #[test]
+    fn global_store_sites_classify_induction_variables() {
+        let p = lsr_style_program();
+        let loops = induction_variables(&p);
+        let liveness = LivenessInfo::compute(&p);
+        let sites = global_store_sites(&p, &loops, &liveness);
+        assert_eq!(sites.len(), 1);
+        let site = &sites[0];
+        assert!(!site.simplifiable);
+        assert_eq!(site.constituents.len(), 2);
+        assert!(site
+            .constituents
+            .iter()
+            .all(|c| c.kind == ConstituentKind::UnalterableIndex));
+        assert!(site.constituents.iter().all(|c| c.live_after));
+    }
+
+    #[test]
+    fn constant_valued_constituents_are_detected() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let k = b.local(main, "k", Ty::I32);
+        b.push(main, Stmt::decl(k, Some(Expr::lit(3))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(g),
+                Expr::binary(BinOp::Add, Expr::local(k), Expr::lit(1)),
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let loops = induction_variables(&p);
+        let liveness = LivenessInfo::compute(&p);
+        let sites = global_store_sites(&p, &loops, &liveness);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].constituents.len(), 1);
+        assert_eq!(sites[0].constituents[0].kind, ConstituentKind::ConstantValued);
+    }
+
+    #[test]
+    fn address_constants_are_detected() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("b", Ty::I32, false, vec![0]);
+        let out = b.global("out", Ty::I64, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let p1 = b.local(main, "v1", Ty::Ptr(&Ty::I32));
+        b.push(main, Stmt::decl(p1, Some(Expr::addr_of(VarRef::Global(g)))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(out),
+                Expr::binary(BinOp::Add, Expr::local(p1), Expr::lit(0)),
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut prog = b.finish();
+        prog.assign_lines();
+        let loops = induction_variables(&prog);
+        let liveness = LivenessInfo::compute(&prog);
+        let sites = global_store_sites(&prog, &loops, &liveness);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(
+            sites[0].constituents[0].kind,
+            ConstituentKind::AddressConstant
+        );
+    }
+
+    #[test]
+    fn simplifiable_expressions_are_flagged() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let v = b.local(main, "v", Ty::I32);
+        b.push(main, Stmt::decl(v, Some(Expr::lit(7))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(g),
+                Expr::binary(BinOp::And, Expr::local(v), Expr::lit(0)),
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let loops = induction_variables(&p);
+        let liveness = LivenessInfo::compute(&p);
+        let sites = global_store_sites(&p, &loops, &liveness);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].simplifiable);
+    }
+
+    #[test]
+    fn mutable_temporaries_are_not_constituents() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let h = b.global("h", Ty::I32, false, vec![9]);
+        let main = b.function("main", Ty::I32);
+        let t = b.local(main, "t", Ty::I32);
+        b.push(main, Stmt::decl(t, Some(Expr::global(h))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(g),
+                Expr::binary(BinOp::Add, Expr::local(t), Expr::lit(1)),
+            ),
+        );
+        b.push(main, Stmt::ret(None));
+        let mut p = b.finish();
+        p.assign_lines();
+        let loops = induction_variables(&p);
+        let liveness = LivenessInfo::compute(&p);
+        let sites = global_store_sites(&p, &loops, &liveness);
+        // t is assigned from a global read: not constant, not an induction
+        // variable, so the conjecture makes no claim and the site is dropped.
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn local_assignment_sites_are_ordered() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(1))));
+        b.push(main, Stmt::assign(LValue::local(x), Expr::lit(2)));
+        b.push(main, Stmt::ret(Some(Expr::local(x))));
+        let mut p = b.finish();
+        p.assign_lines();
+        let sites = local_assignment_sites(&p);
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].line < sites[1].line);
+        assert_eq!(sites[0].local, x);
+    }
+}

@@ -1,0 +1,661 @@
+//! Reference interpreter for MiniC.
+//!
+//! The interpreter executes the AST directly and records every externally
+//! visible effect: the arguments of every call to the opaque `sink` function,
+//! the final values of all globals, and `main`'s return value. The optimizing
+//! compiler in `holes-compiler` is differentially tested against this
+//! interpreter: for every generated program and every optimization level, the
+//! compiled executable must produce an identical [`ExecOutcome`].
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt,
+    StmtKind, VarRef,
+};
+
+/// Base address assigned to global storage.
+pub const GLOBAL_BASE: i64 = 0x1000_0000;
+/// Base address assigned to address-taken locals (the simulated stack).
+pub const STACK_BASE: i64 = 0x7000_0000;
+
+/// Everything externally observable about one program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Arguments of each `sink(...)` call, in call order.
+    pub sink_calls: Vec<Vec<i64>>,
+    /// Final value of every global, flattened row-major, indexed by global id.
+    pub final_globals: Vec<Vec<i64>>,
+    /// Return value of `main`.
+    pub return_value: i64,
+    /// Number of statements executed (a rough cost measure).
+    pub steps: u64,
+}
+
+/// Errors the interpreter can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step budget was exhausted; the program may not terminate.
+    OutOfFuel,
+    /// An array access was out of bounds (generated programs never do this;
+    /// hand-written ones might).
+    OutOfBounds {
+        /// Name of the array involved.
+        array: String,
+        /// The flattened index that was attempted.
+        index: i64,
+    },
+    /// A pointer dereference hit an address that maps to no storage.
+    WildPointer(i64),
+    /// A `goto` targeted a label that does not exist in the function.
+    UnknownLabel(u32),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "execution exceeded the step budget"),
+            ExecError::OutOfBounds { array, index } => {
+                write!(f, "out-of-bounds access to {array} at flattened index {index}")
+            }
+            ExecError::WildPointer(addr) => write!(f, "dereference of wild pointer {addr:#x}"),
+            ExecError::UnknownLabel(l) => write!(f, "goto to unknown label L{l}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What a statement told its enclosing block to do next.
+enum Flow {
+    Normal,
+    Return(i64),
+    Goto(u32),
+}
+
+/// The reference interpreter. Create one per execution.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    globals: Vec<Vec<i64>>,
+    global_base: Vec<i64>,
+    stack_mem: Vec<i64>,
+    sink_calls: Vec<Vec<i64>>,
+    steps: u64,
+    fuel: u64,
+}
+
+/// Default execution budget (statements). Generated programs stay far below
+/// this; it exists to make non-termination observable instead of hanging.
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+struct Frame<'f> {
+    func: &'f Function,
+    locals: Vec<i64>,
+    /// For address-taken locals: index into the interpreter's stack memory.
+    slots: HashMap<LocalId, usize>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Create an interpreter for a program with the default fuel.
+    pub fn new(program: &'p Program) -> Interpreter<'p> {
+        Interpreter::with_fuel(program, DEFAULT_FUEL)
+    }
+
+    /// Create an interpreter with an explicit step budget.
+    pub fn with_fuel(program: &'p Program, fuel: u64) -> Interpreter<'p> {
+        let mut global_base = Vec::with_capacity(program.globals.len());
+        let mut offset = 0i64;
+        for g in &program.globals {
+            global_base.push(GLOBAL_BASE + offset * 8);
+            offset += g.element_count() as i64;
+        }
+        Interpreter {
+            program,
+            globals: program.globals.iter().map(|g| g.init.clone()).collect(),
+            global_base,
+            stack_mem: Vec::new(),
+            sink_calls: Vec::new(),
+            steps: 0,
+            fuel,
+        }
+    }
+
+    /// Execute `main` and return the observable outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if the program runs out of fuel, performs an
+    /// out-of-bounds access, dereferences a wild pointer, or jumps to an
+    /// unknown label.
+    pub fn run(mut self) -> Result<ExecOutcome, ExecError> {
+        let main = self.program.main();
+        let ret = self.call_function(main, &[])?;
+        Ok(ExecOutcome {
+            sink_calls: self.sink_calls,
+            final_globals: self.globals,
+            return_value: ret,
+            steps: self.steps,
+        })
+    }
+
+    fn call_function(&mut self, id: FunctionId, args: &[i64]) -> Result<i64, ExecError> {
+        let func = self.program.function(id);
+        let mut locals = vec![0i64; func.locals.len()];
+        for (i, arg) in args.iter().enumerate().take(func.param_count) {
+            locals[i] = func.locals[i].ty.wrap(*arg);
+        }
+        let mut slots = HashMap::new();
+        for (i, local) in func.locals.iter().enumerate() {
+            if local.address_taken {
+                let slot = self.stack_mem.len();
+                self.stack_mem.push(locals[i]);
+                slots.insert(LocalId(i), slot);
+            }
+        }
+        let stack_watermark = self.stack_mem.len();
+        let mut frame = Frame { func, locals, slots };
+        let flow = self.exec_block(&mut frame, &func.body)?;
+        // Address-taken locals live in stack memory; frames are popped LIFO so
+        // truncation keeps addresses of live frames valid.
+        self.stack_mem.truncate(stack_watermark.min(self.stack_mem.len()));
+        match flow {
+            Flow::Return(v) => Ok(func.ret_ty.wrap(v)),
+            Flow::Normal => Ok(0),
+            Flow::Goto(l) => Err(ExecError::UnknownLabel(l)),
+        }
+    }
+
+    fn exec_block(&mut self, frame: &mut Frame<'_>, stmts: &[Stmt]) -> Result<Flow, ExecError> {
+        let mut index = 0usize;
+        while index < stmts.len() {
+            let stmt = &stmts[index];
+            match self.exec_stmt(frame, stmt)? {
+                Flow::Normal => index += 1,
+                Flow::Return(v) => return Ok(Flow::Return(v)),
+                Flow::Goto(label) => {
+                    // Labels are only generated at the top level of a function
+                    // body or the current block; search this block first.
+                    if let Some(pos) = stmts.iter().position(
+                        |s| matches!(s.kind, StmtKind::Label(l) if l == label),
+                    ) {
+                        index = pos + 1;
+                    } else {
+                        return Ok(Flow::Goto(label));
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn burn(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            Err(ExecError::OutOfFuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_stmt(&mut self, frame: &mut Frame<'_>, stmt: &Stmt) -> Result<Flow, ExecError> {
+        self.burn()?;
+        match &stmt.kind {
+            StmtKind::Decl { local, init } => {
+                let value = match init {
+                    Some(e) => self.eval(frame, e)?,
+                    None => 0,
+                };
+                self.write_local(frame, *local, value);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.eval(frame, value)?;
+                self.write_lvalue(frame, target, v)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::For {
+                init, cond, step, body,
+            } => {
+                if let Some(s) = init {
+                    self.exec_stmt(frame, s)?;
+                }
+                loop {
+                    self.burn()?;
+                    let go = match cond {
+                        Some(c) => self.eval(frame, c)? != 0,
+                        None => true,
+                    };
+                    if !go {
+                        break;
+                    }
+                    match self.exec_block(frame, body)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                    if let Some(s) = step {
+                        self.exec_stmt(frame, s)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval(frame, cond)?;
+                if c != 0 {
+                    self.exec_block(frame, then_branch)
+                } else {
+                    self.exec_block(frame, else_branch)
+                }
+            }
+            StmtKind::Call { callee, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(frame, a)?);
+                }
+                match callee {
+                    Callee::Opaque => {
+                        self.sink_calls.push(values);
+                    }
+                    Callee::Internal(f) => {
+                        self.call_function(*f, &values)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(frame, e)?,
+                    None => 0,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Goto(label) => Ok(Flow::Goto(*label)),
+            StmtKind::Label(_) | StmtKind::Empty => Ok(Flow::Normal),
+            StmtKind::Block(body) => self.exec_block(frame, body),
+        }
+    }
+
+    fn write_local(&mut self, frame: &mut Frame<'_>, local: LocalId, value: i64) {
+        let wrapped = frame.func.local(local).ty.wrap(value);
+        frame.locals[local.0] = wrapped;
+        if let Some(&slot) = frame.slots.get(&local) {
+            self.stack_mem[slot] = wrapped;
+        }
+    }
+
+    fn read_local(&self, frame: &Frame<'_>, local: LocalId) -> i64 {
+        if let Some(&slot) = frame.slots.get(&local) {
+            self.stack_mem[slot]
+        } else {
+            frame.locals[local.0]
+        }
+    }
+
+    fn write_lvalue(
+        &mut self,
+        frame: &mut Frame<'_>,
+        target: &LValue,
+        value: i64,
+    ) -> Result<(), ExecError> {
+        match target {
+            LValue::Var(VarRef::Local(l)) => {
+                self.write_local(frame, *l, value);
+                Ok(())
+            }
+            LValue::Var(VarRef::Global(g)) => {
+                let ty = self.program.global(*g).ty;
+                self.globals[g.0][0] = ty.wrap(value);
+                Ok(())
+            }
+            LValue::Index { base, indices } => {
+                let flat = self.flat_index(frame, *base, indices)?;
+                match base {
+                    VarRef::Global(g) => {
+                        let ty = self.program.global(*g).ty;
+                        self.globals[g.0][flat as usize] = ty.wrap(value);
+                        Ok(())
+                    }
+                    VarRef::Local(_) => Ok(()),
+                }
+            }
+            LValue::Deref(ptr) => {
+                let addr = match ptr {
+                    VarRef::Local(l) => self.read_local(frame, *l),
+                    VarRef::Global(g) => self.globals[g.0][0],
+                };
+                self.store_address(addr, value)
+            }
+        }
+    }
+
+    fn flat_index(
+        &mut self,
+        frame: &mut Frame<'_>,
+        base: VarRef,
+        indices: &[Expr],
+    ) -> Result<i64, ExecError> {
+        let (dims, name) = match base {
+            VarRef::Global(g) => {
+                let gv = self.program.global(g);
+                (gv.dims.clone(), gv.name.clone())
+            }
+            VarRef::Local(l) => (Vec::new(), frame.func.local(l).name.clone()),
+        };
+        let mut flat = 0i64;
+        for (i, idx) in indices.iter().enumerate() {
+            let v = self.eval(frame, idx)?;
+            let dim = dims.get(i).copied().unwrap_or(1) as i64;
+            flat = flat * dim + v;
+        }
+        let total: i64 = if dims.is_empty() {
+            1
+        } else {
+            dims.iter().product::<usize>() as i64
+        };
+        if flat < 0 || flat >= total {
+            return Err(ExecError::OutOfBounds {
+                array: name,
+                index: flat,
+            });
+        }
+        Ok(flat)
+    }
+
+    fn store_address(&mut self, addr: i64, value: i64) -> Result<(), ExecError> {
+        if addr >= STACK_BASE {
+            let slot = ((addr - STACK_BASE) / 8) as usize;
+            if slot < self.stack_mem.len() {
+                self.stack_mem[slot] = value;
+                return Ok(());
+            }
+            return Err(ExecError::WildPointer(addr));
+        }
+        if addr >= GLOBAL_BASE {
+            let elem = ((addr - GLOBAL_BASE) / 8) as usize;
+            let mut offset = 0usize;
+            for (gi, g) in self.program.globals.iter().enumerate() {
+                let count = g.element_count();
+                if elem < offset + count {
+                    self.globals[gi][elem - offset] = g.ty.wrap(value);
+                    return Ok(());
+                }
+                offset += count;
+            }
+        }
+        Err(ExecError::WildPointer(addr))
+    }
+
+    fn load_address(&self, addr: i64) -> Result<i64, ExecError> {
+        if addr >= STACK_BASE {
+            let slot = ((addr - STACK_BASE) / 8) as usize;
+            return self
+                .stack_mem
+                .get(slot)
+                .copied()
+                .ok_or(ExecError::WildPointer(addr));
+        }
+        if addr >= GLOBAL_BASE {
+            let elem = ((addr - GLOBAL_BASE) / 8) as usize;
+            let mut offset = 0usize;
+            for (gi, g) in self.program.globals.iter().enumerate() {
+                let count = g.element_count();
+                if elem < offset + count {
+                    return Ok(self.globals[gi][elem - offset]);
+                }
+                offset += count;
+            }
+        }
+        Err(ExecError::WildPointer(addr))
+    }
+
+    /// Address of a variable, as used by `&x`.
+    fn address_of(&mut self, frame: &mut Frame<'_>, var: VarRef) -> i64 {
+        match var {
+            VarRef::Global(g) => self.global_base[g.0],
+            VarRef::Local(l) => {
+                let slot = *frame.slots.entry(l).or_insert_with(|| {
+                    let s = self.stack_mem.len();
+                    self.stack_mem.push(frame.locals[l.0]);
+                    s
+                });
+                STACK_BASE + (slot as i64) * 8
+            }
+        }
+    }
+
+    fn eval(&mut self, frame: &mut Frame<'_>, expr: &Expr) -> Result<i64, ExecError> {
+        match &expr.kind {
+            ExprKind::Lit(v) => Ok(*v),
+            ExprKind::Var(VarRef::Local(l)) => Ok(self.read_local(frame, *l)),
+            ExprKind::Var(VarRef::Global(g)) => Ok(self.globals[g.0][0]),
+            ExprKind::Index { base, indices } => {
+                let flat = self.flat_index(frame, *base, indices)?;
+                match base {
+                    VarRef::Global(g) => Ok(self.globals[g.0][flat as usize]),
+                    VarRef::Local(l) => Ok(self.read_local(frame, *l)),
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(frame, inner)?;
+                Ok(op.eval(v))
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.eval(frame, lhs)?;
+                let r = self.eval(frame, rhs)?;
+                Ok(op.eval(l, r))
+            }
+            ExprKind::AddrOf(var) => Ok(self.address_of(frame, *var)),
+            ExprKind::Deref(inner) => {
+                let addr = self.eval(frame, inner)?;
+                self.load_address(addr)
+            }
+            ExprKind::Call { callee, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(frame, a)?);
+                }
+                self.call_function(*callee, &values)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Ty};
+    use crate::build::ProgramBuilder;
+
+    fn run(program: &Program) -> ExecOutcome {
+        Interpreter::new(program).run().expect("execution succeeds")
+    }
+
+    #[test]
+    fn straight_line_assignment() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(21))));
+        b.push(
+            main,
+            Stmt::assign(
+                LValue::global(g),
+                Expr::binary(BinOp::Mul, Expr::local(x), Expr::lit(2)),
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let p = b.finish();
+        let out = run(&p);
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.final_globals[0], vec![42]);
+    }
+
+    #[test]
+    fn for_loop_sums_array() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", Ty::I32, false, vec![4], vec![1, 2, 3, 4]);
+        let s = b.global("s", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(4))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(s),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::global(s),
+                        Expr::index(VarRef::Global(a), vec![Expr::local(i)]),
+                    ),
+                )],
+            ),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(s))));
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 10);
+    }
+
+    #[test]
+    fn sink_calls_are_recorded_in_order() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(7))));
+        b.push(main, Stmt::call_opaque(vec![Expr::local(x), Expr::lit(1)]));
+        b.push(main, Stmt::call_opaque(vec![Expr::lit(2)]));
+        b.push(main, Stmt::ret(None));
+        let p = b.finish();
+        let out = run(&p);
+        assert_eq!(out.sink_calls, vec![vec![7, 1], vec![2]]);
+    }
+
+    #[test]
+    fn internal_call_passes_arguments_and_returns() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let callee = b.function("add3", Ty::I32);
+        let p0 = b.param(callee, "p0", Ty::I32);
+        b.push(
+            callee,
+            Stmt::ret(Some(Expr::binary(BinOp::Add, Expr::local(p0), Expr::lit(3)))),
+        );
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::assign(LValue::global(g), Expr::call(callee, vec![Expr::lit(39)])),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 42);
+    }
+
+    #[test]
+    fn pointers_to_globals_and_locals() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("b", Ty::I32, false, vec![5]);
+        let main = b.function("main", Ty::I32);
+        let v1 = b.local(main, "v1", Ty::Ptr(&Ty::I32));
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(9))));
+        b.push(main, Stmt::decl(v1, Some(Expr::addr_of(VarRef::Global(g)))));
+        // *v1 = 11; then v1 = &x; then return *v1 + b
+        b.push(main, Stmt::assign(LValue::Deref(VarRef::Local(v1)), Expr::lit(11)));
+        b.push(main, Stmt::assign(LValue::local(v1), Expr::addr_of(VarRef::Local(x))));
+        b.push(
+            main,
+            Stmt::ret(Some(Expr::binary(
+                BinOp::Add,
+                Expr::deref(Expr::local(v1)),
+                Expr::global(g),
+            ))),
+        );
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 20);
+    }
+
+    #[test]
+    fn goto_loop_terminates_when_condition_clears() {
+        // Mirrors the paper's Conjecture 3 example: `f: if (a) goto f;` with a = 0.
+        let mut b = ProgramBuilder::new();
+        let a = b.global("a", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::label(1));
+        b.push(
+            main,
+            Stmt::if_stmt(Expr::global(a), vec![Stmt::goto(1)], vec![]),
+        );
+        b.push(main, Stmt::ret(Some(Expr::lit(3))));
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 3);
+    }
+
+    #[test]
+    fn fuel_limit_detects_nontermination() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global("a", Ty::I32, false, vec![1]);
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::label(1));
+        b.push(
+            main,
+            Stmt::if_stmt(Expr::global(a), vec![Stmt::goto(1)], vec![]),
+        );
+        b.push(main, Stmt::ret(None));
+        let p = b.finish();
+        let err = Interpreter::with_fuel(&p, 1000).run().unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", Ty::I32, false, vec![2], vec![1, 2]);
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::ret(Some(Expr::index(VarRef::Global(a), vec![Expr::lit(5)]))),
+        );
+        let p = b.finish();
+        let err = Interpreter::new(&p).run().unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn narrow_types_wrap_on_store() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::U8, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::assign(LValue::global(g), Expr::lit(300)));
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 44);
+    }
+
+    #[test]
+    fn unnamed_scope_executes() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(
+            main,
+            Stmt::block(vec![
+                Stmt::decl(x, Some(Expr::lit(4))),
+                Stmt::assign(LValue::global(g), Expr::local(x)),
+            ]),
+        );
+        b.push(main, Stmt::ret(Some(Expr::global(g))));
+        let p = b.finish();
+        assert_eq!(run(&p).return_value, 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! MiniC: the source language used throughout the *Poking Holes in Incomplete
+//! Debug Information* reproduction.
+//!
+//! The paper tests C compilers on programs produced by the Csmith fuzzer. We
+//! substitute a small, deterministic C-like language that contains every
+//! construct the paper's three conjectures and bug case studies exercise:
+//!
+//! * scalar integer types of several widths and signedness,
+//! * global variables, optionally `volatile`, optionally multi-dimensional
+//!   arrays with static initializers,
+//! * local variables, address-taken locals, and pointers,
+//! * `for` loops (with induction variables), `if`/`else`, `goto`/labels,
+//! * calls to *opaque* external functions (the paper's `printf` stub) and to
+//!   ordinary internal functions,
+//! * assignments to global storage through non-trivial expressions.
+//!
+//! The crate also provides:
+//!
+//! * a deterministic source renderer that assigns a line number to every
+//!   statement ([`ast::Program::assign_lines`]) — conjectures and debug
+//!   information are all expressed in terms of these lines,
+//! * a reference interpreter ([`interp`]) used as the semantic oracle for the
+//!   optimizing compiler (differential testing),
+//! * the static analyses the conjectures of the paper rely on
+//!   ([`analysis`]): opaque-call argument sites (Conjecture 1), global-store
+//!   constituent sites (Conjecture 2), local variable lifetimes
+//!   (Conjecture 3), source-level liveness and induction-variable detection,
+//! * a validity checker ([`validate`]) that rejects programs which could
+//!   exhibit undefined behaviour or unbounded execution.
+//!
+//! # Example
+//!
+//! ```
+//! use holes_minic::ast::*;
+//! use holes_minic::build::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let g = b.global("g", Ty::I32, false, vec![0]);
+//! let main = b.function("main", Ty::I32);
+//! let x = b.local(main, "x", Ty::I32);
+//! b.push(main, Stmt::decl(x, Some(Expr::lit(7))));
+//! b.push(main, Stmt::assign(LValue::global(g), Expr::var(VarRef::Local(x))));
+//! b.push(main, Stmt::ret(Some(Expr::lit(0))));
+//! let mut program = b.finish();
+//! let source = program.assign_lines();
+//! assert!(source.text.contains("g = x;"));
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod build;
+pub mod interp;
+pub mod lines;
+pub mod validate;
+
+pub use ast::{
+    BinOp, Expr, ExprKind, Function, FunctionId, GlobalId, GlobalVar, LValue, LocalId, Program,
+    Stmt, StmtKind, Ty, UnOp, VarRef,
+};
+pub use interp::{ExecOutcome, Interpreter};
+pub use lines::SourceMap;

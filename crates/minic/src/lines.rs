@@ -1,0 +1,502 @@
+//! Source rendering and line assignment.
+//!
+//! The paper's methodology is entirely phrased in terms of *source lines*: a
+//! debugger "steps on a line", a variable is "visible/available at a line".
+//! [`Program::assign_lines`] walks the program exactly like the renderer
+//! does, assigns a 1-based line to every statement, and returns a
+//! [`SourceMap`] with the rendered text plus lookup tables used by the
+//! compiler (line table emission) and the conjecture checkers.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, Program, Stmt, StmtKind, VarRef,
+};
+
+/// Rendered source text plus per-line information.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// The rendered C-like source text.
+    pub text: String,
+    /// For every line that holds an executable statement: the owning function.
+    pub line_function: BTreeMap<u32, FunctionId>,
+    /// Lines holding executable statements, per function, in ascending order.
+    pub function_lines: BTreeMap<FunctionId, Vec<u32>>,
+    /// Total number of lines in the rendered text.
+    pub line_count: u32,
+}
+
+impl SourceMap {
+    /// Lines with executable statements in the given function.
+    pub fn lines_of(&self, func: FunctionId) -> &[u32] {
+        self.function_lines
+            .get(&func)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The function owning a statement line, if any.
+    pub fn function_of_line(&self, line: u32) -> Option<FunctionId> {
+        self.line_function.get(&line).copied()
+    }
+}
+
+struct Renderer<'p> {
+    program: &'p Program,
+    out: String,
+    line: u32,
+    map: SourceMap,
+    current_function: FunctionId,
+}
+
+impl Program {
+    /// Assign a source line to every statement and return the rendered
+    /// source. Rendering is deterministic: the same program always produces
+    /// the same text and line numbers.
+    pub fn assign_lines(&mut self) -> SourceMap {
+        // Render from an immutable clone to collect the line assignments,
+        // then write them back. (The walk order is identical.)
+        let snapshot = self.clone();
+        let mut renderer = Renderer {
+            program: &snapshot,
+            out: String::new(),
+            line: 0,
+            map: SourceMap::default(),
+            current_function: FunctionId(0),
+        };
+        let mut assignments: Vec<(FunctionId, Vec<u32>)> = Vec::new();
+        renderer.render_globals();
+        for (id, func) in snapshot.functions_with_ids() {
+            renderer.current_function = id;
+            let lines = renderer.render_function(func);
+            assignments.push((id, lines));
+        }
+        let mut map = renderer.map;
+        map.text = renderer.out;
+        map.line_count = renderer.line;
+        for lines in map.function_lines.values_mut() {
+            lines.sort_unstable();
+        }
+        // Write the assigned lines back into self.
+        for (id, lines) in assignments {
+            let mut iter = lines.into_iter();
+            let func = &mut self.functions[id.0];
+            func.decl_line = iter.next().unwrap_or(0);
+            assign_stmts(&mut func.body, &mut iter);
+        }
+        map
+    }
+
+    /// Render the program to text without mutating line numbers. Mostly
+    /// useful for displaying reduced test cases in reports.
+    pub fn render(&self) -> String {
+        let mut clone = self.clone();
+        clone.assign_lines().text
+    }
+}
+
+/// Walk statements in the same order as the renderer, popping one line per
+/// statement from `lines`.
+fn assign_stmts(stmts: &mut [Stmt], lines: &mut impl Iterator<Item = u32>) {
+    for stmt in stmts {
+        stmt.line = lines.next().unwrap_or(0);
+        match &mut stmt.kind {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                // init/cond/step share the `for` line.
+                if let Some(s) = init {
+                    s.line = stmt.line;
+                }
+                if let Some(s) = step {
+                    s.line = stmt.line;
+                }
+                assign_stmts(body, lines);
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assign_stmts(then_branch, lines);
+                assign_stmts(else_branch, lines);
+            }
+            StmtKind::Block(body) => assign_stmts(body, lines),
+            _ => {}
+        }
+    }
+}
+
+impl<'p> Renderer<'p> {
+    fn emit(&mut self, text: &str) -> u32 {
+        self.line += 1;
+        self.out.push_str(text);
+        self.out.push('\n');
+        self.line
+    }
+
+    fn render_globals(&mut self) {
+        for global in &self.program.globals {
+            let vol = if global.is_volatile { "volatile " } else { "" };
+            if global.dims.is_empty() {
+                let line = format!("{}{} {} = {};", vol, global.ty.c_name(), global.name, global.init[0]);
+                self.emit(&line);
+            } else {
+                let dims: String = global.dims.iter().map(|d| format!("[{d}]")).collect();
+                let init: Vec<String> = global.init.iter().map(i64::to_string).collect();
+                let line = format!(
+                    "{}{} {}{} = {{{}}};",
+                    vol,
+                    global.ty.c_name(),
+                    global.name,
+                    dims,
+                    init.join(", ")
+                );
+                self.emit(&line);
+            }
+        }
+        self.emit("extern void sink(long, ...);");
+    }
+
+    fn render_function(&mut self, func: &Function) -> Vec<u32> {
+        let mut lines = Vec::new();
+        let params: Vec<String> = func
+            .params()
+            .map(|p| {
+                let local = func.local(p);
+                format!("{} {}", local.ty.c_name(), local.name)
+            })
+            .collect();
+        let header = format!(
+            "{} {}({}) {{",
+            func.ret_ty.c_name(),
+            func.name,
+            if params.is_empty() {
+                "void".to_owned()
+            } else {
+                params.join(", ")
+            }
+        );
+        let decl_line = self.emit(&header);
+        lines.push(decl_line);
+        self.render_stmts(func, &func.body, 1, &mut lines);
+        self.emit("}");
+        lines
+    }
+
+    fn indent(depth: usize) -> String {
+        "  ".repeat(depth)
+    }
+
+    fn render_stmts(&mut self, func: &Function, stmts: &[Stmt], depth: usize, lines: &mut Vec<u32>) {
+        for stmt in stmts {
+            self.render_stmt(func, stmt, depth, lines);
+        }
+    }
+
+    fn render_stmt(&mut self, func: &Function, stmt: &Stmt, depth: usize, lines: &mut Vec<u32>) {
+        let pad = Self::indent(depth);
+        let own_index = lines.len();
+        match &stmt.kind {
+            StmtKind::Decl { local, init } => {
+                let var = func.local(*local);
+                let text = match init {
+                    Some(e) => format!(
+                        "{pad}{} {} = {};",
+                        var.ty.c_name(),
+                        var.name,
+                        self.expr(func, e)
+                    ),
+                    None => format!("{pad}{} {};", var.ty.c_name(), var.name),
+                };
+                lines.push(self.emit(&text));
+            }
+            StmtKind::Assign { target, value } => {
+                let text = format!(
+                    "{pad}{} = {};",
+                    self.lvalue(func, target),
+                    self.expr(func, value)
+                );
+                lines.push(self.emit(&text));
+            }
+            StmtKind::For {
+                init, cond, step, body,
+            } => {
+                let init_s = init
+                    .as_ref()
+                    .map(|s| self.inline_assign(func, s))
+                    .unwrap_or_default();
+                let cond_s = cond.as_ref().map(|e| self.expr(func, e)).unwrap_or_default();
+                let step_s = step
+                    .as_ref()
+                    .map(|s| self.inline_assign(func, s))
+                    .unwrap_or_default();
+                let text = format!("{pad}for ({init_s}; {cond_s}; {step_s}) {{");
+                lines.push(self.emit(&text));
+                self.render_stmts(func, body, depth + 1, lines);
+                self.emit(&format!("{pad}}}"));
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let text = format!("{pad}if ({}) {{", self.expr(func, cond));
+                lines.push(self.emit(&text));
+                self.render_stmts(func, then_branch, depth + 1, lines);
+                if else_branch.is_empty() {
+                    self.emit(&format!("{pad}}}"));
+                } else {
+                    self.emit(&format!("{pad}}} else {{"));
+                    self.render_stmts(func, else_branch, depth + 1, lines);
+                    self.emit(&format!("{pad}}}"));
+                }
+            }
+            StmtKind::Call { callee, args } => {
+                let args_s: Vec<String> = args.iter().map(|a| self.expr(func, a)).collect();
+                let name = match callee {
+                    Callee::Internal(f) => self.program.function(*f).name.clone(),
+                    Callee::Opaque => "sink".to_owned(),
+                };
+                let text = format!("{pad}{}({});", name, args_s.join(", "));
+                lines.push(self.emit(&text));
+            }
+            StmtKind::Return(value) => {
+                let text = match value {
+                    Some(e) => format!("{pad}return {};", self.expr(func, e)),
+                    None => format!("{pad}return;"),
+                };
+                lines.push(self.emit(&text));
+            }
+            StmtKind::Goto(label) => {
+                lines.push(self.emit(&format!("{pad}goto L{label};")));
+            }
+            StmtKind::Label(label) => {
+                lines.push(self.emit(&format!("{pad}L{label}:;")));
+            }
+            StmtKind::Block(body) => {
+                lines.push(self.emit(&format!("{pad}{{")));
+                self.render_stmts(func, body, depth + 1, lines);
+                self.emit(&format!("{pad}}}"));
+            }
+            StmtKind::Empty => {
+                lines.push(self.emit(&format!("{pad};")));
+            }
+        }
+        // Record which function owns the line pushed for *this* statement
+        // (nested statements record their own lines during recursion).
+        if let Some(&line) = lines.get(own_index) {
+            self.record_line(line);
+        }
+    }
+
+    fn record_line(&mut self, line: u32) {
+        self.map.line_function.entry(line).or_insert(self.current_function);
+        self.map
+            .function_lines
+            .entry(self.current_function)
+            .or_default()
+            .push(line);
+    }
+
+    fn inline_assign(&self, func: &Function, stmt: &Stmt) -> String {
+        match &stmt.kind {
+            StmtKind::Assign { target, value } => {
+                format!("{} = {}", self.lvalue(func, target), self.expr(func, value))
+            }
+            StmtKind::Decl { local, init } => {
+                let var = func.local(*local);
+                match init {
+                    Some(e) => format!("{} = {}", var.name, self.expr(func, e)),
+                    None => var.name.clone(),
+                }
+            }
+            _ => String::new(),
+        }
+    }
+
+    fn var_name(&self, func: &Function, var: VarRef) -> String {
+        match var {
+            VarRef::Global(g) => self.program.global(g).name.clone(),
+            VarRef::Local(l) => func.local(l).name.clone(),
+        }
+    }
+
+    fn lvalue(&self, func: &Function, lv: &LValue) -> String {
+        match lv {
+            LValue::Var(v) => self.var_name(func, *v),
+            LValue::Index { base, indices } => {
+                let idx: String = indices
+                    .iter()
+                    .map(|e| format!("[{}]", self.expr(func, e)))
+                    .collect();
+                format!("{}{}", self.var_name(func, *base), idx)
+            }
+            LValue::Deref(v) => format!("*{}", self.var_name(func, *v)),
+        }
+    }
+
+    fn expr(&self, func: &Function, expr: &Expr) -> String {
+        match &expr.kind {
+            ExprKind::Lit(v) => v.to_string(),
+            ExprKind::Var(v) => self.var_name(func, *v),
+            ExprKind::Index { base, indices } => {
+                let idx: String = indices
+                    .iter()
+                    .map(|e| format!("[{}]", self.expr(func, e)))
+                    .collect();
+                format!("{}{}", self.var_name(func, *base), idx)
+            }
+            ExprKind::Unary(op, inner) => format!("{}({})", op.symbol(), self.expr(func, inner)),
+            ExprKind::Binary(op, lhs, rhs) => format!(
+                "({} {} {})",
+                self.expr(func, lhs),
+                op.symbol(),
+                self.expr(func, rhs)
+            ),
+            ExprKind::AddrOf(v) => format!("&{}", self.var_name(func, *v)),
+            ExprKind::Deref(inner) => format!("*({})", self.expr(func, inner)),
+            ExprKind::Call { callee, args } => {
+                let args_s: Vec<String> = args.iter().map(|a| self.expr(func, a)).collect();
+                format!(
+                    "{}({})",
+                    self.program.function(*callee).name,
+                    args_s.join(", ")
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, GlobalId, LocalId, Ty};
+    use crate::build::ProgramBuilder;
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g", Ty::I32, false, vec![0]);
+        let arr = b.global_array("a", Ty::I32, false, vec![2, 2], vec![1, 2, 3, 4]);
+        let main = b.function("main", Ty::I32);
+        let i = b.local(main, "i", Ty::I32);
+        let x = b.local(main, "x", Ty::I32);
+        b.push(main, Stmt::decl(x, Some(Expr::lit(5))));
+        b.push(
+            main,
+            Stmt::for_loop(
+                Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+                Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(2))),
+                Some(Stmt::assign(
+                    LValue::local(i),
+                    Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+                )),
+                vec![Stmt::assign(
+                    LValue::global(g),
+                    Expr::index(
+                        crate::ast::VarRef::Global(arr),
+                        vec![Expr::local(i), Expr::lit(1)],
+                    ),
+                )],
+            ),
+        );
+        b.push(main, Stmt::call_opaque(vec![Expr::local(x)]));
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        b.finish()
+    }
+
+    #[test]
+    fn lines_are_assigned_sequentially_and_unique() {
+        let mut p = sample_program();
+        let map = p.assign_lines();
+        let main = p.main();
+        let lines = map.lines_of(main);
+        assert!(!lines.is_empty());
+        let mut sorted = lines.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lines.len(), "statement lines must be unique");
+        // Every statement in the body received a nonzero line.
+        fn check(stmts: &[Stmt]) {
+            for s in stmts {
+                assert_ne!(s.line, 0, "statement has no line: {s:?}");
+                match &s.kind {
+                    StmtKind::For { body, .. } => check(body),
+                    StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        check(then_branch);
+                        check(else_branch);
+                    }
+                    StmtKind::Block(b) => check(b),
+                    _ => {}
+                }
+            }
+        }
+        check(&p.functions[main.0].body);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut p1 = sample_program();
+        let mut p2 = sample_program();
+        assert_eq!(p1.assign_lines().text, p2.assign_lines().text);
+    }
+
+    #[test]
+    fn rendered_text_contains_constructs() {
+        let mut p = sample_program();
+        let map = p.assign_lines();
+        assert!(map.text.contains("int g = 0;"));
+        assert!(map.text.contains("int a[2][2] = {1, 2, 3, 4};"));
+        assert!(map.text.contains("for ("));
+        assert!(map.text.contains("sink(x);"));
+        assert!(map.text.contains("extern void sink"));
+    }
+
+    #[test]
+    fn for_init_and_step_share_the_for_line() {
+        let mut p = sample_program();
+        p.assign_lines();
+        let main = p.main();
+        let body = &p.functions[main.0].body;
+        if let StmtKind::For { init, step, .. } = &body[1].kind {
+            assert_eq!(init.as_ref().unwrap().line, body[1].line);
+            assert_eq!(step.as_ref().unwrap().line, body[1].line);
+        } else {
+            panic!("expected for loop");
+        }
+    }
+
+    #[test]
+    fn line_function_map_points_to_main() {
+        let mut p = sample_program();
+        let map = p.assign_lines();
+        let main = p.main();
+        for &line in map.lines_of(main) {
+            assert_eq!(map.function_of_line(line), Some(main));
+        }
+        assert_eq!(map.function_of_line(9999), None);
+    }
+
+    #[test]
+    fn empty_and_goto_render() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("flag", Ty::I32, false, vec![0]);
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::label(1));
+        b.push(
+            main,
+            Stmt::if_stmt(Expr::global(g), vec![Stmt::goto(1)], vec![]),
+        );
+        b.push(main, Stmt::ret(Some(Expr::lit(0))));
+        let mut p = b.finish();
+        let map = p.assign_lines();
+        assert!(map.text.contains("L1:;"));
+        assert!(map.text.contains("goto L1;"));
+        let _ = GlobalId(0);
+        let _ = LocalId(0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Static validity checks for MiniC programs.
+//!
+//! The paper screens generated programs for undefined behaviour before filing
+//! reports (compile-time checks plus CompCert). MiniC is UB-free by
+//! construction (wrapping arithmetic, no division, bounds declared on every
+//! array) but a hand-written or reduced program could still contain
+//! structural mistakes; [`validate`] rejects those. Dynamic properties
+//! (in-bounds variable indices, termination) are checked by running the
+//! [`crate::interp::Interpreter`], which the generator does for every emitted
+//! program.
+
+use std::collections::HashSet;
+
+use crate::ast::{
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, Program, Stmt, StmtKind, VarRef,
+};
+
+/// A structural validity problem in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The program has no `main` function.
+    NoMain,
+    /// A `goto` targets a label that is not defined in the same function.
+    UnknownLabel {
+        /// Function containing the `goto`.
+        function: String,
+        /// The missing label id.
+        label: u32,
+    },
+    /// A local id is out of range for its function.
+    BadLocal {
+        /// Function name.
+        function: String,
+        /// The referenced local index.
+        index: usize,
+    },
+    /// A global id is out of range.
+    BadGlobal(usize),
+    /// A call passes the wrong number of arguments to an internal function.
+    ArityMismatch {
+        /// Caller function name.
+        caller: String,
+        /// Callee function name.
+        callee: String,
+        /// Number of arguments at the call.
+        got: usize,
+        /// Number of parameters expected.
+        expected: usize,
+    },
+    /// An array is indexed with the wrong number of dimensions.
+    DimensionMismatch {
+        /// Array name.
+        array: String,
+        /// Number of indices used.
+        got: usize,
+        /// Number of dimensions declared.
+        expected: usize,
+    },
+    /// A literal array index is statically out of bounds.
+    LiteralIndexOutOfBounds {
+        /// Array name.
+        array: String,
+        /// The literal index.
+        index: i64,
+        /// The dimension bound.
+        bound: usize,
+    },
+    /// An internal-call callee id is out of range.
+    BadCallee(usize),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NoMain => write!(f, "program has no main function"),
+            ValidationError::UnknownLabel { function, label } => {
+                write!(f, "goto to unknown label L{label} in {function}")
+            }
+            ValidationError::BadLocal { function, index } => {
+                write!(f, "local index {index} out of range in {function}")
+            }
+            ValidationError::BadGlobal(i) => write!(f, "global index {i} out of range"),
+            ValidationError::ArityMismatch {
+                caller,
+                callee,
+                got,
+                expected,
+            } => write!(
+                f,
+                "call from {caller} to {callee} passes {got} arguments, expected {expected}"
+            ),
+            ValidationError::DimensionMismatch {
+                array,
+                got,
+                expected,
+            } => write!(f, "array {array} indexed with {got} indices, has {expected}"),
+            ValidationError::LiteralIndexOutOfBounds {
+                array,
+                index,
+                bound,
+            } => write!(f, "literal index {index} out of bounds for {array} (dim {bound})"),
+            ValidationError::BadCallee(i) => write!(f, "callee index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate the structural well-formedness of a program.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found, if any.
+pub fn validate(program: &Program) -> Result<(), ValidationError> {
+    if !program.functions.iter().any(|f| f.name == "main") {
+        return Err(ValidationError::NoMain);
+    }
+    for (id, func) in program.functions_with_ids() {
+        let labels = collect_labels(&func.body);
+        let mut checker = Checker {
+            program,
+            func,
+            func_id: id,
+            labels,
+        };
+        checker.check_stmts(&func.body)?;
+    }
+    Ok(())
+}
+
+fn collect_labels(stmts: &[Stmt]) -> HashSet<u32> {
+    let mut labels = HashSet::new();
+    fn walk(stmts: &[Stmt], labels: &mut HashSet<u32>) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Label(l) => {
+                    labels.insert(*l);
+                }
+                StmtKind::For { body, .. } => walk(body, labels),
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, labels);
+                    walk(else_branch, labels);
+                }
+                StmtKind::Block(body) => walk(body, labels),
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut labels);
+    labels
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    func: &'p Function,
+    #[allow(dead_code)]
+    func_id: FunctionId,
+    labels: HashSet<u32>,
+}
+
+impl<'p> Checker<'p> {
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), ValidationError> {
+        for stmt in stmts {
+            self.check_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), ValidationError> {
+        match &stmt.kind {
+            StmtKind::Decl { local, init } => {
+                self.check_local(*local)?;
+                if let Some(e) = init {
+                    self.check_expr(e)?;
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                self.check_lvalue(target)?;
+                self.check_expr(value)?;
+            }
+            StmtKind::For {
+                init, cond, step, body,
+            } => {
+                if let Some(s) = init {
+                    self.check_stmt(s)?;
+                }
+                if let Some(c) = cond {
+                    self.check_expr(c)?;
+                }
+                if let Some(s) = step {
+                    self.check_stmt(s)?;
+                }
+                self.check_stmts(body)?;
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.check_expr(cond)?;
+                self.check_stmts(then_branch)?;
+                self.check_stmts(else_branch)?;
+            }
+            StmtKind::Call { callee, args } => {
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                if let Callee::Internal(f) = callee {
+                    self.check_call(*f, args.len())?;
+                }
+            }
+            StmtKind::Return(Some(e)) => self.check_expr(e)?,
+            StmtKind::Goto(label) => {
+                if !self.labels.contains(label) {
+                    return Err(ValidationError::UnknownLabel {
+                        function: self.func.name.clone(),
+                        label: *label,
+                    });
+                }
+            }
+            StmtKind::Block(body) => self.check_stmts(body)?,
+            StmtKind::Return(None) | StmtKind::Label(_) | StmtKind::Empty => {}
+        }
+        Ok(())
+    }
+
+    fn check_local(&self, local: crate::ast::LocalId) -> Result<(), ValidationError> {
+        if local.0 >= self.func.locals.len() {
+            return Err(ValidationError::BadLocal {
+                function: self.func.name.clone(),
+                index: local.0,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_var(&self, var: VarRef) -> Result<(), ValidationError> {
+        match var {
+            VarRef::Local(l) => self.check_local(l),
+            VarRef::Global(g) => {
+                if g.0 >= self.program.globals.len() {
+                    Err(ValidationError::BadGlobal(g.0))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn check_call(&self, callee: FunctionId, argc: usize) -> Result<(), ValidationError> {
+        if callee.0 >= self.program.functions.len() {
+            return Err(ValidationError::BadCallee(callee.0));
+        }
+        let target = self.program.function(callee);
+        if target.param_count != argc {
+            return Err(ValidationError::ArityMismatch {
+                caller: self.func.name.clone(),
+                callee: target.name.clone(),
+                got: argc,
+                expected: target.param_count,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_index(&self, base: VarRef, indices: &[Expr]) -> Result<(), ValidationError> {
+        self.check_var(base)?;
+        if let VarRef::Global(g) = base {
+            let global = self.program.global(g);
+            if global.dims.len() != indices.len() {
+                return Err(ValidationError::DimensionMismatch {
+                    array: global.name.clone(),
+                    got: indices.len(),
+                    expected: global.dims.len(),
+                });
+            }
+            for (idx, dim) in indices.iter().zip(&global.dims) {
+                if let ExprKind::Lit(v) = idx.kind {
+                    if v < 0 || v >= *dim as i64 {
+                        return Err(ValidationError::LiteralIndexOutOfBounds {
+                            array: global.name.clone(),
+                            index: v,
+                            bound: *dim,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_lvalue(&self, lv: &LValue) -> Result<(), ValidationError> {
+        match lv {
+            LValue::Var(v) | LValue::Deref(v) => self.check_var(*v),
+            LValue::Index { base, indices } => {
+                for idx in indices {
+                    self.check_expr(idx)?;
+                }
+                self.check_index(*base, indices)
+            }
+        }
+    }
+
+    fn check_expr(&self, expr: &Expr) -> Result<(), ValidationError> {
+        match &expr.kind {
+            ExprKind::Lit(_) => Ok(()),
+            ExprKind::Var(v) | ExprKind::AddrOf(v) => self.check_var(*v),
+            ExprKind::Index { base, indices } => {
+                for idx in indices {
+                    self.check_expr(idx)?;
+                }
+                self.check_index(*base, indices)
+            }
+            ExprKind::Unary(_, inner) | ExprKind::Deref(inner) => self.check_expr(inner),
+            ExprKind::Binary(_, lhs, rhs) => {
+                self.check_expr(lhs)?;
+                self.check_expr(rhs)
+            }
+            ExprKind::Call { callee, args } => {
+                for a in args {
+                    self.check_expr(a)?;
+                }
+                self.check_call(*callee, args.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LocalId, Ty};
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_array("a", Ty::I32, false, vec![3], vec![1, 2, 3]);
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::ret(Some(Expr::index(VarRef::Global(g), vec![Expr::lit(2)]))),
+        );
+        let p = b.finish();
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn missing_main_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.function("helper", Ty::I32);
+        let p = b.finish();
+        assert_eq!(validate(&p), Err(ValidationError::NoMain));
+    }
+
+    #[test]
+    fn unknown_label_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::goto(9));
+        b.push(main, Stmt::ret(None));
+        let p = b.finish();
+        assert!(matches!(
+            validate(&p),
+            Err(ValidationError::UnknownLabel { label: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn literal_out_of_bounds_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_array("a", Ty::I32, false, vec![2], vec![1, 2]);
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::ret(Some(Expr::index(VarRef::Global(g), vec![Expr::lit(2)]))),
+        );
+        let p = b.finish();
+        assert!(matches!(
+            validate(&p),
+            Err(ValidationError::LiteralIndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let callee = b.function("f", Ty::I32);
+        b.param(callee, "p", Ty::I32);
+        b.push(callee, Stmt::ret(Some(Expr::lit(0))));
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::call_internal(callee, vec![]));
+        b.push(main, Stmt::ret(None));
+        let p = b.finish();
+        assert!(matches!(
+            validate(&p),
+            Err(ValidationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_local_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", Ty::I32);
+        b.push(main, Stmt::ret(Some(Expr::local(LocalId(5)))));
+        let p = b.finish();
+        assert!(matches!(validate(&p), Err(ValidationError::BadLocal { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_array("a", Ty::I32, false, vec![2, 2], vec![1, 2, 3, 4]);
+        let main = b.function("main", Ty::I32);
+        b.push(
+            main,
+            Stmt::ret(Some(Expr::index(VarRef::Global(g), vec![Expr::lit(0)]))),
+        );
+        let p = b.finish();
+        assert!(matches!(
+            validate(&p),
+            Err(ValidationError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Violation campaigns: Table 1 and the Venn distributions of Figures 2–3.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_core::{Conjecture, Violation};
+
+use crate::Subject;
+
+/// One violation found during a campaign, with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// Seed of the program that exposed the violation.
+    pub seed: u64,
+    /// Index of the subject in the campaign pool.
+    pub subject: usize,
+    /// Optimization level the violation was observed at.
+    pub level: OptLevel,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+/// The result of running one personality's campaign over a pool.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Every violation observation (one per level it occurs at).
+    pub records: Vec<ViolationRecord>,
+    /// Number of programs tested.
+    pub programs: usize,
+    /// Levels tested.
+    pub levels: Vec<OptLevel>,
+}
+
+/// A unique violation: the paper treats violations at different program lines
+/// as distinct and counts one entry per (program, conjecture, line, variable)
+/// across levels.
+pub type UniqueKey = (usize, Conjecture, u32, String);
+
+impl CampaignResult {
+    /// Per-level violation counts for one conjecture (one column pair of
+    /// Table 1).
+    pub fn count_at(&self, conjecture: Conjecture, level: OptLevel) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.level == level && r.violation.conjecture == conjecture)
+            .count()
+    }
+
+    /// Unique violations (counted once even when they occur at several
+    /// levels) for one conjecture — Table 1's last row.
+    pub fn unique(&self, conjecture: Conjecture) -> usize {
+        self.unique_keys(conjecture).len()
+    }
+
+    fn unique_keys(&self, conjecture: Conjecture) -> BTreeSet<UniqueKey> {
+        self.records
+            .iter()
+            .filter(|r| r.violation.conjecture == conjecture)
+            .map(|r| {
+                (
+                    r.subject,
+                    r.violation.conjecture,
+                    r.violation.line,
+                    r.violation.variable.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of programs with no violation at all for a conjecture (the
+    /// "no violations in N out of 1000 programs" figure of §5.1).
+    pub fn clean_programs(&self, conjecture: Conjecture) -> usize {
+        let dirty: BTreeSet<usize> = self
+            .records
+            .iter()
+            .filter(|r| r.violation.conjecture == conjecture)
+            .map(|r| r.subject)
+            .collect();
+        self.programs.saturating_sub(dirty.len())
+    }
+
+    /// The Venn distribution of Figures 2–3: for every unique violation, the
+    /// set of levels it reproduces at; returns counts per level-set.
+    pub fn venn(&self) -> BTreeMap<Vec<OptLevel>, usize> {
+        let mut per_violation: BTreeMap<UniqueKey, BTreeSet<OptLevel>> = BTreeMap::new();
+        for r in &self.records {
+            per_violation
+                .entry((
+                    r.subject,
+                    r.violation.conjecture,
+                    r.violation.line,
+                    r.violation.variable.clone(),
+                ))
+                .or_default()
+                .insert(r.level);
+        }
+        let mut venn: BTreeMap<Vec<OptLevel>, usize> = BTreeMap::new();
+        for levels in per_violation.values() {
+            let key: Vec<OptLevel> = levels.iter().copied().collect();
+            *venn.entry(key).or_insert(0) += 1;
+        }
+        venn
+    }
+
+    /// Violations that occur at *all* tested levels (a headline number of
+    /// §5.2).
+    pub fn at_all_levels(&self) -> usize {
+        self.venn()
+            .iter()
+            .filter(|(levels, _)| levels.len() == self.levels.len())
+            .map(|(_, count)| *count)
+            .sum()
+    }
+
+    /// Render Table 1 rows (one per level plus the unique row) as plain text.
+    pub fn table1(&self) -> String {
+        let mut out = String::from("level      C1      C2      C3\n");
+        for &level in &self.levels {
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>6} {:>6}\n",
+                level.flag(),
+                self.count_at(Conjecture::C1, level),
+                self.count_at(Conjecture::C2, level),
+                self.count_at(Conjecture::C3, level),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>6} {:>6}\n",
+            "unique",
+            self.unique(Conjecture::C1),
+            self.unique(Conjecture::C2),
+            self.unique(Conjecture::C3),
+        ));
+        out
+    }
+}
+
+/// Run the campaign: test every subject at every level of a personality's
+/// version against all three conjectures.
+pub fn run_campaign(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+) -> CampaignResult {
+    let levels = personality.levels().to_vec();
+    let mut result = CampaignResult {
+        records: Vec::new(),
+        programs: subjects.len(),
+        levels: levels.clone(),
+    };
+    for (index, subject) in subjects.iter().enumerate() {
+        for &level in &levels {
+            let config = CompilerConfig::new(personality, level).with_version(version);
+            for violation in subject.violations(&config) {
+                result.records.push(ViolationRecord {
+                    seed: subject.seed,
+                    subject: index,
+                    level,
+                    violation,
+                });
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject_pool;
+
+    #[test]
+    fn campaign_produces_consistent_counts() {
+        let subjects = subject_pool(1000, 6);
+        let result = run_campaign(&subjects, Personality::Ccg, Personality::Ccg.trunk());
+        assert_eq!(result.programs, 6);
+        // Every per-level count is at least the number reflected in records.
+        let mut total = 0usize;
+        for c in Conjecture::ALL {
+            for l in &result.levels {
+                total += result.count_at(c, *l);
+            }
+        }
+        assert_eq!(total, result.records.len());
+        // Unique counts never exceed summed per-level counts.
+        for c in Conjecture::ALL {
+            let summed: usize = result.levels.iter().map(|l| result.count_at(c, *l)).sum();
+            assert!(result.unique(c) <= summed.max(1));
+            assert!(result.clean_programs(c) <= result.programs);
+        }
+        // The Venn distribution partitions the unique violations.
+        let venn_total: usize = result.venn().values().sum();
+        let unique_total: usize = Conjecture::ALL.iter().map(|c| result.unique(*c)).sum();
+        assert_eq!(venn_total, unique_total);
+        assert!(result.at_all_levels() <= venn_total);
+        let table = result.table1();
+        assert!(table.contains("unique"));
+    }
+
+    #[test]
+    fn defect_free_version_would_be_clean() {
+        let subjects = subject_pool(1010, 3);
+        for subject in &subjects {
+            for &level in Personality::Ccg.levels() {
+                let cfg = CompilerConfig::new(Personality::Ccg, level).without_defects();
+                assert!(
+                    subject.violations(&cfg).is_empty(),
+                    "defect-free compiler produced violations"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The end-to-end testing pipeline of the paper: program generation,
+//! compilation matrices, debugger tracing, conjecture checking, violation
+//! triage, test-case reduction, and the aggregation that regenerates every
+//! table and figure of the evaluation.
+//!
+//! The central type is [`Subject`]: one generated program together with its
+//! analyses, compiled and traced on demand for any compiler configuration.
+//! On top of it:
+//!
+//! * [`campaign`] runs the violation campaigns of §5.1/§5.2 (Table 1,
+//!   Figures 2 and 3),
+//! * [`triage`] pinpoints culprit optimizations via pass bisection (lcc) or
+//!   per-flag disabling (ccg), as in §4.3 (Table 2),
+//! * [`reduce`] shrinks a violating program while preserving both the
+//!   violation and its culprit, as in §4.4,
+//! * [`report`] classifies violations by DIE manifestation and debugger
+//!   cross-check, as in §5.3 (Table 3),
+//! * [`regression`] reruns pools across compiler versions for the §5.4
+//!   regression study (Table 4, Figure 4) and the §2 quantitative study
+//!   (Figure 1).
+
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod reduce;
+pub mod regression;
+pub mod report;
+pub mod triage;
+
+use holes_compiler::{compile, CompilerConfig, Executable, OptLevel, Personality};
+use holes_core::Violation;
+use holes_debugger::{trace, DebugTrace, DebuggerKind};
+use holes_minic::analysis::ProgramAnalysis;
+use holes_minic::ast::Program;
+use holes_minic::lines::SourceMap;
+use holes_progen::{generate_pool, GeneratedProgram};
+
+/// One test subject: a program plus everything needed to check conjectures
+/// against any compiler configuration.
+#[derive(Debug, Clone)]
+pub struct Subject {
+    /// The program (lines assigned).
+    pub program: Program,
+    /// Rendered source and line maps.
+    pub source: SourceMap,
+    /// Static analyses (conjecture sites).
+    pub analysis: ProgramAnalysis,
+    /// Seed that generated the program (0 for directed programs).
+    pub seed: u64,
+}
+
+impl Subject {
+    /// Wrap a generated program.
+    pub fn from_generated(generated: GeneratedProgram) -> Subject {
+        Subject {
+            program: generated.program,
+            source: generated.source,
+            analysis: generated.analysis,
+            seed: generated.seed,
+        }
+    }
+
+    /// Wrap a hand-written program (lines are assigned here).
+    pub fn from_program(mut program: Program) -> Subject {
+        let source = program.assign_lines();
+        let analysis = ProgramAnalysis::analyze(&program);
+        Subject {
+            program,
+            source,
+            analysis,
+            seed: 0,
+        }
+    }
+
+    /// Compile under a configuration.
+    pub fn compile(&self, config: &CompilerConfig) -> Executable {
+        compile(&self.program, config)
+    }
+
+    /// Compile and trace with the native debugger of the configuration's
+    /// personality.
+    pub fn trace(&self, config: &CompilerConfig) -> DebugTrace {
+        let exe = self.compile(config);
+        trace(&exe, DebuggerKind::native_for(config.personality))
+    }
+
+    /// Check all conjectures under a configuration, using the native
+    /// debugger.
+    pub fn violations(&self, config: &CompilerConfig) -> Vec<Violation> {
+        let trace = self.trace(config);
+        holes_core::check_all(&self.program, &self.analysis, &self.source, &trace)
+    }
+
+    /// Check whether a *specific* violation (same conjecture, line, variable)
+    /// occurs under a configuration — the oracle used by triage and
+    /// reduction.
+    pub fn violation_occurs(&self, config: &CompilerConfig, violation: &Violation) -> bool {
+        self.violations(config).iter().any(|v| {
+            v.conjecture == violation.conjecture
+                && v.line == violation.line
+                && v.variable == violation.variable
+        })
+    }
+}
+
+/// Generate a pool of subjects from consecutive seeds.
+pub fn subject_pool(base_seed: u64, count: usize) -> Vec<Subject> {
+    generate_pool(base_seed, count)
+        .into_iter()
+        .map(Subject::from_generated)
+        .collect()
+}
+
+/// The levels the paper evaluates for a personality (excluding `-O0`).
+pub fn evaluated_levels(personality: Personality) -> Vec<OptLevel> {
+    personality.levels().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subjects_compile_and_trace() {
+        let subjects = subject_pool(900, 2);
+        assert_eq!(subjects.len(), 2);
+        let config = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        for subject in &subjects {
+            let trace = subject.trace(&config);
+            assert!(trace.lines_reached() > 0);
+        }
+    }
+
+    #[test]
+    fn violation_oracle_is_consistent() {
+        let subjects = subject_pool(901, 4);
+        let config = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        for subject in subjects {
+            for violation in subject.violations(&config) {
+                assert!(subject.violation_occurs(&config, &violation));
+            }
+        }
+    }
+}

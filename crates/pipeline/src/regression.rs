@@ -1,0 +1,196 @@
+//! Cross-version studies: the quantitative study of §2 (Figure 1), the
+//! regression study of §5.4 (Table 4) and the per-program conjecture grid
+//! (Figure 4).
+
+use std::collections::BTreeSet;
+
+use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_core::metrics::Metrics;
+use holes_core::Conjecture;
+use holes_debugger::{trace, DebuggerKind};
+
+use crate::campaign::run_campaign;
+use crate::Subject;
+
+/// One row of the Figure 1 data: average metrics for a (version, level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// Version name.
+    pub version: &'static str,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Pool-averaged metrics.
+    pub metrics: Metrics,
+}
+
+/// Compute the Figure 1 series: for every version and level of a personality,
+/// the pool-averaged line coverage, availability of variables and product.
+pub fn quantitative_study(subjects: &[Subject], personality: Personality) -> Vec<MetricsRow> {
+    let mut rows = Vec::new();
+    for (version, name) in personality.version_names().iter().enumerate() {
+        for &level in personality.levels() {
+            let mut values = Vec::with_capacity(subjects.len());
+            for subject in subjects {
+                let baseline_cfg =
+                    CompilerConfig::new(personality, OptLevel::O0).with_version(version);
+                let opt_cfg = CompilerConfig::new(personality, level).with_version(version);
+                let baseline = trace(
+                    &subject.compile(&baseline_cfg),
+                    DebuggerKind::native_for(personality),
+                );
+                let optimized = trace(
+                    &subject.compile(&opt_cfg),
+                    DebuggerKind::native_for(personality),
+                );
+                values.push(Metrics::compute(&optimized, &baseline));
+            }
+            rows.push(MetricsRow {
+                version: name,
+                level,
+                metrics: Metrics::average(&values),
+            });
+        }
+    }
+    rows
+}
+
+/// Table 4: unique violation counts per conjecture for every version of a
+/// personality.
+#[derive(Debug, Clone, Default)]
+pub struct VersionTable {
+    /// `(version name, [C1, C2, C3] unique counts)`.
+    pub rows: Vec<(&'static str, [usize; 3])>,
+}
+
+impl VersionTable {
+    /// Render as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("version     C1     C2     C3\n");
+        for (name, counts) in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>5} {:>5} {:>5}\n",
+                name, counts[0], counts[1], counts[2]
+            ));
+        }
+        out
+    }
+
+    /// Unique counts for a version, if present.
+    pub fn counts_for(&self, version: &str) -> Option<[usize; 3]> {
+        self.rows
+            .iter()
+            .find(|(name, _)| *name == version)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Run the campaign for every version of a personality (Table 4).
+pub fn version_table(subjects: &[Subject], personality: Personality) -> VersionTable {
+    let mut table = VersionTable::default();
+    for (version, name) in personality.version_names().iter().enumerate() {
+        let result = run_campaign(subjects, personality, version);
+        table.rows.push((
+            name,
+            [
+                result.unique(Conjecture::C1),
+                result.unique(Conjecture::C2),
+                result.unique(Conjecture::C3),
+            ],
+        ));
+    }
+    table
+}
+
+/// Figure 4: for each version, the number of conjectures (0–3) each program
+/// violates.
+pub fn conjecture_grid(subjects: &[Subject], personality: Personality) -> Vec<Vec<u8>> {
+    let mut grid = Vec::new();
+    for version in 0..personality.version_names().len() {
+        let result = run_campaign(subjects, personality, version);
+        let mut row = vec![0u8; subjects.len()];
+        for (index, cell) in row.iter_mut().enumerate() {
+            let conjectures: BTreeSet<Conjecture> = result
+                .records
+                .iter()
+                .filter(|r| r.subject == index)
+                .map(|r| r.violation.conjecture)
+                .collect();
+            *cell = conjectures.len() as u8;
+        }
+        grid.push(row);
+    }
+    grid
+}
+
+/// Render the Figure 4 grid with the paper's colour-coded cells replaced by
+/// digits (rows of 25 programs, one block per version).
+pub fn render_grid(grid: &[Vec<u8>], personality: Personality) -> String {
+    let mut out = String::new();
+    for (version, row) in grid.iter().enumerate() {
+        out.push_str(&format!(
+            "{} {}\n",
+            personality.name(),
+            personality.version_names()[version]
+        ));
+        for chunk in row.chunks(25) {
+            let line: String = chunk.iter().map(|c| char::from(b'0' + *c)).collect();
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject_pool;
+
+    #[test]
+    fn version_table_shows_regressions_being_fixed() {
+        let subjects = subject_pool(1400, 8);
+        let table = version_table(&subjects, Personality::Ccg);
+        assert_eq!(table.rows.len(), 6);
+        let oldest = table.counts_for("4.8").unwrap();
+        let trunk = table.counts_for("trunk").unwrap();
+        let patched = table.counts_for("patched").unwrap();
+        let total = |c: [usize; 3]| c.iter().sum::<usize>();
+        // The strong trend of Table 4: Conjecture 2 violations decrease a lot
+        // between old releases and trunk, and the patched release improves on
+        // trunk overall (the 105158 fix).
+        assert!(
+            oldest[1] >= trunk[1],
+            "older releases should have at least as many C2 violations: {table:?}"
+        );
+        assert!(
+            total(patched) <= total(trunk),
+            "the patched release should improve on trunk: {table:?}"
+        );
+        assert!(table.render().contains("trunk"));
+    }
+
+    #[test]
+    fn grid_has_one_row_per_version_and_cell_per_program() {
+        let subjects = subject_pool(1410, 5);
+        let grid = conjecture_grid(&subjects, Personality::Lcc);
+        assert_eq!(grid.len(), 6);
+        assert!(grid.iter().all(|row| row.len() == 5));
+        assert!(grid.iter().flatten().all(|&c| c <= 3));
+        let rendered = render_grid(&grid, Personality::Lcc);
+        assert!(rendered.contains("lcc trunk"));
+    }
+
+    #[test]
+    fn quantitative_study_produces_rows_for_every_level() {
+        let subjects = subject_pool(1420, 2);
+        let rows = quantitative_study(&subjects, Personality::Ccg);
+        assert_eq!(
+            rows.len(),
+            Personality::Ccg.version_names().len() * Personality::Ccg.levels().len()
+        );
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.metrics.line_coverage));
+            assert!((0.0..=1.0).contains(&row.metrics.availability));
+        }
+    }
+}

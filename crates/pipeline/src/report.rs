@@ -1,0 +1,196 @@
+//! Issue classification and reporting (§5.3, Table 3).
+//!
+//! For every unique violation the reporter determines:
+//!
+//! * the **DIE-level manifestation** — Missing, Hollow, Incomplete or
+//!   covered-but-undisplayable DIE — by inspecting the executable's debug
+//!   information at the violating program point, and
+//! * whether the issue lies in the **compiler or the debugger**, by repeating
+//!   the inspection in the *other* debugger personality, exactly as the paper
+//!   validates violations "also in a different debugger" (§4.2).
+
+use holes_compiler::CompilerConfig;
+use holes_core::{Conjecture, Violation};
+use holes_debuginfo::{categorize_variable, DieCategory};
+use holes_debugger::{trace, DebuggerKind};
+
+use crate::campaign::CampaignResult;
+use crate::Subject;
+
+/// Whether a violation is attributed to the compiler or to the native
+/// debugger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IssueComponent {
+    /// The debug information itself is incomplete: a compiler issue.
+    Compiler,
+    /// The debug information is sufficient and another debugger displays the
+    /// value, but the native debugger does not: a debugger issue.
+    Debugger,
+}
+
+/// One row of the issue report (the reproduction's Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueRow {
+    /// Seed of the exposing program.
+    pub seed: u64,
+    /// The conjecture that exposed the issue.
+    pub conjecture: Conjecture,
+    /// The affected variable.
+    pub variable: String,
+    /// The violating line.
+    pub line: u32,
+    /// DIE-level manifestation.
+    pub category: DieCategory,
+    /// Compiler or debugger issue.
+    pub component: IssueComponent,
+}
+
+/// The full issue report.
+#[derive(Debug, Clone, Default)]
+pub struct IssueReport {
+    /// All rows.
+    pub rows: Vec<IssueRow>,
+}
+
+impl IssueReport {
+    /// Number of rows with a given DIE category.
+    pub fn count_category(&self, category: DieCategory) -> usize {
+        self.rows.iter().filter(|r| r.category == category).count()
+    }
+
+    /// Number of rows attributed to the debugger.
+    pub fn debugger_issues(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.component == IssueComponent::Debugger)
+            .count()
+    }
+
+    /// Number of rows attributed to the compiler.
+    pub fn compiler_issues(&self) -> usize {
+        self.rows.len() - self.debugger_issues()
+    }
+
+    /// Render as plain text, one row per issue plus a category summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("seed  conj  variable        line  category          component\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<5} {:<5} {:<15} {:<5} {:<17} {:?}\n",
+                row.seed, row.conjecture.to_string(), row.variable, row.line, row.category.to_string(), row.component
+            ));
+        }
+        out.push_str(&format!(
+            "\nMissing: {}  Hollow: {}  Incomplete: {}  Covered: {}  (compiler {}, debugger {})\n",
+            self.count_category(DieCategory::MissingDie),
+            self.count_category(DieCategory::HollowDie),
+            self.count_category(DieCategory::IncompleteDie),
+            self.count_category(DieCategory::Covered),
+            self.compiler_issues(),
+            self.debugger_issues(),
+        ));
+        out
+    }
+}
+
+/// Classify one violation.
+pub fn classify(
+    subject: &Subject,
+    config: &CompilerConfig,
+    violation: &Violation,
+) -> (DieCategory, IssueComponent) {
+    let exe = subject.compile(config);
+    let address = exe
+        .debug
+        .line_table
+        .first_address_of_line(violation.line)
+        .unwrap_or(0);
+    let category = categorize_variable(&exe.debug, &violation.variable, address);
+    // Cross-check with the other debugger personality.
+    let native = DebuggerKind::native_for(config.personality);
+    let other = match native {
+        DebuggerKind::GdbLike => DebuggerKind::LldbLike,
+        DebuggerKind::LldbLike => DebuggerKind::GdbLike,
+    };
+    let other_trace = trace(&exe, other);
+    let other_shows_it = other_trace
+        .var_at(violation.line, &violation.variable)
+        .map(|s| s.is_available())
+        .unwrap_or(false);
+    let component = if other_shows_it {
+        IssueComponent::Debugger
+    } else {
+        IssueComponent::Compiler
+    };
+    (category, component)
+}
+
+/// Build the issue report for (a sample of) a campaign's unique violations.
+pub fn build_report(
+    subjects: &[Subject],
+    result: &CampaignResult,
+    personality: holes_compiler::Personality,
+    version: usize,
+    limit: usize,
+) -> IssueReport {
+    let mut report = IssueReport::default();
+    let mut seen: Vec<(usize, Conjecture, u32, String)> = Vec::new();
+    for record in &result.records {
+        if report.rows.len() >= limit {
+            break;
+        }
+        let key = (
+            record.subject,
+            record.violation.conjecture,
+            record.violation.line,
+            record.violation.variable.clone(),
+        );
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let config = CompilerConfig::new(personality, record.level).with_version(version);
+        let (category, component) =
+            classify(&subjects[record.subject], &config, &record.violation);
+        report.rows.push(IssueRow {
+            seed: record.seed,
+            conjecture: record.violation.conjecture,
+            variable: record.violation.variable.clone(),
+            line: record.violation.line,
+            category,
+            component,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::subject_pool;
+    use holes_compiler::Personality;
+
+    #[test]
+    fn report_classifies_violations_into_categories() {
+        let subjects = subject_pool(1500, 6);
+        let personality = Personality::Ccg;
+        let result = run_campaign(&subjects, personality, personality.trunk());
+        let report = build_report(&subjects, &result, personality, personality.trunk(), 25);
+        if result.records.is_empty() {
+            return;
+        }
+        assert!(!report.rows.is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("category"));
+        // Every row has a sensible category (covered DIEs correspond to the
+        // paper's "Incorrect DIE" / debugger cases).
+        assert_eq!(
+            report.rows.len(),
+            report.count_category(DieCategory::MissingDie)
+                + report.count_category(DieCategory::HollowDie)
+                + report.count_category(DieCategory::IncompleteDie)
+                + report.count_category(DieCategory::Covered)
+        );
+    }
+}

@@ -1,0 +1,705 @@
+//! Seeded generator of MiniC test programs — the reproduction's substitute
+//! for the Csmith fuzzer used by the paper.
+//!
+//! The paper generates 1000–5000 heterogeneous C programs, drawing each time
+//! from "different assortments of 20 options that define program
+//! characteristics" (§4.1), and reuses the same programs to test all three
+//! conjectures. This crate mirrors that workflow:
+//!
+//! * [`GeneratorOptions`] exposes twenty knobs controlling which constructs a
+//!   program may contain (loops, nesting, volatile globals, pointers, opaque
+//!   calls, constant-valued locals, unnamed scopes, goto loops, ...).
+//! * [`GeneratorOptions::assortment`] derives a deterministic assortment of
+//!   options from a seed, like the paper's per-program option draws.
+//! * [`ProgramGenerator`] produces a [`Program`] that is structurally valid,
+//!   free of undefined behaviour and guaranteed to terminate: every program
+//!   is validated and executed in the reference interpreter before being
+//!   returned.
+//!
+//! # Example
+//!
+//! ```
+//! use holes_progen::{GeneratorOptions, ProgramGenerator};
+//!
+//! let options = GeneratorOptions::assortment(7);
+//! let mut generator = ProgramGenerator::new(7, options);
+//! let generated = generator.generate();
+//! assert!(generated.program.stmt_count() > 0);
+//! assert!(!generated.source.text.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod options;
+
+pub use options::GeneratorOptions;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use holes_minic::analysis::ProgramAnalysis;
+use holes_minic::ast::{
+    BinOp, Expr, FunctionId, GlobalId, LValue, LocalId, Program, Stmt, Ty, UnOp, VarRef,
+};
+use holes_minic::build::ProgramBuilder;
+use holes_minic::interp::Interpreter;
+use holes_minic::lines::SourceMap;
+use holes_minic::validate::validate;
+
+/// A generated program together with its rendered source, line map and the
+/// static analyses the conjecture checkers need.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The program AST with assigned line numbers.
+    pub program: Program,
+    /// Rendered source text and line maps.
+    pub source: SourceMap,
+    /// Static analyses (conjecture sites, liveness, induction variables).
+    pub analysis: ProgramAnalysis,
+    /// The seed that produced the program.
+    pub seed: u64,
+}
+
+/// Deterministic, validating program generator.
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    seed: u64,
+    options: GeneratorOptions,
+}
+
+impl ProgramGenerator {
+    /// Create a generator for a seed and an option assortment.
+    pub fn new(seed: u64, options: GeneratorOptions) -> ProgramGenerator {
+        ProgramGenerator { seed, options }
+    }
+
+    /// Create a generator whose options are themselves derived from the seed,
+    /// mirroring the paper's per-program option draws.
+    pub fn from_seed(seed: u64) -> ProgramGenerator {
+        ProgramGenerator::new(seed, GeneratorOptions::assortment(seed))
+    }
+
+    /// Generate one valid, terminating program.
+    ///
+    /// Candidate programs that fail validation or dynamic screening (out of
+    /// fuel, out of bounds) are discarded and regenerated from a derived
+    /// sub-seed; in practice almost every first candidate is accepted.
+    pub fn generate(&mut self) -> GeneratedProgram {
+        for attempt in 0..64u64 {
+            let sub_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(attempt);
+            let mut rng = StdRng::seed_from_u64(sub_seed);
+            let mut program = Emitter::new(&mut rng, &self.options).emit();
+            let source = program.assign_lines();
+            if validate(&program).is_err() {
+                continue;
+            }
+            if Interpreter::new(&program).run().is_err() {
+                continue;
+            }
+            let analysis = ProgramAnalysis::analyze(&program);
+            return GeneratedProgram {
+                program,
+                source,
+                analysis,
+                seed: self.seed,
+            };
+        }
+        unreachable!("generator failed to produce a valid program in 64 attempts")
+    }
+}
+
+/// Generate a whole pool of programs from consecutive seeds, as the paper
+/// does for its quantitative study and its violation campaigns.
+pub fn generate_pool(base_seed: u64, count: usize) -> Vec<GeneratedProgram> {
+    (0..count as u64)
+        .map(|i| ProgramGenerator::from_seed(base_seed.wrapping_add(i)).generate())
+        .collect()
+}
+
+/// Internal single-candidate emitter.
+struct Emitter<'r> {
+    rng: &'r mut StdRng,
+    opts: &'r GeneratorOptions,
+    builder: ProgramBuilder,
+    scalar_globals: Vec<GlobalId>,
+    array_globals: Vec<(GlobalId, Vec<usize>)>,
+    /// A global that is initialized to zero and never written: safe target
+    /// for the `label: if (g) goto label;` pattern of the paper's §3.4.
+    quiescent_global: Option<GlobalId>,
+    aux_functions: Vec<(FunctionId, usize)>,
+    pure_functions: Vec<FunctionId>,
+    name_counter: usize,
+}
+
+impl<'r> Emitter<'r> {
+    fn new(rng: &'r mut StdRng, opts: &'r GeneratorOptions) -> Emitter<'r> {
+        Emitter {
+            rng,
+            opts,
+            builder: ProgramBuilder::new(),
+            scalar_globals: Vec::new(),
+            array_globals: Vec::new(),
+            quiescent_global: None,
+            aux_functions: Vec::new(),
+            pure_functions: Vec::new(),
+            name_counter: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.name_counter += 1;
+        format!("{prefix}{}", self.name_counter)
+    }
+
+    fn scalar_ty(&mut self) -> Ty {
+        let choices = [Ty::I8, Ty::I16, Ty::I32, Ty::I32, Ty::I64, Ty::U8, Ty::U16, Ty::U32];
+        choices[self.rng.gen_range(0..choices.len())]
+    }
+
+    fn small_literal(&mut self) -> i64 {
+        self.rng.gen_range(-8..64)
+    }
+
+    fn emit(mut self) -> Program {
+        self.emit_globals();
+        self.emit_aux_functions();
+        self.emit_main();
+        self.builder.finish()
+    }
+
+    fn emit_globals(&mut self) {
+        let n_scalars = self.rng.gen_range(self.opts.min_globals..=self.opts.max_globals);
+        for _ in 0..n_scalars {
+            let ty = self.scalar_ty();
+            let volatile = self.rng.gen_bool(self.opts.volatile_prob);
+            let init = self.small_literal();
+            let name = self.fresh_name("g");
+            let id = self.builder.global(&name, ty, volatile, vec![ty.wrap(init)]);
+            self.scalar_globals.push(id);
+        }
+        // Dedicated quiescent global for goto-loop patterns.
+        if self.opts.goto_loops {
+            let name = self.fresh_name("quiet");
+            let id = self.builder.global(&name, Ty::I32, false, vec![0]);
+            self.quiescent_global = Some(id);
+        }
+        let n_arrays = self.rng.gen_range(self.opts.min_arrays..=self.opts.max_arrays);
+        for _ in 0..n_arrays {
+            let ndims = self.rng.gen_range(1..=self.opts.max_array_dims.max(1));
+            let dims: Vec<usize> = (0..ndims).map(|_| self.rng.gen_range(2..=4)).collect();
+            let count: usize = dims.iter().product();
+            let ty = self.scalar_ty();
+            let init: Vec<i64> = (0..count).map(|_| ty.wrap(self.small_literal())).collect();
+            let volatile = self.rng.gen_bool(self.opts.volatile_prob / 2.0);
+            let name = self.fresh_name("arr");
+            let id = self.builder.global_array(&name, ty, volatile, dims.clone(), init);
+            self.array_globals.push((id, dims));
+        }
+        // Guarantee at least one scalar global exists (stores need a target).
+        if self.scalar_globals.is_empty() {
+            let id = self.builder.global("g0", Ty::I32, false, vec![0]);
+            self.scalar_globals.push(id);
+        }
+    }
+
+    fn emit_aux_functions(&mut self) {
+        let n = self.rng.gen_range(0..=self.opts.max_aux_functions);
+        for _ in 0..n {
+            let name = self.fresh_name("f");
+            let func = self.builder.function(&name, Ty::I32);
+            let n_params = self.rng.gen_range(0..=self.opts.max_params);
+            let mut params = Vec::new();
+            for p in 0..n_params {
+                let pname = format!("p{p}");
+                params.push(self.builder.param(func, &pname, Ty::I32));
+            }
+            if self.rng.gen_bool(self.opts.pure_function_prob) || params.is_empty() {
+                // A side-effect free function returning a constant: fodder for
+                // the paper's gcc bug 105108 (pure-function folding).
+                let value = self.small_literal();
+                self.builder.push(func, Stmt::ret(Some(Expr::lit(value))));
+                self.pure_functions.push(func);
+                self.aux_functions.push((func, n_params));
+            } else {
+                // Combine the parameters, optionally touch a global.
+                let mut expr = Expr::local(params[0]);
+                for p in &params[1..] {
+                    let op = [BinOp::Add, BinOp::Sub, BinOp::Xor][self.rng.gen_range(0..3)];
+                    expr = Expr::binary(op, expr, Expr::local(*p));
+                }
+                if self.rng.gen_bool(0.5) && !self.scalar_globals.is_empty() {
+                    let g = self.pick_scalar_global();
+                    self.builder
+                        .push(func, Stmt::assign(LValue::global(g), expr.clone()));
+                }
+                self.builder.push(func, Stmt::ret(Some(expr)));
+                self.aux_functions.push((func, n_params));
+            }
+        }
+    }
+
+    fn pick_scalar_global(&mut self) -> GlobalId {
+        self.scalar_globals[self.rng.gen_range(0..self.scalar_globals.len())]
+    }
+
+    fn emit_main(&mut self) {
+        let main = self.builder.function("main", Ty::I32);
+        let mut ctx = MainContext {
+            func: main,
+            locals: Vec::new(),
+            constant_locals: Vec::new(),
+            pointer_locals: Vec::new(),
+            label_counter: 0,
+        };
+        // Local declarations.
+        let n_locals = self.rng.gen_range(self.opts.min_locals..=self.opts.max_locals);
+        for _ in 0..n_locals {
+            self.emit_local_decl(&mut ctx);
+        }
+        // Statement soup.
+        let n_stmts = self.rng.gen_range(self.opts.min_stmts..=self.opts.max_stmts);
+        for _ in 0..n_stmts {
+            self.emit_statement(&mut ctx, 0);
+        }
+        // Conjecture 1 instrumentation: the paper adds a call to an external
+        // non-optimizable function at a random point, passing "a plurality of
+        // the local variables" (§4.2). Emit one or more such calls.
+        let n_sink = self.rng.gen_range(1..=self.opts.max_sink_calls.max(1));
+        for _ in 0..n_sink {
+            self.emit_sink_call(&mut ctx);
+        }
+        self.builder
+            .push(ctx.func, Stmt::ret(Some(Expr::lit(0))));
+    }
+
+    fn emit_local_decl(&mut self, ctx: &mut MainContext) {
+        let roll: f64 = self.rng.gen();
+        if roll < self.opts.pointer_prob && !self.scalar_globals.is_empty() {
+            // Pointer local, pointing to a global or an earlier local.
+            let name = self.fresh_name("ptr");
+            let id = self.builder.local(ctx.func, &name, Ty::Ptr(&Ty::I32));
+            let target = if self.rng.gen_bool(0.5) || ctx.locals.is_empty() {
+                VarRef::Global(self.pick_scalar_global())
+            } else {
+                let candidates: Vec<LocalId> = ctx
+                    .locals
+                    .iter()
+                    .copied()
+                    .filter(|l| !ctx.pointer_locals.contains(l))
+                    .collect();
+                if candidates.is_empty() {
+                    VarRef::Global(self.pick_scalar_global())
+                } else {
+                    VarRef::Local(candidates[self.rng.gen_range(0..candidates.len())])
+                }
+            };
+            self.builder
+                .push(ctx.func, Stmt::decl(id, Some(Expr::addr_of(target))));
+            ctx.pointer_locals.push(id);
+            ctx.locals.push(id);
+        } else if roll < self.opts.pointer_prob + self.opts.constant_local_prob {
+            // Constant-valued local (feeds Conjecture 2's constant class and
+            // the constant-folding defects).
+            let name = self.fresh_name("c");
+            let ty = self.scalar_ty();
+            let id = self.builder.local(ctx.func, &name, ty);
+            let lit = self.small_literal();
+            self.builder
+                .push(ctx.func, Stmt::decl(id, Some(Expr::lit(ty.wrap(lit)))));
+            ctx.constant_locals.push(id);
+            ctx.locals.push(id);
+        } else {
+            // Ordinary local initialized from a global or a literal.
+            let name = self.fresh_name("v");
+            let ty = self.scalar_ty();
+            let id = self.builder.local(ctx.func, &name, ty);
+            let init = if self.rng.gen_bool(0.5) && !self.scalar_globals.is_empty() {
+                Expr::global(self.pick_scalar_global())
+            } else {
+                Expr::lit(self.small_literal())
+            };
+            self.builder.push(ctx.func, Stmt::decl(id, Some(init)));
+            ctx.locals.push(id);
+        }
+    }
+
+    /// A side-effect-free expression over constants, locals and globals.
+    /// Pointer-typed locals are excluded so the value semantics stay simple.
+    fn emit_expr(&mut self, ctx: &MainContext, depth: usize) -> Expr {
+        if depth >= self.opts.max_expr_depth || self.rng.gen_bool(0.35) {
+            return self.emit_leaf(ctx);
+        }
+        let roll = self.rng.gen_range(0..10);
+        match roll {
+            0..=5 => {
+                let op = BinOp::ALL[self.rng.gen_range(0..BinOp::ALL.len())];
+                Expr::binary(
+                    op,
+                    self.emit_expr(ctx, depth + 1),
+                    self.emit_expr(ctx, depth + 1),
+                )
+            }
+            6 => {
+                let op = [UnOp::Neg, UnOp::Not, UnOp::LogicalNot][self.rng.gen_range(0..3)];
+                Expr::unary(op, self.emit_expr(ctx, depth + 1))
+            }
+            7 if !self.pure_functions.is_empty()
+                && self.rng.gen_bool(self.opts.call_in_expr_prob) =>
+            {
+                let callee = self.pure_functions[self.rng.gen_range(0..self.pure_functions.len())];
+                Expr::call(callee, vec![])
+            }
+            _ => self.emit_leaf(ctx),
+        }
+    }
+
+    fn emit_leaf(&mut self, ctx: &MainContext) -> Expr {
+        let value_locals: Vec<LocalId> = ctx
+            .locals
+            .iter()
+            .copied()
+            .filter(|l| !ctx.pointer_locals.contains(l))
+            .collect();
+        let roll = self.rng.gen_range(0..10);
+        match roll {
+            0..=2 => Expr::lit(self.small_literal()),
+            3..=5 if !value_locals.is_empty() => {
+                Expr::local(value_locals[self.rng.gen_range(0..value_locals.len())])
+            }
+            6..=7 if !self.scalar_globals.is_empty() => Expr::global(self.pick_scalar_global()),
+            8 if !ctx.pointer_locals.is_empty() => Expr::deref(Expr::local(
+                ctx.pointer_locals[self.rng.gen_range(0..ctx.pointer_locals.len())],
+            )),
+            _ => Expr::lit(self.small_literal()),
+        }
+    }
+
+    fn emit_statement(&mut self, ctx: &mut MainContext, depth: usize) {
+        let roll: f64 = self.rng.gen();
+        let mut budget = roll;
+        let mut pick = |p: f64| {
+            if budget < p {
+                budget = 2.0;
+                true
+            } else {
+                budget -= p;
+                false
+            }
+        };
+        if pick(self.opts.loop_prob) && depth < self.opts.max_depth {
+            self.emit_loop(ctx, depth);
+        } else if pick(self.opts.if_prob) && depth < self.opts.max_depth {
+            self.emit_if(ctx, depth);
+        } else if pick(self.opts.internal_call_prob) && !self.aux_functions.is_empty() {
+            let (callee, n_params) =
+                self.aux_functions[self.rng.gen_range(0..self.aux_functions.len())];
+            let args: Vec<Expr> = (0..n_params).map(|_| self.emit_expr(ctx, 1)).collect();
+            self.builder
+                .push(ctx.func, Stmt::call_internal(callee, args));
+        } else if pick(self.opts.goto_loop_prob) && self.opts.goto_loops {
+            self.emit_goto_loop(ctx);
+        } else if pick(self.opts.block_prob) {
+            self.emit_block(ctx, depth);
+        } else if pick(self.opts.local_reassign_prob) && !ctx.locals.is_empty() {
+            // Reassignment of a local: creates a fresh variable instance for
+            // Conjecture 3.
+            let target = ctx.locals[self.rng.gen_range(0..ctx.locals.len())];
+            if ctx.pointer_locals.contains(&target) {
+                let g = self.pick_scalar_global();
+                self.builder.push(
+                    ctx.func,
+                    Stmt::assign(LValue::local(target), Expr::addr_of(VarRef::Global(g))),
+                );
+            } else {
+                ctx.constant_locals.retain(|l| *l != target);
+                let value = self.emit_expr(ctx, 0);
+                self.builder
+                    .push(ctx.func, Stmt::assign(LValue::local(target), value));
+            }
+        } else {
+            self.emit_global_store(ctx);
+        }
+    }
+
+    /// Assign to a global (scalar or array element) through an expression —
+    /// the bread and butter of Conjecture 2.
+    fn emit_global_store(&mut self, ctx: &mut MainContext) {
+        let value = self.emit_expr(ctx, 0);
+        if !self.array_globals.is_empty() && self.rng.gen_bool(0.3) {
+            let (arr, dims) =
+                self.array_globals[self.rng.gen_range(0..self.array_globals.len())].clone();
+            let indices: Vec<Expr> = dims
+                .iter()
+                .map(|d| Expr::lit(self.rng.gen_range(0..*d) as i64))
+                .collect();
+            self.builder.push(
+                ctx.func,
+                Stmt::assign(
+                    LValue::Index {
+                        base: VarRef::Global(arr),
+                        indices,
+                    },
+                    value,
+                ),
+            );
+        } else {
+            let g = self.pick_scalar_global();
+            self.builder
+                .push(ctx.func, Stmt::assign(LValue::global(g), value));
+        }
+    }
+
+    /// A canonical counted loop, optionally nested, whose body reads global
+    /// arrays indexed by the induction variable and writes a global.
+    fn emit_loop(&mut self, ctx: &mut MainContext, depth: usize) {
+        let iv_name = self.fresh_name("i");
+        let iv = self.builder.local(ctx.func, &iv_name, Ty::I32);
+        // Pick a bound: if we will index an array, the bound must match.
+        let (body_store, bound) = if !self.array_globals.is_empty() && self.rng.gen_bool(0.7) {
+            let (arr, dims) =
+                self.array_globals[self.rng.gen_range(0..self.array_globals.len())].clone();
+            let bound = dims[0] as i64;
+            let mut indices = Vec::new();
+            for (d, dim) in dims.iter().enumerate() {
+                if d == 0 {
+                    indices.push(Expr::local(iv));
+                } else {
+                    indices.push(Expr::lit(self.rng.gen_range(0..*dim) as i64));
+                }
+            }
+            let dest = self.pick_scalar_global();
+            let store = Stmt::assign(
+                LValue::global(dest),
+                Expr::index(VarRef::Global(arr), indices),
+            );
+            (store, bound)
+        } else {
+            let bound = self.rng.gen_range(2..=self.opts.max_trip_count.max(2)) as i64;
+            let dest = self.pick_scalar_global();
+            let value = Expr::binary(BinOp::Add, Expr::local(iv), self.emit_expr(ctx, 1));
+            (Stmt::assign(LValue::global(dest), value), bound)
+        };
+        let mut body = vec![body_store];
+        // Optional extra body statement multiplying the induction variable by
+        // a constant local (the paper's intro bug has exactly this shape).
+        if self.rng.gen_bool(0.4) && !ctx.constant_locals.is_empty() {
+            let c = ctx.constant_locals[self.rng.gen_range(0..ctx.constant_locals.len())];
+            let dest = self.pick_scalar_global();
+            body.push(Stmt::assign(
+                LValue::global(dest),
+                Expr::binary(BinOp::Mul, Expr::local(iv), Expr::local(c)),
+            ));
+        }
+        // Optional nested loop.
+        if depth + 1 < self.opts.max_depth && self.rng.gen_bool(self.opts.nested_loop_prob) {
+            let saved = std::mem::take(&mut body);
+            self.emit_nested_loop(ctx, &mut body);
+            body.extend(saved);
+        }
+        // Optional opaque call inside the loop body (several reported bugs
+        // involve calls within loops).
+        if self.rng.gen_bool(self.opts.sink_in_loop_prob) {
+            body.push(Stmt::call_opaque(vec![Expr::local(iv)]));
+        }
+        let stmt = Stmt::for_loop(
+            Some(Stmt::assign(LValue::local(iv), Expr::lit(0))),
+            Some(Expr::binary(BinOp::Lt, Expr::local(iv), Expr::lit(bound))),
+            Some(Stmt::assign(
+                LValue::local(iv),
+                Expr::binary(BinOp::Add, Expr::local(iv), Expr::lit(1)),
+            )),
+            body,
+        );
+        self.builder.push(ctx.func, stmt);
+        // The induction variable becomes reusable in later expressions.
+        ctx.locals.push(iv);
+    }
+
+    fn emit_nested_loop(&mut self, ctx: &mut MainContext, body: &mut Vec<Stmt>) {
+        let iv_name = self.fresh_name("j");
+        let iv = self.builder.local(ctx.func, &iv_name, Ty::I32);
+        let bound = self.rng.gen_range(2..=4) as i64;
+        let dest = self.pick_scalar_global();
+        let inner = Stmt::for_loop(
+            Some(Stmt::assign(LValue::local(iv), Expr::lit(0))),
+            Some(Expr::binary(BinOp::Lt, Expr::local(iv), Expr::lit(bound))),
+            Some(Stmt::assign(
+                LValue::local(iv),
+                Expr::binary(BinOp::Add, Expr::local(iv), Expr::lit(1)),
+            )),
+            vec![Stmt::assign(
+                LValue::global(dest),
+                Expr::binary(BinOp::Add, Expr::local(iv), Expr::global(dest)),
+            )],
+        );
+        body.push(inner);
+        ctx.locals.push(iv);
+    }
+
+    fn emit_if(&mut self, ctx: &mut MainContext, _depth: usize) {
+        let cond = self.emit_expr(ctx, 1);
+        let g = self.pick_scalar_global();
+        let then_value = self.emit_expr(ctx, 1);
+        let then_branch = vec![Stmt::assign(LValue::global(g), then_value)];
+        let else_branch = if self.rng.gen_bool(0.4) {
+            let g2 = self.pick_scalar_global();
+            let else_value = self.emit_expr(ctx, 1);
+            vec![Stmt::assign(LValue::global(g2), else_value)]
+        } else {
+            Vec::new()
+        };
+        self.builder
+            .push(ctx.func, Stmt::if_stmt(cond, then_branch, else_branch));
+    }
+
+    /// The `label: if (quiet) goto label;` pattern of the paper's §3.4 —
+    /// terminates because the quiescent global is never written.
+    fn emit_goto_loop(&mut self, ctx: &mut MainContext) {
+        let Some(quiet) = self.quiescent_global else {
+            return;
+        };
+        ctx.label_counter += 1;
+        let label = ctx.label_counter;
+        self.builder.push(ctx.func, Stmt::label(label));
+        self.builder.push(
+            ctx.func,
+            Stmt::if_stmt(Expr::global(quiet), vec![Stmt::goto(label)], vec![]),
+        );
+    }
+
+    fn emit_block(&mut self, ctx: &mut MainContext, _depth: usize) {
+        // Unnamed scope containing a constant declaration and a global store
+        // (the paper's gcc bug 104891 involves exactly this shape).
+        let name = self.fresh_name("s");
+        let ty = self.scalar_ty();
+        let inner = self.builder.local(ctx.func, &name, ty);
+        let lit = self.small_literal();
+        let g = self.pick_scalar_global();
+        let body = vec![
+            Stmt::decl(inner, Some(Expr::lit(ty.wrap(lit)))),
+            Stmt::assign(
+                LValue::global(g),
+                Expr::binary(BinOp::Add, Expr::local(inner), Expr::lit(1)),
+            ),
+        ];
+        ctx.constant_locals.push(inner);
+        ctx.locals.push(inner);
+        self.builder.push(ctx.func, Stmt::block(body));
+    }
+
+    fn emit_sink_call(&mut self, ctx: &mut MainContext) {
+        if ctx.locals.is_empty() {
+            self.builder
+                .push(ctx.func, Stmt::call_opaque(vec![Expr::lit(0)]));
+            return;
+        }
+        // Pass a plurality of the local variables, as the paper does.
+        let mut vars: Vec<LocalId> = ctx.locals.clone();
+        // Deterministic shuffle via the rng.
+        for i in (1..vars.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            vars.swap(i, j);
+        }
+        let take = (vars.len() / 2).clamp(1, self.opts.max_sink_args.max(1));
+        let args: Vec<Expr> = vars.into_iter().take(take).map(Expr::local).collect();
+        self.builder.push(ctx.func, Stmt::call_opaque(args));
+    }
+}
+
+struct MainContext {
+    func: FunctionId,
+    locals: Vec<LocalId>,
+    constant_locals: Vec<LocalId>,
+    pointer_locals: Vec<LocalId>,
+    label_counter: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_minic::validate::validate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProgramGenerator::from_seed(42).generate();
+        let b = ProgramGenerator::from_seed(42).generate();
+        assert_eq!(a.source.text, b.source.text);
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProgramGenerator::from_seed(1).generate();
+        let b = ProgramGenerator::from_seed(2).generate();
+        assert_ne!(a.source.text, b.source.text);
+    }
+
+    #[test]
+    fn generated_programs_validate_and_terminate() {
+        for seed in 0..40 {
+            let generated = ProgramGenerator::from_seed(seed).generate();
+            assert_eq!(validate(&generated.program), Ok(()), "seed {seed}");
+            let outcome = Interpreter::new(&generated.program)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(outcome.steps > 0);
+        }
+    }
+
+    #[test]
+    fn pool_generation_produces_distinct_programs() {
+        let pool = generate_pool(100, 10);
+        assert_eq!(pool.len(), 10);
+        let mut texts: Vec<&str> = pool.iter().map(|p| p.source.text.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert!(texts.len() >= 9, "programs should almost always be distinct");
+    }
+
+    #[test]
+    fn most_programs_have_conjecture_sites() {
+        let pool = generate_pool(500, 20);
+        let with_c1 = pool
+            .iter()
+            .filter(|p| !p.analysis.opaque_calls.is_empty())
+            .count();
+        let with_c2 = pool
+            .iter()
+            .filter(|p| !p.analysis.global_stores.is_empty())
+            .count();
+        let with_c3 = pool
+            .iter()
+            .filter(|p| !p.analysis.local_assignments.is_empty())
+            .count();
+        assert!(with_c1 >= 18, "C1 sites in {with_c1}/20");
+        assert!(with_c2 >= 10, "C2 sites in {with_c2}/20");
+        assert!(with_c3 >= 18, "C3 sites in {with_c3}/20");
+    }
+
+    #[test]
+    fn options_influence_program_shape() {
+        let mut opts = GeneratorOptions::default();
+        opts.min_stmts = 1;
+        opts.max_stmts = 2;
+        opts.min_locals = 1;
+        opts.max_locals = 2;
+        opts.max_sink_calls = 1;
+        let small = ProgramGenerator::new(9, opts).generate();
+        let big = ProgramGenerator::from_seed(9).generate();
+        assert!(small.program.stmt_count() <= big.program.stmt_count());
+    }
+
+    #[test]
+    fn line_maps_cover_all_statement_lines() {
+        let generated = ProgramGenerator::from_seed(3).generate();
+        let main = generated.program.main();
+        let lines = generated.source.lines_of(main);
+        assert!(!lines.is_empty());
+        for &line in lines {
+            assert_eq!(generated.source.function_of_line(line), Some(main));
+        }
+    }
+}

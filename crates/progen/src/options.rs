@@ -1,0 +1,189 @@
+//! Generator options — the reproduction's analogue of the "assortments of 20
+//! options that define program characteristics" the paper draws for every
+//! Csmith invocation (§4.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The twenty knobs of the program generator.
+///
+/// Every field has a sensible default; [`GeneratorOptions::assortment`]
+/// derives a randomized assortment from a seed, which is how campaign runs
+/// diversify the generated pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorOptions {
+    /// 1. Minimum number of scalar globals.
+    pub min_globals: usize,
+    /// 2. Maximum number of scalar globals.
+    pub max_globals: usize,
+    /// 3. Minimum number of global arrays.
+    pub min_arrays: usize,
+    /// 4. Maximum number of global arrays.
+    pub max_arrays: usize,
+    /// 5. Maximum number of array dimensions (1–3).
+    pub max_array_dims: usize,
+    /// 6. Probability that a global is declared `volatile`.
+    pub volatile_prob: f64,
+    /// 7. Maximum number of auxiliary (non-`main`) functions.
+    pub max_aux_functions: usize,
+    /// 8. Maximum number of parameters of auxiliary functions.
+    pub max_params: usize,
+    /// 9. Probability that an auxiliary function is pure (returns a constant).
+    pub pure_function_prob: f64,
+    /// 10. Minimum number of locals declared in `main`.
+    pub min_locals: usize,
+    /// 11. Maximum number of locals declared in `main`.
+    pub max_locals: usize,
+    /// 12. Minimum number of top-level statements in `main`.
+    pub min_stmts: usize,
+    /// 13. Maximum number of top-level statements in `main`.
+    pub max_stmts: usize,
+    /// 14. Maximum statement nesting depth.
+    pub max_depth: usize,
+    /// 15. Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// 16. Probability of emitting a counted loop at a statement slot.
+    pub loop_prob: f64,
+    /// 17. Probability that a loop contains a nested loop.
+    pub nested_loop_prob: f64,
+    /// 18. Probability of emitting an `if` at a statement slot.
+    pub if_prob: f64,
+    /// 19. Probability of emitting an internal call at a statement slot.
+    pub internal_call_prob: f64,
+    /// 20. Probability of declaring a pointer local.
+    pub pointer_prob: f64,
+    /// Probability of declaring a constant-valued local.
+    pub constant_local_prob: f64,
+    /// Probability of reassigning an existing local at a statement slot.
+    pub local_reassign_prob: f64,
+    /// Probability of emitting an unnamed scope at a statement slot.
+    pub block_prob: f64,
+    /// Whether `label: if (g) goto label;` patterns may be generated.
+    pub goto_loops: bool,
+    /// Probability of emitting a goto loop at a statement slot.
+    pub goto_loop_prob: f64,
+    /// Probability that a loop body contains an opaque sink call.
+    pub sink_in_loop_prob: f64,
+    /// Probability that an expression may contain a call to a pure function.
+    pub call_in_expr_prob: f64,
+    /// Maximum trip count for loops that do not index an array.
+    pub max_trip_count: usize,
+    /// Maximum number of standalone opaque sink calls appended to `main`.
+    pub max_sink_calls: usize,
+    /// Maximum number of variables passed to one sink call.
+    pub max_sink_args: usize,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> GeneratorOptions {
+        GeneratorOptions {
+            min_globals: 2,
+            max_globals: 5,
+            min_arrays: 1,
+            max_arrays: 3,
+            max_array_dims: 3,
+            volatile_prob: 0.3,
+            max_aux_functions: 2,
+            max_params: 3,
+            pure_function_prob: 0.4,
+            min_locals: 3,
+            max_locals: 8,
+            min_stmts: 4,
+            max_stmts: 12,
+            max_depth: 3,
+            max_expr_depth: 3,
+            loop_prob: 0.3,
+            nested_loop_prob: 0.35,
+            if_prob: 0.15,
+            internal_call_prob: 0.1,
+            pointer_prob: 0.15,
+            constant_local_prob: 0.35,
+            local_reassign_prob: 0.15,
+            block_prob: 0.08,
+            goto_loops: true,
+            goto_loop_prob: 0.05,
+            sink_in_loop_prob: 0.25,
+            call_in_expr_prob: 0.5,
+            max_trip_count: 6,
+            max_sink_calls: 2,
+            max_sink_args: 5,
+        }
+    }
+}
+
+impl GeneratorOptions {
+    /// Derive a randomized assortment of options from a seed.
+    ///
+    /// The ranges are chosen so that every assortment still produces
+    /// conjecture-relevant constructs with high probability, while varying
+    /// the mix enough to exercise different optimizer paths.
+    pub fn assortment(seed: u64) -> GeneratorOptions {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+        let defaults = GeneratorOptions::default();
+        GeneratorOptions {
+            min_globals: rng.gen_range(1..=3),
+            max_globals: rng.gen_range(3..=6),
+            min_arrays: rng.gen_range(0..=1),
+            max_arrays: rng.gen_range(1..=3),
+            max_array_dims: rng.gen_range(1..=3),
+            volatile_prob: rng.gen_range(0.1..0.5),
+            max_aux_functions: rng.gen_range(0..=3),
+            max_params: rng.gen_range(1..=4),
+            pure_function_prob: rng.gen_range(0.2..0.6),
+            min_locals: rng.gen_range(2..=4),
+            max_locals: rng.gen_range(5..=10),
+            min_stmts: rng.gen_range(3..=6),
+            max_stmts: rng.gen_range(8..=16),
+            max_depth: rng.gen_range(2..=3),
+            max_expr_depth: rng.gen_range(2..=4),
+            loop_prob: rng.gen_range(0.2..0.45),
+            nested_loop_prob: rng.gen_range(0.2..0.5),
+            if_prob: rng.gen_range(0.05..0.25),
+            internal_call_prob: rng.gen_range(0.05..0.2),
+            pointer_prob: rng.gen_range(0.05..0.25),
+            constant_local_prob: rng.gen_range(0.25..0.5),
+            local_reassign_prob: rng.gen_range(0.1..0.25),
+            block_prob: rng.gen_range(0.02..0.15),
+            goto_loops: rng.gen_bool(0.7),
+            goto_loop_prob: rng.gen_range(0.02..0.1),
+            sink_in_loop_prob: rng.gen_range(0.15..0.4),
+            call_in_expr_prob: rng.gen_range(0.3..0.7),
+            max_trip_count: rng.gen_range(3..=8),
+            max_sink_calls: rng.gen_range(1..=3),
+            max_sink_args: defaults.max_sink_args,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let o = GeneratorOptions::default();
+        assert!(o.min_globals <= o.max_globals);
+        assert!(o.min_arrays <= o.max_arrays);
+        assert!(o.min_locals <= o.max_locals);
+        assert!(o.min_stmts <= o.max_stmts);
+        assert!(o.max_array_dims >= 1 && o.max_array_dims <= 3);
+    }
+
+    #[test]
+    fn assortment_is_deterministic() {
+        assert_eq!(GeneratorOptions::assortment(5), GeneratorOptions::assortment(5));
+        assert_ne!(GeneratorOptions::assortment(5), GeneratorOptions::assortment(6));
+    }
+
+    #[test]
+    fn assortments_are_consistent_ranges() {
+        for seed in 0..100 {
+            let o = GeneratorOptions::assortment(seed);
+            assert!(o.min_globals <= o.max_globals, "seed {seed}");
+            assert!(o.min_arrays <= o.max_arrays, "seed {seed}");
+            assert!(o.min_locals <= o.max_locals, "seed {seed}");
+            assert!(o.min_stmts <= o.max_stmts, "seed {seed}");
+            assert!(o.volatile_prob > 0.0 && o.volatile_prob < 1.0, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A directed case study mirroring the paper's introductory gcc bug
+//! (bug 105161): a constant-valued variable `j` takes part in computing an
+//! array index inside a loop; constant folding removes its storage, and the
+//! buggy compiler forgets to describe the constant in debug information, so
+//! the debugger shows `j` as optimized out at the access line.
+//!
+//! ```sh
+//! cargo run -p holes-pipeline --example intro_case_study
+//! ```
+
+use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_minic::ast::{BinOp, Expr, LValue, Stmt, Ty, VarRef};
+use holes_minic::build::ProgramBuilder;
+use holes_pipeline::report::classify;
+use holes_pipeline::triage::triage;
+use holes_pipeline::Subject;
+
+fn main() {
+    // int b[10][2]; int a;
+    // int main() {
+    //   int i = 0, j, k;
+    //   for (; i < 10; i++) {
+    //     j = k = 0;
+    //     for (; k < 1; k++)
+    //       a = b[i][(j) * k];
+    //   }
+    // }
+    let mut builder = ProgramBuilder::new();
+    let b_arr = builder.global_array("b", Ty::I32, false, vec![10, 2], vec![7; 20]);
+    let a = builder.global("a", Ty::I32, true, vec![0]);
+    let main = builder.function("main", Ty::I32);
+    let i = builder.local(main, "i", Ty::I32);
+    let j = builder.local(main, "j", Ty::I32);
+    let k = builder.local(main, "k", Ty::I32);
+    let inner = Stmt::for_loop(
+        Some(Stmt::assign(LValue::local(k), Expr::lit(0))),
+        Some(Expr::binary(BinOp::Lt, Expr::local(k), Expr::lit(1))),
+        Some(Stmt::assign(
+            LValue::local(k),
+            Expr::binary(BinOp::Add, Expr::local(k), Expr::lit(1)),
+        )),
+        vec![Stmt::assign(
+            LValue::global(a),
+            Expr::index(
+                VarRef::Global(b_arr),
+                vec![
+                    Expr::local(i),
+                    Expr::binary(BinOp::Mul, Expr::local(j), Expr::local(k)),
+                ],
+            ),
+        )],
+    );
+    let outer = Stmt::for_loop(
+        Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+        Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(10))),
+        Some(Stmt::assign(
+            LValue::local(i),
+            Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+        )),
+        vec![Stmt::assign(LValue::local(j), Expr::lit(0)), inner],
+    );
+    builder.push(main, outer);
+    builder.push(main, Stmt::ret(Some(Expr::lit(0))));
+    let subject = Subject::from_program(builder.finish());
+    println!("--- test program ---\n{}", subject.source.text);
+
+    // The gcc-like trunk at -O1 carries the constant-folding defect that
+    // models the paper's bug.
+    let config = CompilerConfig::new(Personality::Ccg, OptLevel::O1);
+    let violations = subject.violations(&config);
+    if violations.is_empty() {
+        println!("no violation (try another level or version)");
+        return;
+    }
+    for violation in &violations {
+        println!(
+            "{} violated at line {} for variable `{}` ({:?})",
+            violation.conjecture, violation.line, violation.variable, violation.observed
+        );
+        let (category, component) = classify(&subject, &config, violation);
+        println!("  DIE analysis: {category}, attributed to the {component:?}");
+        let outcome = triage(&subject, &config, violation);
+        println!("  culprit optimization(s): {:?}", outcome.culprits);
+    }
+
+    // The defect-free compiler keeps `j` available: the loss is a defect, not
+    // an unavoidable effect of optimization.
+    let clean = subject.violations(&config.clone().without_defects());
+    println!(
+        "violations with the hypothetical defect-free compiler: {}",
+        clean.len()
+    );
+}

@@ -1,0 +1,34 @@
+//! The §2 quantitative study (Figure 1) on a configurable pool: line
+//! coverage, availability of variables and their product, per compiler
+//! version and optimization level.
+//!
+//! ```sh
+//! cargo run --release -p holes-pipeline --example quantitative_study -- 50
+//! ```
+
+use holes_compiler::Personality;
+use holes_pipeline::regression::quantitative_study;
+use holes_pipeline::subject_pool;
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    println!("generating {count} programs...");
+    let pool = subject_pool(7_000, count);
+    for personality in [Personality::Lcc, Personality::Ccg] {
+        println!("== Figure 1 data ({personality}) ==");
+        println!("{:<10} {:<6} {:>9} {:>9} {:>9}", "version", "level", "line-cov", "avail", "product");
+        for row in quantitative_study(&pool, personality) {
+            println!(
+                "{:<10} {:<6} {:>9.3} {:>9.3} {:>9.3}",
+                row.version,
+                row.level.flag(),
+                row.metrics.line_coverage,
+                row.metrics.availability,
+                row.metrics.product
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: generate a program, compile it with both compiler
+//! personalities, debug it, and check the three conjectures.
+//!
+//! ```sh
+//! cargo run -p holes-pipeline --example quickstart
+//! ```
+
+use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_pipeline::Subject;
+use holes_progen::ProgramGenerator;
+
+fn main() {
+    // 1. Generate a MiniC test program (the Csmith substitute).
+    let generated = ProgramGenerator::from_seed(2023).generate();
+    let subject = Subject::from_generated(generated);
+    println!("--- generated program (seed 2023) ---");
+    println!("{}", subject.source.text);
+
+    // 2. Compile and debug it at -O0 and -O2 with the gcc-like personality.
+    let o0 = CompilerConfig::new(Personality::Ccg, OptLevel::O0);
+    let o2 = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+    let baseline = subject.trace(&o0);
+    let optimized = subject.trace(&o2);
+    println!(
+        "lines steppable: {} at -O0, {} at -O2",
+        baseline.lines_reached(),
+        optimized.lines_reached()
+    );
+    let metrics = holes_core::metrics::Metrics::compute(&optimized, &baseline);
+    println!(
+        "line coverage {:.2}, availability of variables {:.2}, product {:.2}",
+        metrics.line_coverage, metrics.availability, metrics.product
+    );
+
+    // 3. Check the three conjectures on every optimization level of both
+    //    personalities.
+    for personality in [Personality::Ccg, Personality::Lcc] {
+        for &level in personality.levels() {
+            let config = CompilerConfig::new(personality, level);
+            let violations = subject.violations(&config);
+            println!(
+                "{personality} {level}: {} conjecture violation(s)",
+                violations.len()
+            );
+            for v in violations {
+                println!(
+                    "  {} at line {}: variable `{}` observed as {:?}",
+                    v.conjecture, v.line, v.variable, v.observed
+                );
+            }
+        }
+    }
+}

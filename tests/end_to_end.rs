@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: generation → compilation → execution →
+//! debugging → conjecture checking → triage → reduction, end to end.
+
+use holes_compiler::{compile, CompilerConfig, OptLevel, Personality};
+use holes_debugger::{trace, DebuggerKind};
+use holes_minic::interp::Interpreter;
+use holes_pipeline::campaign::run_campaign;
+use holes_pipeline::report::build_report;
+use holes_pipeline::triage::triage;
+use holes_pipeline::{subject_pool, Subject};
+use holes_progen::ProgramGenerator;
+
+/// Every stage of the pipeline agrees on semantics: the interpreter, the
+/// unoptimized executable, and every optimized executable of both
+/// personalities produce the same observable outcome.
+#[test]
+fn semantics_agree_across_the_whole_matrix() {
+    for seed in 100..106 {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let reference = Interpreter::new(&generated.program).run().expect("interpreter");
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for version in [0, personality.trunk(), 5] {
+                for &level in personality.levels() {
+                    let config = CompilerConfig::new(personality, level).with_version(version);
+                    let exe = compile(&generated.program, &config);
+                    let outcome = exe.run().expect("vm execution");
+                    assert!(
+                        outcome.matches(&reference),
+                        "seed {seed} {personality} v{version} {level} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `-O0` baseline never violates any conjecture, for either debugger.
+#[test]
+fn o0_baseline_is_always_clean() {
+    let pool = subject_pool(60_000, 6);
+    for subject in &pool {
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            let exe = subject.compile(&CompilerConfig::new(personality, OptLevel::O0));
+            for kind in [DebuggerKind::GdbLike, DebuggerKind::LldbLike] {
+                let t = trace(&exe, kind);
+                let violations =
+                    holes_core::check_all(&subject.program, &subject.analysis, &subject.source, &t);
+                assert!(violations.is_empty(), "{personality} {kind:?}: {violations:?}");
+            }
+        }
+    }
+}
+
+/// Defect-free optimized compilation never violates a conjecture: every
+/// violation the campaign finds is attributable to a catalogued defect.
+#[test]
+fn violations_only_come_from_catalogued_defects() {
+    let pool = subject_pool(61_000, 5);
+    for subject in &pool {
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for &level in personality.levels() {
+                let clean = CompilerConfig::new(personality, level).without_defects();
+                assert!(
+                    subject.violations(&clean).is_empty(),
+                    "defect-free {personality} {level} produced a violation"
+                );
+            }
+        }
+    }
+}
+
+/// A campaign on the trunk compilers finds violations, they can be triaged,
+/// and their DIE-level classification is consistent.
+#[test]
+fn campaign_triage_and_report_work_together() {
+    let pool = subject_pool(62_000, 8);
+    let mut total_violations = 0usize;
+    for personality in [Personality::Ccg, Personality::Lcc] {
+        let result = run_campaign(&pool, personality, personality.trunk());
+        total_violations += result.records.len();
+        let report = build_report(&pool, &result, personality, personality.trunk(), 20);
+        assert!(report.rows.len() <= 20);
+        if let Some(record) = result.records.first() {
+            let config =
+                CompilerConfig::new(personality, record.level).with_version(personality.trunk());
+            let outcome = triage(&pool[record.subject], &config, &record.violation);
+            if personality == Personality::Lcc {
+                assert!(!outcome.culprits.is_empty());
+            }
+        }
+    }
+    assert!(
+        total_violations > 0,
+        "the trunk defect catalogue should produce violations on an 8-program pool"
+    );
+}
+
+/// The debugger-friendly level preserves at least as much debugging
+/// experience as the aggressive levels, on average (the headline shape of
+/// Figure 1).
+#[test]
+fn og_dominates_o3_in_the_product_metric() {
+    let pool = subject_pool(63_000, 6);
+    let mut og_product = 0.0f64;
+    let mut o3_product = 0.0f64;
+    for subject in &pool {
+        let baseline = subject.trace(&CompilerConfig::new(Personality::Ccg, OptLevel::O0));
+        let og = subject.trace(&CompilerConfig::new(Personality::Ccg, OptLevel::Og));
+        let o3 = subject.trace(&CompilerConfig::new(Personality::Ccg, OptLevel::O3));
+        og_product += holes_core::metrics::Metrics::compute(&og, &baseline).product;
+        o3_product += holes_core::metrics::Metrics::compute(&o3, &baseline).product;
+    }
+    assert!(
+        og_product >= o3_product,
+        "-Og should retain at least as much debug information as -O3 ({og_product} vs {o3_product})"
+    );
+}
+
+/// Directed reproduction of the paper's LSR case study (§3.3): with the
+/// clang-like trunk, the loop induction variable indexing global memory
+/// becomes unavailable at the store line; with the partially fixed
+/// "trunk-star" profile it is available again at most levels.
+#[test]
+fn lsr_case_study_reproduces() {
+    use holes_minic::ast::{BinOp, Expr, LValue, Stmt, Ty, VarRef};
+    use holes_minic::build::ProgramBuilder;
+    let mut b = ProgramBuilder::new();
+    let arr = b.global_array("a", Ty::I32, false, vec![10], (0..10).collect());
+    let c = b.global("c", Ty::I32, true, vec![0]);
+    let main = b.function("main", Ty::I32);
+    let i = b.local(main, "i", Ty::I32);
+    b.push(
+        main,
+        Stmt::for_loop(
+            Some(Stmt::assign(LValue::local(i), Expr::lit(0))),
+            Some(Expr::binary(BinOp::Lt, Expr::local(i), Expr::lit(10))),
+            Some(Stmt::assign(
+                LValue::local(i),
+                Expr::binary(BinOp::Add, Expr::local(i), Expr::lit(1)),
+            )),
+            vec![Stmt::assign(
+                LValue::global(c),
+                Expr::index(VarRef::Global(arr), vec![Expr::local(i)]),
+            )],
+        ),
+    );
+    b.push(main, Stmt::ret(Some(Expr::lit(0))));
+    let subject = Subject::from_program(b.finish());
+    // Disable the scheduler pass so that only the LSR defect can affect this
+    // program (mirroring the paper's flag-based isolation of a culprit).
+    let trunk = CompilerConfig::new(Personality::Lcc, OptLevel::O2)
+        .with_disabled_pass("machine-scheduler");
+    let violations = subject.violations(&trunk);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable == "i"),
+        "the LSR defect should make the induction variable unavailable: {violations:?}"
+    );
+    let fixed = trunk.clone().with_version(5);
+    let after_fix = subject.violations(&fixed);
+    assert!(
+        !after_fix
+            .iter()
+            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable == "i"),
+        "the trunk-star profile should fix the O2 LSR violation: {after_fix:?}"
+    );
+}

@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction.
+
+use proptest::prelude::*;
+
+use holes_compiler::{compile, CompilerConfig, OptLevel, Personality};
+use holes_debugger::{trace, DebuggerKind};
+use holes_minic::ast::Ty;
+use holes_minic::interp::Interpreter;
+use holes_minic::validate::validate;
+use holes_progen::{GeneratorOptions, ProgramGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Integer wrapping is idempotent and stays within the type's range for
+    /// every scalar type and every value.
+    #[test]
+    fn ty_wrap_is_idempotent_and_bounded(value in any::<i64>(), index in 0usize..8) {
+        let ty = Ty::SCALARS[index];
+        let wrapped = ty.wrap(value);
+        prop_assert_eq!(ty.wrap(wrapped), wrapped);
+        if ty.bits() < 64 {
+            let bound = 1i128 << ty.bits();
+            prop_assert!((i128::from(wrapped)).abs() < bound);
+        }
+    }
+
+    /// Every generated program is structurally valid and terminates in the
+    /// reference interpreter, for arbitrary seeds.
+    #[test]
+    fn generated_programs_are_valid_and_terminate(seed in 0u64..5_000) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        prop_assert_eq!(validate(&generated.program), Ok(()));
+        prop_assert!(Interpreter::new(&generated.program).run().is_ok());
+    }
+
+    /// Generator option assortments always have consistent ranges.
+    #[test]
+    fn option_assortments_are_consistent(seed in any::<u64>()) {
+        let options = GeneratorOptions::assortment(seed);
+        prop_assert!(options.min_globals <= options.max_globals);
+        prop_assert!(options.min_locals <= options.max_locals);
+        prop_assert!(options.min_stmts <= options.max_stmts);
+        prop_assert!(options.max_array_dims >= 1 && options.max_array_dims <= 3);
+    }
+
+    /// Compilation preserves semantics at a randomly chosen optimization
+    /// level and version, for both personalities.
+    #[test]
+    fn compilation_preserves_semantics(seed in 0u64..300, level_index in 0usize..5, version in 0usize..6) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let reference = Interpreter::new(&generated.program).run().unwrap();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            let levels = personality.levels();
+            let level = levels[level_index % levels.len()];
+            let config = CompilerConfig::new(personality, level).with_version(version);
+            let exe = compile(&generated.program, &config);
+            let outcome = exe.run().unwrap();
+            prop_assert!(outcome.matches(&reference));
+        }
+    }
+
+    /// The emitted line table is well-formed: rows sorted by address and every
+    /// steppable line has a first address.
+    #[test]
+    fn line_tables_are_well_formed(seed in 0u64..300) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let exe = compile(
+            &generated.program,
+            &CompilerConfig::new(Personality::Ccg, OptLevel::O2),
+        );
+        let rows = exe.debug.line_table.rows();
+        prop_assert!(rows.windows(2).all(|w| w[0].address <= w[1].address));
+        for line in exe.debug.line_table.steppable_lines() {
+            prop_assert!(exe.debug.line_table.first_address_of_line(line).is_some());
+        }
+    }
+
+    /// Debugger metrics stay within the unit interval for arbitrary programs
+    /// and levels.
+    #[test]
+    fn metrics_are_bounded(seed in 0u64..200, level_index in 0usize..5) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let personality = Personality::Ccg;
+        let levels = personality.levels();
+        let level = levels[level_index % levels.len()];
+        let baseline = trace(
+            &compile(&generated.program, &CompilerConfig::new(personality, OptLevel::O0)),
+            DebuggerKind::GdbLike,
+        );
+        let optimized = trace(
+            &compile(&generated.program, &CompilerConfig::new(personality, level)),
+            DebuggerKind::GdbLike,
+        );
+        let metrics = holes_core::metrics::Metrics::compute(&optimized, &baseline);
+        prop_assert!((0.0..=1.0).contains(&metrics.line_coverage));
+        prop_assert!((0.0..=1.0).contains(&metrics.availability));
+        prop_assert!((0.0..=1.0).contains(&metrics.product));
+    }
+
+    /// The defect-free compiler never produces conjecture violations: the
+    /// conjectures only fire on injected (catalogued) defects.
+    #[test]
+    fn defect_free_compilers_never_violate(seed in 0u64..150, level_index in 0usize..5) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let subject = holes_pipeline::Subject::from_generated(generated);
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            let levels = personality.levels();
+            let level = levels[level_index % levels.len()];
+            let config = CompilerConfig::new(personality, level).without_defects();
+            prop_assert!(subject.violations(&config).is_empty());
+        }
+    }
+}
