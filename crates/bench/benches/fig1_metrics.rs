@@ -15,8 +15,11 @@ fn bench(c: &mut Criterion) {
         for row in &rows {
             println!(
                 "{:<10} {:<6} {:>7.3} {:>7.3} {:>8.3}",
-                row.version, row.level.flag(), row.metrics.line_coverage,
-                row.metrics.availability, row.metrics.product
+                row.version,
+                row.level.flag(),
+                row.metrics.line_coverage,
+                row.metrics.availability,
+                row.metrics.product
             );
         }
     }

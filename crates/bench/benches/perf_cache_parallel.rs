@@ -1,0 +1,169 @@
+//! Performance benchmarks for the evaluation engine itself: the artifact
+//! cache, the targeted oracle, the binary-search bisection, and the parallel
+//! campaign driver. The run asserts the engine's three headline claims (and
+//! aborts loudly if one regresses):
+//!
+//! 1. binary-search bisection performs strictly fewer oracle compiles than
+//!    the linear prefix scan on at least one triaged violation (and never
+//!    meaningfully more on any),
+//! 2. a repeat `violations()` query on a warm cache is at least 10× faster
+//!    than the cold evaluation,
+//! 3. the parallel campaign's `table1()` and `venn()` output is
+//!    byte-identical to the serial reference implementation.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holes_bench::bench_pool;
+
+use holes_compiler::{CompilerConfig, Personality};
+use holes_pipeline::campaign::{run_campaign, run_campaign_serial};
+use holes_pipeline::triage::{bisect, bisect_linear};
+use holes_pipeline::Subject;
+
+fn compile_counts(c: &mut Criterion) {
+    let pool = bench_pool(51_000);
+    let personality = Personality::Lcc;
+    let result = run_campaign(&pool, personality, personality.trunk());
+    println!("== bisection oracle compiles (binary vs linear) ==");
+    let mut strictly_fewer = 0usize;
+    let mut compared = 0usize;
+    for record in result.records.iter().take(16) {
+        let config =
+            CompilerConfig::new(personality, record.level).with_version(personality.trunk());
+        let for_binary = pool[record.subject].with_fresh_cache();
+        let binary = bisect(&for_binary, &config, &record.violation);
+        let binary_compiles = for_binary.cache_stats().compiles;
+        let for_linear = pool[record.subject].with_fresh_cache();
+        let linear = bisect_linear(&for_linear, &config, &record.violation);
+        let linear_compiles = for_linear.cache_stats().compiles;
+        assert_eq!(binary, linear, "bisection strategies disagree on a culprit");
+        assert!(
+            binary_compiles <= linear_compiles.max(6),
+            "binary search compiled noticeably more than the scan: \
+             {binary_compiles} vs {linear_compiles}"
+        );
+        println!(
+            "  {} line {:>3} {:<12} binary {:>2} compiles, linear {:>2}",
+            config.describe(),
+            record.violation.line,
+            record.violation.variable,
+            binary_compiles,
+            linear_compiles,
+        );
+        strictly_fewer += usize::from(binary_compiles < linear_compiles);
+        compared += 1;
+    }
+    assert!(compared > 0, "campaign produced no violations to bisect");
+    if cfg!(debug_assertions) {
+        println!("  (debug build: the monotonicity assert probes every budget)");
+    } else {
+        assert!(
+            strictly_fewer > 0,
+            "binary search never compiled strictly less than the linear scan"
+        );
+    }
+    println!("  strictly fewer on {strictly_fewer}/{compared} violations");
+
+    let mut group = c.benchmark_group("triage_bisect");
+    group.sample_size(10);
+    if let Some(record) = result.records.first() {
+        let config =
+            CompilerConfig::new(personality, record.level).with_version(personality.trunk());
+        group.bench_function("binary_cold_cache", |b| {
+            b.iter(|| {
+                let fresh = pool[record.subject].with_fresh_cache();
+                bisect(&fresh, &config, &record.violation)
+            })
+        });
+        group.bench_function("linear_cold_cache", |b| {
+            b.iter(|| {
+                let fresh = pool[record.subject].with_fresh_cache();
+                bisect_linear(&fresh, &config, &record.violation)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cache_speedup(c: &mut Criterion) {
+    let pool = bench_pool(52_000);
+    let config = CompilerConfig::new(Personality::Ccg, holes_compiler::OptLevel::O2);
+    println!("== warm-cache speedup of violations() ==");
+    let mut cold_total = 0.0f64;
+    let mut warm_total = 0.0f64;
+    for subject in &pool {
+        let fresh = subject.with_fresh_cache();
+        let start = Instant::now();
+        let cold = fresh.violations(&config);
+        let cold_elapsed = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let warm = fresh.violations(&config);
+        let warm_elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(cold, warm, "cached violations differ from the cold run");
+        cold_total += cold_elapsed;
+        warm_total += warm_elapsed;
+    }
+    let speedup = cold_total / warm_total.max(f64::EPSILON);
+    println!(
+        "  cold {:.3} ms, warm {:.3} ms, speedup {speedup:.0}x over {} subjects",
+        cold_total * 1e3,
+        warm_total * 1e3,
+        pool.len()
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm-cache violations() should be at least 10x faster (got {speedup:.1}x)"
+    );
+
+    let mut group = c.benchmark_group("oracle_cache");
+    group.sample_size(10);
+    let subject: &Subject = &pool[0];
+    group.bench_function("violations_cold", |b| {
+        b.iter(|| subject.with_fresh_cache().violations(&config))
+    });
+    let warm = subject.with_fresh_cache();
+    let _ = warm.violations(&config);
+    group.bench_function("violations_warm", |b| b.iter(|| warm.violations(&config)));
+    group.finish();
+}
+
+fn parallel_determinism(c: &mut Criterion) {
+    let pool = bench_pool(53_000);
+    println!("== parallel vs serial campaign (determinism) ==");
+    for personality in [Personality::Ccg, Personality::Lcc] {
+        let fresh: Vec<Subject> = pool.iter().map(Subject::with_fresh_cache).collect();
+        let parallel = run_campaign(&fresh, personality, personality.trunk());
+        let serial = run_campaign_serial(&pool, personality, personality.trunk());
+        assert_eq!(
+            parallel.table1(),
+            serial.table1(),
+            "{personality}: parallel table1 diverged from serial"
+        );
+        assert_eq!(
+            parallel.venn(),
+            serial.venn(),
+            "{personality}: parallel venn diverged from serial"
+        );
+        println!("  {personality}: byte-identical table1 and venn");
+    }
+
+    let mut group = c.benchmark_group("campaign_parallelism");
+    group.sample_size(10);
+    group.bench_function("run_campaign_parallel", |b| {
+        b.iter(|| {
+            let fresh: Vec<Subject> = pool.iter().map(Subject::with_fresh_cache).collect();
+            run_campaign(&fresh, Personality::Ccg, Personality::Ccg.trunk())
+        })
+    });
+    group.bench_function("run_campaign_serial", |b| {
+        b.iter(|| {
+            let fresh: Vec<Subject> = pool.iter().map(Subject::with_fresh_cache).collect();
+            run_campaign_serial(&fresh, Personality::Ccg, Personality::Ccg.trunk())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compile_counts, cache_speedup, parallel_determinism);
+criterion_main!(benches);

@@ -9,12 +9,16 @@ fn bench(c: &mut Criterion) {
     let pool = bench_pool(41_000);
     for personality in [Personality::Lcc, Personality::Ccg] {
         let result = run_campaign(&pool, personality, personality.trunk());
-        println!("== Table 1 ({personality} trunk, {} programs) ==", pool.len());
+        println!(
+            "== Table 1 ({personality} trunk, {} programs) ==",
+            pool.len()
+        );
         println!("{}", result.table1());
         for conjecture in holes_core::Conjecture::ALL {
             println!(
                 "programs with no {conjecture} violation: {}/{}",
-                result.clean_programs(conjecture), pool.len()
+                result.clean_programs(conjecture),
+                pool.len()
             );
         }
     }

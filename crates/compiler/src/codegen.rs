@@ -16,7 +16,9 @@ use holes_machine::{
 };
 use holes_minic::ast::Program;
 
-use crate::ir::{DbgLoc, DebugVarId, IrFunction, IrProgram, Op, ScopeId, ScopeKind, SlotId, Temp, Value};
+use crate::ir::{
+    DbgLoc, DebugVarId, IrFunction, IrProgram, Op, ScopeId, ScopeKind, SlotId, Temp, Value,
+};
 
 /// Registers reserved as scratch for spills (the last three).
 const SCRATCH0: Reg = (NUM_REGS - 3) as Reg;
@@ -153,7 +155,11 @@ impl<'f> FunctionEmitter<'f> {
                     extend(&mut last_use, t, i);
                 }
             }
-            if let Op::DbgValue { loc: DbgLoc::Value(Value::Temp(t)), .. } = inst.op {
+            if let Op::DbgValue {
+                loc: DbgLoc::Value(Value::Temp(t)),
+                ..
+            } = inst.op
+            {
                 first_def.entry(t).or_insert(i);
                 extend(&mut last_use, t, end);
             }
@@ -170,9 +176,9 @@ impl<'f> FunctionEmitter<'f> {
         };
         for (i, inst) in self.func.insts.iter().enumerate() {
             let target = match inst.op {
-                Op::Jump(l) | Op::BranchZero { target: l, .. } | Op::BranchNonZero { target: l, .. } => {
-                    label_at(l)
-                }
+                Op::Jump(l)
+                | Op::BranchZero { target: l, .. }
+                | Op::BranchNonZero { target: l, .. } => label_at(l),
                 _ => None,
             };
             if let Some(t) = target {
@@ -233,9 +239,7 @@ impl<'f> FunctionEmitter<'f> {
                 // Spill: prefer to spill the spillable active interval that
                 // ends last (never a pinned parameter).
                 active.sort_by_key(|(e, _, _)| *e);
-                let victim_index = active
-                    .iter()
-                    .rposition(|(_, t, _)| !pinned.contains(t));
+                let victim_index = active.iter().rposition(|(_, t, _)| !pinned.contains(t));
                 let spill_self = match victim_index {
                     Some(vi) => active[vi].0 < stop,
                     None => true,
@@ -296,12 +300,23 @@ impl<'f> FunctionEmitter<'f> {
         match self.operand(value, scratch, line, scope) {
             Operand::Reg(r) => r,
             Operand::Imm(v) => {
-                self.push(MInst::LoadImm { dst: scratch, value: v }, line, scope, false);
+                self.push(
+                    MInst::LoadImm {
+                        dst: scratch,
+                        value: v,
+                    },
+                    line,
+                    scope,
+                    false,
+                );
                 scratch
             }
             Operand::Slot(slot) => {
                 self.push(
-                    MInst::Load { dst: scratch, addr: MAddr::Frame { slot } },
+                    MInst::Load {
+                        dst: scratch,
+                        addr: MAddr::Frame { slot },
+                    },
                     line,
                     scope,
                     false,
@@ -357,13 +372,30 @@ impl<'f> FunctionEmitter<'f> {
                 Op::Copy { dst, src } => {
                     let (reg, spill) = self.dest(*dst);
                     let src_op = self.operand(*src, SCRATCH1, line, scope);
-                    self.push(MInst::Mov { dst: reg, src: src_op }, line, scope, true);
+                    self.push(
+                        MInst::Mov {
+                            dst: reg,
+                            src: src_op,
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
                     self.finish_dest(spill, reg, line, scope);
                 }
                 Op::Un { dst, op, src } => {
                     let (reg, spill) = self.dest(*dst);
                     let src_op = self.operand(*src, SCRATCH1, line, scope);
-                    self.push(MInst::Un { op: *op, dst: reg, src: src_op }, line, scope, true);
+                    self.push(
+                        MInst::Un {
+                            op: *op,
+                            dst: reg,
+                            src: src_op,
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
                     self.finish_dest(spill, reg, line, scope);
                 }
                 Op::Bin { dst, op, lhs, rhs } => {
@@ -371,27 +403,61 @@ impl<'f> FunctionEmitter<'f> {
                     let lhs_reg = self.value_in_reg(*lhs, SCRATCH1, line, scope);
                     let rhs_op = self.operand(*rhs, SCRATCH0, line, scope);
                     self.push(
-                        MInst::Bin { op: *op, dst: reg, lhs: Operand::Reg(lhs_reg), rhs: rhs_op },
+                        MInst::Bin {
+                            op: *op,
+                            dst: reg,
+                            lhs: Operand::Reg(lhs_reg),
+                            rhs: rhs_op,
+                        },
                         line,
                         scope,
                         true,
                     );
                     self.finish_dest(spill, reg, line, scope);
                 }
-                Op::Trunc { dst, src, bits, signed } => {
+                Op::Trunc {
+                    dst,
+                    src,
+                    bits,
+                    signed,
+                } => {
                     let (reg, spill) = self.dest(*dst);
                     let src_op = self.operand(*src, SCRATCH1, line, scope);
-                    self.push(MInst::Mov { dst: reg, src: src_op }, line, scope, true);
-                    self.push(MInst::Trunc { dst: reg, bits: *bits, signed: *signed }, line, scope, false);
+                    self.push(
+                        MInst::Mov {
+                            dst: reg,
+                            src: src_op,
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
+                    self.push(
+                        MInst::Trunc {
+                            dst: reg,
+                            bits: *bits,
+                            signed: *signed,
+                        },
+                        line,
+                        scope,
+                        false,
+                    );
                     self.finish_dest(spill, reg, line, scope);
                 }
-                Op::LoadGlobal { dst, global, index, .. } => {
+                Op::LoadGlobal {
+                    dst, global, index, ..
+                } => {
                     let (reg, spill) = self.dest(*dst);
                     let addr = self.global_addr(*global, *index, line, scope);
                     self.push(MInst::Load { dst: reg, addr }, line, scope, true);
                     self.finish_dest(spill, reg, line, scope);
                 }
-                Op::StoreGlobal { global, index, value, .. } => {
+                Op::StoreGlobal {
+                    global,
+                    index,
+                    value,
+                    ..
+                } => {
                     let addr = self.global_addr(*global, *index, line, scope);
                     let src = self.operand(*value, SCRATCH0, line, scope);
                     self.push(MInst::Store { addr, src }, line, scope, true);
@@ -399,7 +465,10 @@ impl<'f> FunctionEmitter<'f> {
                 Op::LoadSlot { dst, slot } => {
                     let (reg, spill) = self.dest(*dst);
                     self.push(
-                        MInst::Load { dst: reg, addr: MAddr::Frame { slot: slot.0 } },
+                        MInst::Load {
+                            dst: reg,
+                            addr: MAddr::Frame { slot: slot.0 },
+                        },
                         line,
                         scope,
                         true,
@@ -409,7 +478,10 @@ impl<'f> FunctionEmitter<'f> {
                 Op::StoreSlot { slot, value } => {
                     let src = self.operand(*value, SCRATCH0, line, scope);
                     self.push(
-                        MInst::Store { addr: MAddr::Frame { slot: slot.0 }, src },
+                        MInst::Store {
+                            addr: MAddr::Frame { slot: slot.0 },
+                            src,
+                        },
                         line,
                         scope,
                         true,
@@ -419,7 +491,10 @@ impl<'f> FunctionEmitter<'f> {
                     let (reg, spill) = self.dest(*dst);
                     let addr_reg = self.value_in_reg(*addr, SCRATCH1, line, scope);
                     self.push(
-                        MInst::Load { dst: reg, addr: MAddr::Indirect { reg: addr_reg } },
+                        MInst::Load {
+                            dst: reg,
+                            addr: MAddr::Indirect { reg: addr_reg },
+                        },
                         line,
                         scope,
                         true,
@@ -430,7 +505,10 @@ impl<'f> FunctionEmitter<'f> {
                     let addr_reg = self.value_in_reg(*addr, SCRATCH1, line, scope);
                     let src = self.operand(*value, SCRATCH0, line, scope);
                     self.push(
-                        MInst::Store { addr: MAddr::Indirect { reg: addr_reg }, src },
+                        MInst::Store {
+                            addr: MAddr::Indirect { reg: addr_reg },
+                            src,
+                        },
                         line,
                         scope,
                         true,
@@ -441,7 +519,11 @@ impl<'f> FunctionEmitter<'f> {
                     self.push(
                         MInst::Lea {
                             dst: reg,
-                            addr: MAddr::Global { global: global.0 as u32, index: None, disp: 0 },
+                            addr: MAddr::Global {
+                                global: global.0 as u32,
+                                index: None,
+                                disp: 0,
+                            },
                         },
                         line,
                         scope,
@@ -452,7 +534,10 @@ impl<'f> FunctionEmitter<'f> {
                 Op::AddrSlot { dst, slot } => {
                     let (reg, spill) = self.dest(*dst);
                     self.push(
-                        MInst::Lea { dst: reg, addr: MAddr::Frame { slot: slot.0 } },
+                        MInst::Lea {
+                            dst: reg,
+                            addr: MAddr::Frame { slot: slot.0 },
+                        },
                         line,
                         scope,
                         true,
@@ -466,15 +551,32 @@ impl<'f> FunctionEmitter<'f> {
                 Op::BranchZero { cond, target } => {
                     let reg = self.value_in_reg(*cond, SCRATCH1, line, scope);
                     self.fixups.push((self.code.len(), target.0));
-                    self.push(MInst::BranchZero { cond: reg, target: 0 }, line, scope, true);
+                    self.push(
+                        MInst::BranchZero {
+                            cond: reg,
+                            target: 0,
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
                 }
                 Op::BranchNonZero { cond, target } => {
                     let reg = self.value_in_reg(*cond, SCRATCH1, line, scope);
                     self.fixups.push((self.code.len(), target.0));
-                    self.push(MInst::BranchNonZero { cond: reg, target: 0 }, line, scope, true);
+                    self.push(
+                        MInst::BranchNonZero {
+                            cond: reg,
+                            target: 0,
+                        },
+                        line,
+                        scope,
+                        true,
+                    );
                 }
                 Op::Call { dst, callee, args } => {
-                    let arg_ops: Vec<Operand> = args.iter().map(|a| self.call_operand(*a)).collect();
+                    let arg_ops: Vec<Operand> =
+                        args.iter().map(|a| self.call_operand(*a)).collect();
                     let ret = dst.map(|d| self.dest(d));
                     self.push(
                         MInst::Call {
@@ -491,9 +593,14 @@ impl<'f> FunctionEmitter<'f> {
                     }
                 }
                 Op::CallSink { args } => {
-                    let arg_ops: Vec<Operand> = args.iter().map(|a| self.call_operand(*a)).collect();
+                    let arg_ops: Vec<Operand> =
+                        args.iter().map(|a| self.call_operand(*a)).collect();
                     self.push(
-                        MInst::Call { target: CallTarget::Sink, args: arg_ops, ret: None },
+                        MInst::Call {
+                            target: CallTarget::Sink,
+                            args: arg_ops,
+                            ret: None,
+                        },
                         line,
                         scope,
                         true,
@@ -533,7 +640,11 @@ impl<'f> FunctionEmitter<'f> {
         scope: ScopeId,
     ) -> MAddr {
         match index {
-            None => MAddr::Global { global: global.0 as u32, index: None, disp: 0 },
+            None => MAddr::Global {
+                global: global.0 as u32,
+                index: None,
+                disp: 0,
+            },
             Some(Value::Const(c)) => MAddr::Global {
                 global: global.0 as u32,
                 index: None,
@@ -541,7 +652,11 @@ impl<'f> FunctionEmitter<'f> {
             },
             Some(v) => {
                 let reg = self.value_in_reg(v, SCRATCH1, line, scope);
-                MAddr::Global { global: global.0 as u32, index: Some(reg), disp: 0 }
+                MAddr::Global {
+                    global: global.0 as u32,
+                    index: Some(reg),
+                    disp: 0,
+                }
             }
         }
     }
@@ -594,7 +709,11 @@ fn emit_debug_info(
         info.set_attr(
             die,
             Attr::Location,
-            AttrValue::LocList(vec![LocListEntry::new(0, u64::MAX, Location::GlobalAddress(address))]),
+            AttrValue::LocList(vec![LocListEntry::new(
+                0,
+                u64::MAX,
+                Location::GlobalAddress(address),
+            )]),
         );
     }
     // Phase A: subprogram DIEs for every function.
@@ -606,7 +725,11 @@ fn emit_debug_info(
         let (lo, hi) = artifact.machine.pc_range();
         info.set_attr(die, Attr::LowPc, AttrValue::Addr(lo));
         info.set_attr(die, Attr::HighPc, AttrValue::Addr(hi));
-        info.set_attr(die, Attr::DeclLine, AttrValue::Unsigned(func.decl_line as u64));
+        info.set_attr(
+            die,
+            Attr::DeclLine,
+            AttrValue::Unsigned(func.decl_line as u64),
+        );
         subprograms.push(die);
     }
     // Phase B: scopes and variables.
@@ -625,12 +748,18 @@ fn emit_debug_info(
             let (parent, tag, origin) = match scope {
                 ScopeKind::Function => (info.root(), DieTag::LexicalBlock, None),
                 ScopeKind::Block { parent } => (
-                    scope_dies.get(parent.0 as usize).copied().unwrap_or(subprogram),
+                    scope_dies
+                        .get(parent.0 as usize)
+                        .copied()
+                        .unwrap_or(subprogram),
                     DieTag::LexicalBlock,
                     None,
                 ),
                 ScopeKind::Inlined { parent, callee, .. } => (
-                    scope_dies.get(parent.0 as usize).copied().unwrap_or(subprogram),
+                    scope_dies
+                        .get(parent.0 as usize)
+                        .copied()
+                        .unwrap_or(subprogram),
                     DieTag::InlinedSubroutine,
                     Some(*callee),
                 ),
@@ -640,12 +769,21 @@ fn emit_debug_info(
                 info.set_attr(die, Attr::LowPc, AttrValue::Addr(lo));
                 info.set_attr(die, Attr::HighPc, AttrValue::Addr(hi));
             }
-            if let ScopeKind::Inlined { call_line, callee_name, .. } = scope {
+            if let ScopeKind::Inlined {
+                call_line,
+                callee_name,
+                ..
+            } = scope
+            {
                 info.set_attr(die, Attr::CallLine, AttrValue::Unsigned(*call_line as u64));
                 info.set_attr(die, Attr::Name, AttrValue::Text(callee_name.clone()));
             }
             if let Some(origin) = origin {
-                info.set_attr(die, Attr::AbstractOrigin, AttrValue::Ref(subprograms[origin.0]));
+                info.set_attr(
+                    die,
+                    Attr::AbstractOrigin,
+                    AttrValue::Ref(subprograms[origin.0]),
+                );
             }
             scope_dies.push(die);
         }
@@ -655,7 +793,10 @@ fn emit_debug_info(
                 continue;
             }
             let var_id = DebugVarId(vi as u32);
-            let parent = scope_dies.get(var.scope.0 as usize).copied().unwrap_or(subprogram);
+            let parent = scope_dies
+                .get(var.scope.0 as usize)
+                .copied()
+                .unwrap_or(subprogram);
             let tag = if var.is_param {
                 DieTag::FormalParameter
             } else {
@@ -663,7 +804,11 @@ fn emit_debug_info(
             };
             let die = info.add_die(parent, tag);
             info.set_attr(die, Attr::Name, AttrValue::Text(var.name.clone()));
-            info.set_attr(die, Attr::DeclLine, AttrValue::Unsigned(var.decl_line as u64));
+            info.set_attr(
+                die,
+                Attr::DeclLine,
+                AttrValue::Unsigned(var.decl_line as u64),
+            );
             let events: Vec<(usize, Location)> = artifact
                 .bindings
                 .iter()
@@ -775,7 +920,10 @@ mod tests {
                 )],
             ),
         );
-        b.push(main, Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]));
+        b.push(
+            main,
+            Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]),
+        );
         b.push(main, Stmt::ret(Some(Expr::global(g))));
         let mut p = b.finish();
         p.assign_lines();
@@ -800,7 +948,10 @@ mod tests {
         let main = p.main();
         let steppable = debug.line_table.steppable_lines();
         for line in map.lines_of(main) {
-            assert!(steppable.contains(line), "line {line} missing from line table");
+            assert!(
+                steppable.contains(line),
+                "line {line} missing from line table"
+            );
         }
     }
 
@@ -830,9 +981,7 @@ mod tests {
         let (_, debug) = build_and_run(&p);
         let globals: Vec<_> = debug
             .iter()
-            .filter(|(_, d)| {
-                d.tag == DieTag::Variable && d.attr(Attr::External).is_some()
-            })
+            .filter(|(_, d)| d.tag == DieTag::Variable && d.attr(Attr::External).is_some())
             .collect();
         assert_eq!(globals.len(), 2);
     }
@@ -868,8 +1017,14 @@ mod tests {
         let ptr = b.local(main, "p", Ty::Ptr(&Ty::I32));
         b.push(main, Stmt::decl(x, Some(Expr::lit(9))));
         b.push(main, Stmt::decl(ptr, Some(Expr::addr_of(VarRef::Local(x)))));
-        b.push(main, Stmt::assign(LValue::Deref(VarRef::Local(ptr)), Expr::lit(11)));
-        b.push(main, Stmt::assign(LValue::local(ptr), Expr::addr_of(VarRef::Global(g))));
+        b.push(
+            main,
+            Stmt::assign(LValue::Deref(VarRef::Local(ptr)), Expr::lit(11)),
+        );
+        b.push(
+            main,
+            Stmt::assign(LValue::local(ptr), Expr::addr_of(VarRef::Global(g))),
+        );
         b.push(
             main,
             Stmt::assign(
@@ -894,7 +1049,11 @@ mod tests {
         let p0 = b.param(callee, "p0", Ty::I32);
         b.push(
             callee,
-            Stmt::ret(Some(Expr::binary(BinOp::Mul, Expr::local(p0), Expr::lit(2)))),
+            Stmt::ret(Some(Expr::binary(
+                BinOp::Mul,
+                Expr::local(p0),
+                Expr::lit(2),
+            ))),
         );
         let main = b.function("main", Ty::I32);
         b.push(

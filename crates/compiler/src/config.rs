@@ -127,9 +127,29 @@ impl std::fmt::Display for OptLevel {
     }
 }
 
+/// A stable identity hash for a [`CompilerConfig`].
+///
+/// Equal configurations always produce equal fingerprints: the 64-bit
+/// FNV-1a runs over a canonical, length-prefixed encoding of every field
+/// that can influence compilation output — personality, version, level,
+/// disabled passes, pass budget, and defect disabling. Like any 64-bit
+/// digest it is not injective (distinct configurations collide with
+/// probability ~2⁻⁶⁴), so exact-identity maps — such as the in-memory
+/// artifact cache of `holes_pipeline` — key on the full `CompilerConfig`
+/// instead; the fingerprint is for logging and for on-disk cache keys,
+/// where it is stable across processes and platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// A complete compiler configuration: what the paper would call
 /// "compiler X version Y at level Z", plus the triage knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompilerConfig {
     /// The personality (pipeline family).
     pub personality: Personality,
@@ -230,6 +250,41 @@ impl CompilerConfig {
         self.pass_schedule()
     }
 
+    /// The configuration's stable identity (see [`Fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &byte in bytes {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&[match self.personality {
+            Personality::Ccg => 1,
+            Personality::Lcc => 2,
+        }]);
+        eat(&(self.version as u64).to_le_bytes());
+        eat(&[self.level as u8 + 1]);
+        match self.pass_budget {
+            None => eat(&[0]),
+            Some(budget) => {
+                eat(&[1]);
+                eat(&(budget as u64).to_le_bytes());
+            }
+        }
+        eat(&[u8::from(self.disable_defects)]);
+        // BTreeSet iterates in sorted order, so the encoding is canonical;
+        // the length prefixes keep pass-name concatenations unambiguous.
+        eat(&(self.disabled_passes.len() as u64).to_le_bytes());
+        for pass in &self.disabled_passes {
+            eat(&(pass.len() as u64).to_le_bytes());
+            eat(pass.as_bytes());
+        }
+        Fingerprint(hash)
+    }
+
     /// A short human-readable description.
     pub fn describe(&self) -> String {
         format!(
@@ -302,7 +357,13 @@ fn base_schedule(personality: Personality, level: OptLevel) -> Vec<&'static str>
         },
         Personality::Ccg => match level {
             O0 => vec![],
-            Og => vec!["tree-ccp", "tree-fre", "tree-dce", "cprop-registers", "cfg-cleanup"],
+            Og => vec![
+                "tree-ccp",
+                "tree-fre",
+                "tree-dce",
+                "cprop-registers",
+                "cfg-cleanup",
+            ],
             O1 => vec![
                 "tree-ccp",
                 "tree-fre",
@@ -432,6 +493,42 @@ mod tests {
         assert_eq!(cfg.pass_budget, Some(3));
         assert!(cfg.disable_defects);
         assert!(cfg.describe().contains("-O2"));
+    }
+
+    #[test]
+    fn fingerprints_separate_every_identity_field() {
+        let base = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        let same = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let variants = [
+            CompilerConfig::new(Personality::Lcc, OptLevel::O2),
+            CompilerConfig::new(Personality::Ccg, OptLevel::O3),
+            base.clone().with_version(0),
+            base.clone().with_disabled_pass("inline"),
+            base.clone().with_pass_budget(3),
+            base.clone().with_pass_budget(0),
+            base.clone().without_defects(),
+        ];
+        let mut fingerprints: Vec<Fingerprint> =
+            variants.iter().map(CompilerConfig::fingerprint).collect();
+        fingerprints.push(base.fingerprint());
+        fingerprints.sort_unstable();
+        let distinct = fingerprints.len();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), distinct, "fingerprint collision");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_processes() {
+        // Pinned value: guards the canonical encoding (an on-disk cache would
+        // silently go cold if this ever changed under a refactor).
+        let config = CompilerConfig::new(Personality::Ccg, OptLevel::O2)
+            .with_disabled_pass("inline")
+            .with_pass_budget(3);
+        assert_eq!(config.fingerprint(), Fingerprint(0x272d_91e6_aa38_707a));
+        // Re-inserting an already-disabled pass is identity.
+        let expected = config.clone().fingerprint();
+        assert_eq!(config.with_disabled_pass("inline").fingerprint(), expected);
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl Defect {
         !config.disable_defects
             && self.personality == config.personality
             && config.version >= self.introduced
-            && self.fixed.map_or(true, |f| config.version < f)
+            && self.fixed.is_none_or(|f| config.version < f)
             && self.levels.contains(&config.level)
     }
 }
@@ -760,7 +760,10 @@ fn selects(func: &IrFunction, selector: VarSelector, var: DebugVarId) -> bool {
             .iter()
             .any(|i| matches!(i.op, Op::DbgValue { var: v, loc: DbgLoc::Slot(_) } if v == var)),
         VarClass::BlockScoped => {
-            matches!(func.scopes.get(info.scope.0 as usize), Some(ScopeKind::Block { .. }))
+            matches!(
+                func.scopes.get(info.scope.0 as usize),
+                Some(ScopeKind::Block { .. })
+            )
         }
     }
 }
@@ -803,7 +806,14 @@ fn truncate_before_sink(func: &mut IrFunction, selected: &[DebugVarId]) {
             for &var in selected {
                 func.insts.insert(
                     index,
-                    Inst::in_scope(Op::DbgValue { var, loc: DbgLoc::Undef }, line, scope),
+                    Inst::in_scope(
+                        Op::DbgValue {
+                            var,
+                            loc: DbgLoc::Undef,
+                        },
+                        line,
+                        scope,
+                    ),
                 );
                 index += 1;
             }
@@ -815,7 +825,9 @@ fn truncate_before_sink(func: &mut IrFunction, selected: &[DebugVarId]) {
 fn mis_scope(func: &mut IrFunction, selected: &[DebugVarId]) {
     // Create a bogus lexical block covering only the prologue and re-home the
     // selected variables there.
-    let bogus = func.add_scope(ScopeKind::Block { parent: crate::ir::ScopeId(0) });
+    let bogus = func.add_scope(ScopeKind::Block {
+        parent: crate::ir::ScopeId(0),
+    });
     if let Some(first) = func.insts.first_mut() {
         first.scope = bogus;
     }
@@ -910,13 +922,21 @@ mod tests {
     fn trunk_star_removes_lsr_defect_but_keeps_53855b() {
         let trunk = CompilerConfig::new(Personality::Lcc, OptLevel::Os);
         let star = trunk.clone().with_version(5);
-        assert!(active_defects(&trunk, "lsr").iter().any(|d| d.id == "lcc-53855a")
-            || active_defects(&CompilerConfig::new(Personality::Lcc, OptLevel::O2), "lsr")
+        assert!(
+            active_defects(&trunk, "lsr")
                 .iter()
-                .any(|d| d.id == "lcc-53855a"));
-        assert!(active_defects(&star, "lsr").iter().any(|d| d.id == "lcc-53855b"));
+                .any(|d| d.id == "lcc-53855a")
+                || active_defects(&CompilerConfig::new(Personality::Lcc, OptLevel::O2), "lsr")
+                    .iter()
+                    .any(|d| d.id == "lcc-53855a")
+        );
+        assert!(active_defects(&star, "lsr")
+            .iter()
+            .any(|d| d.id == "lcc-53855b"));
         let star_o2 = CompilerConfig::new(Personality::Lcc, OptLevel::O2).with_version(5);
-        assert!(!active_defects(&star_o2, "lsr").iter().any(|d| d.id == "lcc-53855a"));
+        assert!(!active_defects(&star_o2, "lsr")
+            .iter()
+            .any(|d| d.id == "lcc-53855a"));
     }
 
     #[test]
@@ -938,8 +958,14 @@ mod tests {
                 }
                 total
             };
-            assert!(count(0) > count(p.trunk()), "{p}: old release should have more defects");
-            assert!(count(p.trunk()) > count(5), "{p}: patched release should have fewer defects");
+            assert!(
+                count(0) > count(p.trunk()),
+                "{p}: old release should have more defects"
+            );
+            assert!(
+                count(p.trunk()) > count(5),
+                "{p}: patched release should have fewer defects"
+            );
         }
     }
 
@@ -988,10 +1014,13 @@ mod tests {
             fixed: None,
         };
         apply_defect(&mut f, &defect);
-        assert!(f
-            .insts
-            .iter()
-            .all(|i| !matches!(i.op, Op::DbgValue { loc: DbgLoc::Value(_), .. })));
+        assert!(f.insts.iter().all(|i| !matches!(
+            i.op,
+            Op::DbgValue {
+                loc: DbgLoc::Value(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1020,7 +1049,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             f.insts[sink_pos - 1].op,
-            Op::DbgValue { loc: DbgLoc::Undef, .. }
+            Op::DbgValue {
+                loc: DbgLoc::Undef,
+                ..
+            }
         ));
     }
 
@@ -1044,7 +1076,15 @@ mod tests {
         let pos_v0 = f
             .insts
             .iter()
-            .position(|i| matches!(i.op, Op::DbgValue { var: DebugVarId(0), .. }))
+            .position(|i| {
+                matches!(
+                    i.op,
+                    Op::DbgValue {
+                        var: DebugVarId(0),
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(pos_v0, 3);
     }

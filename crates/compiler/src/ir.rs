@@ -278,11 +278,7 @@ impl Op {
                 subst(lhs);
                 subst(rhs);
             }
-            Op::LoadGlobal { index, .. } => {
-                if let Some(i) = index {
-                    subst(i);
-                }
-            }
+            Op::LoadGlobal { index: Some(i), .. } => subst(i),
             Op::StoreGlobal { index, value, .. } => {
                 if let Some(i) = index {
                     subst(i);
@@ -297,11 +293,7 @@ impl Op {
             }
             Op::BranchZero { cond, .. } | Op::BranchNonZero { cond, .. } => subst(cond),
             Op::Call { args, .. } | Op::CallSink { args } => args.iter_mut().for_each(subst),
-            Op::Ret { value } => {
-                if let Some(v) = value {
-                    subst(v);
-                }
-            }
+            Op::Ret { value: Some(v) } => subst(v),
             _ => {}
         }
     }
@@ -515,9 +507,9 @@ impl IrFunction {
         let mut out = Vec::new();
         for inst in &self.insts {
             match inst.op {
-                Op::Jump(l) | Op::BranchZero { target: l, .. } | Op::BranchNonZero { target: l, .. } => {
-                    out.push(l)
-                }
+                Op::Jump(l)
+                | Op::BranchZero { target: l, .. }
+                | Op::BranchNonZero { target: l, .. } => out.push(l),
                 _ => {}
             }
         }

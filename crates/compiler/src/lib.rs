@@ -51,7 +51,7 @@ pub mod ir;
 pub mod lower;
 pub mod passes;
 
-pub use config::{CompilerConfig, OptLevel, Personality};
+pub use config::{CompilerConfig, Fingerprint, OptLevel, Personality};
 pub use defects::{catalogue, Defect, DefectAction};
 pub use executable::Executable;
 
@@ -99,7 +99,9 @@ mod tests {
     fn all_levels_preserve_semantics_on_generated_programs() {
         for seed in 0..12u64 {
             let generated = ProgramGenerator::from_seed(seed).generate();
-            let reference = Interpreter::new(&generated.program).run().expect("reference runs");
+            let reference = Interpreter::new(&generated.program)
+                .run()
+                .expect("reference runs");
             for personality in [Personality::Ccg, Personality::Lcc] {
                 for level in personality.levels().iter().chain([&OptLevel::O0]) {
                     let config = CompilerConfig::new(personality, *level);
@@ -193,4 +195,3 @@ mod tests {
         assert!(exes[0].report.passes_run.is_empty());
     }
 }
-

@@ -16,8 +16,8 @@ use holes_minic::ast::{
 };
 
 use crate::ir::{
-    BlockLabel, DbgLoc, DebugVar, DebugVarId, Inst, IrFunction, IrProgram, LoopRegion, Op,
-    ScopeId, ScopeKind, SlotId, Temp, Value,
+    BlockLabel, DbgLoc, DebugVar, DebugVarId, Inst, IrFunction, IrProgram, LoopRegion, Op, ScopeId,
+    ScopeKind, SlotId, Temp, Value,
 };
 
 /// Lower a whole program.
@@ -190,7 +190,10 @@ impl<'p> FunctionLowerer<'p> {
                 self.lower_store(target, v, line);
             }
             StmtKind::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => self.lower_for(init.as_deref(), cond.as_ref(), step.as_deref(), body, line),
             StmtKind::If {
                 cond,
@@ -381,7 +384,13 @@ impl<'p> FunctionLowerer<'p> {
         let var = self.local_vars[local.0];
         match self.homes[local.0] {
             Home::Temp(home) => {
-                self.emit(Op::Copy { dst: home, src: wrapped }, line);
+                self.emit(
+                    Op::Copy {
+                        dst: home,
+                        src: wrapped,
+                    },
+                    line,
+                );
                 self.emit(
                     Op::DbgValue {
                         var,
@@ -391,7 +400,13 @@ impl<'p> FunctionLowerer<'p> {
                 );
             }
             Home::Slot(slot) => {
-                self.emit(Op::StoreSlot { slot, value: wrapped }, line);
+                self.emit(
+                    Op::StoreSlot {
+                        slot,
+                        value: wrapped,
+                    },
+                    line,
+                );
                 self.emit(
                     Op::DbgValue {
                         var,
@@ -474,7 +489,12 @@ impl<'p> FunctionLowerer<'p> {
         }
     }
 
-    fn flatten_index(&mut self, global: holes_minic::ast::GlobalId, indices: &[Expr], line: u32) -> Value {
+    fn flatten_index(
+        &mut self,
+        global: holes_minic::ast::GlobalId,
+        indices: &[Expr],
+        line: u32,
+    ) -> Value {
         let dims = self.program.global(global).dims.clone();
         let mut flat: Option<Value> = None;
         for (i, idx) in indices.iter().enumerate() {
@@ -483,7 +503,8 @@ impl<'p> FunctionLowerer<'p> {
             flat = Some(match flat {
                 None => v,
                 Some(acc) => {
-                    let scaled = self.emit_bin(holes_minic::ast::BinOp::Mul, acc, Value::Const(dim), line);
+                    let scaled =
+                        self.emit_bin(holes_minic::ast::BinOp::Mul, acc, Value::Const(dim), line);
                     self.emit_bin(holes_minic::ast::BinOp::Add, scaled, v, line)
                 }
             });
@@ -528,7 +549,14 @@ impl<'p> FunctionLowerer<'p> {
             ExprKind::Unary(op, inner) => {
                 let v = self.lower_expr(inner, line);
                 let dst = self.ir.new_temp();
-                self.emit(Op::Un { dst, op: *op, src: v }, line);
+                self.emit(
+                    Op::Un {
+                        dst,
+                        op: *op,
+                        src: v,
+                    },
+                    line,
+                );
                 Value::Temp(dst)
             }
             ExprKind::Binary(op, lhs, rhs) => {
@@ -545,7 +573,13 @@ impl<'p> FunctionLowerer<'p> {
                         Home::Temp(_) => {
                             // Should not happen: address-taken locals get
                             // slots. Fall back to a zero address.
-                            self.emit(Op::Copy { dst, src: Value::Const(0) }, line)
+                            self.emit(
+                                Op::Copy {
+                                    dst,
+                                    src: Value::Const(0),
+                                },
+                                line,
+                            )
                         }
                     },
                 }
@@ -705,10 +739,13 @@ mod tests {
             .insts
             .iter()
             .any(|i| matches!(i.op, Op::AddrSlot { .. })));
-        assert!(main_ir
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::DbgValue { loc: DbgLoc::Slot(_), .. })));
+        assert!(main_ir.insts.iter().any(|i| matches!(
+            i.op,
+            Op::DbgValue {
+                loc: DbgLoc::Slot(_),
+                ..
+            }
+        )));
     }
 
     #[test]

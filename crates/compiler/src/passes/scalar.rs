@@ -61,12 +61,27 @@ pub fn constant_fold(func: &mut IrFunction) {
 /// The constant produced by an instruction, if statically known.
 fn constant_result(op: &Op) -> Option<i64> {
     match op {
-        Op::Copy { src: Value::Const(c), .. } => Some(*c),
-        Op::Bin { op, lhs: Value::Const(a), rhs: Value::Const(b), .. } => Some(op.eval(*a, *b)),
-        Op::Un { op, src: Value::Const(a), .. } => Some(op.eval(*a)),
-        Op::Trunc { src: Value::Const(a), bits, signed, .. } => {
-            Some(wrap_const(*a, *bits, *signed))
-        }
+        Op::Copy {
+            src: Value::Const(c),
+            ..
+        } => Some(*c),
+        Op::Bin {
+            op,
+            lhs: Value::Const(a),
+            rhs: Value::Const(b),
+            ..
+        } => Some(op.eval(*a, *b)),
+        Op::Un {
+            op,
+            src: Value::Const(a),
+            ..
+        } => Some(op.eval(*a)),
+        Op::Trunc {
+            src: Value::Const(a),
+            bits,
+            signed,
+            ..
+        } => Some(wrap_const(*a, *bits, *signed)),
         _ => None,
     }
 }
@@ -91,29 +106,51 @@ fn fold_op(op: &Op) -> Option<Op> {
     match op {
         Op::Bin { dst, op, lhs, rhs } => {
             if let (Value::Const(a), Value::Const(b)) = (lhs, rhs) {
-                return Some(Op::Copy { dst: *dst, src: Value::Const(op.eval(*a, *b)) });
+                return Some(Op::Copy {
+                    dst: *dst,
+                    src: Value::Const(op.eval(*a, *b)),
+                });
             }
             let zero = |v: &Value| matches!(v, Value::Const(0));
             let one = |v: &Value| matches!(v, Value::Const(1));
             match op {
-                BinOp::Mul | BinOp::And if zero(lhs) || zero(rhs) => {
-                    Some(Op::Copy { dst: *dst, src: Value::Const(0) })
-                }
-                BinOp::Mul if one(lhs) => Some(Op::Copy { dst: *dst, src: *rhs }),
-                BinOp::Mul if one(rhs) => Some(Op::Copy { dst: *dst, src: *lhs }),
-                BinOp::Add | BinOp::Or | BinOp::Xor if zero(lhs) => {
-                    Some(Op::Copy { dst: *dst, src: *rhs })
-                }
-                BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Sub if zero(rhs) => {
-                    Some(Op::Copy { dst: *dst, src: *lhs })
-                }
+                BinOp::Mul | BinOp::And if zero(lhs) || zero(rhs) => Some(Op::Copy {
+                    dst: *dst,
+                    src: Value::Const(0),
+                }),
+                BinOp::Mul if one(lhs) => Some(Op::Copy {
+                    dst: *dst,
+                    src: *rhs,
+                }),
+                BinOp::Mul if one(rhs) => Some(Op::Copy {
+                    dst: *dst,
+                    src: *lhs,
+                }),
+                BinOp::Add | BinOp::Or | BinOp::Xor if zero(lhs) => Some(Op::Copy {
+                    dst: *dst,
+                    src: *rhs,
+                }),
+                BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Sub if zero(rhs) => Some(Op::Copy {
+                    dst: *dst,
+                    src: *lhs,
+                }),
                 _ => None,
             }
         }
-        Op::Un { dst, op, src: Value::Const(a) } => {
-            Some(Op::Copy { dst: *dst, src: Value::Const(op.eval(*a)) })
-        }
-        Op::Trunc { dst, src: Value::Const(a), bits, signed } => Some(Op::Copy {
+        Op::Un {
+            dst,
+            op,
+            src: Value::Const(a),
+        } => Some(Op::Copy {
+            dst: *dst,
+            src: Value::Const(op.eval(*a)),
+        }),
+        Op::Trunc {
+            dst,
+            src: Value::Const(a),
+            bits,
+            signed,
+        } => Some(Op::Copy {
             dst: *dst,
             src: Value::Const(wrap_const(*a, *bits, *signed)),
         }),
@@ -265,15 +302,43 @@ mod tests {
             suppress_die: false,
         });
         f.insts = vec![
-            Inst::new(Op::Copy { dst: Temp(0), src: Value::Const(4) }, 2),
             Inst::new(
-                Op::Bin { dst: Temp(1), op: BinOp::Add, lhs: Value::Temp(Temp(0)), rhs: Value::Const(3) },
+                Op::Copy {
+                    dst: Temp(0),
+                    src: Value::Const(4),
+                },
                 2,
             ),
-            Inst::new(Op::Copy { dst: Temp(2), src: Value::Temp(Temp(1)) }, 2),
-            Inst::new(Op::DbgValue { var, loc: DbgLoc::Value(Value::Temp(Temp(2))) }, 2),
             Inst::new(
-                Op::StoreGlobal { global: GlobalId(0), index: None, value: Value::Temp(Temp(2)), volatile: false },
+                Op::Bin {
+                    dst: Temp(1),
+                    op: BinOp::Add,
+                    lhs: Value::Temp(Temp(0)),
+                    rhs: Value::Const(3),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::Copy {
+                    dst: Temp(2),
+                    src: Value::Temp(Temp(1)),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::DbgValue {
+                    var,
+                    loc: DbgLoc::Value(Value::Temp(Temp(2))),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::StoreGlobal {
+                    global: GlobalId(0),
+                    index: None,
+                    value: Value::Temp(Temp(2)),
+                    volatile: false,
+                },
                 3,
             ),
             Inst::new(Op::Ret { value: None }, 4),
@@ -281,11 +346,17 @@ mod tests {
         constant_fold(&mut f);
         assert!(matches!(
             f.insts[3].op,
-            Op::DbgValue { loc: DbgLoc::Value(Value::Const(7)), .. }
+            Op::DbgValue {
+                loc: DbgLoc::Value(Value::Const(7)),
+                ..
+            }
         ));
         assert!(matches!(
             f.insts[4].op,
-            Op::StoreGlobal { value: Value::Const(7), .. }
+            Op::StoreGlobal {
+                value: Value::Const(7),
+                ..
+            }
         ));
     }
 
@@ -294,19 +365,54 @@ mod tests {
         let mut f = empty_function();
         f.insts = vec![
             Inst::new(
-                Op::Bin { dst: Temp(1), op: BinOp::Mul, lhs: Value::Temp(Temp(0)), rhs: Value::Const(0) },
+                Op::Bin {
+                    dst: Temp(1),
+                    op: BinOp::Mul,
+                    lhs: Value::Temp(Temp(0)),
+                    rhs: Value::Const(0),
+                },
                 1,
             ),
             Inst::new(
-                Op::Bin { dst: Temp(2), op: BinOp::Add, lhs: Value::Temp(Temp(0)), rhs: Value::Const(0) },
+                Op::Bin {
+                    dst: Temp(2),
+                    op: BinOp::Add,
+                    lhs: Value::Temp(Temp(0)),
+                    rhs: Value::Const(0),
+                },
                 1,
             ),
-            Inst::new(Op::Un { dst: Temp(3), op: UnOp::Neg, src: Value::Const(5) }, 1),
+            Inst::new(
+                Op::Un {
+                    dst: Temp(3),
+                    op: UnOp::Neg,
+                    src: Value::Const(5),
+                },
+                1,
+            ),
         ];
         constant_fold(&mut f);
-        assert!(matches!(f.insts[0].op, Op::Copy { src: Value::Const(0), .. }));
-        assert!(matches!(f.insts[1].op, Op::Copy { src: Value::Temp(Temp(0)), .. }));
-        assert!(matches!(f.insts[2].op, Op::Copy { src: Value::Const(-5), .. }));
+        assert!(matches!(
+            f.insts[0].op,
+            Op::Copy {
+                src: Value::Const(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.insts[1].op,
+            Op::Copy {
+                src: Value::Temp(Temp(0)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.insts[2].op,
+            Op::Copy {
+                src: Value::Const(-5),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -320,21 +426,44 @@ mod tests {
             suppress_die: false,
         });
         f.insts = vec![
-            Inst::new(Op::Copy { dst: Temp(1), src: Value::Temp(Temp(0)) }, 1),
-            Inst::new(Op::DbgValue { var, loc: DbgLoc::Value(Value::Temp(Temp(1))) }, 1),
             Inst::new(
-                Op::StoreGlobal { global: GlobalId(0), index: None, value: Value::Temp(Temp(1)), volatile: false },
+                Op::Copy {
+                    dst: Temp(1),
+                    src: Value::Temp(Temp(0)),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::DbgValue {
+                    var,
+                    loc: DbgLoc::Value(Value::Temp(Temp(1))),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::StoreGlobal {
+                    global: GlobalId(0),
+                    index: None,
+                    value: Value::Temp(Temp(1)),
+                    volatile: false,
+                },
                 2,
             ),
         ];
         copy_propagate(&mut f);
         assert!(matches!(
             f.insts[1].op,
-            Op::DbgValue { loc: DbgLoc::Value(Value::Temp(Temp(0))), .. }
+            Op::DbgValue {
+                loc: DbgLoc::Value(Value::Temp(Temp(0))),
+                ..
+            }
         ));
         assert!(matches!(
             f.insts[2].op,
-            Op::StoreGlobal { value: Value::Temp(Temp(0)), .. }
+            Op::StoreGlobal {
+                value: Value::Temp(Temp(0)),
+                ..
+            }
         ));
     }
 
@@ -349,8 +478,20 @@ mod tests {
             suppress_die: false,
         });
         f.insts = vec![
-            Inst::new(Op::Copy { dst: Temp(0), src: Value::Const(9) }, 2),
-            Inst::new(Op::DbgValue { var, loc: DbgLoc::Value(Value::Temp(Temp(0))) }, 2),
+            Inst::new(
+                Op::Copy {
+                    dst: Temp(0),
+                    src: Value::Const(9),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::DbgValue {
+                    var,
+                    loc: DbgLoc::Value(Value::Temp(Temp(0))),
+                },
+                2,
+            ),
             Inst::new(Op::Ret { value: None }, 3),
         ];
         dead_code_eliminate(&mut f);
@@ -358,7 +499,10 @@ mod tests {
         assert_eq!(f.insts.len(), 2);
         assert!(matches!(
             f.insts[0].op,
-            Op::DbgValue { loc: DbgLoc::Value(Value::Const(9)), .. }
+            Op::DbgValue {
+                loc: DbgLoc::Value(Value::Const(9)),
+                ..
+            }
         ));
     }
 
@@ -367,11 +511,21 @@ mod tests {
         let mut f = empty_function();
         f.insts = vec![
             Inst::new(
-                Op::LoadGlobal { dst: Temp(0), global: GlobalId(0), index: None, volatile: true },
+                Op::LoadGlobal {
+                    dst: Temp(0),
+                    global: GlobalId(0),
+                    index: None,
+                    volatile: true,
+                },
                 1,
             ),
             Inst::new(
-                Op::LoadGlobal { dst: Temp(1), global: GlobalId(1), index: None, volatile: false },
+                Op::LoadGlobal {
+                    dst: Temp(1),
+                    global: GlobalId(1),
+                    index: None,
+                    volatile: false,
+                },
                 1,
             ),
             Inst::new(Op::CallSink { args: vec![] }, 2),
@@ -382,10 +536,13 @@ mod tests {
             .insts
             .iter()
             .any(|i| matches!(i.op, Op::LoadGlobal { volatile: true, .. })));
-        assert!(!f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::LoadGlobal { volatile: false, .. })));
+        assert!(!f.insts.iter().any(|i| matches!(
+            i.op,
+            Op::LoadGlobal {
+                volatile: false,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -393,20 +550,49 @@ mod tests {
         let mut f = empty_function();
         f.slots = 2;
         f.insts = vec![
-            Inst::new(Op::StoreSlot { slot: SlotId(0), value: Value::Const(1) }, 1),
-            Inst::new(Op::StoreSlot { slot: SlotId(1), value: Value::Const(2) }, 2),
-            Inst::new(Op::LoadSlot { dst: Temp(0), slot: SlotId(1) }, 3),
-            Inst::new(Op::Ret { value: Some(Value::Temp(Temp(0))) }, 4),
+            Inst::new(
+                Op::StoreSlot {
+                    slot: SlotId(0),
+                    value: Value::Const(1),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::StoreSlot {
+                    slot: SlotId(1),
+                    value: Value::Const(2),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::LoadSlot {
+                    dst: Temp(0),
+                    slot: SlotId(1),
+                },
+                3,
+            ),
+            Inst::new(
+                Op::Ret {
+                    value: Some(Value::Temp(Temp(0))),
+                },
+                4,
+            ),
         ];
         dead_store_eliminate(&mut f);
-        assert!(!f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::StoreSlot { slot: SlotId(0), .. })));
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::StoreSlot { slot: SlotId(1), .. })));
+        assert!(!f.insts.iter().any(|i| matches!(
+            i.op,
+            Op::StoreSlot {
+                slot: SlotId(0),
+                ..
+            }
+        )));
+        assert!(f.insts.iter().any(|i| matches!(
+            i.op,
+            Op::StoreSlot {
+                slot: SlotId(1),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -414,15 +600,29 @@ mod tests {
         let mut f = empty_function();
         f.slots = 1;
         f.insts = vec![
-            Inst::new(Op::AddrSlot { dst: Temp(0), slot: SlotId(0) }, 1),
-            Inst::new(Op::CallSink { args: vec![Value::Temp(Temp(0))] }, 1),
-            Inst::new(Op::StoreSlot { slot: SlotId(0), value: Value::Const(5) }, 2),
+            Inst::new(
+                Op::AddrSlot {
+                    dst: Temp(0),
+                    slot: SlotId(0),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::CallSink {
+                    args: vec![Value::Temp(Temp(0))],
+                },
+                1,
+            ),
+            Inst::new(
+                Op::StoreSlot {
+                    slot: SlotId(0),
+                    value: Value::Const(5),
+                },
+                2,
+            ),
             Inst::new(Op::Ret { value: None }, 3),
         ];
         dead_store_eliminate(&mut f);
-        assert!(f
-            .insts
-            .iter()
-            .any(|i| matches!(i.op, Op::StoreSlot { .. })));
+        assert!(f.insts.iter().any(|i| matches!(i.op, Op::StoreSlot { .. })));
     }
 }

@@ -20,10 +20,16 @@ pub fn cfg_cleanup(func: &mut IrFunction) {
     // Fold branches whose condition is a constant.
     for inst in &mut func.insts {
         match inst.op {
-            Op::BranchZero { cond: Value::Const(c), target } => {
+            Op::BranchZero {
+                cond: Value::Const(c),
+                target,
+            } => {
                 inst.op = if c == 0 { Op::Jump(target) } else { Op::Nop };
             }
-            Op::BranchNonZero { cond: Value::Const(c), target } => {
+            Op::BranchNonZero {
+                cond: Value::Const(c),
+                target,
+            } => {
                 inst.op = if c != 0 { Op::Jump(target) } else { Op::Nop };
             }
             _ => {}
@@ -70,10 +76,19 @@ pub fn cfg_cleanup(func: &mut IrFunction) {
 /// range propagation that folds the paper's `if (a) goto` examples).
 pub fn fold_quiescent_globals(func: &mut IrFunction, cx: &PassContext) {
     for inst in &mut func.insts {
-        if let Op::LoadGlobal { dst, global, index: None, volatile: false } = inst.op {
+        if let Op::LoadGlobal {
+            dst,
+            global,
+            index: None,
+            volatile: false,
+        } = inst.op
+        {
             if cx.never_written_globals.contains(&global) {
                 let init = cx.global_inits.get(global.0).copied().unwrap_or(0);
-                inst.op = Op::Copy { dst, src: Value::Const(init) };
+                inst.op = Op::Copy {
+                    dst,
+                    src: Value::Const(init),
+                };
             }
         }
     }
@@ -91,7 +106,10 @@ pub fn fold_pure_calls(func: &mut IrFunction, cx: &PassContext) {
                 .and_then(|f| f.pure_const)
             {
                 inst.op = match dst {
-                    Some(d) => Op::Copy { dst: *d, src: Value::Const(constant) },
+                    Some(d) => Op::Copy {
+                        dst: *d,
+                        src: Value::Const(constant),
+                    },
                     None => Op::Nop,
                 };
             }
@@ -140,11 +158,18 @@ pub fn inline_calls(func: &mut IrFunction, cx: &PassContext) {
         let scope_base = func.scopes.len() as u32;
         for scope in callee_ir.scopes.iter().skip(1) {
             let remapped = match scope {
-                ScopeKind::Function => ScopeKind::Block { parent: inlined_scope },
+                ScopeKind::Function => ScopeKind::Block {
+                    parent: inlined_scope,
+                },
                 ScopeKind::Block { parent } => ScopeKind::Block {
                     parent: remap_scope(*parent, inlined_scope, scope_base),
                 },
-                ScopeKind::Inlined { parent, callee, callee_name, call_line } => ScopeKind::Inlined {
+                ScopeKind::Inlined {
+                    parent,
+                    callee,
+                    callee_name,
+                    call_line,
+                } => ScopeKind::Inlined {
                     parent: remap_scope(*parent, inlined_scope, scope_base),
                     callee: *callee,
                     callee_name: callee_name.clone(),
@@ -169,7 +194,10 @@ pub fn inline_calls(func: &mut IrFunction, cx: &PassContext) {
         for (i, param_temp) in callee_ir.param_temps.iter().enumerate() {
             let value = args.get(i).copied().unwrap_or(Value::Const(0));
             spliced.push(Inst::in_scope(
-                Op::Copy { dst: Temp(param_temp.0 + temp_offset), src: value },
+                Op::Copy {
+                    dst: Temp(param_temp.0 + temp_offset),
+                    src: value,
+                },
                 call_line,
                 inlined_scope,
             ));
@@ -180,14 +208,22 @@ pub fn inline_calls(func: &mut IrFunction, cx: &PassContext) {
             if let Op::Ret { value } = op {
                 if let Some(d) = dst {
                     if let Some(v) = value {
-                        spliced.push(Inst::in_scope(Op::Copy { dst: d, src: v }, inst.line, scope));
+                        spliced.push(Inst::in_scope(
+                            Op::Copy { dst: d, src: v },
+                            inst.line,
+                            scope,
+                        ));
                     }
                 }
                 op = Op::Jump(continue_label);
             }
             spliced.push(Inst::in_scope(op, inst.line, scope));
         }
-        spliced.push(Inst::in_scope(Op::Label(continue_label), call_line, parent_scope));
+        spliced.push(Inst::in_scope(
+            Op::Label(continue_label),
+            call_line,
+            parent_scope,
+        ));
         let spliced_len = spliced.len();
         func.insts.splice(index..=index, spliced);
         index += spliced_len;
@@ -210,28 +246,78 @@ fn remap_op(op: &Op, temp_offset: u32, slot_offset: u32, var_offset: u32) -> Op 
     };
     let rs = |s: SlotId| SlotId(s.0 + slot_offset);
     match op {
-        Op::Copy { dst, src } => Op::Copy { dst: rt(*dst), src: rv(*src) },
-        Op::Un { dst, op, src } => Op::Un { dst: rt(*dst), op: *op, src: rv(*src) },
-        Op::Bin { dst, op, lhs, rhs } => Op::Bin { dst: rt(*dst), op: *op, lhs: rv(*lhs), rhs: rv(*rhs) },
-        Op::Trunc { dst, src, bits, signed } => Op::Trunc { dst: rt(*dst), src: rv(*src), bits: *bits, signed: *signed },
-        Op::LoadGlobal { dst, global, index, volatile } => Op::LoadGlobal {
+        Op::Copy { dst, src } => Op::Copy {
+            dst: rt(*dst),
+            src: rv(*src),
+        },
+        Op::Un { dst, op, src } => Op::Un {
+            dst: rt(*dst),
+            op: *op,
+            src: rv(*src),
+        },
+        Op::Bin { dst, op, lhs, rhs } => Op::Bin {
+            dst: rt(*dst),
+            op: *op,
+            lhs: rv(*lhs),
+            rhs: rv(*rhs),
+        },
+        Op::Trunc {
+            dst,
+            src,
+            bits,
+            signed,
+        } => Op::Trunc {
+            dst: rt(*dst),
+            src: rv(*src),
+            bits: *bits,
+            signed: *signed,
+        },
+        Op::LoadGlobal {
+            dst,
+            global,
+            index,
+            volatile,
+        } => Op::LoadGlobal {
             dst: rt(*dst),
             global: *global,
             index: index.map(rv),
             volatile: *volatile,
         },
-        Op::StoreGlobal { global, index, value, volatile } => Op::StoreGlobal {
+        Op::StoreGlobal {
+            global,
+            index,
+            value,
+            volatile,
+        } => Op::StoreGlobal {
             global: *global,
             index: index.map(rv),
             value: rv(*value),
             volatile: *volatile,
         },
-        Op::LoadSlot { dst, slot } => Op::LoadSlot { dst: rt(*dst), slot: rs(*slot) },
-        Op::StoreSlot { slot, value } => Op::StoreSlot { slot: rs(*slot), value: rv(*value) },
-        Op::LoadPtr { dst, addr } => Op::LoadPtr { dst: rt(*dst), addr: rv(*addr) },
-        Op::StorePtr { addr, value } => Op::StorePtr { addr: rv(*addr), value: rv(*value) },
-        Op::AddrGlobal { dst, global } => Op::AddrGlobal { dst: rt(*dst), global: *global },
-        Op::AddrSlot { dst, slot } => Op::AddrSlot { dst: rt(*dst), slot: rs(*slot) },
+        Op::LoadSlot { dst, slot } => Op::LoadSlot {
+            dst: rt(*dst),
+            slot: rs(*slot),
+        },
+        Op::StoreSlot { slot, value } => Op::StoreSlot {
+            slot: rs(*slot),
+            value: rv(*value),
+        },
+        Op::LoadPtr { dst, addr } => Op::LoadPtr {
+            dst: rt(*dst),
+            addr: rv(*addr),
+        },
+        Op::StorePtr { addr, value } => Op::StorePtr {
+            addr: rv(*addr),
+            value: rv(*value),
+        },
+        Op::AddrGlobal { dst, global } => Op::AddrGlobal {
+            dst: rt(*dst),
+            global: *global,
+        },
+        Op::AddrSlot { dst, slot } => Op::AddrSlot {
+            dst: rt(*dst),
+            slot: rs(*slot),
+        },
         Op::Label(l) => Op::Label(crate::ir::BlockLabel(l.0 + temp_offset)),
         Op::Jump(l) => Op::Jump(crate::ir::BlockLabel(l.0 + temp_offset)),
         Op::BranchZero { cond, target } => Op::BranchZero {
@@ -247,8 +333,12 @@ fn remap_op(op: &Op, temp_offset: u32, slot_offset: u32, var_offset: u32) -> Op 
             callee: *callee,
             args: args.iter().map(|a| rv(*a)).collect(),
         },
-        Op::CallSink { args } => Op::CallSink { args: args.iter().map(|a| rv(*a)).collect() },
-        Op::Ret { value } => Op::Ret { value: value.map(rv) },
+        Op::CallSink { args } => Op::CallSink {
+            args: args.iter().map(|a| rv(*a)).collect(),
+        },
+        Op::Ret { value } => Op::Ret {
+            value: value.map(rv),
+        },
         Op::DbgValue { var, loc } => Op::DbgValue {
             var: DebugVarId(var.0 + var_offset),
             loc: match loc {
@@ -285,12 +375,21 @@ pub fn promote_slots(func: &mut IrFunction) {
     for inst in &mut func.insts {
         match &inst.op {
             Op::LoadSlot { dst, slot } if home.contains_key(slot) => {
-                inst.op = Op::Copy { dst: *dst, src: Value::Temp(home[slot]) };
+                inst.op = Op::Copy {
+                    dst: *dst,
+                    src: Value::Temp(home[slot]),
+                };
             }
             Op::StoreSlot { slot, value } if home.contains_key(slot) => {
-                inst.op = Op::Copy { dst: home[slot], src: *value };
+                inst.op = Op::Copy {
+                    dst: home[slot],
+                    src: *value,
+                };
             }
-            Op::DbgValue { var, loc: DbgLoc::Slot(slot) } if home.contains_key(slot) => {
+            Op::DbgValue {
+                var,
+                loc: DbgLoc::Slot(slot),
+            } if home.contains_key(slot) => {
                 inst.op = Op::DbgValue {
                     var: *var,
                     loc: DbgLoc::Value(Value::Temp(home[slot])),
@@ -308,12 +407,18 @@ pub fn promote_slots(func: &mut IrFunction) {
 pub fn unroll_loops(func: &mut IrFunction) {
     let regions = func.loops.clone();
     for region in regions {
-        let Some(trip) = region.trip_count() else { continue };
+        let Some(trip) = region.trip_count() else {
+            continue;
+        };
         if trip == 0 || trip > 4 {
             continue;
         }
-        let Some(header_index) = func.label_index(region.header) else { continue };
-        let Some(exit_index) = func.label_index(region.exit) else { continue };
+        let Some(header_index) = func.label_index(region.header) else {
+            continue;
+        };
+        let Some(exit_index) = func.label_index(region.exit) else {
+            continue;
+        };
         if exit_index <= header_index + 1 {
             continue;
         }
@@ -350,9 +455,9 @@ pub fn unroll_loops(func: &mut IrFunction) {
             .insts
             .iter()
             .filter(|i| match i.op {
-                Op::Jump(l) | Op::BranchZero { target: l, .. } | Op::BranchNonZero { target: l, .. } => {
-                    l == region.header
-                }
+                Op::Jump(l)
+                | Op::BranchZero { target: l, .. }
+                | Op::BranchNonZero { target: l, .. } => l == region.header,
                 _ => false,
             })
             .count();
@@ -360,9 +465,9 @@ pub fn unroll_loops(func: &mut IrFunction) {
             .insts
             .iter()
             .filter(|i| match i.op {
-                Op::Jump(l) | Op::BranchZero { target: l, .. } | Op::BranchNonZero { target: l, .. } => {
-                    l == region.exit
-                }
+                Op::Jump(l)
+                | Op::BranchZero { target: l, .. }
+                | Op::BranchNonZero { target: l, .. } => l == region.exit,
                 _ => false,
             })
             .count();
@@ -415,7 +520,14 @@ pub fn schedule_loads(func: &mut IrFunction) {
         let (before, after) = func.insts.split_at_mut(i);
         let prev = &mut before[i - 1];
         let curr = &mut after[0];
-        let curr_is_load = matches!(curr.op, Op::LoadGlobal { volatile: false, index: None, .. });
+        let curr_is_load = matches!(
+            curr.op,
+            Op::LoadGlobal {
+                volatile: false,
+                index: None,
+                ..
+            }
+        );
         let prev_is_pure = prev.op.is_removable_def();
         if !(curr_is_load && prev_is_pure) {
             continue;
@@ -425,8 +537,8 @@ pub fn schedule_loads(func: &mut IrFunction) {
         let curr_uses: Vec<Temp> = curr.op.uses().iter().filter_map(|v| v.as_temp()).collect();
         let prev_uses: Vec<Temp> = prev.op.uses().iter().filter_map(|v| v.as_temp()).collect();
         let independent = prev_def != curr_def
-            && prev_def.map_or(true, |d| !curr_uses.contains(&d))
-            && curr_def.map_or(true, |d| !prev_uses.contains(&d));
+            && prev_def.is_none_or(|d| !curr_uses.contains(&d))
+            && curr_def.is_none_or(|d| !prev_uses.contains(&d));
         if independent {
             std::mem::swap(prev, curr);
         }
@@ -454,7 +566,11 @@ mod tests {
         let main = b.function("main", Ty::I32);
         b.push(
             main,
-            Stmt::if_stmt(Expr::lit(0), vec![Stmt::assign(LValue::global(g), Expr::lit(1))], vec![]),
+            Stmt::if_stmt(
+                Expr::lit(0),
+                vec![Stmt::assign(LValue::global(g), Expr::lit(1))],
+                vec![],
+            ),
         );
         b.push(main, Stmt::ret(Some(Expr::lit(0))));
         let mut p = b.finish();
@@ -501,9 +617,13 @@ mod tests {
         let mut p = b.finish();
         let (mut ir, cx) = lowered(&mut p);
         fold_quiescent_globals(&mut ir.functions[0], &cx);
-        assert!(ir.functions[0].insts.iter().any(
-            |i| matches!(i.op, Op::Copy { src: Value::Const(7), .. })
-        ));
+        assert!(ir.functions[0].insts.iter().any(|i| matches!(
+            i.op,
+            Op::Copy {
+                src: Value::Const(7),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -528,7 +648,10 @@ mod tests {
         let main_id = p.main().0;
         inline_calls(&mut ir.functions[main_id], &cx);
         let main_ir = &ir.functions[main_id];
-        assert!(!main_ir.insts.iter().any(|i| matches!(i.op, Op::Call { .. })));
+        assert!(!main_ir
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::Call { .. })));
         assert!(main_ir
             .scopes
             .iter()
@@ -628,16 +751,42 @@ mod tests {
             suppress_die: false,
         });
         f.insts = vec![
-            Inst::new(Op::StoreSlot { slot: SlotId(0), value: Value::Const(3) }, 1),
-            Inst::new(Op::DbgValue { var, loc: DbgLoc::Slot(SlotId(0)) }, 1),
-            Inst::new(Op::LoadSlot { dst: Temp(0), slot: SlotId(0) }, 2),
-            Inst::new(Op::Ret { value: Some(Value::Temp(Temp(0))) }, 2),
+            Inst::new(
+                Op::StoreSlot {
+                    slot: SlotId(0),
+                    value: Value::Const(3),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::DbgValue {
+                    var,
+                    loc: DbgLoc::Slot(SlotId(0)),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::LoadSlot {
+                    dst: Temp(0),
+                    slot: SlotId(0),
+                },
+                2,
+            ),
+            Inst::new(
+                Op::Ret {
+                    value: Some(Value::Temp(Temp(0))),
+                },
+                2,
+            ),
         ];
         promote_slots(&mut f);
         assert!(!f.insts.iter().any(|i| matches!(i.op, Op::StoreSlot { .. })));
         assert!(matches!(
             f.insts[1].op,
-            Op::DbgValue { loc: DbgLoc::Value(Value::Temp(_)), .. }
+            Op::DbgValue {
+                loc: DbgLoc::Value(Value::Temp(_)),
+                ..
+            }
         ));
     }
 
@@ -658,17 +807,38 @@ mod tests {
         };
         use holes_minic::ast::GlobalId;
         f.insts = vec![
-            Inst::new(Op::Copy { dst: Temp(0), src: Value::Const(1) }, 1),
             Inst::new(
-                Op::LoadGlobal { dst: Temp(1), global: GlobalId(0), index: None, volatile: false },
+                Op::Copy {
+                    dst: Temp(0),
+                    src: Value::Const(1),
+                },
+                1,
+            ),
+            Inst::new(
+                Op::LoadGlobal {
+                    dst: Temp(1),
+                    global: GlobalId(0),
+                    index: None,
+                    volatile: false,
+                },
                 2,
             ),
             Inst::new(
-                Op::Bin { dst: Temp(2), op: BinOp::Add, lhs: Value::Temp(Temp(1)), rhs: Value::Const(1) },
+                Op::Bin {
+                    dst: Temp(2),
+                    op: BinOp::Add,
+                    lhs: Value::Temp(Temp(1)),
+                    rhs: Value::Const(1),
+                },
                 3,
             ),
             Inst::new(
-                Op::LoadGlobal { dst: Temp(3), global: GlobalId(0), index: None, volatile: false },
+                Op::LoadGlobal {
+                    dst: Temp(3),
+                    global: GlobalId(0),
+                    index: None,
+                    volatile: false,
+                },
                 4,
             ),
         ];

@@ -95,6 +95,186 @@ pub fn violation_key(v: &Violation) -> (Conjecture, u32, String) {
     (v.conjecture, v.line, v.variable.clone())
 }
 
+/// A targeted oracle query: does a *specific* site violate a conjecture?
+///
+/// Triage and reduction re-query the oracle many times per violation; running
+/// [`check_all`] over every site of the program for each query is the
+/// paper's ~30 s-per-conjecture cost. A `SiteQuery` restricts checking to one
+/// `(conjecture, line, variable)` site — or, with `line`/`function` left
+/// `None`, to one variable anywhere — and short-circuits on the first match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteQuery<'a> {
+    /// The conjecture to check.
+    pub conjecture: Conjecture,
+    /// Restrict to this source line (`None`: any line).
+    pub line: Option<u32>,
+    /// The variable's source name.
+    pub variable: &'a str,
+    /// Restrict to this function (`None`: any function).
+    pub function: Option<FunctionId>,
+}
+
+impl<'a> SiteQuery<'a> {
+    /// The query matching exactly one observed violation's site.
+    pub fn for_violation(violation: &'a Violation) -> SiteQuery<'a> {
+        SiteQuery {
+            conjecture: violation.conjecture,
+            line: Some(violation.line),
+            variable: &violation.variable,
+            function: Some(violation.function),
+        }
+    }
+
+    fn wants_line(&self, line: u32) -> bool {
+        self.line.is_none_or(|l| l == line)
+    }
+
+    fn wants_function(&self, function: FunctionId) -> bool {
+        self.function.is_none_or(|f| f == function)
+    }
+}
+
+/// Check whether the queried site violates its conjecture under a trace.
+///
+/// Equivalent to running [`check_all`] and filtering for the site, but visits
+/// only the sites the query selects and stops at the first hit.
+pub fn query_violation(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    source: &SourceMap,
+    trace: &DebugTrace,
+    query: &SiteQuery<'_>,
+) -> bool {
+    match query.conjecture {
+        Conjecture::C1 => query_conjecture1(program, analysis, trace, query),
+        Conjecture::C2 => query_conjecture2(program, analysis, trace, query),
+        Conjecture::C3 => query_conjecture3(program, analysis, source, trace, query),
+    }
+}
+
+fn query_conjecture1(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    trace: &DebugTrace,
+    query: &SiteQuery<'_>,
+) -> bool {
+    for site in &analysis.opaque_calls {
+        if !query.wants_line(site.line)
+            || !query.wants_function(site.function)
+            || trace.stop_at(site.line).is_none()
+        {
+            continue;
+        }
+        for &arg in &site.arg_vars {
+            let Some(name) = local_name(program, site.function, arg) else {
+                continue;
+            };
+            if name != query.variable {
+                continue;
+            }
+            let status = trace
+                .var_at(site.line, &name)
+                .unwrap_or(VarStatus::NotVisible);
+            if !status.is_available() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn query_conjecture2(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    trace: &DebugTrace,
+    query: &SiteQuery<'_>,
+) -> bool {
+    for site in &analysis.global_stores {
+        if site.simplifiable
+            || !query.wants_line(site.line)
+            || !query.wants_function(site.function)
+            || trace.stop_at(site.line).is_none()
+        {
+            continue;
+        }
+        for constituent in &site.constituents {
+            let expected = match constituent.kind {
+                ConstituentKind::ConstantValued | ConstituentKind::AddressConstant => true,
+                ConstituentKind::UnalterableIndex => constituent.live_after,
+            };
+            if !expected {
+                continue;
+            }
+            let name = &program.function(site.function).local(constituent.var).name;
+            if name != query.variable {
+                continue;
+            }
+            let status = trace
+                .var_at(site.line, name)
+                .unwrap_or(VarStatus::NotVisible);
+            if !status.is_available() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn query_conjecture3(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    source: &SourceMap,
+    trace: &DebugTrace,
+    query: &SiteQuery<'_>,
+) -> bool {
+    use std::collections::BTreeMap;
+    // Mirror `check_conjecture3`'s walk, restricted to matching
+    // (function, local) groups; availability tracking must replay the whole
+    // line sequence of a group even when only one line is queried, because
+    // the rank comparison is stateful.
+    let mut assignments: BTreeMap<(FunctionId, usize), Vec<u32>> = BTreeMap::new();
+    for site in &analysis.local_assignments {
+        if !query.wants_function(site.function) {
+            continue;
+        }
+        assignments
+            .entry((site.function, site.local.0))
+            .or_default()
+            .push(site.line);
+    }
+    for ((function, local), mut assign_lines) in assignments {
+        let name = &program
+            .function(function)
+            .local(holes_minic::ast::LocalId(local))
+            .name;
+        if name != query.variable {
+            continue;
+        }
+        assign_lines.sort_unstable();
+        assign_lines.dedup();
+        let first = assign_lines[0];
+        let mut current_rank: Option<u8> = None;
+        for &line in source.lines_of(function).iter().filter(|&&l| l >= first) {
+            if assign_lines.contains(&line) {
+                current_rank = None;
+                continue;
+            }
+            if trace.stop_at(line).is_none() {
+                continue;
+            }
+            let status = trace.var_at(line, name).unwrap_or(VarStatus::NotVisible);
+            let rank = status.rank();
+            if let Some(previous) = current_rank {
+                if rank > previous && query.wants_line(line) {
+                    return true;
+                }
+            }
+            current_rank = Some(rank);
+        }
+    }
+    false
+}
+
 fn status_to_observed(status: VarStatus) -> Observed {
     match status {
         VarStatus::NotVisible => Observed::NotVisible,
@@ -124,7 +304,9 @@ pub fn check_conjecture1(
             let Some(name) = local_name(program, site.function, arg) else {
                 continue;
             };
-            let status = trace.var_at(site.line, &name).unwrap_or(VarStatus::NotVisible);
+            let status = trace
+                .var_at(site.line, &name)
+                .unwrap_or(VarStatus::NotVisible);
             if !status.is_available() {
                 out.push(Violation {
                     conjecture: Conjecture::C1,
@@ -163,7 +345,9 @@ pub fn check_conjecture2(
                 .local(constituent.var)
                 .name
                 .clone();
-            let status = trace.var_at(site.line, &name).unwrap_or(VarStatus::NotVisible);
+            let status = trace
+                .var_at(site.line, &name)
+                .unwrap_or(VarStatus::NotVisible);
             if !status.is_available() {
                 out.push(Violation {
                     conjecture: Conjecture::C2,
@@ -199,7 +383,11 @@ pub fn check_conjecture3(
         assign_lines.sort_unstable();
         assign_lines.dedup();
         let first = assign_lines[0];
-        let name = program.function(function).local(holes_minic::ast::LocalId(local)).name.clone();
+        let name = program
+            .function(function)
+            .local(holes_minic::ast::LocalId(local))
+            .name
+            .clone();
         // All lines of this function at or after the first assignment. Lines
         // the debugger cannot step on are skipped, but reassignment lines
         // always start a fresh variable instance even when their code was
@@ -290,7 +478,10 @@ mod tests {
         let (p, source, analysis) = c1_program();
         for personality in [Personality::Ccg, Personality::Lcc] {
             for level in personality.levels() {
-                let exe = compile(&p, &CompilerConfig::new(personality, *level).without_defects());
+                let exe = compile(
+                    &p,
+                    &CompilerConfig::new(personality, *level).without_defects(),
+                );
                 let t = native_trace(&exe);
                 let violations = check_all(&p, &analysis, &source, &t);
                 assert!(
@@ -310,7 +501,12 @@ mod tests {
                 &CompilerConfig::new(Personality::Ccg, OptLevel::O0),
             );
             let t = trace(&exe, DebuggerKind::GdbLike);
-            let violations = check_all(&generated.program, &generated.analysis, &generated.source, &t);
+            let violations = check_all(
+                &generated.program,
+                &generated.analysis,
+                &generated.source,
+                &t,
+            );
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
     }
@@ -324,7 +520,10 @@ mod tests {
             let generated = ProgramGenerator::from_seed(seed).generate();
             for personality in [Personality::Ccg, Personality::Lcc] {
                 for level in personality.levels() {
-                    let exe = compile(&generated.program, &CompilerConfig::new(personality, *level));
+                    let exe = compile(
+                        &generated.program,
+                        &CompilerConfig::new(personality, *level),
+                    );
                     let t = native_trace(&exe);
                     found += check_all(
                         &generated.program,
@@ -386,6 +585,102 @@ mod tests {
             assert!(!v.variable.is_empty());
             assert!(v.line > 0);
             let _ = violation_key(v);
+        }
+    }
+
+    #[test]
+    fn targeted_query_agrees_with_check_all() {
+        // Every violation check_all finds must be confirmed by the targeted
+        // query, and a query for an untouched variable must come back false.
+        for seed in 0..12u64 {
+            let generated = ProgramGenerator::from_seed(seed).generate();
+            for personality in [Personality::Ccg, Personality::Lcc] {
+                for level in personality.levels() {
+                    let exe = compile(
+                        &generated.program,
+                        &CompilerConfig::new(personality, *level),
+                    );
+                    let t = native_trace(&exe);
+                    let violations = check_all(
+                        &generated.program,
+                        &generated.analysis,
+                        &generated.source,
+                        &t,
+                    );
+                    for v in &violations {
+                        assert!(
+                            query_violation(
+                                &generated.program,
+                                &generated.analysis,
+                                &generated.source,
+                                &t,
+                                &SiteQuery::for_violation(v),
+                            ),
+                            "seed {seed} {personality} {level}: targeted query missed {v:?}"
+                        );
+                        // Anywhere-queries subsume exact-site queries.
+                        assert!(query_violation(
+                            &generated.program,
+                            &generated.analysis,
+                            &generated.source,
+                            &t,
+                            &SiteQuery {
+                                conjecture: v.conjecture,
+                                line: None,
+                                variable: &v.variable,
+                                function: None,
+                            },
+                        ));
+                    }
+                    for conjecture in Conjecture::ALL {
+                        assert!(
+                            !query_violation(
+                                &generated.program,
+                                &generated.analysis,
+                                &generated.source,
+                                &t,
+                                &SiteQuery {
+                                    conjecture,
+                                    line: None,
+                                    variable: "no_such_variable",
+                                    function: None,
+                                },
+                            ),
+                            "query for a nonexistent variable matched"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_query_rejects_sites_without_violations() {
+        // The inverse direction on a directed program: for sites check_all
+        // does NOT flag, the targeted query must also come back false.
+        let (p, source, analysis) = c1_program();
+        let exe = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O2));
+        let t = native_trace(&exe);
+        let violations = check_all(&p, &analysis, &source, &t);
+        for conjecture in Conjecture::ALL {
+            for line in 1..=10u32 {
+                let hit = query_violation(
+                    &p,
+                    &analysis,
+                    &source,
+                    &t,
+                    &SiteQuery {
+                        conjecture,
+                        line: Some(line),
+                        variable: "v2",
+                        function: None,
+                    },
+                );
+                let expected = violations
+                    .iter()
+                    .any(|v| v.conjecture == conjecture && v.line == line && v.variable == "v2");
+                assert_eq!(hit, expected, "{conjecture} line {line}");
+            }
         }
     }
 

@@ -70,7 +70,7 @@ pub fn line_coverage(optimized: &DebugTrace, baseline: &DebugTrace) -> f64 {
 /// instances.
 pub fn availability_of_variables(optimized: &DebugTrace, baseline: &DebugTrace) -> f64 {
     let mut ratios = Vec::new();
-    for (&line, _) in &baseline.reached {
+    for &line in baseline.reached.keys() {
         if !optimized.reached.contains_key(&line) {
             continue;
         }
@@ -101,7 +101,10 @@ mod tests {
             &generated.program,
             &CompilerConfig::new(Personality::Ccg, OptLevel::O0),
         );
-        let optimized = compile(&generated.program, &CompilerConfig::new(Personality::Ccg, level));
+        let optimized = compile(
+            &generated.program,
+            &CompilerConfig::new(Personality::Ccg, level),
+        );
         (native_trace(&optimized), native_trace(&baseline))
     }
 

@@ -180,22 +180,17 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
         steppable_lines: steppable,
         reached: BTreeMap::new(),
     };
-    loop {
-        match machine.run(&breakpoints) {
-            StopReason::Breakpoint { address } => {
-                breakpoints.remove(&address);
-                let line = address_to_line
-                    .get(&address)
-                    .copied()
-                    .or_else(|| executable.debug.line_table.line_for_address(address))
-                    .unwrap_or(0);
-                let stop = inspect_frame(&executable.debug, &machine, kind, address, line);
-                let index = trace.stops.len();
-                trace.reached.entry(line).or_insert(index);
-                trace.stops.push(stop);
-            }
-            StopReason::Finished { .. } | StopReason::Error(_) => break,
-        }
+    while let StopReason::Breakpoint { address } = machine.run(&breakpoints) {
+        breakpoints.remove(&address);
+        let line = address_to_line
+            .get(&address)
+            .copied()
+            .or_else(|| executable.debug.line_table.line_for_address(address))
+            .unwrap_or(0);
+        let stop = inspect_frame(&executable.debug, &machine, kind, address, line);
+        let index = trace.stops.len();
+        trace.reached.entry(line).or_insert(index);
+        trace.stops.push(stop);
     }
     trace
 }
@@ -267,7 +262,9 @@ fn resolve_variable(
             if let Some(AttrValue::Signed(c)) = origin_entry.attr(Attr::ConstValue) {
                 return Availability::Available(*c);
             }
-            loclist = origin_entry.attr(Attr::Location).and_then(AttrValue::as_loclist);
+            loclist = origin_entry
+                .attr(Attr::Location)
+                .and_then(AttrValue::as_loclist);
         }
     }
     let Some(entries) = loclist else {
@@ -309,7 +306,10 @@ fn gdb_lookup(entries: &[LocListEntry], address: u64) -> Option<Location> {
 /// Convenience: trace with the native debugger of the executable's compiler
 /// personality.
 pub fn native_trace(executable: &Executable) -> DebugTrace {
-    trace(executable, DebuggerKind::native_for(executable.config.personality))
+    trace(
+        executable,
+        DebuggerKind::native_for(executable.config.personality),
+    )
 }
 
 /// List the variables whose DIEs exist somewhere in the executable's debug
@@ -352,7 +352,10 @@ mod tests {
                 )],
             ),
         );
-        b.push(main, Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]));
+        b.push(
+            main,
+            Stmt::call_opaque(vec![Expr::local(x), Expr::local(i)]),
+        );
         b.push(main, Stmt::ret(Some(Expr::lit(0))));
         let mut p = b.finish();
         p.assign_lines();
@@ -420,8 +423,14 @@ mod tests {
 
     #[test]
     fn native_debugger_pairing() {
-        assert_eq!(DebuggerKind::native_for(Personality::Ccg), DebuggerKind::GdbLike);
-        assert_eq!(DebuggerKind::native_for(Personality::Lcc), DebuggerKind::LldbLike);
+        assert_eq!(
+            DebuggerKind::native_for(Personality::Ccg),
+            DebuggerKind::GdbLike
+        );
+        assert_eq!(
+            DebuggerKind::native_for(Personality::Lcc),
+            DebuggerKind::LldbLike
+        );
     }
 
     #[test]

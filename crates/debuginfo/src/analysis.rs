@@ -99,12 +99,13 @@ pub fn categorize_die(info: &DebugInfo, die: DieId, address: u64) -> DieCategory
             if origin_die.attr(Attr::ConstValue).is_some() {
                 return DieCategory::Covered;
             }
-            resolved = origin_die.attr(Attr::Location).and_then(AttrValue::as_loclist);
+            resolved = origin_die
+                .attr(Attr::Location)
+                .and_then(AttrValue::as_loclist);
         }
     }
     match resolved {
-        None => DieCategory::HollowDie,
-        Some(entries) if entries.is_empty() => DieCategory::HollowDie,
+        None | Some([]) => DieCategory::HollowDie,
         Some(entries) => match location::lookup(entries, address) {
             Some(Location::Empty) | None => DieCategory::IncompleteDie,
             Some(_) => DieCategory::Covered,
@@ -138,13 +139,19 @@ mod tests {
     #[test]
     fn missing_die_when_variable_absent() {
         let (info, _) = base_info();
-        assert_eq!(categorize_variable(&info, "x", 0x110), DieCategory::MissingDie);
+        assert_eq!(
+            categorize_variable(&info, "x", 0x110),
+            DieCategory::MissingDie
+        );
     }
 
     #[test]
     fn missing_die_when_no_subprogram_covers_pc() {
         let (info, _) = base_info();
-        assert_eq!(categorize_variable(&info, "x", 0x900), DieCategory::MissingDie);
+        assert_eq!(
+            categorize_variable(&info, "x", 0x900),
+            DieCategory::MissingDie
+        );
     }
 
     #[test]
@@ -152,7 +159,10 @@ mod tests {
         let (mut info, sub) = base_info();
         let var = info.add_die(sub, DieTag::Variable);
         info.set_attr(var, Attr::Name, AttrValue::Text("x".into()));
-        assert_eq!(categorize_variable(&info, "x", 0x110), DieCategory::HollowDie);
+        assert_eq!(
+            categorize_variable(&info, "x", 0x110),
+            DieCategory::HollowDie
+        );
     }
 
     #[test]
@@ -198,7 +208,11 @@ mod tests {
         info.set_attr(inlined, Attr::AbstractOrigin, AttrValue::Ref(abstract_sub));
         let concrete_var = info.add_die(inlined, DieTag::Variable);
         info.set_attr(concrete_var, Attr::Name, AttrValue::Text("a".into()));
-        info.set_attr(concrete_var, Attr::AbstractOrigin, AttrValue::Ref(abstract_var));
+        info.set_attr(
+            concrete_var,
+            Attr::AbstractOrigin,
+            AttrValue::Ref(abstract_var),
+        );
         assert_eq!(categorize_variable(&info, "a", 0x145), DieCategory::Covered);
     }
 

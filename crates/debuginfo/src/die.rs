@@ -285,10 +285,8 @@ impl DebugInfo {
                 let die = self.die(child);
                 match die.tag {
                     DieTag::Variable | DieTag::FormalParameter => out.push(child),
-                    DieTag::LexicalBlock => {
-                        if die.pc_range().is_none() || die.covers(address) {
-                            stack.push(child);
-                        }
+                    DieTag::LexicalBlock if (die.pc_range().is_none() || die.covers(address)) => {
+                        stack.push(child);
                     }
                     _ => {}
                 }

@@ -28,9 +28,7 @@ impl LineTable {
     /// Append a row. Rows may be pushed in any order; they are kept sorted by
     /// address internally.
     pub fn push(&mut self, row: LineRow) {
-        let pos = self
-            .rows
-            .partition_point(|r| r.address <= row.address);
+        let pos = self.rows.partition_point(|r| r.address <= row.address);
         self.rows.insert(pos, row);
     }
 
@@ -96,19 +94,47 @@ mod tests {
 
     fn table() -> LineTable {
         let mut t = LineTable::new();
-        t.push(LineRow { address: 0x100, line: 5, is_stmt: true });
-        t.push(LineRow { address: 0x104, line: 5, is_stmt: false });
-        t.push(LineRow { address: 0x108, line: 6, is_stmt: true });
-        t.push(LineRow { address: 0x110, line: 5, is_stmt: true });
+        t.push(LineRow {
+            address: 0x100,
+            line: 5,
+            is_stmt: true,
+        });
+        t.push(LineRow {
+            address: 0x104,
+            line: 5,
+            is_stmt: false,
+        });
+        t.push(LineRow {
+            address: 0x108,
+            line: 6,
+            is_stmt: true,
+        });
+        t.push(LineRow {
+            address: 0x110,
+            line: 5,
+            is_stmt: true,
+        });
         t
     }
 
     #[test]
     fn rows_are_kept_sorted() {
         let mut t = LineTable::new();
-        t.push(LineRow { address: 0x20, line: 2, is_stmt: true });
-        t.push(LineRow { address: 0x10, line: 1, is_stmt: true });
-        t.push(LineRow { address: 0x30, line: 3, is_stmt: true });
+        t.push(LineRow {
+            address: 0x20,
+            line: 2,
+            is_stmt: true,
+        });
+        t.push(LineRow {
+            address: 0x10,
+            line: 1,
+            is_stmt: true,
+        });
+        t.push(LineRow {
+            address: 0x30,
+            line: 3,
+            is_stmt: true,
+        });
         let addrs: Vec<u64> = t.rows().iter().map(|r| r.address).collect();
         assert_eq!(addrs, vec![0x10, 0x20, 0x30]);
     }

@@ -60,7 +60,10 @@ impl std::fmt::Display for MachineError {
             MachineError::BadAddress(a) => write!(f, "access to unmapped address {a:#x}"),
             MachineError::BadBranchTarget(t) => write!(f, "branch to invalid target {t}"),
             MachineError::GlobalIndexOutOfRange { global, element } => {
-                write!(f, "global {global} indexed out of range at element {element}")
+                write!(
+                    f,
+                    "global {global} indexed out of range at element {element}"
+                )
             }
             MachineError::BadFrameSlot(s) => write!(f, "frame slot {s} out of range"),
             MachineError::FellOffEnd { function } => {
@@ -163,7 +166,7 @@ impl<'p> Machine<'p> {
         let func = &self.program.functions[function as usize];
         let slot_base = self.stack_mem.len();
         self.stack_mem
-            .extend(std::iter::repeat(0).take(func.frame_slots as usize));
+            .extend(std::iter::repeat_n(0, func.frame_slots as usize));
         let mut regs = [0i64; NUM_REGS];
         for (i, a) in args.iter().enumerate().take(NUM_REGS) {
             regs[i] = *a;
@@ -433,7 +436,11 @@ impl<'p> Machine<'p> {
 
     fn effective_address(&self, addr: MAddr) -> Result<i64, MachineError> {
         match addr {
-            MAddr::Global { global, index, disp } => {
+            MAddr::Global {
+                global,
+                index,
+                disp,
+            } => {
                 let base = self.program.global_base_address(global);
                 let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0);
                 Ok(base + (idx + disp as i64) * 8)
@@ -451,7 +458,11 @@ impl<'p> Machine<'p> {
 
     fn load(&self, addr: MAddr) -> Result<i64, MachineError> {
         match addr {
-            MAddr::Global { global, index, disp } => {
+            MAddr::Global {
+                global,
+                index,
+                disp,
+            } => {
                 let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0) + disp as i64;
                 let size = self
                     .program
@@ -484,7 +495,11 @@ impl<'p> Machine<'p> {
 
     fn store(&mut self, addr: MAddr, value: i64) -> Result<(), MachineError> {
         match addr {
-            MAddr::Global { global, index, disp } => {
+            MAddr::Global {
+                global,
+                index,
+                disp,
+            } => {
                 let idx = index.map(|r| self.read_reg_raw(r)).unwrap_or(0) + disp as i64;
                 let slot = &self.program.globals[global as usize];
                 if idx < 0 || idx as usize >= slot.elements {
@@ -589,8 +604,15 @@ mod tests {
             vec![
                 MInst::LoadImm { dst: 0, value: 20 },
                 MInst::LoadImm { dst: 1, value: 22 },
-                MInst::Bin { op: BinOp::Add, dst: 2, lhs: Operand::Reg(0), rhs: Operand::Reg(1) },
-                MInst::Ret { value: Some(Operand::Reg(2)) },
+                MInst::Bin {
+                    op: BinOp::Add,
+                    dst: 2,
+                    lhs: Operand::Reg(0),
+                    rhs: Operand::Reg(1),
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(2)),
+                },
             ],
             vec![],
         );
@@ -604,11 +626,34 @@ mod tests {
         let prog = one_function_program(
             vec![
                 MInst::LoadImm { dst: 0, value: 300 },
-                MInst::Store { addr: MAddr::Global { global: 0, index: None, disp: 0 }, src: Operand::Reg(0) },
-                MInst::Load { dst: 1, addr: MAddr::Global { global: 0, index: None, disp: 0 } },
-                MInst::Ret { value: Some(Operand::Reg(1)) },
+                MInst::Store {
+                    addr: MAddr::Global {
+                        global: 0,
+                        index: None,
+                        disp: 0,
+                    },
+                    src: Operand::Reg(0),
+                },
+                MInst::Load {
+                    dst: 1,
+                    addr: MAddr::Global {
+                        global: 0,
+                        index: None,
+                        disp: 0,
+                    },
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(1)),
+                },
             ],
-            vec![GlobalSlot { name: "g".into(), elements: 1, init: vec![0], bits: 8, signed: false, volatile: false }],
+            vec![GlobalSlot {
+                name: "g".into(),
+                elements: 1,
+                init: vec![0],
+                bits: 8,
+                signed: false,
+                volatile: false,
+            }],
         );
         let outcome = Machine::new(&prog).run_to_completion().unwrap();
         assert_eq!(outcome.return_value, 44);
@@ -620,15 +665,32 @@ mod tests {
         // sum = 0; for (i = 0; i < 5; i++) sum += i; return sum;
         let prog = one_function_program(
             vec![
-                MInst::LoadImm { dst: 0, value: 0 },          // i
-                MInst::LoadImm { dst: 1, value: 0 },          // sum
+                MInst::LoadImm { dst: 0, value: 0 }, // i
+                MInst::LoadImm { dst: 1, value: 0 }, // sum
                 // header (index 2)
-                MInst::Bin { op: BinOp::Lt, dst: 2, lhs: Operand::Reg(0), rhs: Operand::Imm(5) },
+                MInst::Bin {
+                    op: BinOp::Lt,
+                    dst: 2,
+                    lhs: Operand::Reg(0),
+                    rhs: Operand::Imm(5),
+                },
                 MInst::BranchZero { cond: 2, target: 7 },
-                MInst::Bin { op: BinOp::Add, dst: 1, lhs: Operand::Reg(1), rhs: Operand::Reg(0) },
-                MInst::Bin { op: BinOp::Add, dst: 0, lhs: Operand::Reg(0), rhs: Operand::Imm(1) },
+                MInst::Bin {
+                    op: BinOp::Add,
+                    dst: 1,
+                    lhs: Operand::Reg(1),
+                    rhs: Operand::Reg(0),
+                },
+                MInst::Bin {
+                    op: BinOp::Add,
+                    dst: 0,
+                    lhs: Operand::Reg(0),
+                    rhs: Operand::Imm(1),
+                },
                 MInst::Jump { target: 2 },
-                MInst::Ret { value: Some(Operand::Reg(1)) },
+                MInst::Ret {
+                    value: Some(Operand::Reg(1)),
+                },
             ],
             vec![],
         );
@@ -641,7 +703,11 @@ mod tests {
         let prog = one_function_program(
             vec![
                 MInst::LoadImm { dst: 0, value: 7 },
-                MInst::Call { target: CallTarget::Sink, args: vec![Operand::Reg(0), Operand::Imm(9)], ret: None },
+                MInst::Call {
+                    target: CallTarget::Sink,
+                    args: vec![Operand::Reg(0), Operand::Imm(9)],
+                    ret: None,
+                },
                 MInst::Ret { value: None },
             ],
             vec![],
@@ -655,8 +721,15 @@ mod tests {
         let callee = MFunction {
             name: "add1".into(),
             code: vec![
-                MInst::Bin { op: BinOp::Add, dst: 0, lhs: Operand::Reg(0), rhs: Operand::Imm(1) },
-                MInst::Ret { value: Some(Operand::Reg(0)) },
+                MInst::Bin {
+                    op: BinOp::Add,
+                    dst: 0,
+                    lhs: Operand::Reg(0),
+                    rhs: Operand::Imm(1),
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(0)),
+                },
             ],
             frame_slots: 0,
             base_address: MachineProgram::default_base_address(1),
@@ -664,13 +737,23 @@ mod tests {
         let main = MFunction {
             name: "main".into(),
             code: vec![
-                MInst::Call { target: CallTarget::Function(1), args: vec![Operand::Imm(41)], ret: Some(3) },
-                MInst::Ret { value: Some(Operand::Reg(3)) },
+                MInst::Call {
+                    target: CallTarget::Function(1),
+                    args: vec![Operand::Imm(41)],
+                    ret: Some(3),
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(3)),
+                },
             ],
             frame_slots: 0,
             base_address: MachineProgram::default_base_address(0),
         };
-        let prog = MachineProgram { functions: vec![main, callee], globals: vec![], entry: 0 };
+        let prog = MachineProgram {
+            functions: vec![main, callee],
+            globals: vec![],
+            entry: 0,
+        };
         let outcome = Machine::new(&prog).run_to_completion().unwrap();
         assert_eq!(outcome.return_value, 42);
     }
@@ -681,7 +764,9 @@ mod tests {
             vec![
                 MInst::LoadImm { dst: 0, value: 1 },
                 MInst::LoadImm { dst: 1, value: 2 },
-                MInst::Ret { value: Some(Operand::Reg(1)) },
+                MInst::Ret {
+                    value: Some(Operand::Reg(1)),
+                },
             ],
             vec![],
         );
@@ -693,7 +778,11 @@ mod tests {
             other => panic!("expected breakpoint, got {other:?}"),
         }
         assert_eq!(machine.read_reg(0), 1);
-        assert_eq!(machine.read_reg(1), 0, "instruction at breakpoint not yet executed");
+        assert_eq!(
+            machine.read_reg(1),
+            0,
+            "instruction at breakpoint not yet executed"
+        );
         // Resume without the breakpoint.
         breaks.clear();
         match machine.run(&breaks) {
@@ -706,10 +795,25 @@ mod tests {
     fn lea_and_indirect_access() {
         let prog = one_function_program(
             vec![
-                MInst::Lea { dst: 0, addr: MAddr::Global { global: 0, index: None, disp: 0 } },
-                MInst::Store { addr: MAddr::Indirect { reg: 0 }, src: Operand::Imm(55) },
-                MInst::Load { dst: 1, addr: MAddr::Indirect { reg: 0 } },
-                MInst::Ret { value: Some(Operand::Reg(1)) },
+                MInst::Lea {
+                    dst: 0,
+                    addr: MAddr::Global {
+                        global: 0,
+                        index: None,
+                        disp: 0,
+                    },
+                },
+                MInst::Store {
+                    addr: MAddr::Indirect { reg: 0 },
+                    src: Operand::Imm(55),
+                },
+                MInst::Load {
+                    dst: 1,
+                    addr: MAddr::Indirect { reg: 0 },
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(1)),
+                },
             ],
             vec![int_global("g", 3)],
         );
@@ -722,10 +826,21 @@ mod tests {
     fn frame_slots_are_addressable() {
         let prog = one_function_program(
             vec![
-                MInst::Store { addr: MAddr::Frame { slot: 1 }, src: Operand::Imm(13) },
-                MInst::Lea { dst: 0, addr: MAddr::Frame { slot: 1 } },
-                MInst::Load { dst: 2, addr: MAddr::Indirect { reg: 0 } },
-                MInst::Ret { value: Some(Operand::Reg(2)) },
+                MInst::Store {
+                    addr: MAddr::Frame { slot: 1 },
+                    src: Operand::Imm(13),
+                },
+                MInst::Lea {
+                    dst: 0,
+                    addr: MAddr::Frame { slot: 1 },
+                },
+                MInst::Load {
+                    dst: 2,
+                    addr: MAddr::Indirect { reg: 0 },
+                },
+                MInst::Ret {
+                    value: Some(Operand::Reg(2)),
+                },
             ],
             vec![],
         );
@@ -736,7 +851,9 @@ mod tests {
     #[test]
     fn out_of_fuel_is_reported() {
         let prog = one_function_program(vec![MInst::Jump { target: 0 }], vec![]);
-        let err = Machine::with_fuel(&prog, 100).run_to_completion().unwrap_err();
+        let err = Machine::with_fuel(&prog, 100)
+            .run_to_completion()
+            .unwrap_err();
         assert_eq!(err, MachineError::OutOfFuel);
     }
 
@@ -745,7 +862,14 @@ mod tests {
         let prog = one_function_program(
             vec![
                 MInst::LoadImm { dst: 0, value: 5 },
-                MInst::Load { dst: 1, addr: MAddr::Global { global: 0, index: Some(0), disp: 0 } },
+                MInst::Load {
+                    dst: 1,
+                    addr: MAddr::Global {
+                        global: 0,
+                        index: Some(0),
+                        disp: 0,
+                    },
+                },
                 MInst::Ret { value: None },
             ],
             vec![int_global("g", 0)],

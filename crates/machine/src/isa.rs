@@ -188,7 +188,10 @@ impl MFunction {
 
     /// The `[low, high)` address range of the function.
     pub fn pc_range(&self) -> (u64, u64) {
-        (self.base_address, self.base_address + self.code.len() as u64)
+        (
+            self.base_address,
+            self.base_address + self.code.len() as u64,
+        )
     }
 }
 
@@ -292,7 +295,8 @@ mod tests {
         };
         assert_eq!(prog.function_at(TEXT_BASE).map(|(i, _)| i), Some(0));
         assert_eq!(
-            prog.function_at(TEXT_BASE + FUNCTION_STRIDE + 1).map(|(i, _)| i),
+            prog.function_at(TEXT_BASE + FUNCTION_STRIDE + 1)
+                .map(|(i, _)| i),
             Some(1)
         );
         assert_eq!(prog.function_at(TEXT_BASE + 500), None);

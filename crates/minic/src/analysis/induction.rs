@@ -6,7 +6,7 @@
 //! canonical `for (i = C0; i <cmp> C1; i = i + C2)` shape that both the
 //! generator and the paper's examples use.
 
-use crate::ast::{BinOp, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt, StmtKind};
+use crate::ast::{BinOp, ExprKind, FunctionId, LValue, LocalId, Program, Stmt, StmtKind};
 
 /// A loop with a recognized induction variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,32 +40,42 @@ impl LoopIv {
 pub fn induction_variables(program: &Program) -> Vec<LoopIv> {
     let mut out = Vec::new();
     for (id, func) in program.functions_with_ids() {
-        walk(func, id, &func.body, 0, &mut out);
+        walk(id, &func.body, 0, &mut out);
     }
     out
 }
 
-fn walk(func: &Function, id: FunctionId, stmts: &[Stmt], depth: usize, out: &mut Vec<LoopIv>) {
+fn walk(id: FunctionId, stmts: &[Stmt], depth: usize, out: &mut Vec<LoopIv>) {
     for stmt in stmts {
         match &stmt.kind {
             StmtKind::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
-                if let Some(iv) = recognize(stmt.line, id, init.as_deref(), cond.as_ref(), step.as_deref(), body, depth)
-                {
+                if let Some(iv) = recognize(
+                    stmt.line,
+                    id,
+                    init.as_deref(),
+                    cond.as_ref(),
+                    step.as_deref(),
+                    body,
+                    depth,
+                ) {
                     out.push(iv);
                 }
-                walk(func, id, body, depth + 1, out);
+                walk(id, body, depth + 1, out);
             }
             StmtKind::If {
                 then_branch,
                 else_branch,
                 ..
             } => {
-                walk(func, id, then_branch, depth, out);
-                walk(func, id, else_branch, depth, out);
+                walk(id, then_branch, depth, out);
+                walk(id, else_branch, depth, out);
             }
-            StmtKind::Block(body) => walk(func, id, body, depth, out),
+            StmtKind::Block(body) => walk(id, body, depth, out),
             _ => {}
         }
     }
@@ -101,9 +111,7 @@ fn recognize(
     };
     // Condition must compare the induction variable against something.
     let bound = match &cond?.kind {
-        ExprKind::Binary(op, lhs, rhs)
-            if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Ne | BinOp::Gt | BinOp::Ge) =>
-        {
+        ExprKind::Binary(BinOp::Lt | BinOp::Le | BinOp::Ne | BinOp::Gt | BinOp::Ge, lhs, rhs) => {
             match (&lhs.kind, &rhs.kind) {
                 (ExprKind::Var(crate::ast::VarRef::Local(l)), ExprKind::Lit(b)) if *l == iv => {
                     Some(*b)
@@ -277,7 +285,10 @@ mod tests {
         p.assign_lines();
         let ivs = induction_variables(&p);
         assert_eq!(ivs.len(), 1);
-        assert_eq!(ivs[0].step, None, "non-unit multiplicative step is not canonical");
+        assert_eq!(
+            ivs[0].step, None,
+            "non-unit multiplicative step is not canonical"
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::ast::{
-    Expr, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, VarRef,
-};
+use crate::ast::{Expr, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, VarRef};
 
 /// Whether a use of a variable is a read or a write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,11 +73,7 @@ impl LivenessInfo {
         if let Some(loops) = self.loops.get(&function) {
             for (header, body) in loops {
                 let in_loop = body.contains(&line) || *header == line;
-                if in_loop
-                    && reads
-                        .iter()
-                        .any(|r| body.contains(r) || r == header)
-                {
+                if in_loop && reads.iter().any(|r| body.contains(r) || r == header) {
                     return true;
                 }
             }
@@ -94,7 +88,12 @@ fn collect_stmts(func: FunctionId, stmts: &[Stmt], info: &mut LivenessInfo) {
     }
 }
 
-fn record(map: &mut BTreeMap<(FunctionId, LocalId), Vec<u32>>, func: FunctionId, local: LocalId, line: u32) {
+fn record(
+    map: &mut BTreeMap<(FunctionId, LocalId), Vec<u32>>,
+    func: FunctionId,
+    local: LocalId,
+    line: u32,
+) {
     map.entry((func, local)).or_default().push(line);
 }
 
@@ -135,7 +134,10 @@ fn collect_stmt(func: FunctionId, stmt: &Stmt, info: &mut LivenessInfo) {
             }
         }
         StmtKind::For {
-            init, cond, step, body,
+            init,
+            cond,
+            step,
+            body,
         } => {
             if let Some(s) = init {
                 collect_stmt(func, s, info);
@@ -149,7 +151,10 @@ fn collect_stmt(func: FunctionId, stmt: &Stmt, info: &mut LivenessInfo) {
             collect_stmts(func, body, info);
             let mut body_lines = vec![stmt.line];
             collect_lines(body, &mut body_lines);
-            info.loops.entry(func).or_default().push((stmt.line, body_lines));
+            info.loops
+                .entry(func)
+                .or_default()
+                .push((stmt.line, body_lines));
         }
         StmtKind::If {
             cond,

@@ -198,9 +198,9 @@ fn classify_constituent(
     loops: &[LoopIv],
 ) -> Option<ConstituentKind> {
     // Induction variable used at a line inside its own loop body.
-    let is_iv_here = loops.iter().any(|iv| {
-        iv.function == func_id && iv.var == local && iv.contains_line(stmt.line)
-    });
+    let is_iv_here = loops
+        .iter()
+        .any(|iv| iv.function == func_id && iv.var == local && iv.contains_line(stmt.line));
     if is_iv_here {
         return Some(ConstituentKind::UnalterableIndex);
     }
@@ -224,7 +224,10 @@ fn collect_writes(func: &Function, local: LocalId) -> Vec<&Expr> {
     fn walk<'a>(stmts: &'a [Stmt], local: LocalId, out: &mut Vec<&'a Expr>) {
         for stmt in stmts {
             match &stmt.kind {
-                StmtKind::Decl { local: l, init: Some(e) } if *l == local => out.push(e),
+                StmtKind::Decl {
+                    local: l,
+                    init: Some(e),
+                } if *l == local => out.push(e),
                 StmtKind::Assign {
                     target: LValue::Var(VarRef::Local(l)),
                     value,
@@ -414,7 +417,10 @@ mod tests {
         let sites = global_store_sites(&p, &loops, &liveness);
         assert_eq!(sites.len(), 1);
         assert_eq!(sites[0].constituents.len(), 1);
-        assert_eq!(sites[0].constituents[0].kind, ConstituentKind::ConstantValued);
+        assert_eq!(
+            sites[0].constituents[0].kind,
+            ConstituentKind::ConstantValued
+        );
     }
 
     #[test]

@@ -939,7 +939,11 @@ mod tests {
 
     #[test]
     fn expr_size_counts_nodes() {
-        let e = Expr::binary(BinOp::Add, Expr::lit(1), Expr::unary(UnOp::Neg, Expr::lit(2)));
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::lit(1),
+            Expr::unary(UnOp::Neg, Expr::lit(2)),
+        );
         assert_eq!(e.size(), 4);
     }
 

@@ -193,7 +193,10 @@ fn mark_stmt(stmt: &Stmt, taken: &mut [bool]) {
             mark_expr(value, taken);
         }
         For {
-            init, cond, step, body,
+            init,
+            cond,
+            step,
+            body,
         } => {
             if let Some(s) = init {
                 mark_stmt(s, taken);

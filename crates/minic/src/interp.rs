@@ -10,8 +10,7 @@
 use std::collections::HashMap;
 
 use crate::ast::{
-    Callee, Expr, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt,
-    StmtKind, VarRef,
+    Callee, Expr, ExprKind, Function, FunctionId, LValue, LocalId, Program, Stmt, StmtKind, VarRef,
 };
 
 /// Base address assigned to global storage.
@@ -56,7 +55,10 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::OutOfFuel => write!(f, "execution exceeded the step budget"),
             ExecError::OutOfBounds { array, index } => {
-                write!(f, "out-of-bounds access to {array} at flattened index {index}")
+                write!(
+                    f,
+                    "out-of-bounds access to {array} at flattened index {index}"
+                )
             }
             ExecError::WildPointer(addr) => write!(f, "dereference of wild pointer {addr:#x}"),
             ExecError::UnknownLabel(l) => write!(f, "goto to unknown label L{l}"),
@@ -154,11 +156,16 @@ impl<'p> Interpreter<'p> {
             }
         }
         let stack_watermark = self.stack_mem.len();
-        let mut frame = Frame { func, locals, slots };
+        let mut frame = Frame {
+            func,
+            locals,
+            slots,
+        };
         let flow = self.exec_block(&mut frame, &func.body)?;
         // Address-taken locals live in stack memory; frames are popped LIFO so
         // truncation keeps addresses of live frames valid.
-        self.stack_mem.truncate(stack_watermark.min(self.stack_mem.len()));
+        self.stack_mem
+            .truncate(stack_watermark.min(self.stack_mem.len()));
         match flow {
             Flow::Return(v) => Ok(func.ret_ty.wrap(v)),
             Flow::Normal => Ok(0),
@@ -176,9 +183,10 @@ impl<'p> Interpreter<'p> {
                 Flow::Goto(label) => {
                     // Labels are only generated at the top level of a function
                     // body or the current block; search this block first.
-                    if let Some(pos) = stmts.iter().position(
-                        |s| matches!(s.kind, StmtKind::Label(l) if l == label),
-                    ) {
+                    if let Some(pos) = stmts
+                        .iter()
+                        .position(|s| matches!(s.kind, StmtKind::Label(l) if l == label))
+                    {
                         index = pos + 1;
                     } else {
                         return Ok(Flow::Goto(label));
@@ -215,7 +223,10 @@ impl<'p> Interpreter<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 if let Some(s) = init {
                     self.exec_stmt(frame, s)?;
@@ -548,7 +559,11 @@ mod tests {
         let p0 = b.param(callee, "p0", Ty::I32);
         b.push(
             callee,
-            Stmt::ret(Some(Expr::binary(BinOp::Add, Expr::local(p0), Expr::lit(3)))),
+            Stmt::ret(Some(Expr::binary(
+                BinOp::Add,
+                Expr::local(p0),
+                Expr::lit(3),
+            ))),
         );
         let main = b.function("main", Ty::I32);
         b.push(
@@ -570,8 +585,14 @@ mod tests {
         b.push(main, Stmt::decl(x, Some(Expr::lit(9))));
         b.push(main, Stmt::decl(v1, Some(Expr::addr_of(VarRef::Global(g)))));
         // *v1 = 11; then v1 = &x; then return *v1 + b
-        b.push(main, Stmt::assign(LValue::Deref(VarRef::Local(v1)), Expr::lit(11)));
-        b.push(main, Stmt::assign(LValue::local(v1), Expr::addr_of(VarRef::Local(x))));
+        b.push(
+            main,
+            Stmt::assign(LValue::Deref(VarRef::Local(v1)), Expr::lit(11)),
+        );
+        b.push(
+            main,
+            Stmt::assign(LValue::local(v1), Expr::addr_of(VarRef::Local(x))),
+        );
         b.push(
             main,
             Stmt::ret(Some(Expr::binary(

@@ -139,7 +139,13 @@ impl<'p> Renderer<'p> {
         for global in &self.program.globals {
             let vol = if global.is_volatile { "volatile " } else { "" };
             if global.dims.is_empty() {
-                let line = format!("{}{} {} = {};", vol, global.ty.c_name(), global.name, global.init[0]);
+                let line = format!(
+                    "{}{} {} = {};",
+                    vol,
+                    global.ty.c_name(),
+                    global.name,
+                    global.init[0]
+                );
                 self.emit(&line);
             } else {
                 let dims: String = global.dims.iter().map(|d| format!("[{d}]")).collect();
@@ -188,7 +194,13 @@ impl<'p> Renderer<'p> {
         "  ".repeat(depth)
     }
 
-    fn render_stmts(&mut self, func: &Function, stmts: &[Stmt], depth: usize, lines: &mut Vec<u32>) {
+    fn render_stmts(
+        &mut self,
+        func: &Function,
+        stmts: &[Stmt],
+        depth: usize,
+        lines: &mut Vec<u32>,
+    ) {
         for stmt in stmts {
             self.render_stmt(func, stmt, depth, lines);
         }
@@ -220,13 +232,19 @@ impl<'p> Renderer<'p> {
                 lines.push(self.emit(&text));
             }
             StmtKind::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 let init_s = init
                     .as_ref()
                     .map(|s| self.inline_assign(func, s))
                     .unwrap_or_default();
-                let cond_s = cond.as_ref().map(|e| self.expr(func, e)).unwrap_or_default();
+                let cond_s = cond
+                    .as_ref()
+                    .map(|e| self.expr(func, e))
+                    .unwrap_or_default();
                 let step_s = step
                     .as_ref()
                     .map(|s| self.inline_assign(func, s))
@@ -291,7 +309,10 @@ impl<'p> Renderer<'p> {
     }
 
     fn record_line(&mut self, line: u32) {
-        self.map.line_function.entry(line).or_insert(self.current_function);
+        self.map
+            .line_function
+            .entry(line)
+            .or_insert(self.current_function);
         self.map
             .function_lines
             .entry(self.current_function)

@@ -93,12 +93,18 @@ impl std::fmt::Display for ValidationError {
                 array,
                 got,
                 expected,
-            } => write!(f, "array {array} indexed with {got} indices, has {expected}"),
+            } => write!(
+                f,
+                "array {array} indexed with {got} indices, has {expected}"
+            ),
             ValidationError::LiteralIndexOutOfBounds {
                 array,
                 index,
                 bound,
-            } => write!(f, "literal index {index} out of bounds for {array} (dim {bound})"),
+            } => write!(
+                f,
+                "literal index {index} out of bounds for {array} (dim {bound})"
+            ),
             ValidationError::BadCallee(i) => write!(f, "callee index {i} out of range"),
         }
     }
@@ -183,7 +189,10 @@ impl<'p> Checker<'p> {
                 self.check_expr(value)?;
             }
             StmtKind::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 if let Some(s) = init {
                     self.check_stmt(s)?;
@@ -408,7 +417,10 @@ mod tests {
         let main = b.function("main", Ty::I32);
         b.push(main, Stmt::ret(Some(Expr::local(LocalId(5)))));
         let p = b.finish();
-        assert!(matches!(validate(&p), Err(ValidationError::BadLocal { .. })));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidationError::BadLocal { .. })
+        ));
     }
 
     #[test]

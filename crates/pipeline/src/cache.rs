@@ -1,0 +1,193 @@
+//! The artifact cache: memoized compilation, tracing, and conjecture
+//! checking per compiler configuration.
+//!
+//! The oracle behind every campaign, triage, and reduction step is
+//! "compile + trace + check". Triage revisits the *same* configuration many
+//! times (the full-pipeline endpoint of a bisection, the base configuration
+//! of a flag search) and different pipeline stages revisit configurations
+//! other stages already evaluated. The paper pays ~30 s per program per
+//! conjecture for each of those queries; we make every revisit free.
+//!
+//! Each [`crate::Subject`] owns one [`ArtifactCache`], shared by all clones
+//! of the subject. Artifacts are keyed by the full [`CompilerConfig`] (plus
+//! the debugger personality for traces and violation sets) — never by a
+//! lossy hash, so distinct configurations can never alias; the stable
+//! [`holes_compiler::Fingerprint`] exists for display and for on-disk keys.
+//! Artifacts are stored behind [`Arc`], so concurrent readers on the
+//! parallel campaign paths share one copy. All maps are guarded by plain
+//! mutexes held only for lookups and inserts — the expensive work
+//! (compiling, tracing) runs outside the lock, so parallel misses on
+//! *different* configurations never serialize. Two threads racing to fill
+//! the *same* key may both do the work; the first insert wins and the
+//! results are identical because compilation is deterministic.
+//!
+//! The cache holds everything it has computed for the lifetime of the
+//! subject — artifacts in this simulator are kilobytes, and the evaluation
+//! loops revisit configurations heavily, so retention is the right default.
+//! Long-lived subjects probing unbounded configuration streams should call
+//! [`ArtifactCache::clear`] (via `Subject::clear_cache`) at phase
+//! boundaries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use holes_compiler::{CompilerConfig, Executable};
+use holes_core::Violation;
+use holes_debugger::{DebugTrace, DebuggerKind};
+
+/// Cache activity counters, taken at one instant (see
+/// [`ArtifactCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compilations actually performed (executable-map misses).
+    pub compiles: usize,
+    /// Debugger runs actually performed (trace-map misses).
+    pub traces: usize,
+    /// Full conjecture sweeps actually performed (violation-map misses).
+    pub checks: usize,
+    /// Lookups answered from the cache across all three maps.
+    pub hits: usize,
+}
+
+impl CacheStats {
+    /// Total lookups (hits plus misses) across all three maps.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.compiles + self.traces + self.checks
+    }
+}
+
+/// Memoized artifacts for one subject across compiler configurations.
+///
+/// Cloning is shallow: clones share the same storage, which is what
+/// [`crate::Subject`]'s `Clone` wants — a cloned subject re-uses everything
+/// already computed for the original.
+#[derive(Clone, Default)]
+pub struct ArtifactCache {
+    inner: Arc<CacheInner>,
+}
+
+/// One shared, mutex-guarded artifact map.
+type Shard<K, V> = Mutex<HashMap<K, Arc<V>>>;
+
+#[derive(Default)]
+struct CacheInner {
+    executables: Shard<CompilerConfig, Executable>,
+    traces: Shard<(CompilerConfig, DebuggerKind), DebugTrace>,
+    violations: Shard<(CompilerConfig, DebuggerKind), Vec<Violation>>,
+    compiles: AtomicUsize,
+    traces_run: AtomicUsize,
+    checks_run: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// Look up `key`, or build outside the lock and insert. First insert wins a
+/// race; the counter records work actually performed.
+fn memoize<K: std::hash::Hash + Eq, V>(
+    map: &Shard<K, V>,
+    key: K,
+    misses: &AtomicUsize,
+    hits: &AtomicUsize,
+    build: impl FnOnce() -> V,
+) -> Arc<V> {
+    if let Some(found) = map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(found);
+    }
+    let built = Arc::new(build());
+    misses.fetch_add(1, Ordering::Relaxed);
+    Arc::clone(
+        map.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(built),
+    )
+}
+
+impl ArtifactCache {
+    /// The executable for a configuration, compiling on a miss.
+    pub fn executable(
+        &self,
+        config: &CompilerConfig,
+        compile: impl FnOnce() -> Executable,
+    ) -> Arc<Executable> {
+        memoize(
+            &self.inner.executables,
+            config.clone(),
+            &self.inner.compiles,
+            &self.inner.hits,
+            compile,
+        )
+    }
+
+    /// The debug trace for a configuration and debugger, tracing on a miss.
+    pub fn trace(
+        &self,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+        run: impl FnOnce() -> DebugTrace,
+    ) -> Arc<DebugTrace> {
+        memoize(
+            &self.inner.traces,
+            (config.clone(), kind),
+            &self.inner.traces_run,
+            &self.inner.hits,
+            run,
+        )
+    }
+
+    /// The full violation set for a configuration and debugger, checking on
+    /// a miss.
+    pub fn violations(
+        &self,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+        check: impl FnOnce() -> Vec<Violation>,
+    ) -> Arc<Vec<Violation>> {
+        memoize(
+            &self.inner.violations,
+            (config.clone(), kind),
+            &self.inner.checks_run,
+            &self.inner.hits,
+            check,
+        )
+    }
+
+    /// A snapshot of the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            compiles: self.inner.compiles.load(Ordering::Relaxed),
+            traces: self.inner.traces_run.load(Ordering::Relaxed),
+            checks: self.inner.checks_run.load(Ordering::Relaxed),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every memoized artifact (counters are kept; they describe work
+    /// performed, not storage).
+    pub fn clear(&self) {
+        self.inner
+            .executables
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.inner
+            .traces
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.inner
+            .violations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}

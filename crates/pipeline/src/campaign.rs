@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use holes_compiler::{CompilerConfig, OptLevel, Personality};
 use holes_core::{Conjecture, Violation};
 
+use crate::par;
 use crate::Subject;
 
 /// One violation found during a campaign, with its provenance.
@@ -36,6 +37,31 @@ pub struct CampaignResult {
 /// across levels.
 pub type UniqueKey = (usize, Conjecture, u32, String);
 
+/// The owned unique-violation key of a record (shared by the triage and
+/// report dedup paths).
+pub fn unique_key(record: &ViolationRecord) -> UniqueKey {
+    (
+        record.subject,
+        record.violation.conjecture,
+        record.violation.line,
+        record.violation.variable.clone(),
+    )
+}
+
+/// [`UniqueKey`] borrowing the variable name from its record: the table and
+/// Venn aggregations build one key per record per cell, so cloning the
+/// `String` there is pure overhead.
+type UniqueKeyRef<'a> = (usize, Conjecture, u32, &'a str);
+
+fn unique_key_ref(record: &ViolationRecord) -> UniqueKeyRef<'_> {
+    (
+        record.subject,
+        record.violation.conjecture,
+        record.violation.line,
+        record.violation.variable.as_str(),
+    )
+}
+
 impl CampaignResult {
     /// Per-level violation counts for one conjecture (one column pair of
     /// Table 1).
@@ -52,18 +78,11 @@ impl CampaignResult {
         self.unique_keys(conjecture).len()
     }
 
-    fn unique_keys(&self, conjecture: Conjecture) -> BTreeSet<UniqueKey> {
+    fn unique_keys(&self, conjecture: Conjecture) -> BTreeSet<UniqueKeyRef<'_>> {
         self.records
             .iter()
             .filter(|r| r.violation.conjecture == conjecture)
-            .map(|r| {
-                (
-                    r.subject,
-                    r.violation.conjecture,
-                    r.violation.line,
-                    r.violation.variable.clone(),
-                )
-            })
+            .map(unique_key_ref)
             .collect()
     }
 
@@ -82,15 +101,10 @@ impl CampaignResult {
     /// The Venn distribution of Figures 2–3: for every unique violation, the
     /// set of levels it reproduces at; returns counts per level-set.
     pub fn venn(&self) -> BTreeMap<Vec<OptLevel>, usize> {
-        let mut per_violation: BTreeMap<UniqueKey, BTreeSet<OptLevel>> = BTreeMap::new();
+        let mut per_violation: BTreeMap<UniqueKeyRef<'_>, BTreeSet<OptLevel>> = BTreeMap::new();
         for r in &self.records {
             per_violation
-                .entry((
-                    r.subject,
-                    r.violation.conjecture,
-                    r.violation.line,
-                    r.violation.variable.clone(),
-                ))
+                .entry(unique_key_ref(r))
                 .or_default()
                 .insert(r.level);
         }
@@ -135,9 +149,55 @@ impl CampaignResult {
     }
 }
 
+/// One subject's records over every level, in level order — the unit of work
+/// the campaign drivers and the regression studies share.
+pub(crate) fn subject_records(
+    subject: &Subject,
+    index: usize,
+    personality: Personality,
+    version: usize,
+    levels: &[OptLevel],
+) -> Vec<ViolationRecord> {
+    let mut records = Vec::new();
+    for &level in levels {
+        let config = CompilerConfig::new(personality, level).with_version(version);
+        for violation in subject.violations(&config) {
+            records.push(ViolationRecord {
+                seed: subject.seed,
+                subject: index,
+                level,
+                violation,
+            });
+        }
+    }
+    records
+}
+
 /// Run the campaign: test every subject at every level of a personality's
 /// version against all three conjectures.
+///
+/// Subjects are evaluated in parallel (they are independent), and records
+/// are reassembled in (subject, level) order, so the result — including
+/// every rendered table — is byte-identical to [`run_campaign_serial`].
 pub fn run_campaign(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+) -> CampaignResult {
+    let levels = personality.levels().to_vec();
+    let per_subject = par::par_map(subjects, |index, subject| {
+        subject_records(subject, index, personality, version, &levels)
+    });
+    CampaignResult {
+        records: per_subject.into_iter().flatten().collect(),
+        programs: subjects.len(),
+        levels,
+    }
+}
+
+/// The serial reference implementation of [`run_campaign`]; the tests and
+/// benchmarks hold the parallel driver to byte-identical output.
+pub fn run_campaign_serial(
     subjects: &[Subject],
     personality: Personality,
     version: usize,
@@ -149,17 +209,13 @@ pub fn run_campaign(
         levels: levels.clone(),
     };
     for (index, subject) in subjects.iter().enumerate() {
-        for &level in &levels {
-            let config = CompilerConfig::new(personality, level).with_version(version);
-            for violation in subject.violations(&config) {
-                result.records.push(ViolationRecord {
-                    seed: subject.seed,
-                    subject: index,
-                    level,
-                    violation,
-                });
-            }
-        }
+        result.records.extend(subject_records(
+            subject,
+            index,
+            personality,
+            version,
+            &levels,
+        ));
     }
     result
 }
@@ -195,6 +251,21 @@ mod tests {
         assert!(result.at_all_levels() <= venn_total);
         let table = result.table1();
         assert!(table.contains("unique"));
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        let subjects = subject_pool(1020, 8);
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            // Fresh caches per driver so neither run can borrow the other's
+            // artifacts.
+            let fresh: Vec<Subject> = subjects.iter().map(Subject::with_fresh_cache).collect();
+            let parallel = run_campaign(&fresh, personality, personality.trunk());
+            let serial = run_campaign_serial(&subjects, personality, personality.trunk());
+            assert_eq!(parallel.records, serial.records);
+            assert_eq!(parallel.table1(), serial.table1());
+            assert_eq!(parallel.venn(), serial.venn());
+        }
     }
 
     #[test]

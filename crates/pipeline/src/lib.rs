@@ -18,6 +18,38 @@
 //! * [`regression`] reruns pools across compiler versions for the §5.4
 //!   regression study (Table 4, Figure 4) and the §2 quantitative study
 //!   (Figure 1).
+//!
+//! # The evaluation engine: caching and parallelism
+//!
+//! The oracle the whole pipeline revolves around is *compile + trace +
+//! check* — the stage the paper reports at ~30 s per program per conjecture
+//! and ~20 min of triage per gcc program. Two mechanisms make our
+//! reproduction of it fast:
+//!
+//! **Artifact caching.** Every [`Subject`] owns an [`ArtifactCache`] keyed
+//! by the full compiler configuration (the stable [`Fingerprint`] names a
+//! configuration in logs and on disk): executables, debug traces (per
+//! debugger personality), and full violation sets are each computed at
+//! most once per configuration, and every later oracle query against that
+//! configuration is a hash lookup. Clones of a subject share the cache, so
+//! triage and reduction re-querying a campaign's configurations get the
+//! campaign's artifacts for free. On top of the cache sits a *targeted*
+//! oracle, [`Subject::violation_occurs`]: instead of sweeping every
+//! conjecture site with `check_all`, it re-checks only the one queried
+//! `(conjecture, line, variable)` site against the memoized trace.
+//!
+//! **Deterministic parallelism.** The outer loops — subjects × levels in
+//! [`campaign::run_campaign`], violations in [`triage::triage_campaign`],
+//! flags in a gcc-style flag search, (version, level) cells in the
+//! regression studies — are embarrassingly parallel and fan out over scoped
+//! threads ([`par::par_map`]). Results are reassembled **in input order**,
+//! so every rendered table and Venn distribution is byte-identical to a
+//! serial run (`campaign::run_campaign_serial` is kept as the reference
+//! implementation, and the test suite asserts the equivalence); setting
+//! `HOLES_THREADS=1` forces serial execution. Determinism also does not
+//! depend on timing: compilation is a pure function of (program,
+//! configuration), so cache races at worst duplicate work, never change a
+//! result.
 
 #![forbid(unsafe_code)]
 
@@ -27,8 +59,16 @@ pub mod regression;
 pub mod report;
 pub mod triage;
 
+mod cache;
+pub mod par;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use holes_compiler::Fingerprint;
+
+use std::sync::Arc;
+
 use holes_compiler::{compile, CompilerConfig, Executable, OptLevel, Personality};
-use holes_core::Violation;
+use holes_core::{SiteQuery, Violation};
 use holes_debugger::{trace, DebugTrace, DebuggerKind};
 use holes_minic::analysis::ProgramAnalysis;
 use holes_minic::ast::Program;
@@ -36,7 +76,8 @@ use holes_minic::lines::SourceMap;
 use holes_progen::{generate_pool, GeneratedProgram};
 
 /// One test subject: a program plus everything needed to check conjectures
-/// against any compiler configuration.
+/// against any compiler configuration, with all derived artifacts memoized
+/// per configuration (see the crate docs).
 #[derive(Debug, Clone)]
 pub struct Subject {
     /// The program (lines assigned).
@@ -47,6 +88,8 @@ pub struct Subject {
     pub analysis: ProgramAnalysis,
     /// Seed that generated the program (0 for directed programs).
     pub seed: u64,
+    /// Memoized executables, traces, and violation sets; shared by clones.
+    cache: ArtifactCache,
 }
 
 impl Subject {
@@ -57,6 +100,7 @@ impl Subject {
             source: generated.source,
             analysis: generated.analysis,
             seed: generated.seed,
+            cache: ArtifactCache::default(),
         }
     }
 
@@ -69,37 +113,92 @@ impl Subject {
             source,
             analysis,
             seed: 0,
+            cache: ArtifactCache::default(),
         }
+    }
+
+    /// Compile under a configuration (memoized; the returned artifact is
+    /// shared with the cache).
+    pub fn compile_shared(&self, config: &CompilerConfig) -> Arc<Executable> {
+        self.cache
+            .executable(config, || compile(&self.program, config))
     }
 
     /// Compile under a configuration.
     pub fn compile(&self, config: &CompilerConfig) -> Executable {
-        compile(&self.program, config)
+        (*self.compile_shared(config)).clone()
+    }
+
+    /// Compile and trace with a specific debugger (memoized).
+    pub fn trace_shared(&self, config: &CompilerConfig, kind: DebuggerKind) -> Arc<DebugTrace> {
+        self.cache
+            .trace(config, kind, || trace(&self.compile_shared(config), kind))
     }
 
     /// Compile and trace with the native debugger of the configuration's
     /// personality.
     pub fn trace(&self, config: &CompilerConfig) -> DebugTrace {
-        let exe = self.compile(config);
-        trace(&exe, DebuggerKind::native_for(config.personality))
+        (*self.trace_shared(config, DebuggerKind::native_for(config.personality))).clone()
+    }
+
+    /// Check all conjectures under a configuration with a specific debugger
+    /// (memoized).
+    pub fn violations_shared(
+        &self,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+    ) -> Arc<Vec<Violation>> {
+        self.cache.violations(config, kind, || {
+            let trace = self.trace_shared(config, kind);
+            holes_core::check_all(&self.program, &self.analysis, &self.source, &trace)
+        })
     }
 
     /// Check all conjectures under a configuration, using the native
     /// debugger.
     pub fn violations(&self, config: &CompilerConfig) -> Vec<Violation> {
-        let trace = self.trace(config);
-        holes_core::check_all(&self.program, &self.analysis, &self.source, &trace)
+        let kind = DebuggerKind::native_for(config.personality);
+        (*self.violations_shared(config, kind)).clone()
     }
 
     /// Check whether a *specific* violation (same conjecture, line, variable)
     /// occurs under a configuration — the oracle used by triage and
-    /// reduction.
+    /// reduction. Checks only the queried site against the memoized trace,
+    /// not every site of the program.
     pub fn violation_occurs(&self, config: &CompilerConfig, violation: &Violation) -> bool {
-        self.violations(config).iter().any(|v| {
-            v.conjecture == violation.conjecture
-                && v.line == violation.line
-                && v.variable == violation.variable
-        })
+        self.query(config, &SiteQuery::for_violation(violation))
+    }
+
+    /// Run an arbitrary targeted oracle query (see [`SiteQuery`]) against
+    /// the memoized native-debugger trace.
+    pub fn query(&self, config: &CompilerConfig, query: &SiteQuery<'_>) -> bool {
+        let kind = DebuggerKind::native_for(config.personality);
+        let trace = self.trace_shared(config, kind);
+        holes_core::query_violation(&self.program, &self.analysis, &self.source, &trace, query)
+    }
+
+    /// A snapshot of the subject's cache activity (compiles, traces, checks
+    /// performed; lookups answered from the cache).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop the subject's memoized artifacts (used by benchmarks that must
+    /// measure cold-cache behaviour).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// A copy of this subject with its own empty cache, detached from this
+    /// subject's memoized artifacts and counters.
+    pub fn with_fresh_cache(&self) -> Subject {
+        Subject {
+            program: self.program.clone(),
+            source: self.source.clone(),
+            analysis: self.analysis.clone(),
+            seed: self.seed,
+            cache: ArtifactCache::default(),
+        }
     }
 }
 
@@ -138,6 +237,88 @@ mod tests {
         for subject in subjects {
             for violation in subject.violations(&config) {
                 assert!(subject.violation_occurs(&config, &violation));
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_queries_are_answered_from_the_cache() {
+        let subjects = subject_pool(902, 1);
+        let subject = &subjects[0];
+        let config = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        let first = subject.violations(&config);
+        let after_first = subject.cache_stats();
+        assert_eq!(after_first.compiles, 1);
+        assert_eq!(after_first.traces, 1);
+        assert_eq!(after_first.checks, 1);
+        let second = subject.violations(&config);
+        let after_second = subject.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(after_second.compiles, 1, "second call recompiled");
+        assert_eq!(after_second.traces, 1, "second call retraced");
+        assert_eq!(after_second.checks, 1, "second call rechecked");
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn clones_share_the_cache_but_fresh_caches_are_cold() {
+        let subjects = subject_pool(903, 1);
+        let subject = &subjects[0];
+        let config = CompilerConfig::new(Personality::Lcc, OptLevel::O2);
+        let _ = subject.violations(&config);
+        let clone = subject.clone();
+        let _ = clone.violations(&config);
+        assert_eq!(
+            clone.cache_stats().compiles,
+            1,
+            "clone missed the shared cache"
+        );
+        let fresh = subject.with_fresh_cache();
+        assert_eq!(fresh.cache_stats(), CacheStats::default());
+        let _ = fresh.violations(&config);
+        assert_eq!(fresh.cache_stats().compiles, 1);
+        assert_eq!(subject.cache_stats().compiles, 1, "fresh cache leaked back");
+    }
+
+    #[test]
+    fn distinct_configurations_do_not_alias_in_the_cache() {
+        let subjects = subject_pool(904, 1);
+        let subject = &subjects[0];
+        let o2 = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        for budget in 0..=o2.pass_schedule().len() {
+            let _ = subject.violations(&o2.clone().with_pass_budget(budget));
+        }
+        let stats = subject.cache_stats();
+        assert_eq!(stats.compiles, o2.pass_schedule().len() + 1);
+    }
+
+    #[test]
+    fn targeted_oracle_agrees_with_the_full_sweep() {
+        let subjects = subject_pool(905, 4);
+        for subject in &subjects {
+            for personality in [Personality::Ccg, Personality::Lcc] {
+                for &level in personality.levels() {
+                    let config = CompilerConfig::new(personality, level);
+                    for violation in subject.violations(&config).iter() {
+                        assert!(subject.violation_occurs(&config, violation));
+                    }
+                    // A variable no program contains never violates.
+                    let bogus = Violation {
+                        variable: "no_such_variable".into(),
+                        ..subject
+                            .violations(&config)
+                            .first()
+                            .cloned()
+                            .unwrap_or(Violation {
+                                conjecture: holes_core::Conjecture::C1,
+                                line: 1,
+                                variable: String::new(),
+                                function: subject.program.main(),
+                                observed: holes_core::Observed::NotVisible,
+                            })
+                    };
+                    assert!(!subject.violation_occurs(&config, &bogus));
+                }
             }
         }
     }

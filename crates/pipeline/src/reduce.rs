@@ -14,7 +14,7 @@
 //!    silently take over (the paper's §4.4 refinement).
 
 use holes_compiler::CompilerConfig;
-use holes_core::{Conjecture, Violation};
+use holes_core::{Conjecture, SiteQuery, Violation};
 use holes_minic::ast::{Program, Stmt, StmtKind};
 use holes_minic::interp::Interpreter;
 use holes_minic::validate::validate;
@@ -60,17 +60,21 @@ fn still_violates(
         return false;
     }
     let subject = Subject::from_program(program.clone());
-    let matches = |violations: &[Violation]| {
-        violations
-            .iter()
-            .any(|v| v.conjecture == conjecture && v.variable == variable)
+    // Reduction moves lines around, so the oracle matches the violation by
+    // (conjecture, variable) at *any* line — a targeted query that stops at
+    // the first matching site instead of sweeping every conjecture.
+    let query = SiteQuery {
+        conjecture,
+        line: None,
+        variable,
+        function: None,
     };
-    if !matches(&subject.violations(config)) {
+    if !subject.query(config, &query) {
         return false;
     }
     if let Some(pass) = culprit {
         let disabled = config.clone().with_disabled_pass(pass);
-        if matches(&subject.violations(&disabled)) {
+        if subject.query(&disabled, &query) {
             // The violation survives without the culprit: a different defect
             // took over, reject the step to keep triage sound.
             return false;
@@ -191,14 +195,9 @@ mod tests {
         assert!(reduced.reduced_statements <= reduced.original_statements);
         // The reduced program still violates the same conjecture for the same
         // variable.
-        let still = reduced
-            .subject
-            .violations(&config)
-            .iter()
-            .any(|v| {
-                v.conjecture == record.violation.conjecture
-                    && v.variable == record.violation.variable
-            });
+        let still = reduced.subject.violations(&config).iter().any(|v| {
+            v.conjecture == record.violation.conjecture && v.variable == record.violation.variable
+        });
         assert!(still, "reduction lost the violation");
         assert!(reduced.attempts > 0);
         let _ = reduced.reduction_ratio();

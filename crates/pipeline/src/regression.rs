@@ -7,9 +7,10 @@ use std::collections::BTreeSet;
 use holes_compiler::{CompilerConfig, OptLevel, Personality};
 use holes_core::metrics::Metrics;
 use holes_core::Conjecture;
-use holes_debugger::{trace, DebuggerKind};
+use holes_debugger::DebuggerKind;
 
-use crate::campaign::run_campaign;
+use crate::campaign::CampaignResult;
+use crate::par;
 use crate::Subject;
 
 /// One row of the Figure 1 data: average metrics for a (version, level).
@@ -25,33 +26,41 @@ pub struct MetricsRow {
 
 /// Compute the Figure 1 series: for every version and level of a personality,
 /// the pool-averaged line coverage, availability of variables and product.
+///
+/// The (version, level) cells are independent and evaluated in parallel, in
+/// row order. Within a version, the `-O0` baseline trace of each subject is
+/// shared across all levels through the subject's artifact cache instead of
+/// being re-debugged per level.
 pub fn quantitative_study(subjects: &[Subject], personality: Personality) -> Vec<MetricsRow> {
-    let mut rows = Vec::new();
-    for (version, name) in personality.version_names().iter().enumerate() {
-        for &level in personality.levels() {
-            let mut values = Vec::with_capacity(subjects.len());
-            for subject in subjects {
-                let baseline_cfg =
-                    CompilerConfig::new(personality, OptLevel::O0).with_version(version);
-                let opt_cfg = CompilerConfig::new(personality, level).with_version(version);
-                let baseline = trace(
-                    &subject.compile(&baseline_cfg),
-                    DebuggerKind::native_for(personality),
-                );
-                let optimized = trace(
-                    &subject.compile(&opt_cfg),
-                    DebuggerKind::native_for(personality),
-                );
-                values.push(Metrics::compute(&optimized, &baseline));
-            }
-            rows.push(MetricsRow {
-                version: name,
-                level,
-                metrics: Metrics::average(&values),
-            });
+    let kind = DebuggerKind::native_for(personality);
+    let cells: Vec<(usize, &'static str, OptLevel)> = personality
+        .version_names()
+        .iter()
+        .enumerate()
+        .flat_map(|(version, &name)| {
+            personality
+                .levels()
+                .iter()
+                .map(move |&level| (version, name, level))
+        })
+        .collect();
+    par::par_map(&cells, |_, &(version, name, level)| {
+        let baseline_cfg = CompilerConfig::new(personality, OptLevel::O0).with_version(version);
+        let opt_cfg = CompilerConfig::new(personality, level).with_version(version);
+        let values: Vec<Metrics> = subjects
+            .iter()
+            .map(|subject| {
+                let baseline = subject.trace_shared(&baseline_cfg, kind);
+                let optimized = subject.trace_shared(&opt_cfg, kind);
+                Metrics::compute(&optimized, &baseline)
+            })
+            .collect();
+        MetricsRow {
+            version: name,
+            level,
+            metrics: Metrics::average(&values),
         }
-    }
-    rows
+    })
 }
 
 /// Table 4: unique violation counts per conjecture for every version of a
@@ -84,42 +93,67 @@ impl VersionTable {
     }
 }
 
-/// Run the campaign for every version of a personality (Table 4).
+/// The version-major (version, subject) cell list the cross-version studies
+/// fan out over: one flat `par_map` over all cells keeps full parallelism
+/// without nesting a per-version campaign inside a per-version worker.
+fn version_subject_cells(subjects: &[Subject], personality: Personality) -> Vec<(usize, usize)> {
+    (0..personality.version_names().len())
+        .flat_map(|version| (0..subjects.len()).map(move |subject| (version, subject)))
+        .collect()
+}
+
+/// Run the campaign for every version of a personality (Table 4). All
+/// (version, subject) cells are evaluated in one parallel fan-out; rows are
+/// assembled oldest-version-first as before, byte-identical to running
+/// [`crate::campaign::run_campaign`] per version.
 pub fn version_table(subjects: &[Subject], personality: Personality) -> VersionTable {
-    let mut table = VersionTable::default();
-    for (version, name) in personality.version_names().iter().enumerate() {
-        let result = run_campaign(subjects, personality, version);
-        table.rows.push((
-            name,
-            [
-                result.unique(Conjecture::C1),
-                result.unique(Conjecture::C2),
-                result.unique(Conjecture::C3),
-            ],
-        ));
-    }
-    table
+    let levels = personality.levels().to_vec();
+    let cells = version_subject_cells(subjects, personality);
+    let per_cell = par::par_map(&cells, |_, &(version, subject)| {
+        crate::campaign::subject_records(&subjects[subject], subject, personality, version, &levels)
+    });
+    let mut cells_left = per_cell.into_iter();
+    let rows = personality
+        .version_names()
+        .iter()
+        .map(|&name| {
+            let result = CampaignResult {
+                records: cells_left.by_ref().take(subjects.len()).flatten().collect(),
+                programs: subjects.len(),
+                levels: levels.clone(),
+            };
+            (
+                name,
+                [
+                    result.unique(Conjecture::C1),
+                    result.unique(Conjecture::C2),
+                    result.unique(Conjecture::C3),
+                ],
+            )
+        })
+        .collect();
+    VersionTable { rows }
 }
 
 /// Figure 4: for each version, the number of conjectures (0–3) each program
-/// violates.
+/// violates. All (version, subject) cells run in one parallel fan-out; rows
+/// stay in version order.
 pub fn conjecture_grid(subjects: &[Subject], personality: Personality) -> Vec<Vec<u8>> {
-    let mut grid = Vec::new();
-    for version in 0..personality.version_names().len() {
-        let result = run_campaign(subjects, personality, version);
-        let mut row = vec![0u8; subjects.len()];
-        for (index, cell) in row.iter_mut().enumerate() {
-            let conjectures: BTreeSet<Conjecture> = result
-                .records
-                .iter()
-                .filter(|r| r.subject == index)
-                .map(|r| r.violation.conjecture)
-                .collect();
-            *cell = conjectures.len() as u8;
-        }
-        grid.push(row);
-    }
-    grid
+    let levels = personality.levels().to_vec();
+    let cells = version_subject_cells(subjects, personality);
+    let counts = par::par_map(&cells, |_, &(version, subject)| {
+        let records = crate::campaign::subject_records(
+            &subjects[subject],
+            subject,
+            personality,
+            version,
+            &levels,
+        );
+        let conjectures: BTreeSet<Conjecture> =
+            records.iter().map(|r| r.violation.conjecture).collect();
+        conjectures.len() as u8
+    });
+    counts.chunks(subjects.len()).map(<[u8]>::to_vec).collect()
 }
 
 /// Render the Figure 4 grid with the paper's colour-coded cells replaced by

@@ -9,12 +9,14 @@
 //!   the inspection in the *other* debugger personality, exactly as the paper
 //!   validates violations "also in a different debugger" (§4.2).
 
+use std::collections::BTreeSet;
+
 use holes_compiler::CompilerConfig;
 use holes_core::{Conjecture, Violation};
+use holes_debugger::DebuggerKind;
 use holes_debuginfo::{categorize_variable, DieCategory};
-use holes_debugger::{trace, DebuggerKind};
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{unique_key, CampaignResult, UniqueKey};
 use crate::Subject;
 
 /// Whether a violation is attributed to the compiler or to the native
@@ -73,11 +75,17 @@ impl IssueReport {
 
     /// Render as plain text, one row per issue plus a category summary.
     pub fn render(&self) -> String {
-        let mut out = String::from("seed  conj  variable        line  category          component\n");
+        let mut out =
+            String::from("seed  conj  variable        line  category          component\n");
         for row in &self.rows {
             out.push_str(&format!(
                 "{:<5} {:<5} {:<15} {:<5} {:<17} {:?}\n",
-                row.seed, row.conjecture.to_string(), row.variable, row.line, row.category.to_string(), row.component
+                row.seed,
+                row.conjecture.to_string(),
+                row.variable,
+                row.line,
+                row.category.to_string(),
+                row.component
             ));
         }
         out.push_str(&format!(
@@ -99,20 +107,21 @@ pub fn classify(
     config: &CompilerConfig,
     violation: &Violation,
 ) -> (DieCategory, IssueComponent) {
-    let exe = subject.compile(config);
+    let exe = subject.compile_shared(config);
     let address = exe
         .debug
         .line_table
         .first_address_of_line(violation.line)
         .unwrap_or(0);
     let category = categorize_variable(&exe.debug, &violation.variable, address);
-    // Cross-check with the other debugger personality.
+    // Cross-check with the other debugger personality (memoized per
+    // configuration, like the native trace).
     let native = DebuggerKind::native_for(config.personality);
     let other = match native {
         DebuggerKind::GdbLike => DebuggerKind::LldbLike,
         DebuggerKind::LldbLike => DebuggerKind::GdbLike,
     };
-    let other_trace = trace(&exe, other);
+    let other_trace = subject.trace_shared(config, other);
     let other_shows_it = other_trace
         .var_at(violation.line, &violation.variable)
         .map(|s| s.is_available())
@@ -134,24 +143,16 @@ pub fn build_report(
     limit: usize,
 ) -> IssueReport {
     let mut report = IssueReport::default();
-    let mut seen: Vec<(usize, Conjecture, u32, String)> = Vec::new();
+    let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
     for record in &result.records {
         if report.rows.len() >= limit {
             break;
         }
-        let key = (
-            record.subject,
-            record.violation.conjecture,
-            record.violation.line,
-            record.violation.variable.clone(),
-        );
-        if seen.contains(&key) {
+        if !seen.insert(unique_key(record)) {
             continue;
         }
-        seen.push(key);
         let config = CompilerConfig::new(personality, record.level).with_version(version);
-        let (category, component) =
-            classify(&subjects[record.subject], &config, &record.violation);
+        let (category, component) = classify(&subjects[record.subject], &config, &record.violation);
         report.rows.push(IssueRow {
             seed: record.seed,
             conjecture: record.violation.conjecture,

@@ -155,7 +155,16 @@ impl<'r> Emitter<'r> {
     }
 
     fn scalar_ty(&mut self) -> Ty {
-        let choices = [Ty::I8, Ty::I16, Ty::I32, Ty::I32, Ty::I64, Ty::U8, Ty::U16, Ty::U32];
+        let choices = [
+            Ty::I8,
+            Ty::I16,
+            Ty::I32,
+            Ty::I32,
+            Ty::I64,
+            Ty::U8,
+            Ty::U16,
+            Ty::U32,
+        ];
         choices[self.rng.gen_range(0..choices.len())]
     }
 
@@ -171,13 +180,17 @@ impl<'r> Emitter<'r> {
     }
 
     fn emit_globals(&mut self) {
-        let n_scalars = self.rng.gen_range(self.opts.min_globals..=self.opts.max_globals);
+        let n_scalars = self
+            .rng
+            .gen_range(self.opts.min_globals..=self.opts.max_globals);
         for _ in 0..n_scalars {
             let ty = self.scalar_ty();
             let volatile = self.rng.gen_bool(self.opts.volatile_prob);
             let init = self.small_literal();
             let name = self.fresh_name("g");
-            let id = self.builder.global(&name, ty, volatile, vec![ty.wrap(init)]);
+            let id = self
+                .builder
+                .global(&name, ty, volatile, vec![ty.wrap(init)]);
             self.scalar_globals.push(id);
         }
         // Dedicated quiescent global for goto-loop patterns.
@@ -186,7 +199,9 @@ impl<'r> Emitter<'r> {
             let id = self.builder.global(&name, Ty::I32, false, vec![0]);
             self.quiescent_global = Some(id);
         }
-        let n_arrays = self.rng.gen_range(self.opts.min_arrays..=self.opts.max_arrays);
+        let n_arrays = self
+            .rng
+            .gen_range(self.opts.min_arrays..=self.opts.max_arrays);
         for _ in 0..n_arrays {
             let ndims = self.rng.gen_range(1..=self.opts.max_array_dims.max(1));
             let dims: Vec<usize> = (0..ndims).map(|_| self.rng.gen_range(2..=4)).collect();
@@ -195,7 +210,9 @@ impl<'r> Emitter<'r> {
             let init: Vec<i64> = (0..count).map(|_| ty.wrap(self.small_literal())).collect();
             let volatile = self.rng.gen_bool(self.opts.volatile_prob / 2.0);
             let name = self.fresh_name("arr");
-            let id = self.builder.global_array(&name, ty, volatile, dims.clone(), init);
+            let id = self
+                .builder
+                .global_array(&name, ty, volatile, dims.clone(), init);
             self.array_globals.push((id, dims));
         }
         // Guarantee at least one scalar global exists (stores need a target).
@@ -255,12 +272,16 @@ impl<'r> Emitter<'r> {
             label_counter: 0,
         };
         // Local declarations.
-        let n_locals = self.rng.gen_range(self.opts.min_locals..=self.opts.max_locals);
+        let n_locals = self
+            .rng
+            .gen_range(self.opts.min_locals..=self.opts.max_locals);
         for _ in 0..n_locals {
             self.emit_local_decl(&mut ctx);
         }
         // Statement soup.
-        let n_stmts = self.rng.gen_range(self.opts.min_stmts..=self.opts.max_stmts);
+        let n_stmts = self
+            .rng
+            .gen_range(self.opts.min_stmts..=self.opts.max_stmts);
         for _ in 0..n_stmts {
             self.emit_statement(&mut ctx, 0);
         }
@@ -271,8 +292,7 @@ impl<'r> Emitter<'r> {
         for _ in 0..n_sink {
             self.emit_sink_call(&mut ctx);
         }
-        self.builder
-            .push(ctx.func, Stmt::ret(Some(Expr::lit(0))));
+        self.builder.push(ctx.func, Stmt::ret(Some(Expr::lit(0))));
     }
 
     fn emit_local_decl(&mut self, ctx: &mut MainContext) {
@@ -656,7 +676,10 @@ mod tests {
         let mut texts: Vec<&str> = pool.iter().map(|p| p.source.text.as_str()).collect();
         texts.sort_unstable();
         texts.dedup();
-        assert!(texts.len() >= 9, "programs should almost always be distinct");
+        assert!(
+            texts.len() >= 9,
+            "programs should almost always be distinct"
+        );
     }
 
     #[test]
@@ -681,12 +704,14 @@ mod tests {
 
     #[test]
     fn options_influence_program_shape() {
-        let mut opts = GeneratorOptions::default();
-        opts.min_stmts = 1;
-        opts.max_stmts = 2;
-        opts.min_locals = 1;
-        opts.max_locals = 2;
-        opts.max_sink_calls = 1;
+        let opts = GeneratorOptions {
+            min_stmts: 1,
+            max_stmts: 2,
+            min_locals: 1,
+            max_locals: 2,
+            max_sink_calls: 1,
+            ..GeneratorOptions::default()
+        };
         let small = ProgramGenerator::new(9, opts).generate();
         let big = ProgramGenerator::from_seed(9).generate();
         assert!(small.program.stmt_count() <= big.program.stmt_count());

@@ -171,8 +171,14 @@ mod tests {
 
     #[test]
     fn assortment_is_deterministic() {
-        assert_eq!(GeneratorOptions::assortment(5), GeneratorOptions::assortment(5));
-        assert_ne!(GeneratorOptions::assortment(5), GeneratorOptions::assortment(6));
+        assert_eq!(
+            GeneratorOptions::assortment(5),
+            GeneratorOptions::assortment(5)
+        );
+        assert_ne!(
+            GeneratorOptions::assortment(5),
+            GeneratorOptions::assortment(6)
+        );
     }
 
     #[test]
@@ -183,7 +189,10 @@ mod tests {
             assert!(o.min_arrays <= o.max_arrays, "seed {seed}");
             assert!(o.min_locals <= o.max_locals, "seed {seed}");
             assert!(o.min_stmts <= o.max_stmts, "seed {seed}");
-            assert!(o.volatile_prob > 0.0 && o.volatile_prob < 1.0, "seed {seed}");
+            assert!(
+                o.volatile_prob > 0.0 && o.volatile_prob < 1.0,
+                "seed {seed}"
+            );
         }
     }
 }

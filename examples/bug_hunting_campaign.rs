@@ -4,7 +4,7 @@
 //! manifestations, and print Table 1/2/3-style summaries.
 //!
 //! ```sh
-//! cargo run --release -p holes-pipeline --example bug_hunting_campaign -- 25
+//! cargo run --release --example bug_hunting_campaign -- 25
 //! ```
 
 use holes_compiler::Personality;
@@ -26,7 +26,10 @@ fn main() {
         println!("\n================ {personality} trunk ================");
         println!("--- Table 1: violations per level ---");
         println!("{}", result.table1());
-        println!("violations reproducing at every level: {}", result.at_all_levels());
+        println!(
+            "violations reproducing at every level: {}",
+            result.at_all_levels()
+        );
 
         println!("--- Table 2: top culprit optimizations ---");
         let triaged = triage_campaign(&pool, personality, trunk, &result, 5);

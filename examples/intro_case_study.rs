@@ -5,7 +5,7 @@
 //! the debugger shows `j` as optimized out at the access line.
 //!
 //! ```sh
-//! cargo run -p holes-pipeline --example intro_case_study
+//! cargo run --example intro_case_study
 //! ```
 
 use holes_compiler::{CompilerConfig, OptLevel, Personality};

@@ -3,7 +3,7 @@
 //! version and optimization level.
 //!
 //! ```sh
-//! cargo run --release -p holes-pipeline --example quantitative_study -- 50
+//! cargo run --release --example quantitative_study -- 50
 //! ```
 
 use holes_compiler::Personality;
@@ -19,7 +19,10 @@ fn main() {
     let pool = subject_pool(7_000, count);
     for personality in [Personality::Lcc, Personality::Ccg] {
         println!("== Figure 1 data ({personality}) ==");
-        println!("{:<10} {:<6} {:>9} {:>9} {:>9}", "version", "level", "line-cov", "avail", "product");
+        println!(
+            "{:<10} {:<6} {:>9} {:>9} {:>9}",
+            "version", "level", "line-cov", "avail", "product"
+        );
         for row in quantitative_study(&pool, personality) {
             println!(
                 "{:<10} {:<6} {:>9.3} {:>9.3} {:>9.3}",

@@ -2,7 +2,7 @@
 //! personalities, debug it, and check the three conjectures.
 //!
 //! ```sh
-//! cargo run -p holes-pipeline --example quickstart
+//! cargo run --example quickstart
 //! ```
 
 use holes_compiler::{CompilerConfig, OptLevel, Personality};

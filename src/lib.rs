@@ -1,0 +1,27 @@
+//! Facade over the reproduction's crates: one `use holes::...` surface for
+//! downstream tooling, plus the home of the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+//!
+//! The individual crates remain the canonical API:
+//!
+//! * [`minic`] — the MiniC language: AST, interpreter, analyses.
+//! * [`progen`] — the Csmith-substitute random program generator.
+//! * [`compiler`] — the two-personality optimizing compiler with injected
+//!   debug-information defects.
+//! * [`machine`] — the register VM the compiler targets.
+//! * [`debuginfo`] — DWARF-modelled debug information.
+//! * [`debugger`] — the gdb/lldb-like source-level debuggers.
+//! * [`core`] — the three conjectures and their checkers.
+//! * [`pipeline`] — campaigns, triage, reduction, reporting, regression
+//!   studies, with the artifact cache and parallel evaluation engine.
+
+#![forbid(unsafe_code)]
+
+pub use holes_compiler as compiler;
+pub use holes_core as core;
+pub use holes_debugger as debugger;
+pub use holes_debuginfo as debuginfo;
+pub use holes_machine as machine;
+pub use holes_minic as minic;
+pub use holes_pipeline as pipeline;
+pub use holes_progen as progen;

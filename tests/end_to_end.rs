@@ -17,7 +17,9 @@ use holes_progen::ProgramGenerator;
 fn semantics_agree_across_the_whole_matrix() {
     for seed in 100..106 {
         let generated = ProgramGenerator::from_seed(seed).generate();
-        let reference = Interpreter::new(&generated.program).run().expect("interpreter");
+        let reference = Interpreter::new(&generated.program)
+            .run()
+            .expect("interpreter");
         for personality in [Personality::Ccg, Personality::Lcc] {
             for version in [0, personality.trunk(), 5] {
                 for &level in personality.levels() {
@@ -45,7 +47,10 @@ fn o0_baseline_is_always_clean() {
                 let t = trace(&exe, kind);
                 let violations =
                     holes_core::check_all(&subject.program, &subject.analysis, &subject.source, &t);
-                assert!(violations.is_empty(), "{personality} {kind:?}: {violations:?}");
+                assert!(
+                    violations.is_empty(),
+                    "{personality} {kind:?}: {violations:?}"
+                );
             }
         }
     }
@@ -148,8 +153,8 @@ fn lsr_case_study_reproduces() {
     let subject = Subject::from_program(b.finish());
     // Disable the scheduler pass so that only the LSR defect can affect this
     // program (mirroring the paper's flag-based isolation of a culprit).
-    let trunk = CompilerConfig::new(Personality::Lcc, OptLevel::O2)
-        .with_disabled_pass("machine-scheduler");
+    let trunk =
+        CompilerConfig::new(Personality::Lcc, OptLevel::O2).with_disabled_pass("machine-scheduler");
     let violations = subject.violations(&trunk);
     assert!(
         violations

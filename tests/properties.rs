@@ -112,4 +112,53 @@ proptest! {
             prop_assert!(subject.violations(&config).is_empty());
         }
     }
+
+    /// The cached oracle is invisible: a subject's memoized `violations()`
+    /// — cold, warm, and via a cache-sharing clone — always equals the
+    /// uncached compile + trace + check_all composition.
+    #[test]
+    fn cached_and_uncached_oracles_agree(seed in 0u64..400, level_index in 0usize..5, version in 0usize..6) {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let subject = holes_pipeline::Subject::from_generated(generated);
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            let levels = personality.levels();
+            let level = levels[level_index % levels.len()];
+            let config = CompilerConfig::new(personality, level).with_version(version);
+            let uncached = {
+                let exe = compile(&subject.program, &config);
+                let t = trace(&exe, DebuggerKind::native_for(personality));
+                holes_core::check_all(&subject.program, &subject.analysis, &subject.source, &t)
+            };
+            let cold = subject.violations(&config);
+            let warm = subject.violations(&config);
+            let clone = subject.clone().violations(&config);
+            prop_assert_eq!(&cold, &uncached);
+            prop_assert_eq!(&warm, &uncached);
+            prop_assert_eq!(&clone, &uncached);
+            prop_assert_eq!(subject.cache_stats().compiles, subject.cache_stats().checks);
+            // The targeted oracle agrees with the full sweep, violation by
+            // violation.
+            for violation in &uncached {
+                prop_assert!(subject.violation_occurs(&config, violation));
+            }
+        }
+    }
+
+    /// Binary-search bisection returns the same culprit as the linear
+    /// prefix scan for every violation of a seeded pool.
+    #[test]
+    fn binary_and_linear_bisection_agree(seed in 0u64..400, level_index in 0usize..5) {
+        use holes_pipeline::triage::{bisect, bisect_linear};
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let subject = holes_pipeline::Subject::from_generated(generated);
+        let personality = Personality::Lcc;
+        let levels = personality.levels();
+        let level = levels[level_index % levels.len()];
+        let config = CompilerConfig::new(personality, level);
+        for violation in subject.violations(&config) {
+            let binary = bisect(&subject, &config, &violation);
+            let linear = bisect_linear(&subject, &config, &violation);
+            prop_assert_eq!(binary.culprits, linear.culprits, "culprit divergence on {:?}", violation);
+        }
+    }
 }

@@ -1,0 +1,155 @@
+//! A minimal, dependency-free, offline stand-in for the subset of `criterion`
+//! this workspace's benches use: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Unlike real criterion there is no statistical analysis, warm-up tuning or
+//! HTML report: each benchmark runs a fixed warm-up followed by
+//! `sample_size` timed samples and prints min/mean/max per-iteration times.
+//! That is enough for the repository's benches, whose primary output is the
+//! regenerated paper tables plus a coarse timing signal.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n-- group {name} --");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let per_iter: Vec<Duration> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        let min = per_iter.iter().min().copied().unwrap_or_default();
+        let max = per_iter.iter().max().copied().unwrap_or_default();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{id:<40} [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+            min,
+            mean,
+            max,
+            per_iter.len()
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` for one warm-up round plus `sample_size` timed samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` from one or more groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.sample_size(3);
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        example_group();
+    }
+}
