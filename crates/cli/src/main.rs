@@ -1,0 +1,540 @@
+//! `holes` — the command-line driver for the debug-information
+//! conjecture-testing pipeline.
+//!
+//! The five subcommands cover the paper's §4 workflow end to end:
+//!
+//! * `generate` — inspect the seeded MiniC programs a campaign would test;
+//! * `campaign` — run one (optionally sharded) violation campaign over a
+//!   seed range and write a deterministic JSON shard file;
+//! * `report` — merge shard files back into the monolithic campaign and
+//!   render Table 1, the Venn distribution, and the issue classification;
+//! * `triage` — attribute violations to culprit optimizations (Table 2);
+//! * `reduce` — shrink one violating program while preserving the violation
+//!   and its culprit.
+//!
+//! Sharding contract: `K` runs of `campaign --seeds A..B --shards K --shard
+//! I`, merged by `report`, produce byte-identical output to the single
+//! unsharded run — the seam that lets campaigns fan out across machines.
+
+mod args;
+
+use std::process::ExitCode;
+
+use holes::compiler::{CompilerConfig, OptLevel, Personality};
+use holes::core::json::Json;
+use holes::core::Conjecture;
+use holes::pipeline::campaign::run_campaign;
+use holes::pipeline::reduce::reduce;
+use holes::pipeline::report::build_report_from_seeds;
+use holes::pipeline::shard::{merge_shards, run_shard, CampaignShard, CampaignSpec};
+use holes::pipeline::triage::{triage, triage_campaign};
+use holes::pipeline::{subject_pool, Subject};
+use holes::progen::{ProgramGenerator, SeedRange};
+
+use args::{Parsed, Spec, UsageError};
+
+/// Write to stdout, treating a broken pipe (`holes ... | head`) as a clean
+/// exit instead of a panic, like any well-behaved Unix filter.
+fn stdout_write(text: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    if let Err(error) = out.write_fmt(text) {
+        if error.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("holes: writing to stdout: {error}");
+        std::process::exit(1);
+    }
+}
+
+/// `print!` routed through [`stdout_write`].
+macro_rules! out {
+    ($($arg:tt)*) => { stdout_write(format_args!($($arg)*)) };
+}
+
+/// `println!` routed through [`stdout_write`].
+macro_rules! outln {
+    () => { stdout_write(format_args!("\n")) };
+    ($($arg:tt)*) => { stdout_write(format_args!("{}\n", format_args!($($arg)*))) };
+}
+
+const USAGE: &str = "\
+holes — conjecture-based hunting for debug-information holes
+
+Usage: holes <command> [options]
+
+Commands:
+  generate   Show the seeded programs of a campaign range
+  campaign   Run a (sharded) violation campaign, emit a JSON shard file
+  report     Merge shard files; render Table 1, Venn, issue classification
+  triage     Attribute violations to culprit optimizations (Table 2)
+  reduce     Shrink one violating program, preserving violation + culprit
+  help       Show this message
+
+Run `holes <command> --help` for per-command options.
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("holes: {error}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        out!("{USAGE}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "campaign" => cmd_campaign(rest),
+        "report" => cmd_report(rest),
+        "triage" => cmd_triage(rest),
+        "reduce" => cmd_reduce(rest),
+        "help" | "--help" | "-h" => {
+            out!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; run `holes help`")),
+    }
+    .map_err(|e| format!("{command}: {e}"))
+}
+
+// ---------------------------------------------------------------- shared
+
+fn parse_or_help(argv: &[String], spec: &Spec, usage: &str) -> Result<Option<Parsed>, UsageError> {
+    let parsed = Parsed::parse(argv, spec)?;
+    if parsed.switch("help") {
+        out!("{usage}");
+        return Ok(None);
+    }
+    Ok(Some(parsed))
+}
+
+fn seeds_of(parsed: &Parsed) -> Result<SeedRange, String> {
+    parsed
+        .opt("seeds")
+        .ok_or("missing required option `--seeds A..B`")?
+        .parse()
+        .map_err(|e| format!("{e}"))
+}
+
+fn personality_of(parsed: &Parsed) -> Result<Personality, String> {
+    parsed
+        .opt_parse("personality", Personality::Ccg)
+        .map_err(|e| e.to_string())
+}
+
+fn version_of(parsed: &Parsed, personality: Personality) -> Result<usize, String> {
+    match parsed.opt("compiler-version") {
+        None => Ok(personality.trunk()),
+        Some(name) => personality.version_index(name).ok_or_else(|| {
+            format!(
+                "unknown {personality} version `{name}` (available: {})",
+                personality.version_names().join(", ")
+            )
+        }),
+    }
+}
+
+fn write_out(parsed: &Parsed, contents: &str) -> Result<(), String> {
+    if let Some(path) = parsed.opt("out") {
+        std::fs::write(path, contents).map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- generate
+
+const GENERATE_USAGE: &str = "\
+Usage: holes generate --seeds A..B [--source]
+
+Show the programs a campaign over the seed range would test: one summary
+line per seed, or the full rendered source with --source.
+";
+
+fn cmd_generate(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &["seeds"],
+        switches: &["source"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, GENERATE_USAGE).map_err(|e| e.to_string())?
+    else {
+        return Ok(());
+    };
+    let seeds = seeds_of(&parsed)?;
+    for seed in seeds.iter() {
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        if parsed.switch("source") {
+            outln!("// seed {seed}");
+            out!("{}", generated.source.text);
+            outln!();
+        } else {
+            outln!(
+                "seed {seed}: {} statements, {} functions, sites: C1 {}, C2 {}, C3 {}",
+                generated.program.stmt_count(),
+                generated.program.functions.len(),
+                generated.analysis.opaque_calls.len(),
+                generated.analysis.global_stores.len(),
+                generated.analysis.local_assignments.len(),
+            );
+        }
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- campaign
+
+const CAMPAIGN_USAGE: &str = "\
+Usage: holes campaign --seeds A..B [options]
+
+Run one violation campaign shard and emit its deterministic JSON file.
+
+Options:
+  --seeds A..B             Seed range of the whole campaign (required)
+  --personality ccg|lcc    Compiler personality (default: ccg)
+  --compiler-version NAME  Version name, e.g. trunk or 8.4 (default: trunk)
+  --shards K               Total number of shards (default: 1)
+  --shard I                This run's shard index, 0-based (default: 0)
+  --out FILE               Write the shard JSON here instead of stdout
+  --quiet                  Suppress the progress summary and Table 1
+
+K shard files over the same range, merged with `holes report`, reproduce
+the unsharded campaign byte-for-byte.
+";
+
+fn cmd_campaign(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &[
+            "seeds",
+            "personality",
+            "compiler-version",
+            "shards",
+            "shard",
+            "out",
+        ],
+        switches: &["quiet"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, CAMPAIGN_USAGE).map_err(|e| e.to_string())?
+    else {
+        return Ok(());
+    };
+    let personality = personality_of(&parsed)?;
+    let campaign = CampaignSpec::new(
+        personality,
+        version_of(&parsed, personality)?,
+        seeds_of(&parsed)?,
+    )
+    .with_shard(
+        parsed.opt_parse("shards", 1).map_err(|e| e.to_string())?,
+        parsed.opt_parse("shard", 0).map_err(|e| e.to_string())?,
+    );
+    let shard = run_shard(&campaign).map_err(|e| e.to_string())?;
+    let rendered = shard.to_json().to_pretty();
+    let Some(path) = parsed.opt("out") else {
+        out!("{rendered}");
+        return Ok(());
+    };
+    std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
+    if !parsed.switch("quiet") {
+        outln!(
+            "campaign: {} {}, seeds {}, shard {}/{}: {} programs, {} violation records",
+            campaign.personality,
+            campaign.personality.version_names()[campaign.version],
+            campaign.seeds,
+            campaign.shard,
+            campaign.shards,
+            shard.result.programs,
+            shard.result.records.len(),
+        );
+        out!("{}", shard.result.table1());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- report
+
+const REPORT_USAGE: &str = "\
+Usage: holes report FILE... [options]
+
+Merge campaign shard files back into the monolithic campaign and render
+Table 1, the Venn distribution of Figures 2-3, and (with --issues) the
+Table 3 issue classification. The shard files must cover the campaign's
+full seed range exactly once.
+
+Options:
+  --json          Print the machine-readable summary instead of text
+  --out FILE      Also write the JSON summary to FILE
+  --issues N      Classify up to N unique violations (DIE category and
+                  compiler/debugger attribution; recompiles the programs)
+";
+
+fn cmd_report(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &["out", "issues"],
+        switches: &["json"],
+        positionals: true,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, REPORT_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(());
+    };
+    if parsed.positionals().is_empty() {
+        return Err("no shard files given".into());
+    }
+    let mut shards = Vec::new();
+    for path in parsed.positionals() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        shards.push(CampaignShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))?);
+    }
+    let campaign = shards[0].spec.clone();
+    let result = merge_shards(shards).map_err(|e| e.to_string())?;
+    let issue_limit: usize = parsed.opt_parse("issues", 0).map_err(|e| e.to_string())?;
+    let issues = (issue_limit > 0).then(|| {
+        // Regenerates only the (at most `issue_limit`) classified programs
+        // from their seeds, not the campaign's full range.
+        build_report_from_seeds(&result, campaign.personality, campaign.version, issue_limit)
+    });
+
+    // The JSON summary re-aggregates every record; build it only when a
+    // machine-readable sink asked for it.
+    if parsed.switch("json") || parsed.opt("out").is_some() {
+        let mut summary = Json::Obj(vec![
+            ("format".to_owned(), Json::str("holes.report/v1")),
+            (
+                "personality".to_owned(),
+                Json::str(campaign.personality.name()),
+            ),
+            (
+                "compiler_version".to_owned(),
+                Json::str(campaign.personality.version_names()[campaign.version]),
+            ),
+            ("seeds".to_owned(), Json::str(campaign.seeds.to_string())),
+            ("summary".to_owned(), result.summary_json()),
+        ]);
+        if let (Json::Obj(pairs), Some(report)) = (&mut summary, &issues) {
+            pairs.push(("issues".to_owned(), report.to_json()));
+        }
+        let rendered = summary.to_pretty();
+        write_out(&parsed, &rendered)?;
+        if parsed.switch("json") {
+            out!("{rendered}");
+            return Ok(());
+        }
+    }
+
+    outln!(
+        "campaign: {} {}, seeds {}, {} programs, {} violation records",
+        campaign.personality,
+        campaign.personality.version_names()[campaign.version],
+        campaign.seeds,
+        result.programs,
+        result.records.len(),
+    );
+    outln!();
+    outln!("Table 1: violations per level (unique across levels in the last row)");
+    out!("{}", result.table1());
+    outln!();
+    outln!("violations at all levels: {}", result.at_all_levels());
+    outln!(
+        "clean programs: C1 {}, C2 {}, C3 {}",
+        result.clean_programs(Conjecture::C1),
+        result.clean_programs(Conjecture::C2),
+        result.clean_programs(Conjecture::C3),
+    );
+    let venn = result.venn();
+    if !venn.is_empty() {
+        outln!();
+        outln!("Venn distribution (level set -> unique violations):");
+        for (levels, count) in venn {
+            let key: Vec<&str> = levels.iter().map(|l| l.flag()).collect();
+            outln!("  {:<28} {count}", key.join(","));
+        }
+    }
+    if let Some(report) = &issues {
+        outln!();
+        outln!("Table 3: issue classification (first {issue_limit} unique violations)");
+        out!("{}", report.render());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- triage
+
+const TRIAGE_USAGE: &str = "\
+Usage: holes triage --seeds A..B [options]
+
+Run the campaign over the seed range and attribute a sample of its unique
+violations to culprit optimizations: pass bisection for lcc, per-flag
+disabling for ccg (Table 2).
+
+Options:
+  --seeds A..B             Seed range (required)
+  --personality ccg|lcc    Compiler personality (default: ccg)
+  --compiler-version NAME  Version name (default: trunk)
+  --limit N                Violations triaged per conjecture (default: 10)
+  --top M                  Culprits listed per conjecture (default: 5)
+  --json                   Print the machine-readable table instead
+  --out FILE               Also write the JSON table to FILE
+";
+
+fn cmd_triage(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &[
+            "seeds",
+            "personality",
+            "compiler-version",
+            "limit",
+            "top",
+            "out",
+        ],
+        switches: &["json"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, TRIAGE_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(());
+    };
+    let seeds = seeds_of(&parsed)?;
+    let personality = personality_of(&parsed)?;
+    let version = version_of(&parsed, personality)?;
+    let limit: usize = parsed.opt_parse("limit", 10).map_err(|e| e.to_string())?;
+    let top: usize = parsed.opt_parse("top", 5).map_err(|e| e.to_string())?;
+    let subjects = subject_pool(seeds.start, seeds.len() as usize);
+    let result = run_campaign(&subjects, personality, version);
+    let table = triage_campaign(&subjects, personality, version, &result, limit);
+    let rendered = table.to_json().to_pretty();
+    write_out(&parsed, &rendered)?;
+    if parsed.switch("json") {
+        out!("{rendered}");
+        return Ok(());
+    }
+    outln!(
+        "triage: {} {}, seeds {}, up to {limit} violations per conjecture",
+        personality,
+        personality.version_names()[version],
+        seeds,
+    );
+    outln!();
+    outln!("Table 2: culprit passes per conjecture (top {top})");
+    out!("{}", table.render(top));
+    Ok(())
+}
+
+// ---------------------------------------------------------------- reduce
+
+const REDUCE_USAGE: &str = "\
+Usage: holes reduce --seed S [options]
+
+Find a conjecture violation on the seeded program, triage its culprit
+optimization, and shrink the program while preserving both the violation
+and the culprit (the paper's reduction oracle).
+
+Options:
+  --seed S                 Program seed (required)
+  --personality ccg|lcc    Compiler personality (default: ccg)
+  --compiler-version NAME  Version name (default: trunk)
+  --level -O2              Optimization level (default: first violating)
+  --no-culprit             Reduce without preserving the culprit
+";
+
+fn cmd_reduce(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &["seed", "personality", "compiler-version", "level"],
+        switches: &["no-culprit"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, REDUCE_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(());
+    };
+    let seed: u64 = match parsed.opt("seed") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for `--seed`: `{raw}`"))?,
+        None => return Err("missing required option `--seed S`".into()),
+    };
+    let personality = personality_of(&parsed)?;
+    let version = version_of(&parsed, personality)?;
+    let subject = Subject::from_seed(seed);
+
+    // Pick the level: the requested one, or the first level that violates.
+    let levels: Vec<OptLevel> = match parsed.opt("level") {
+        Some(raw) => {
+            let level: OptLevel = raw.parse().map_err(|e| format!("{e}"))?;
+            if !personality.levels().contains(&level) {
+                return Err(format!(
+                    "{personality} does not evaluate {level} (levels: {})",
+                    personality
+                        .levels()
+                        .iter()
+                        .map(|l| l.flag())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            vec![level]
+        }
+        None => personality.levels().to_vec(),
+    };
+    let found = levels.iter().find_map(|&level| {
+        let config = CompilerConfig::new(personality, level).with_version(version);
+        let violation = subject.violations(&config).first().cloned()?;
+        Some((config, violation))
+    });
+    let Some((config, violation)) = found else {
+        outln!(
+            "seed {seed}: no violations under {} {} at {}",
+            personality,
+            personality.version_names()[version],
+            levels
+                .iter()
+                .map(|l| l.flag())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        return Ok(());
+    };
+    outln!(
+        "seed {seed}: {} violation at {} — variable `{}` at line {}, observed {}",
+        violation.conjecture,
+        config.describe(),
+        violation.variable,
+        violation.line,
+        violation.observed,
+    );
+
+    let culprit = if parsed.switch("no-culprit") {
+        None
+    } else {
+        let outcome = triage(&subject, &config, &violation);
+        match outcome.culprits.first() {
+            Some(pass) => {
+                outln!("culprit: {pass} (of {:?})", outcome.culprits);
+                Some(pass.clone())
+            }
+            None => {
+                outln!("culprit: none identified; reducing without culprit preservation");
+                None
+            }
+        }
+    };
+    let reduced = reduce(&subject, &config, &violation, culprit.as_deref());
+    outln!(
+        "reduced {} -> {} statements ({:.0}% smaller) in {} attempts",
+        reduced.original_statements,
+        reduced.reduced_statements,
+        reduced.reduction_ratio() * 100.0,
+        reduced.attempts,
+    );
+    outln!();
+    outln!("// reduced program (seed {seed})");
+    out!("{}", reduced.subject.source.text);
+    Ok(())
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests of the `holes` binary, including the acceptance
+//! criterion of the sharding contract: `campaign --seeds 0..200 --shards 4
+//! --shard i` outputs, merged via `report`, are byte-identical to the
+//! single-shard run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn holes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_holes"))
+        .args(args)
+        .output()
+        .expect("spawning the holes binary")
+}
+
+fn ok_stdout(args: &[&str]) -> Vec<u8> {
+    let output = holes(args);
+    assert!(
+        output.status.success(),
+        "`holes {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output.stdout
+}
+
+/// A scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("holes-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("creating scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn four_sharded_campaigns_merge_byte_identically_to_the_single_shard_run() {
+    let scratch = Scratch::new("shards");
+    let seeds = "0..200";
+    let mut shard_files = Vec::new();
+    for shard in 0..4 {
+        let file = scratch.path(&format!("shard{shard}.json"));
+        ok_stdout(&[
+            "campaign",
+            "--seeds",
+            seeds,
+            "--shards",
+            "4",
+            "--shard",
+            &shard.to_string(),
+            "--out",
+            &file,
+            "--quiet",
+        ]);
+        shard_files.push(file);
+    }
+    let full = scratch.path("full.json");
+    ok_stdout(&["campaign", "--seeds", seeds, "--out", &full, "--quiet"]);
+
+    // Text report: merged shards (in scrambled order) vs the monolithic run.
+    let mut merged_args = vec!["report"];
+    merged_args.extend(shard_files.iter().rev().map(String::as_str));
+    let merged_text = ok_stdout(&merged_args);
+    let single_text = ok_stdout(&["report", &full]);
+    assert_eq!(
+        merged_text, single_text,
+        "merged text report differs from the single-shard run"
+    );
+    assert!(!merged_text.is_empty());
+
+    // JSON report: same byte-identity.
+    let mut merged_json_args = vec!["report", "--json"];
+    merged_json_args.extend(shard_files.iter().map(String::as_str));
+    let merged_json = ok_stdout(&merged_json_args);
+    let single_json = ok_stdout(&["report", "--json", &full]);
+    assert_eq!(
+        merged_json, single_json,
+        "merged JSON report differs from the single-shard run"
+    );
+
+    // The shard files really partition the work: per-shard record counts sum
+    // to the monolithic run's.
+    let count_records = |path: &str| {
+        std::fs::read_to_string(Path::new(path))
+            .unwrap()
+            .matches("\"seed\":")
+            .count()
+    };
+    let sharded_total: usize = shard_files.iter().map(|f| count_records(f)).sum();
+    assert_eq!(sharded_total, count_records(&full));
+    assert!(sharded_total > 0, "campaign found no violations at all");
+}
+
+#[test]
+fn report_rejects_incomplete_and_foreign_shard_sets() {
+    let scratch = Scratch::new("report-errors");
+    let shard0 = scratch.path("shard0.json");
+    let other = scratch.path("other.json");
+    ok_stdout(&[
+        "campaign", "--seeds", "0..20", "--shards", "2", "--shard", "0", "--out", &shard0,
+        "--quiet",
+    ]);
+    ok_stdout(&["campaign", "--seeds", "0..30", "--out", &other, "--quiet"]);
+
+    let incomplete = holes(&["report", &shard0]);
+    assert!(!incomplete.status.success());
+    assert!(String::from_utf8_lossy(&incomplete.stderr).contains("cover"));
+
+    let mixed = holes(&["report", &shard0, &other]);
+    assert!(!mixed.status.success());
+
+    let missing = holes(&["report", &scratch.path("does-not-exist.json")]);
+    assert!(!missing.status.success());
+
+    let none = holes(&["report"]);
+    assert!(!none.status.success());
+    assert!(String::from_utf8_lossy(&none.stderr).contains("no shard files"));
+}
+
+#[test]
+fn campaign_output_is_deterministic_across_runs_and_equals_the_out_file() {
+    let scratch = Scratch::new("determinism");
+    let stdout_run = ok_stdout(&["campaign", "--seeds", "40..44", "--personality", "lcc"]);
+    let again = ok_stdout(&["campaign", "--seeds", "40..44", "--personality", "lcc"]);
+    assert_eq!(stdout_run, again, "campaign output is not deterministic");
+    let file = scratch.path("out.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        "40..44",
+        "--personality",
+        "lcc",
+        "--out",
+        &file,
+        "--quiet",
+    ]);
+    assert_eq!(stdout_run, std::fs::read(Path::new(&file)).unwrap());
+}
+
+#[test]
+fn generate_triage_and_reduce_cover_the_paper_workflow() {
+    let generate = ok_stdout(&["generate", "--seeds", "5..7"]);
+    let text = String::from_utf8(generate).unwrap();
+    assert!(
+        text.contains("seed 5:") && text.contains("seed 6:"),
+        "{text}"
+    );
+
+    let source =
+        String::from_utf8(ok_stdout(&["generate", "--seeds", "5..6", "--source"])).unwrap();
+    assert!(source.contains("int main(void)"), "{source}");
+
+    let triage = String::from_utf8(ok_stdout(&[
+        "triage",
+        "--seeds",
+        "0..6",
+        "--personality",
+        "lcc",
+        "--limit",
+        "2",
+    ]))
+    .unwrap();
+    assert!(triage.contains("Table 2"), "{triage}");
+
+    let reduce = String::from_utf8(ok_stdout(&["reduce", "--seed", "3"])).unwrap();
+    assert!(reduce.contains("reduced"), "{reduce}");
+}
+
+#[test]
+fn help_and_usage_errors_behave_like_a_unix_tool() {
+    let help = String::from_utf8(ok_stdout(&["help"])).unwrap();
+    assert!(help.contains("Usage: holes <command>"));
+    for command in ["generate", "campaign", "report", "triage", "reduce"] {
+        let text = String::from_utf8(ok_stdout(&[command, "--help"])).unwrap();
+        assert!(
+            text.contains(&format!("holes {command}")),
+            "{command}: {text}"
+        );
+    }
+    let bare = String::from_utf8(ok_stdout(&[])).unwrap();
+    assert_eq!(bare, help, "bare invocation should print the usage");
+
+    for bad in [
+        vec!["frobnicate"],
+        vec!["campaign"],
+        vec!["campaign", "--seeds", "9..3"],
+        vec!["campaign", "--seeds", "0..4", "--bogus"],
+        vec![
+            "campaign", "--seeds", "0..4", "--shards", "2", "--shard", "2",
+        ],
+        vec!["triage", "--seeds", "0..4", "--personality", "gcc"],
+        vec!["reduce"],
+    ] {
+        let output = holes(&bad);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "`holes {}` should fail with exit code 2",
+            bad.join(" ")
+        );
+        assert!(!output.stderr.is_empty());
+    }
+}

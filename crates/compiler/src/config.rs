@@ -76,6 +76,54 @@ impl std::fmt::Display for Personality {
     }
 }
 
+/// Failed parse of a [`Personality`], [`OptLevel`], or version name from a
+/// command-line flag or a report file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    what: &'static str,
+    input: String,
+}
+
+impl ParseConfigError {
+    fn new(what: &'static str, input: &str) -> ParseConfigError {
+        ParseConfigError {
+            what,
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown {}: `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+impl std::str::FromStr for Personality {
+    type Err = ParseConfigError;
+
+    /// Parse a personality name as spelled in reports and CLI flags
+    /// (`ccg` or `lcc`, case-insensitive).
+    fn from_str(s: &str) -> Result<Personality, ParseConfigError> {
+        match s.to_ascii_lowercase().as_str() {
+            "ccg" => Ok(Personality::Ccg),
+            "lcc" => Ok(Personality::Lcc),
+            _ => Err(ParseConfigError::new("personality", s)),
+        }
+    }
+}
+
+impl Personality {
+    /// The index of a version by its [`Personality::version_names`] name
+    /// (`"trunk"`, `"8.4"`, ...), if that version exists for this
+    /// personality.
+    pub fn version_index(self, name: &str) -> Option<usize> {
+        self.version_names().iter().position(|&v| v == name)
+    }
+}
+
 /// Optimization levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OptLevel {
@@ -124,6 +172,25 @@ impl OptLevel {
 impl std::fmt::Display for OptLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.flag())
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = ParseConfigError;
+
+    /// Parse an optimization level from its flag spelling, with or without
+    /// the `-O` prefix (`-O2`, `O2`, and `2` all parse to [`OptLevel::O2`];
+    /// the letter suffixes are case-sensitive, as on real compilers).
+    fn from_str(s: &str) -> Result<OptLevel, ParseConfigError> {
+        let suffix = s
+            .strip_prefix("-O")
+            .or_else(|| s.strip_prefix('O'))
+            .unwrap_or(s);
+        OptLevel::ALL
+            .iter()
+            .copied()
+            .find(|level| &level.flag()[2..] == suffix)
+            .ok_or_else(|| ParseConfigError::new("optimization level", s))
     }
 }
 
@@ -529,6 +596,30 @@ mod tests {
         // Re-inserting an already-disabled pass is identity.
         let expected = config.clone().fingerprint();
         assert_eq!(config.with_disabled_pass("inline").fingerprint(), expected);
+    }
+
+    #[test]
+    fn personalities_and_levels_round_trip_through_their_spellings() {
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            assert_eq!(personality.name().parse(), Ok(personality));
+            for (index, name) in personality.version_names().iter().enumerate() {
+                assert_eq!(personality.version_index(name), Some(index));
+            }
+            assert_eq!(personality.version_index("no-such-version"), None);
+        }
+        for level in OptLevel::ALL {
+            assert_eq!(level.flag().parse(), Ok(level));
+            assert_eq!(level.flag()[1..].parse(), Ok(level), "without dash");
+            assert_eq!(level.flag()[2..].parse(), Ok(level), "suffix only");
+        }
+        assert!("gcc".parse::<Personality>().is_err());
+        assert!("-O9".parse::<OptLevel>().is_err());
+        assert!(
+            "og".parse::<OptLevel>().is_err(),
+            "suffix is case-sensitive"
+        );
+        let err = "-O9".parse::<OptLevel>().unwrap_err();
+        assert!(err.to_string().contains("-O9"));
     }
 
     #[test]

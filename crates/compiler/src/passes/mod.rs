@@ -2,7 +2,7 @@
 //!
 //! Passes are plain functions over [`IrFunction`]s registered by name; the
 //! pipeline runner executes the schedule selected by the
-//! [`CompilerConfig`](crate::config::CompilerConfig) (personality, level,
+//! [`crate::config::CompilerConfig`] (personality, level,
 //! version), honouring the two triage mechanisms of the paper's §4.3:
 //! `-fno-<pass>`-style disabling and `-opt-bisect-limit`-style pass budgets.
 //! After each pass runs, the runner applies the injected defects attached to

@@ -22,7 +22,9 @@
 //! availability-of-variables metrics of the preliminary study (Figure 1).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub mod json;
 pub mod metrics;
 
 use holes_debugger::{DebugTrace, VarStatus};
@@ -61,6 +63,45 @@ impl std::fmt::Display for Conjecture {
     }
 }
 
+/// Failed parse of a [`Conjecture`] or [`Observed`] spelling, as used in
+/// report files and CLI flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnumError {
+    what: &'static str,
+    input: String,
+}
+
+impl ParseEnumError {
+    fn new(what: &'static str, input: &str) -> ParseEnumError {
+        ParseEnumError {
+            what,
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseEnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown {}: `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseEnumError {}
+
+impl std::str::FromStr for Conjecture {
+    type Err = ParseEnumError;
+
+    /// Parse a conjecture from its table spelling (`C1`/`c1`) or bare index
+    /// (`1`).
+    fn from_str(s: &str) -> Result<Conjecture, ParseEnumError> {
+        let index = s.strip_prefix(['C', 'c']).unwrap_or(s);
+        Conjecture::ALL
+            .into_iter()
+            .find(|c| c.index().to_string() == index)
+            .ok_or_else(|| ParseEnumError::new("conjecture", s))
+    }
+}
+
 /// One conjecture violation: at `line`, `variable` was expected to be
 /// available but was observed as `observed`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +128,43 @@ pub enum Observed {
     /// The variable's availability *improved* during its lifetime
     /// (Conjecture 3 only).
     Reappeared,
+}
+
+impl Observed {
+    /// All observations.
+    pub const ALL: [Observed; 3] = [
+        Observed::NotVisible,
+        Observed::OptimizedOut,
+        Observed::Reappeared,
+    ];
+
+    /// The stable spelling used in report files (`not-visible`,
+    /// `optimized-out`, `reappeared`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Observed::NotVisible => "not-visible",
+            Observed::OptimizedOut => "optimized-out",
+            Observed::Reappeared => "reappeared",
+        }
+    }
+}
+
+impl std::fmt::Display for Observed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Observed {
+    type Err = ParseEnumError;
+
+    /// Parse an observation from its [`Observed::name`] spelling.
+    fn from_str(s: &str) -> Result<Observed, ParseEnumError> {
+        Observed::ALL
+            .into_iter()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| ParseEnumError::new("observation", s))
+    }
 }
 
 /// A key identifying a violation independently of the optimization level, as
@@ -690,5 +768,24 @@ mod tests {
         assert_eq!(Conjecture::C3.index(), 3);
         assert_eq!(Conjecture::ALL.len(), 3);
         let _ = VarRef::Local(holes_minic::ast::LocalId(0));
+    }
+
+    #[test]
+    fn conjecture_and_observation_spellings_round_trip() {
+        for conjecture in Conjecture::ALL {
+            assert_eq!(conjecture.to_string().parse(), Ok(conjecture));
+            assert_eq!(conjecture.index().to_string().parse(), Ok(conjecture));
+        }
+        assert!("C4".parse::<Conjecture>().is_err());
+        for observed in Observed::ALL {
+            assert_eq!(observed.name().parse(), Ok(observed));
+            assert_eq!(observed.to_string(), observed.name());
+        }
+        assert!("visible".parse::<Observed>().is_err());
+        assert!("C4"
+            .parse::<Conjecture>()
+            .unwrap_err()
+            .to_string()
+            .contains("C4"));
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
 use crate::par;
@@ -22,7 +23,7 @@ pub struct ViolationRecord {
 }
 
 /// The result of running one personality's campaign over a pool.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignResult {
     /// Every violation observation (one per level it occurs at).
     pub records: Vec<ViolationRecord>,
@@ -146,6 +147,62 @@ impl CampaignResult {
             self.unique(Conjecture::C3),
         ));
         out
+    }
+
+    /// The machine-readable summary of the campaign: Table 1 (per-level and
+    /// unique counts), the per-conjecture clean-program counts, and the
+    /// Venn distribution of Figures 2–3. Deterministic — equal results
+    /// always serialize to equal bytes.
+    pub fn summary_json(&self) -> Json {
+        let per_conjecture = |f: &dyn Fn(Conjecture) -> usize| {
+            Json::Obj(
+                Conjecture::ALL
+                    .iter()
+                    .map(|&c| (c.to_string(), Json::from_usize(f(c))))
+                    .collect(),
+            )
+        };
+        let table1 = self
+            .levels
+            .iter()
+            .map(|&level| {
+                (
+                    level.flag().to_owned(),
+                    per_conjecture(&|c| self.count_at(c, level)),
+                )
+            })
+            .collect::<Vec<_>>();
+        let venn = self
+            .venn()
+            .into_iter()
+            .map(|(levels, count)| {
+                Json::Obj(vec![
+                    (
+                        "levels".to_owned(),
+                        Json::Arr(levels.iter().map(|l| Json::str(l.flag())).collect()),
+                    ),
+                    ("count".to_owned(), Json::from_usize(count)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("programs".to_owned(), Json::from_usize(self.programs)),
+            (
+                "levels".to_owned(),
+                Json::Arr(self.levels.iter().map(|l| Json::str(l.flag())).collect()),
+            ),
+            ("table1".to_owned(), Json::Obj(table1)),
+            ("unique".to_owned(), per_conjecture(&|c| self.unique(c))),
+            (
+                "clean_programs".to_owned(),
+                per_conjecture(&|c| self.clean_programs(c)),
+            ),
+            (
+                "at_all_levels".to_owned(),
+                Json::from_usize(self.at_all_levels()),
+            ),
+            ("venn".to_owned(), Json::Arr(venn)),
+        ])
     }
 }
 

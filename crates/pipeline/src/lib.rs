@@ -52,11 +52,13 @@
 //! result.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod reduce;
 pub mod regression;
 pub mod report;
+pub mod shard;
 pub mod triage;
 
 mod cache;
@@ -73,7 +75,7 @@ use holes_debugger::{trace, DebugTrace, DebuggerKind};
 use holes_minic::analysis::ProgramAnalysis;
 use holes_minic::ast::Program;
 use holes_minic::lines::SourceMap;
-use holes_progen::{generate_pool, GeneratedProgram};
+use holes_progen::{GeneratedProgram, ProgramGenerator};
 
 /// One test subject: a program plus everything needed to check conjectures
 /// against any compiler configuration, with all derived artifacts memoized
@@ -93,6 +95,12 @@ pub struct Subject {
 }
 
 impl Subject {
+    /// Generate the subject for a seed — the single seed-to-subject mapping
+    /// shared by [`subject_pool`], the sharded campaign driver, and the CLI.
+    pub fn from_seed(seed: u64) -> Subject {
+        Subject::from_generated(ProgramGenerator::from_seed(seed).generate())
+    }
+
     /// Wrap a generated program.
     pub fn from_generated(generated: GeneratedProgram) -> Subject {
         Subject {
@@ -203,11 +211,15 @@ impl Subject {
 }
 
 /// Generate a pool of subjects from consecutive seeds.
+///
+/// Generation is seed-deterministic and per-seed independent, so the pool
+/// is produced in parallel and returned in seed order — identical to the
+/// serial [`holes_progen::generate_pool`] path.
 pub fn subject_pool(base_seed: u64, count: usize) -> Vec<Subject> {
-    generate_pool(base_seed, count)
-        .into_iter()
-        .map(Subject::from_generated)
-        .collect()
+    let seeds: Vec<u64> = (0..count as u64)
+        .map(|i| base_seed.wrapping_add(i))
+        .collect();
+    par::par_map(&seeds, |_, &seed| Subject::from_seed(seed))
 }
 
 /// The levels the paper evaluates for a personality (excluding `-O0`).

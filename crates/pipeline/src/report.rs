@@ -9,9 +9,10 @@
 //!   the inspection in the *other* debugger personality, exactly as the paper
 //!   validates violations "also in a different debugger" (§4.2).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use holes_compiler::CompilerConfig;
+use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 use holes_debugger::DebuggerKind;
 use holes_debuginfo::{categorize_variable, DieCategory};
@@ -99,6 +100,62 @@ impl IssueReport {
         ));
         out
     }
+
+    /// The machine-readable issue report: one entry per row plus the
+    /// category and component summaries. Deterministic — equal reports
+    /// always serialize to equal bytes.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(vec![
+                    ("seed".to_owned(), Json::from_u64(row.seed)),
+                    (
+                        "conjecture".to_owned(),
+                        Json::str(row.conjecture.to_string()),
+                    ),
+                    ("variable".to_owned(), Json::str(row.variable.clone())),
+                    ("line".to_owned(), Json::from_u64(row.line.into())),
+                    ("category".to_owned(), Json::str(row.category.to_string())),
+                    (
+                        "component".to_owned(),
+                        Json::str(match row.component {
+                            IssueComponent::Compiler => "compiler",
+                            IssueComponent::Debugger => "debugger",
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        let categories = [
+            ("missing", DieCategory::MissingDie),
+            ("hollow", DieCategory::HollowDie),
+            ("incomplete", DieCategory::IncompleteDie),
+            ("covered", DieCategory::Covered),
+        ]
+        .into_iter()
+        .map(|(name, category)| {
+            (
+                name.to_owned(),
+                Json::from_usize(self.count_category(category)),
+            )
+        })
+        .collect::<Vec<_>>();
+        Json::Obj(vec![
+            ("format".to_owned(), Json::str("holes.issues/v1")),
+            ("rows".to_owned(), Json::Arr(rows)),
+            ("categories".to_owned(), Json::Obj(categories)),
+            (
+                "compiler_issues".to_owned(),
+                Json::from_usize(self.compiler_issues()),
+            ),
+            (
+                "debugger_issues".to_owned(),
+                Json::from_usize(self.debugger_issues()),
+            ),
+        ])
+    }
 }
 
 /// Classify one violation.
@@ -165,12 +222,64 @@ pub fn build_report(
     report
 }
 
+/// [`build_report`] without a pre-generated pool: subjects are regenerated
+/// from the records' seeds, and only for the (at most `limit`) programs the
+/// report actually classifies — the right entry point for drivers holding a
+/// merged campaign over a large seed range.
+///
+/// Requires records whose `seed` fields are the generator seeds of their
+/// programs (true for every generated campaign; not for hand-written
+/// subjects, whose seed is 0). Produces exactly the rows `build_report`
+/// would.
+pub fn build_report_from_seeds(
+    result: &CampaignResult,
+    personality: holes_compiler::Personality,
+    version: usize,
+    limit: usize,
+) -> IssueReport {
+    let mut report = IssueReport::default();
+    let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
+    let mut subjects: BTreeMap<usize, Subject> = BTreeMap::new();
+    for record in &result.records {
+        if report.rows.len() >= limit {
+            break;
+        }
+        if !seen.insert(unique_key(record)) {
+            continue;
+        }
+        let subject = subjects
+            .entry(record.subject)
+            .or_insert_with(|| Subject::from_seed(record.seed));
+        let config = CompilerConfig::new(personality, record.level).with_version(version);
+        let (category, component) = classify(subject, &config, &record.violation);
+        report.rows.push(IssueRow {
+            seed: record.seed,
+            conjecture: record.violation.conjecture,
+            variable: record.violation.variable.clone(),
+            line: record.violation.line,
+            category,
+            component,
+        });
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::campaign::run_campaign;
     use crate::subject_pool;
     use holes_compiler::Personality;
+
+    #[test]
+    fn seed_driven_report_matches_the_pool_driven_report() {
+        let subjects = subject_pool(1510, 6);
+        let personality = Personality::Ccg;
+        let result = run_campaign(&subjects, personality, personality.trunk());
+        let from_pool = build_report(&subjects, &result, personality, personality.trunk(), 10);
+        let from_seeds = build_report_from_seeds(&result, personality, personality.trunk(), 10);
+        assert_eq!(from_pool.rows, from_seeds.rows);
+    }
 
     #[test]
     fn report_classifies_violations_into_categories() {

@@ -1,0 +1,590 @@
+//! Sharded campaign runs: the scaling seam for multi-machine fan-out.
+//!
+//! A campaign over a [`SeedRange`] can be split into `K` shards, each
+//! enumerating the seeds of one residue class of the range (see
+//! [`SeedRange::shard_seeds`]). Every shard is self-contained — it
+//! regenerates its programs from their seeds, so shards share nothing but
+//! the [`CampaignSpec`] — and serializes its result to a deterministic JSON
+//! file ([`CampaignShard::to_json`]). [`merge_shards`] later folds any
+//! complete set of shard runs back into one [`CampaignResult`] that is
+//! **byte-identical** to the monolithic run over the whole range: records
+//! carry the *global* subject index (`seed - range.start`), per-subject
+//! record order is preserved inside a shard, and the merge stably sorts by
+//! that index, which is exactly the order the unsharded driver produces.
+//!
+//! The integration tests and the `holes` CLI's `campaign`/`report`
+//! subcommands hold a K-sharded run to this equivalence for every rendered
+//! table.
+
+use holes_compiler::{OptLevel, Personality};
+use holes_core::json::Json;
+use holes_core::{Observed, Violation};
+use holes_minic::ast::FunctionId;
+use holes_progen::SeedRange;
+
+use crate::campaign::{subject_records, CampaignResult, ViolationRecord};
+use crate::par;
+use crate::Subject;
+
+/// What to run: one personality's campaign over a seed range, as one shard
+/// of a (possibly single-shard) partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// The compiler personality under test.
+    pub personality: Personality,
+    /// Index into [`Personality::version_names`].
+    pub version: usize,
+    /// The full seed range of the campaign (not just this shard's slice).
+    pub seeds: SeedRange,
+    /// Total number of shards the range is partitioned into.
+    pub shards: u64,
+    /// This run's shard index, `0..shards`.
+    pub shard: u64,
+}
+
+impl CampaignSpec {
+    /// A single-shard (monolithic) campaign over a seed range.
+    pub fn new(personality: Personality, version: usize, seeds: SeedRange) -> CampaignSpec {
+        CampaignSpec {
+            personality,
+            version,
+            seeds,
+            shards: 1,
+            shard: 0,
+        }
+    }
+
+    /// The same campaign restricted to shard `shard` of `shards`.
+    pub fn with_shard(mut self, shards: u64, shard: u64) -> CampaignSpec {
+        self.shards = shards;
+        self.shard = shard;
+        self
+    }
+
+    /// Check the spec's internal consistency (positive shard count, shard
+    /// index in range, version index valid for the personality).
+    pub fn validate(&self) -> Result<(), ShardError> {
+        if self.shards == 0 {
+            return Err(ShardError::InvalidSpec(
+                "shard count must be positive".into(),
+            ));
+        }
+        if self.shard >= self.shards {
+            return Err(ShardError::InvalidSpec(format!(
+                "shard index {} out of range for {} shards",
+                self.shard, self.shards
+            )));
+        }
+        if self.version >= self.personality.version_names().len() {
+            return Err(ShardError::InvalidSpec(format!(
+                "version index {} out of range for {}",
+                self.version, self.personality
+            )));
+        }
+        Ok(())
+    }
+
+    /// The seeds this shard is responsible for, in increasing order.
+    pub fn shard_seeds(&self) -> Vec<u64> {
+        self.seeds.shard_seeds(self.shards, self.shard).collect()
+    }
+
+    /// Whether two specs describe shards of the *same* campaign (everything
+    /// but the shard index agrees).
+    pub fn same_campaign(&self, other: &CampaignSpec) -> bool {
+        self.personality == other.personality
+            && self.version == other.version
+            && self.seeds == other.seeds
+            && self.shards == other.shards
+    }
+}
+
+/// One completed shard run: the spec plus the violations found on the
+/// shard's seeds, with global subject indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignShard {
+    /// What was run.
+    pub spec: CampaignSpec,
+    /// The shard's campaign result. `programs` counts only this shard's
+    /// seeds; record `subject` fields are global indices into the full
+    /// range.
+    pub result: CampaignResult,
+}
+
+/// Run one shard of a campaign: regenerate the shard's programs from their
+/// seeds and test every one at every level of the personality.
+///
+/// Subjects are generated *and* evaluated in parallel (the per-seed work is
+/// independent) and reassembled in seed order, so the result is
+/// deterministic for a given spec.
+pub fn run_shard(spec: &CampaignSpec) -> Result<CampaignShard, ShardError> {
+    spec.validate()?;
+    let levels = spec.personality.levels().to_vec();
+    let seeds = spec.shard_seeds();
+    let per_seed = par::par_map(&seeds, |_, &seed| {
+        let subject = Subject::from_seed(seed);
+        let global_index = (seed - spec.seeds.start) as usize;
+        subject_records(
+            &subject,
+            global_index,
+            spec.personality,
+            spec.version,
+            &levels,
+        )
+    });
+    Ok(CampaignShard {
+        spec: spec.clone(),
+        result: CampaignResult {
+            records: per_seed.into_iter().flatten().collect(),
+            programs: seeds.len(),
+            levels,
+        },
+    })
+}
+
+/// Merge a complete set of shard runs back into the monolithic
+/// [`CampaignResult`] for the full seed range.
+///
+/// All shards must belong to the same campaign and the shard indices must
+/// cover `0..shards` exactly once; the input order does not matter. The
+/// merged result — records, tables, Venn distributions — is byte-identical
+/// to running the campaign unsharded. Shards are consumed: their records
+/// move into the merged result instead of being cloned.
+pub fn merge_shards(shards: Vec<CampaignShard>) -> Result<CampaignResult, ShardError> {
+    let first_spec = shards
+        .first()
+        .map(|s| s.spec.clone())
+        .ok_or_else(|| ShardError::Incompatible("no shards to merge".into()))?;
+    for shard in &shards {
+        shard.spec.validate()?;
+        if !shard.spec.same_campaign(&first_spec) {
+            return Err(ShardError::Incompatible(format!(
+                "shard {} belongs to a different campaign than shard {}",
+                shard.spec.shard, first_spec.shard
+            )));
+        }
+    }
+    let mut indices: Vec<u64> = shards.iter().map(|s| s.spec.shard).collect();
+    indices.sort_unstable();
+    let expected: Vec<u64> = (0..first_spec.shards).collect();
+    if indices != expected {
+        return Err(ShardError::Incompatible(format!(
+            "shard indices {indices:?} do not cover 0..{} exactly once",
+            first_spec.shards
+        )));
+    }
+    // Stable sort by global subject index restores the monolithic record
+    // order: within a subject all records live in one shard, already in
+    // (level, site) order.
+    let mut records: Vec<ViolationRecord> =
+        shards.into_iter().flat_map(|s| s.result.records).collect();
+    records.sort_by_key(|r| r.subject);
+    Ok(CampaignResult {
+        records,
+        programs: first_spec.seeds.len() as usize,
+        levels: first_spec.personality.levels().to_vec(),
+    })
+}
+
+/// The identifying first line of a campaign shard file.
+pub const CAMPAIGN_FORMAT: &str = "holes.campaign/v1";
+
+impl CampaignShard {
+    /// Serialize to the deterministic shard-file JSON (see
+    /// [`CAMPAIGN_FORMAT`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".to_owned(), Json::str(CAMPAIGN_FORMAT)),
+            (
+                "personality".to_owned(),
+                Json::str(self.spec.personality.name()),
+            ),
+            (
+                "compiler_version".to_owned(),
+                Json::str(self.spec.personality.version_names()[self.spec.version]),
+            ),
+            ("seeds".to_owned(), Json::str(self.spec.seeds.to_string())),
+            ("shards".to_owned(), Json::from_u64(self.spec.shards)),
+            ("shard".to_owned(), Json::from_u64(self.spec.shard)),
+            (
+                "levels".to_owned(),
+                Json::Arr(
+                    self.result
+                        .levels
+                        .iter()
+                        .map(|l| Json::str(l.flag()))
+                        .collect(),
+                ),
+            ),
+            (
+                "programs".to_owned(),
+                Json::from_usize(self.result.programs),
+            ),
+            (
+                "records".to_owned(),
+                Json::Arr(self.result.records.iter().map(record_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse and validate a shard file produced by [`CampaignShard::to_json`].
+    ///
+    /// Beyond field syntax this checks semantic consistency: the program
+    /// count matches the shard's seed slice, and every record's seed belongs
+    /// to this shard with the matching global subject index — so a merged
+    /// report can trust the records without re-deriving them.
+    pub fn from_json(json: &Json) -> Result<CampaignShard, ShardError> {
+        let format = str_field(json, "format")?;
+        if format != CAMPAIGN_FORMAT {
+            return Err(ShardError::Malformed(format!(
+                "unsupported format `{format}` (expected `{CAMPAIGN_FORMAT}`)"
+            )));
+        }
+        let personality: Personality = parse_field(json, "personality")?;
+        let version_name = str_field(json, "compiler_version")?;
+        let version = personality.version_index(version_name).ok_or_else(|| {
+            ShardError::Malformed(format!("unknown {personality} version `{version_name}`"))
+        })?;
+        let seeds: SeedRange = parse_field(json, "seeds")?;
+        let spec = CampaignSpec {
+            personality,
+            version,
+            seeds,
+            shards: u64_field(json, "shards")?,
+            shard: u64_field(json, "shard")?,
+        };
+        spec.validate()?;
+        let levels: Vec<OptLevel> = json
+            .get("levels")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ShardError::Malformed("missing `levels` array".into()))?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ShardError::Malformed("malformed optimization level".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if levels != personality.levels() {
+            return Err(ShardError::Malformed(format!(
+                "levels {levels:?} do not match the {personality} personality"
+            )));
+        }
+        let programs = usize_field(json, "programs")?;
+        if programs as u64 != spec.seeds.shard_len(spec.shards, spec.shard) {
+            return Err(ShardError::Malformed(format!(
+                "program count {programs} does not match shard {} of {} over {}",
+                spec.shard, spec.shards, spec.seeds
+            )));
+        }
+        let records = json
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ShardError::Malformed("missing `records` array".into()))?
+            .iter()
+            .map(|record| record_from_json(record, &spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        // The driver emits records in canonical order: ascending subject,
+        // then level in schedule order, then the sorted, deduplicated
+        // violation list of `check_all`. Enforcing strict ascent rejects
+        // duplicated, reordered, or injected records that would otherwise
+        // pass the per-record checks and silently inflate merged tables.
+        let level_index = |level: OptLevel| {
+            personality
+                .levels()
+                .iter()
+                .position(|&l| l == level)
+                .expect("level membership checked per record")
+        };
+        for pair in records.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if (a.subject, level_index(a.level), &a.violation)
+                >= (b.subject, level_index(b.level), &b.violation)
+            {
+                return Err(ShardError::Malformed(format!(
+                    "records are not in canonical campaign order (subject {} {} `{}` line {} \
+                     followed by subject {} {} `{}` line {})",
+                    a.subject,
+                    a.level,
+                    a.violation.variable,
+                    a.violation.line,
+                    b.subject,
+                    b.level,
+                    b.violation.variable,
+                    b.violation.line,
+                )));
+            }
+        }
+        Ok(CampaignShard {
+            spec,
+            result: CampaignResult {
+                records,
+                programs,
+                levels,
+            },
+        })
+    }
+}
+
+fn record_to_json(record: &ViolationRecord) -> Json {
+    Json::Obj(vec![
+        ("seed".to_owned(), Json::from_u64(record.seed)),
+        ("subject".to_owned(), Json::from_usize(record.subject)),
+        ("level".to_owned(), Json::str(record.level.flag())),
+        (
+            "conjecture".to_owned(),
+            Json::str(record.violation.conjecture.to_string()),
+        ),
+        (
+            "line".to_owned(),
+            Json::from_u64(record.violation.line.into()),
+        ),
+        (
+            "variable".to_owned(),
+            Json::str(record.violation.variable.clone()),
+        ),
+        (
+            "function".to_owned(),
+            Json::from_usize(record.violation.function.0),
+        ),
+        (
+            "observed".to_owned(),
+            Json::str(record.violation.observed.name()),
+        ),
+    ])
+}
+
+fn record_from_json(json: &Json, spec: &CampaignSpec) -> Result<ViolationRecord, ShardError> {
+    let seed = u64_field(json, "seed")?;
+    let subject = usize_field(json, "subject")?;
+    if !spec.seeds.contains(seed) || (seed - spec.seeds.start) % spec.shards != spec.shard {
+        return Err(ShardError::Malformed(format!(
+            "record seed {seed} does not belong to shard {} of {} over {}",
+            spec.shard, spec.shards, spec.seeds
+        )));
+    }
+    if subject as u64 != seed - spec.seeds.start {
+        return Err(ShardError::Malformed(format!(
+            "record subject index {subject} does not match seed {seed}"
+        )));
+    }
+    let level: OptLevel = parse_field(json, "level")?;
+    if !spec.personality.levels().contains(&level) {
+        return Err(ShardError::Malformed(format!(
+            "level {level} is not evaluated by the {} personality",
+            spec.personality
+        )));
+    }
+    let observed: Observed = parse_field(json, "observed")?;
+    Ok(ViolationRecord {
+        seed,
+        subject,
+        level,
+        violation: Violation {
+            conjecture: parse_field(json, "conjecture")?,
+            line: u64_field(json, "line")?
+                .try_into()
+                .map_err(|_| ShardError::Malformed("line number out of range".into()))?,
+            variable: str_field(json, "variable")?.to_owned(),
+            function: FunctionId(usize_field(json, "function")?),
+            observed,
+        },
+    })
+}
+
+fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, ShardError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ShardError::Malformed(format!("missing or non-string field `{key}`")))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, ShardError> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Malformed(format!("missing or non-integer field `{key}`")))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, ShardError> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ShardError::Malformed(format!("missing or non-integer field `{key}`")))
+}
+
+fn parse_field<T: std::str::FromStr>(json: &Json, key: &str) -> Result<T, ShardError> {
+    str_field(json, key)?
+        .parse()
+        .map_err(|_| ShardError::Malformed(format!("malformed field `{key}`")))
+}
+
+/// Why a shard run, file, or merge was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A [`CampaignSpec`] is internally inconsistent.
+    InvalidSpec(String),
+    /// A shard file does not follow the [`CAMPAIGN_FORMAT`] schema or
+    /// contradicts its own spec.
+    Malformed(String),
+    /// Shards passed to [`merge_shards`] do not form one complete campaign.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::InvalidSpec(m) => write!(f, "invalid campaign spec: {m}"),
+            ShardError::Malformed(m) => write!(f, "malformed shard file: {m}"),
+            ShardError::Incompatible(m) => write!(f, "incompatible shards: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::subject_pool;
+
+    fn spec(range: SeedRange) -> CampaignSpec {
+        CampaignSpec::new(Personality::Ccg, Personality::Ccg.trunk(), range)
+    }
+
+    #[test]
+    fn single_shard_run_equals_the_pool_campaign() {
+        let range = SeedRange::new(2000, 2008);
+        let sharded = run_shard(&spec(range)).unwrap();
+        let subjects = subject_pool(range.start, range.len() as usize);
+        let monolithic = run_campaign(&subjects, Personality::Ccg, Personality::Ccg.trunk());
+        assert_eq!(sharded.result.records, monolithic.records);
+        assert_eq!(sharded.result.table1(), monolithic.table1());
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_the_monolithic_run() {
+        let range = SeedRange::new(2100, 2116);
+        let monolithic = run_shard(&spec(range)).unwrap();
+        for shards in [2u64, 3, 5] {
+            let runs: Vec<CampaignShard> = (0..shards)
+                .map(|i| run_shard(&spec(range).with_shard(shards, i)).unwrap())
+                .collect();
+            // Merge in scrambled input order to show order does not matter.
+            let mut scrambled = runs.clone();
+            scrambled.reverse();
+            let merged = merge_shards(scrambled).unwrap();
+            assert_eq!(merged.records, monolithic.result.records, "K={shards}");
+            assert_eq!(merged.table1(), monolithic.result.table1());
+            assert_eq!(merged.venn(), monolithic.result.venn());
+            assert_eq!(merged.programs, range.len() as usize);
+        }
+    }
+
+    #[test]
+    fn shard_files_round_trip_through_json() {
+        let range = SeedRange::new(2200, 2206);
+        let run = run_shard(&spec(range).with_shard(2, 1)).unwrap();
+        let rendered = run.to_json().to_pretty();
+        let reparsed = CampaignShard::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(reparsed, run);
+        // Serialization is deterministic.
+        assert_eq!(reparsed.to_json().to_pretty(), rendered);
+    }
+
+    #[test]
+    fn from_json_rejects_tampered_files() {
+        let range = SeedRange::new(2300, 2304);
+        let run = run_shard(&spec(range)).unwrap();
+        let good = run.to_json().to_pretty();
+        for (needle, replacement) in [
+            ("holes.campaign/v1", "holes.campaign/v0"),
+            ("\"ccg\"", "\"gcc\""),
+            (
+                "\"compiler_version\": \"trunk\"",
+                "\"compiler_version\": \"99\"",
+            ),
+            ("\"seeds\": \"2300..2304\"", "\"seeds\": \"2304..2300\""),
+            ("\"programs\": 4", "\"programs\": 5"),
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(bad, good, "replacement `{needle}` did not apply");
+            let parsed = Json::parse(&bad).unwrap();
+            assert!(
+                CampaignShard::from_json(&parsed).is_err(),
+                "tampered `{needle}` was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_duplicated_and_reordered_records() {
+        let range = SeedRange::new(2300, 2310);
+        let run = run_shard(&spec(range)).unwrap();
+        assert!(
+            run.result.records.len() >= 2,
+            "campaign found too few records to exercise ordering"
+        );
+        let mutate = |f: &dyn Fn(&mut Vec<Json>)| {
+            let mut json = run.to_json();
+            if let Json::Obj(pairs) = &mut json {
+                for (key, value) in pairs.iter_mut() {
+                    if key == "records" {
+                        if let Json::Arr(items) = value {
+                            f(items);
+                        }
+                    }
+                }
+            }
+            CampaignShard::from_json(&json)
+        };
+        assert!(mutate(&|_| {}).is_ok(), "untouched file must still parse");
+        assert!(
+            mutate(&|items| {
+                let first = items[0].clone();
+                items.insert(0, first);
+            })
+            .is_err(),
+            "a duplicated record must be rejected"
+        );
+        assert!(
+            mutate(&|items| items.reverse()).is_err(),
+            "reordered records must be rejected"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_and_mixed_shard_sets() {
+        let range = SeedRange::new(2400, 2408);
+        let s0 = run_shard(&spec(range).with_shard(2, 0)).unwrap();
+        let s1 = run_shard(&spec(range).with_shard(2, 1)).unwrap();
+        assert!(merge_shards(Vec::new()).is_err(), "empty set");
+        assert!(merge_shards(vec![s0.clone()]).is_err(), "missing shard 1");
+        assert!(
+            merge_shards(vec![s0.clone(), s0.clone()]).is_err(),
+            "duplicate shard"
+        );
+        let mut other = run_shard(&CampaignSpec::new(
+            Personality::Lcc,
+            Personality::Lcc.trunk(),
+            range,
+        ))
+        .unwrap();
+        other.spec.shards = 2;
+        other.spec.shard = 1;
+        assert!(
+            merge_shards(vec![s0.clone(), other]).is_err(),
+            "mixed personalities"
+        );
+        assert!(merge_shards(vec![s0, s1]).is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_up_front() {
+        let range = SeedRange::new(0, 4);
+        assert!(run_shard(&spec(range).with_shard(0, 0)).is_err());
+        assert!(run_shard(&spec(range).with_shard(2, 2)).is_err());
+        let mut bad_version = spec(range);
+        bad_version.version = 99;
+        assert!(run_shard(&bad_version).is_err());
+        assert!(!spec(range).same_campaign(&spec(SeedRange::new(0, 5))));
+    }
+}

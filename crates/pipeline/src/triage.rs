@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use holes_compiler::{CompilerConfig, Personality};
+use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
 use crate::campaign::{unique_key, CampaignResult, UniqueKey};
@@ -193,6 +194,32 @@ impl TriageTable {
             }
         }
         out
+    }
+
+    /// The machine-readable Table 2: per conjecture, every culprit pass with
+    /// its attribution count, most frequent first. Deterministic — equal
+    /// tables always serialize to equal bytes.
+    pub fn to_json(&self) -> Json {
+        let per_conjecture = Conjecture::ALL
+            .iter()
+            .map(|&conjecture| {
+                let passes = self
+                    .top(conjecture, usize::MAX)
+                    .into_iter()
+                    .map(|(pass, count)| {
+                        Json::Obj(vec![
+                            ("pass".to_owned(), Json::str(pass)),
+                            ("count".to_owned(), Json::from_usize(count)),
+                        ])
+                    })
+                    .collect();
+                (conjecture.to_string(), Json::Arr(passes))
+            })
+            .collect();
+        Json::Obj(vec![
+            ("format".to_owned(), Json::str("holes.triage/v1")),
+            ("culprits".to_owned(), Json::Obj(per_conjecture)),
+        ])
     }
 }
 

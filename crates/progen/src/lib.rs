@@ -31,8 +31,10 @@
 #![forbid(unsafe_code)]
 
 mod options;
+mod seed_range;
 
 pub use options::GeneratorOptions;
+pub use seed_range::{ParseSeedRangeError, SeedRange};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

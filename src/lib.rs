@@ -13,7 +13,31 @@
 //! * [`debugger`] — the gdb/lldb-like source-level debuggers.
 //! * [`core`] — the three conjectures and their checkers.
 //! * [`pipeline`] — campaigns, triage, reduction, reporting, regression
-//!   studies, with the artifact cache and parallel evaluation engine.
+//!   studies, with the artifact cache, parallel evaluation engine, and the
+//!   sharded campaign files ([`pipeline::shard`]) the CLI builds on.
+//!
+//! # Runnable entry points
+//!
+//! The `holes` binary (`crates/cli`) drives the whole §4 pipeline from a
+//! shell — `holes help` lists the `generate`, `campaign`, `report`,
+//! `triage`, and `reduce` subcommands; the top-level `README.md` has a
+//! copy-pasteable quickstart.
+//!
+//! The `examples/` directory exercises the same workflow as library code
+//! (all run with `cargo run --release --example <name>`):
+//!
+//! * `examples/quickstart.rs` — generate one program, compile and debug
+//!   it at `-O0`/`-O2`, compute the §2 metrics, and check all three
+//!   conjectures on every level of both personalities.
+//! * `examples/intro_case_study.rs` — the paper's introductory gcc bug
+//!   (105161) as a directed case study: violation, triage, classification.
+//! * `examples/bug_hunting_campaign.rs` — a miniature end-to-end campaign:
+//!   Table 1, culprit triage (Table 2), and issue classification (Table 3).
+//! * `examples/quantitative_study.rs` — the §2 quantitative study
+//!   (Figure 1): line coverage and availability per version and level.
+//!
+//! The CI workflow runs the quickstart example on every push, so the
+//! documented entry points cannot silently rot.
 
 #![forbid(unsafe_code)]
 

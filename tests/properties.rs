@@ -161,4 +161,46 @@ proptest! {
             prop_assert_eq!(binary.culprits, linear.culprits, "culprit divergence on {:?}", violation);
         }
     }
+
+    /// Merging K sharded campaign runs — round-tripped through their JSON
+    /// shard files — reproduces the unsharded campaign byte-for-byte, for
+    /// random shard counts, seed ranges, and personalities.
+    #[test]
+    fn sharded_campaigns_merge_to_the_monolithic_run(
+        start in 0u64..10_000,
+        len in 1u64..12,
+        shards in 1u64..7,
+        personality_index in 0usize..2,
+    ) {
+        use holes_core::json::Json;
+        use holes_pipeline::shard::{merge_shards, run_shard, CampaignShard, CampaignSpec};
+        use holes_progen::SeedRange;
+
+        let personality = [Personality::Ccg, Personality::Lcc][personality_index];
+        let seeds = SeedRange::new(start, start + len);
+        let spec = CampaignSpec::new(personality, personality.trunk(), seeds);
+        let monolithic = run_shard(&spec).unwrap();
+
+        let mut runs: Vec<CampaignShard> = Vec::new();
+        for shard in 0..shards {
+            let run = run_shard(&spec.clone().with_shard(shards, shard)).unwrap();
+            // Round-trip through the serialized shard file, as a real
+            // multi-machine campaign would.
+            let rendered = run.to_json().to_pretty();
+            let reparsed = CampaignShard::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+            prop_assert_eq!(&reparsed, &run, "shard file round-trip changed the shard");
+            runs.push(reparsed);
+        }
+
+        let merged = merge_shards(runs).unwrap();
+        prop_assert_eq!(&merged.records, &monolithic.result.records);
+        prop_assert_eq!(merged.programs, monolithic.result.programs);
+        prop_assert_eq!(merged.table1(), monolithic.result.table1());
+        prop_assert_eq!(merged.venn(), monolithic.result.venn());
+        prop_assert_eq!(
+            merged.summary_json().to_pretty(),
+            monolithic.result.summary_json().to_pretty(),
+            "machine-readable summaries must be byte-identical"
+        );
+    }
 }
