@@ -19,6 +19,7 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use holes::compiler::{CompilerConfig, OptLevel, Personality};
 use holes::core::json::Json;
@@ -26,9 +27,13 @@ use holes::core::Conjecture;
 use holes::pipeline::campaign::run_campaign;
 use holes::pipeline::reduce::reduce;
 use holes::pipeline::report::build_report_from_seeds;
-use holes::pipeline::shard::{merge_shards, run_shard, CampaignShard, CampaignSpec};
+use holes::pipeline::shard::{
+    merge_shards, run_shard_with_stats, CampaignShard, CampaignSpec, ShardError,
+};
+use holes::pipeline::store::CACHE_DIR_ENV;
+use holes::pipeline::stream::{is_jsonl_shard, read_jsonl_shard, run_shard_streaming, StreamError};
 use holes::pipeline::triage::{triage, triage_campaign};
-use holes::pipeline::{subject_pool, Subject};
+use holes::pipeline::{subject_pool, ArtifactStore, CacheStats, Subject};
 use holes::progen::{ProgramGenerator, SeedRange};
 
 use args::{Parsed, Spec, UsageError};
@@ -150,6 +155,42 @@ fn write_out(parsed: &Parsed, contents: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Enable the persistent artifact store when `--cache-dir` (or the
+/// `HOLES_CACHE_DIR` environment variable) names a directory. The flag is
+/// exported into the environment so every subject this process creates —
+/// however deep in the pipeline — binds to the same store.
+fn cache_store(parsed: &Parsed) -> Result<Option<Arc<ArtifactStore>>, String> {
+    match parsed.opt("cache-dir") {
+        Some(dir) => {
+            std::env::set_var(CACHE_DIR_ENV, dir);
+            ArtifactStore::from_env()
+                .map(Some)
+                .ok_or_else(|| format!("cannot open cache directory `{dir}`"))
+        }
+        None => Ok(ArtifactStore::from_env()),
+    }
+}
+
+/// Print the evaluation-engine statistics on stderr (so stdout's
+/// machine-readable output stays byte-identical with and without `--stats`).
+fn print_stats(stats: &CacheStats, store: Option<&Arc<ArtifactStore>>) {
+    eprintln!(
+        "stats: compiles {}, traces {}, checks {}, hits {}, disk loads {}",
+        stats.compiles, stats.traces, stats.checks, stats.hits, stats.disk_loads,
+    );
+    if let Some(store) = store {
+        let s = store.stats();
+        eprintln!(
+            "store: dir {}, loads {}, misses {}, writes {}, rejected {}",
+            store.root().display(),
+            s.loads,
+            s.misses,
+            s.writes,
+            s.rejected,
+        );
+    }
+}
+
 // -------------------------------------------------------------- generate
 
 const GENERATE_USAGE: &str = "\
@@ -204,10 +245,15 @@ Options:
   --shards K               Total number of shards (default: 1)
   --shard I                This run's shard index, 0-based (default: 0)
   --out FILE               Write the shard JSON here instead of stdout
+  --jsonl                  Stream holes.campaign-jsonl/v1 (one record per
+                           line, bounded memory) instead of one document
+  --cache-dir DIR          Persist compiled artifacts under DIR and reuse
+                           them across invocations (or set HOLES_CACHE_DIR)
+  --stats                  Report cache/store statistics on stderr
   --quiet                  Suppress the progress summary and Table 1
 
 K shard files over the same range, merged with `holes report`, reproduce
-the unsharded campaign byte-for-byte.
+the unsharded campaign byte-for-byte; `report` accepts both formats.
 ";
 
 fn cmd_campaign(argv: &[String]) -> Result<(), String> {
@@ -219,14 +265,16 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
             "shards",
             "shard",
             "out",
+            "cache-dir",
         ],
-        switches: &["quiet"],
+        switches: &["quiet", "jsonl", "stats"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, CAMPAIGN_USAGE).map_err(|e| e.to_string())?
     else {
         return Ok(());
     };
+    let store = cache_store(&parsed)?;
     let personality = personality_of(&parsed)?;
     let campaign = CampaignSpec::new(
         personality,
@@ -237,7 +285,15 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
         parsed.opt_parse("shards", 1).map_err(|e| e.to_string())?,
         parsed.opt_parse("shard", 0).map_err(|e| e.to_string())?,
     );
-    let shard = run_shard(&campaign).map_err(|e| e.to_string())?;
+
+    if parsed.switch("jsonl") {
+        return campaign_jsonl(&parsed, &campaign, store.as_ref());
+    }
+
+    let (shard, stats) = run_shard_with_stats(&campaign).map_err(|e| e.to_string())?;
+    if parsed.switch("stats") {
+        print_stats(&stats, store.as_ref());
+    }
     let rendered = shard.to_json().to_pretty();
     let Some(path) = parsed.opt("out") else {
         out!("{rendered}");
@@ -260,6 +316,48 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--jsonl` path of `holes campaign`: stream records to the output as
+/// they are computed, holding only one evaluation chunk in memory.
+fn campaign_jsonl(
+    parsed: &Parsed,
+    campaign: &CampaignSpec,
+    store: Option<&Arc<ArtifactStore>>,
+) -> Result<(), String> {
+    let outcome = match parsed.opt("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("writing `{path}`: {e}"))?;
+            run_shard_streaming(campaign, std::io::BufWriter::new(file))
+        }
+        None => run_shard_streaming(campaign, std::io::stdout().lock()),
+    };
+    let (records, stats) = match outcome {
+        Ok(summary) => summary,
+        // A closed pipe downstream (`holes campaign --jsonl | head`) is a
+        // clean exit for a Unix filter, exactly as the non-streaming writer
+        // behaves.
+        Err(StreamError::Io(error)) if error.kind() == std::io::ErrorKind::BrokenPipe => {
+            std::process::exit(0);
+        }
+        Err(error) => return Err(error.to_string()),
+    };
+    if parsed.switch("stats") {
+        print_stats(&stats, store);
+    }
+    if parsed.opt("out").is_some() && !parsed.switch("quiet") {
+        outln!(
+            "campaign: {} {}, seeds {}, shard {}/{}: {} programs, {records} violation records \
+             (streamed)",
+            campaign.personality,
+            campaign.personality.version_names()[campaign.version],
+            campaign.seeds,
+            campaign.shard,
+            campaign.shards,
+            campaign.seeds.shard_len(campaign.shards, campaign.shard),
+        );
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------- report
 
 const REPORT_USAGE: &str = "\
@@ -268,35 +366,62 @@ Usage: holes report FILE... [options]
 Merge campaign shard files back into the monolithic campaign and render
 Table 1, the Venn distribution of Figures 2-3, and (with --issues) the
 Table 3 issue classification. The shard files must cover the campaign's
-full seed range exactly once.
+full seed range exactly once. Both shard formats are accepted (and may be
+mixed): holes.campaign/v1 documents and holes.campaign-jsonl/v1 streams;
+the merged output is byte-identical either way.
 
 Options:
   --json          Print the machine-readable summary instead of text
   --out FILE      Also write the JSON summary to FILE
   --issues N      Classify up to N unique violations (DIE category and
                   compiler/debugger attribution; recompiles the programs)
+  --cache-dir DIR Persist/reuse the artifacts --issues recompiles
 ";
+
+/// Parse one shard file of either format, auto-detected by its first line.
+fn parse_shard_file(path: &str) -> Result<CampaignShard, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    if is_jsonl_shard(&text) {
+        return read_jsonl_shard(&text).map_err(|e| format!("`{path}`: {e}"));
+    }
+    let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    CampaignShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))
+}
 
 fn cmd_report(argv: &[String]) -> Result<(), String> {
     let spec = Spec {
-        options: &["out", "issues"],
+        options: &["out", "issues", "cache-dir"],
         switches: &["json"],
         positionals: true,
     };
     let Some(parsed) = parse_or_help(argv, &spec, REPORT_USAGE).map_err(|e| e.to_string())? else {
         return Ok(());
     };
+    let _store = cache_store(&parsed)?;
     if parsed.positionals().is_empty() {
         return Err("no shard files given".into());
     }
     let mut shards = Vec::new();
     for path in parsed.positionals() {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
-        let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
-        shards.push(CampaignShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))?);
+        shards.push(parse_shard_file(path)?);
     }
     let campaign = shards[0].spec.clone();
-    let result = merge_shards(shards).map_err(|e| e.to_string())?;
+    // Remember which file carried which shard, so a merge failure (duplicate
+    // shard index, foreign campaign, missing shard) names the files at
+    // fault, not just the indices.
+    let origins: Vec<String> = parsed
+        .positionals()
+        .iter()
+        .zip(&shards)
+        .map(|(path, shard)| {
+            format!(
+                "`{path}` (shard {}/{})",
+                shard.spec.shard, shard.spec.shards
+            )
+        })
+        .collect();
+    let result = merge_shards(shards)
+        .map_err(|e: ShardError| format!("{e}; inputs were: {}", origins.join(", ")))?;
     let issue_limit: usize = parsed.opt_parse("issues", 0).map_err(|e| e.to_string())?;
     let issues = (issue_limit > 0).then(|| {
         // Regenerates only the (at most `issue_limit`) classified programs
@@ -384,6 +509,9 @@ Options:
   --top M                  Culprits listed per conjecture (default: 5)
   --json                   Print the machine-readable table instead
   --out FILE               Also write the JSON table to FILE
+  --cache-dir DIR          Persist compiled artifacts under DIR and reuse
+                           them across invocations (or set HOLES_CACHE_DIR)
+  --stats                  Report cache/store statistics on stderr
 ";
 
 fn cmd_triage(argv: &[String]) -> Result<(), String> {
@@ -395,13 +523,15 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
             "limit",
             "top",
             "out",
+            "cache-dir",
         ],
-        switches: &["json"],
+        switches: &["json", "stats"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, TRIAGE_USAGE).map_err(|e| e.to_string())? else {
         return Ok(());
     };
+    let store = cache_store(&parsed)?;
     let seeds = seeds_of(&parsed)?;
     let personality = personality_of(&parsed)?;
     let version = version_of(&parsed, personality)?;
@@ -410,6 +540,13 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
     let subjects = subject_pool(seeds.start, seeds.len() as usize);
     let result = run_campaign(&subjects, personality, version);
     let table = triage_campaign(&subjects, personality, version, &result, limit);
+    if parsed.switch("stats") {
+        let mut stats = CacheStats::default();
+        for subject in &subjects {
+            stats.absorb(subject.cache_stats());
+        }
+        print_stats(&stats, store.as_ref());
+    }
     let rendered = table.to_json().to_pretty();
     write_out(&parsed, &rendered)?;
     if parsed.switch("json") {
@@ -443,17 +580,26 @@ Options:
   --compiler-version NAME  Version name (default: trunk)
   --level -O2              Optimization level (default: first violating)
   --no-culprit             Reduce without preserving the culprit
+  --cache-dir DIR          Persist compiled artifacts under DIR and reuse
+                           them across invocations (or set HOLES_CACHE_DIR)
 ";
 
 fn cmd_reduce(argv: &[String]) -> Result<(), String> {
     let spec = Spec {
-        options: &["seed", "personality", "compiler-version", "level"],
+        options: &[
+            "seed",
+            "personality",
+            "compiler-version",
+            "level",
+            "cache-dir",
+        ],
         switches: &["no-culprit"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, REDUCE_USAGE).map_err(|e| e.to_string())? else {
         return Ok(());
     };
+    let _store = cache_store(&parsed)?;
     let seed: u64 = match parsed.opt("seed") {
         Some(raw) => raw
             .parse()

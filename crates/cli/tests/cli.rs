@@ -178,6 +178,202 @@ fn generate_triage_and_reduce_cover_the_paper_workflow() {
     assert!(reduce.contains("reduced"), "{reduce}");
 }
 
+/// Extract the integer following `label` in the `--stats` stderr line.
+fn stat_after(stderr: &str, label: &str) -> usize {
+    let start = stderr
+        .find(label)
+        .unwrap_or_else(|| panic!("no `{label}` in stats output: {stderr}"))
+        + label.len();
+    stderr[start..]
+        .trim_start()
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no number after `{label}` in: {stderr}"))
+}
+
+#[test]
+fn second_triage_process_over_a_cached_range_compiles_nothing() {
+    let scratch = Scratch::new("warm-triage");
+    let cache = scratch.path("cache");
+    let seeds = "300..312";
+
+    // A campaign populates the persistent store across process boundaries.
+    let shard_file = scratch.path("campaign.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        seeds,
+        "--cache-dir",
+        &cache,
+        "--out",
+        &shard_file,
+        "--quiet",
+    ]);
+
+    let triage_args = [
+        "triage",
+        "--seeds",
+        seeds,
+        "--cache-dir",
+        &cache,
+        "--stats",
+        "--limit",
+        "2",
+        "--json",
+    ];
+    let first = holes(&triage_args);
+    assert!(first.status.success(), "{first:?}");
+    let first_stderr = String::from_utf8_lossy(&first.stderr).into_owned();
+    assert!(
+        stat_after(&first_stderr, "disk loads") > 0,
+        "first triage did not reuse the campaign's artifacts: {first_stderr}"
+    );
+
+    // The second process finds *everything* (campaign + triage probes) on
+    // disk: zero compilations, zero traces, zero checks.
+    let second = holes(&triage_args);
+    assert!(second.status.success(), "{second:?}");
+    let second_stderr = String::from_utf8_lossy(&second.stderr).into_owned();
+    assert_eq!(
+        stat_after(&second_stderr, "compiles"),
+        0,
+        "warm triage recompiled: {second_stderr}"
+    );
+    assert_eq!(
+        stat_after(&second_stderr, "traces"),
+        0,
+        "warm triage retraced: {second_stderr}"
+    );
+    assert_eq!(
+        stat_after(&second_stderr, "checks"),
+        0,
+        "warm triage rechecked: {second_stderr}"
+    );
+    assert!(stat_after(&second_stderr, "disk loads") > 0);
+    assert_eq!(
+        first.stdout, second.stdout,
+        "cached triage output diverged from the cold run"
+    );
+
+    // And the cache is observably *used*, not just written: a cache-less run
+    // agrees byte-for-byte on stdout too.
+    let bare = ok_stdout(&["triage", "--seeds", seeds, "--limit", "2", "--json"]);
+    assert_eq!(bare, second.stdout);
+}
+
+#[test]
+fn corrupted_cache_files_are_ignored_and_rewritten() {
+    let scratch = Scratch::new("corrupt-cache");
+    let cache = scratch.path("cache");
+    let args = [
+        "campaign",
+        "--seeds",
+        "330..336",
+        "--cache-dir",
+        &cache,
+        "--quiet",
+    ];
+    let clean = ok_stdout(&args);
+
+    // Truncate or garble every artifact the store wrote.
+    let mut damaged = 0;
+    for entry in walkdir(Path::new(&cache)) {
+        let text = std::fs::read_to_string(&entry).unwrap();
+        let bad = if damaged % 2 == 0 {
+            text[..text.len() / 3].to_owned()
+        } else {
+            "garbage".to_owned()
+        };
+        std::fs::write(&entry, bad).unwrap();
+        damaged += 1;
+    }
+    assert!(damaged > 0, "store wrote nothing under {cache}");
+
+    // The next process rejects the damage, recomputes, and stays correct.
+    let recovered = ok_stdout(&args);
+    assert_eq!(clean, recovered, "corrupted store changed campaign output");
+    // A third run loads the healed files and still agrees.
+    let healed = ok_stdout(&args);
+    assert_eq!(clean, healed);
+}
+
+fn walkdir(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+#[test]
+fn jsonl_shards_report_byte_identically_and_mix_with_classic_shards() {
+    let scratch = Scratch::new("jsonl");
+    let seeds = "360..400";
+
+    // Full classic run as the reference.
+    let full = scratch.path("full.json");
+    ok_stdout(&["campaign", "--seeds", seeds, "--out", &full, "--quiet"]);
+
+    // Shard 0 streamed as JSONL, shard 1 classic.
+    let s0 = scratch.path("s0.jsonl");
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--shards", "2", "--shard", "0", "--jsonl", "--out", &s0,
+        "--quiet",
+    ]);
+    let s1 = scratch.path("s1.json");
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--shards", "2", "--shard", "1", "--out", &s1, "--quiet",
+    ]);
+
+    let jsonl_text = std::fs::read_to_string(Path::new(&s0)).unwrap();
+    let first_line = jsonl_text.lines().next().unwrap();
+    assert!(
+        first_line.contains("holes.campaign-jsonl/v1"),
+        "{first_line}"
+    );
+    assert!(jsonl_text.lines().last().unwrap().contains("\"end\":true"));
+
+    for flags in [vec![], vec!["--json"]] {
+        let mut mixed_args = vec!["report"];
+        mixed_args.extend(flags.iter().copied());
+        let mut single_args = mixed_args.clone();
+        mixed_args.extend([s0.as_str(), s1.as_str()]);
+        single_args.push(full.as_str());
+        assert_eq!(
+            ok_stdout(&mixed_args),
+            ok_stdout(&single_args),
+            "JSONL+classic merge diverged from the classic run ({flags:?})"
+        );
+    }
+
+    // Streaming to stdout equals the file contents.
+    let streamed = ok_stdout(&[
+        "campaign", "--seeds", seeds, "--shards", "2", "--shard", "0", "--jsonl",
+    ]);
+    assert_eq!(streamed, jsonl_text.as_bytes());
+
+    // A truncated stream is rejected by report with a pointer to the file.
+    let truncated = scratch.path("trunc.jsonl");
+    let cut = jsonl_text.len() - jsonl_text.len() / 4;
+    std::fs::write(Path::new(&truncated), &jsonl_text[..cut]).unwrap();
+    let failure = holes(&["report", &truncated, &s1]);
+    assert!(!failure.status.success());
+    let stderr = String::from_utf8_lossy(&failure.stderr);
+    assert!(stderr.contains("trunc.jsonl"), "{stderr}");
+}
+
 #[test]
 fn help_and_usage_errors_behave_like_a_unix_tool() {
     let help = String::from_utf8(ok_stdout(&["help"])).unwrap();

@@ -214,6 +214,22 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
+impl std::str::FromStr for Fingerprint {
+    type Err = ParseConfigError;
+
+    /// Parse a 16-digit hex spelling (case-insensitive; `Display` always
+    /// emits lowercase) — the round-trip the on-disk artifact store uses to
+    /// validate the fingerprint recorded in each artifact envelope.
+    fn from_str(s: &str) -> Result<Fingerprint, ParseConfigError> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseConfigError::new("fingerprint", s));
+        }
+        u64::from_str_radix(s, 16)
+            .map(Fingerprint)
+            .map_err(|_| ParseConfigError::new("fingerprint", s))
+    }
+}
+
 /// A complete compiler configuration: what the paper would call
 /// "compiler X version Y at level Z", plus the triage knobs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -596,6 +612,29 @@ mod tests {
         // Re-inserting an already-disabled pass is identity.
         let expected = config.clone().fingerprint();
         assert_eq!(config.with_disabled_pass("inline").fingerprint(), expected);
+    }
+
+    #[test]
+    fn fingerprints_round_trip_through_their_hex_spelling() {
+        for config in [
+            CompilerConfig::new(Personality::Ccg, OptLevel::O0),
+            CompilerConfig::new(Personality::Lcc, OptLevel::Oz)
+                .with_disabled_pass("gvn")
+                .with_pass_budget(2),
+        ] {
+            let fingerprint = config.fingerprint();
+            let spelled = fingerprint.to_string();
+            assert_eq!(spelled.len(), 16);
+            assert_eq!(spelled.parse::<Fingerprint>(), Ok(fingerprint));
+        }
+        // Leading zeros survive the round trip.
+        assert_eq!(
+            "00000000000000ff".parse::<Fingerprint>(),
+            Ok(Fingerprint(0xff))
+        );
+        for bad in ["", "ff", "00000000000000zz", "0123456789abcdef0"] {
+            assert!(bad.parse::<Fingerprint>().is_err(), "{bad:?}");
+        }
     }
 
     #[test]

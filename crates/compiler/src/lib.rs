@@ -54,6 +54,7 @@ pub mod passes;
 pub use config::{CompilerConfig, Fingerprint, OptLevel, Personality};
 pub use defects::{catalogue, Defect, DefectAction};
 pub use executable::Executable;
+pub use passes::PipelineReport;
 
 use holes_minic::ast::Program;
 

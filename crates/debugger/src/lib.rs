@@ -22,11 +22,11 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 use holes_compiler::Executable;
 use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location};
-use holes_machine::{Machine, StopReason};
+use holes_machine::{BreakpointSet, Machine, StopReason};
 
 /// The debugger personality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,7 +164,7 @@ impl DebugTrace {
 /// run to completion, and record the frame at each first hit.
 pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
     let steppable = executable.debug.line_table.steppable_lines();
-    let mut breakpoints: HashSet<u64> = steppable
+    let mut breakpoints: BreakpointSet = steppable
         .iter()
         .filter_map(|&line| executable.debug.line_table.first_address_of_line(line))
         .collect();
@@ -181,7 +181,7 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
         reached: BTreeMap::new(),
     };
     while let StopReason::Breakpoint { address } = machine.run(&breakpoints) {
-        breakpoints.remove(&address);
+        breakpoints.remove(address);
         let line = address_to_line
             .get(&address)
             .copied()

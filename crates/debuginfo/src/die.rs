@@ -189,6 +189,45 @@ impl DebugInfo {
         DieId(0)
     }
 
+    /// Reassemble debug information from its parts — the deserialization
+    /// seam of the on-disk artifact store, which spills whole executables
+    /// (machine code plus this tree) per compiler configuration.
+    ///
+    /// The tree's structural invariants are validated: there must be a
+    /// parentless compile-unit root at index 0, every other DIE must name a
+    /// parent, and the parent/children edges must mirror each other exactly
+    /// (in order, since child order is meaningful for scope walks). Returns
+    /// `None` when any invariant fails, so a corrupted store file degrades
+    /// into a cache miss instead of a malformed tree.
+    pub fn from_raw_parts(
+        dies: Vec<Die>,
+        line_table: LineTable,
+        source_name: String,
+    ) -> Option<DebugInfo> {
+        let root = dies.first()?;
+        if root.tag != DieTag::CompileUnit || root.parent.is_some() {
+            return None;
+        }
+        for (index, die) in dies.iter().enumerate().skip(1) {
+            let parent = die.parent?;
+            if parent.0 >= dies.len() || !dies[parent.0].children.contains(&DieId(index)) {
+                return None;
+            }
+        }
+        for (index, die) in dies.iter().enumerate() {
+            for &child in &die.children {
+                if child.0 >= dies.len() || dies[child.0].parent != Some(DieId(index)) {
+                    return None;
+                }
+            }
+        }
+        Some(DebugInfo {
+            dies,
+            line_table,
+            source_name,
+        })
+    }
+
     /// Add a child DIE under `parent` and return its id.
     ///
     /// # Panics
@@ -391,5 +430,41 @@ mod tests {
     fn variable_count_counts_data_dies() {
         let (info, _, _, _) = sample();
         assert_eq!(info.variable_count(), 2);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_and_rejects_broken_trees() {
+        let (info, _, _, _) = sample();
+        let dies: Vec<Die> = info.iter().map(|(_, d)| d.clone()).collect();
+        let rebuilt = DebugInfo::from_raw_parts(
+            dies.clone(),
+            info.line_table.clone(),
+            info.source_name.clone(),
+        )
+        .expect("a well-formed tree must reassemble");
+        assert_eq!(rebuilt, info);
+
+        assert!(
+            DebugInfo::from_raw_parts(Vec::new(), LineTable::new(), "t.c".into()).is_none(),
+            "empty tree"
+        );
+        let mut orphaned = dies.clone();
+        orphaned[1].parent = None;
+        assert!(
+            DebugInfo::from_raw_parts(orphaned, LineTable::new(), "t.c".into()).is_none(),
+            "orphaned non-root DIE"
+        );
+        let mut dangling = dies.clone();
+        dangling[0].children.push(DieId(999));
+        assert!(
+            DebugInfo::from_raw_parts(dangling, LineTable::new(), "t.c".into()).is_none(),
+            "dangling child edge"
+        );
+        let mut mismatched = dies;
+        mismatched[1].parent = Some(DieId(2));
+        assert!(
+            DebugInfo::from_raw_parts(mismatched, LineTable::new(), "t.c".into()).is_none(),
+            "parent/children edges must mirror"
+        );
     }
 }

@@ -1,10 +1,9 @@
 //! The virtual machine: execution, stepping, breakpoints and state
 //! inspection.
 
-use std::collections::HashSet;
-
 use holes_minic::interp::{ExecOutcome, STACK_BASE};
 
+use crate::breakpoints::BreakpointSet;
 use crate::isa::{CallTarget, MAddr, MInst, MachineProgram, Operand, Reg, NUM_REGS};
 
 /// Default step budget; mirrors the reference interpreter's purpose of making
@@ -251,7 +250,15 @@ impl<'p> Machine<'p> {
     }
 
     /// Run until a breakpoint, completion or error.
-    pub fn run(&mut self, breakpoints: &HashSet<u64>) -> StopReason {
+    ///
+    /// When the set is empty (or becomes irrelevant because every one-shot
+    /// breakpoint was already consumed) the per-instruction probe is skipped
+    /// entirely — the fast path the debugger falls onto once all steppable
+    /// lines have been hit.
+    pub fn run(&mut self, breakpoints: &BreakpointSet) -> StopReason {
+        if breakpoints.is_empty() {
+            return self.run_unchecked();
+        }
         loop {
             if let Some(err) = &self.error {
                 return StopReason::Error(err.clone());
@@ -260,9 +267,25 @@ impl<'p> Machine<'p> {
                 return StopReason::Finished { return_value: ret };
             }
             if let Some(pc) = self.pc_address() {
-                if breakpoints.contains(&pc) {
+                if breakpoints.contains(pc) {
                     return StopReason::Breakpoint { address: pc };
                 }
+            }
+            if let Err(err) = self.step() {
+                self.error = Some(err.clone());
+                return StopReason::Error(err);
+            }
+        }
+    }
+
+    /// Run to completion or error without probing for breakpoints.
+    fn run_unchecked(&mut self) -> StopReason {
+        loop {
+            if let Some(err) = &self.error {
+                return StopReason::Error(err.clone());
+            }
+            if let Some(ret) = self.finished {
+                return StopReason::Finished { return_value: ret };
             }
             if let Err(err) = self.step() {
                 self.error = Some(err.clone());
@@ -277,8 +300,7 @@ impl<'p> Machine<'p> {
     ///
     /// Returns the machine error if execution fails.
     pub fn run_to_completion(mut self) -> Result<RunOutcome, MachineError> {
-        let empty = HashSet::new();
-        match self.run(&empty) {
+        match self.run_unchecked() {
             StopReason::Finished { return_value } => {
                 let final_globals = self.final_globals();
                 Ok(RunOutcome {
@@ -321,74 +343,89 @@ impl<'p> Machine<'p> {
         };
         let func_index = frame.function as usize;
         let pc = frame.pc as usize;
-        let func = &self.program.functions[func_index];
-        let Some(inst) = func.code.get(pc).cloned() else {
+        // `program` outlives `self`'s borrows, so the instruction is read by
+        // reference here instead of being cloned every step — a `Call`'s
+        // operand vector alone made the old clone an allocation per call.
+        let program = self.program;
+        let func = &program.functions[func_index];
+        let Some(inst) = func.code.get(pc) else {
             return Err(MachineError::FellOffEnd {
                 function: func.name.clone(),
             });
         };
+        let code_len = func.code.len();
         // Default: advance to next instruction; control flow overrides.
         self.frames.last_mut().expect("frame exists").pc = (pc + 1) as u32;
         match inst {
             MInst::Nop => {}
-            MInst::LoadImm { dst, value } => self.write_reg(dst, value),
+            MInst::LoadImm { dst, value } => self.write_reg(*dst, *value),
             MInst::Mov { dst, src } => {
-                let v = self.operand(src);
-                self.write_reg(dst, v);
+                let v = self.operand(*src);
+                self.write_reg(*dst, v);
             }
             MInst::Bin { op, dst, lhs, rhs } => {
-                let l = self.operand(lhs);
-                let r = self.operand(rhs);
-                self.write_reg(dst, op.eval(l, r));
+                let l = self.operand(*lhs);
+                let r = self.operand(*rhs);
+                self.write_reg(*dst, op.eval(l, r));
             }
             MInst::Un { op, dst, src } => {
-                let v = self.operand(src);
-                self.write_reg(dst, op.eval(v));
+                let v = self.operand(*src);
+                self.write_reg(*dst, op.eval(v));
             }
             MInst::Trunc { dst, bits, signed } => {
-                let ty = width_to_ty(bits, signed);
-                let v = self.read_reg_raw(dst);
-                self.write_reg(dst, ty.wrap(v));
+                let ty = width_to_ty(*bits, *signed);
+                let v = self.read_reg_raw(*dst);
+                self.write_reg(*dst, ty.wrap(v));
             }
             MInst::Load { dst, addr } => {
-                let v = self.load(addr)?;
-                self.write_reg(dst, v);
+                let v = self.load(*addr)?;
+                self.write_reg(*dst, v);
             }
             MInst::Store { addr, src } => {
-                let v = self.operand(src);
-                self.store(addr, v)?;
+                let v = self.operand(*src);
+                self.store(*addr, v)?;
             }
             MInst::Lea { dst, addr } => {
-                let a = self.effective_address(addr)?;
-                self.write_reg(dst, a);
+                let a = self.effective_address(*addr)?;
+                self.write_reg(*dst, a);
             }
-            MInst::Jump { target } => self.branch(target)?,
+            MInst::Jump { target } => self.branch(*target, code_len)?,
             MInst::BranchZero { cond, target } => {
-                if self.read_reg_raw(cond) == 0 {
-                    self.branch(target)?;
+                if self.read_reg_raw(*cond) == 0 {
+                    self.branch(*target, code_len)?;
                 }
             }
             MInst::BranchNonZero { cond, target } => {
-                if self.read_reg_raw(cond) != 0 {
-                    self.branch(target)?;
+                if self.read_reg_raw(*cond) != 0 {
+                    self.branch(*target, code_len)?;
                 }
             }
-            MInst::Call { target, args, ret } => {
-                let values: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
-                match target {
-                    CallTarget::Sink => {
-                        self.sink_calls.push(values);
-                        if let Some(r) = ret {
-                            self.write_reg(r, 0);
-                        }
-                    }
-                    CallTarget::Function(f) => {
-                        self.push_frame(f, &values, ret);
+            MInst::Call { target, args, ret } => match target {
+                CallTarget::Sink => {
+                    // The recorded argument vector is the observable effect,
+                    // so this allocation is the one the semantics require.
+                    let values: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
+                    self.sink_calls.push(values);
+                    if let Some(r) = ret {
+                        self.write_reg(*r, 0);
                     }
                 }
-            }
+                CallTarget::Function(f) => {
+                    // The callee receives at most NUM_REGS register
+                    // arguments, so a fixed buffer replaces the old per-call
+                    // Vec; operand reads are pure, so not evaluating excess
+                    // arguments (which `push_frame` always dropped) is
+                    // unobservable.
+                    let count = args.len().min(NUM_REGS);
+                    let mut values = [0i64; NUM_REGS];
+                    for (slot, arg) in values.iter_mut().zip(args.iter()) {
+                        *slot = self.operand(*arg);
+                    }
+                    self.push_frame(*f, &values[..count], *ret);
+                }
+            },
             MInst::Ret { value } => {
-                let v = value.map(|op| self.operand(op)).unwrap_or(0);
+                let v = value.map_or(0, |op| self.operand(op));
                 let frame = self.frames.pop().expect("ret with no frame");
                 if let Some(caller) = self.frames.last_mut() {
                     if let Some(r) = frame.ret_reg {
@@ -402,13 +439,11 @@ impl<'p> Machine<'p> {
         Ok(())
     }
 
-    fn branch(&mut self, target: u32) -> Result<(), MachineError> {
-        let frame = self.frames.last_mut().expect("branch with no frame");
-        let func = &self.program.functions[frame.function as usize];
-        if (target as usize) > func.code.len() {
+    fn branch(&mut self, target: u32, code_len: usize) -> Result<(), MachineError> {
+        if (target as usize) > code_len {
             return Err(MachineError::BadBranchTarget(target));
         }
-        frame.pc = target;
+        self.frames.last_mut().expect("branch with no frame").pc = target;
         Ok(())
     }
 
@@ -771,7 +806,7 @@ mod tests {
             vec![],
         );
         let mut machine = Machine::new(&prog);
-        let mut breaks = HashSet::new();
+        let mut breaks = BreakpointSet::new();
         breaks.insert(TEXT_BASE + 1);
         match machine.run(&breaks) {
             StopReason::Breakpoint { address } => assert_eq!(address, TEXT_BASE + 1),
@@ -784,7 +819,7 @@ mod tests {
             "instruction at breakpoint not yet executed"
         );
         // Resume without the breakpoint.
-        breaks.clear();
+        breaks.remove(TEXT_BASE + 1);
         match machine.run(&breaks) {
             StopReason::Finished { return_value } => assert_eq!(return_value, 2),
             other => panic!("expected finish, got {other:?}"),

@@ -18,9 +18,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod breakpoints;
 pub mod exec;
 pub mod isa;
 
+pub use breakpoints::BreakpointSet;
 pub use exec::{Machine, MachineError, RunOutcome, StopReason};
 pub use isa::{
     CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineProgram, Operand, Reg, FUNCTION_STRIDE,

@@ -27,14 +27,22 @@
 //! Long-lived subjects probing unbounded configuration streams should call
 //! [`ArtifactCache::clear`] (via `Subject::clear_cache`) at phase
 //! boundaries.
+//!
+//! A cache may additionally be bound to a persistent [`ArtifactStore`]
+//! ([`ArtifactCache::attach_store`]) as a **write-through second level**:
+//! in-memory misses first try to load the artifact from disk, and freshly
+//! computed artifacts are spilled back, so later *processes* revisiting the
+//! same configurations skip the work entirely (see [`crate::store`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use holes_compiler::{CompilerConfig, Executable};
 use holes_core::Violation;
 use holes_debugger::{DebugTrace, DebuggerKind};
+
+use crate::store::{ArtifactStore, SubjectKey};
 
 /// Cache activity counters, taken at one instant (see
 /// [`ArtifactCache::stats`]).
@@ -48,12 +56,25 @@ pub struct CacheStats {
     pub checks: usize,
     /// Lookups answered from the cache across all three maps.
     pub hits: usize,
+    /// In-memory misses answered by the persistent store instead of being
+    /// recomputed (see [`crate::store`]); zero when no store is attached.
+    pub disk_loads: usize,
 }
 
 impl CacheStats {
     /// Total lookups (hits plus misses) across all three maps.
     pub fn lookups(&self) -> usize {
-        self.hits + self.compiles + self.traces + self.checks
+        self.hits + self.compiles + self.traces + self.checks + self.disk_loads
+    }
+
+    /// Fold another snapshot into this one (used to aggregate per-subject
+    /// stats over a whole campaign pool).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.compiles += other.compiles;
+        self.traces += other.traces;
+        self.checks += other.checks;
+        self.hits += other.hits;
+        self.disk_loads += other.disk_loads;
     }
 }
 
@@ -70,6 +91,13 @@ pub struct ArtifactCache {
 /// One shared, mutex-guarded artifact map.
 type Shard<K, V> = Mutex<HashMap<K, Arc<V>>>;
 
+/// The persistent second level a cache may be bound to: a shared store plus
+/// the owning subject's stable on-disk identity.
+struct StoreBinding {
+    store: Arc<ArtifactStore>,
+    subject: SubjectKey,
+}
+
 #[derive(Default)]
 struct CacheInner {
     executables: Shard<CompilerConfig, Executable>,
@@ -79,23 +107,41 @@ struct CacheInner {
     traces_run: AtomicUsize,
     checks_run: AtomicUsize,
     hits: AtomicUsize,
+    disk_loads: AtomicUsize,
+    store: OnceLock<StoreBinding>,
 }
 
-/// Look up `key`, or build outside the lock and insert. First insert wins a
-/// race; the counter records work actually performed.
+/// Look up `key`; on an in-memory miss try the persistent store (`load`),
+/// and only then build outside the lock — writing the fresh artifact through
+/// to the store (`save`). First insert wins a race; the counters record work
+/// actually performed (a disk load is neither a hit nor a recompute).
+#[allow(clippy::too_many_arguments)] // three counters + three closures; a param struct would obscure more than it helps
 fn memoize<K: std::hash::Hash + Eq, V>(
     map: &Shard<K, V>,
     key: K,
     misses: &AtomicUsize,
     hits: &AtomicUsize,
+    disk_loads: &AtomicUsize,
+    load: impl FnOnce() -> Option<V>,
+    save: impl FnOnce(&V),
     build: impl FnOnce() -> V,
 ) -> Arc<V> {
     if let Some(found) = map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
         hits.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(found);
     }
-    let built = Arc::new(build());
-    misses.fetch_add(1, Ordering::Relaxed);
+    let built = match load() {
+        Some(loaded) => {
+            disk_loads.fetch_add(1, Ordering::Relaxed);
+            Arc::new(loaded)
+        }
+        None => {
+            let built = Arc::new(build());
+            misses.fetch_add(1, Ordering::Relaxed);
+            save(&built);
+            built
+        }
+    };
     Arc::clone(
         map.lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -105,50 +151,88 @@ fn memoize<K: std::hash::Hash + Eq, V>(
 }
 
 impl ArtifactCache {
-    /// The executable for a configuration, compiling on a miss.
+    /// Bind this cache (and every clone sharing its storage) to a persistent
+    /// store as its write-through second level. At most one binding takes
+    /// effect per cache; later calls are no-ops.
+    pub fn attach_store(&self, store: Arc<ArtifactStore>, subject: SubjectKey) {
+        let _ = self.inner.store.set(StoreBinding { store, subject });
+    }
+
+    /// The store this cache is bound to, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.inner.store.get().map(|binding| &binding.store)
+    }
+
+    /// The executable for a configuration, compiling on a miss (after
+    /// consulting the persistent store, when one is attached).
     pub fn executable(
         &self,
         config: &CompilerConfig,
         compile: impl FnOnce() -> Executable,
     ) -> Arc<Executable> {
+        let binding = self.inner.store.get();
         memoize(
             &self.inner.executables,
             config.clone(),
             &self.inner.compiles,
             &self.inner.hits,
+            &self.inner.disk_loads,
+            || binding.and_then(|b| b.store.load_executable(b.subject, config)),
+            |built| {
+                if let Some(b) = binding {
+                    b.store.save_executable(b.subject, built);
+                }
+            },
             compile,
         )
     }
 
-    /// The debug trace for a configuration and debugger, tracing on a miss.
+    /// The debug trace for a configuration and debugger, tracing on a miss
+    /// (after consulting the persistent store, when one is attached).
     pub fn trace(
         &self,
         config: &CompilerConfig,
         kind: DebuggerKind,
         run: impl FnOnce() -> DebugTrace,
     ) -> Arc<DebugTrace> {
+        let binding = self.inner.store.get();
         memoize(
             &self.inner.traces,
             (config.clone(), kind),
             &self.inner.traces_run,
             &self.inner.hits,
+            &self.inner.disk_loads,
+            || binding.and_then(|b| b.store.load_trace(b.subject, config, kind)),
+            |built| {
+                if let Some(b) = binding {
+                    b.store.save_trace(b.subject, config, kind, built);
+                }
+            },
             run,
         )
     }
 
     /// The full violation set for a configuration and debugger, checking on
-    /// a miss.
+    /// a miss (after consulting the persistent store, when one is attached).
     pub fn violations(
         &self,
         config: &CompilerConfig,
         kind: DebuggerKind,
         check: impl FnOnce() -> Vec<Violation>,
     ) -> Arc<Vec<Violation>> {
+        let binding = self.inner.store.get();
         memoize(
             &self.inner.violations,
             (config.clone(), kind),
             &self.inner.checks_run,
             &self.inner.hits,
+            &self.inner.disk_loads,
+            || binding.and_then(|b| b.store.load_violations(b.subject, config, kind)),
+            |built| {
+                if let Some(b) = binding {
+                    b.store.save_violations(b.subject, config, kind, built);
+                }
+            },
             check,
         )
     }
@@ -160,6 +244,7 @@ impl ArtifactCache {
             traces: self.inner.traces_run.load(Ordering::Relaxed),
             checks: self.inner.checks_run.load(Ordering::Relaxed),
             hits: self.inner.hits.load(Ordering::Relaxed),
+            disk_loads: self.inner.disk_loads.load(Ordering::Relaxed),
         }
     }
 

@@ -38,6 +38,14 @@
 //! conjecture site with `check_all`, it re-checks only the one queried
 //! `(conjecture, line, variable)` site against the memoized trace.
 //!
+//! **Persistence.** The cache can spill to and reload from a [`store`]
+//! rooted at a cache directory (`HOLES_CACHE_DIR`, or the CLI's
+//! `--cache-dir`): artifacts persist *across processes*, so a range that
+//! was campaigned once is free for every later `triage`/`reduce`/`report`
+//! invocation — the warm run performs zero compiles and zero traces. For
+//! very large ranges, [`stream`] replaces the in-memory shard document
+//! with a record-streaming JSON Lines format of bounded memory.
+//!
 //! **Deterministic parallelism.** The outer loops — subjects × levels in
 //! [`campaign::run_campaign`], violations in [`triage::triage_campaign`],
 //! flags in a gcc-style flag search, (version, level) cells in the
@@ -59,6 +67,8 @@ pub mod reduce;
 pub mod regression;
 pub mod report;
 pub mod shard;
+pub mod store;
+pub mod stream;
 pub mod triage;
 
 mod cache;
@@ -66,6 +76,7 @@ pub mod par;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use holes_compiler::Fingerprint;
+pub use store::{ArtifactStore, StoreStats, SubjectKey};
 
 use std::sync::Arc;
 
@@ -103,26 +114,51 @@ impl Subject {
 
     /// Wrap a generated program.
     pub fn from_generated(generated: GeneratedProgram) -> Subject {
-        Subject {
+        let subject = Subject {
             program: generated.program,
             source: generated.source,
             analysis: generated.analysis,
             seed: generated.seed,
             cache: ArtifactCache::default(),
-        }
+        };
+        subject.attach_env_store();
+        subject
     }
 
     /// Wrap a hand-written program (lines are assigned here).
     pub fn from_program(mut program: Program) -> Subject {
         let source = program.assign_lines();
         let analysis = ProgramAnalysis::analyze(&program);
-        Subject {
+        let subject = Subject {
             program,
             source,
             analysis,
             seed: 0,
             cache: ArtifactCache::default(),
+        };
+        subject.attach_env_store();
+        subject
+    }
+
+    /// Bind this subject's cache to a persistent [`ArtifactStore`] as its
+    /// write-through second level (see [`store`]). The subject's stable
+    /// on-disk identity is derived from its seed and rendered source. At
+    /// most one store takes effect per cache; later calls are no-ops.
+    pub fn attach_store(&self, store: std::sync::Arc<ArtifactStore>) {
+        let key = SubjectKey::derive(self.seed, &self.source.text);
+        self.cache.attach_store(store, key);
+    }
+
+    /// Attach the process-wide store named by `HOLES_CACHE_DIR`, if any.
+    fn attach_env_store(&self) {
+        if let Some(store) = ArtifactStore::from_env() {
+            self.attach_store(store);
         }
+    }
+
+    /// The persistent store this subject's cache is bound to, if any.
+    pub fn store(&self) -> Option<&std::sync::Arc<ArtifactStore>> {
+        self.cache.store()
     }
 
     /// Compile under a configuration (memoized; the returned artifact is
@@ -198,7 +234,9 @@ impl Subject {
     }
 
     /// A copy of this subject with its own empty cache, detached from this
-    /// subject's memoized artifacts and counters.
+    /// subject's memoized artifacts and counters. The fresh cache has **no
+    /// persistent store** attached either (so cold-cache measurements stay
+    /// cold); call [`Subject::attach_store`] on the copy to rebind one.
     pub fn with_fresh_cache(&self) -> Subject {
         Subject {
             program: self.program.clone(),

@@ -118,28 +118,47 @@ pub struct CampaignShard {
 /// independent) and reassembled in seed order, so the result is
 /// deterministic for a given spec.
 pub fn run_shard(spec: &CampaignSpec) -> Result<CampaignShard, ShardError> {
+    run_shard_with_stats(spec).map(|(shard, _)| shard)
+}
+
+/// [`run_shard`], additionally returning the evaluation-engine activity
+/// aggregated over every subject of the shard (compiles, traces, checks,
+/// hits, disk loads) — what the CLI's `--stats` switch reports.
+pub fn run_shard_with_stats(
+    spec: &CampaignSpec,
+) -> Result<(CampaignShard, crate::CacheStats), ShardError> {
     spec.validate()?;
     let levels = spec.personality.levels().to_vec();
     let seeds = spec.shard_seeds();
     let per_seed = par::par_map(&seeds, |_, &seed| {
         let subject = Subject::from_seed(seed);
         let global_index = (seed - spec.seeds.start) as usize;
-        subject_records(
+        let records = subject_records(
             &subject,
             global_index,
             spec.personality,
             spec.version,
             &levels,
-        )
+        );
+        (records, subject.cache_stats())
     });
-    Ok(CampaignShard {
-        spec: spec.clone(),
-        result: CampaignResult {
-            records: per_seed.into_iter().flatten().collect(),
-            programs: seeds.len(),
-            levels,
+    let mut stats = crate::CacheStats::default();
+    let mut records = Vec::new();
+    for (subject_records, subject_stats) in per_seed {
+        stats.absorb(subject_stats);
+        records.extend(subject_records);
+    }
+    Ok((
+        CampaignShard {
+            spec: spec.clone(),
+            result: CampaignResult {
+                records,
+                programs: seeds.len(),
+                levels,
+            },
         },
-    })
+        stats,
+    ))
 }
 
 /// Merge a complete set of shard runs back into the monolithic
@@ -193,38 +212,16 @@ impl CampaignShard {
     /// Serialize to the deterministic shard-file JSON (see
     /// [`CAMPAIGN_FORMAT`]).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("format".to_owned(), Json::str(CAMPAIGN_FORMAT)),
-            (
-                "personality".to_owned(),
-                Json::str(self.spec.personality.name()),
-            ),
-            (
-                "compiler_version".to_owned(),
-                Json::str(self.spec.personality.version_names()[self.spec.version]),
-            ),
-            ("seeds".to_owned(), Json::str(self.spec.seeds.to_string())),
-            ("shards".to_owned(), Json::from_u64(self.spec.shards)),
-            ("shard".to_owned(), Json::from_u64(self.spec.shard)),
-            (
-                "levels".to_owned(),
-                Json::Arr(
-                    self.result
-                        .levels
-                        .iter()
-                        .map(|l| Json::str(l.flag()))
-                        .collect(),
-                ),
-            ),
-            (
-                "programs".to_owned(),
-                Json::from_usize(self.result.programs),
-            ),
-            (
-                "records".to_owned(),
-                Json::Arr(self.result.records.iter().map(record_to_json).collect()),
-            ),
-        ])
+        let mut pairs = spec_header_pairs(&self.spec, CAMPAIGN_FORMAT);
+        pairs.push((
+            "programs".to_owned(),
+            Json::from_usize(self.result.programs),
+        ));
+        pairs.push((
+            "records".to_owned(),
+            Json::Arr(self.result.records.iter().map(record_to_json).collect()),
+        ));
+        Json::Obj(pairs)
     }
 
     /// Parse and validate a shard file produced by [`CampaignShard::to_json`].
@@ -240,36 +237,9 @@ impl CampaignShard {
                 "unsupported format `{format}` (expected `{CAMPAIGN_FORMAT}`)"
             )));
         }
-        let personality: Personality = parse_field(json, "personality")?;
-        let version_name = str_field(json, "compiler_version")?;
-        let version = personality.version_index(version_name).ok_or_else(|| {
-            ShardError::Malformed(format!("unknown {personality} version `{version_name}`"))
-        })?;
-        let seeds: SeedRange = parse_field(json, "seeds")?;
-        let spec = CampaignSpec {
-            personality,
-            version,
-            seeds,
-            shards: u64_field(json, "shards")?,
-            shard: u64_field(json, "shard")?,
-        };
-        spec.validate()?;
-        let levels: Vec<OptLevel> = json
-            .get("levels")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| ShardError::Malformed("missing `levels` array".into()))?
-            .iter()
-            .map(|l| {
-                l.as_str()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ShardError::Malformed("malformed optimization level".into()))
-            })
-            .collect::<Result<_, _>>()?;
-        if levels != personality.levels() {
-            return Err(ShardError::Malformed(format!(
-                "levels {levels:?} do not match the {personality} personality"
-            )));
-        }
+        let spec = parse_spec_header(json)?;
+        let personality = spec.personality;
+        let levels = parse_levels(json, personality)?;
         let programs = usize_field(json, "programs")?;
         if programs as u64 != spec.seeds.shard_len(spec.shards, spec.shard) {
             return Err(ShardError::Malformed(format!(
@@ -282,39 +252,12 @@ impl CampaignShard {
             .and_then(Json::as_arr)
             .ok_or_else(|| ShardError::Malformed("missing `records` array".into()))?
             .iter()
-            .map(|record| record_from_json(record, &spec))
+            .enumerate()
+            .map(|(index, record)| {
+                record_from_json(record, &spec).map_err(|error| error.for_record(index))
+            })
             .collect::<Result<Vec<_>, _>>()?;
-        // The driver emits records in canonical order: ascending subject,
-        // then level in schedule order, then the sorted, deduplicated
-        // violation list of `check_all`. Enforcing strict ascent rejects
-        // duplicated, reordered, or injected records that would otherwise
-        // pass the per-record checks and silently inflate merged tables.
-        let level_index = |level: OptLevel| {
-            personality
-                .levels()
-                .iter()
-                .position(|&l| l == level)
-                .expect("level membership checked per record")
-        };
-        for pair in records.windows(2) {
-            let (a, b) = (&pair[0], &pair[1]);
-            if (a.subject, level_index(a.level), &a.violation)
-                >= (b.subject, level_index(b.level), &b.violation)
-            {
-                return Err(ShardError::Malformed(format!(
-                    "records are not in canonical campaign order (subject {} {} `{}` line {} \
-                     followed by subject {} {} `{}` line {})",
-                    a.subject,
-                    a.level,
-                    a.violation.variable,
-                    a.violation.line,
-                    b.subject,
-                    b.level,
-                    b.violation.variable,
-                    b.violation.line,
-                )));
-            }
-        }
+        validate_record_order(&records, &spec)?;
         Ok(CampaignShard {
             spec,
             result: CampaignResult {
@@ -326,7 +269,122 @@ impl CampaignShard {
     }
 }
 
-fn record_to_json(record: &ViolationRecord) -> Json {
+/// Enforce the canonical record order the drivers emit: ascending subject,
+/// then level in schedule order, then the sorted, deduplicated violation
+/// list of `check_all`. Strict ascent rejects duplicated, reordered, or
+/// injected records that would otherwise pass the per-record checks and
+/// silently inflate merged tables. Shared by the `holes.campaign/v1` parser
+/// and the JSON Lines reader ([`crate::stream`]).
+pub(crate) fn validate_record_order(
+    records: &[ViolationRecord],
+    spec: &CampaignSpec,
+) -> Result<(), ShardError> {
+    let level_index = |level: OptLevel| {
+        spec.personality
+            .levels()
+            .iter()
+            .position(|&l| l == level)
+            .expect("level membership checked per record")
+    };
+    for (index, pair) in records.windows(2).enumerate() {
+        let (a, b) = (&pair[0], &pair[1]);
+        if (a.subject, level_index(a.level), &a.violation)
+            >= (b.subject, level_index(b.level), &b.violation)
+        {
+            return Err(ShardError::Malformed(format!(
+                "records {} and {} are not in canonical campaign order (subject {} {} `{}` \
+                 line {} followed by subject {} {} `{}` line {})",
+                index,
+                index + 1,
+                a.subject,
+                a.level,
+                a.violation.variable,
+                a.violation.line,
+                b.subject,
+                b.level,
+                b.violation.variable,
+                b.violation.line,
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The header fields both shard formats share, in canonical order: format
+/// tag, spec identity, and the personality's level schedule.
+pub(crate) fn spec_header_pairs(spec: &CampaignSpec, format: &str) -> Vec<(String, Json)> {
+    vec![
+        ("format".to_owned(), Json::str(format)),
+        ("personality".to_owned(), Json::str(spec.personality.name())),
+        (
+            "compiler_version".to_owned(),
+            Json::str(spec.personality.version_names()[spec.version]),
+        ),
+        ("seeds".to_owned(), Json::str(spec.seeds.to_string())),
+        ("shards".to_owned(), Json::from_u64(spec.shards)),
+        ("shard".to_owned(), Json::from_u64(spec.shard)),
+        (
+            "levels".to_owned(),
+            Json::Arr(
+                spec.personality
+                    .levels()
+                    .iter()
+                    .map(|l| Json::str(l.flag()))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Parse and validate the spec fields shared by both shard-file headers
+/// (`personality`, `compiler_version`, `seeds`, `shards`, `shard`).
+pub(crate) fn parse_spec_header(json: &Json) -> Result<CampaignSpec, ShardError> {
+    let personality: Personality = parse_field(json, "personality")?;
+    let version_name = str_field(json, "compiler_version")?;
+    let version = personality.version_index(version_name).ok_or_else(|| {
+        ShardError::Malformed(format!("unknown {personality} version `{version_name}`"))
+    })?;
+    let seeds: SeedRange = parse_field(json, "seeds")?;
+    let spec = CampaignSpec {
+        personality,
+        version,
+        seeds,
+        shards: u64_field(json, "shards")?,
+        shard: u64_field(json, "shard")?,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Parse the `levels` array of a shard header and check it against the
+/// personality's schedule — shared by the `holes.campaign/v1` parser and
+/// the JSON Lines reader.
+pub(crate) fn parse_levels(
+    json: &Json,
+    personality: Personality,
+) -> Result<Vec<OptLevel>, ShardError> {
+    let levels: Vec<OptLevel> = json
+        .get("levels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ShardError::Malformed("missing `levels` array".into()))?
+        .iter()
+        .map(|l| {
+            l.as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ShardError::Malformed("malformed optimization level".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    if levels != personality.levels() {
+        return Err(ShardError::Malformed(format!(
+            "levels {levels:?} do not match the {personality} personality"
+        )));
+    }
+    Ok(levels)
+}
+
+/// Serialize one violation record — the schema shared by `holes.campaign/v1`
+/// shard files and the JSON Lines stream ([`crate::stream`]).
+pub(crate) fn record_to_json(record: &ViolationRecord) -> Json {
     Json::Obj(vec![
         ("seed".to_owned(), Json::from_u64(record.seed)),
         ("subject".to_owned(), Json::from_usize(record.subject)),
@@ -354,7 +412,12 @@ fn record_to_json(record: &ViolationRecord) -> Json {
     ])
 }
 
-fn record_from_json(json: &Json, spec: &CampaignSpec) -> Result<ViolationRecord, ShardError> {
+/// Parse and validate one violation record against its shard's spec (see
+/// [`record_to_json`]).
+pub(crate) fn record_from_json(
+    json: &Json,
+    spec: &CampaignSpec,
+) -> Result<ViolationRecord, ShardError> {
     let seed = u64_field(json, "seed")?;
     let subject = usize_field(json, "subject")?;
     if !spec.seeds.contains(seed) || (seed - spec.seeds.start) % spec.shards != spec.shard {
@@ -426,6 +489,24 @@ pub enum ShardError {
     Malformed(String),
     /// Shards passed to [`merge_shards`] do not form one complete campaign.
     Incompatible(String),
+}
+
+impl ShardError {
+    /// The same error with the offending record's index (and, when known,
+    /// source line) prepended — so a bad byte in a million-record file is
+    /// reported as *which record*, not just *what was wrong*.
+    pub(crate) fn for_record(self, index: usize) -> ShardError {
+        self.contextualize(&format!("record {index}"))
+    }
+
+    /// The same error with an arbitrary location prefix.
+    pub(crate) fn contextualize(self, context: &str) -> ShardError {
+        match self {
+            ShardError::InvalidSpec(m) => ShardError::InvalidSpec(format!("{context}: {m}")),
+            ShardError::Malformed(m) => ShardError::Malformed(format!("{context}: {m}")),
+            ShardError::Incompatible(m) => ShardError::Incompatible(format!("{context}: {m}")),
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {

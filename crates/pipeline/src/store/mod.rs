@@ -1,0 +1,589 @@
+//! The persistent on-disk artifact store: the cross-process second level of
+//! the artifact cache.
+//!
+//! [`crate::ArtifactCache`] makes every *revisit* of a compiler
+//! configuration free — but only within one process. The natural CLI
+//! workflow (`holes campaign` → `triage` → `reduce` over the same seed
+//! range) spans several processes, and without persistence each one
+//! recompiles and re-traces everything from scratch. This module spills the
+//! three cached artifact kinds — [`Executable`]s, [`DebugTrace`]s, and full
+//! violation sets — to a cache directory and loads them back in any later
+//! process, so a range campaigned once is free forever after.
+//!
+//! # Keys and layout
+//!
+//! Artifacts are keyed by the pair of a [`SubjectKey`] (a stable digest of
+//! the subject's seed *and* rendered source text, so generator changes or
+//! reduced program variants can never alias) and the configuration's stable
+//! [`Fingerprint`], plus the debugger personality for traces and violation
+//! sets. Each artifact is one file:
+//!
+//! ```text
+//! <root>/<subject-key>/<fingerprint>.<kind>.json
+//! ```
+//!
+//! where `<kind>` is `exe`, `trace-gdb`, `trace-lldb`, `viol-gdb`, or
+//! `viol-lldb`.
+//!
+//! # Format, integrity, and concurrency
+//!
+//! Every file is a [`ARTIFACT_FORMAT`] (`holes.artifact/v1`) envelope built
+//! on `holes_core::json`: format tag, kind, subject key, fingerprint, an
+//! FNV-1a checksum of the compact payload text, and the payload itself.
+//! Loads are **corruption-tolerant by construction**: any read, parse,
+//! envelope, checksum, or decode failure — including a decoded executable
+//! whose embedded configuration is not *exactly* the requested one — is
+//! counted in [`StoreStats::rejected`] and reported as a miss, so the
+//! artifact is recomputed (and the file rewritten) rather than trusted.
+//! Writes go to a unique temporary file in the destination directory and
+//! are published with an atomic rename, so concurrent shard processes
+//! sharing one cache directory can never observe a half-written artifact;
+//! two processes racing on the same key both write identical bytes and
+//! either rename wins.
+//!
+//! # Enabling the store
+//!
+//! The store engages automatically when the `HOLES_CACHE_DIR` environment
+//! variable names a directory (the `holes` CLI's `--cache-dir` flag sets it
+//! for its own process), or explicitly via
+//! [`crate::Subject::attach_store`].
+
+mod codec;
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use holes_compiler::{CompilerConfig, Executable, Fingerprint};
+use holes_core::json::Json;
+use holes_core::Violation;
+use holes_debugger::{DebugTrace, DebuggerKind};
+
+/// The identifying `format` value of every artifact file.
+pub const ARTIFACT_FORMAT: &str = "holes.artifact/v1";
+
+/// The environment variable that names the cache directory and thereby
+/// enables the store for every subject created by this process.
+pub const CACHE_DIR_ENV: &str = "HOLES_CACHE_DIR";
+
+/// Stable identity of a test subject on disk: a 64-bit FNV-1a digest of the
+/// generator seed and the rendered source text.
+///
+/// Including the source text means a changed generator, a hand-written
+/// program (seed 0), or a reduction variant each get their own key instead
+/// of silently aliasing a stale cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubjectKey(pub u64);
+
+impl SubjectKey {
+    /// Derive the key for a subject from its seed and rendered source.
+    pub fn derive(seed: u64, source_text: &str) -> SubjectKey {
+        let hash = fnv1a_with(FNV_OFFSET, &seed.to_le_bytes());
+        SubjectKey(fnv1a_with(hash, source_text.as_bytes()))
+    }
+}
+
+impl std::fmt::Display for SubjectKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Store activity counters, taken at one instant (see
+/// [`ArtifactStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Artifacts successfully loaded from disk.
+    pub loads: usize,
+    /// Lookups whose file did not exist.
+    pub misses: usize,
+    /// Files that existed but were rejected (truncated, corrupted, wrong
+    /// format, checksum or configuration mismatch) and recomputed instead.
+    pub rejected: usize,
+    /// Artifacts written (or rewritten) to disk.
+    pub writes: usize,
+}
+
+/// A persistent artifact store rooted at a cache directory. See the module
+/// docs for the format and guarantees.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    loads: AtomicUsize,
+    misses: AtomicUsize,
+    rejected: AtomicUsize,
+    writes: AtomicUsize,
+}
+
+/// Per-process source of unique temporary file names.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The lazily initialized process-wide store named by [`CACHE_DIR_ENV`].
+static ENV_STORE: OnceLock<Option<Arc<ArtifactStore>>> = OnceLock::new();
+
+/// FNV-1a offset basis — the shared starting state of every digest in this
+/// module (subject keys and payload checksums).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an in-progress FNV-1a digest.
+fn fnv1a_with(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The FNV-1a digest of `bytes` from the standard offset basis.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_with(FNV_OFFSET, bytes)
+}
+
+fn debugger_tag(kind: DebuggerKind) -> &'static str {
+    match kind {
+        DebuggerKind::GdbLike => "gdb",
+        DebuggerKind::LldbLike => "lldb",
+    }
+}
+
+impl ArtifactStore {
+    /// Open (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ArtifactStore {
+            root,
+            loads: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            writes: AtomicUsize::new(0),
+        })
+    }
+
+    /// The process-wide store named by the [`CACHE_DIR_ENV`] environment
+    /// variable, if set when first consulted (all subjects share this one
+    /// instance, so its [`stats`](ArtifactStore::stats) aggregate the whole
+    /// process).
+    pub fn from_env() -> Option<Arc<ArtifactStore>> {
+        ENV_STORE
+            .get_or_init(|| {
+                std::env::var(CACHE_DIR_ENV)
+                    .ok()
+                    .filter(|dir| !dir.is_empty())
+                    .and_then(|dir| ArtifactStore::open(dir).ok().map(Arc::new))
+            })
+            .clone()
+    }
+
+    /// The cache directory this store reads and writes.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of the activity counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            loads: self.loads.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn path_for(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str) -> PathBuf {
+        self.root
+            .join(subject.to_string())
+            .join(format!("{fingerprint}.{kind}.json"))
+    }
+
+    /// Load and validate one artifact envelope; any failure counts as
+    /// rejected (file present) or missed (file absent) and yields `None`.
+    fn load(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str) -> Option<Json> {
+        let path = self.path_for(subject, fingerprint, kind);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                if error.kind() == io::ErrorKind::NotFound {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+        };
+        let envelope = match Json::parse(&text) {
+            Ok(envelope) => envelope,
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // The envelope's fingerprint round-trips through `Fingerprint`'s
+        // canonical hex spelling rather than raw string equality, so the
+        // check survives cosmetic re-spellings of the same identity.
+        let envelope_fingerprint = envelope
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|text| text.parse::<Fingerprint>().ok());
+        let valid = envelope.get("format").and_then(Json::as_str) == Some(ARTIFACT_FORMAT)
+            && envelope.get("kind").and_then(Json::as_str) == Some(kind)
+            && envelope.get("subject").and_then(Json::as_str) == Some(subject.to_string().as_str())
+            && envelope_fingerprint == Some(fingerprint);
+        let payload = valid.then(|| envelope.get("payload")).flatten().cloned();
+        let Some(payload) = payload else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
+        if envelope.get("checksum").and_then(Json::as_str) != Some(checksum.as_str()) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(payload)
+    }
+
+    /// Write one artifact envelope with the atomic-rename protocol; errors
+    /// are swallowed (the store is an accelerator, never a correctness
+    /// dependency).
+    fn save(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str, payload: Json) {
+        let path = self.path_for(subject, fingerprint, kind);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
+        let envelope = Json::Obj(vec![
+            ("format".to_owned(), Json::str(ARTIFACT_FORMAT)),
+            ("kind".to_owned(), Json::str(kind)),
+            ("subject".to_owned(), Json::str(subject.to_string())),
+            ("fingerprint".to_owned(), Json::str(fingerprint.to_string())),
+            ("checksum".to_owned(), Json::str(checksum)),
+            ("payload".to_owned(), payload),
+        ]);
+        let mut text = envelope.to_compact();
+        text.push('\n');
+        let tmp = dir.join(format!(
+            ".{fingerprint}.{kind}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        if std::fs::write(&tmp, text).is_ok() {
+            if std::fs::rename(&tmp, &path).is_ok() {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Load the executable cached for `(subject, config)`, if present,
+    /// intact, and compiled from *exactly* this configuration.
+    pub fn load_executable(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+    ) -> Option<Executable> {
+        let payload = self.load(subject, config.fingerprint(), "exe")?;
+        match codec::executable_from_json(&payload) {
+            Ok(executable) if &executable.config == config => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(executable)
+            }
+            _ => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist the executable for `(subject, its configuration)`.
+    pub fn save_executable(&self, subject: SubjectKey, executable: &Executable) {
+        self.save(
+            subject,
+            executable.config.fingerprint(),
+            "exe",
+            codec::executable_to_json(executable),
+        );
+    }
+
+    /// Load the debug trace cached for `(subject, config, debugger)`.
+    pub fn load_trace(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+    ) -> Option<DebugTrace> {
+        let tag = format!("trace-{}", debugger_tag(kind));
+        let payload = self.load(subject, config.fingerprint(), &tag)?;
+        match codec::trace_from_json(&payload) {
+            Ok(trace) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(trace)
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist the debug trace for `(subject, config, debugger)`.
+    pub fn save_trace(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+        trace: &DebugTrace,
+    ) {
+        let tag = format!("trace-{}", debugger_tag(kind));
+        self.save(
+            subject,
+            config.fingerprint(),
+            &tag,
+            codec::trace_to_json(trace),
+        );
+    }
+
+    /// Load the violation set cached for `(subject, config, debugger)`.
+    pub fn load_violations(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+    ) -> Option<Vec<Violation>> {
+        let tag = format!("viol-{}", debugger_tag(kind));
+        let payload = self.load(subject, config.fingerprint(), &tag)?;
+        match codec::violations_from_json(&payload) {
+            Ok(violations) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(violations)
+            }
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist the violation set for `(subject, config, debugger)`.
+    pub fn save_violations(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+        violations: &[Violation],
+    ) {
+        let tag = format!("viol-{}", debugger_tag(kind));
+        self.save(
+            subject,
+            config.fingerprint(),
+            &tag,
+            codec::violations_to_json(violations),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subject;
+    use holes_compiler::{OptLevel, Personality};
+
+    /// A scratch store rooted in a unique temp directory, removed on drop.
+    struct Scratch {
+        store: Arc<ArtifactStore>,
+        root: PathBuf,
+    }
+
+    impl Scratch {
+        fn new(name: &str) -> Scratch {
+            let root = std::env::temp_dir().join(format!(
+                "holes-store-{name}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            Scratch {
+                store: Arc::new(ArtifactStore::open(&root).expect("open store")),
+                root,
+            }
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn config() -> CompilerConfig {
+        CompilerConfig::new(Personality::Ccg, OptLevel::O2)
+    }
+
+    #[test]
+    fn subject_keys_separate_seeds_and_sources() {
+        assert_eq!(SubjectKey::derive(1, "x"), SubjectKey::derive(1, "x"));
+        assert_ne!(SubjectKey::derive(1, "x"), SubjectKey::derive(2, "x"));
+        assert_ne!(SubjectKey::derive(1, "x"), SubjectKey::derive(1, "y"));
+        assert_eq!(SubjectKey(0xff).to_string(), "00000000000000ff");
+    }
+
+    #[test]
+    fn warm_subject_loads_everything_from_disk() {
+        let scratch = Scratch::new("warm");
+        let cold = Subject::from_seed(7100);
+        cold.attach_store(Arc::clone(&scratch.store));
+        let cold_violations = cold.violations(&config());
+        let cold_stats = cold.cache_stats();
+        assert_eq!(cold_stats.compiles, 1);
+        assert_eq!(cold_stats.disk_loads, 0);
+        assert!(
+            scratch.store.stats().writes >= 3,
+            "exe + trace + violations"
+        );
+
+        // A fresh cache in (conceptually) a fresh process: everything loads.
+        let warm = cold.with_fresh_cache();
+        warm.attach_store(Arc::clone(&scratch.store));
+        let warm_violations = warm.violations(&config());
+        assert_eq!(warm_violations, cold_violations);
+        let warm_stats = warm.cache_stats();
+        assert_eq!(warm_stats.compiles, 0, "warm run recompiled");
+        assert_eq!(warm_stats.traces, 0, "warm run retraced");
+        assert_eq!(warm_stats.checks, 0, "warm run rechecked");
+        assert!(warm_stats.disk_loads >= 1);
+        // The trace and executable load on demand too.
+        let _ = warm.trace(&config());
+        let _ = warm.compile(&config());
+        let warm_stats = warm.cache_stats();
+        assert_eq!(warm_stats.compiles, 0);
+        assert_eq!(warm_stats.traces, 0);
+        assert_eq!(warm_stats.disk_loads, 3);
+    }
+
+    #[test]
+    fn corrupted_store_files_are_recomputed_never_trusted() {
+        let scratch = Scratch::new("corrupt");
+        let subject = Subject::from_seed(7200);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let truth = subject.violations(&config());
+
+        // Corrupt every artifact file in a different way.
+        let mut corrupted = 0;
+        for (index, entry) in walk_files(&scratch.root).into_iter().enumerate() {
+            let text = std::fs::read_to_string(&entry).unwrap();
+            let bad = match index % 3 {
+                0 => text[..text.len() / 2].to_owned(), // truncated
+                1 => text.replace("\"checksum\":\"", "\"checksum\":\"0"), // checksum mismatch
+                _ => "not json at all".to_owned(),
+            };
+            std::fs::write(&entry, bad).unwrap();
+            corrupted += 1;
+        }
+        assert!(corrupted >= 3, "expected several artifact files");
+
+        let reread = subject.with_fresh_cache();
+        reread.attach_store(Arc::clone(&scratch.store));
+        assert_eq!(reread.violations(&config()), truth);
+        let stats = reread.cache_stats();
+        assert_eq!(stats.disk_loads, 0, "a corrupted file was trusted");
+        assert_eq!(stats.compiles, 1, "recompute must happen exactly once");
+        assert!(scratch.store.stats().rejected >= 1);
+
+        // The rewrite healed the store: a third fresh cache loads cleanly.
+        let healed = subject.with_fresh_cache();
+        healed.attach_store(Arc::clone(&scratch.store));
+        assert_eq!(healed.violations(&config()), truth);
+        assert_eq!(healed.cache_stats().compiles, 0);
+    }
+
+    #[test]
+    fn mismatched_configurations_never_alias() {
+        let scratch = Scratch::new("alias");
+        let subject = Subject::from_seed(7300);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let o2 = subject.compile(&config());
+
+        // Forge a file under the -O3 fingerprint carrying the -O2 payload.
+        let o3 = config().clone();
+        let o3 = CompilerConfig {
+            level: OptLevel::O3,
+            ..o3
+        };
+        let key = SubjectKey::derive(subject.seed, &subject.source.text);
+        let from = scratch.store.path_for(key, config().fingerprint(), "exe");
+        let to = scratch.store.path_for(key, o3.fingerprint(), "exe");
+        std::fs::copy(&from, &to).unwrap();
+        // The forged envelope fails the fingerprint check and is rejected.
+        assert!(scratch.store.load_executable(key, &o3).is_none());
+        assert!(scratch.store.stats().rejected >= 1);
+        // And compiling -O3 for real yields the right artifact.
+        let real = subject.compile(&o3);
+        assert_eq!(real.config.level, OptLevel::O3);
+        assert_eq!(o2.config.level, OptLevel::O2);
+    }
+
+    #[test]
+    fn envelopes_without_a_payload_count_as_rejected() {
+        let scratch = Scratch::new("no-payload");
+        let subject = Subject::from_seed(7500);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let _ = subject.violations(&config());
+        // Strip the payload from every envelope but keep the rest intact —
+        // the file still parses and all identity fields still match.
+        for file in walk_files(&scratch.root) {
+            let text = std::fs::read_to_string(&file).unwrap();
+            let json = Json::parse(&text).unwrap();
+            let Json::Obj(pairs) = json else { panic!() };
+            let stripped: Vec<_> = pairs.into_iter().filter(|(k, _)| k != "payload").collect();
+            std::fs::write(&file, Json::Obj(stripped).to_compact()).unwrap();
+        }
+        let before = scratch.store.stats().rejected;
+        let reread = subject.with_fresh_cache();
+        reread.attach_store(Arc::clone(&scratch.store));
+        let _ = reread.violations(&config());
+        assert_eq!(reread.cache_stats().disk_loads, 0);
+        assert!(
+            scratch.store.stats().rejected > before,
+            "payload-less envelopes must be counted as rejected"
+        );
+    }
+
+    #[test]
+    fn tmp_files_never_linger_after_saves() {
+        let scratch = Scratch::new("tmp");
+        let subject = Subject::from_seed(7400);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let _ = subject.violations(&config());
+        let leftovers: Vec<PathBuf> = walk_files(&scratch.root)
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    fn walk_files(root: &Path) -> Vec<PathBuf> {
+        let mut files = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    files.push(path);
+                }
+            }
+        }
+        files.sort();
+        files
+    }
+}

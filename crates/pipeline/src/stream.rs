@@ -1,0 +1,393 @@
+//! Streaming campaign output: the JSON Lines shard format
+//! (`holes.campaign-jsonl/v1`) that bounds memory at millions of seeds.
+//!
+//! A `holes.campaign/v1` shard file is one JSON document, which forces the
+//! driver to hold every violation record of the shard in memory until the
+//! run completes. This module streams instead: one compact JSON value per
+//! line —
+//!
+//! 1. a **header** carrying the same identity fields as the classic format
+//!    (`format`, `personality`, `compiler_version`, `seeds`, `shards`,
+//!    `shard`, `levels`),
+//! 2. one **record** per violation, in the same canonical order and with
+//!    the same schema as the `records` array of the classic format,
+//! 3. a **footer** `{"end": true, "programs": …, "records": …}` whose
+//!    counts let the reader reject truncated files.
+//!
+//! [`run_shard_streaming`] evaluates seeds in bounded parallel chunks and
+//! emits each chunk's records as soon as they are ready, so peak memory is
+//! proportional to the chunk size — never to the seed range. The reader
+//! ([`read_jsonl_shard`]) revalidates everything the classic parser does
+//! (per-record membership, canonical order, counts) and reports errors with
+//! the **record index and line number**, then hands back an ordinary
+//! [`CampaignShard`]: merging JSONL shards through
+//! [`crate::shard::merge_shards`] is byte-identical to merging classic
+//! shards, which the CLI and test suite hold it to.
+
+use std::io::Write;
+
+use holes_core::json::Json;
+
+use crate::campaign::{subject_records, CampaignResult, ViolationRecord};
+use crate::shard::{
+    parse_levels, parse_spec_header, record_from_json, record_to_json, spec_header_pairs,
+    validate_record_order, CampaignShard, CampaignSpec, ShardError,
+};
+use crate::{par, CacheStats, Subject};
+
+/// The identifying first-line `format` value of a JSON Lines shard file.
+pub const CAMPAIGN_JSONL_FORMAT: &str = "holes.campaign-jsonl/v1";
+
+/// A failure while producing or consuming a record stream: either the
+/// campaign data itself is bad, or the underlying writer failed.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The spec or a record is invalid (see [`ShardError`]).
+    Shard(ShardError),
+    /// The output sink failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Shard(e) => e.fmt(f),
+            StreamError::Io(e) => write!(f, "writing campaign stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ShardError> for StreamError {
+    fn from(error: ShardError) -> StreamError {
+        StreamError::Shard(error)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(error: std::io::Error) -> StreamError {
+        StreamError::Io(error)
+    }
+}
+
+/// An incremental writer of the JSON Lines shard format. Records are
+/// flushed to the sink as they arrive; nothing is accumulated.
+pub struct CampaignJsonlWriter<W: Write> {
+    out: W,
+    spec: CampaignSpec,
+    records: usize,
+}
+
+impl<W: Write> CampaignJsonlWriter<W> {
+    /// Validate the spec and emit the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec validation failure or the sink's I/O error.
+    pub fn new(mut out: W, spec: &CampaignSpec) -> Result<CampaignJsonlWriter<W>, StreamError> {
+        spec.validate()?;
+        let header = Json::Obj(spec_header_pairs(spec, CAMPAIGN_JSONL_FORMAT));
+        writeln!(out, "{}", header.to_compact())?;
+        Ok(CampaignJsonlWriter {
+            out,
+            spec: spec.clone(),
+            records: 0,
+        })
+    }
+
+    /// Emit one record line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error.
+    pub fn write_record(&mut self, record: &ViolationRecord) -> Result<(), StreamError> {
+        writeln!(self.out, "{}", record_to_json(record).to_compact())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Emit the footer line and return the sink. A file without a footer is
+    /// truncated by definition, so readers reject it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error.
+    pub fn finish(mut self) -> Result<W, StreamError> {
+        let programs = self.spec.seeds.shard_len(self.spec.shards, self.spec.shard);
+        let footer = Json::Obj(vec![
+            ("end".to_owned(), Json::Bool(true)),
+            ("programs".to_owned(), Json::from_u64(programs)),
+            ("records".to_owned(), Json::from_usize(self.records)),
+        ]);
+        writeln!(self.out, "{}", footer.to_compact())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// How many seeds each parallel evaluation chunk covers: enough to keep the
+/// worker pool saturated, small enough to bound the records held in memory.
+fn chunk_size() -> usize {
+    (par::max_workers() * 4).max(1)
+}
+
+/// Run one campaign shard, streaming each seed's records to `out` as soon
+/// as they are computed. Seeds are evaluated in parallel chunks and emitted
+/// in seed order, so the stream's record sequence is exactly the classic
+/// driver's — but the full record vector is **never** materialized, and
+/// subjects are dropped as their chunk completes.
+///
+/// Returns the number of records emitted and the evaluation-engine
+/// activity aggregated over all subjects (what `holes campaign --stats`
+/// reports).
+///
+/// # Errors
+///
+/// Returns the spec validation failure or the sink's I/O error.
+pub fn run_shard_streaming<W: Write>(
+    spec: &CampaignSpec,
+    out: W,
+) -> Result<(usize, CacheStats), StreamError> {
+    let mut writer = CampaignJsonlWriter::new(out, spec)?;
+    let levels = spec.personality.levels().to_vec();
+    let mut stats = CacheStats::default();
+    let mut seeds = spec.seeds.shard_seeds(spec.shards, spec.shard);
+    loop {
+        let chunk: Vec<u64> = seeds.by_ref().take(chunk_size()).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let per_seed = par::par_map(&chunk, |_, &seed| {
+            let subject = Subject::from_seed(seed);
+            let global_index = (seed - spec.seeds.start) as usize;
+            let records = subject_records(
+                &subject,
+                global_index,
+                spec.personality,
+                spec.version,
+                &levels,
+            );
+            (records, subject.cache_stats())
+        });
+        for (records, subject_stats) in per_seed {
+            stats.absorb(subject_stats);
+            for record in &records {
+                writer.write_record(record)?;
+            }
+        }
+    }
+    let records = writer.records;
+    writer.finish()?;
+    Ok((records, stats))
+}
+
+/// Whether `text` looks like a JSON Lines shard file (first line is a
+/// `holes.campaign-jsonl/v1` header) — how `holes report` auto-detects the
+/// format of each input file.
+pub fn is_jsonl_shard(text: &str) -> bool {
+    let first = text.lines().next().unwrap_or("");
+    Json::parse(first)
+        .ok()
+        .and_then(|header| {
+            header
+                .get("format")
+                .and_then(Json::as_str)
+                .map(|format| format == CAMPAIGN_JSONL_FORMAT)
+        })
+        .unwrap_or(false)
+}
+
+fn malformed(line: usize, message: impl std::fmt::Display) -> ShardError {
+    ShardError::Malformed(format!("line {}: {message}", line + 1))
+}
+
+/// Parse a JSON Lines shard file back into a [`CampaignShard`], applying
+/// every validation the classic parser does (header consistency, per-record
+/// membership and subject-index checks, canonical record order, and the
+/// footer's truncation-detecting counts). Errors name the offending line
+/// and record index.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] describing the first malformed line.
+pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (line_no, header_text) = lines
+        .next()
+        .ok_or_else(|| ShardError::Malformed("empty stream".into()))?;
+    let header =
+        Json::parse(header_text).map_err(|e| malformed(line_no, format!("bad header: {e}")))?;
+    let format = header
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed(line_no, "missing `format`"))?;
+    if format != CAMPAIGN_JSONL_FORMAT {
+        return Err(malformed(
+            line_no,
+            format!("unsupported format `{format}` (expected `{CAMPAIGN_JSONL_FORMAT}`)"),
+        ));
+    }
+    let spec = parse_spec_header(&header).map_err(|e| e.contextualize("header"))?;
+    let levels = parse_levels(&header, spec.personality).map_err(|e| e.contextualize("header"))?;
+
+    let mut records: Vec<ViolationRecord> = Vec::new();
+    let mut footer: Option<(usize, Json)> = None;
+    for (line_no, line) in lines {
+        if let Some((footer_line, _)) = footer {
+            return Err(malformed(
+                line_no,
+                format!("content after the footer on line {}", footer_line + 1),
+            ));
+        }
+        let value = Json::parse(line).map_err(|e| malformed(line_no, e))?;
+        if value.get("end").is_some() {
+            footer = Some((line_no, value));
+            continue;
+        }
+        let record = record_from_json(&value, &spec).map_err(|e| {
+            e.for_record(records.len())
+                .contextualize(&format!("line {}", line_no + 1))
+        })?;
+        records.push(record);
+    }
+    let (footer_line, footer) =
+        footer.ok_or_else(|| ShardError::Malformed("missing footer (truncated stream?)".into()))?;
+    if footer.get("end").and_then(Json::as_bool) != Some(true) {
+        return Err(malformed(footer_line, "footer `end` is not `true`"));
+    }
+    let programs = footer
+        .get("programs")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| malformed(footer_line, "footer is missing `programs`"))?;
+    if programs as u64 != spec.seeds.shard_len(spec.shards, spec.shard) {
+        return Err(malformed(
+            footer_line,
+            format!(
+                "program count {programs} does not match shard {} of {} over {}",
+                spec.shard, spec.shards, spec.seeds
+            ),
+        ));
+    }
+    let declared = footer
+        .get("records")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| malformed(footer_line, "footer is missing `records`"))?;
+    if declared != records.len() {
+        return Err(malformed(
+            footer_line,
+            format!(
+                "footer declares {declared} records but the stream carries {}",
+                records.len()
+            ),
+        ));
+    }
+    validate_record_order(&records, &spec)?;
+    Ok(CampaignShard {
+        spec,
+        result: CampaignResult {
+            records,
+            programs,
+            levels,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{merge_shards, run_shard};
+    use holes_compiler::Personality;
+    use holes_progen::SeedRange;
+
+    fn spec(range: SeedRange) -> CampaignSpec {
+        CampaignSpec::new(Personality::Ccg, Personality::Ccg.trunk(), range)
+    }
+
+    fn streamed(spec: &CampaignSpec) -> String {
+        let mut out = Vec::new();
+        run_shard_streaming(spec, &mut out).expect("streaming run");
+        String::from_utf8(out).expect("UTF-8 stream")
+    }
+
+    #[test]
+    fn streamed_shard_reads_back_identical_to_the_classic_run() {
+        let range = SeedRange::new(2600, 2612);
+        let classic = run_shard(&spec(range)).unwrap();
+        let text = streamed(&spec(range));
+        assert!(is_jsonl_shard(&text));
+        assert!(!is_jsonl_shard(&classic.to_json().to_pretty()));
+        let parsed = read_jsonl_shard(&text).unwrap();
+        assert_eq!(parsed, classic);
+        // And the rendered classic JSON is byte-identical either way.
+        assert_eq!(parsed.to_json().to_pretty(), classic.to_json().to_pretty());
+    }
+
+    #[test]
+    fn jsonl_shards_merge_byte_identically_with_classic_shards() {
+        let range = SeedRange::new(2700, 2716);
+        let monolithic = run_shard(&spec(range)).unwrap();
+        let shards = 3u64;
+        let mut mixed = Vec::new();
+        for index in 0..shards {
+            let shard_spec = spec(range).with_shard(shards, index);
+            if index % 2 == 0 {
+                mixed.push(read_jsonl_shard(&streamed(&shard_spec)).unwrap());
+            } else {
+                mixed.push(run_shard(&shard_spec).unwrap());
+            }
+        }
+        let merged = merge_shards(mixed).unwrap();
+        assert_eq!(merged.records, monolithic.result.records);
+        assert_eq!(merged.table1(), monolithic.result.table1());
+        assert_eq!(merged.venn(), monolithic.result.venn());
+    }
+
+    #[test]
+    fn truncated_and_tampered_streams_are_rejected_with_locations() {
+        let range = SeedRange::new(2800, 2812);
+        let text = streamed(&spec(range));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "stream too small to exercise");
+
+        // Truncation: dropping the footer (or cutting mid-record) fails.
+        let no_footer = lines[..lines.len() - 1].join("\n");
+        let err = read_jsonl_shard(&no_footer).unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+        let cut_mid_record = &text[..text.len() - text.len() / 3];
+        assert!(read_jsonl_shard(cut_mid_record).is_err());
+
+        // A tampered record reports its index and line.
+        let mut tampered: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+        tampered[1] = tampered[1].replace("\"seed\":", "\"seed\":9999, \"x\":");
+        let err = read_jsonl_shard(&tampered.join("\n")).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("record 0") && message.contains("line 2"),
+            "{message}"
+        );
+
+        // A record count mismatch in the footer is caught.
+        let mut short: Vec<&str> = lines.clone();
+        short.remove(1);
+        assert!(read_jsonl_shard(&short.join("\n")).is_err());
+
+        // Wrong format tag.
+        let wrong = text.replace(CAMPAIGN_JSONL_FORMAT, "holes.campaign-jsonl/v9");
+        assert!(read_jsonl_shard(&wrong).is_err());
+        assert!(!is_jsonl_shard(&wrong));
+    }
+
+    #[test]
+    fn empty_ranges_stream_a_header_and_footer_only() {
+        let empty = spec(SeedRange::new(10, 10));
+        let text = streamed(&empty);
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let parsed = read_jsonl_shard(&text).unwrap();
+        assert_eq!(parsed.result.programs, 0);
+        assert!(parsed.result.records.is_empty());
+    }
+}

@@ -13,8 +13,10 @@
 //! * [`debugger`] — the gdb/lldb-like source-level debuggers.
 //! * [`core`] — the three conjectures and their checkers.
 //! * [`pipeline`] — campaigns, triage, reduction, reporting, regression
-//!   studies, with the artifact cache, parallel evaluation engine, and the
-//!   sharded campaign files ([`pipeline::shard`]) the CLI builds on.
+//!   studies, with the artifact cache, its persistent on-disk second level
+//!   ([`pipeline::store`]), the parallel evaluation engine, and the sharded
+//!   campaign files ([`pipeline::shard`]) plus their streaming JSON Lines
+//!   variant ([`pipeline::stream`]) the CLI builds on.
 //!
 //! # Runnable entry points
 //!

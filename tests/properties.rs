@@ -203,4 +203,106 @@ proptest! {
             "machine-readable summaries must be byte-identical"
         );
     }
+
+    /// A campaign over a cold persistent store, re-run warm in a fresh
+    /// in-memory cache, yields byte-identical campaign JSON with zero
+    /// recomputation — and a corrupted or truncated store file is rejected
+    /// and recomputed, never trusted, for arbitrary ranges and damage.
+    #[test]
+    fn warm_store_campaigns_are_byte_identical_and_corruption_tolerant(
+        start in 20_000u64..30_000,
+        len in 1u64..6,
+        personality_index in 0usize..2,
+        damage in 0usize..64,
+        damage_kind in 0usize..3,
+    ) {
+        use std::sync::Arc;
+        use holes_pipeline::campaign::run_campaign;
+        use holes_pipeline::shard::{CampaignShard, CampaignSpec};
+        use holes_pipeline::{ArtifactStore, CacheStats, Subject};
+        use holes_progen::SeedRange;
+
+        let personality = [Personality::Ccg, Personality::Lcc][personality_index];
+        let seeds = SeedRange::new(start, start + len);
+        let root = std::env::temp_dir().join(format!(
+            "holes-prop-store-{}-{start}-{len}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(ArtifactStore::open(&root).unwrap());
+
+        // One campaign run over an explicit pool bound to `store`, rendered
+        // as the canonical shard JSON.
+        let campaign_json = |store: &Arc<ArtifactStore>| -> (String, CacheStats) {
+            let subjects: Vec<Subject> = seeds
+                .iter()
+                .map(|seed| {
+                    // `with_fresh_cache` guarantees a store-free cold cache
+                    // even if the test environment exports HOLES_CACHE_DIR.
+                    let subject = Subject::from_seed(seed).with_fresh_cache();
+                    subject.attach_store(Arc::clone(store));
+                    subject
+                })
+                .collect();
+            let result = run_campaign(&subjects, personality, personality.trunk());
+            let mut stats = CacheStats::default();
+            for subject in &subjects {
+                stats.absorb(subject.cache_stats());
+            }
+            let shard = CampaignShard {
+                spec: CampaignSpec::new(personality, personality.trunk(), seeds),
+                result,
+            };
+            (shard.to_json().to_pretty(), stats)
+        };
+
+        let (cold_json, cold_stats) = campaign_json(&store);
+        prop_assert!(cold_stats.compiles > 0, "cold run compiled nothing");
+        prop_assert_eq!(cold_stats.disk_loads, 0);
+
+        // Warm run: fresh caches, same store — byte-identical, zero work.
+        let (warm_json, warm_stats) = campaign_json(&store);
+        prop_assert_eq!(&warm_json, &cold_json, "warm-store campaign JSON diverged");
+        prop_assert_eq!(warm_stats.compiles, 0, "warm run recompiled");
+        prop_assert_eq!(warm_stats.traces, 0, "warm run retraced");
+        prop_assert_eq!(warm_stats.checks, 0, "warm run rechecked");
+        prop_assert!(warm_stats.disk_loads > 0);
+
+        // Damage every store file (cycling truncation, garbling, and
+        // checksum-breaking, with the cycle offset chosen by proptest): the
+        // next run must reject them all, recompute from scratch, and still
+        // agree byte-for-byte.
+        let mut files: Vec<std::path::PathBuf> = Vec::new();
+        let mut stack = vec![root.clone()];
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+                let path = entry.path();
+                if path.is_dir() { stack.push(path); } else { files.push(path); }
+            }
+        }
+        files.sort();
+        prop_assert!(!files.is_empty());
+        for (index, victim) in files.iter().enumerate() {
+            let text = std::fs::read_to_string(victim).unwrap();
+            let bad = match (index + damage + damage_kind) % 3 {
+                0 => text[..text.len() / 2].to_owned(),
+                1 => String::from("{\"format\":\"holes.artifact/v1\""),
+                _ => text.replace("\"checksum\":\"", "\"checksum\":\"f0"),
+            };
+            std::fs::write(victim, bad).unwrap();
+        }
+
+        let (damaged_json, damaged_stats) = campaign_json(&store);
+        prop_assert_eq!(&damaged_json, &cold_json, "corrupted store changed the campaign");
+        prop_assert_eq!(damaged_stats.disk_loads, 0, "a corrupted file was trusted");
+        prop_assert_eq!(damaged_stats.compiles, cold_stats.compiles);
+        prop_assert!(store.stats().rejected > 0);
+
+        // The recomputation healed the store: a final warm run is free again.
+        let (healed_json, healed_stats) = campaign_json(&store);
+        prop_assert_eq!(&healed_json, &cold_json);
+        prop_assert_eq!(healed_stats.compiles, 0);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
 }
