@@ -12,7 +12,14 @@ fn bench(c: &mut Criterion) {
     let pool = bench_pool(44_000);
     for personality in [Personality::Ccg, Personality::Lcc] {
         let result = run_campaign(&pool, personality, personality.trunk());
-        let report = build_report(&pool, &result, personality, personality.trunk(), 40);
+        let report = build_report(
+            &pool,
+            &result,
+            personality,
+            personality.trunk(),
+            holes_pipeline::BackendKind::Reg,
+            40,
+        );
         println!("== Table 3 ({personality}) ==");
         println!("{}", report.render());
     }
@@ -20,7 +27,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let result = run_campaign(&pool[..1], Personality::Ccg, 4);
     group.bench_function("classify", |b| {
-        b.iter(|| build_report(&pool[..1], &result, Personality::Ccg, 4, 5))
+        b.iter(|| {
+            build_report(
+                &pool[..1],
+                &result,
+                Personality::Ccg,
+                4,
+                holes_pipeline::BackendKind::Reg,
+                5,
+            )
+        })
     });
     group.finish();
 }

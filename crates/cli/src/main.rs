@@ -21,10 +21,10 @@ mod args;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use holes::compiler::{CompilerConfig, OptLevel, Personality};
+use holes::compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes::core::json::Json;
 use holes::core::Conjecture;
-use holes::pipeline::campaign::run_campaign;
+use holes::pipeline::campaign::run_campaign_on;
 use holes::pipeline::reduce::reduce;
 use holes::pipeline::report::build_report_from_seeds;
 use holes::pipeline::shard::{
@@ -32,7 +32,9 @@ use holes::pipeline::shard::{
 };
 use holes::pipeline::store::CACHE_DIR_ENV;
 use holes::pipeline::stream::{is_jsonl_shard, read_jsonl_shard, run_shard_streaming, StreamError};
-use holes::pipeline::triage::{triage, triage_campaign};
+use holes::pipeline::triage::{
+    merge_triage_shards, run_triage_shard, triage, triage_campaign_on, TriageShard,
+};
 use holes::pipeline::{subject_pool, ArtifactStore, CacheStats, Subject};
 use holes::progen::{ProgramGenerator, SeedRange};
 
@@ -74,7 +76,12 @@ Commands:
   report     Merge shard files; render Table 1, Venn, issue classification
   triage     Attribute violations to culprit optimizations (Table 2)
   reduce     Shrink one violating program, preserving violation + culprit
+  cache      Manage the persistent artifact store (gc)
   help       Show this message
+
+Most compiling commands accept `--backend reg|stack` to target the second
+simulated machine model (the stack VM), whose spill-heavy codegen exposes
+location-loss classes the register backend cannot express.
 
 Run `holes <command> --help` for per-command options.
 ";
@@ -102,6 +109,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "report" => cmd_report(rest),
         "triage" => cmd_triage(rest),
         "reduce" => cmd_reduce(rest),
+        "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
             Ok(())
@@ -134,6 +142,22 @@ fn personality_of(parsed: &Parsed) -> Result<Personality, String> {
     parsed
         .opt_parse("personality", Personality::Ccg)
         .map_err(|e| e.to_string())
+}
+
+fn backend_of(parsed: &Parsed) -> Result<BackendKind, String> {
+    parsed
+        .opt_parse("backend", BackendKind::Reg)
+        .map_err(|e| e.to_string())
+}
+
+/// The `, backend stack` suffix of progress lines; empty for the default
+/// backend so default output stays byte-identical.
+fn backend_suffix(backend: BackendKind) -> String {
+    if backend == BackendKind::Reg {
+        String::new()
+    } else {
+        format!(", backend {backend}")
+    }
 }
 
 fn version_of(parsed: &Parsed, personality: Personality) -> Result<usize, String> {
@@ -242,6 +266,9 @@ Options:
   --seeds A..B             Seed range of the whole campaign (required)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name, e.g. trunk or 8.4 (default: trunk)
+  --backend reg|stack      Machine model to compile for (default: reg);
+                           the stack VM surfaces spill-slot location-loss
+                           classes the register backend cannot express
   --shards K               Total number of shards (default: 1)
   --shard I                This run's shard index, 0-based (default: 0)
   --out FILE               Write the shard JSON here instead of stdout
@@ -262,6 +289,7 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
             "seeds",
             "personality",
             "compiler-version",
+            "backend",
             "shards",
             "shard",
             "out",
@@ -284,7 +312,8 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
     .with_shard(
         parsed.opt_parse("shards", 1).map_err(|e| e.to_string())?,
         parsed.opt_parse("shard", 0).map_err(|e| e.to_string())?,
-    );
+    )
+    .with_backend(backend_of(&parsed)?);
 
     if parsed.switch("jsonl") {
         return campaign_jsonl(&parsed, &campaign, store.as_ref());
@@ -302,12 +331,13 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
     std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
     if !parsed.switch("quiet") {
         outln!(
-            "campaign: {} {}, seeds {}, shard {}/{}: {} programs, {} violation records",
+            "campaign: {} {}, seeds {}, shard {}/{}{}: {} programs, {} violation records",
             campaign.personality,
             campaign.personality.version_names()[campaign.version],
             campaign.seeds,
             campaign.shard,
             campaign.shards,
+            backend_suffix(campaign.backend),
             shard.result.programs,
             shard.result.records.len(),
         );
@@ -345,13 +375,14 @@ fn campaign_jsonl(
     }
     if parsed.opt("out").is_some() && !parsed.switch("quiet") {
         outln!(
-            "campaign: {} {}, seeds {}, shard {}/{}: {} programs, {records} violation records \
+            "campaign: {} {}, seeds {}, shard {}/{}{}: {} programs, {records} violation records \
              (streamed)",
             campaign.personality,
             campaign.personality.version_names()[campaign.version],
             campaign.seeds,
             campaign.shard,
             campaign.shards,
+            backend_suffix(campaign.backend),
             campaign.seeds.shard_len(campaign.shards, campaign.shard),
         );
     }
@@ -426,13 +457,19 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
     let issues = (issue_limit > 0).then(|| {
         // Regenerates only the (at most `issue_limit`) classified programs
         // from their seeds, not the campaign's full range.
-        build_report_from_seeds(&result, campaign.personality, campaign.version, issue_limit)
+        build_report_from_seeds(
+            &result,
+            campaign.personality,
+            campaign.version,
+            campaign.backend,
+            issue_limit,
+        )
     });
 
     // The JSON summary re-aggregates every record; build it only when a
     // machine-readable sink asked for it.
     if parsed.switch("json") || parsed.opt("out").is_some() {
-        let mut summary = Json::Obj(vec![
+        let mut header = vec![
             ("format".to_owned(), Json::str("holes.report/v1")),
             (
                 "personality".to_owned(),
@@ -443,8 +480,12 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
                 Json::str(campaign.personality.version_names()[campaign.version]),
             ),
             ("seeds".to_owned(), Json::str(campaign.seeds.to_string())),
-            ("summary".to_owned(), result.summary_json()),
-        ]);
+        ];
+        if campaign.backend != BackendKind::Reg {
+            header.push(("backend".to_owned(), Json::str(campaign.backend.name())));
+        }
+        header.push(("summary".to_owned(), result.summary_json()));
+        let mut summary = Json::Obj(header);
         if let (Json::Obj(pairs), Some(report)) = (&mut summary, &issues) {
             pairs.push(("issues".to_owned(), report.to_json()));
         }
@@ -457,10 +498,11 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
     }
 
     outln!(
-        "campaign: {} {}, seeds {}, {} programs, {} violation records",
+        "campaign: {} {}, seeds {}{}, {} programs, {} violation records",
         campaign.personality,
         campaign.personality.version_names()[campaign.version],
         campaign.seeds,
+        backend_suffix(campaign.backend),
         result.programs,
         result.records.len(),
     );
@@ -496,19 +538,32 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
 
 const TRIAGE_USAGE: &str = "\
 Usage: holes triage --seeds A..B [options]
+       holes triage --seeds A..B --shards K --shard I [options]
+       holes triage SHARD-FILE... [options]
 
 Run the campaign over the seed range and attribute a sample of its unique
 violations to culprit optimizations: pass bisection for lcc, per-flag
 disabling for ccg (Table 2).
 
+With --shards/--shard, run one shard of a sharded triage and emit a
+deterministic holes.triage-shard/v1 JSON file; in shard mode the limit is
+applied per conjecture *per subject* (selection is then shard-local), and
+K merged shard files reproduce the K=1 run exactly. With shard FILEs as
+positional arguments, merge them and render Table 2.
+
 Options:
-  --seeds A..B             Seed range (required)
+  --seeds A..B             Seed range (required unless merging files)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name (default: trunk)
-  --limit N                Violations triaged per conjecture (default: 10)
+  --backend reg|stack      Machine model to compile for (default: reg)
+  --shards K               Total number of triage shards
+  --shard I                This run's shard index, 0-based
+  --limit N                Violations triaged per conjecture (default: 10);
+                           per subject in shard mode
   --top M                  Culprits listed per conjecture (default: 5)
   --json                   Print the machine-readable table instead
-  --out FILE               Also write the JSON table to FILE
+  --out FILE               Also write the JSON output to FILE
+  --quiet                  Suppress the shard-mode progress summary
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
   --stats                  Report cache/store statistics on stderr
@@ -520,26 +575,61 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
             "seeds",
             "personality",
             "compiler-version",
+            "backend",
+            "shards",
+            "shard",
             "limit",
             "top",
             "out",
             "cache-dir",
         ],
-        switches: &["json", "stats"],
-        positionals: false,
+        switches: &["json", "stats", "quiet"],
+        positionals: true,
     };
     let Some(parsed) = parse_or_help(argv, &spec, TRIAGE_USAGE).map_err(|e| e.to_string())? else {
         return Ok(());
     };
     let store = cache_store(&parsed)?;
+    let top: usize = parsed.opt_parse("top", 5).map_err(|e| e.to_string())?;
+    if !parsed.positionals().is_empty() {
+        // Merge mode is selected by the positional shard files; run-mode
+        // options would be silently ignored, so a mixture is an error (a
+        // stray token must not hijack a campaign invocation).
+        for option in [
+            "seeds",
+            "personality",
+            "compiler-version",
+            "backend",
+            "shards",
+            "shard",
+            "limit",
+        ] {
+            if parsed.opt(option).is_some() {
+                return Err(format!(
+                    "cannot combine shard files with `--{option}` (merge mode takes only \
+                     `--top`, `--json`, and `--out`)"
+                ));
+            }
+        }
+        return triage_merge(&parsed, top);
+    }
     let seeds = seeds_of(&parsed)?;
     let personality = personality_of(&parsed)?;
     let version = version_of(&parsed, personality)?;
+    let backend = backend_of(&parsed)?;
     let limit: usize = parsed.opt_parse("limit", 10).map_err(|e| e.to_string())?;
-    let top: usize = parsed.opt_parse("top", 5).map_err(|e| e.to_string())?;
+    if parsed.opt("shards").is_some() || parsed.opt("shard").is_some() {
+        let spec = CampaignSpec::new(personality, version, seeds)
+            .with_shard(
+                parsed.opt_parse("shards", 1).map_err(|e| e.to_string())?,
+                parsed.opt_parse("shard", 0).map_err(|e| e.to_string())?,
+            )
+            .with_backend(backend);
+        return triage_shard_mode(&parsed, &spec, limit, store.as_ref());
+    }
     let subjects = subject_pool(seeds.start, seeds.len() as usize);
-    let result = run_campaign(&subjects, personality, version);
-    let table = triage_campaign(&subjects, personality, version, &result, limit);
+    let result = run_campaign_on(&subjects, personality, version, backend);
+    let table = triage_campaign_on(&subjects, personality, version, backend, &result, limit);
     if parsed.switch("stats") {
         let mut stats = CacheStats::default();
         for subject in &subjects {
@@ -554,10 +644,77 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     outln!(
-        "triage: {} {}, seeds {}, up to {limit} violations per conjecture",
+        "triage: {} {}, seeds {}{}, up to {limit} violations per conjecture",
         personality,
         personality.version_names()[version],
         seeds,
+        backend_suffix(backend),
+    );
+    outln!();
+    outln!("Table 2: culprit passes per conjecture (top {top})");
+    out!("{}", table.render(top));
+    Ok(())
+}
+
+/// The shard mode of `holes triage`: run one shard, emit its
+/// `holes.triage-shard/v1` JSON.
+fn triage_shard_mode(
+    parsed: &Parsed,
+    spec: &CampaignSpec,
+    limit: usize,
+    store: Option<&Arc<ArtifactStore>>,
+) -> Result<(), String> {
+    let (shard, stats) = run_triage_shard(spec, limit).map_err(|e| e.to_string())?;
+    if parsed.switch("stats") {
+        print_stats(&stats, store);
+    }
+    let rendered = shard.to_json().to_pretty();
+    let Some(path) = parsed.opt("out") else {
+        out!("{rendered}");
+        return Ok(());
+    };
+    std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
+    if !parsed.switch("quiet") {
+        outln!(
+            "triage: {} {}, seeds {}, shard {}/{}{}, up to {limit} violations per conjecture \
+             per subject",
+            spec.personality,
+            spec.personality.version_names()[spec.version],
+            spec.seeds,
+            spec.shard,
+            spec.shards,
+            backend_suffix(spec.backend),
+        );
+    }
+    Ok(())
+}
+
+/// The merge mode of `holes triage`: fold triage shard files back into the
+/// monolithic Table 2.
+fn triage_merge(parsed: &Parsed, top: usize) -> Result<(), String> {
+    let mut shards = Vec::new();
+    for path in parsed.positionals() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        shards.push(TriageShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))?);
+    }
+    let first = shards[0].clone();
+    let table = merge_triage_shards(shards).map_err(|e| e.to_string())?;
+    let rendered = table.to_json().to_pretty();
+    write_out(parsed, &rendered)?;
+    if parsed.switch("json") {
+        out!("{rendered}");
+        return Ok(());
+    }
+    // No shard count in the header: merging K files must render
+    // byte-identically to merging the single K=1 file.
+    outln!(
+        "triage: {} {}, seeds {}{}, up to {} violations per conjecture per subject",
+        first.spec.personality,
+        first.spec.personality.version_names()[first.spec.version],
+        first.spec.seeds,
+        backend_suffix(first.spec.backend),
+        first.limit,
     );
     outln!();
     outln!("Table 2: culprit passes per conjecture (top {top})");
@@ -578,6 +735,7 @@ Options:
   --seed S                 Program seed (required)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name (default: trunk)
+  --backend reg|stack      Machine model to compile for (default: reg)
   --level -O2              Optimization level (default: first violating)
   --no-culprit             Reduce without preserving the culprit
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
@@ -590,6 +748,7 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
             "seed",
             "personality",
             "compiler-version",
+            "backend",
             "level",
             "cache-dir",
         ],
@@ -608,6 +767,7 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
     };
     let personality = personality_of(&parsed)?;
     let version = version_of(&parsed, personality)?;
+    let backend = backend_of(&parsed)?;
     let subject = Subject::from_seed(seed);
 
     // Pick the level: the requested one, or the first level that violates.
@@ -630,7 +790,9 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
         None => personality.levels().to_vec(),
     };
     let found = levels.iter().find_map(|&level| {
-        let config = CompilerConfig::new(personality, level).with_version(version);
+        let config = CompilerConfig::new(personality, level)
+            .with_version(version)
+            .with_backend(backend);
         let violation = subject.violations(&config).first().cloned()?;
         Some((config, violation))
     });
@@ -682,5 +844,62 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
     outln!();
     outln!("// reduced program (seed {seed})");
     out!("{}", reduced.subject.source.text);
+    Ok(())
+}
+
+// ----------------------------------------------------------------- cache
+
+const CACHE_USAGE: &str = "\
+Usage: holes cache gc --max-bytes N [--cache-dir DIR]
+
+Garbage-collect the persistent artifact store down to at most N bytes,
+evicting whole fingerprints (every artifact of one subject+configuration
+pair together) oldest-first by modification time. Safe to run while
+campaign shards are writing to the same store.
+
+Options:
+  --max-bytes N    Byte budget the store is collected down to (required)
+  --cache-dir DIR  The store to collect (or set HOLES_CACHE_DIR)
+";
+
+fn cmd_cache(argv: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        options: &["max-bytes", "cache-dir"],
+        switches: &[],
+        positionals: true,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, CACHE_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(());
+    };
+    match parsed.positionals() {
+        [action] if action == "gc" => {}
+        [action, stray, ..] if action == "gc" => {
+            return Err(format!(
+                "unexpected argument `{stray}` after `gc` (the budget is `--max-bytes N`)"
+            ));
+        }
+        [] => return Err("missing action (try `holes cache gc --max-bytes N`)".into()),
+        [other, ..] => return Err(format!("unknown cache action `{other}` (expected `gc`)")),
+    }
+    let store = cache_store(&parsed)?
+        .ok_or("no artifact store configured (use --cache-dir or HOLES_CACHE_DIR)")?;
+    let max_bytes: u64 = match parsed.opt("max-bytes") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for `--max-bytes`: `{raw}`"))?,
+        None => return Err("missing required option `--max-bytes N`".into()),
+    };
+    let stats = store
+        .gc(max_bytes)
+        .map_err(|e| format!("collecting `{}`: {e}", store.root().display()))?;
+    outln!(
+        "cache gc: {} -> {} bytes (budget {max_bytes}); evicted {} fingerprints, {} files, \
+         {} bytes",
+        stats.scanned_bytes,
+        stats.remaining_bytes,
+        stats.evicted_fingerprints,
+        stats.deleted_files,
+        stats.deleted_bytes,
+    );
     Ok(())
 }

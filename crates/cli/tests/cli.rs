@@ -374,11 +374,242 @@ fn jsonl_shards_report_byte_identically_and_mix_with_classic_shards() {
     assert!(stderr.contains("trunc.jsonl"), "{stderr}");
 }
 
+/// The distinct (seed, level, violation-site) keys of a campaign shard
+/// file.
+fn record_keys(path: &str) -> std::collections::BTreeSet<String> {
+    let text = std::fs::read_to_string(Path::new(path)).unwrap();
+    let json = holes::core::json::Json::parse(&text).unwrap();
+    let records = json.get("records").and_then(|r| r.as_arr()).unwrap();
+    records
+        .iter()
+        .map(|record| {
+            [
+                "seed",
+                "level",
+                "conjecture",
+                "line",
+                "variable",
+                "observed",
+            ]
+            .iter()
+            .map(|key| {
+                let field = record.get(key).unwrap();
+                field
+                    .as_str()
+                    .map(str::to_owned)
+                    .or_else(|| field.as_u64().map(|n| n.to_string()))
+                    .unwrap()
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+        })
+        .collect()
+}
+
+#[test]
+fn stack_backend_surfaces_violations_the_register_backend_cannot_express() {
+    let scratch = Scratch::new("backends");
+    let seeds = "0..30";
+    let reg_file = scratch.path("reg.json");
+    let stack_file = scratch.path("stack.json");
+    ok_stdout(&["campaign", "--seeds", seeds, "--out", &reg_file, "--quiet"]);
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        seeds,
+        "--backend",
+        "stack",
+        "--out",
+        &stack_file,
+        "--quiet",
+    ]);
+
+    // Default-backend output carries no backend field at all — the
+    // register-backend shard format is byte-compatible with the
+    // pre-backend era.
+    let reg_text = std::fs::read_to_string(Path::new(&reg_file)).unwrap();
+    assert!(!reg_text.contains("backend"), "default shard grew a field");
+    let stack_text = std::fs::read_to_string(Path::new(&stack_file)).unwrap();
+    assert!(
+        stack_text.contains("\"backend\": \"stack\""),
+        "{stack_text}"
+    );
+
+    // The acceptance criterion: the stack campaign surfaces violations
+    // (spill-slot / stack-relative location loss) that the register
+    // campaign over the same seeds does not contain.
+    let reg_keys = record_keys(&reg_file);
+    let stack_keys = record_keys(&stack_file);
+    let stack_only: Vec<_> = stack_keys.difference(&reg_keys).collect();
+    assert!(
+        !stack_only.is_empty(),
+        "stack backend exposed no new violation sites"
+    );
+
+    // Both reports render; the stack one names its backend, the register
+    // one stays byte-identical to a backend-unaware run.
+    let reg_report = String::from_utf8(ok_stdout(&["report", &reg_file])).unwrap();
+    assert!(!reg_report.contains("backend"), "{reg_report}");
+    let stack_report = String::from_utf8(ok_stdout(&["report", &stack_file])).unwrap();
+    assert!(stack_report.contains("backend stack"), "{stack_report}");
+
+    // Stack campaigns are deterministic too.
+    let again = scratch.path("stack2.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        seeds,
+        "--backend",
+        "stack",
+        "--out",
+        &again,
+        "--quiet",
+    ]);
+    assert_eq!(
+        std::fs::read(Path::new(&stack_file)).unwrap(),
+        std::fs::read(Path::new(&again)).unwrap()
+    );
+}
+
+#[test]
+fn sharded_triage_merges_byte_identically_to_the_single_shard_run() {
+    let scratch = Scratch::new("triage-shards");
+    let seeds = "0..12";
+    let mut shard_files = Vec::new();
+    for shard in 0..3 {
+        let file = scratch.path(&format!("t{shard}.json"));
+        ok_stdout(&[
+            "triage",
+            "--seeds",
+            seeds,
+            "--shards",
+            "3",
+            "--shard",
+            &shard.to_string(),
+            "--limit",
+            "1",
+            "--personality",
+            "lcc",
+            "--out",
+            &file,
+            "--quiet",
+        ]);
+        shard_files.push(file);
+    }
+    let whole = scratch.path("whole.json");
+    ok_stdout(&[
+        "triage",
+        "--seeds",
+        seeds,
+        "--shards",
+        "1",
+        "--shard",
+        "0",
+        "--limit",
+        "1",
+        "--personality",
+        "lcc",
+        "--out",
+        &whole,
+        "--quiet",
+    ]);
+
+    // Merged shards (scrambled order) == the single-shard run, in both the
+    // text and machine-readable renderings.
+    let mut merged_args = vec!["triage"];
+    merged_args.extend(shard_files.iter().rev().map(String::as_str));
+    let merged_text = ok_stdout(&merged_args);
+    let single_text = ok_stdout(&["triage", &whole]);
+    assert_eq!(merged_text, single_text);
+    let mut merged_json_args = vec!["triage", "--json"];
+    merged_json_args.extend(shard_files.iter().map(String::as_str));
+    let merged_json = ok_stdout(&merged_json_args);
+    let single_json = ok_stdout(&["triage", "--json", &whole]);
+    assert_eq!(merged_json, single_json);
+    assert!(String::from_utf8_lossy(&merged_text).contains("Table 2"));
+
+    // An incomplete shard set is rejected with a pointer to the problem.
+    let incomplete = holes(&["triage", &shard_files[0]]);
+    assert!(!incomplete.status.success());
+    assert!(String::from_utf8_lossy(&incomplete.stderr).contains("cover"));
+
+    // A stray positional must not silently hijack a run invocation into
+    // merge mode (discarding --seeds and friends).
+    let mixed = holes(&["triage", "--seeds", seeds, &shard_files[0]]);
+    assert_eq!(mixed.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&mixed.stderr).contains("cannot combine"),
+        "{}",
+        String::from_utf8_lossy(&mixed.stderr)
+    );
+}
+
+#[test]
+fn cache_gc_caps_the_store_and_keeps_campaigns_correct() {
+    let scratch = Scratch::new("cache-gc");
+    let cache = scratch.path("cache");
+    let args = [
+        "campaign",
+        "--seeds",
+        "420..428",
+        "--cache-dir",
+        &cache,
+        "--quiet",
+    ];
+    let clean = ok_stdout(&args);
+    let before: u64 = walkdir(Path::new(&cache))
+        .iter()
+        .map(|f| std::fs::metadata(f).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert!(before > 4096, "store suspiciously small: {before}");
+
+    // Collect down to half the size; the store must land under budget.
+    let budget = (before / 2).to_string();
+    let gc_output = String::from_utf8(ok_stdout(&[
+        "cache",
+        "gc",
+        "--max-bytes",
+        &budget,
+        "--cache-dir",
+        &cache,
+    ]))
+    .unwrap();
+    assert!(gc_output.contains("cache gc:"), "{gc_output}");
+    let after: u64 = walkdir(Path::new(&cache))
+        .iter()
+        .map(|f| std::fs::metadata(f).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert!(after <= before / 2, "gc left {after} > budget {budget}");
+
+    // A campaign over the capped store recomputes what was evicted and
+    // stays byte-identical.
+    let recomputed = ok_stdout(&args);
+    assert_eq!(clean, recomputed, "gc changed campaign output");
+
+    // Usage errors behave like the rest of the tool.
+    for bad in [
+        vec!["cache"],
+        vec!["cache", "shrink"],
+        vec!["cache", "gc", "--cache-dir", cache.as_str()],
+        vec!["cache", "gc", "1000", "--cache-dir", cache.as_str()],
+    ] {
+        let output = holes(&bad);
+        assert_eq!(output.status.code(), Some(2), "`holes {}`", bad.join(" "));
+        assert!(!output.stderr.is_empty());
+    }
+    // The stray-argument error names the stray, not the valid action.
+    let stray = holes(&["cache", "gc", "1000", "--cache-dir", &cache]);
+    let stderr = String::from_utf8_lossy(&stray.stderr);
+    assert!(stderr.contains("`1000`"), "{stderr}");
+}
+
 #[test]
 fn help_and_usage_errors_behave_like_a_unix_tool() {
     let help = String::from_utf8(ok_stdout(&["help"])).unwrap();
     assert!(help.contains("Usage: holes <command>"));
-    for command in ["generate", "campaign", "report", "triage", "reduce"] {
+    for command in [
+        "generate", "campaign", "report", "triage", "reduce", "cache",
+    ] {
         let text = String::from_utf8(ok_stdout(&[command, "--help"])).unwrap();
         assert!(
             text.contains(&format!("holes {command}")),
@@ -397,6 +628,7 @@ fn help_and_usage_errors_behave_like_a_unix_tool() {
             "campaign", "--seeds", "0..4", "--shards", "2", "--shard", "2",
         ],
         vec!["triage", "--seeds", "0..4", "--personality", "gcc"],
+        vec!["campaign", "--seeds", "0..4", "--backend", "x86"],
         vec!["reduce"],
     ] {
         let output = holes(&bad);

@@ -1,0 +1,111 @@
+//! The code-generation backend abstraction.
+//!
+//! A [`Backend`] bundles everything that differs between the simulated
+//! machine models the compiler can target:
+//!
+//! * the **ISA and lowering** — how optimized IR becomes machine code
+//!   ([`crate::codegen`] for the register VM, [`crate::codegen_stack`] for
+//!   the stack VM);
+//! * the **location descriptions** its codegen emits — registers and frame
+//!   slots on the register VM; frame-base-relative and composite
+//!   expressions on the stack VM (see `holes_debuginfo::Location`);
+//! * the **stepper** the debugger drives — obtained from the produced
+//!   [`MachineCode`] via `MachineCode::spawn`, behind the
+//!   `holes_machine::Vm` trait;
+//! * the **backend-gated defects** — e.g. the stack backend's spill-loss
+//!   class ([`crate::defects::stack_catalogue`]), which corrupts location
+//!   descriptions the other backend cannot even express.
+//!
+//! Backend selection travels in [`CompilerConfig::backend`] (a
+//! [`BackendKind`]) and is part of the configuration's fingerprint, so
+//! artifact caches and the on-disk store never alias executables of
+//! different backends. [`backend_for`] maps the selector to the
+//! implementation; [`crate::compile`] is the only caller.
+
+use holes_debuginfo::DebugInfo;
+use holes_machine::{BackendKind, MachineCode};
+use holes_minic::ast::Program;
+
+use crate::config::CompilerConfig;
+use crate::ir::IrProgram;
+use crate::{codegen, codegen_stack};
+
+/// One code-generation backend: a machine model plus the lowering that
+/// targets it. See the module docs for what varies per backend.
+pub trait Backend {
+    /// The selector this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Lower an optimized IR program to machine code plus debug
+    /// information. The returned defect identifiers name the backend-gated
+    /// defects that actually fired during lowering (recorded in the
+    /// pipeline report, like pass-level defects).
+    fn codegen(
+        &self,
+        source: &Program,
+        ir: &IrProgram,
+        source_name: &str,
+        config: &CompilerConfig,
+    ) -> (MachineCode, DebugInfo, Vec<&'static str>);
+}
+
+/// The register-VM backend (the default).
+pub struct RegBackend;
+
+impl Backend for RegBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Reg
+    }
+
+    fn codegen(
+        &self,
+        source: &Program,
+        ir: &IrProgram,
+        source_name: &str,
+        _config: &CompilerConfig,
+    ) -> (MachineCode, DebugInfo, Vec<&'static str>) {
+        let (machine, debug) = codegen::codegen(source, ir, source_name);
+        (MachineCode::Reg(machine), debug, Vec::new())
+    }
+}
+
+/// The stack-VM backend.
+pub struct StackBackend;
+
+impl Backend for StackBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Stack
+    }
+
+    fn codegen(
+        &self,
+        source: &Program,
+        ir: &IrProgram,
+        source_name: &str,
+        config: &CompilerConfig,
+    ) -> (MachineCode, DebugInfo, Vec<&'static str>) {
+        let (machine, debug, applied) =
+            codegen_stack::codegen_stack(source, ir, source_name, config);
+        (MachineCode::Stack(machine), debug, applied)
+    }
+}
+
+/// The backend implementing a selector.
+pub fn backend_for(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Reg => &RegBackend,
+        BackendKind::Stack => &StackBackend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_map_to_their_backends() {
+        for kind in BackendKind::ALL {
+            assert_eq!(backend_for(kind).kind(), kind);
+        }
+    }
+}

@@ -33,21 +33,36 @@ enum Alloc {
     Spill(u32),
 }
 
-/// Per-function code generation artifacts, before DIE construction.
-struct FunctionArtifacts {
-    machine: MFunction,
+/// The backend-neutral per-function lowering artifacts every backend hands
+/// to the shared debug-information emitter ([`emit_debug_info`]): where the
+/// function's code lives, its line-table rows, the scope of every emitted
+/// instruction, and the variable binding timeline. Keeping this shape
+/// backend-independent is what makes the DIE *structure* identical across
+/// backends — only the [`Location`] payloads differ.
+pub(crate) struct DebugArtifacts {
+    /// Base code address of the function.
+    pub base_address: u64,
+    /// Number of emitted instructions.
+    pub code_len: usize,
     /// Line-table rows for this function.
-    line_rows: Vec<LineRow>,
-    /// Scope of every machine instruction.
-    inst_scopes: Vec<ScopeId>,
-    /// Variable binding timeline: `(machine index, var, location)`.
-    bindings: Vec<(usize, DebugVarId, Location)>,
+    pub line_rows: Vec<LineRow>,
+    /// Scope of every emitted instruction.
+    pub inst_scopes: Vec<ScopeId>,
+    /// Variable binding timeline: `(instruction index, var, location)`.
+    pub bindings: Vec<(usize, DebugVarId, Location)>,
 }
 
-/// Generate machine code and debug information for a lowered (and possibly
-/// optimized) program.
-pub fn codegen(source: &Program, ir: &IrProgram, source_name: &str) -> (MachineProgram, DebugInfo) {
-    let globals: Vec<GlobalSlot> = source
+impl DebugArtifacts {
+    /// The `[low, high)` code address range of the function.
+    fn pc_range(&self) -> (u64, u64) {
+        (self.base_address, self.base_address + self.code_len as u64)
+    }
+}
+
+/// Lay out the source globals as VM data-segment slots (shared by both
+/// backends, which use the same data-address scheme).
+pub(crate) fn lower_globals(source: &Program) -> Vec<GlobalSlot> {
+    source
         .globals
         .iter()
         .map(|g| GlobalSlot {
@@ -58,23 +73,29 @@ pub fn codegen(source: &Program, ir: &IrProgram, source_name: &str) -> (MachineP
             signed: g.ty.signed(),
             volatile: g.is_volatile,
         })
-        .collect();
+        .collect()
+}
+
+/// Generate register-VM machine code and debug information for a lowered
+/// (and possibly optimized) program.
+pub fn codegen(source: &Program, ir: &IrProgram, source_name: &str) -> (MachineProgram, DebugInfo) {
+    let globals = lower_globals(source);
     let entry = source.main().0 as u32;
 
-    let artifacts: Vec<FunctionArtifacts> = ir
+    let (functions, artifacts): (Vec<MFunction>, Vec<DebugArtifacts>) = ir
         .functions
         .iter()
         .enumerate()
         .map(|(index, func)| FunctionEmitter::new(func, index).emit())
-        .collect();
+        .unzip();
 
     let machine = MachineProgram {
-        functions: artifacts.iter().map(|a| a.machine.clone()).collect(),
+        functions,
         globals,
         entry,
     };
 
-    let debug = emit_debug_info(source, ir, &artifacts, &machine, source_name);
+    let debug = emit_debug_info(source, ir, &artifacts, &machine.globals, source_name);
     (machine, debug)
 }
 
@@ -110,21 +131,24 @@ impl<'f> FunctionEmitter<'f> {
         }
     }
 
-    fn emit(mut self) -> FunctionArtifacts {
+    fn emit(mut self) -> (MFunction, DebugArtifacts) {
         self.allocate_registers();
         self.emit_code();
         self.apply_fixups();
-        FunctionArtifacts {
-            machine: MFunction {
-                name: self.func.name.clone(),
-                code: self.code,
-                frame_slots: self.func.slots + self.spill_slots,
-                base_address: self.base_address,
-            },
+        let machine = MFunction {
+            name: self.func.name.clone(),
+            code: self.code,
+            frame_slots: self.func.slots + self.spill_slots,
+            base_address: self.base_address,
+        };
+        let artifacts = DebugArtifacts {
+            base_address: self.base_address,
+            code_len: machine.code.len(),
             line_rows: self.line_rows,
             inst_scopes: self.inst_scopes,
             bindings: self.bindings,
-        }
+        };
+        (machine, artifacts)
     }
 
     /// Linear-scan register allocation over temp live ranges. Temps that are
@@ -691,12 +715,16 @@ impl<'f> FunctionEmitter<'f> {
     }
 }
 
-/// Build the DIE tree from the per-function artifacts.
-fn emit_debug_info(
+/// Build the DIE tree from the per-function artifacts. Shared by every
+/// backend: the emitted DIE structure (subprograms, scopes, variable DIEs
+/// and their attribute order) is a pure function of the IR and the
+/// backend-neutral [`DebugArtifacts`], so two backends lowering the same IR
+/// differ only in the location descriptions inside their location lists.
+pub(crate) fn emit_debug_info(
     source: &Program,
     ir: &IrProgram,
-    artifacts: &[FunctionArtifacts],
-    machine: &MachineProgram,
+    artifacts: &[DebugArtifacts],
+    globals: &[GlobalSlot],
     source_name: &str,
 ) -> DebugInfo {
     let mut info = DebugInfo::new(source_name);
@@ -705,7 +733,7 @@ fn emit_debug_info(
         let die = info.add_die(info.root(), DieTag::Variable);
         info.set_attr(die, Attr::Name, AttrValue::Text(global.name.clone()));
         info.set_attr(die, Attr::External, AttrValue::Flag(true));
-        let address = machine.global_base_address(gi as u32) as u64;
+        let address = holes_machine::isa::global_base_address(globals, gi as u32) as u64;
         info.set_attr(
             die,
             Attr::Location,
@@ -722,7 +750,7 @@ fn emit_debug_info(
         let artifact = &artifacts[fi];
         let die = info.add_die(info.root(), DieTag::Subprogram);
         info.set_attr(die, Attr::Name, AttrValue::Text(func.name.clone()));
-        let (lo, hi) = artifact.machine.pc_range();
+        let (lo, hi) = artifact.pc_range();
         info.set_attr(die, Attr::LowPc, AttrValue::Addr(lo));
         info.set_attr(die, Attr::HighPc, AttrValue::Addr(hi));
         info.set_attr(
@@ -739,8 +767,8 @@ fn emit_debug_info(
             info.line_table.push(*row);
         }
         let subprogram = subprograms[fi];
-        let base = artifact.machine.base_address;
-        let end = base + artifact.machine.code.len() as u64;
+        let base = artifact.base_address;
+        let end = base + artifact.code_len as u64;
         // Scope DIEs.
         let mut scope_dies: Vec<DieId> = vec![subprogram];
         for (si, scope) in func.scopes.iter().enumerate().skip(1) {
@@ -864,7 +892,7 @@ fn emit_debug_info(
     info
 }
 
-fn scope_range(artifact: &FunctionArtifacts, scope: ScopeId, base: u64) -> Option<(u64, u64)> {
+fn scope_range(artifact: &DebugArtifacts, scope: ScopeId, base: u64) -> Option<(u64, u64)> {
     let mut lo = None;
     let mut hi = None;
     for (i, s) in artifact.inst_scopes.iter().enumerate() {

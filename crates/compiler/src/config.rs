@@ -12,6 +12,8 @@
 
 use std::collections::BTreeSet;
 
+pub use holes_machine::BackendKind;
+
 /// The two compiler personalities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Personality {
@@ -249,6 +251,11 @@ pub struct CompilerConfig {
     /// Disable every injected defect (used by tests to obtain the
     /// hypothetical defect-free compiler).
     pub disable_defects: bool,
+    /// The machine model code is generated for ([`BackendKind::Reg`] by
+    /// default). Optimization passes are backend-independent; only the
+    /// code-generation lowering, the emitted location descriptions, and the
+    /// backend-gated defects differ.
+    pub backend: BackendKind,
 }
 
 impl CompilerConfig {
@@ -261,6 +268,7 @@ impl CompilerConfig {
             disabled_passes: BTreeSet::new(),
             pass_budget: None,
             disable_defects: false,
+            backend: BackendKind::Reg,
         }
     }
 
@@ -290,6 +298,12 @@ impl CompilerConfig {
     /// Same configuration with all injected defects disabled.
     pub fn without_defects(mut self) -> CompilerConfig {
         self.disable_defects = true;
+        self
+    }
+
+    /// Same configuration targeting a different backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> CompilerConfig {
+        self.backend = backend;
         self
     }
 
@@ -365,17 +379,29 @@ impl CompilerConfig {
             eat(&(pass.len() as u64).to_le_bytes());
             eat(pass.as_bytes());
         }
+        // The backend is encoded only when it is not the default register
+        // VM: the default's encoding must stay byte-identical to the
+        // pre-backend era, or every existing on-disk artifact store would
+        // silently go cold (the pinned-fingerprint test guards this).
+        if self.backend != BackendKind::Reg {
+            eat(b"backend");
+            eat(self.backend.name().as_bytes());
+        }
         Fingerprint(hash)
     }
 
     /// A short human-readable description.
     pub fn describe(&self) -> String {
-        format!(
+        let mut text = format!(
             "{} {} {}",
             self.personality.name(),
             self.version_name(),
             self.level.flag()
-        )
+        );
+        if self.backend != BackendKind::Reg {
+            text.push_str(&format!(" [{}]", self.backend));
+        }
+        text
     }
 }
 
@@ -591,6 +617,8 @@ mod tests {
             base.clone().with_pass_budget(3),
             base.clone().with_pass_budget(0),
             base.clone().without_defects(),
+            base.clone().with_backend(BackendKind::Stack),
+            CompilerConfig::new(Personality::Lcc, OptLevel::O2).with_backend(BackendKind::Stack),
         ];
         let mut fingerprints: Vec<Fingerprint> =
             variants.iter().map(CompilerConfig::fingerprint).collect();
@@ -611,7 +639,27 @@ mod tests {
         assert_eq!(config.fingerprint(), Fingerprint(0x272d_91e6_aa38_707a));
         // Re-inserting an already-disabled pass is identity.
         let expected = config.clone().fingerprint();
-        assert_eq!(config.with_disabled_pass("inline").fingerprint(), expected);
+        assert_eq!(
+            config.clone().with_disabled_pass("inline").fingerprint(),
+            expected
+        );
+        // Selecting the default backend explicitly is identity too: only a
+        // non-default backend extends the canonical encoding, so every
+        // pre-backend on-disk artifact key stays warm.
+        assert_eq!(
+            config.with_backend(BackendKind::Reg).fingerprint(),
+            expected
+        );
+    }
+
+    #[test]
+    fn backend_is_part_of_the_identity_and_description() {
+        let reg = CompilerConfig::new(Personality::Ccg, OptLevel::O2);
+        let stack = reg.clone().with_backend(BackendKind::Stack);
+        assert_ne!(reg.fingerprint(), stack.fingerprint());
+        assert_ne!(reg, stack);
+        assert!(!reg.describe().contains("stack"));
+        assert!(stack.describe().contains("[stack]"));
     }
 
     #[test]

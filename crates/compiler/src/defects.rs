@@ -45,6 +45,17 @@ pub enum DefectAction {
     /// relevant program points despite complete location data (the
     /// *Incorrect DIE* manifestation).
     MisScope,
+    /// Lose the location of the selected variables whenever register
+    /// allocation spills them: the stack backend's code generator emits an
+    /// empty location instead of the stack-relative (`FrameBase`)
+    /// description the spill slot would need. This is a **code-generation**
+    /// defect, applied during lowering rather than on the IR
+    /// ([`apply_defect`] is a no-op for it), and it only exists on the
+    /// stack backend — the register backend's ISA never homes the affected
+    /// bindings in frame-base-relative locations, so this violation class
+    /// is inexpressible there. Models the "variable went missing once it
+    /// was spilled" holes of the paper's §2 taxonomy.
+    DropSpillLoc,
 }
 
 /// Which variables a defect applies to.
@@ -700,6 +711,66 @@ fn lcc_catalogue() -> Vec<Defect> {
     ]
 }
 
+/// The stack-backend defect catalogue: defects that live in the stack VM's
+/// code-generation stage (`"isel"`) and corrupt only the location
+/// descriptions that backend alone can emit. Kept separate from
+/// [`catalogue`] because these defects have no IR-level effect — the stack
+/// code generator consults them via [`spill_loss_victims`].
+pub fn stack_catalogue(personality: Personality) -> Vec<Defect> {
+    let (id, paper_ref) = match personality {
+        Personality::Ccg => (
+            "ccg-stack-spill",
+            "spill-slot location loss in the stack backend's reload tracking",
+        ),
+        Personality::Lcc => (
+            "lcc-stack-spill",
+            "stack-relative DBG_VALUE dropped when the register file overflows",
+        ),
+    };
+    vec![Defect {
+        id,
+        paper_ref,
+        personality,
+        pass: "isel",
+        levels: match personality {
+            Personality::Ccg => ALL_CCG_LEVELS,
+            Personality::Lcc => ALL_LCC_LEVELS,
+        },
+        category: Cat::IncompleteDie,
+        conjectures: &[1, 2, 3],
+        // Every spilled binding is affected: frequency control comes from
+        // register pressure itself (values that stay in the small register
+        // file keep their locations), not from a variable-id stride.
+        action: A::DropSpillLoc,
+        selector: VarSelector::all(C::Any),
+        introduced: 0,
+        fixed: None,
+    }]
+}
+
+/// The variables of `func` whose spilled bindings lose their location under
+/// `config`'s active stack-backend defects (empty on the register backend,
+/// with defects disabled, or when no stack defect matches the version and
+/// level).
+pub fn spill_loss_victims(config: &CompilerConfig, func: &IrFunction) -> Vec<DebugVarId> {
+    let mut victims: Vec<DebugVarId> = Vec::new();
+    if config.backend != holes_machine::BackendKind::Stack {
+        return victims;
+    }
+    for defect in stack_catalogue(config.personality) {
+        if defect.action != DefectAction::DropSpillLoc || !defect.active_in(config) {
+            continue;
+        }
+        for var in (0..func.vars.len() as u32).map(DebugVarId) {
+            if selects(func, defect.selector, var) && !victims.contains(&var) {
+                victims.push(var);
+            }
+        }
+    }
+    victims.sort_unstable();
+    victims
+}
+
 /// Defects of `config` that live in `pass` and are active.
 pub fn active_defects(config: &CompilerConfig, pass: &str) -> Vec<Defect> {
     catalogue(config.personality)
@@ -738,6 +809,9 @@ pub fn apply_defect(func: &mut IrFunction, defect: &Defect) {
         DefectAction::DelayDbg(distance) => delay_bindings(func, &selected, distance),
         DefectAction::TruncateBeforeSink => truncate_before_sink(func, &selected),
         DefectAction::MisScope => mis_scope(func, &selected),
+        // Applied by the stack backend's code generator (see
+        // `spill_loss_victims`); there is nothing to corrupt at the IR level.
+        DefectAction::DropSpillLoc => {}
     }
 }
 

@@ -1,17 +1,18 @@
 //! The compiled artifact: machine code plus debug information.
 
 use holes_debuginfo::DebugInfo;
-use holes_machine::{Machine, MachineError, MachineProgram, RunOutcome};
+use holes_machine::{BackendKind, MachineCode, MachineError, RunOutcome};
 
 use crate::config::CompilerConfig;
 use crate::passes::PipelineReport;
 
-/// A compiled executable: runnable machine code, its DWARF-style debug
-/// information, and a record of how it was produced.
+/// A compiled executable: runnable machine code for one backend, its
+/// DWARF-style debug information, and a record of how it was produced.
 #[derive(Debug, Clone)]
 pub struct Executable {
-    /// The machine program.
-    pub machine: MachineProgram,
+    /// The machine program (register-VM or stack-VM code; see
+    /// [`MachineCode`]).
+    pub machine: MachineCode,
     /// Debug information (DIE tree and line table).
     pub debug: DebugInfo,
     /// The configuration that produced the executable.
@@ -27,7 +28,12 @@ impl Executable {
     ///
     /// Returns the machine error if execution faults or exceeds its budget.
     pub fn run(&self) -> Result<RunOutcome, MachineError> {
-        Machine::new(&self.machine).run_to_completion()
+        self.machine.run_to_completion()
+    }
+
+    /// The backend this executable targets.
+    pub fn backend(&self) -> BackendKind {
+        self.machine.backend()
     }
 
     /// Total number of machine instructions.

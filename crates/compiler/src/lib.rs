@@ -43,7 +43,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod codegen;
+pub mod codegen_stack;
 pub mod config;
 pub mod defects;
 pub mod executable;
@@ -51,19 +53,26 @@ pub mod ir;
 pub mod lower;
 pub mod passes;
 
-pub use config::{CompilerConfig, Fingerprint, OptLevel, Personality};
-pub use defects::{catalogue, Defect, DefectAction};
+pub use backend::{backend_for, Backend};
+pub use config::{BackendKind, CompilerConfig, Fingerprint, OptLevel, Personality};
+pub use defects::{catalogue, stack_catalogue, Defect, DefectAction};
 pub use executable::Executable;
 pub use passes::PipelineReport;
 
 use holes_minic::ast::Program;
 
 /// Compile a MiniC program (whose lines have been assigned) under the given
-/// configuration.
+/// configuration. The optimization pipeline is backend-independent; the
+/// configuration's [`BackendKind`] selects which [`Backend`] lowers the
+/// optimized IR to machine code and location descriptions.
 pub fn compile(program: &Program, config: &CompilerConfig) -> Executable {
     let mut ir = lower::lower_program(program);
-    let report = passes::run_pipeline(&mut ir, program, config);
-    let (machine, debug) = codegen::codegen(program, &ir, "testcase.c");
+    let mut report = passes::run_pipeline(&mut ir, program, config);
+    let backend = backend::backend_for(config.backend);
+    let (machine, debug, applied) = backend.codegen(program, &ir, "testcase.c", config);
+    report
+        .defects_applied
+        .extend(applied.iter().map(|id| (*id).to_owned()));
     Executable {
         machine,
         debug,
@@ -170,6 +179,29 @@ mod tests {
                     without.steppable_lines(),
                     "{personality} {level}: defects changed the line table"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn stack_backend_defects_change_debug_info_but_never_behaviour() {
+        // The stack backend's spill-loss defect corrupts only location
+        // descriptions: code, observable outcome, and line table are
+        // untouched, exactly like the IR-level defect catalogue.
+        let generated = ProgramGenerator::from_seed(11).generate();
+        let reference = Interpreter::new(&generated.program).run().unwrap();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for level in personality.levels() {
+                let config = CompilerConfig::new(personality, *level)
+                    .with_backend(crate::BackendKind::Stack);
+                let with = compile(&generated.program, &config);
+                let without = compile(&generated.program, &config.clone().without_defects());
+                assert!(with.run().unwrap().matches(&reference));
+                assert!(without.run().unwrap().matches(&reference));
+                // (Machine code may differ in allocation, since debug
+                // bindings participate in first-seen allocation order —
+                // the same allowance the register-backend test makes.)
+                assert_eq!(with.steppable_lines(), without.steppable_lines());
             }
         }
     }

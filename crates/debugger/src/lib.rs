@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 
 use holes_compiler::Executable;
 use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location};
-use holes_machine::{BreakpointSet, Machine, StopReason};
+use holes_machine::{BreakpointSet, StopReason, Vm};
 
 /// The debugger personality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,6 +162,10 @@ impl DebugTrace {
 
 /// Debug an executable: place one-shot breakpoints on every steppable line,
 /// run to completion, and record the frame at each first hit.
+///
+/// The executable's backend decides which virtual machine is stepped: the
+/// debugger drives it purely through the [`Vm`] trait, so the same
+/// breakpoint-and-inspect protocol covers the register VM and the stack VM.
 pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
     let steppable = executable.debug.line_table.steppable_lines();
     let mut breakpoints: BreakpointSet = steppable
@@ -174,7 +178,7 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
             address_to_line.entry(addr).or_insert(line);
         }
     }
-    let mut machine = Machine::new(&executable.machine);
+    let mut machine = executable.machine.spawn();
     let mut trace = DebugTrace {
         stops: Vec::new(),
         steppable_lines: steppable,
@@ -187,7 +191,7 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
             .copied()
             .or_else(|| executable.debug.line_table.line_for_address(address))
             .unwrap_or(0);
-        let stop = inspect_frame(&executable.debug, &machine, kind, address, line);
+        let stop = inspect_frame(&executable.debug, machine.as_ref(), kind, address, line);
         let index = trace.stops.len();
         trace.reached.entry(line).or_insert(index);
         trace.stops.push(stop);
@@ -198,7 +202,7 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
 /// Build the frame listing at a stop.
 fn inspect_frame(
     debug: &DebugInfo,
-    machine: &Machine<'_>,
+    machine: &dyn Vm,
     kind: DebuggerKind,
     address: u64,
     line: u32,
@@ -238,7 +242,7 @@ fn inspect_frame(
 /// Resolve one variable DIE to a value, honouring the personality quirks.
 fn resolve_variable(
     debug: &DebugInfo,
-    machine: &Machine<'_>,
+    machine: &dyn Vm,
     kind: DebuggerKind,
     die: DieId,
     in_inlined_scope: bool,
@@ -285,6 +289,27 @@ fn resolve_variable(
             .read_address(addr as i64)
             .map(Availability::Available)
             .unwrap_or(Availability::OptimizedOut),
+        // Frame-base-relative (`DW_OP_fbreg`-style) locations only resolve
+        // on backends that maintain a frame base; on the register VM the
+        // description is inexpressible and the variable stays unavailable.
+        Some(Location::FrameBase { offset }) => machine
+            .frame_base()
+            .and_then(|base| machine.read_address(base + i64::from(offset) * 8))
+            .map(Availability::Available)
+            .unwrap_or(Availability::OptimizedOut),
+        // Composite expressions: register value + offset, optionally
+        // dereferenced.
+        Some(Location::Composite { reg, offset, deref }) => {
+            let computed = machine.read_reg(reg).wrapping_add(offset);
+            if deref {
+                machine
+                    .read_address(computed)
+                    .map(Availability::Available)
+                    .unwrap_or(Availability::OptimizedOut)
+            } else {
+                Availability::Available(computed)
+            }
+        }
         Some(Location::Empty) | None => Availability::OptimizedOut,
     }
 }

@@ -16,6 +16,29 @@ pub enum Location {
     /// The location expression is present but empty: the variable is
     /// explicitly optimized out over this range.
     Empty,
+    /// The value lives `offset` slots (8 bytes each) past the frame base —
+    /// the model of a `DW_OP_fbreg` expression. Only backends that maintain
+    /// a frame base (the stack VM) can resolve it; on the register VM the
+    /// description is inexpressible and a debugger must report the variable
+    /// unavailable. This is the location class of stack-VM spill slots.
+    FrameBase {
+        /// Slot offset from the frame base (may be negative in principle;
+        /// the stack backend only emits non-negative offsets).
+        offset: i32,
+    },
+    /// A composite location expression: take the value of register `reg`,
+    /// add `offset` bytes, and — when `deref` — load through the resulting
+    /// address (the model of `DW_OP_breg<N> + DW_OP_deref`). The stack
+    /// backend describes address-taken locals this way, anchored to its
+    /// frame-pointer register.
+    Composite {
+        /// Base register of the expression.
+        reg: u8,
+        /// Byte offset added to the register value.
+        offset: i64,
+        /// Whether the computed address is dereferenced.
+        deref: bool,
+    },
 }
 
 impl Location {
@@ -105,6 +128,13 @@ mod tests {
     fn yields_value_distinguishes_empty() {
         assert!(Location::Register(3).yields_value());
         assert!(Location::ConstValue(0).yields_value());
+        assert!(Location::FrameBase { offset: 2 }.yields_value());
+        assert!(Location::Composite {
+            reg: 3,
+            offset: 16,
+            deref: true
+        }
+        .yields_value());
         assert!(!Location::Empty.yields_value());
     }
 }

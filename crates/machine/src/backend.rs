@@ -1,0 +1,165 @@
+//! Backend selection: which simulated machine model an executable targets.
+//!
+//! The reproduction originally had a single execution target (the register
+//! VM of [`crate::exec`]). The paper's methodology, however, is about what
+//! the *location description* language can and cannot express — and a
+//! register ISA can never exercise stack-relative or composite location
+//! descriptions. [`BackendKind`] names the available machine models;
+//! [`MachineCode`] holds a compiled program for either one and spawns the
+//! matching stepper ([`crate::Vm`]) for the debugger.
+
+use crate::exec::{Machine, MachineError, RunOutcome};
+use crate::isa::MachineProgram;
+use crate::stack::{StackMachine, StackProgram};
+use crate::Vm;
+
+/// The simulated machine models a program can be compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum BackendKind {
+    /// The register VM: [`crate::isa::NUM_REGS`] general-purpose registers
+    /// per frame, three-address instructions. The default backend; its
+    /// location descriptions are registers, frame slots, constants and
+    /// global addresses.
+    #[default]
+    Reg,
+    /// The stack VM: an operand-stack ISA with a small register file
+    /// ([`crate::stack::STACK_NUM_REGS`] registers, one of which is the
+    /// frame pointer) plus spill slots. Its codegen must describe most
+    /// variables with stack-relative (`FrameBase`) and composite
+    /// (register + offset + dereference) location descriptions that the
+    /// register ISA never produces.
+    Stack,
+}
+
+impl BackendKind {
+    /// Every backend, in default-first order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Reg, BackendKind::Stack];
+
+    /// The stable spelling used by CLI flags and file formats
+    /// (`reg` / `stack`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Reg => "reg",
+            BackendKind::Stack => "stack",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Failed parse of a [`BackendKind`] spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(String);
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backend: `{}` (expected `reg` or `stack`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = ParseBackendError;
+
+    /// Parse a backend name as spelled in CLI flags and shard headers
+    /// (`reg` or `stack`, case-insensitive).
+    fn from_str(s: &str) -> Result<BackendKind, ParseBackendError> {
+        match s.to_ascii_lowercase().as_str() {
+            "reg" => Ok(BackendKind::Reg),
+            "stack" => Ok(BackendKind::Stack),
+            other => Err(ParseBackendError(other.to_owned())),
+        }
+    }
+}
+
+/// A compiled program for either backend: the machine-code half of an
+/// executable. Spawns the matching stepper for the debugger via
+/// [`MachineCode::spawn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineCode {
+    /// A register-VM program.
+    Reg(MachineProgram),
+    /// A stack-VM program.
+    Stack(StackProgram),
+}
+
+impl MachineCode {
+    /// Which backend this code targets.
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            MachineCode::Reg(_) => BackendKind::Reg,
+            MachineCode::Stack(_) => BackendKind::Stack,
+        }
+    }
+
+    /// Total number of instructions.
+    pub fn instruction_count(&self) -> usize {
+        match self {
+            MachineCode::Reg(p) => p.instruction_count(),
+            MachineCode::Stack(p) => p.instruction_count(),
+        }
+    }
+
+    /// Spawn a fresh stepper for this program, ready to run from its entry
+    /// function.
+    pub fn spawn(&self) -> Box<dyn Vm + '_> {
+        match self {
+            MachineCode::Reg(p) => Box::new(Machine::new(p)),
+            MachineCode::Stack(p) => Box::new(StackMachine::new(p)),
+        }
+    }
+
+    /// Run the program to completion and return the observable outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the machine error if execution faults or exceeds its budget.
+    pub fn run_to_completion(&self) -> Result<RunOutcome, MachineError> {
+        match self {
+            MachineCode::Reg(p) => Machine::new(p).run_to_completion(),
+            MachineCode::Stack(p) => StackMachine::new(p).run_to_completion(),
+        }
+    }
+
+    /// The register-VM program, if this is register code.
+    pub fn as_reg(&self) -> Option<&MachineProgram> {
+        match self {
+            MachineCode::Reg(p) => Some(p),
+            MachineCode::Stack(_) => None,
+        }
+    }
+
+    /// The stack-VM program, if this is stack code.
+    pub fn as_stack(&self) -> Option<&StackProgram> {
+        match self {
+            MachineCode::Reg(_) => None,
+            MachineCode::Stack(p) => Some(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in BackendKind::ALL {
+            assert_eq!(backend.name().parse(), Ok(backend));
+        }
+        assert_eq!("STACK".parse(), Ok(BackendKind::Stack));
+        assert!("gcc".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Reg);
+        let err = "x86".parse::<BackendKind>().unwrap_err();
+        assert!(err.to_string().contains("x86"));
+    }
+}

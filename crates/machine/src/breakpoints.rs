@@ -120,6 +120,87 @@ mod tests {
     }
 
     #[test]
+    fn empty_set_is_the_fast_path() {
+        let set = BreakpointSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        // The probe bounds-rejects without searching: any address misses.
+        for probe in [0, 1, u64::MAX] {
+            assert!(!set.contains(probe));
+        }
+        assert_eq!(set.iter().count(), 0);
+        // An emptied set regains the fast path.
+        let mut set = set;
+        set.insert(7);
+        assert!(!set.is_empty());
+        assert!(set.remove(7));
+        assert!(set.is_empty());
+        assert!(!set.contains(7));
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let mut set = BreakpointSet::new();
+        for _ in 0..3 {
+            set.insert(42);
+        }
+        assert_eq!(set.len(), 1);
+        // One remove consumes the address entirely — duplicates never pile
+        // up behind it.
+        assert!(set.remove(42));
+        assert!(!set.contains(42));
+        assert!(!set.remove(42));
+    }
+
+    #[test]
+    fn one_shot_breakpoints_are_consumed_in_execution_order() {
+        // The debugger's protocol: insert every address up front, remove
+        // each one the first time it is hit. The machine must report the
+        // hits in execution order — not in address order — and never stop
+        // at a consumed address again.
+        use crate::exec::{Machine, StopReason};
+        use crate::isa::{MFunction, MInst, MachineProgram, Operand, TEXT_BASE};
+        let prog = MachineProgram {
+            functions: vec![MFunction {
+                name: "main".into(),
+                code: vec![
+                    MInst::Jump { target: 3 },           // 0
+                    MInst::LoadImm { dst: 0, value: 1 }, /* 1 */
+                    MInst::Jump { target: 5 },           // 2
+                    MInst::Jump { target: 1 },           // 3 (hit before 1)
+                    MInst::Nop,                          // 4 (never reached)
+                    MInst::Ret {
+                        value: Some(Operand::Reg(0)),
+                    }, // 5
+                ],
+                frame_slots: 0,
+                base_address: TEXT_BASE,
+            }],
+            globals: vec![],
+            entry: 0,
+        };
+        let mut machine = Machine::new(&prog);
+        let mut breaks: BreakpointSet = [1u64, 3, 4].iter().map(|o| TEXT_BASE + o).collect();
+        let mut hits = Vec::new();
+        loop {
+            match machine.run(&breaks) {
+                StopReason::Breakpoint { address } => {
+                    assert!(breaks.remove(address), "stopped at a consumed address");
+                    hits.push(address - TEXT_BASE);
+                }
+                StopReason::Finished { return_value } => {
+                    assert_eq!(return_value, 1);
+                    break;
+                }
+                other => panic!("unexpected stop: {other:?}"),
+            }
+        }
+        // Execution order (3 before 1), not address order; 4 never fires.
+        assert_eq!(hits, vec![3, 1]);
+        assert_eq!(breaks.iter().collect::<Vec<_>>(), vec![TEXT_BASE + 4]);
+    }
+
+    #[test]
     fn matches_a_hash_set_on_random_probes() {
         use std::collections::HashSet;
         // Deterministic pseudo-random addresses (no RNG dependency).

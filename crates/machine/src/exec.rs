@@ -50,6 +50,10 @@ pub enum MachineError {
         /// The function that ended without `Ret`.
         function: String,
     },
+    /// A stack-VM instruction popped from an empty operand stack (never
+    /// produced by the compiler's stack backend, whose emission is
+    /// balanced per statement; guards hand-written programs).
+    EvalStackUnderflow,
 }
 
 impl std::fmt::Display for MachineError {
@@ -67,6 +71,9 @@ impl std::fmt::Display for MachineError {
             MachineError::BadFrameSlot(s) => write!(f, "frame slot {s} out of range"),
             MachineError::FellOffEnd { function } => {
                 write!(f, "function {function} ended without returning")
+            }
+            MachineError::EvalStackUnderflow => {
+                write!(f, "operand stack underflow")
             }
         }
     }
@@ -589,7 +596,31 @@ impl<'p> Machine<'p> {
     }
 }
 
-fn width_to_ty(bits: u32, signed: bool) -> holes_minic::ast::Ty {
+impl crate::vm::Vm for Machine<'_> {
+    fn run(&mut self, breakpoints: &BreakpointSet) -> StopReason {
+        Machine::run(self, breakpoints)
+    }
+
+    fn read_reg(&self, reg: Reg) -> i64 {
+        Machine::read_reg(self, reg)
+    }
+
+    fn read_frame_slot(&self, slot: u32) -> Option<i64> {
+        Machine::read_frame_slot(self, slot)
+    }
+
+    fn read_address(&self, address: i64) -> Option<i64> {
+        Machine::read_address(self, address)
+    }
+
+    /// The register VM maintains no frame-base register: frame-base-relative
+    /// location descriptions can never resolve on this backend.
+    fn frame_base(&self) -> Option<i64> {
+        None
+    }
+}
+
+pub(crate) fn width_to_ty(bits: u32, signed: bool) -> holes_minic::ast::Ty {
     use holes_minic::ast::Ty;
     match (bits, signed) {
         (8, true) => Ty::I8,

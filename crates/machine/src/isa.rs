@@ -212,6 +212,17 @@ pub struct GlobalSlot {
     pub volatile: bool,
 }
 
+/// Base data address of global `index` in a global table laid out flat, as
+/// both backends and the MiniC reference interpreter lay it out (so pointer
+/// values observable through the opaque sink agree everywhere).
+pub fn global_base_address(globals: &[GlobalSlot], index: u32) -> i64 {
+    let mut offset = 0i64;
+    for g in &globals[..index as usize] {
+        offset += g.elements as i64;
+    }
+    holes_minic::interp::GLOBAL_BASE + offset * 8
+}
+
 /// A complete machine program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineProgram {
@@ -244,11 +255,7 @@ impl MachineProgram {
     /// Base data address of global `index` (shares the scheme of the MiniC
     /// reference interpreter so pointer values agree).
     pub fn global_base_address(&self, index: u32) -> i64 {
-        let mut offset = 0i64;
-        for g in &self.globals[..index as usize] {
-            offset += g.elements as i64;
-        }
-        holes_minic::interp::GLOBAL_BASE + offset * 8
+        global_base_address(&self.globals, index)
     }
 
     /// Total number of instructions.

@@ -1,8 +1,19 @@
-//! A small register virtual machine — the reproduction's execution target.
+//! The reproduction's simulated execution targets: a register VM and a
+//! stack VM behind one stepper interface.
 //!
 //! The paper compiles its test programs for x86_64 and runs them under a
-//! debugger. Our optimizing compiler targets this VM instead: a register
-//! machine with
+//! debugger. Our optimizing compiler targets one of two simulated machine
+//! models instead ([`BackendKind`] selects; [`MachineCode`] holds either
+//! program and spawns the matching [`Vm`] stepper):
+//!
+//! * the **register VM** ([`exec`]) — the default backend, a register
+//!   machine as described below;
+//! * the **stack VM** ([`stack`]) — an operand-stack ISA with a small
+//!   register file plus spill slots, whose codegen must describe most
+//!   variables through stack-relative and composite location descriptions
+//!   the register ISA cannot express.
+//!
+//! The register machine has
 //!
 //! * [`NUM_REGS`] general-purpose registers per frame,
 //! * per-function stack frames with addressable slots,
@@ -18,13 +29,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod breakpoints;
 pub mod exec;
 pub mod isa;
+pub mod stack;
+pub mod vm;
 
+pub use backend::{BackendKind, MachineCode};
 pub use breakpoints::BreakpointSet;
 pub use exec::{Machine, MachineError, RunOutcome, StopReason};
 pub use isa::{
     CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineProgram, Operand, Reg, FUNCTION_STRIDE,
     NUM_REGS, TEXT_BASE,
 };
+pub use stack::{SFunction, SInst, StackMachine, StackProgram, FP_REG, STACK_NUM_REGS};
+pub use vm::Vm;

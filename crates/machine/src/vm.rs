@@ -1,0 +1,40 @@
+//! The stepper interface shared by every backend's virtual machine.
+//!
+//! The source-level debugger (`holes-debugger`) drives execution purely
+//! through this trait: run until a breakpoint, then inspect the stopped
+//! frame to resolve variable locations. Each backend implements it for its
+//! machine ([`crate::Machine`] for the register VM, [`crate::StackMachine`]
+//! for the stack VM), and [`crate::MachineCode::spawn`] hands the debugger
+//! the right one.
+
+use crate::breakpoints::BreakpointSet;
+use crate::exec::StopReason;
+
+/// A running virtual machine the debugger can step and inspect.
+///
+/// The inspection methods mirror the location description language of
+/// `holes-debuginfo`: registers, frame slots, absolute addresses, and — for
+/// backends that maintain one — the current frame's base address (what a
+/// DWARF `DW_OP_fbreg` expression would be evaluated against). Backends
+/// without a frame base (the register VM) return `None` from
+/// [`Vm::frame_base`], so frame-base-relative locations can never resolve
+/// there — exactly the expressiveness gap the stack backend exists to
+/// exercise.
+pub trait Vm {
+    /// Run until a breakpoint, completion or error.
+    fn run(&mut self, breakpoints: &BreakpointSet) -> StopReason;
+
+    /// Read a register of the current frame.
+    fn read_reg(&self, reg: u8) -> i64;
+
+    /// Read a frame slot of the current frame (`None` when out of range or
+    /// no frame is active).
+    fn read_frame_slot(&self, slot: u32) -> Option<i64>;
+
+    /// Read an absolute memory address (global or stack segment).
+    fn read_address(&self, address: i64) -> Option<i64>;
+
+    /// The absolute address of the current frame's slot 0, on backends that
+    /// maintain an explicit frame base; `None` otherwise.
+    fn frame_base(&self) -> Option<i64>;
+}

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use holes_compiler::{CompilerConfig, OptLevel, Personality};
+use holes_compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
@@ -213,11 +213,14 @@ pub(crate) fn subject_records(
     index: usize,
     personality: Personality,
     version: usize,
+    backend: BackendKind,
     levels: &[OptLevel],
 ) -> Vec<ViolationRecord> {
     let mut records = Vec::new();
     for &level in levels {
-        let config = CompilerConfig::new(personality, level).with_version(version);
+        let config = CompilerConfig::new(personality, level)
+            .with_version(version)
+            .with_backend(backend);
         for violation in subject.violations(&config) {
             records.push(ViolationRecord {
                 seed: subject.seed,
@@ -231,7 +234,7 @@ pub(crate) fn subject_records(
 }
 
 /// Run the campaign: test every subject at every level of a personality's
-/// version against all three conjectures.
+/// version against all three conjectures, on the default register backend.
 ///
 /// Subjects are evaluated in parallel (they are independent), and records
 /// are reassembled in (subject, level) order, so the result — including
@@ -241,9 +244,22 @@ pub fn run_campaign(
     personality: Personality,
     version: usize,
 ) -> CampaignResult {
+    run_campaign_on(subjects, personality, version, BackendKind::Reg)
+}
+
+/// [`run_campaign`] targeting an explicit backend: the same campaign, with
+/// every subject compiled for `backend` (so a stack-VM campaign exercises
+/// the spill-induced violation classes the register backend cannot
+/// express).
+pub fn run_campaign_on(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+    backend: BackendKind,
+) -> CampaignResult {
     let levels = personality.levels().to_vec();
     let per_subject = par::par_map(subjects, |index, subject| {
-        subject_records(subject, index, personality, version, &levels)
+        subject_records(subject, index, personality, version, backend, &levels)
     });
     CampaignResult {
         records: per_subject.into_iter().flatten().collect(),
@@ -271,6 +287,7 @@ pub fn run_campaign_serial(
             index,
             personality,
             version,
+            BackendKind::Reg,
             &levels,
         ));
     }

@@ -75,8 +75,8 @@ mod cache;
 pub mod par;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use holes_compiler::Fingerprint;
-pub use store::{ArtifactStore, StoreStats, SubjectKey};
+pub use holes_compiler::{BackendKind, Fingerprint};
+pub use store::{ArtifactStore, GcStats, StoreStats, SubjectKey};
 
 use std::sync::Arc;
 

@@ -110,7 +110,14 @@ pub fn version_table(subjects: &[Subject], personality: Personality) -> VersionT
     let levels = personality.levels().to_vec();
     let cells = version_subject_cells(subjects, personality);
     let per_cell = par::par_map(&cells, |_, &(version, subject)| {
-        crate::campaign::subject_records(&subjects[subject], subject, personality, version, &levels)
+        crate::campaign::subject_records(
+            &subjects[subject],
+            subject,
+            personality,
+            version,
+            holes_compiler::BackendKind::Reg,
+            &levels,
+        )
     });
     let mut cells_left = per_cell.into_iter();
     let rows = personality
@@ -147,6 +154,7 @@ pub fn conjecture_grid(subjects: &[Subject], personality: Personality) -> Vec<Ve
             subject,
             personality,
             version,
+            holes_compiler::BackendKind::Reg,
             &levels,
         );
         let conjectures: BTreeSet<Conjecture> =

@@ -192,11 +192,15 @@ pub fn classify(
 }
 
 /// Build the issue report for (a sample of) a campaign's unique violations.
+/// The `backend` must be the one the campaign ran on, so the classified
+/// executables carry the location descriptions the violations were
+/// observed against.
 pub fn build_report(
     subjects: &[Subject],
     result: &CampaignResult,
     personality: holes_compiler::Personality,
     version: usize,
+    backend: holes_compiler::BackendKind,
     limit: usize,
 ) -> IssueReport {
     let mut report = IssueReport::default();
@@ -208,7 +212,9 @@ pub fn build_report(
         if !seen.insert(unique_key(record)) {
             continue;
         }
-        let config = CompilerConfig::new(personality, record.level).with_version(version);
+        let config = CompilerConfig::new(personality, record.level)
+            .with_version(version)
+            .with_backend(backend);
         let (category, component) = classify(&subjects[record.subject], &config, &record.violation);
         report.rows.push(IssueRow {
             seed: record.seed,
@@ -235,6 +241,7 @@ pub fn build_report_from_seeds(
     result: &CampaignResult,
     personality: holes_compiler::Personality,
     version: usize,
+    backend: holes_compiler::BackendKind,
     limit: usize,
 ) -> IssueReport {
     let mut report = IssueReport::default();
@@ -250,7 +257,9 @@ pub fn build_report_from_seeds(
         let subject = subjects
             .entry(record.subject)
             .or_insert_with(|| Subject::from_seed(record.seed));
-        let config = CompilerConfig::new(personality, record.level).with_version(version);
+        let config = CompilerConfig::new(personality, record.level)
+            .with_version(version)
+            .with_backend(backend);
         let (category, component) = classify(subject, &config, &record.violation);
         report.rows.push(IssueRow {
             seed: record.seed,
@@ -276,8 +285,21 @@ mod tests {
         let subjects = subject_pool(1510, 6);
         let personality = Personality::Ccg;
         let result = run_campaign(&subjects, personality, personality.trunk());
-        let from_pool = build_report(&subjects, &result, personality, personality.trunk(), 10);
-        let from_seeds = build_report_from_seeds(&result, personality, personality.trunk(), 10);
+        let from_pool = build_report(
+            &subjects,
+            &result,
+            personality,
+            personality.trunk(),
+            holes_compiler::BackendKind::Reg,
+            10,
+        );
+        let from_seeds = build_report_from_seeds(
+            &result,
+            personality,
+            personality.trunk(),
+            holes_compiler::BackendKind::Reg,
+            10,
+        );
         assert_eq!(from_pool.rows, from_seeds.rows);
     }
 
@@ -286,7 +308,14 @@ mod tests {
         let subjects = subject_pool(1500, 6);
         let personality = Personality::Ccg;
         let result = run_campaign(&subjects, personality, personality.trunk());
-        let report = build_report(&subjects, &result, personality, personality.trunk(), 25);
+        let report = build_report(
+            &subjects,
+            &result,
+            personality,
+            personality.trunk(),
+            holes_compiler::BackendKind::Reg,
+            25,
+        );
         if result.records.is_empty() {
             return;
         }

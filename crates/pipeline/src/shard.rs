@@ -16,7 +16,7 @@
 //! subcommands hold a K-sharded run to this equivalence for every rendered
 //! table.
 
-use holes_compiler::{OptLevel, Personality};
+use holes_compiler::{BackendKind, OptLevel, Personality};
 use holes_core::json::Json;
 use holes_core::{Observed, Violation};
 use holes_minic::ast::FunctionId;
@@ -40,10 +40,16 @@ pub struct CampaignSpec {
     pub shards: u64,
     /// This run's shard index, `0..shards`.
     pub shard: u64,
+    /// The backend every subject is compiled for
+    /// ([`BackendKind::Reg`] by default). Serialized in shard headers only
+    /// when non-default, so register-backend shard files stay byte-identical
+    /// to the pre-backend format.
+    pub backend: BackendKind,
 }
 
 impl CampaignSpec {
-    /// A single-shard (monolithic) campaign over a seed range.
+    /// A single-shard (monolithic) campaign over a seed range, on the
+    /// default register backend.
     pub fn new(personality: Personality, version: usize, seeds: SeedRange) -> CampaignSpec {
         CampaignSpec {
             personality,
@@ -51,6 +57,7 @@ impl CampaignSpec {
             seeds,
             shards: 1,
             shard: 0,
+            backend: BackendKind::Reg,
         }
     }
 
@@ -58,6 +65,12 @@ impl CampaignSpec {
     pub fn with_shard(mut self, shards: u64, shard: u64) -> CampaignSpec {
         self.shards = shards;
         self.shard = shard;
+        self
+    }
+
+    /// The same campaign targeting a different backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> CampaignSpec {
+        self.backend = backend;
         self
     }
 
@@ -96,6 +109,7 @@ impl CampaignSpec {
             && self.version == other.version
             && self.seeds == other.seeds
             && self.shards == other.shards
+            && self.backend == other.backend
     }
 }
 
@@ -138,6 +152,7 @@ pub fn run_shard_with_stats(
             global_index,
             spec.personality,
             spec.version,
+            spec.backend,
             &levels,
         );
         (records, subject.cache_stats())
@@ -313,7 +328,7 @@ pub(crate) fn validate_record_order(
 /// The header fields both shard formats share, in canonical order: format
 /// tag, spec identity, and the personality's level schedule.
 pub(crate) fn spec_header_pairs(spec: &CampaignSpec, format: &str) -> Vec<(String, Json)> {
-    vec![
+    let mut pairs = vec![
         ("format".to_owned(), Json::str(format)),
         ("personality".to_owned(), Json::str(spec.personality.name())),
         (
@@ -323,17 +338,24 @@ pub(crate) fn spec_header_pairs(spec: &CampaignSpec, format: &str) -> Vec<(Strin
         ("seeds".to_owned(), Json::str(spec.seeds.to_string())),
         ("shards".to_owned(), Json::from_u64(spec.shards)),
         ("shard".to_owned(), Json::from_u64(spec.shard)),
-        (
-            "levels".to_owned(),
-            Json::Arr(
-                spec.personality
-                    .levels()
-                    .iter()
-                    .map(|l| Json::str(l.flag()))
-                    .collect(),
-            ),
+    ];
+    // Emitted only when non-default, so register-backend shard files remain
+    // byte-identical to the pre-backend format (and old readers keep
+    // accepting them).
+    if spec.backend != BackendKind::Reg {
+        pairs.push(("backend".to_owned(), Json::str(spec.backend.name())));
+    }
+    pairs.push((
+        "levels".to_owned(),
+        Json::Arr(
+            spec.personality
+                .levels()
+                .iter()
+                .map(|l| Json::str(l.flag()))
+                .collect(),
         ),
-    ]
+    ));
+    pairs
 }
 
 /// Parse and validate the spec fields shared by both shard-file headers
@@ -345,12 +367,20 @@ pub(crate) fn parse_spec_header(json: &Json) -> Result<CampaignSpec, ShardError>
         ShardError::Malformed(format!("unknown {personality} version `{version_name}`"))
     })?;
     let seeds: SeedRange = parse_field(json, "seeds")?;
+    let backend = match json.get("backend") {
+        None => BackendKind::Reg,
+        Some(value) => value
+            .as_str()
+            .and_then(|name| name.parse().ok())
+            .ok_or_else(|| ShardError::Malformed("malformed field `backend`".into()))?,
+    };
     let spec = CampaignSpec {
         personality,
         version,
         seeds,
         shards: u64_field(json, "shards")?,
         shard: u64_field(json, "shard")?,
+        backend,
     };
     spec.validate()?;
     Ok(spec)

@@ -15,7 +15,10 @@ use holes_debugger::{Availability, DebugTrace, LineStop, VarView};
 use holes_debuginfo::{
     Attr, AttrValue, DebugInfo, Die, DieId, DieTag, LineRow, LineTable, LocListEntry, Location,
 };
-use holes_machine::{CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineProgram, Operand};
+use holes_machine::stack::{SFunction, SInst, StackProgram};
+use holes_machine::{
+    CallTarget, GlobalSlot, MAddr, MFunction, MInst, MachineCode, MachineProgram, Operand,
+};
 use holes_minic::ast::{BinOp, FunctionId, UnOp};
 
 /// Decode failure: a short, human-readable reason (surfaced only in store
@@ -341,6 +344,51 @@ fn inst_from_json(json: &Json) -> Result<MInst, DecodeError> {
 
 // -------------------------------------------------------- machine program
 
+fn globals_to_json(globals: &[GlobalSlot]) -> Json {
+    Json::Arr(
+        globals
+            .iter()
+            .map(|g| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::str(g.name.clone())),
+                    ("elements".to_owned(), Json::from_usize(g.elements)),
+                    (
+                        "init".to_owned(),
+                        Json::Arr(g.init.iter().map(|&v| Json::from_i64(v)).collect()),
+                    ),
+                    ("bits".to_owned(), Json::from_u64(g.bits.into())),
+                    ("signed".to_owned(), Json::Bool(g.signed)),
+                    ("volatile".to_owned(), Json::Bool(g.volatile)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn globals_from_json(json: &Json) -> Result<Vec<GlobalSlot>, DecodeError> {
+    arr_field(json, "globals")?
+        .iter()
+        .map(|g| {
+            let elements = usize_field(g, "elements")?;
+            let init = arr_field(g, "init")?
+                .iter()
+                .map(|v| as_i64(v, "global initializer"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if init.len() != elements {
+                return err("global initializer length mismatch");
+            }
+            Ok(GlobalSlot {
+                name: str_field(g, "name")?.to_owned(),
+                elements,
+                init,
+                bits: u32_field(g, "bits")?,
+                signed: bool_field(g, "signed")?,
+                volatile: bool_field(g, "volatile")?,
+            })
+        })
+        .collect()
+}
+
 fn machine_to_json(program: &MachineProgram) -> Json {
     Json::Obj(vec![
         (
@@ -366,28 +414,7 @@ fn machine_to_json(program: &MachineProgram) -> Json {
                     .collect(),
             ),
         ),
-        (
-            "globals".to_owned(),
-            Json::Arr(
-                program
-                    .globals
-                    .iter()
-                    .map(|g| {
-                        Json::Obj(vec![
-                            ("name".to_owned(), Json::str(g.name.clone())),
-                            ("elements".to_owned(), Json::from_usize(g.elements)),
-                            (
-                                "init".to_owned(),
-                                Json::Arr(g.init.iter().map(|&v| Json::from_i64(v)).collect()),
-                            ),
-                            ("bits".to_owned(), Json::from_u64(g.bits.into())),
-                            ("signed".to_owned(), Json::Bool(g.signed)),
-                            ("volatile".to_owned(), Json::Bool(g.volatile)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("globals".to_owned(), globals_to_json(&program.globals)),
         ("entry".to_owned(), Json::from_u64(program.entry.into())),
     ])
 }
@@ -407,27 +434,7 @@ fn machine_from_json(json: &Json) -> Result<MachineProgram, DecodeError> {
             })
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
-    let globals = arr_field(json, "globals")?
-        .iter()
-        .map(|g| {
-            let elements = usize_field(g, "elements")?;
-            let init = arr_field(g, "init")?
-                .iter()
-                .map(|v| as_i64(v, "global initializer"))
-                .collect::<Result<Vec<_>, _>>()?;
-            if init.len() != elements {
-                return err("global initializer length mismatch");
-            }
-            Ok(GlobalSlot {
-                name: str_field(g, "name")?.to_owned(),
-                elements,
-                init,
-                bits: u32_field(g, "bits")?,
-                signed: bool_field(g, "signed")?,
-                volatile: bool_field(g, "volatile")?,
-            })
-        })
-        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let globals = globals_from_json(json)?;
     let entry = u32_field(json, "entry")?;
     if (entry as usize) >= functions.len() {
         return err("entry function index out of range");
@@ -439,6 +446,258 @@ fn machine_from_json(json: &Json) -> Result<MachineProgram, DecodeError> {
     })
 }
 
+// ---------------------------------------------------- stack-VM program
+
+fn sinst_to_json(inst: SInst) -> Json {
+    let one = |tag: &str, v: Json| Json::Arr(vec![Json::str(tag), v]);
+    match inst {
+        SInst::Nop => Json::Arr(vec![Json::str("nop")]),
+        SInst::PushImm(v) => one("pi", Json::from_i64(v)),
+        SInst::PushReg(r) => one("pr", Json::from_u64(r.into())),
+        SInst::PopReg(r) => one("qr", Json::from_u64(r.into())),
+        SInst::PushSlot(s) => one("ps", Json::from_u64(s.into())),
+        SInst::PopSlot(s) => one("qs", Json::from_u64(s.into())),
+        SInst::Drop => Json::Arr(vec![Json::str("drop")]),
+        SInst::Bin(op) => one("bin", Json::str(bin_op_name(op))),
+        SInst::Un(op) => one("un", Json::str(un_op_name(op))),
+        SInst::Trunc { bits, signed } => Json::Arr(vec![
+            Json::str("trunc"),
+            Json::from_u64(bits.into()),
+            Json::Bool(signed),
+        ]),
+        SInst::LoadGlobal { global, indexed } => Json::Arr(vec![
+            Json::str("lg"),
+            Json::from_u64(global.into()),
+            Json::Bool(indexed),
+        ]),
+        SInst::StoreGlobal { global, indexed } => Json::Arr(vec![
+            Json::str("sg"),
+            Json::from_u64(global.into()),
+            Json::Bool(indexed),
+        ]),
+        SInst::LoadInd => Json::Arr(vec![Json::str("ldi")]),
+        SInst::StoreInd => Json::Arr(vec![Json::str("sti")]),
+        SInst::PushGlobalAddr { global } => one("pga", Json::from_u64(global.into())),
+        SInst::PushSlotAddr(s) => one("psa", Json::from_u64(s.into())),
+        SInst::Jump { target } => one("j", Json::from_u64(target.into())),
+        SInst::BranchZero { target } => one("bz", Json::from_u64(target.into())),
+        SInst::BranchNonZero { target } => one("bnz", Json::from_u64(target.into())),
+        SInst::Call {
+            target,
+            argc,
+            has_ret,
+        } => Json::Arr(vec![
+            Json::str("call"),
+            match target {
+                CallTarget::Sink => Json::Null,
+                CallTarget::Function(f) => Json::from_u64(f.into()),
+            },
+            Json::from_u64(argc.into()),
+            Json::Bool(has_ret),
+        ]),
+        SInst::Ret { has_value } => one("ret", Json::Bool(has_value)),
+    }
+}
+
+fn sinst_from_json(json: &Json) -> Result<SInst, DecodeError> {
+    let as_u32 = |v: &Json, what: &str| -> Result<u32, DecodeError> {
+        as_u64(v, what)?
+            .try_into()
+            .map_err(|_| format!("{what} out of u32 range"))
+    };
+    let as_flag = |v: &Json, what: &str| -> Result<bool, DecodeError> {
+        v.as_bool()
+            .ok_or_else(|| format!("{what} is not a boolean"))
+    };
+    match tagged(json, "stack instruction")? {
+        ("nop", []) => Ok(SInst::Nop),
+        ("pi", [v]) => Ok(SInst::PushImm(as_i64(v, "push immediate")?)),
+        ("pr", [r]) => Ok(SInst::PushReg(as_reg(r, "push register")?)),
+        ("qr", [r]) => Ok(SInst::PopReg(as_reg(r, "pop register")?)),
+        ("ps", [s]) => Ok(SInst::PushSlot(as_u32(s, "push slot")?)),
+        ("qs", [s]) => Ok(SInst::PopSlot(as_u32(s, "pop slot")?)),
+        ("drop", []) => Ok(SInst::Drop),
+        ("bin", [op]) => Ok(SInst::Bin(bin_op_from_name(
+            op.as_str().ok_or("bin op is not a string")?,
+        )?)),
+        ("un", [op]) => Ok(SInst::Un(un_op_from_name(
+            op.as_str().ok_or("un op is not a string")?,
+        )?)),
+        ("trunc", [bits, signed]) => Ok(SInst::Trunc {
+            bits: as_u32(bits, "trunc bits")?,
+            signed: as_flag(signed, "trunc signed")?,
+        }),
+        ("lg", [global, indexed]) => Ok(SInst::LoadGlobal {
+            global: as_u32(global, "load global")?,
+            indexed: as_flag(indexed, "load global indexed")?,
+        }),
+        ("sg", [global, indexed]) => Ok(SInst::StoreGlobal {
+            global: as_u32(global, "store global")?,
+            indexed: as_flag(indexed, "store global indexed")?,
+        }),
+        ("ldi", []) => Ok(SInst::LoadInd),
+        ("sti", []) => Ok(SInst::StoreInd),
+        ("pga", [global]) => Ok(SInst::PushGlobalAddr {
+            global: as_u32(global, "push global address")?,
+        }),
+        ("psa", [s]) => Ok(SInst::PushSlotAddr(as_u32(s, "push slot address")?)),
+        ("j", [t]) => Ok(SInst::Jump {
+            target: as_u32(t, "jump target")?,
+        }),
+        ("bz", [t]) => Ok(SInst::BranchZero {
+            target: as_u32(t, "bz target")?,
+        }),
+        ("bnz", [t]) => Ok(SInst::BranchNonZero {
+            target: as_u32(t, "bnz target")?,
+        }),
+        ("call", [target, argc, has_ret]) => Ok(SInst::Call {
+            target: match target {
+                Json::Null => CallTarget::Sink,
+                other => CallTarget::Function(as_u32(other, "call target")?),
+            },
+            argc: as_u32(argc, "call argc")?,
+            has_ret: as_flag(has_ret, "call has_ret")?,
+        }),
+        ("ret", [has_value]) => Ok(SInst::Ret {
+            has_value: as_flag(has_value, "ret has_value")?,
+        }),
+        (tag, _) => Err(format!("unknown stack instruction `{tag}`")),
+    }
+}
+
+fn stack_program_to_json(program: &StackProgram) -> Json {
+    Json::Obj(vec![
+        ("backend".to_owned(), Json::str("stack")),
+        (
+            "functions".to_owned(),
+            Json::Arr(
+                program
+                    .functions
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::str(f.name.clone())),
+                            (
+                                "code".to_owned(),
+                                Json::Arr(f.code.iter().map(|&i| sinst_to_json(i)).collect()),
+                            ),
+                            (
+                                "frame_slots".to_owned(),
+                                Json::from_u64(f.frame_slots.into()),
+                            ),
+                            ("param_base".to_owned(), Json::from_u64(f.param_base.into())),
+                            ("base_address".to_owned(), Json::from_u64(f.base_address)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("globals".to_owned(), globals_to_json(&program.globals)),
+        ("entry".to_owned(), Json::from_u64(program.entry.into())),
+    ])
+}
+
+fn stack_program_from_json(json: &Json) -> Result<StackProgram, DecodeError> {
+    let functions = arr_field(json, "functions")?
+        .iter()
+        .map(|f| {
+            Ok(SFunction {
+                name: str_field(f, "name")?.to_owned(),
+                code: arr_field(f, "code")?
+                    .iter()
+                    .map(sinst_from_json)
+                    .collect::<Result<_, _>>()?,
+                frame_slots: u32_field(f, "frame_slots")?,
+                param_base: u32_field(f, "param_base")?,
+                base_address: u64_field(f, "base_address")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let globals = globals_from_json(json)?;
+    let entry = u32_field(json, "entry")?;
+    if (entry as usize) >= functions.len() {
+        return err("entry function index out of range");
+    }
+    // Cross-reference instruction operands so a checksum-valid but
+    // inconsistent file is rejected here instead of panicking the VM.
+    let function_count = functions.len();
+    let global_count = globals.len();
+    for function in &functions {
+        for inst in &function.code {
+            match *inst {
+                SInst::PushReg(r) | SInst::PopReg(r)
+                    if usize::from(r) >= holes_machine::STACK_NUM_REGS =>
+                {
+                    return err("stack instruction register out of range");
+                }
+                SInst::Call {
+                    target: CallTarget::Function(f),
+                    ..
+                } if (f as usize) >= function_count => {
+                    return err("call target out of range");
+                }
+                SInst::LoadGlobal { global, .. }
+                | SInst::StoreGlobal { global, .. }
+                | SInst::PushGlobalAddr { global }
+                    if (global as usize) >= global_count =>
+                {
+                    return err("global index out of range");
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(StackProgram {
+        functions,
+        globals,
+        entry,
+    })
+}
+
+/// Reject decoded debug information whose location descriptions name
+/// registers the executable's backend does not have: the debugger reads
+/// registers through an infallible accessor, so an out-of-range index from
+/// a tampered (checksum-recomputed) store file must never reach it.
+fn validate_location_registers(debug: &DebugInfo, reg_limit: usize) -> Result<(), DecodeError> {
+    for (_, die) in debug.iter() {
+        for (_, value) in &die.attrs {
+            if let AttrValue::LocList(entries) = value {
+                for entry in entries {
+                    let register = match entry.location {
+                        Location::Register(r) => Some(r),
+                        Location::Composite { reg, .. } => Some(reg),
+                        _ => None,
+                    };
+                    if register.is_some_and(|r| usize::from(r) >= reg_limit) {
+                        return err("location register out of range for the backend");
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encode either backend's machine code. Register programs keep the
+/// pre-backend object shape (no tag), so existing store files stay valid
+/// byte-for-byte; stack programs carry a `"backend": "stack"` marker.
+fn code_to_json(code: &MachineCode) -> Json {
+    match code {
+        MachineCode::Reg(program) => machine_to_json(program),
+        MachineCode::Stack(program) => stack_program_to_json(program),
+    }
+}
+
+fn code_from_json(json: &Json) -> Result<MachineCode, DecodeError> {
+    match json.get("backend") {
+        None => Ok(MachineCode::Reg(machine_from_json(json)?)),
+        Some(tag) if tag.as_str() == Some("stack") => {
+            Ok(MachineCode::Stack(stack_program_from_json(json)?))
+        }
+        Some(_) => err("unknown machine-code backend tag"),
+    }
+}
+
 // -------------------------------------------------------------- locations
 
 fn location_to_json(location: Location) -> Json {
@@ -448,6 +707,15 @@ fn location_to_json(location: Location) -> Json {
         Location::GlobalAddress(a) => Json::Arr(vec![Json::str("addr"), Json::from_u64(a)]),
         Location::ConstValue(c) => Json::Arr(vec![Json::str("const"), Json::from_i64(c)]),
         Location::Empty => Json::Arr(vec![Json::str("empty")]),
+        Location::FrameBase { offset } => {
+            Json::Arr(vec![Json::str("fb"), Json::from_i64(offset.into())])
+        }
+        Location::Composite { reg, offset, deref } => Json::Arr(vec![
+            Json::str("cx"),
+            Json::from_u64(reg.into()),
+            Json::from_i64(offset),
+            Json::Bool(deref),
+        ]),
     }
 }
 
@@ -458,6 +726,16 @@ fn location_from_json(json: &Json) -> Result<Location, DecodeError> {
         ("addr", [a]) => Ok(Location::GlobalAddress(as_u64(a, "location address")?)),
         ("const", [c]) => Ok(Location::ConstValue(as_i64(c, "location constant")?)),
         ("empty", []) => Ok(Location::Empty),
+        ("fb", [offset]) => Ok(Location::FrameBase {
+            offset: as_i64(offset, "frame-base offset")?
+                .try_into()
+                .map_err(|_| "frame-base offset out of range".to_owned())?,
+        }),
+        ("cx", [reg, offset, deref]) => Ok(Location::Composite {
+            reg: as_reg(reg, "composite register")?,
+            offset: as_i64(offset, "composite offset")?,
+            deref: deref.as_bool().ok_or("composite deref is not a boolean")?,
+        }),
         _ => err("unknown location shape"),
     }
 }
@@ -679,7 +957,7 @@ fn debug_info_from_json(json: &Json) -> Result<DebugInfo, DecodeError> {
 // --------------------------------------------------------- configurations
 
 fn config_to_json(config: &CompilerConfig) -> Json {
-    Json::Obj(vec![
+    let mut pairs = vec![
         (
             "personality".to_owned(),
             Json::str(config.personality.name()),
@@ -704,7 +982,13 @@ fn config_to_json(config: &CompilerConfig) -> Json {
             "disable_defects".to_owned(),
             Json::Bool(config.disable_defects),
         ),
-    ])
+    ];
+    // Like the fingerprint encoding: only a non-default backend extends the
+    // shape, keeping register-backend store files byte-identical.
+    if config.backend != holes_compiler::BackendKind::Reg {
+        pairs.push(("backend".to_owned(), Json::str(config.backend.name())));
+    }
+    Json::Obj(pairs)
 }
 
 fn config_from_json(json: &Json) -> Result<CompilerConfig, DecodeError> {
@@ -726,6 +1010,12 @@ fn config_from_json(json: &Json) -> Result<CompilerConfig, DecodeError> {
         other => Some(other.as_usize().ok_or("pass budget is not a usize")?),
     };
     config.disable_defects = bool_field(json, "disable_defects")?;
+    if let Some(backend) = json.get("backend") {
+        config.backend = backend
+            .as_str()
+            .and_then(|name| name.parse().ok())
+            .ok_or("unknown backend")?;
+    }
     Ok(config)
 }
 
@@ -737,7 +1027,7 @@ pub(super) fn executable_to_json(executable: &Executable) -> Json {
     let strings =
         |items: &[String]| Json::Arr(items.iter().map(|s| Json::str(s.clone())).collect());
     Json::Obj(vec![
-        ("machine".to_owned(), machine_to_json(&executable.machine)),
+        ("machine".to_owned(), code_to_json(&executable.machine)),
         ("debug".to_owned(), debug_info_to_json(&executable.debug)),
         ("config".to_owned(), config_to_json(&executable.config)),
         (
@@ -769,10 +1059,21 @@ pub(super) fn executable_from_json(json: &Json) -> Result<Executable, DecodeErro
             })
             .collect()
     };
+    let machine = code_from_json(get(json, "machine")?)?;
+    let config = config_from_json(get(json, "config")?)?;
+    if machine.backend() != config.backend {
+        return err("machine code and configuration disagree on the backend");
+    }
+    let debug = debug_info_from_json(get(json, "debug")?)?;
+    let reg_limit = match machine.backend() {
+        holes_machine::BackendKind::Reg => holes_machine::NUM_REGS,
+        holes_machine::BackendKind::Stack => holes_machine::STACK_NUM_REGS,
+    };
+    validate_location_registers(&debug, reg_limit)?;
     Ok(Executable {
-        machine: machine_from_json(get(json, "machine")?)?,
-        debug: debug_info_from_json(get(json, "debug")?)?,
-        config: config_from_json(get(json, "config")?)?,
+        machine,
+        debug,
+        config,
         report: PipelineReport {
             passes_run: strings("passes_run")?,
             defects_applied: strings("defects_applied")?,
@@ -935,6 +1236,13 @@ mod tests {
             CompilerConfig::new(Personality::Lcc, OptLevel::O2)
                 .with_disabled_pass("gvn")
                 .with_pass_budget(4),
+            // Stack-backend executables round-trip too (tagged machine
+            // object, frame-base/composite locations, config backend).
+            CompilerConfig::new(Personality::Lcc, OptLevel::O2)
+                .with_backend(holes_compiler::BackendKind::Stack),
+            CompilerConfig::new(Personality::Ccg, OptLevel::Og)
+                .with_backend(holes_compiler::BackendKind::Stack)
+                .without_defects(),
         ]
         .iter()
         .map(|config| compile(&generated.program, config))
@@ -987,6 +1295,62 @@ mod tests {
         let decoded = violations_from_json(&violations_to_json(&violations)).expect("decode");
         assert_eq!(decoded, violations);
         assert_eq!(violations_from_json(&Json::Arr(vec![])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn locations_beyond_the_backend_register_file_are_rejected() {
+        // A checksum-valid envelope naming a register the stack VM does not
+        // have must be rejected at decode time — the debugger's register
+        // accessor is infallible, so this is the last line of defence.
+        let mut executable = sample_executables().pop().unwrap();
+        assert!(executable.machine.as_stack().is_some());
+        let root = executable.debug.root();
+        executable.debug.set_attr(
+            root,
+            Attr::Location,
+            AttrValue::LocList(vec![LocListEntry::new(
+                0,
+                u64::MAX,
+                Location::Register(holes_machine::STACK_NUM_REGS as u8),
+            )]),
+        );
+        let encoded = executable_to_json(&executable);
+        assert!(executable_from_json(&encoded).is_err());
+        // The same register index is fine on the register backend.
+        let mut reg_exe = sample_executables().swap_remove(0);
+        assert!(reg_exe.machine.as_reg().is_some());
+        let root = reg_exe.debug.root();
+        reg_exe.debug.set_attr(
+            root,
+            Attr::Location,
+            AttrValue::LocList(vec![LocListEntry::new(
+                0,
+                u64::MAX,
+                Location::Register(holes_machine::STACK_NUM_REGS as u8),
+            )]),
+        );
+        assert!(executable_from_json(&executable_to_json(&reg_exe)).is_ok());
+    }
+
+    #[test]
+    fn stack_programs_with_dangling_operands_are_rejected() {
+        let executable = sample_executables().pop().unwrap();
+        let good = executable_to_json(&executable).to_compact();
+        for (needle, replacement) in [
+            ("[\"pr\",0]", "[\"pr\",11]"),     // register beyond the file
+            ("[\"call\",0,", "[\"call\",99,"), // call target out of range
+            ("[\"sg\",0,", "[\"sg\",99,"),     // global index out of range
+        ] {
+            let bad = good.replace(needle, replacement);
+            if bad == good {
+                continue; // operand shape not present in this sample
+            }
+            let parsed = Json::parse(&bad).unwrap();
+            assert!(
+                executable_from_json(&parsed).is_err(),
+                "tampered `{needle}` decoded"
+            );
+        }
     }
 
     #[test]

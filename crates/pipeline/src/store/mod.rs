@@ -105,6 +105,22 @@ pub struct StoreStats {
     pub writes: usize,
 }
 
+/// Outcome of one [`ArtifactStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Total artifact bytes found before the sweep.
+    pub scanned_bytes: u64,
+    /// Whole `(subject, fingerprint)` artifact families evicted.
+    pub evicted_fingerprints: usize,
+    /// Files deleted.
+    pub deleted_files: usize,
+    /// Bytes deleted.
+    pub deleted_bytes: u64,
+    /// Artifact bytes remaining after the sweep (≤ the budget unless a
+    /// concurrent writer raced the sweep).
+    pub remaining_bytes: u64,
+}
+
 /// A persistent artifact store rooted at a cache directory. See the module
 /// docs for the format and guarantees.
 #[derive(Debug)]
@@ -370,6 +386,126 @@ impl ArtifactStore {
         }
     }
 
+    /// Garbage-collect the store down to at most `max_bytes` of artifact
+    /// data, evicting **whole fingerprints** (every artifact kind of one
+    /// `(subject, fingerprint)` pair together) oldest-first by modification
+    /// time.
+    ///
+    /// Eviction at fingerprint granularity keeps the store consistent: a
+    /// fingerprint either has its full executable/trace/violation family or
+    /// none of it, so a warm run never loads a trace whose executable was
+    /// evicted moments earlier. The sweep is safe under concurrent shard
+    /// writes: in-flight temporary files are ignored, already-deleted files
+    /// are skipped, and a concurrent writer at worst re-creates an evicted
+    /// artifact (making the store momentarily exceed the budget, exactly as
+    /// any write after the sweep would).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store's directory tree cannot be
+    /// enumerated; deletion failures are tolerated (the file may have been
+    /// removed by a concurrent sweep).
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcStats> {
+        // Group artifact files by (subject directory, fingerprint prefix).
+        struct Group {
+            newest: std::time::SystemTime,
+            bytes: u64,
+            /// Member files with their sizes.
+            files: Vec<(PathBuf, u64)>,
+        }
+        let mut groups: std::collections::BTreeMap<(String, String), Group> =
+            std::collections::BTreeMap::new();
+        let mut scanned_bytes = 0u64;
+        for subject_entry in std::fs::read_dir(&self.root)? {
+            let subject_entry = match subject_entry {
+                Ok(entry) => entry,
+                Err(_) => continue,
+            };
+            let subject_path = subject_entry.path();
+            if !subject_path.is_dir() {
+                continue;
+            }
+            let subject_name = subject_entry.file_name().to_string_lossy().into_owned();
+            let Ok(artifacts) = std::fs::read_dir(&subject_path) else {
+                continue;
+            };
+            for artifact in artifacts.flatten() {
+                let name = artifact.file_name().to_string_lossy().into_owned();
+                // Skip in-flight temporaries of concurrent writers.
+                if name.starts_with('.') {
+                    continue;
+                }
+                let Ok(metadata) = artifact.metadata() else {
+                    continue;
+                };
+                if !metadata.is_file() {
+                    continue;
+                }
+                let fingerprint = name.split('.').next().unwrap_or(&name).to_owned();
+                let modified = metadata
+                    .modified()
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                scanned_bytes += metadata.len();
+                let group = groups
+                    .entry((subject_name.clone(), fingerprint))
+                    .or_insert(Group {
+                        newest: modified,
+                        bytes: 0,
+                        files: Vec::new(),
+                    });
+                group.newest = group.newest.max(modified);
+                group.bytes += metadata.len();
+                group.files.push((artifact.path(), metadata.len()));
+            }
+        }
+        // Oldest groups first; ties broken by the (deterministic) key.
+        let mut order: Vec<(&(String, String), &Group)> = groups.iter().collect();
+        order.sort_by(|a, b| a.1.newest.cmp(&b.1.newest).then_with(|| a.0.cmp(b.0)));
+        let mut stats = GcStats {
+            scanned_bytes,
+            remaining_bytes: scanned_bytes,
+            ..GcStats::default()
+        };
+        for (_, group) in order {
+            if stats.remaining_bytes <= max_bytes {
+                break;
+            }
+            // Only count what actually left the disk: a file a concurrent
+            // sweep removed first is gone either way, but a deletion that
+            // *failed* (permissions, I/O error) must keep counting against
+            // the budget — otherwise the sweep would report success while
+            // the store still exceeds it.
+            let mut group_deleted = 0u64;
+            let mut group_files = 0usize;
+            for (file, bytes) in &group.files {
+                match std::fs::remove_file(file) {
+                    Ok(()) => {
+                        group_files += 1;
+                        group_deleted += bytes;
+                    }
+                    Err(error) if error.kind() == io::ErrorKind::NotFound => {
+                        group_deleted += bytes;
+                    }
+                    Err(_) => {}
+                }
+            }
+            stats.deleted_files += group_files;
+            stats.deleted_bytes += group_deleted;
+            stats.remaining_bytes = stats.remaining_bytes.saturating_sub(group_deleted);
+            if group_deleted == group.bytes {
+                stats.evicted_fingerprints += 1;
+            }
+        }
+        // Best-effort cleanup of now-empty subject directories (fails
+        // harmlessly when a concurrent writer repopulates one).
+        if let Ok(subjects) = std::fs::read_dir(&self.root) {
+            for subject in subjects.flatten() {
+                let _ = std::fs::remove_dir(subject.path());
+            }
+        }
+        Ok(stats)
+    }
+
     /// Persist the violation set for `(subject, config, debugger)`.
     pub fn save_violations(
         &self,
@@ -467,6 +603,30 @@ mod tests {
     }
 
     #[test]
+    fn stack_backend_artifacts_persist_under_their_own_fingerprints() {
+        let scratch = Scratch::new("stack");
+        let subject = Subject::from_seed(7550);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let reg_config = config();
+        let stack_config = config().with_backend(holes_compiler::BackendKind::Stack);
+        let reg_violations = subject.violations(&reg_config);
+        let stack_violations = subject.violations(&stack_config);
+        assert_eq!(subject.cache_stats().compiles, 2, "backends aliased");
+        // A fresh cache loads both backends' artifacts from disk, each
+        // decoding to its own backend's machine code.
+        let warm = subject.with_fresh_cache();
+        warm.attach_store(Arc::clone(&scratch.store));
+        assert_eq!(warm.violations(&reg_config), reg_violations);
+        assert_eq!(warm.violations(&stack_config), stack_violations);
+        assert_eq!(warm.cache_stats().compiles, 0);
+        let reg_exe = warm.compile(&reg_config);
+        let stack_exe = warm.compile(&stack_config);
+        assert_eq!(warm.cache_stats().compiles, 0);
+        assert!(reg_exe.machine.as_reg().is_some());
+        assert!(stack_exe.machine.as_stack().is_some());
+    }
+
+    #[test]
     fn corrupted_store_files_are_recomputed_never_trusted() {
         let scratch = Scratch::new("corrupt");
         let subject = Subject::from_seed(7200);
@@ -552,6 +712,101 @@ mod tests {
             scratch.store.stats().rejected > before,
             "payload-less envelopes must be counted as rejected"
         );
+    }
+
+    /// Backdate every file of the given fingerprint so a GC sweep sees it
+    /// as the oldest.
+    fn age_fingerprint(root: &Path, fingerprint: Fingerprint, secs_ago: u64) {
+        let spelled = fingerprint.to_string();
+        let target = std::time::SystemTime::now() - std::time::Duration::from_secs(secs_ago);
+        for file in walk_files(root) {
+            if file
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with(&spelled))
+            {
+                let handle = std::fs::File::options().write(true).open(&file).unwrap();
+                handle
+                    .set_times(std::fs::FileTimes::new().set_modified(target))
+                    .unwrap();
+            }
+        }
+    }
+
+    fn store_bytes(root: &Path) -> u64 {
+        walk_files(root)
+            .iter()
+            .map(|f| std::fs::metadata(f).map(|m| m.len()).unwrap_or(0))
+            .sum()
+    }
+
+    #[test]
+    fn gc_evicts_oldest_fingerprints_and_respects_the_budget() {
+        let scratch = Scratch::new("gc");
+        let subject = Subject::from_seed(7600);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let old_config = CompilerConfig::new(Personality::Ccg, OptLevel::O0);
+        let new_config = config(); // -O2
+        let _ = subject.violations(&old_config);
+        let _ = subject.violations(&new_config);
+        let total = store_bytes(&scratch.root);
+        assert!(total > 0);
+        // Age the O0 artifacts far into the past; a budget that can keep
+        // only one fingerprint must evict exactly that one.
+        age_fingerprint(&scratch.root, old_config.fingerprint(), 3600);
+        let stats = scratch.store.gc(total - 1).unwrap();
+        assert_eq!(stats.scanned_bytes, total);
+        assert_eq!(stats.evicted_fingerprints, 1, "{stats:?}");
+        assert!(stats.remaining_bytes < total);
+        assert_eq!(store_bytes(&scratch.root), stats.remaining_bytes);
+        // The newest fingerprint survived intact; the evicted one is gone
+        // as a whole family and is recomputed, not trusted.
+        let warm = subject.with_fresh_cache();
+        warm.attach_store(Arc::clone(&scratch.store));
+        let _ = warm.violations(&new_config);
+        assert_eq!(warm.cache_stats().compiles, 0, "survivor went cold");
+        let _ = warm.violations(&old_config);
+        assert_eq!(warm.cache_stats().compiles, 1, "evicted entry not rebuilt");
+        // A zero budget empties the store entirely.
+        let stats = scratch.store.gc(0).unwrap();
+        assert_eq!(stats.remaining_bytes, 0);
+        assert_eq!(store_bytes(&scratch.root), 0);
+    }
+
+    #[test]
+    fn gc_survives_concurrent_shard_writes() {
+        let scratch = Scratch::new("gc-concurrent");
+        // Writers populate the store while sweeps run against a tiny
+        // budget; nothing may panic, and the store must stay functional.
+        std::thread::scope(|scope| {
+            for lane in 0..3u64 {
+                let store = Arc::clone(&scratch.store);
+                scope.spawn(move || {
+                    for offset in 0..3u64 {
+                        let subject = Subject::from_seed(7700 + lane * 10 + offset);
+                        subject.attach_store(Arc::clone(&store));
+                        let _ = subject.violations(&config());
+                    }
+                });
+            }
+            let store = Arc::clone(&scratch.store);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    store.gc(256).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // A final sweep lands under budget, and the store still serves a
+        // normal cold-compute / warm-load cycle afterwards.
+        let stats = scratch.store.gc(256).unwrap();
+        assert!(stats.remaining_bytes <= 256, "{stats:?}");
+        let subject = Subject::from_seed(7700);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let truth = subject.violations(&config());
+        let warm = subject.with_fresh_cache();
+        warm.attach_store(Arc::clone(&scratch.store));
+        assert_eq!(warm.violations(&config()), truth);
+        assert_eq!(warm.cache_stats().compiles, 0);
     }
 
     #[test]

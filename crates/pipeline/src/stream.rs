@@ -166,6 +166,7 @@ pub fn run_shard_streaming<W: Write>(
                 global_index,
                 spec.personality,
                 spec.version,
+                spec.backend,
                 &levels,
             );
             (records, subject.cache_stats())

@@ -16,12 +16,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use holes_compiler::{CompilerConfig, Personality};
+use holes_compiler::{BackendKind, CompilerConfig, Personality};
 use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
-use crate::campaign::{unique_key, CampaignResult, UniqueKey};
+use crate::campaign::{subject_records, unique_key, CampaignResult, UniqueKey};
 use crate::par;
+use crate::shard::{parse_levels, parse_spec_header, spec_header_pairs, CampaignSpec, ShardError};
 use crate::Subject;
 
 /// The outcome of triaging one violation.
@@ -53,12 +54,23 @@ pub fn triage(subject: &Subject, config: &CompilerConfig, violation: &Violation)
 /// Find the first pass prefix at which the violation appears, by binary
 /// search over the pass budget.
 ///
-/// Monotonicity is what makes this sound: a defect fires when its pass runs
-/// and nothing downstream repairs debug information, so once a violation has
-/// appeared at some prefix it persists at every longer prefix. Debug builds
-/// assert this over the whole budget range (cheap, because every probed
-/// budget is already memoized by the subject's artifact cache).
+/// Monotonicity is what makes the binary search sound: an IR-level defect
+/// fires when its pass runs and nothing downstream repairs debug
+/// information, so once a violation has appeared at some prefix it persists
+/// at every longer prefix. Debug builds assert this over the whole budget
+/// range (cheap, because every probed budget is already memoized by the
+/// subject's artifact cache).
+///
+/// Backends with **codegen-level** defects (the stack backend's spill-loss
+/// class) break the assumption: which bindings spill depends on the
+/// post-pipeline IR, so a violation can appear at budget `k` and vanish at
+/// `k + 1`. For those configurations this function delegates to the linear
+/// reference scan, whose "first budget at which the violation appears"
+/// semantics are well defined for any predicate.
 pub fn bisect(subject: &Subject, config: &CompilerConfig, violation: &Violation) -> TriageOutcome {
+    if config.backend != BackendKind::Reg {
+        return bisect_linear(subject, config, violation);
+    }
     let schedule = config.pass_schedule();
     let passes = schedule.len();
     let occurs = |budget: usize| {
@@ -116,7 +128,15 @@ pub fn bisect_linear(
 ) -> TriageOutcome {
     let schedule = config.pass_schedule();
     for budget in 0..=schedule.len() {
-        let candidate = config.clone().with_pass_budget(budget);
+        // A budget covering the whole schedule is the unbudgeted pipeline;
+        // probing it as the original configuration reuses cached artifacts
+        // (and, on backends with codegen-level defects, guarantees the last
+        // probe reproduces the campaign's observation exactly).
+        let candidate = if budget >= schedule.len() && config.pass_budget.is_none() {
+            config.clone()
+        } else {
+            config.clone().with_pass_budget(budget)
+        };
         if subject.violation_occurs(&candidate, violation) {
             let culprit = if budget == 0 {
                 "isel".to_owned()
@@ -139,18 +159,31 @@ pub fn bisect_linear(
 /// violation is reported (the method can identify multiple flags because of
 /// pass dependencies, as the paper notes). The per-flag recompilations are
 /// independent and evaluated in parallel, in schedule order.
+///
+/// When no flag removes the violation, one extra probe with an empty pass
+/// pipeline decides whether the violation comes from code generation
+/// itself: if it still reproduces with every optimization disabled, the
+/// culprit is `"isel"` — the attribution the stack backend's spill-loss
+/// defects need, since they live outside the flaggable pass schedule. (On
+/// the register backend the probe never fires: every defect there is
+/// pass-gated, so a zero-pass compilation is violation-free.)
 fn flag_search(subject: &Subject, config: &CompilerConfig, violation: &Violation) -> TriageOutcome {
     let flags = config.triage_flags();
     let removed = par::par_map(&flags, |_, flag| {
         let candidate = config.clone().with_disabled_pass(flag);
         !subject.violation_occurs(&candidate, violation)
     });
-    let culprits = flags
+    let mut culprits: Vec<String> = flags
         .iter()
         .zip(removed)
         .filter(|(_, removed)| *removed)
         .map(|(flag, _)| (*flag).to_owned())
         .collect();
+    if culprits.is_empty()
+        && subject.violation_occurs(&config.clone().with_pass_budget(0), violation)
+    {
+        culprits.push("isel".to_owned());
+    }
     TriageOutcome {
         culprits,
         method: TriageMethod::FlagSearch,
@@ -159,7 +192,7 @@ fn flag_search(subject: &Subject, config: &CompilerConfig, violation: &Violation
 
 /// Table 2: for each conjecture, how many triaged violations are attributed
 /// to each pass, sorted by frequency.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TriageTable {
     /// `counts[conjecture][pass] = number of violations attributed to it`.
     pub counts: BTreeMap<Conjecture, BTreeMap<String, usize>>,
@@ -176,6 +209,18 @@ impl TriageTable {
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries.truncate(n);
         entries
+    }
+
+    /// Fold another table's counts into this one (the triage-shard merge
+    /// primitive: attribution counts are additive across disjoint seed
+    /// sets).
+    pub fn absorb(&mut self, other: TriageTable) {
+        for (conjecture, passes) in other.counts {
+            let into = self.counts.entry(conjecture).or_default();
+            for (pass, count) in passes {
+                *into.entry(pass).or_insert(0) += count;
+            }
+        }
     }
 
     /// Number of distinct passes (or flag combinations) identified.
@@ -237,6 +282,27 @@ pub fn triage_campaign(
     result: &CampaignResult,
     per_conjecture_limit: usize,
 ) -> TriageTable {
+    triage_campaign_on(
+        subjects,
+        personality,
+        version,
+        BackendKind::Reg,
+        result,
+        per_conjecture_limit,
+    )
+}
+
+/// [`triage_campaign`] targeting an explicit backend (the campaign result
+/// must have been produced on the same backend, or the oracle will not
+/// reproduce the violations).
+pub fn triage_campaign_on(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+    backend: BackendKind,
+    result: &CampaignResult,
+    per_conjecture_limit: usize,
+) -> TriageTable {
     let mut taken: BTreeMap<Conjecture, usize> = BTreeMap::new();
     let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
     let mut selected: Vec<&crate::campaign::ViolationRecord> = Vec::new();
@@ -252,7 +318,9 @@ pub fn triage_campaign(
         selected.push(record);
     }
     let outcomes = par::par_map(&selected, |_, record| {
-        let config = CompilerConfig::new(personality, record.level).with_version(version);
+        let config = CompilerConfig::new(personality, record.level)
+            .with_version(version)
+            .with_backend(backend);
         triage(&subjects[record.subject], &config, &record.violation)
     });
     let mut table = TriageTable::default();
@@ -267,6 +335,249 @@ pub fn triage_campaign(
         }
     }
     table
+}
+
+/// The identifying first line of a triage shard file.
+pub const TRIAGE_SHARD_FORMAT: &str = "holes.triage-shard/v1";
+
+/// One completed triage shard: the campaign spec it ran over, the
+/// per-subject selection limit, and the attributions found on the shard's
+/// seeds.
+///
+/// Sharded triage reuses [`crate::shard`]'s partitioning seam but changes
+/// the *selection* semantics: instead of the monolithic driver's global
+/// per-conjecture limit (whose selection depends on the whole range's
+/// record order and therefore cannot be computed shard-locally), each
+/// **subject** contributes up to `limit` unique violations per conjecture.
+/// Selection is then independent per seed, every seed lives in exactly one
+/// shard, and [`merge_triage_shards`] — a pointwise sum of attribution
+/// counts — is deterministic and byte-identical to the single-shard run,
+/// mirroring the campaign merge contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageShard {
+    /// What was run (personality, version, seed range, shard slice,
+    /// backend).
+    pub spec: CampaignSpec,
+    /// Unique violations triaged per conjecture *per subject*.
+    pub limit: usize,
+    /// The shard's attribution counts.
+    pub table: TriageTable,
+}
+
+/// Run one shard of a sharded triage (see [`TriageShard`] for the
+/// selection semantics), returning the shard plus the aggregated
+/// evaluation-engine activity.
+///
+/// # Errors
+///
+/// Returns the spec validation failure.
+pub fn run_triage_shard(
+    spec: &CampaignSpec,
+    limit: usize,
+) -> Result<(TriageShard, crate::CacheStats), ShardError> {
+    spec.validate()?;
+    let levels = spec.personality.levels().to_vec();
+    let seeds = spec.shard_seeds();
+    let per_seed = par::par_map(&seeds, |_, &seed| {
+        let subject = Subject::from_seed(seed);
+        let global_index = (seed - spec.seeds.start) as usize;
+        let records = subject_records(
+            &subject,
+            global_index,
+            spec.personality,
+            spec.version,
+            spec.backend,
+            &levels,
+        );
+        let mut taken: BTreeMap<Conjecture, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
+        let mut table = TriageTable::default();
+        for record in &records {
+            let conjecture = record.violation.conjecture;
+            if *taken.get(&conjecture).unwrap_or(&0) >= limit {
+                continue;
+            }
+            if !seen.insert(unique_key(record)) {
+                continue;
+            }
+            *taken.entry(conjecture).or_insert(0) += 1;
+            let config = CompilerConfig::new(spec.personality, record.level)
+                .with_version(spec.version)
+                .with_backend(spec.backend);
+            let outcome = triage(&subject, &config, &record.violation);
+            for culprit in outcome.culprits {
+                *table
+                    .counts
+                    .entry(conjecture)
+                    .or_default()
+                    .entry(culprit)
+                    .or_insert(0) += 1;
+            }
+        }
+        (table, subject.cache_stats())
+    });
+    let mut table = TriageTable::default();
+    let mut stats = crate::CacheStats::default();
+    for (subject_table, subject_stats) in per_seed {
+        table.absorb(subject_table);
+        stats.absorb(subject_stats);
+    }
+    Ok((
+        TriageShard {
+            spec: spec.clone(),
+            limit,
+            table,
+        },
+        stats,
+    ))
+}
+
+/// Merge a complete set of triage shards back into the monolithic
+/// [`TriageTable`] for the full seed range: the pointwise sum of the
+/// shards' attribution counts. All shards must belong to the same campaign,
+/// use the same limit, and cover `0..shards` exactly once (the same
+/// contract as [`crate::shard::merge_shards`]).
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] when the set is incomplete or inconsistent.
+pub fn merge_triage_shards(shards: Vec<TriageShard>) -> Result<TriageTable, ShardError> {
+    let first = shards
+        .first()
+        .cloned()
+        .ok_or_else(|| ShardError::Incompatible("no triage shards to merge".into()))?;
+    for shard in &shards {
+        shard.spec.validate()?;
+        if !shard.spec.same_campaign(&first.spec) {
+            return Err(ShardError::Incompatible(format!(
+                "triage shard {} belongs to a different campaign than shard {}",
+                shard.spec.shard, first.spec.shard
+            )));
+        }
+        if shard.limit != first.limit {
+            return Err(ShardError::Incompatible(format!(
+                "triage shard {} used limit {} but shard {} used limit {}",
+                shard.spec.shard, shard.limit, first.spec.shard, first.limit
+            )));
+        }
+    }
+    let mut indices: Vec<u64> = shards.iter().map(|s| s.spec.shard).collect();
+    indices.sort_unstable();
+    let expected: Vec<u64> = (0..first.spec.shards).collect();
+    if indices != expected {
+        return Err(ShardError::Incompatible(format!(
+            "triage shard indices {indices:?} do not cover 0..{} exactly once",
+            first.spec.shards
+        )));
+    }
+    let mut table = TriageTable::default();
+    for shard in shards {
+        table.absorb(shard.table);
+    }
+    Ok(table)
+}
+
+impl TriageShard {
+    /// Serialize to the deterministic triage-shard JSON (see
+    /// [`TRIAGE_SHARD_FORMAT`]): the campaign spec header shared with the
+    /// campaign shard formats, the per-subject limit, and the attribution
+    /// counts in canonical (conjecture, pass-name) order.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = spec_header_pairs(&self.spec, TRIAGE_SHARD_FORMAT);
+        pairs.push(("limit".to_owned(), Json::from_usize(self.limit)));
+        let culprits = Conjecture::ALL
+            .iter()
+            .map(|&conjecture| {
+                let passes = self
+                    .table
+                    .counts
+                    .get(&conjecture)
+                    .map(|passes| {
+                        passes
+                            .iter()
+                            .map(|(pass, count)| {
+                                Json::Obj(vec![
+                                    ("pass".to_owned(), Json::str(pass.clone())),
+                                    ("count".to_owned(), Json::from_usize(*count)),
+                                ])
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                (conjecture.to_string(), Json::Arr(passes))
+            })
+            .collect();
+        pairs.push(("culprits".to_owned(), Json::Obj(culprits)));
+        Json::Obj(pairs)
+    }
+
+    /// Parse and validate a triage shard file produced by
+    /// [`TriageShard::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardError`] for format, spec, or count problems.
+    pub fn from_json(json: &Json) -> Result<TriageShard, ShardError> {
+        let format = json
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ShardError::Malformed("missing `format`".into()))?;
+        if format != TRIAGE_SHARD_FORMAT {
+            return Err(ShardError::Malformed(format!(
+                "unsupported format `{format}` (expected `{TRIAGE_SHARD_FORMAT}`)"
+            )));
+        }
+        let spec = parse_spec_header(json)?;
+        parse_levels(json, spec.personality)?;
+        let limit = json
+            .get("limit")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ShardError::Malformed("missing or non-integer `limit`".into()))?;
+        let culprits = json
+            .get("culprits")
+            .and_then(|c| match c {
+                Json::Obj(pairs) => Some(pairs),
+                _ => None,
+            })
+            .ok_or_else(|| ShardError::Malformed("missing `culprits` object".into()))?;
+        let mut table = TriageTable::default();
+        for (key, passes) in culprits {
+            let conjecture: Conjecture = key
+                .parse()
+                .map_err(|_| ShardError::Malformed(format!("unknown conjecture `{key}`")))?;
+            let passes = passes
+                .as_arr()
+                .ok_or_else(|| ShardError::Malformed("culprit list is not an array".into()))?;
+            for entry in passes {
+                let pass = entry
+                    .get("pass")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ShardError::Malformed("culprit without a pass name".into()))?;
+                let count = entry
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ShardError::Malformed("culprit without a count".into()))?;
+                if count == 0 {
+                    return Err(ShardError::Malformed(format!(
+                        "culprit `{pass}` carries a zero count"
+                    )));
+                }
+                let slot = table
+                    .counts
+                    .entry(conjecture)
+                    .or_default()
+                    .entry(pass.to_owned())
+                    .or_insert(0);
+                if *slot != 0 {
+                    return Err(ShardError::Malformed(format!(
+                        "culprit `{pass}` is listed twice for {conjecture}"
+                    )));
+                }
+                *slot = count;
+            }
+        }
+        Ok(TriageShard { spec, limit, table })
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +672,133 @@ mod tests {
             assert!(
                 any_strictly_fewer,
                 "binary search never compiled strictly less than the linear scan"
+            );
+        }
+    }
+
+    #[test]
+    fn stack_backend_triage_runs_and_attributes_spill_loss_to_isel() {
+        // Regression test: the spill-loss defect fires at code generation,
+        // so violation appearance is NOT monotone in the pass budget; lcc
+        // triage used to trip bisection's monotonicity debug-assertion.
+        // Both personalities must triage a stack-backend campaign without
+        // panicking, and the codegen-level class must show up as "isel".
+        use holes_progen::SeedRange;
+        let mut saw_isel = false;
+        for personality in [Personality::Lcc, Personality::Ccg] {
+            let spec = CampaignSpec::new(personality, personality.trunk(), SeedRange::new(0, 12))
+                .with_backend(BackendKind::Stack);
+            let (shard, _) = run_triage_shard(&spec, 3).unwrap();
+            assert!(
+                !shard.table.counts.is_empty(),
+                "{personality}: stack campaign exposed nothing to triage"
+            );
+            saw_isel |= shard
+                .table
+                .counts
+                .values()
+                .any(|passes| passes.contains_key("isel"));
+        }
+        assert!(
+            saw_isel,
+            "no spill-loss violation was attributed to code generation"
+        );
+    }
+
+    #[test]
+    fn sharded_triage_merges_to_the_single_shard_run() {
+        // The triage analogue of the campaign merge-determinism contract:
+        // K shard runs — round-tripped through their JSON files — merge to
+        // the exact table of the K=1 run, in any input order.
+        use holes_core::json::Json;
+        use holes_progen::SeedRange;
+        let personality = Personality::Lcc;
+        let spec = CampaignSpec::new(personality, personality.trunk(), SeedRange::new(2600, 2612));
+        let (monolithic, stats) = run_triage_shard(&spec, 2).unwrap();
+        assert!(stats.compiles > 0, "triage compiled nothing");
+        assert!(
+            !monolithic.table.counts.is_empty(),
+            "range exposed no violations to triage"
+        );
+        for shards in [2u64, 3] {
+            let mut runs: Vec<TriageShard> = (0..shards)
+                .map(|index| {
+                    let (run, _) =
+                        run_triage_shard(&spec.clone().with_shard(shards, index), 2).unwrap();
+                    let rendered = run.to_json().to_pretty();
+                    let reparsed =
+                        TriageShard::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+                    assert_eq!(reparsed, run, "shard file round-trip changed the shard");
+                    // Serialization is deterministic.
+                    assert_eq!(reparsed.to_json().to_pretty(), rendered);
+                    reparsed
+                })
+                .collect();
+            runs.reverse(); // merge order must not matter
+            let merged = merge_triage_shards(runs).unwrap();
+            assert_eq!(merged, monolithic.table, "K={shards}");
+            assert_eq!(
+                merged.to_json().to_pretty(),
+                monolithic.table.to_json().to_pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn triage_merge_rejects_incomplete_and_inconsistent_sets() {
+        use holes_progen::SeedRange;
+        let spec = CampaignSpec::new(
+            Personality::Lcc,
+            Personality::Lcc.trunk(),
+            SeedRange::new(2620, 2624),
+        );
+        let (s0, _) = run_triage_shard(&spec.clone().with_shard(2, 0), 1).unwrap();
+        let (s1, _) = run_triage_shard(&spec.clone().with_shard(2, 1), 1).unwrap();
+        assert!(merge_triage_shards(Vec::new()).is_err(), "empty set");
+        assert!(
+            merge_triage_shards(vec![s0.clone()]).is_err(),
+            "missing shard"
+        );
+        assert!(
+            merge_triage_shards(vec![s0.clone(), s0.clone()]).is_err(),
+            "duplicate shard"
+        );
+        let mut other_limit = s1.clone();
+        other_limit.limit = 9;
+        assert!(
+            merge_triage_shards(vec![s0.clone(), other_limit]).is_err(),
+            "mixed limits"
+        );
+        let mut other_backend = s1.clone();
+        other_backend.spec.backend = BackendKind::Stack;
+        assert!(
+            merge_triage_shards(vec![s0.clone(), other_backend]).is_err(),
+            "mixed backends"
+        );
+        assert!(merge_triage_shards(vec![s0, s1]).is_ok());
+    }
+
+    #[test]
+    fn triage_shard_files_reject_tampering() {
+        use holes_core::json::Json;
+        use holes_progen::SeedRange;
+        let spec = CampaignSpec::new(
+            Personality::Ccg,
+            Personality::Ccg.trunk(),
+            SeedRange::new(2630, 2634),
+        );
+        let (run, _) = run_triage_shard(&spec, 1).unwrap();
+        let good = run.to_json().to_pretty();
+        for (needle, replacement) in [
+            ("holes.triage-shard/v1", "holes.triage-shard/v0"),
+            ("\"ccg\"", "\"gcc\""),
+            ("\"limit\": 1", "\"limit\": true"),
+        ] {
+            let bad = good.replace(needle, replacement);
+            assert_ne!(bad, good, "replacement `{needle}` did not apply");
+            assert!(
+                TriageShard::from_json(&Json::parse(&bad).unwrap()).is_err(),
+                "tampered `{needle}` was accepted"
             );
         }
     }

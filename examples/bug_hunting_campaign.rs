@@ -36,7 +36,14 @@ fn main() {
         println!("{}", triaged.render(5));
 
         println!("--- Table 3: DIE-level classification ---");
-        let report = build_report(&pool, &result, personality, trunk, 30);
+        let report = build_report(
+            &pool,
+            &result,
+            personality,
+            trunk,
+            holes_pipeline::BackendKind::Reg,
+            30,
+        );
         println!("{}", report.render());
     }
 }

@@ -83,7 +83,14 @@ fn campaign_triage_and_report_work_together() {
     for personality in [Personality::Ccg, Personality::Lcc] {
         let result = run_campaign(&pool, personality, personality.trunk());
         total_violations += result.records.len();
-        let report = build_report(&pool, &result, personality, personality.trunk(), 20);
+        let report = build_report(
+            &pool,
+            &result,
+            personality,
+            personality.trunk(),
+            holes_pipeline::BackendKind::Reg,
+            20,
+        );
         assert!(report.rows.len() <= 20);
         if let Some(record) = result.records.first() {
             let config =

@@ -99,6 +99,64 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&metrics.product));
     }
 
+    /// The cross-backend differential oracle: on defect-free
+    /// configurations the register VM and the stack VM are semantically
+    /// equivalent end to end — same observable run outcome as the reference
+    /// interpreter, same steppable and reached source lines, and the same
+    /// variable availability *and values* at every matching line stop. Any
+    /// divergence would mean one backend's codegen or location descriptions
+    /// are wrong, so this property is what licenses attributing
+    /// stack-campaign-only violations to the injected spill defects rather
+    /// than to the backend itself.
+    #[test]
+    fn backends_agree_on_defect_free_traces(
+        seed in 0u64..250,
+        level_index in 0usize..7,
+        personality_index in 0usize..2,
+    ) {
+        use holes_compiler::BackendKind;
+        let generated = ProgramGenerator::from_seed(seed).generate();
+        let reference = Interpreter::new(&generated.program).run().unwrap();
+        let personality = [Personality::Ccg, Personality::Lcc][personality_index];
+        let levels: Vec<OptLevel> = std::iter::once(OptLevel::O0)
+            .chain(personality.levels().iter().copied())
+            .collect();
+        let level = levels[level_index % levels.len()];
+        let reg_config = CompilerConfig::new(personality, level).without_defects();
+        let stack_config = reg_config.clone().with_backend(BackendKind::Stack);
+        let reg_exe = compile(&generated.program, &reg_config);
+        let stack_exe = compile(&generated.program, &stack_config);
+        prop_assert!(reg_exe.run().unwrap().matches(&reference));
+        prop_assert!(stack_exe.run().unwrap().matches(&reference));
+        let kind = DebuggerKind::native_for(personality);
+        let reg_trace = trace(&reg_exe, kind);
+        let stack_trace = trace(&stack_exe, kind);
+        prop_assert_eq!(&reg_trace.steppable_lines, &stack_trace.steppable_lines);
+        let reg_lines: Vec<u32> = reg_trace.reached.keys().copied().collect();
+        let stack_lines: Vec<u32> = stack_trace.reached.keys().copied().collect();
+        prop_assert_eq!(&reg_lines, &stack_lines, "reached lines diverge");
+        for &line in &reg_lines {
+            let stop = reg_trace.stop_at(line).unwrap();
+            for variable in &stop.variables {
+                let reg_status = reg_trace.var_at(line, &variable.name).unwrap();
+                let stack_status = stack_trace.var_at(line, &variable.name).unwrap();
+                prop_assert_eq!(
+                    reg_status,
+                    stack_status,
+                    "seed {} {} {}: line {} variable {}",
+                    seed,
+                    personality,
+                    level,
+                    line,
+                    variable.name
+                );
+            }
+            // The variable listings cover the same names in both directions.
+            let stack_stop = stack_trace.stop_at(line).unwrap();
+            prop_assert_eq!(stop.variables.len(), stack_stop.variables.len());
+        }
+    }
+
     /// The defect-free compiler never produces conjecture violations: the
     /// conjectures only fire on injected (catalogued) defects.
     #[test]
