@@ -25,33 +25,44 @@ fn compile_counts(c: &mut Criterion) {
     let pool = bench_pool(51_000);
     let personality = Personality::Lcc;
     let result = run_campaign(&pool, personality, personality.trunk());
-    println!("== bisection oracle compiles (binary vs linear) ==");
+    println!("== bisection oracle evaluations (binary vs linear) ==");
     let mut strictly_fewer = 0usize;
     let mut compared = 0usize;
     for record in result.records.iter().take(16) {
         let config =
             CompilerConfig::new(personality, record.level).with_version(personality.trunk());
+        // Budget probes derive from pass-prefix snapshots (codegen only),
+        // so the work each strategy performs is compiles + codegen_only.
         let for_binary = pool[record.subject].with_fresh_cache();
         let binary = bisect(&for_binary, &config, &record.violation);
-        let binary_compiles = for_binary.cache_stats().compiles;
+        let binary_stats = for_binary.cache_stats();
+        let binary_work = binary_stats.compiles + binary_stats.codegen_only;
         let for_linear = pool[record.subject].with_fresh_cache();
         let linear = bisect_linear(&for_linear, &config, &record.violation);
-        let linear_compiles = for_linear.cache_stats().compiles;
+        let linear_stats = for_linear.cache_stats();
+        let linear_work = linear_stats.compiles + linear_stats.codegen_only;
         assert_eq!(binary, linear, "bisection strategies disagree on a culprit");
         assert!(
-            binary_compiles <= linear_compiles.max(6),
-            "binary search compiled noticeably more than the scan: \
-             {binary_compiles} vs {linear_compiles}"
+            binary_work <= linear_work.max(6),
+            "binary search evaluated noticeably more than the scan: \
+             {binary_work} vs {linear_work}"
+        );
+        assert!(
+            binary_stats.compiles <= 1 && linear_stats.compiles <= 1,
+            "a non-trunk budget probe ran a full compile: \
+             binary {binary_stats:?}, linear {linear_stats:?}"
         );
         println!(
-            "  {} line {:>3} {:<12} binary {:>2} compiles, linear {:>2}",
+            "  {} line {:>3} {:<12} binary {:>2} evaluations ({} full compiles), linear {:>2} ({})",
             config.describe(),
             record.violation.line,
             record.violation.variable,
-            binary_compiles,
-            linear_compiles,
+            binary_work,
+            binary_stats.compiles,
+            linear_work,
+            linear_stats.compiles,
         );
-        strictly_fewer += usize::from(binary_compiles < linear_compiles);
+        strictly_fewer += usize::from(binary_work < linear_work);
         compared += 1;
     }
     assert!(compared > 0, "campaign produced no violations to bisect");
@@ -60,7 +71,7 @@ fn compile_counts(c: &mut Criterion) {
     } else {
         assert!(
             strictly_fewer > 0,
-            "binary search never compiled strictly less than the linear scan"
+            "binary search never evaluated strictly fewer budgets than the linear scan"
         );
     }
     println!("  strictly fewer on {strictly_fewer}/{compared} violations");

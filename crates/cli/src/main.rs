@@ -24,14 +24,18 @@ use std::sync::Arc;
 use holes::compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes::core::json::Json;
 use holes::core::Conjecture;
-use holes::pipeline::campaign::run_campaign_on;
+use holes::pipeline::campaign::{run_campaign_on, CampaignTallies};
 use holes::pipeline::reduce::reduce;
 use holes::pipeline::report::build_report_from_seeds;
 use holes::pipeline::shard::{
-    merge_shards, run_shard_with_stats, CampaignShard, CampaignSpec, ShardError,
+    merge_shards, run_shard_with_stats, validate_shard_specs, CampaignShard, CampaignSpec,
+    ShardError,
 };
 use holes::pipeline::store::CACHE_DIR_ENV;
-use holes::pipeline::stream::{is_jsonl_shard, read_jsonl_shard, run_shard_streaming, StreamError};
+use holes::pipeline::stream::{
+    fold_jsonl_reader, is_jsonl_shard, parse_jsonl_header, read_jsonl_shard, run_shard_streaming,
+    StreamError,
+};
 use holes::pipeline::triage::{
     merge_triage_shards, run_triage_shard, triage, triage_campaign_on, TriageShard,
 };
@@ -199,8 +203,15 @@ fn cache_store(parsed: &Parsed) -> Result<Option<Arc<ArtifactStore>>, String> {
 /// machine-readable output stays byte-identical with and without `--stats`).
 fn print_stats(stats: &CacheStats, store: Option<&Arc<ArtifactStore>>) {
     eprintln!(
-        "stats: compiles {}, traces {}, checks {}, hits {}, disk loads {}",
-        stats.compiles, stats.traces, stats.checks, stats.hits, stats.disk_loads,
+        "stats: compiles {}, traces {}, checks {}, hits {}, disk loads {}, codegen-only {}, \
+         plan stops {}",
+        stats.compiles,
+        stats.traces,
+        stats.checks,
+        stats.hits,
+        stats.disk_loads,
+        stats.codegen_only,
+        stats.plan_hits,
     );
     if let Some(store) = store {
         let s = store.stats();
@@ -432,6 +443,15 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
     if parsed.positionals().is_empty() {
         return Err("no shard files given".into());
     }
+    let issue_limit: usize = parsed.opt_parse("issues", 0).map_err(|e| e.to_string())?;
+    if issue_limit == 0 {
+        // The default path streams: every aggregate the report renders is
+        // order-independent, so records fold into one accumulator file by
+        // file (line by line for JSONL inputs) and are never materialized.
+        return report_streaming(&parsed);
+    }
+    // `--issues` classifies the first N unique violations in canonical
+    // merged-record order, so this path still materializes the records.
     let mut shards = Vec::new();
     for path in parsed.positionals() {
         shards.push(parse_shard_file(path)?);
@@ -453,20 +473,91 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
         .collect();
     let result = merge_shards(shards)
         .map_err(|e: ShardError| format!("{e}; inputs were: {}", origins.join(", ")))?;
-    let issue_limit: usize = parsed.opt_parse("issues", 0).map_err(|e| e.to_string())?;
-    let issues = (issue_limit > 0).then(|| {
-        // Regenerates only the (at most `issue_limit`) classified programs
-        // from their seeds, not the campaign's full range.
-        build_report_from_seeds(
-            &result,
-            campaign.personality,
-            campaign.version,
-            campaign.backend,
-            issue_limit,
-        )
-    });
+    // Regenerates only the (at most `issue_limit`) classified programs
+    // from their seeds, not the campaign's full range.
+    let issues = build_report_from_seeds(
+        &result,
+        campaign.personality,
+        campaign.version,
+        campaign.backend,
+        issue_limit,
+    );
+    render_report(
+        &parsed,
+        &campaign,
+        &result.tallies(),
+        Some((&issues, issue_limit)),
+    )
+}
 
-    // The JSON summary re-aggregates every record; build it only when a
+/// The streaming path of `holes report`: fold every input file's records
+/// into one [`CampaignTallies`] accumulator — line by line for JSONL
+/// shards, per parsed document for classic shards — and render from the
+/// tallies. Output is byte-identical to the materializing path; memory is
+/// bounded by the accumulator (unique violations), never by the record
+/// count.
+fn report_streaming(parsed: &Parsed) -> Result<(), String> {
+    use std::io::{BufRead, Read};
+    let mut specs: Vec<CampaignSpec> = Vec::new();
+    let mut tallies: Option<CampaignTallies> = None;
+    for path in parsed.positionals() {
+        let file = std::fs::File::open(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut first_line = String::new();
+        reader
+            .read_line(&mut first_line)
+            .map_err(|e| format!("reading `{path}`: {e}"))?;
+        if is_jsonl_shard(&first_line) {
+            let (spec, levels) =
+                parse_jsonl_header(first_line.trim_end()).map_err(|e| format!("`{path}`: {e}"))?;
+            let into = tallies
+                .get_or_insert_with(|| CampaignTallies::new(levels, spec.seeds.len() as usize));
+            // Chain the already-consumed header line back in front of the
+            // remaining stream, so the reader sees the whole file.
+            let chained = std::io::Cursor::new(first_line.clone()).chain(reader);
+            let summary = fold_jsonl_reader(chained, |record| into.add(&record))
+                .map_err(|e| format!("`{path}`: {e}"))?;
+            specs.push(summary.spec);
+        } else {
+            // A classic holes.campaign/v1 document: parse it, fold its
+            // records, and drop it before the next file is opened.
+            let mut text = first_line;
+            reader
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading `{path}`: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+            let shard = CampaignShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))?;
+            let into = tallies.get_or_insert_with(|| {
+                CampaignTallies::new(shard.result.levels.clone(), shard.spec.seeds.len() as usize)
+            });
+            for record in &shard.result.records {
+                into.add(record);
+            }
+            specs.push(shard.spec);
+        }
+    }
+    let origins: Vec<String> = parsed
+        .positionals()
+        .iter()
+        .zip(&specs)
+        .map(|(path, spec)| format!("`{path}` (shard {}/{})", spec.shard, spec.shards))
+        .collect();
+    let campaign = validate_shard_specs(&specs)
+        .map_err(|e| format!("{e}; inputs were: {}", origins.join(", ")))?;
+    let tallies = tallies.expect("at least one input file was folded");
+    render_report(parsed, &campaign, &tallies, None)
+}
+
+/// Render the merged campaign — JSON summary and/or the text tables — from
+/// its one-pass tallies. Shared by the streaming and materializing paths,
+/// which therefore cannot diverge byte-wise.
+fn render_report(
+    parsed: &Parsed,
+    campaign: &CampaignSpec,
+    tallies: &CampaignTallies,
+    issues: Option<(&holes::pipeline::report::IssueReport, usize)>,
+) -> Result<(), String> {
+    // The JSON summary re-aggregates every tally; build it only when a
     // machine-readable sink asked for it.
     if parsed.switch("json") || parsed.opt("out").is_some() {
         let mut header = vec![
@@ -484,13 +575,12 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
         if campaign.backend != BackendKind::Reg {
             header.push(("backend".to_owned(), Json::str(campaign.backend.name())));
         }
-        header.push(("summary".to_owned(), result.summary_json()));
-        let mut summary = Json::Obj(header);
-        if let (Json::Obj(pairs), Some(report)) = (&mut summary, &issues) {
-            pairs.push(("issues".to_owned(), report.to_json()));
+        header.push(("summary".to_owned(), tallies.summary_json()));
+        if let Some((report, _)) = issues {
+            header.push(("issues".to_owned(), report.to_json()));
         }
-        let rendered = summary.to_pretty();
-        write_out(&parsed, &rendered)?;
+        let rendered = Json::Obj(header).to_pretty();
+        write_out(parsed, &rendered)?;
         if parsed.switch("json") {
             out!("{rendered}");
             return Ok(());
@@ -503,21 +593,21 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
         campaign.personality.version_names()[campaign.version],
         campaign.seeds,
         backend_suffix(campaign.backend),
-        result.programs,
-        result.records.len(),
+        tallies.programs(),
+        tallies.records(),
     );
     outln!();
     outln!("Table 1: violations per level (unique across levels in the last row)");
-    out!("{}", result.table1());
+    out!("{}", tallies.table1());
     outln!();
-    outln!("violations at all levels: {}", result.at_all_levels());
+    outln!("violations at all levels: {}", tallies.at_all_levels());
     outln!(
         "clean programs: C1 {}, C2 {}, C3 {}",
-        result.clean_programs(Conjecture::C1),
-        result.clean_programs(Conjecture::C2),
-        result.clean_programs(Conjecture::C3),
+        tallies.clean_programs(Conjecture::C1),
+        tallies.clean_programs(Conjecture::C2),
+        tallies.clean_programs(Conjecture::C3),
     );
-    let venn = result.venn();
+    let venn = tallies.venn();
     if !venn.is_empty() {
         outln!();
         outln!("Venn distribution (level set -> unique violations):");
@@ -526,9 +616,9 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
             outln!("  {:<28} {count}", key.join(","));
         }
     }
-    if let Some(report) = &issues {
+    if let Some((report, limit)) = issues {
         outln!();
-        outln!("Table 3: issue classification (first {issue_limit} unique violations)");
+        outln!("Table 3: issue classification (first {limit} unique violations)");
         out!("{}", report.render());
     }
     Ok(())

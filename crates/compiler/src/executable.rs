@@ -8,7 +8,11 @@ use crate::passes::PipelineReport;
 
 /// A compiled executable: runnable machine code for one backend, its
 /// DWARF-style debug information, and a record of how it was produced.
-#[derive(Debug, Clone)]
+///
+/// Equality is full structural equality over code, debug information,
+/// configuration, and pipeline report — what the snapshot-derivation tests
+/// mean by "byte-identical to a from-scratch compile".
+#[derive(Debug, Clone, PartialEq)]
 pub struct Executable {
     /// The machine program (register-VM or stack-VM code; see
     /// [`MachineCode`]).

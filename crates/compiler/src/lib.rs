@@ -61,15 +61,30 @@ pub use passes::PipelineReport;
 
 use holes_minic::ast::Program;
 
+/// The synthetic source-file name every compilation uses.
+const SOURCE_NAME: &str = "testcase.c";
+
 /// Compile a MiniC program (whose lines have been assigned) under the given
 /// configuration. The optimization pipeline is backend-independent; the
 /// configuration's [`BackendKind`] selects which [`Backend`] lowers the
 /// optimized IR to machine code and location descriptions.
 pub fn compile(program: &Program, config: &CompilerConfig) -> Executable {
     let mut ir = lower::lower_program(program);
-    let mut report = passes::run_pipeline(&mut ir, program, config);
+    let report = passes::run_pipeline(&mut ir, program, config);
+    codegen_ir(program, &ir, config, report)
+}
+
+/// Lower an optimized IR program through the configuration's backend and
+/// assemble the executable (shared by [`compile`], [`compile_with_snapshots`],
+/// and [`PassSnapshots::codegen_budget`]).
+fn codegen_ir(
+    program: &Program,
+    ir: &ir::IrProgram,
+    config: &CompilerConfig,
+    mut report: PipelineReport,
+) -> Executable {
     let backend = backend::backend_for(config.backend);
-    let (machine, debug, applied) = backend.codegen(program, &ir, "testcase.c", config);
+    let (machine, debug, applied) = backend.codegen(program, ir, SOURCE_NAME, config);
     report
         .defects_applied
         .extend(applied.iter().map(|id| (*id).to_owned()));
@@ -79,6 +94,121 @@ pub fn compile(program: &Program, config: &CompilerConfig) -> Executable {
         config: config.clone(),
         report,
     }
+}
+
+/// The recorded pass-prefix checkpoints of one full pipeline run.
+///
+/// Triage bisection probes the *same* configuration at many pass budgets,
+/// and a budget-`k` compilation is by construction a strict prefix of the
+/// unbudgeted pipeline. Recording a post-pass IR checkpoint while the full
+/// schedule runs once ([`compile_with_snapshots`], or
+/// [`PassSnapshots::record`] when the executable is not needed) therefore
+/// lets any `with_pass_budget(k)` executable be derived by **code
+/// generation alone** ([`PassSnapshots::codegen_budget`]): clone checkpoint
+/// `k`, apply the code-generation stage's defects, and lower it through the
+/// backend. The derived executable is byte-identical to a from-scratch
+/// budgeted compile — the unit tests hold every budget of every
+/// personality, level, and backend to full structural equality.
+#[derive(Debug, Clone)]
+pub struct PassSnapshots {
+    /// The budget-free configuration the pipeline ran as.
+    base: CompilerConfig,
+    /// IR after the first `k` scheduled passes, `k = 0..=passes`.
+    checkpoints: Vec<ir::IrProgram>,
+    /// The passes that actually ran, in order.
+    passes_run: Vec<String>,
+    /// Pass-level defect ids in application order (no isel entries).
+    pass_defects: Vec<String>,
+    /// `defect_counts[k]` = pass-level defects applied within the first `k`
+    /// passes.
+    defect_counts: Vec<usize>,
+}
+
+impl PassSnapshots {
+    fn from_checkpoints(config: &CompilerConfig, recorded: passes::PipelineCheckpoints) -> Self {
+        let passes = recorded.checkpoints.len() - 1;
+        let pass_defect_count = recorded.defect_counts[passes];
+        PassSnapshots {
+            base: config.clone(),
+            checkpoints: recorded.checkpoints,
+            passes_run: recorded.report.passes_run,
+            pass_defects: recorded.report.defects_applied[..pass_defect_count].to_vec(),
+            defect_counts: recorded.defect_counts,
+        }
+    }
+
+    /// Run the pipeline once (without code generation) and record every
+    /// checkpoint — the entry point for callers that only need budget
+    /// derivations, e.g. a triage bisection whose full-pipeline executable
+    /// is already cached.
+    pub fn record(program: &Program, config: &CompilerConfig) -> PassSnapshots {
+        let mut ir = lower::lower_program(program);
+        let recorded = passes::run_pipeline_with_checkpoints(&mut ir, program, config);
+        PassSnapshots::from_checkpoints(config, recorded)
+    }
+
+    /// The configuration the checkpoints belong to.
+    pub fn base_config(&self) -> &CompilerConfig {
+        &self.base
+    }
+
+    /// Number of passes the recorded pipeline ran (budgets at or beyond
+    /// this derive the full pipeline).
+    pub fn pass_count(&self) -> usize {
+        self.passes_run.len()
+    }
+
+    /// Derive the executable of `config` — which must be the recorded base
+    /// configuration plus a pass budget — from the matching checkpoint, by
+    /// code generation alone: no optimization pass is re-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` carries no pass budget or differs from the base
+    /// configuration in anything but the budget.
+    pub fn codegen_budget(&self, program: &Program, config: &CompilerConfig) -> Executable {
+        let budget = config
+            .pass_budget
+            .expect("codegen_budget needs a budgeted configuration");
+        let mut base_of = config.clone();
+        base_of.pass_budget = None;
+        assert!(
+            base_of == self.base,
+            "snapshots of {} cannot derive {}",
+            self.base.describe(),
+            config.describe()
+        );
+        let cut = budget.min(self.pass_count());
+        let mut ir = self.checkpoints[cut].clone();
+        let mut report = PipelineReport {
+            passes_run: self.passes_run[..cut].to_vec(),
+            defects_applied: self.pass_defects[..self.defect_counts[cut]].to_vec(),
+        };
+        // The code-generation stage and its defects run for every budget,
+        // exactly as `passes::run_pipeline` applies them after truncation.
+        for defect in defects::active_defects(config, "isel") {
+            for func in &mut ir.functions {
+                defects::apply_defect(func, &defect);
+            }
+            report.defects_applied.push(defect.id.to_owned());
+        }
+        codegen_ir(program, &ir, config, report)
+    }
+}
+
+/// [`compile`], additionally recording the pass-prefix checkpoints of the
+/// run (see [`PassSnapshots`]). The returned executable is identical to
+/// `compile(program, config)`.
+pub fn compile_with_snapshots(
+    program: &Program,
+    config: &CompilerConfig,
+) -> (Executable, PassSnapshots) {
+    let mut ir = lower::lower_program(program);
+    let recorded = passes::run_pipeline_with_checkpoints(&mut ir, program, config);
+    let report = recorded.report.clone();
+    let snapshots = PassSnapshots::from_checkpoints(config, recorded);
+    let executable = codegen_ir(program, &ir, config, report);
+    (executable, snapshots)
 }
 
 /// Compile the same program at every optimization level of a personality's
@@ -217,6 +347,71 @@ mod tests {
             );
             assert!(exe.run().unwrap().matches(&reference), "version {version}");
         }
+    }
+
+    #[test]
+    fn snapshot_derived_budget_compiles_equal_from_scratch_compiles() {
+        // The pass-prefix snapshot contract: for every budget k, deriving
+        // the executable from checkpoint k (codegen only) is structurally
+        // identical to truncating the pipeline and compiling from scratch —
+        // across personalities, levels, and backends, defects included.
+        let generated = ProgramGenerator::from_seed(7).generate();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for &level in &[OptLevel::O2, OptLevel::Og] {
+                for backend in BackendKind::ALL {
+                    let config = CompilerConfig::new(personality, level).with_backend(backend);
+                    let (full, snapshots) = compile_with_snapshots(&generated.program, &config);
+                    assert_eq!(
+                        full,
+                        compile(&generated.program, &config),
+                        "{personality} {level} {backend}: recording changed the full compile"
+                    );
+                    assert_eq!(snapshots.base_config(), &config);
+                    assert_eq!(snapshots.pass_count(), full.report.passes_run.len());
+                    for budget in 0..=snapshots.pass_count() {
+                        let budgeted = config.clone().with_pass_budget(budget);
+                        let derived = snapshots.codegen_budget(&generated.program, &budgeted);
+                        let scratch = compile(&generated.program, &budgeted);
+                        assert_eq!(
+                            derived, scratch,
+                            "{personality} {level} {backend} budget {budget}: derived \
+                             executable diverged from the from-scratch compile"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_recording_honours_disabled_passes() {
+        // Disabled passes shrink the effective schedule; budgets index into
+        // that schedule, and the snapshots must agree with from-scratch
+        // compiles of the same (disabled, budgeted) configuration.
+        let generated = ProgramGenerator::from_seed(9).generate();
+        let config = CompilerConfig::new(Personality::Ccg, OptLevel::O2)
+            .with_disabled_pass("inline")
+            .with_disabled_pass("tree-dce");
+        let snapshots = PassSnapshots::record(&generated.program, &config);
+        assert!(snapshots.pass_count() < config.pass_schedule().len());
+        for budget in [0, 1, snapshots.pass_count() / 2, snapshots.pass_count()] {
+            let budgeted = config.clone().with_pass_budget(budget);
+            assert_eq!(
+                snapshots.codegen_budget(&generated.program, &budgeted),
+                compile(&generated.program, &budgeted),
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot derive")]
+    fn snapshots_refuse_foreign_configurations() {
+        let generated = ProgramGenerator::from_seed(2).generate();
+        let config = CompilerConfig::new(Personality::Lcc, OptLevel::O2);
+        let snapshots = PassSnapshots::record(&generated.program, &config);
+        let foreign = CompilerConfig::new(Personality::Lcc, OptLevel::O3).with_pass_budget(1);
+        let _ = snapshots.codegen_budget(&generated.program, &foreign);
     }
 
     #[test]

@@ -113,6 +113,60 @@ pub fn run_pipeline(
     source: &Program,
     config: &CompilerConfig,
 ) -> PipelineReport {
+    run_pipeline_observed(ir, source, config, |_, _| ())
+}
+
+/// The recorded execution of one pipeline run: the report, plus a clone of
+/// the whole IR program after each scheduled pass (and its injected
+/// defects) — the raw material of `holes_compiler::PassSnapshots`, which
+/// derives any pass-budget prefix of the run by code generation alone.
+#[derive(Debug, Clone)]
+pub struct PipelineCheckpoints {
+    /// The full run's report: every pass, then the pass-level defects in
+    /// application order, then the `isel` (code-generation stage) defects.
+    pub report: PipelineReport,
+    /// `checkpoints[k]` is the IR after the first `k` scheduled passes and
+    /// their defects; `checkpoints[0]` is the freshly lowered program. The
+    /// code-generation stage's defects are **not** applied to any
+    /// checkpoint — they belong to codegen, which every budget re-runs.
+    pub checkpoints: Vec<IrProgram>,
+    /// `defect_counts[k]` is how many entries of `report.defects_applied`
+    /// were applied within the first `k` passes (so the tail beyond
+    /// `defect_counts[checkpoints.len() - 1]` is the isel stage's).
+    pub defect_counts: Vec<usize>,
+}
+
+/// [`run_pipeline`], additionally recording a checkpoint of the IR after
+/// every pass. The final state of `ir` and the returned report are
+/// identical to the unrecorded run.
+pub fn run_pipeline_with_checkpoints(
+    ir: &mut IrProgram,
+    source: &Program,
+    config: &CompilerConfig,
+) -> PipelineCheckpoints {
+    let mut checkpoints = vec![ir.clone()];
+    let mut defect_counts = vec![0usize];
+    let report = run_pipeline_observed(ir, source, config, |ir, defects_so_far| {
+        checkpoints.push(ir.clone());
+        defect_counts.push(defects_so_far);
+    });
+    PipelineCheckpoints {
+        report,
+        checkpoints,
+        defect_counts,
+    }
+}
+
+/// The shared pipeline loop: `observe` is called after each pass and its
+/// defects with the current IR and the number of defects applied so far
+/// (the recording run clones checkpoints there; the plain run passes a
+/// no-op that compiles away).
+fn run_pipeline_observed(
+    ir: &mut IrProgram,
+    source: &Program,
+    config: &CompilerConfig,
+    mut observe: impl FnMut(&IrProgram, usize),
+) -> PipelineReport {
     let cx = PassContext::new(source, ir);
     let mut report = PipelineReport::default();
     let mut schedule = config.pass_schedule();
@@ -131,6 +185,7 @@ pub fn run_pipeline(
             }
             report.defects_applied.push(defect.id.to_owned());
         }
+        observe(ir, report.defects_applied.len());
     }
     // The always-on code-generation stage hosts its own defects.
     for defect in active_defects(config, "isel") {

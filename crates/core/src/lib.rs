@@ -27,6 +27,8 @@
 pub mod json;
 pub mod metrics;
 
+use std::sync::Arc;
+
 use holes_debugger::{DebugTrace, VarStatus};
 use holes_minic::analysis::{ConstituentKind, ProgramAnalysis};
 use holes_minic::ast::{FunctionId, Program, VarRef};
@@ -110,8 +112,10 @@ pub struct Violation {
     pub conjecture: Conjecture,
     /// The source line where availability was expected.
     pub line: u32,
-    /// The variable's source name.
-    pub variable: String,
+    /// The variable's source name. Shared (`Arc<str>`) so that campaign
+    /// records, unique-violation keys, and triage selections dedup and
+    /// clone violations without re-allocating the name.
+    pub variable: Arc<str>,
     /// The function containing the line.
     pub function: FunctionId,
     /// What the debugger actually showed.
@@ -168,8 +172,9 @@ impl std::str::FromStr for Observed {
 }
 
 /// A key identifying a violation independently of the optimization level, as
-/// the paper counts "unique" violations (Table 1's last row).
-pub fn violation_key(v: &Violation) -> (Conjecture, u32, String) {
+/// the paper counts "unique" violations (Table 1's last row). Cloning the
+/// shared name is a reference-count bump, not an allocation.
+pub fn violation_key(v: &Violation) -> (Conjecture, u32, Arc<str>) {
     (v.conjecture, v.line, v.variable.clone())
 }
 
@@ -389,7 +394,7 @@ pub fn check_conjecture1(
                 out.push(Violation {
                     conjecture: Conjecture::C1,
                     line: site.line,
-                    variable: name,
+                    variable: Arc::from(name.as_str()),
                     function: site.function,
                     observed: status_to_observed(status),
                 });
@@ -430,7 +435,7 @@ pub fn check_conjecture2(
                 out.push(Violation {
                     conjecture: Conjecture::C2,
                     line: site.line,
-                    variable: name,
+                    variable: Arc::from(name.as_str()),
                     function: site.function,
                     observed: status_to_observed(status),
                 });
@@ -497,7 +502,7 @@ pub fn check_conjecture3(
                     out.push(Violation {
                         conjecture: Conjecture::C3,
                         line,
-                        variable: name.clone(),
+                        variable: Arc::from(name.as_str()),
                         function,
                         observed: Observed::Reappeared,
                     });
@@ -646,7 +651,7 @@ mod tests {
         // The delayed binding makes x unavailable right after its declaration
         // and available again later, which the conjecture flags.
         assert!(
-            violations.iter().all(|v| v.variable == "x"),
+            violations.iter().all(|v| v.variable.as_ref() == "x"),
             "unexpected variables in {violations:?}"
         );
     }
@@ -754,9 +759,9 @@ mod tests {
                         function: None,
                     },
                 );
-                let expected = violations
-                    .iter()
-                    .any(|v| v.conjecture == conjecture && v.line == line && v.variable == "v2");
+                let expected = violations.iter().any(|v| {
+                    v.conjecture == conjecture && v.line == line && v.variable.as_ref() == "v2"
+                });
                 assert_eq!(hit, expected, "{conjecture} line {line}");
             }
         }

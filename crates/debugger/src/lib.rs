@@ -19,14 +19,38 @@
 //! Cross-checking the two personalities is how the campaign pipeline decides
 //! whether a violation is a compiler or a debugger issue, exactly as the
 //! paper repeats each test "in a different debugger".
+//!
+//! # The allocation-free hot path: stop plans
+//!
+//! Every breakpoint address of an executable is known before the program
+//! runs (the first `is_stmt` address of each steppable line), and debug
+//! information never changes while it runs. [`StopPlan`] exploits that:
+//! computed once per (executable, debugger personality), it maps each
+//! breakpoint address to its function name, its visible variables, and a
+//! **pre-resolved location decision** per variable — constant, machine
+//! read ([`holes_machine::MachineRead`]), or optimized-out — with every
+//! DIE walk, location-list scan, and personality quirk already applied.
+//! [`trace_with_plan`] then services each stop with a binary search plus
+//! one batched machine read: no DIE traversal, no per-stop `String`
+//! allocation (names are interned once per plan as `Arc<str>` and shared
+//! by every [`VarView`] and [`LineStop`]). [`trace`] builds a plan and
+//! runs it; [`trace_unplanned`] keeps the original per-stop resolution as
+//! the reference implementation, and the property suite holds the two
+//! paths to full [`DebugTrace`] equality (the paths share the leaf
+//! location-decision procedure, so the property guards the planning and
+//! batching machinery; the decisions themselves are pinned by the
+//! personality-quirk unit tests).
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use holes_compiler::Executable;
-use holes_debuginfo::{Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location};
-use holes_machine::{BreakpointSet, StopReason, Vm};
+use holes_debuginfo::{
+    Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location, ScopeIndex,
+};
+use holes_machine::{BreakpointSet, MachineRead, StopReason, Vm};
 
 /// The debugger personality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,8 +86,9 @@ pub enum Availability {
 /// One variable of a frame listing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarView {
-    /// Source-level name.
-    pub name: String,
+    /// Source-level name, interned per executable: every stop listing the
+    /// variable shares one allocation.
+    pub name: Arc<str>,
     /// Whether a value could be displayed.
     pub availability: Availability,
 }
@@ -75,8 +100,8 @@ pub struct LineStop {
     pub line: u32,
     /// The breakpoint address.
     pub address: u64,
-    /// Name of the function whose frame is shown.
-    pub function: String,
+    /// Name of the function whose frame is shown (interned per executable).
+    pub function: Arc<str>,
     /// The frame's variable listing.
     pub variables: Vec<VarView>,
 }
@@ -110,7 +135,7 @@ impl VarStatus {
 }
 
 /// A whole debugging session: one stop per executed steppable line.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DebugTrace {
     /// Stops in execution order.
     pub stops: Vec<LineStop>,
@@ -133,7 +158,7 @@ impl DebugTrace {
         Some(
             stop.variables
                 .iter()
-                .find(|v| v.name == name)
+                .find(|v| &*v.name == name)
                 .map(|v| match v.availability {
                     Availability::Available(value) => VarStatus::Available(value),
                     Availability::OptimizedOut => VarStatus::OptimizedOut,
@@ -160,13 +185,249 @@ impl DebugTrace {
     }
 }
 
+/// A variable's pre-resolved location decision at one breakpoint address:
+/// everything the debugger would derive from debug information, with only
+/// the machine-state read left for stop time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValuePlan {
+    /// The value is this compile-time constant (`DW_AT_const_value` or a
+    /// `DW_OP_constu`-style location).
+    Const(i64),
+    /// The value comes from machine state, read as planned.
+    Read(MachineRead),
+    /// No resolvable location covers the address (or a personality quirk
+    /// suppresses it): the variable is `<optimized out>` at this stop.
+    OptimizedOut,
+}
+
+/// One variable of a precomputed frame plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarPlan {
+    /// Interned source-level name, shared with every [`VarView`] built from
+    /// this plan.
+    pub name: Arc<str>,
+    /// The pre-resolved location decision.
+    pub value: ValuePlan,
+}
+
+/// The precomputed frame listing of one breakpoint address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramePlan {
+    /// The source line the breakpoint represents.
+    pub line: u32,
+    /// Interned name of the covering function (empty when none covers the
+    /// address).
+    pub function: Arc<str>,
+    /// The visible variables, in frame-listing order.
+    pub vars: Vec<VarPlan>,
+}
+
+/// A precomputed debugging session plan for one (executable, debugger
+/// personality) pair.
+///
+/// Construction ([`StopPlan::compute`]) performs every address-dependent
+/// piece of frame inspection **once per breakpoint address** — subprogram
+/// lookup (via [`ScopeIndex`]), scope and inlined-subroutine walks,
+/// abstract-origin chasing, location-list resolution, and the personality
+/// quirks — and interns every name as an `Arc<str>`. Servicing a stop with
+/// [`trace_with_plan`] is then a binary search over the address table plus
+/// one batched machine read; nothing is re-derived and no per-stop strings
+/// are allocated. Plans depend only on the executable's debug information,
+/// so the evaluation pipeline caches them alongside traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StopPlan {
+    kind: DebuggerKind,
+    /// All steppable lines of the executable (the trace's line universe).
+    steppable_lines: Vec<u32>,
+    /// `(breakpoint address, frame plan)` sorted by address.
+    frames: Vec<(u64, FramePlan)>,
+}
+
+impl StopPlan {
+    /// Precompute the stop plan of an executable for one debugger
+    /// personality.
+    pub fn compute(executable: &Executable, kind: DebuggerKind) -> StopPlan {
+        let debug = &executable.debug;
+        let steppable_lines = debug.line_table.steppable_lines();
+        let index = ScopeIndex::new(debug);
+        let mut interner: HashMap<String, Arc<str>> = HashMap::new();
+        // Steppable lines are ascending, so `or_insert` keeps the lowest
+        // line when two lines share a first address — the same tie-break
+        // the unplanned tracer applies.
+        let mut frames: BTreeMap<u64, FramePlan> = BTreeMap::new();
+        for (line, address) in debug.line_table.first_stmt_addresses() {
+            frames
+                .entry(address)
+                .or_insert_with(|| plan_frame(debug, &index, kind, address, line, &mut interner));
+        }
+        StopPlan {
+            kind,
+            steppable_lines,
+            frames: frames.into_iter().collect(),
+        }
+    }
+
+    /// The debugger personality the plan was resolved for.
+    pub fn kind(&self) -> DebuggerKind {
+        self.kind
+    }
+
+    /// The precomputed frame for a breakpoint address, if the address hosts
+    /// one.
+    pub fn frame(&self, address: u64) -> Option<&FramePlan> {
+        self.frames
+            .binary_search_by_key(&address, |&(addr, _)| addr)
+            .ok()
+            .map(|i| &self.frames[i].1)
+    }
+
+    /// Number of planned breakpoint addresses.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the executable has no breakpoint address at all.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Intern a name, returning the shared allocation for repeats.
+fn intern(interner: &mut HashMap<String, Arc<str>>, name: &str) -> Arc<str> {
+    if let Some(found) = interner.get(name) {
+        return Arc::clone(found);
+    }
+    let shared: Arc<str> = Arc::from(name);
+    interner.insert(name.to_owned(), Arc::clone(&shared));
+    shared
+}
+
+/// Precompute the frame listing of one breakpoint address.
+fn plan_frame(
+    debug: &DebugInfo,
+    index: &ScopeIndex,
+    kind: DebuggerKind,
+    address: u64,
+    line: u32,
+    interner: &mut HashMap<String, Arc<str>>,
+) -> FramePlan {
+    let mut vars = Vec::new();
+    let mut function = intern(interner, "");
+    if let Some(subprogram) = index.subprogram_at(address) {
+        function = intern(interner, debug.die(subprogram).name().unwrap_or("?"));
+        let mut dies: Vec<(DieId, bool)> = debug
+            .data_dies_in_scope(subprogram, address)
+            .into_iter()
+            .map(|d| (d, false))
+            .collect();
+        if let Some(inlined) = debug.innermost_inlined_at(subprogram, address) {
+            for die in debug.data_dies_in_scope(inlined, address) {
+                dies.push((die, true));
+            }
+        }
+        for (die, in_inlined) in dies {
+            let entry = debug.die(die);
+            let Some(name) = entry.name() else { continue };
+            vars.push(VarPlan {
+                name: intern(interner, name),
+                value: plan_variable(debug, kind, die, in_inlined, address),
+            });
+        }
+    }
+    FramePlan {
+        line,
+        function,
+        vars,
+    }
+}
+
 /// Debug an executable: place one-shot breakpoints on every steppable line,
 /// run to completion, and record the frame at each first hit.
 ///
 /// The executable's backend decides which virtual machine is stepped: the
 /// debugger drives it purely through the [`Vm`] trait, so the same
 /// breakpoint-and-inspect protocol covers the register VM and the stack VM.
+/// Frame inspection runs through a freshly computed [`StopPlan`]; callers
+/// that trace the same executable repeatedly should compute (or cache) the
+/// plan themselves and call [`trace_with_plan`].
 pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
+    trace_with_plan(executable, &StopPlan::compute(executable, kind))
+}
+
+/// Debug an executable through a precomputed [`StopPlan`] — the
+/// allocation-free hot path.
+///
+/// Each stop is a plan lookup plus one batched machine read
+/// ([`Vm::read_batch`]); names are `Arc` clones of the plan's interned
+/// strings. The plan must have been computed for this executable (plans
+/// key on the executable's debug information); a foreign plan would
+/// produce a trace for the wrong program.
+pub fn trace_with_plan(executable: &Executable, plan: &StopPlan) -> DebugTrace {
+    let mut breakpoints: BreakpointSet = plan.frames.iter().map(|&(address, _)| address).collect();
+    let mut machine = executable.machine.spawn();
+    let mut trace = DebugTrace {
+        stops: Vec::new(),
+        steppable_lines: plan.steppable_lines.clone(),
+        reached: BTreeMap::new(),
+    };
+    let mut reads: Vec<MachineRead> = Vec::new();
+    let mut values: Vec<Option<i64>> = Vec::new();
+    while let StopReason::Breakpoint { address } = machine.run(&breakpoints) {
+        breakpoints.remove(address);
+        let frame = plan
+            .frame(address)
+            .expect("breakpoints are placed only on planned addresses");
+        reads.clear();
+        for var in &frame.vars {
+            if let ValuePlan::Read(read) = var.value {
+                reads.push(read);
+            }
+        }
+        values.clear();
+        machine.read_batch(&reads, &mut values);
+        let mut next_value = values.iter();
+        let variables = frame
+            .vars
+            .iter()
+            .map(|var| VarView {
+                name: Arc::clone(&var.name),
+                availability: match var.value {
+                    ValuePlan::Const(c) => Availability::Available(c),
+                    ValuePlan::OptimizedOut => Availability::OptimizedOut,
+                    ValuePlan::Read(_) => next_value
+                        .next()
+                        .copied()
+                        .flatten()
+                        .map(Availability::Available)
+                        .unwrap_or(Availability::OptimizedOut),
+                },
+            })
+            .collect();
+        let stop = LineStop {
+            line: frame.line,
+            address,
+            function: Arc::clone(&frame.function),
+            variables,
+        };
+        let index = trace.stops.len();
+        trace.reached.entry(stop.line).or_insert(index);
+        trace.stops.push(stop);
+    }
+    trace
+}
+
+/// The original per-stop tracer: re-resolves scope DIEs and locations from
+/// scratch at every breakpoint hit. Kept as the reference implementation
+/// the planned path is property-tested against ([`trace`] must produce an
+/// equal [`DebugTrace`] for every executable and personality).
+///
+/// Both paths deliberately share the per-variable decision procedure
+/// ([`plan_variable`]), so the differential property guards everything the
+/// plan *adds* — breakpoint/address mapping, the indexed subprogram
+/// lookup, scope-walk precomputation, interning, and batched reads — not
+/// the leaf location semantics, which the personality-quirk unit tests
+/// and the conjecture suites pin directly.
+pub fn trace_unplanned(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
     let steppable = executable.debug.line_table.steppable_lines();
     let mut breakpoints: BreakpointSet = steppable
         .iter()
@@ -199,7 +460,7 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
     trace
 }
 
-/// Build the frame listing at a stop.
+/// Build the frame listing at a stop (the unplanned reference path).
 fn inspect_frame(
     debug: &DebugInfo,
     machine: &dyn Vm,
@@ -208,9 +469,9 @@ fn inspect_frame(
     line: u32,
 ) -> LineStop {
     let mut variables = Vec::new();
-    let mut function = String::new();
+    let mut function: Arc<str> = Arc::from("");
     if let Some(subprogram) = debug.subprogram_at(address) {
-        function = debug.die(subprogram).name().unwrap_or("?").to_owned();
+        function = Arc::from(debug.die(subprogram).name().unwrap_or("?"));
         let mut dies: Vec<(DieId, bool)> = debug
             .data_dies_in_scope(subprogram, address)
             .into_iter()
@@ -226,7 +487,7 @@ fn inspect_frame(
             let Some(name) = entry.name() else { continue };
             let availability = resolve_variable(debug, machine, kind, die, in_inlined, address);
             variables.push(VarView {
-                name: name.to_owned(),
+                name: Arc::from(name),
                 availability,
             });
         }
@@ -239,7 +500,8 @@ fn inspect_frame(
     }
 }
 
-/// Resolve one variable DIE to a value, honouring the personality quirks.
+/// Resolve one variable DIE to a value at stop time (the unplanned
+/// reference path): decide the location, then read the machine.
 fn resolve_variable(
     debug: &DebugInfo,
     machine: &dyn Vm,
@@ -248,9 +510,30 @@ fn resolve_variable(
     in_inlined_scope: bool,
     address: u64,
 ) -> Availability {
+    match plan_variable(debug, kind, die, in_inlined_scope, address) {
+        ValuePlan::Const(c) => Availability::Available(c),
+        ValuePlan::OptimizedOut => Availability::OptimizedOut,
+        ValuePlan::Read(read) => machine
+            .read_one(read)
+            .map(Availability::Available)
+            .unwrap_or(Availability::OptimizedOut),
+    }
+}
+
+/// Decide how one variable DIE resolves at an address, honouring the
+/// personality quirks. This is the shared decision procedure of both trace
+/// paths: the planned path runs it once per breakpoint address, the
+/// unplanned path at every stop.
+fn plan_variable(
+    debug: &DebugInfo,
+    kind: DebuggerKind,
+    die: DieId,
+    in_inlined_scope: bool,
+    address: u64,
+) -> ValuePlan {
     let entry = debug.die(die);
     if let Some(AttrValue::Signed(c)) = entry.attr(Attr::ConstValue) {
-        return Availability::Available(*c);
+        return ValuePlan::Const(*c);
     }
     let mut loclist = entry.attr(Attr::Location).and_then(AttrValue::as_loclist);
     // Follow the abstract origin when the concrete DIE has no location of its
@@ -260,11 +543,11 @@ fn resolve_variable(
     if loclist.is_none() {
         if let Some(AttrValue::Ref(origin)) = entry.attr(Attr::AbstractOrigin) {
             if kind == DebuggerKind::LldbLike && in_inlined_scope {
-                return Availability::OptimizedOut;
+                return ValuePlan::OptimizedOut;
             }
             origin_entry = debug.die(*origin);
             if let Some(AttrValue::Signed(c)) = origin_entry.attr(Attr::ConstValue) {
-                return Availability::Available(*c);
+                return ValuePlan::Const(*c);
             }
             loclist = origin_entry
                 .attr(Attr::Location)
@@ -272,45 +555,29 @@ fn resolve_variable(
         }
     }
     let Some(entries) = loclist else {
-        return Availability::OptimizedOut;
+        return ValuePlan::OptimizedOut;
     };
     let location = match kind {
         DebuggerKind::LldbLike => holes_debuginfo::location::lookup(entries, address),
         DebuggerKind::GdbLike => gdb_lookup(entries, address),
     };
     match location {
-        Some(Location::ConstValue(c)) => Availability::Available(c),
-        Some(Location::Register(r)) => Availability::Available(machine.read_reg(r)),
-        Some(Location::FrameSlot(s)) => machine
-            .read_frame_slot(s)
-            .map(Availability::Available)
-            .unwrap_or(Availability::OptimizedOut),
-        Some(Location::GlobalAddress(addr)) => machine
-            .read_address(addr as i64)
-            .map(Availability::Available)
-            .unwrap_or(Availability::OptimizedOut),
+        Some(Location::ConstValue(c)) => ValuePlan::Const(c),
+        Some(Location::Register(r)) => ValuePlan::Read(MachineRead::Reg(r)),
+        Some(Location::FrameSlot(s)) => ValuePlan::Read(MachineRead::FrameSlot(s)),
+        Some(Location::GlobalAddress(addr)) => ValuePlan::Read(MachineRead::Address(addr as i64)),
         // Frame-base-relative (`DW_OP_fbreg`-style) locations only resolve
         // on backends that maintain a frame base; on the register VM the
         // description is inexpressible and the variable stays unavailable.
-        Some(Location::FrameBase { offset }) => machine
-            .frame_base()
-            .and_then(|base| machine.read_address(base + i64::from(offset) * 8))
-            .map(Availability::Available)
-            .unwrap_or(Availability::OptimizedOut),
+        Some(Location::FrameBase { offset }) => {
+            ValuePlan::Read(MachineRead::FrameBaseSlot { offset })
+        }
         // Composite expressions: register value + offset, optionally
         // dereferenced.
         Some(Location::Composite { reg, offset, deref }) => {
-            let computed = machine.read_reg(reg).wrapping_add(offset);
-            if deref {
-                machine
-                    .read_address(computed)
-                    .map(Availability::Available)
-                    .unwrap_or(Availability::OptimizedOut)
-            } else {
-                Availability::Available(computed)
-            }
+            ValuePlan::Read(MachineRead::RegOffset { reg, offset, deref })
         }
-        Some(Location::Empty) | None => Availability::OptimizedOut,
+        Some(Location::Empty) | None => ValuePlan::OptimizedOut,
     }
 }
 
@@ -455,6 +722,61 @@ mod tests {
         assert_eq!(
             DebuggerKind::native_for(Personality::Lcc),
             DebuggerKind::LldbLike
+        );
+    }
+
+    #[test]
+    fn planned_trace_equals_the_unplanned_reference() {
+        use holes_compiler::BackendKind;
+        let p = sample_program();
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            for &level in personality.levels().iter().chain([&OptLevel::O0]) {
+                for backend in BackendKind::ALL {
+                    let config = CompilerConfig::new(personality, level).with_backend(backend);
+                    let exe = compile(&p, &config);
+                    for kind in [DebuggerKind::GdbLike, DebuggerKind::LldbLike] {
+                        let plan = StopPlan::compute(&exe, kind);
+                        assert_eq!(plan.kind(), kind);
+                        assert!(!plan.is_empty(), "sample program plans a breakpoint");
+                        let planned = trace_with_plan(&exe, &plan);
+                        assert!(plan.len() >= planned.reached.len());
+                        let reference = trace_unplanned(&exe, kind);
+                        assert_eq!(
+                            planned, reference,
+                            "planned trace diverged: {personality} {level} {backend} {kind:?}"
+                        );
+                        assert_eq!(trace(&exe, kind), reference);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stop_plans_intern_names_across_stops() {
+        let p = sample_program();
+        let exe = compile(&p, &CompilerConfig::new(Personality::Ccg, OptLevel::O0));
+        let plan = StopPlan::compute(&exe, DebuggerKind::GdbLike);
+        let t = trace_with_plan(&exe, &plan);
+        // Every occurrence of a variable name across all stops shares one
+        // allocation with the plan (and therefore with every other stop).
+        let mut by_name: std::collections::HashMap<&str, &Arc<str>> =
+            std::collections::HashMap::new();
+        let mut occurrences = 0usize;
+        for stop in &t.stops {
+            for var in &stop.variables {
+                occurrences += 1;
+                let first = by_name.entry(var.name.as_ref()).or_insert(&var.name);
+                assert!(
+                    Arc::ptr_eq(*first, &var.name),
+                    "`{}` was re-allocated instead of interned",
+                    var.name
+                );
+            }
+        }
+        assert!(
+            occurrences > by_name.len(),
+            "sample trace never repeats a variable; interning is unexercised"
         );
     }
 

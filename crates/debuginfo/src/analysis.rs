@@ -122,6 +122,84 @@ fn rank(category: DieCategory) -> u8 {
     }
 }
 
+/// An address-indexed view of a DIE tree's subprogram ranges.
+///
+/// [`DebugInfo::subprogram_at`] scans every DIE of the tree for each lookup,
+/// which is fine for one-off queries but quadratic when a consumer resolves
+/// *every* breakpoint address of an executable — exactly what the
+/// debugger's stop-plan precomputation does. `ScopeIndex` sorts the
+/// subprogram pc ranges once and answers each lookup with a binary search,
+/// returning the same DIE the linear scan would (the lowest-id covering
+/// subprogram, should ranges ever overlap).
+#[derive(Debug, Clone)]
+pub struct ScopeIndex {
+    /// `(low, high, die)` triples sorted by `low`, then by DIE id.
+    subprograms: Vec<(u64, u64, DieId)>,
+    /// `prefix_max_high[i]` is the largest `high` among `subprograms[..=i]`
+    /// — the classic interval-stabbing bound that lets a lookup stop
+    /// scanning backwards as soon as no earlier range can still cover the
+    /// address.
+    prefix_max_high: Vec<u64>,
+}
+
+impl ScopeIndex {
+    /// Build the index for a DIE tree. Abstract subprograms (no pc range)
+    /// are not indexed — they cover no address, as in
+    /// [`crate::die::Die::covers`].
+    pub fn new(info: &DebugInfo) -> ScopeIndex {
+        let mut subprograms: Vec<(u64, u64, DieId)> = info
+            .iter()
+            .filter(|(_, die)| die.tag == DieTag::Subprogram)
+            .filter_map(|(id, die)| die.pc_range().map(|(low, high)| (low, high, id)))
+            .collect();
+        subprograms.sort_unstable();
+        let mut prefix_max_high = Vec::with_capacity(subprograms.len());
+        let mut max_high = 0u64;
+        for &(_, high, _) in &subprograms {
+            max_high = max_high.max(high);
+            prefix_max_high.push(max_high);
+        }
+        ScopeIndex {
+            subprograms,
+            prefix_max_high,
+        }
+    }
+
+    /// The subprogram DIE whose pc range covers `address`, if any —
+    /// identical to [`DebugInfo::subprogram_at`], in logarithmic time for
+    /// the disjoint ranges the compiler emits.
+    pub fn subprogram_at(&self, address: u64) -> Option<DieId> {
+        let upper = self
+            .subprograms
+            .partition_point(|&(low, _, _)| low <= address);
+        // Walk backwards over candidates with `low <= address`; the prefix
+        // maximum bounds the walk (one step for disjoint ranges). Should
+        // ranges ever overlap, the linear scan's answer is the lowest DIE
+        // id, so keep the minimum among covering candidates.
+        let mut found: Option<DieId> = None;
+        for i in (0..upper).rev() {
+            if self.prefix_max_high[i] <= address {
+                break;
+            }
+            let (low, high, die) = self.subprograms[i];
+            if low <= address && address < high {
+                found = Some(found.map_or(die, |best| best.min(die)));
+            }
+        }
+        found
+    }
+
+    /// Number of indexed (concrete) subprograms.
+    pub fn len(&self) -> usize {
+        self.subprograms.len()
+    }
+
+    /// Whether the tree has no concrete subprogram at all.
+    pub fn is_empty(&self) -> bool {
+        self.subprograms.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +292,45 @@ mod tests {
             AttrValue::Ref(abstract_var),
         );
         assert_eq!(categorize_variable(&info, "a", 0x145), DieCategory::Covered);
+    }
+
+    #[test]
+    fn scope_index_agrees_with_the_linear_subprogram_scan() {
+        let (mut info, _) = base_info();
+        // A second, later subprogram plus an abstract (rangeless) one.
+        let second = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(second, Attr::Name, AttrValue::Text("f".into()));
+        info.set_attr(second, Attr::LowPc, AttrValue::Addr(0x300));
+        info.set_attr(second, Attr::HighPc, AttrValue::Addr(0x340));
+        let abstract_sub = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(abstract_sub, Attr::Name, AttrValue::Text("inlinee".into()));
+        let index = ScopeIndex::new(&info);
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        for address in [
+            0x0, 0xff, 0x100, 0x150, 0x1ff, 0x200, 0x2ff, 0x300, 0x33f, 0x340, 0x900,
+        ] {
+            assert_eq!(
+                index.subprogram_at(address),
+                info.subprogram_at(address),
+                "index diverges from the linear scan at {address:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_index_handles_overlapping_ranges_like_the_scan() {
+        // Overlap never comes out of the compiler, but the index must not
+        // silently change the tie-break if it ever did.
+        let (mut info, _) = base_info();
+        let nested = info.add_die(info.root(), DieTag::Subprogram);
+        info.set_attr(nested, Attr::Name, AttrValue::Text("overlap".into()));
+        info.set_attr(nested, Attr::LowPc, AttrValue::Addr(0x140));
+        info.set_attr(nested, Attr::HighPc, AttrValue::Addr(0x160));
+        let index = ScopeIndex::new(&info);
+        for address in [0x120, 0x140, 0x150, 0x15f, 0x160, 0x1f0] {
+            assert_eq!(index.subprogram_at(address), info.subprogram_at(address));
+        }
     }
 
     #[test]

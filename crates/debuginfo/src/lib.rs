@@ -37,7 +37,7 @@ pub mod die;
 pub mod line_table;
 pub mod location;
 
-pub use analysis::{categorize_variable, DieCategory};
+pub use analysis::{categorize_variable, DieCategory, ScopeIndex};
 pub use die::{Attr, AttrValue, DebugInfo, Die, DieId, DieTag};
 pub use line_table::{LineRow, LineTable};
 pub use location::{LocListEntry, Location};

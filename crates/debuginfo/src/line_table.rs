@@ -68,6 +68,20 @@ impl LineTable {
             .min()
     }
 
+    /// The first `is_stmt` address of *every* steppable line, in one pass —
+    /// the bulk form of [`LineTable::first_address_of_line`] used when a
+    /// consumer (the debugger's breakpoint placement and stop-plan
+    /// precomputation) needs the whole mapping rather than one line.
+    pub fn first_stmt_addresses(&self) -> std::collections::BTreeMap<u32, u64> {
+        let mut map = std::collections::BTreeMap::new();
+        for row in self.rows.iter().filter(|r| r.is_stmt) {
+            map.entry(row.line)
+                .and_modify(|first: &mut u64| *first = (*first).min(row.address))
+                .or_insert(row.address);
+        }
+        map
+    }
+
     /// All `is_stmt` addresses of a line (loop unrolling can produce several).
     pub fn addresses_of_line(&self, line: u32) -> Vec<u64> {
         self.rows
@@ -166,5 +180,16 @@ mod tests {
     fn addresses_of_line_lists_all_stmt_rows() {
         let t = table();
         assert_eq!(t.addresses_of_line(5), vec![0x100, 0x110]);
+    }
+
+    #[test]
+    fn bulk_first_addresses_agree_with_the_per_line_lookup() {
+        let t = table();
+        let bulk = t.first_stmt_addresses();
+        assert_eq!(bulk.len(), t.steppable_lines().len());
+        for line in t.steppable_lines() {
+            assert_eq!(bulk.get(&line).copied(), t.first_address_of_line(line));
+        }
+        assert!(LineTable::new().first_stmt_addresses().is_empty());
     }
 }

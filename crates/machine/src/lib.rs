@@ -44,4 +44,4 @@ pub use isa::{
     NUM_REGS, TEXT_BASE,
 };
 pub use stack::{SFunction, SInst, StackMachine, StackProgram, FP_REG, STACK_NUM_REGS};
-pub use vm::Vm;
+pub use vm::{MachineRead, Vm};

@@ -33,14 +33,25 @@
 //! in-memory misses first try to load the artifact from disk, and freshly
 //! computed artifacts are spilled back, so later *processes* revisiting the
 //! same configurations skip the work entirely (see [`crate::store`]).
+//!
+//! Two auxiliary maps make the oracle's remaining work cheap. **Stop
+//! plans** ([`ArtifactCache::stop_plan`]) hold the per-(configuration,
+//! debugger) [`StopPlan`]s the tracer services breakpoint stops from —
+//! resolved once, reused by every later trace of that executable. **Pass
+//! snapshots** ([`ArtifactCache::snapshots`]) hold the recorded IR
+//! checkpoints of a base configuration's pipeline run, from which any
+//! pass-budget sibling is derived by code generation alone — so a triage
+//! bisection probing a dozen budgets runs the optimization pipeline once.
+//! [`CacheStats::codegen_only`] and [`CacheStats::plan_hits`] make both
+//! savings observable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use holes_compiler::{CompilerConfig, Executable};
+use holes_compiler::{CompilerConfig, Executable, PassSnapshots};
 use holes_core::Violation;
-use holes_debugger::{DebugTrace, DebuggerKind};
+use holes_debugger::{DebugTrace, DebuggerKind, StopPlan};
 
 use crate::store::{ArtifactStore, SubjectKey};
 
@@ -48,7 +59,8 @@ use crate::store::{ArtifactStore, SubjectKey};
 /// [`ArtifactCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Compilations actually performed (executable-map misses).
+    /// Full compilations actually performed (executable-map misses the
+    /// whole pipeline had to run for).
     pub compiles: usize,
     /// Debugger runs actually performed (trace-map misses).
     pub traces: usize,
@@ -59,12 +71,25 @@ pub struct CacheStats {
     /// In-memory misses answered by the persistent store instead of being
     /// recomputed (see [`crate::store`]); zero when no store is attached.
     pub disk_loads: usize,
+    /// Executable-map misses satisfied by **code generation alone**: the
+    /// requested configuration was a pass-budget prefix of an already
+    /// recorded pipeline run, so the executable was derived from its IR
+    /// checkpoint instead of re-running the pipeline (see
+    /// [`holes_compiler::PassSnapshots`]). Proves a bisection performs no
+    /// full recompiles for non-trunk budgets.
+    pub codegen_only: usize,
+    /// Breakpoint stops answered from a precomputed
+    /// [`holes_debugger::StopPlan`] — a plan lookup plus machine reads —
+    /// instead of a per-stop DIE traversal. Proves the tracing oracle ran
+    /// on the allocation-free hot path.
+    pub plan_hits: usize,
 }
 
 impl CacheStats {
-    /// Total lookups (hits plus misses) across all three maps.
+    /// Total lookups (hits plus misses) across all three maps. Stop-plan
+    /// hits are per *stop*, not per lookup, and are excluded.
     pub fn lookups(&self) -> usize {
-        self.hits + self.compiles + self.traces + self.checks + self.disk_loads
+        self.hits + self.compiles + self.traces + self.checks + self.disk_loads + self.codegen_only
     }
 
     /// Fold another snapshot into this one (used to aggregate per-subject
@@ -75,6 +100,8 @@ impl CacheStats {
         self.checks += other.checks;
         self.hits += other.hits;
         self.disk_loads += other.disk_loads;
+        self.codegen_only += other.codegen_only;
+        self.plan_hits += other.plan_hits;
     }
 }
 
@@ -103,26 +130,40 @@ struct CacheInner {
     executables: Shard<CompilerConfig, Executable>,
     traces: Shard<(CompilerConfig, DebuggerKind), DebugTrace>,
     violations: Shard<(CompilerConfig, DebuggerKind), Vec<Violation>>,
+    /// Precomputed stop plans, one per (configuration, debugger) — the
+    /// per-executable resolution [`holes_debugger::trace_with_plan`] runs
+    /// stops through.
+    plans: Shard<(CompilerConfig, DebuggerKind), StopPlan>,
+    /// Recorded pass-prefix checkpoints, keyed by the **budget-free** base
+    /// configuration; any budgeted sibling derives from them.
+    snapshots: Shard<CompilerConfig, PassSnapshots>,
     compiles: AtomicUsize,
     traces_run: AtomicUsize,
     checks_run: AtomicUsize,
     hits: AtomicUsize,
     disk_loads: AtomicUsize,
+    codegen_only: AtomicUsize,
+    plan_hits: AtomicUsize,
     store: OnceLock<StoreBinding>,
 }
 
 /// Look up `key`; on an in-memory miss try the persistent store (`load`),
-/// and only then build outside the lock — writing the fresh artifact through
-/// to the store (`save`). First insert wins a race; the counters record work
-/// actually performed (a disk load is neither a hit nor a recompute).
-#[allow(clippy::too_many_arguments)] // three counters + three closures; a param struct would obscure more than it helps
+/// then a cheap derivation (`derive` — the snapshot codegen-only path;
+/// traces and violations pass a constant `None`), and only then build
+/// outside the lock — writing fresh artifacts through to the store
+/// (`save`). First insert wins a race; the counters record work actually
+/// performed (a disk load is neither a hit nor a recompute, a derivation is
+/// counted by `derives`).
+#[allow(clippy::too_many_arguments)] // counters + staged closures; a param struct would obscure more than it helps
 fn memoize<K: std::hash::Hash + Eq, V>(
     map: &Shard<K, V>,
     key: K,
     misses: &AtomicUsize,
     hits: &AtomicUsize,
     disk_loads: &AtomicUsize,
+    derives: &AtomicUsize,
     load: impl FnOnce() -> Option<V>,
+    derive: impl FnOnce() -> Option<V>,
     save: impl FnOnce(&V),
     build: impl FnOnce() -> V,
 ) -> Arc<V> {
@@ -135,12 +176,20 @@ fn memoize<K: std::hash::Hash + Eq, V>(
             disk_loads.fetch_add(1, Ordering::Relaxed);
             Arc::new(loaded)
         }
-        None => {
-            let built = Arc::new(build());
-            misses.fetch_add(1, Ordering::Relaxed);
-            save(&built);
-            built
-        }
+        None => match derive() {
+            Some(derived) => {
+                let derived = Arc::new(derived);
+                derives.fetch_add(1, Ordering::Relaxed);
+                save(&derived);
+                derived
+            }
+            None => {
+                let built = Arc::new(build());
+                misses.fetch_add(1, Ordering::Relaxed);
+                save(&built);
+                built
+            }
+        },
     };
     Arc::clone(
         map.lock()
@@ -163,11 +212,15 @@ impl ArtifactCache {
         self.inner.store.get().map(|binding| &binding.store)
     }
 
-    /// The executable for a configuration, compiling on a miss (after
-    /// consulting the persistent store, when one is attached).
+    /// The executable for a configuration, compiling on a miss — after
+    /// consulting the persistent store (when one is attached) and the
+    /// caller's cheap derivation (`derive`; `Subject` supplies the
+    /// snapshot codegen-only path for budgeted configurations, counted by
+    /// [`CacheStats::codegen_only`]).
     pub fn executable(
         &self,
         config: &CompilerConfig,
+        derive: impl FnOnce() -> Option<Executable>,
         compile: impl FnOnce() -> Executable,
     ) -> Arc<Executable> {
         let binding = self.inner.store.get();
@@ -177,7 +230,9 @@ impl ArtifactCache {
             &self.inner.compiles,
             &self.inner.hits,
             &self.inner.disk_loads,
+            &self.inner.codegen_only,
             || binding.and_then(|b| b.store.load_executable(b.subject, config)),
+            derive,
             |built| {
                 if let Some(b) = binding {
                     b.store.save_executable(b.subject, built);
@@ -202,7 +257,9 @@ impl ArtifactCache {
             &self.inner.traces_run,
             &self.inner.hits,
             &self.inner.disk_loads,
+            &self.inner.codegen_only,
             || binding.and_then(|b| b.store.load_trace(b.subject, config, kind)),
+            || None,
             |built| {
                 if let Some(b) = binding {
                     b.store.save_trace(b.subject, config, kind, built);
@@ -227,7 +284,9 @@ impl ArtifactCache {
             &self.inner.checks_run,
             &self.inner.hits,
             &self.inner.disk_loads,
+            &self.inner.codegen_only,
             || binding.and_then(|b| b.store.load_violations(b.subject, config, kind)),
+            || None,
             |built| {
                 if let Some(b) = binding {
                     b.store.save_violations(b.subject, config, kind, built);
@@ -235,6 +294,36 @@ impl ArtifactCache {
             },
             check,
         )
+    }
+
+    /// The stop plan for a configuration and debugger, computing it on a
+    /// miss. Plans live next to traces (same key) but carry no counters of
+    /// their own: the per-stop reuse they enable is what
+    /// [`CacheStats::plan_hits`] counts.
+    pub fn stop_plan(
+        &self,
+        config: &CompilerConfig,
+        kind: DebuggerKind,
+        compute: impl FnOnce() -> StopPlan,
+    ) -> Arc<StopPlan> {
+        get_or_insert(&self.inner.plans, (config.clone(), kind), compute)
+    }
+
+    /// The recorded pass-prefix checkpoints for a **budget-free** base
+    /// configuration, recording the pipeline once on a miss.
+    pub fn snapshots(
+        &self,
+        base: &CompilerConfig,
+        record: impl FnOnce() -> PassSnapshots,
+    ) -> Arc<PassSnapshots> {
+        debug_assert!(base.pass_budget.is_none(), "snapshot keys are budget-free");
+        get_or_insert(&self.inner.snapshots, base.clone(), record)
+    }
+
+    /// Record breakpoint stops that were answered from a precomputed stop
+    /// plan (see [`CacheStats::plan_hits`]).
+    pub fn note_plan_hits(&self, stops: usize) {
+        self.inner.plan_hits.fetch_add(stops, Ordering::Relaxed);
     }
 
     /// A snapshot of the activity counters.
@@ -245,6 +334,8 @@ impl ArtifactCache {
             checks: self.inner.checks_run.load(Ordering::Relaxed),
             hits: self.inner.hits.load(Ordering::Relaxed),
             disk_loads: self.inner.disk_loads.load(Ordering::Relaxed),
+            codegen_only: self.inner.codegen_only.load(Ordering::Relaxed),
+            plan_hits: self.inner.plan_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -266,7 +357,36 @@ impl ArtifactCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
+        self.inner
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.inner
+            .snapshots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
+}
+
+/// Plain counter-free get-or-insert for the auxiliary maps (plans,
+/// snapshots); first insert wins a race, like [`memoize`].
+fn get_or_insert<K: std::hash::Hash + Eq, V>(
+    map: &Shard<K, V>,
+    key: K,
+    build: impl FnOnce() -> V,
+) -> Arc<V> {
+    if let Some(found) = map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        return Arc::clone(found);
+    }
+    let built = Arc::new(build());
+    Arc::clone(
+        map.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(built),
+    )
 }
 
 impl std::fmt::Debug for ArtifactCache {

@@ -1,6 +1,7 @@
 //! Violation campaigns: Table 1 and the Venn distributions of Figures 2–3.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use holes_compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes_core::json::Json;
@@ -35,11 +36,12 @@ pub struct CampaignResult {
 
 /// A unique violation: the paper treats violations at different program lines
 /// as distinct and counts one entry per (program, conjecture, line, variable)
-/// across levels.
-pub type UniqueKey = (usize, Conjecture, u32, String);
+/// across levels. The variable name is the record's shared `Arc<str>`, so
+/// building a key never allocates.
+pub type UniqueKey = (usize, Conjecture, u32, Arc<str>);
 
 /// The owned unique-violation key of a record (shared by the triage and
-/// report dedup paths).
+/// report dedup paths and the streaming [`CampaignTallies`] accumulator).
 pub fn unique_key(record: &ViolationRecord) -> UniqueKey {
     (
         record.subject,
@@ -49,9 +51,9 @@ pub fn unique_key(record: &ViolationRecord) -> UniqueKey {
     )
 }
 
-/// [`UniqueKey`] borrowing the variable name from its record: the table and
-/// Venn aggregations build one key per record per cell, so cloning the
-/// `String` there is pure overhead.
+/// [`UniqueKey`] borrowing the variable name from its record: the one-off
+/// aggregation queries ([`CampaignResult::unique`], `venn`) build one key
+/// per record, so even the `Arc` bump is avoidable.
 type UniqueKeyRef<'a> = (usize, Conjecture, u32, &'a str);
 
 fn unique_key_ref(record: &ViolationRecord) -> UniqueKeyRef<'_> {
@@ -59,8 +61,189 @@ fn unique_key_ref(record: &ViolationRecord) -> UniqueKeyRef<'_> {
         record.subject,
         record.violation.conjecture,
         record.violation.line,
-        record.violation.variable.as_str(),
+        record.violation.variable.as_ref(),
     )
+}
+
+/// Every aggregate the campaign renderers need, built by **one pass** over
+/// the records — as a batch ([`CampaignResult::tallies`]) or incrementally
+/// ([`CampaignTallies::add`]), which is how the streaming `holes report`
+/// path folds shard files record-by-record without materializing them.
+///
+/// Memory is proportional to the number of *unique* violations (plus the
+/// per-cell count table), never to the number of records. Both
+/// [`CampaignResult::table1`] and [`CampaignResult::summary_json`] render
+/// from one of these, so the accumulator is byte-identical to the record
+/// re-scanning aggregation it replaced by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignTallies {
+    levels: Vec<OptLevel>,
+    programs: usize,
+    records: usize,
+    /// `per_cell[(conjecture, level)]` — the Table 1 cells.
+    per_cell: BTreeMap<(Conjecture, OptLevel), usize>,
+    /// Per unique violation, the set of levels it reproduces at (drives the
+    /// `unique` row, the Venn distribution, and the at-all-levels count).
+    per_violation: BTreeMap<UniqueKey, BTreeSet<OptLevel>>,
+    /// Per conjecture, the subjects with at least one violation.
+    dirty: BTreeMap<Conjecture, BTreeSet<usize>>,
+}
+
+impl CampaignTallies {
+    /// An empty accumulator for a campaign over `programs` subjects at
+    /// `levels`.
+    pub fn new(levels: Vec<OptLevel>, programs: usize) -> CampaignTallies {
+        CampaignTallies {
+            levels,
+            programs,
+            records: 0,
+            per_cell: BTreeMap::new(),
+            per_violation: BTreeMap::new(),
+            dirty: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one violation record in. Order-independent: any interleaving of
+    /// the same records produces the same tallies.
+    pub fn add(&mut self, record: &ViolationRecord) {
+        self.records += 1;
+        let conjecture = record.violation.conjecture;
+        *self.per_cell.entry((conjecture, record.level)).or_insert(0) += 1;
+        self.per_violation
+            .entry(unique_key(record))
+            .or_default()
+            .insert(record.level);
+        self.dirty
+            .entry(conjecture)
+            .or_default()
+            .insert(record.subject);
+    }
+
+    /// Number of records folded in.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Number of programs the campaign covered.
+    pub fn programs(&self) -> usize {
+        self.programs
+    }
+
+    /// One Table 1 cell.
+    pub fn count_at(&self, conjecture: Conjecture, level: OptLevel) -> usize {
+        self.per_cell
+            .get(&(conjecture, level))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Table 1's unique row for one conjecture.
+    pub fn unique(&self, conjecture: Conjecture) -> usize {
+        self.per_violation
+            .keys()
+            .filter(|key| key.1 == conjecture)
+            .count()
+    }
+
+    /// Programs with no violation at all for a conjecture.
+    pub fn clean_programs(&self, conjecture: Conjecture) -> usize {
+        let dirty = self.dirty.get(&conjecture).map_or(0, BTreeSet::len);
+        self.programs.saturating_sub(dirty)
+    }
+
+    /// The Venn distribution of Figures 2–3.
+    pub fn venn(&self) -> BTreeMap<Vec<OptLevel>, usize> {
+        let mut venn: BTreeMap<Vec<OptLevel>, usize> = BTreeMap::new();
+        for levels in self.per_violation.values() {
+            let key: Vec<OptLevel> = levels.iter().copied().collect();
+            *venn.entry(key).or_insert(0) += 1;
+        }
+        venn
+    }
+
+    /// Violations that occur at all tested levels.
+    pub fn at_all_levels(&self) -> usize {
+        self.per_violation
+            .values()
+            .filter(|levels| levels.len() == self.levels.len())
+            .count()
+    }
+
+    /// Render Table 1 (same bytes as [`CampaignResult::table1`]).
+    pub fn table1(&self) -> String {
+        let mut out = String::from("level      C1      C2      C3\n");
+        for &level in &self.levels {
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>6} {:>6}\n",
+                level.flag(),
+                self.count_at(Conjecture::C1, level),
+                self.count_at(Conjecture::C2, level),
+                self.count_at(Conjecture::C3, level),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>6} {:>6}\n",
+            "unique",
+            self.unique(Conjecture::C1),
+            self.unique(Conjecture::C2),
+            self.unique(Conjecture::C3),
+        ));
+        out
+    }
+
+    /// The machine-readable summary (same bytes as
+    /// [`CampaignResult::summary_json`]).
+    pub fn summary_json(&self) -> Json {
+        let per_conjecture = |f: &dyn Fn(Conjecture) -> usize| {
+            Json::Obj(
+                Conjecture::ALL
+                    .iter()
+                    .map(|&c| (c.to_string(), Json::from_usize(f(c))))
+                    .collect(),
+            )
+        };
+        let table1 = self
+            .levels
+            .iter()
+            .map(|&level| {
+                (
+                    level.flag().to_owned(),
+                    per_conjecture(&|c| self.count_at(c, level)),
+                )
+            })
+            .collect::<Vec<_>>();
+        let venn = self
+            .venn()
+            .into_iter()
+            .map(|(levels, count)| {
+                Json::Obj(vec![
+                    (
+                        "levels".to_owned(),
+                        Json::Arr(levels.iter().map(|l| Json::str(l.flag())).collect()),
+                    ),
+                    ("count".to_owned(), Json::from_usize(count)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("programs".to_owned(), Json::from_usize(self.programs)),
+            (
+                "levels".to_owned(),
+                Json::Arr(self.levels.iter().map(|l| Json::str(l.flag())).collect()),
+            ),
+            ("table1".to_owned(), Json::Obj(table1)),
+            ("unique".to_owned(), per_conjecture(&|c| self.unique(c))),
+            (
+                "clean_programs".to_owned(),
+                per_conjecture(&|c| self.clean_programs(c)),
+            ),
+            (
+                "at_all_levels".to_owned(),
+                Json::from_usize(self.at_all_levels()),
+            ),
+            ("venn".to_owned(), Json::Arr(venn)),
+        ])
+    }
 }
 
 impl CampaignResult {
@@ -127,82 +310,30 @@ impl CampaignResult {
             .sum()
     }
 
-    /// Render Table 1 rows (one per level plus the unique row) as plain text.
-    pub fn table1(&self) -> String {
-        let mut out = String::from("level      C1      C2      C3\n");
-        for &level in &self.levels {
-            out.push_str(&format!(
-                "{:<8} {:>6} {:>6} {:>6}\n",
-                level.flag(),
-                self.count_at(Conjecture::C1, level),
-                self.count_at(Conjecture::C2, level),
-                self.count_at(Conjecture::C3, level),
-            ));
+    /// Fold every record into a [`CampaignTallies`]: the one pass both
+    /// renderers below share.
+    pub fn tallies(&self) -> CampaignTallies {
+        let mut tallies = CampaignTallies::new(self.levels.clone(), self.programs);
+        for record in &self.records {
+            tallies.add(record);
         }
-        out.push_str(&format!(
-            "{:<8} {:>6} {:>6} {:>6}\n",
-            "unique",
-            self.unique(Conjecture::C1),
-            self.unique(Conjecture::C2),
-            self.unique(Conjecture::C3),
-        ));
-        out
+        tallies
+    }
+
+    /// Render Table 1 rows (one per level plus the unique row) as plain
+    /// text. Built from one pass over the records (see
+    /// [`CampaignResult::tallies`]) instead of re-scanning them per cell.
+    pub fn table1(&self) -> String {
+        self.tallies().table1()
     }
 
     /// The machine-readable summary of the campaign: Table 1 (per-level and
     /// unique counts), the per-conjecture clean-program counts, and the
     /// Venn distribution of Figures 2–3. Deterministic — equal results
-    /// always serialize to equal bytes.
+    /// always serialize to equal bytes; built from the same one-pass
+    /// [`CampaignTallies`] as [`CampaignResult::table1`].
     pub fn summary_json(&self) -> Json {
-        let per_conjecture = |f: &dyn Fn(Conjecture) -> usize| {
-            Json::Obj(
-                Conjecture::ALL
-                    .iter()
-                    .map(|&c| (c.to_string(), Json::from_usize(f(c))))
-                    .collect(),
-            )
-        };
-        let table1 = self
-            .levels
-            .iter()
-            .map(|&level| {
-                (
-                    level.flag().to_owned(),
-                    per_conjecture(&|c| self.count_at(c, level)),
-                )
-            })
-            .collect::<Vec<_>>();
-        let venn = self
-            .venn()
-            .into_iter()
-            .map(|(levels, count)| {
-                Json::Obj(vec![
-                    (
-                        "levels".to_owned(),
-                        Json::Arr(levels.iter().map(|l| Json::str(l.flag())).collect()),
-                    ),
-                    ("count".to_owned(), Json::from_usize(count)),
-                ])
-            })
-            .collect();
-        Json::Obj(vec![
-            ("programs".to_owned(), Json::from_usize(self.programs)),
-            (
-                "levels".to_owned(),
-                Json::Arr(self.levels.iter().map(|l| Json::str(l.flag())).collect()),
-            ),
-            ("table1".to_owned(), Json::Obj(table1)),
-            ("unique".to_owned(), per_conjecture(&|c| self.unique(c))),
-            (
-                "clean_programs".to_owned(),
-                per_conjecture(&|c| self.clean_programs(c)),
-            ),
-            (
-                "at_all_levels".to_owned(),
-                Json::from_usize(self.at_all_levels()),
-            ),
-            ("venn".to_owned(), Json::Arr(venn)),
-        ])
+        self.tallies().summary_json()
     }
 }
 
@@ -325,6 +456,38 @@ mod tests {
         assert!(result.at_all_levels() <= venn_total);
         let table = result.table1();
         assert!(table.contains("unique"));
+    }
+
+    #[test]
+    fn tallies_agree_with_the_record_rescanning_queries() {
+        let subjects = subject_pool(1030, 8);
+        for personality in [Personality::Ccg, Personality::Lcc] {
+            let result = run_campaign(&subjects, personality, personality.trunk());
+            let tallies = result.tallies();
+            assert_eq!(tallies.records(), result.records.len());
+            assert_eq!(tallies.programs(), result.programs);
+            for c in Conjecture::ALL {
+                for &l in &result.levels {
+                    assert_eq!(tallies.count_at(c, l), result.count_at(c, l), "{c} {l}");
+                }
+                assert_eq!(tallies.unique(c), result.unique(c), "{c}");
+                assert_eq!(tallies.clean_programs(c), result.clean_programs(c), "{c}");
+            }
+            assert_eq!(tallies.venn(), result.venn());
+            assert_eq!(tallies.at_all_levels(), result.at_all_levels());
+            // The incremental accumulator is order-independent: folding the
+            // records in reverse produces the same tallies (and bytes).
+            let mut reversed = CampaignTallies::new(result.levels.clone(), result.programs);
+            for record in result.records.iter().rev() {
+                reversed.add(record);
+            }
+            assert_eq!(reversed.table1(), result.table1());
+            assert_eq!(
+                reversed.summary_json().to_pretty(),
+                result.summary_json().to_pretty()
+            );
+            assert_ne!(reversed.records(), 0, "campaign produced no records");
+        }
     }
 
     #[test]

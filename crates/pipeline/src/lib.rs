@@ -38,6 +38,18 @@
 //! conjecture site with `check_all`, it re-checks only the one queried
 //! `(conjecture, line, variable)` site against the memoized trace.
 //!
+//! **Stop plans and pass snapshots.** Two precomputations keep the oracle's
+//! *misses* cheap, too. Tracing runs through a cached
+//! [`holes_debugger::StopPlan`] — every scope walk, location-list scan, and
+//! personality quirk resolved once per (executable, debugger), every stop a
+//! plan lookup plus one batched machine read, every name interned as
+//! `Arc<str>` ([`CacheStats::plan_hits`]). And a configuration with a pass
+//! budget — the shape triage bisection probes dozens of times — is derived
+//! from its base pipeline's recorded IR checkpoints by code generation
+//! alone ([`holes_compiler::PassSnapshots`],
+//! [`CacheStats::codegen_only`]): a bisection runs the optimization
+//! pipeline once, not once per probed budget.
+//!
 //! **Persistence.** The cache can spill to and reload from a [`store`]
 //! rooted at a cache directory (`HOLES_CACHE_DIR`, or the CLI's
 //! `--cache-dir`): artifacts persist *across processes*, so a range that
@@ -80,9 +92,9 @@ pub use store::{ArtifactStore, GcStats, StoreStats, SubjectKey};
 
 use std::sync::Arc;
 
-use holes_compiler::{compile, CompilerConfig, Executable, OptLevel, Personality};
+use holes_compiler::{compile, CompilerConfig, Executable, OptLevel, PassSnapshots, Personality};
 use holes_core::{SiteQuery, Violation};
-use holes_debugger::{trace, DebugTrace, DebuggerKind};
+use holes_debugger::{trace_with_plan, DebugTrace, DebuggerKind, StopPlan};
 use holes_minic::analysis::ProgramAnalysis;
 use holes_minic::ast::Program;
 use holes_minic::lines::SourceMap;
@@ -162,10 +174,31 @@ impl Subject {
     }
 
     /// Compile under a configuration (memoized; the returned artifact is
-    /// shared with the cache).
+    /// shared with the cache). Budgeted configurations whose base pipeline
+    /// has been (or can be) recorded are derived by code generation alone
+    /// — see [`holes_compiler::PassSnapshots`] and
+    /// [`CacheStats::codegen_only`].
     pub fn compile_shared(&self, config: &CompilerConfig) -> Arc<Executable> {
-        self.cache
-            .executable(config, || compile(&self.program, config))
+        self.cache.executable(
+            config,
+            || self.derive_from_snapshots(config),
+            || compile(&self.program, config),
+        )
+    }
+
+    /// The snapshot codegen-only path: a configuration with a pass budget
+    /// is a strict prefix of its budget-free base pipeline, so its
+    /// executable falls out of the base's recorded IR checkpoints without
+    /// re-running a single pass. Returns `None` for unbudgeted
+    /// configurations (they *are* the base).
+    fn derive_from_snapshots(&self, config: &CompilerConfig) -> Option<Executable> {
+        config.pass_budget?;
+        let mut base = config.clone();
+        base.pass_budget = None;
+        let snapshots = self
+            .cache
+            .snapshots(&base, || PassSnapshots::record(&self.program, &base));
+        Some(snapshots.codegen_budget(&self.program, config))
     }
 
     /// Compile under a configuration.
@@ -173,10 +206,20 @@ impl Subject {
         (*self.compile_shared(config)).clone()
     }
 
-    /// Compile and trace with a specific debugger (memoized).
+    /// Compile and trace with a specific debugger (memoized). Tracing runs
+    /// through the executable's cached [`holes_debugger::StopPlan`]: each
+    /// stop is a plan lookup plus a batched machine read, counted by
+    /// [`CacheStats::plan_hits`].
     pub fn trace_shared(&self, config: &CompilerConfig, kind: DebuggerKind) -> Arc<DebugTrace> {
-        self.cache
-            .trace(config, kind, || trace(&self.compile_shared(config), kind))
+        self.cache.trace(config, kind, || {
+            let executable = self.compile_shared(config);
+            let plan = self
+                .cache
+                .stop_plan(config, kind, || StopPlan::compute(&executable, kind));
+            let trace = trace_with_plan(&executable, &plan);
+            self.cache.note_plan_hits(trace.stops.len());
+            trace
+        })
     }
 
     /// Compile and trace with the native debugger of the configuration's
@@ -339,7 +382,36 @@ mod tests {
             let _ = subject.violations(&o2.clone().with_pass_budget(budget));
         }
         let stats = subject.cache_stats();
-        assert_eq!(stats.compiles, o2.pass_schedule().len() + 1);
+        // Every budget is a distinct cache entry — but all of them are
+        // derived from one recorded pipeline by code generation alone, so
+        // no full compile runs at all.
+        assert_eq!(stats.codegen_only, o2.pass_schedule().len() + 1);
+        assert_eq!(stats.compiles, 0);
+        // Each budget's trace is serviced through its stop plan.
+        assert!(stats.plan_hits > 0);
+    }
+
+    #[test]
+    fn snapshot_derived_executables_match_from_scratch_budget_compiles() {
+        // The cache-level counterpart of the compiler's snapshot tests:
+        // a budgeted compile through `Subject` (codegen-only) must equal
+        // the plain `compile()` of the same configuration, structurally.
+        let subjects = subject_pool(906, 2);
+        let config = CompilerConfig::new(Personality::Lcc, OptLevel::O2);
+        for subject in &subjects {
+            for budget in [0, 3, config.pass_schedule().len()] {
+                let budgeted = config.clone().with_pass_budget(budget);
+                let derived = subject.compile_shared(&budgeted);
+                assert_eq!(
+                    *derived,
+                    compile(&subject.program, &budgeted),
+                    "budget {budget}"
+                );
+            }
+            let stats = subject.cache_stats();
+            assert_eq!(stats.compiles, 0, "a budgeted compile ran the pipeline");
+            assert_eq!(stats.codegen_only, 3);
+        }
     }
 
     #[test]
@@ -362,7 +434,7 @@ mod tests {
                             .unwrap_or(Violation {
                                 conjecture: holes_core::Conjecture::C1,
                                 line: 1,
-                                variable: String::new(),
+                                variable: "".into(),
                                 function: subject.program.main(),
                                 observed: holes_core::Observed::NotVisible,
                             })

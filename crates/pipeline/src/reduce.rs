@@ -111,9 +111,12 @@ pub fn reduce(
                 continue;
             }
             attempts += 1;
-            let mut relined = candidate.clone();
-            relined.assign_lines();
-            if still_violates(&relined, config, conjecture, &variable, culprit) {
+            // One candidate per attempt: mutate it, re-assign its lines in
+            // place, and keep it directly on oracle success (line
+            // assignment is a pure function of program structure, so the
+            // next round's re-assignment sees the same program either way).
+            candidate.assign_lines();
+            if still_violates(&candidate, config, conjecture, &variable, culprit) {
                 best = candidate;
                 progress = true;
             }
@@ -128,9 +131,8 @@ pub fn reduce(
                 continue;
             }
             attempts += 1;
-            let mut relined = candidate.clone();
-            relined.assign_lines();
-            if still_violates(&relined, config, conjecture, &variable, culprit) {
+            candidate.assign_lines();
+            if still_violates(&candidate, config, conjecture, &variable, culprit) {
                 best = candidate;
                 progress = true;
             }

@@ -38,8 +38,8 @@ pub struct IssueRow {
     pub seed: u64,
     /// The conjecture that exposed the issue.
     pub conjecture: Conjecture,
-    /// The affected variable.
-    pub variable: String,
+    /// The affected variable (shared with the violation record's name).
+    pub variable: std::sync::Arc<str>,
     /// The violating line.
     pub line: u32,
     /// DIE-level manifestation.
@@ -115,7 +115,7 @@ impl IssueReport {
                         "conjecture".to_owned(),
                         Json::str(row.conjecture.to_string()),
                     ),
-                    ("variable".to_owned(), Json::str(row.variable.clone())),
+                    ("variable".to_owned(), Json::str(row.variable.as_ref())),
                     ("line".to_owned(), Json::from_u64(row.line.into())),
                     ("category".to_owned(), Json::str(row.category.to_string())),
                     (

@@ -185,28 +185,8 @@ pub fn run_shard_with_stats(
 /// to running the campaign unsharded. Shards are consumed: their records
 /// move into the merged result instead of being cloned.
 pub fn merge_shards(shards: Vec<CampaignShard>) -> Result<CampaignResult, ShardError> {
-    let first_spec = shards
-        .first()
-        .map(|s| s.spec.clone())
-        .ok_or_else(|| ShardError::Incompatible("no shards to merge".into()))?;
-    for shard in &shards {
-        shard.spec.validate()?;
-        if !shard.spec.same_campaign(&first_spec) {
-            return Err(ShardError::Incompatible(format!(
-                "shard {} belongs to a different campaign than shard {}",
-                shard.spec.shard, first_spec.shard
-            )));
-        }
-    }
-    let mut indices: Vec<u64> = shards.iter().map(|s| s.spec.shard).collect();
-    indices.sort_unstable();
-    let expected: Vec<u64> = (0..first_spec.shards).collect();
-    if indices != expected {
-        return Err(ShardError::Incompatible(format!(
-            "shard indices {indices:?} do not cover 0..{} exactly once",
-            first_spec.shards
-        )));
-    }
+    let specs: Vec<CampaignSpec> = shards.iter().map(|s| s.spec.clone()).collect();
+    let first_spec = validate_shard_specs(&specs)?;
     // Stable sort by global subject index restores the monolithic record
     // order: within a subject all records live in one shard, already in
     // (level, site) order.
@@ -218,6 +198,43 @@ pub fn merge_shards(shards: Vec<CampaignShard>) -> Result<CampaignResult, ShardE
         programs: first_spec.seeds.len() as usize,
         levels: first_spec.personality.levels().to_vec(),
     })
+}
+
+/// Check that a set of specs forms one complete campaign — every spec
+/// valid, all describing the same campaign, and the shard indices covering
+/// `0..shards` exactly once — and return the first spec. This is
+/// [`merge_shards`]' validation, shared with the streaming `holes report`
+/// path (which folds records instead of materializing shards, but must
+/// reject exactly the same inputs).
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] when the set is empty, inconsistent, or
+/// incomplete.
+pub fn validate_shard_specs(specs: &[CampaignSpec]) -> Result<CampaignSpec, ShardError> {
+    let first_spec = specs
+        .first()
+        .cloned()
+        .ok_or_else(|| ShardError::Incompatible("no shards to merge".into()))?;
+    for spec in specs {
+        spec.validate()?;
+        if !spec.same_campaign(&first_spec) {
+            return Err(ShardError::Incompatible(format!(
+                "shard {} belongs to a different campaign than shard {}",
+                spec.shard, first_spec.shard
+            )));
+        }
+    }
+    let mut indices: Vec<u64> = specs.iter().map(|s| s.shard).collect();
+    indices.sort_unstable();
+    let expected: Vec<u64> = (0..first_spec.shards).collect();
+    if indices != expected {
+        return Err(ShardError::Incompatible(format!(
+            "shard indices {indices:?} do not cover 0..{} exactly once",
+            first_spec.shards
+        )));
+    }
+    Ok(first_spec)
 }
 
 /// The identifying first line of a campaign shard file.
@@ -294,6 +311,22 @@ pub(crate) fn validate_record_order(
     records: &[ViolationRecord],
     spec: &CampaignSpec,
 ) -> Result<(), ShardError> {
+    for (index, pair) in records.windows(2).enumerate() {
+        check_record_order(index, &pair[0], &pair[1], spec)?;
+    }
+    Ok(())
+}
+
+/// The pairwise step of [`validate_record_order`]: record `index + 1` must
+/// sort strictly after record `index`. Streaming readers call this with
+/// only the previous record in hand, so a million-record stream is order-
+/// checked with O(1) memory.
+pub(crate) fn check_record_order(
+    index: usize,
+    a: &ViolationRecord,
+    b: &ViolationRecord,
+    spec: &CampaignSpec,
+) -> Result<(), ShardError> {
     let level_index = |level: OptLevel| {
         spec.personality
             .levels()
@@ -301,26 +334,23 @@ pub(crate) fn validate_record_order(
             .position(|&l| l == level)
             .expect("level membership checked per record")
     };
-    for (index, pair) in records.windows(2).enumerate() {
-        let (a, b) = (&pair[0], &pair[1]);
-        if (a.subject, level_index(a.level), &a.violation)
-            >= (b.subject, level_index(b.level), &b.violation)
-        {
-            return Err(ShardError::Malformed(format!(
-                "records {} and {} are not in canonical campaign order (subject {} {} `{}` \
-                 line {} followed by subject {} {} `{}` line {})",
-                index,
-                index + 1,
-                a.subject,
-                a.level,
-                a.violation.variable,
-                a.violation.line,
-                b.subject,
-                b.level,
-                b.violation.variable,
-                b.violation.line,
-            )));
-        }
+    if (a.subject, level_index(a.level), &a.violation)
+        >= (b.subject, level_index(b.level), &b.violation)
+    {
+        return Err(ShardError::Malformed(format!(
+            "records {} and {} are not in canonical campaign order (subject {} {} `{}` \
+             line {} followed by subject {} {} `{}` line {})",
+            index,
+            index + 1,
+            a.subject,
+            a.level,
+            a.violation.variable,
+            a.violation.line,
+            b.subject,
+            b.level,
+            b.violation.variable,
+            b.violation.line,
+        )));
     }
     Ok(())
 }
@@ -429,7 +459,7 @@ pub(crate) fn record_to_json(record: &ViolationRecord) -> Json {
         ),
         (
             "variable".to_owned(),
-            Json::str(record.violation.variable.clone()),
+            Json::str(record.violation.variable.as_ref()),
         ),
         (
             "function".to_owned(),
@@ -478,7 +508,7 @@ pub(crate) fn record_from_json(
             line: u64_field(json, "line")?
                 .try_into()
                 .map_err(|_| ShardError::Malformed("line number out of range".into()))?,
-            variable: str_field(json, "variable")?.to_owned(),
+            variable: str_field(json, "variable")?.into(),
             function: FunctionId(usize_field(json, "function")?),
             observed,
         },

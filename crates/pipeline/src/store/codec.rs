@@ -1097,7 +1097,7 @@ pub(super) fn trace_to_json(trace: &DebugTrace) -> Json {
                         Json::Obj(vec![
                             ("line".to_owned(), Json::from_u64(stop.line.into())),
                             ("address".to_owned(), Json::from_u64(stop.address)),
-                            ("function".to_owned(), Json::str(stop.function.clone())),
+                            ("function".to_owned(), Json::str(stop.function.as_ref())),
                             (
                                 "variables".to_owned(),
                                 Json::Arr(
@@ -1105,7 +1105,7 @@ pub(super) fn trace_to_json(trace: &DebugTrace) -> Json {
                                         .iter()
                                         .map(|v| {
                                             Json::Arr(vec![
-                                                Json::str(v.name.clone()),
+                                                Json::str(v.name.as_ref()),
                                                 match v.availability {
                                                     Availability::Available(value) => {
                                                         Json::from_i64(value)
@@ -1144,15 +1144,12 @@ pub(super) fn trace_from_json(json: &Json) -> Result<DebugTrace, DecodeError> {
             Ok(LineStop {
                 line: u32_field(stop, "line")?,
                 address: u64_field(stop, "address")?,
-                function: str_field(stop, "function")?.to_owned(),
+                function: str_field(stop, "function")?.into(),
                 variables: arr_field(stop, "variables")?
                     .iter()
                     .map(|v| match v.as_arr() {
                         Some([name, value]) => Ok(VarView {
-                            name: name
-                                .as_str()
-                                .ok_or("variable name is not a string")?
-                                .to_owned(),
+                            name: name.as_str().ok_or("variable name is not a string")?.into(),
                             availability: match value {
                                 Json::Null => Availability::OptimizedOut,
                                 other => Availability::Available(as_i64(other, "variable value")?),
@@ -1190,7 +1187,7 @@ pub(super) fn violations_to_json(violations: &[Violation]) -> Json {
                 Json::Obj(vec![
                     ("conjecture".to_owned(), Json::str(v.conjecture.to_string())),
                     ("line".to_owned(), Json::from_u64(v.line.into())),
-                    ("variable".to_owned(), Json::str(v.variable.clone())),
+                    ("variable".to_owned(), Json::str(v.variable.as_ref())),
                     ("function".to_owned(), Json::from_usize(v.function.0)),
                     ("observed".to_owned(), Json::str(v.observed.name())),
                 ])
@@ -1213,7 +1210,7 @@ pub(super) fn violations_from_json(json: &Json) -> Result<Vec<Violation>, Decode
                     .parse()
                     .map_err(|_| "unknown conjecture".to_owned())?,
                 line: u32_field(v, "line")?,
-                variable: str_field(v, "variable")?.to_owned(),
+                variable: str_field(v, "variable")?.into(),
                 function: FunctionId(usize_field(v, "function")?),
                 observed,
             })

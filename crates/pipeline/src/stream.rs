@@ -16,22 +16,28 @@
 //!
 //! [`run_shard_streaming`] evaluates seeds in bounded parallel chunks and
 //! emits each chunk's records as soon as they are ready, so peak memory is
-//! proportional to the chunk size — never to the seed range. The reader
-//! ([`read_jsonl_shard`]) revalidates everything the classic parser does
-//! (per-record membership, canonical order, counts) and reports errors with
-//! the **record index and line number**, then hands back an ordinary
-//! [`CampaignShard`]: merging JSONL shards through
+//! proportional to the chunk size — never to the seed range. On the
+//! consuming side, [`fold_jsonl_reader`] is the symmetric **streaming
+//! reader**: it revalidates everything the classic parser does (per-record
+//! membership, canonical order — checked pairwise against only the
+//! previous record — and the footer counts), reports errors with the
+//! **record index and line number**, and hands each record to a fold
+//! callback instead of materializing a vector, so `holes report` aggregates
+//! arbitrarily large shards in bounded memory. [`read_jsonl_shard`] wraps
+//! the fold into an ordinary [`CampaignShard`] for consumers that do need
+//! the records: merging JSONL shards through
 //! [`crate::shard::merge_shards`] is byte-identical to merging classic
 //! shards, which the CLI and test suite hold it to.
 
 use std::io::Write;
 
+use holes_compiler::OptLevel;
 use holes_core::json::Json;
 
 use crate::campaign::{subject_records, CampaignResult, ViolationRecord};
 use crate::shard::{
-    parse_levels, parse_spec_header, record_from_json, record_to_json, spec_header_pairs,
-    validate_record_order, CampaignShard, CampaignSpec, ShardError,
+    check_record_order, parse_levels, parse_spec_header, record_from_json, record_to_json,
+    spec_header_pairs, CampaignShard, CampaignSpec, ShardError,
 };
 use crate::{par, CacheStats, Subject};
 
@@ -203,25 +209,41 @@ fn malformed(line: usize, message: impl std::fmt::Display) -> ShardError {
     ShardError::Malformed(format!("line {}: {message}", line + 1))
 }
 
-/// Parse a JSON Lines shard file back into a [`CampaignShard`], applying
-/// every validation the classic parser does (header consistency, per-record
-/// membership and subject-index checks, canonical record order, and the
-/// footer's truncation-detecting counts). Errors name the offending line
-/// and record index.
+/// What [`fold_jsonl_shard`] validated about a stream, once the footer has
+/// confirmed it was complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// The campaign spec from the header.
+    pub spec: CampaignSpec,
+    /// The level schedule from the header (already checked against the
+    /// personality).
+    pub levels: Vec<OptLevel>,
+    /// Programs covered by the shard, per the footer.
+    pub programs: usize,
+    /// Records handed to the fold callback.
+    pub records: usize,
+}
+
+/// Parse and validate a JSON Lines shard **header line** (the format's
+/// first line): the spec and level schedule, without touching any record.
+/// Streaming consumers use this to size their accumulators before folding.
 ///
 /// # Errors
 ///
-/// Returns a [`ShardError`] describing the first malformed line.
-pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (line_no, header_text) = lines
-        .next()
-        .ok_or_else(|| ShardError::Malformed("empty stream".into()))?;
-    let header =
-        Json::parse(header_text).map_err(|e| malformed(line_no, format!("bad header: {e}")))?;
+/// Returns a [`ShardError`] when the line is not a valid
+/// `holes.campaign-jsonl/v1` header.
+pub fn parse_jsonl_header(line: &str) -> Result<(CampaignSpec, Vec<OptLevel>), ShardError> {
+    parse_jsonl_header_at(line, 0)
+}
+
+/// [`parse_jsonl_header`] with the header's real 0-based line number for
+/// error context — the shared implementation [`fold_jsonl_reader`] uses,
+/// since blank lines may precede the header.
+fn parse_jsonl_header_at(
+    line: &str,
+    line_no: usize,
+) -> Result<(CampaignSpec, Vec<OptLevel>), ShardError> {
+    let header = Json::parse(line).map_err(|e| malformed(line_no, format!("bad header: {e}")))?;
     let format = header
         .get("format")
         .and_then(Json::as_str)
@@ -234,31 +256,74 @@ pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
     }
     let spec = parse_spec_header(&header).map_err(|e| e.contextualize("header"))?;
     let levels = parse_levels(&header, spec.personality).map_err(|e| e.contextualize("header"))?;
+    Ok((spec, levels))
+}
 
-    let mut records: Vec<ViolationRecord> = Vec::new();
+/// Stream a JSON Lines shard through a record callback, **line by line from
+/// a reader**: each record is parsed, validated, handed to `each`, and
+/// dropped, so a consumer folding into an aggregate (the `holes report`
+/// accumulator) reads a million-record shard in bounded memory — the
+/// reader state is one line buffer, the spec, the previous record (for the
+/// canonical-order check), and the running count.
+///
+/// Every validation of the materializing parser applies — header
+/// consistency, per-record membership and subject-index checks, canonical
+/// record order, and the footer's truncation-detecting counts — and errors
+/// name the offending line and record index. Records handed to `each`
+/// before an error is discovered must be discarded by the caller (an
+/// aggregate built from a stream that later fails validation is
+/// meaningless).
+///
+/// # Errors
+///
+/// Returns the first malformed line as a [`StreamError::Shard`], or the
+/// reader's failure as [`StreamError::Io`].
+pub fn fold_jsonl_reader<R: std::io::BufRead>(
+    reader: R,
+    mut each: impl FnMut(ViolationRecord),
+) -> Result<JsonlSummary, StreamError> {
+    let mut lines = reader
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.as_ref().map_or(true, |l| !l.trim().is_empty()));
+    let (line_no, header_text) = match lines.next() {
+        None => return Err(ShardError::Malformed("empty stream".into()).into()),
+        Some((line_no, text)) => (line_no, text?),
+    };
+    let (spec, levels) = parse_jsonl_header_at(&header_text, line_no)?;
+
+    let mut count = 0usize;
+    let mut previous: Option<ViolationRecord> = None;
     let mut footer: Option<(usize, Json)> = None;
     for (line_no, line) in lines {
+        let line = line?;
         if let Some((footer_line, _)) = footer {
             return Err(malformed(
                 line_no,
                 format!("content after the footer on line {}", footer_line + 1),
-            ));
+            )
+            .into());
         }
-        let value = Json::parse(line).map_err(|e| malformed(line_no, e))?;
+        let value = Json::parse(&line).map_err(|e| malformed(line_no, e))?;
         if value.get("end").is_some() {
             footer = Some((line_no, value));
             continue;
         }
         let record = record_from_json(&value, &spec).map_err(|e| {
-            e.for_record(records.len())
+            e.for_record(count)
                 .contextualize(&format!("line {}", line_no + 1))
         })?;
-        records.push(record);
+        if let Some(prev) = &previous {
+            check_record_order(count - 1, prev, &record, &spec)?;
+        }
+        previous = Some(record.clone());
+        each(record);
+        count += 1;
     }
     let (footer_line, footer) =
         footer.ok_or_else(|| ShardError::Malformed("missing footer (truncated stream?)".into()))?;
     if footer.get("end").and_then(Json::as_bool) != Some(true) {
-        return Err(malformed(footer_line, "footer `end` is not `true`"));
+        return Err(malformed(footer_line, "footer `end` is not `true`").into());
     }
     let programs = footer
         .get("programs")
@@ -271,28 +336,69 @@ pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
                 "program count {programs} does not match shard {} of {} over {}",
                 spec.shard, spec.shards, spec.seeds
             ),
-        ));
+        )
+        .into());
     }
     let declared = footer
         .get("records")
         .and_then(Json::as_usize)
         .ok_or_else(|| malformed(footer_line, "footer is missing `records`"))?;
-    if declared != records.len() {
+    if declared != count {
         return Err(malformed(
             footer_line,
-            format!(
-                "footer declares {declared} records but the stream carries {}",
-                records.len()
-            ),
-        ));
+            format!("footer declares {declared} records but the stream carries {count}"),
+        )
+        .into());
     }
-    validate_record_order(&records, &spec)?;
-    Ok(CampaignShard {
+    Ok(JsonlSummary {
         spec,
+        levels,
+        programs,
+        records: count,
+    })
+}
+
+/// [`fold_jsonl_reader`] over an in-memory stream.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] describing the first malformed line.
+pub fn fold_jsonl_shard(
+    text: &str,
+    each: impl FnMut(ViolationRecord),
+) -> Result<JsonlSummary, ShardError> {
+    match fold_jsonl_reader(text.as_bytes(), each) {
+        Ok(summary) => Ok(summary),
+        Err(StreamError::Shard(error)) => Err(error),
+        // Reading from an in-memory slice cannot fail; keep the error path
+        // total anyway.
+        Err(StreamError::Io(error)) => Err(ShardError::Malformed(format!(
+            "I/O failure on an in-memory stream: {error}"
+        ))),
+    }
+}
+
+/// Parse a JSON Lines shard file back into a [`CampaignShard`], applying
+/// every validation the classic parser does (header consistency, per-record
+/// membership and subject-index checks, canonical record order, and the
+/// footer's truncation-detecting counts). Errors name the offending line
+/// and record index.
+///
+/// This materializes every record; callers that only aggregate should use
+/// [`fold_jsonl_shard`] and keep memory bounded.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] describing the first malformed line.
+pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
+    let mut records: Vec<ViolationRecord> = Vec::new();
+    let summary = fold_jsonl_shard(text, |record| records.push(record))?;
+    Ok(CampaignShard {
+        spec: summary.spec,
         result: CampaignResult {
             records,
-            programs,
-            levels,
+            programs: summary.programs,
+            levels: summary.levels,
         },
     })
 }
@@ -380,6 +486,49 @@ mod tests {
         let wrong = text.replace(CAMPAIGN_JSONL_FORMAT, "holes.campaign-jsonl/v9");
         assert!(read_jsonl_shard(&wrong).is_err());
         assert!(!is_jsonl_shard(&wrong));
+    }
+
+    #[test]
+    fn folding_reader_matches_the_materializing_reader() {
+        use crate::campaign::CampaignTallies;
+        let range = SeedRange::new(2900, 2912);
+        let text = streamed(&spec(range));
+        let shard = read_jsonl_shard(&text).unwrap();
+        assert!(
+            !shard.result.records.is_empty(),
+            "range exposed no records to fold"
+        );
+        let mut tallies = CampaignTallies::new(shard.result.levels.clone(), shard.result.programs);
+        let summary = fold_jsonl_shard(&text, |record| tallies.add(&record)).unwrap();
+        assert_eq!(summary.spec, shard.spec);
+        assert_eq!(summary.records, shard.result.records.len());
+        assert_eq!(summary.programs, shard.result.programs);
+        assert_eq!(summary.levels, shard.result.levels);
+        // The line-by-line accumulator renders byte-identically to the
+        // materialized result.
+        assert_eq!(tallies.table1(), shard.result.table1());
+        assert_eq!(
+            tallies.summary_json().to_pretty(),
+            shard.result.summary_json().to_pretty()
+        );
+
+        // Out-of-order streams are rejected with the offending indices,
+        // exactly like the materializing path.
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.len() >= 4 {
+            let mut swapped: Vec<&str> = lines.clone();
+            swapped.swap(1, 2);
+            let err = fold_jsonl_shard(&swapped.join("\n"), |_| {}).unwrap_err();
+            assert!(
+                err.to_string().contains("canonical campaign order"),
+                "{err}"
+            );
+            assert_eq!(
+                read_jsonl_shard(&swapped.join("\n")).unwrap_err(),
+                err,
+                "the two readers disagree on the rejection"
+            );
+        }
     }
 
     #[test]

@@ -166,7 +166,7 @@ fn lsr_case_study_reproduces() {
     assert!(
         violations
             .iter()
-            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable == "i"),
+            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable.as_ref() == "i"),
         "the LSR defect should make the induction variable unavailable: {violations:?}"
     );
     let fixed = trunk.clone().with_version(5);
@@ -174,7 +174,7 @@ fn lsr_case_study_reproduces() {
     assert!(
         !after_fix
             .iter()
-            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable == "i"),
+            .any(|v| v.conjecture == holes_core::Conjecture::C2 && v.variable.as_ref() == "i"),
         "the trunk-star profile should fix the O2 LSR violation: {after_fix:?}"
     );
 }
