@@ -24,22 +24,25 @@ use std::sync::Arc;
 use holes::compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes::core::json::Json;
 use holes::core::Conjecture;
-use holes::pipeline::campaign::{run_campaign_on, CampaignTallies};
-use holes::pipeline::reduce::reduce;
+use holes::pipeline::campaign::{run_campaign_on_with_policy, CampaignTallies};
+use holes::pipeline::reduce::reduce_with_policy;
 use holes::pipeline::report::build_report_from_seeds;
 use holes::pipeline::shard::{
-    merge_shards, run_shard_with_stats, validate_shard_specs, CampaignShard, CampaignSpec,
+    merge_shards, run_shard_with_policy, validate_shard_specs, CampaignShard, CampaignSpec,
     ShardError,
 };
 use holes::pipeline::store::CACHE_DIR_ENV;
 use holes::pipeline::stream::{
-    fold_jsonl_reader, is_jsonl_shard, parse_jsonl_header, read_jsonl_shard, run_shard_streaming,
-    StreamError,
+    fold_jsonl_reader, is_jsonl_shard, parse_jsonl_header, read_jsonl_shard,
+    resume_shard_streaming, run_shard_streaming_with_policy, StreamError,
 };
 use holes::pipeline::triage::{
-    merge_triage_shards, run_triage_shard, triage, triage_campaign_on, TriageShard,
+    merge_triage_shards, run_triage_shard_with_policy, triage, triage_campaign_on_with_policy,
+    TriageShard,
 };
-use holes::pipeline::{subject_pool, ArtifactStore, CacheStats, Subject};
+use holes::pipeline::{
+    subject_pool, ArtifactStore, CacheStats, FaultPolicy, Subject, SubjectOutcome,
+};
 use holes::progen::{ProgramGenerator, SeedRange};
 
 use args::{Parsed, Spec, UsageError};
@@ -90,21 +93,47 @@ location-loss classes the register backend cannot express.
 Run `holes <command> --help` for per-command options.
 ";
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(error) => {
-            eprintln!("holes: {error}");
-            ExitCode::from(2)
+/// How a successfully-completed command ends the process: `Clean` exits 0;
+/// `Faulted` exits 2 — the run finished, but one or more subjects were
+/// contained as faults instead of evaluating, so the output is complete but
+/// not fault-free. Hard failures exit 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunStatus {
+    /// Every subject evaluated; exit 0.
+    Clean,
+    /// The command completed but contained subject faults; exit 2.
+    Faulted,
+}
+
+impl RunStatus {
+    /// `Clean` unless `faulted` subjects were contained, in which case the
+    /// count is reported on stderr and the status degrades to `Faulted`.
+    fn from_faulted(faulted: usize) -> RunStatus {
+        if faulted == 0 {
+            RunStatus::Clean
+        } else {
+            eprintln!("holes: {faulted} subject(s) faulted and were contained; exit status 2");
+            RunStatus::Faulted
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(RunStatus::Clean) => ExitCode::SUCCESS,
+        Ok(RunStatus::Faulted) => ExitCode::from(2),
+        Err(error) => {
+            eprintln!("holes: {error}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<RunStatus, String> {
     let Some(command) = argv.first() else {
         out!("{USAGE}");
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let rest = &argv[1..];
     match command.as_str() {
@@ -116,7 +145,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         other => Err(format!("unknown command `{other}`; run `holes help`")),
     }
@@ -164,6 +193,21 @@ fn backend_suffix(backend: BackendKind) -> String {
     }
 }
 
+/// The fault policy of a compiling command: the optional `--fuel-limit`
+/// step budget plus whatever `HOLES_FAULT_SEEDS` injects. With neither
+/// present this is the default policy, whose output is byte-identical to a
+/// pipeline without the containment layer.
+fn policy_of(parsed: &Parsed) -> Result<FaultPolicy, String> {
+    let fuel_limit = match parsed.opt("fuel-limit") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for `--fuel-limit`: `{raw}`"))?,
+        ),
+        None => None,
+    };
+    Ok(FaultPolicy::from_env(fuel_limit))
+}
+
 fn version_of(parsed: &Parsed, personality: Personality) -> Result<usize, String> {
     match parsed.opt("compiler-version") {
         None => Ok(personality.trunk()),
@@ -187,16 +231,15 @@ fn write_out(parsed: &Parsed, contents: &str) -> Result<(), String> {
 /// `HOLES_CACHE_DIR` environment variable) names a directory. The flag is
 /// exported into the environment so every subject this process creates —
 /// however deep in the pipeline — binds to the same store.
+///
+/// An unusable cache directory is not fatal: [`ArtifactStore::from_env`]
+/// warns once on stderr and the run continues with in-memory caching only,
+/// so a full disk or a permissions slip never kills a long campaign.
 fn cache_store(parsed: &Parsed) -> Result<Option<Arc<ArtifactStore>>, String> {
-    match parsed.opt("cache-dir") {
-        Some(dir) => {
-            std::env::set_var(CACHE_DIR_ENV, dir);
-            ArtifactStore::from_env()
-                .map(Some)
-                .ok_or_else(|| format!("cannot open cache directory `{dir}`"))
-        }
-        None => Ok(ArtifactStore::from_env()),
+    if let Some(dir) = parsed.opt("cache-dir") {
+        std::env::set_var(CACHE_DIR_ENV, dir);
     }
+    Ok(ArtifactStore::from_env())
 }
 
 /// Print the evaluation-engine statistics on stderr (so stdout's
@@ -216,12 +259,16 @@ fn print_stats(stats: &CacheStats, store: Option<&Arc<ArtifactStore>>) {
     if let Some(store) = store {
         let s = store.stats();
         eprintln!(
-            "store: dir {}, loads {}, misses {}, writes {}, rejected {}",
+            "store: dir {}, loads {}, misses {}, writes {}, rejected {}, retries {}, \
+             quarantined {}, store errors {}",
             store.root().display(),
             s.loads,
             s.misses,
             s.writes,
             s.rejected,
+            s.retries,
+            s.quarantined,
+            s.store_errors,
         );
     }
 }
@@ -235,7 +282,7 @@ Show the programs a campaign over the seed range would test: one summary
 line per seed, or the full rendered source with --source.
 ";
 
-fn cmd_generate(argv: &[String]) -> Result<(), String> {
+fn cmd_generate(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &["seeds"],
         switches: &["source"],
@@ -243,7 +290,7 @@ fn cmd_generate(argv: &[String]) -> Result<(), String> {
     };
     let Some(parsed) = parse_or_help(argv, &spec, GENERATE_USAGE).map_err(|e| e.to_string())?
     else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let seeds = seeds_of(&parsed)?;
     for seed in seeds.iter() {
@@ -263,7 +310,7 @@ fn cmd_generate(argv: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
 // -------------------------------------------------------------- campaign
@@ -285,6 +332,12 @@ Options:
   --out FILE               Write the shard JSON here instead of stdout
   --jsonl                  Stream holes.campaign-jsonl/v1 (one record per
                            line, bounded memory) instead of one document
+  --resume                 Continue a killed `--jsonl --out FILE` run: the
+                           intact prefix of FILE is kept, the remaining
+                           subjects are re-evaluated, and the final file is
+                           byte-identical to an uninterrupted run
+  --fuel-limit N           Contain subjects whose machines exceed N steps
+                           as fault records instead of truncating silently
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
   --stats                  Report cache/store statistics on stderr
@@ -292,9 +345,10 @@ Options:
 
 K shard files over the same range, merged with `holes report`, reproduce
 the unsharded campaign byte-for-byte; `report` accepts both formats.
+A campaign that completes with contained subject faults exits 2.
 ";
 
-fn cmd_campaign(argv: &[String]) -> Result<(), String> {
+fn cmd_campaign(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &[
             "seeds",
@@ -305,15 +359,17 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
             "shard",
             "out",
             "cache-dir",
+            "fuel-limit",
         ],
-        switches: &["quiet", "jsonl", "stats"],
+        switches: &["quiet", "jsonl", "stats", "resume"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, CAMPAIGN_USAGE).map_err(|e| e.to_string())?
     else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let store = cache_store(&parsed)?;
+    let policy = policy_of(&parsed)?;
     let personality = personality_of(&parsed)?;
     let campaign = CampaignSpec::new(
         personality,
@@ -327,17 +383,23 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
     .with_backend(backend_of(&parsed)?);
 
     if parsed.switch("jsonl") {
-        return campaign_jsonl(&parsed, &campaign, store.as_ref());
+        return campaign_jsonl(&parsed, &campaign, &policy, store.as_ref());
+    }
+    if parsed.switch("resume") {
+        return Err(
+            "`--resume` requires `--jsonl` (only the streaming format is resumable)".into(),
+        );
     }
 
-    let (shard, stats) = run_shard_with_stats(&campaign).map_err(|e| e.to_string())?;
+    let (shard, stats) = run_shard_with_policy(&campaign, &policy).map_err(|e| e.to_string())?;
     if parsed.switch("stats") {
         print_stats(&stats, store.as_ref());
     }
+    let status = RunStatus::from_faulted(shard.result.faults.len());
     let rendered = shard.to_json().to_pretty();
     let Some(path) = parsed.opt("out") else {
         out!("{rendered}");
-        return Ok(());
+        return Ok(status);
     };
     std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
     if !parsed.switch("quiet") {
@@ -354,24 +416,54 @@ fn cmd_campaign(argv: &[String]) -> Result<(), String> {
         );
         out!("{}", shard.result.table1());
     }
-    Ok(())
+    Ok(status)
 }
 
 /// The `--jsonl` path of `holes campaign`: stream records to the output as
-/// they are computed, holding only one evaluation chunk in memory.
+/// they are computed, holding only one evaluation chunk in memory. With
+/// `--resume`, continue a killed run's partial file instead of starting
+/// over.
 fn campaign_jsonl(
     parsed: &Parsed,
     campaign: &CampaignSpec,
+    policy: &FaultPolicy,
     store: Option<&Arc<ArtifactStore>>,
-) -> Result<(), String> {
+) -> Result<RunStatus, String> {
+    if parsed.switch("resume") {
+        let Some(path) = parsed.opt("out") else {
+            return Err("`--resume` requires `--out FILE` (the stream to continue)".into());
+        };
+        let outcome = resume_shard_streaming(campaign, std::path::Path::new(path), policy)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+        if parsed.switch("stats") {
+            print_stats(&outcome.stats, store);
+        }
+        if !parsed.switch("quiet") {
+            if outcome.already_complete {
+                outln!(
+                    "campaign: `{path}` is already complete ({} violation records); \
+                     nothing to resume",
+                    outcome.records,
+                );
+            } else {
+                outln!(
+                    "campaign: resumed `{path}`: re-evaluated {} subjects, {} violation \
+                     records total",
+                    outcome.resumed_subjects,
+                    outcome.records,
+                );
+            }
+        }
+        return Ok(RunStatus::from_faulted(outcome.faulted));
+    }
     let outcome = match parsed.opt("out") {
         Some(path) => {
             let file = std::fs::File::create(path).map_err(|e| format!("writing `{path}`: {e}"))?;
-            run_shard_streaming(campaign, std::io::BufWriter::new(file))
+            run_shard_streaming_with_policy(campaign, std::io::BufWriter::new(file), policy)
         }
-        None => run_shard_streaming(campaign, std::io::stdout().lock()),
+        None => run_shard_streaming_with_policy(campaign, std::io::stdout().lock(), policy),
     };
-    let (records, stats) = match outcome {
+    let run = match outcome {
         Ok(summary) => summary,
         // A closed pipe downstream (`holes campaign --jsonl | head`) is a
         // clean exit for a Unix filter, exactly as the non-streaming writer
@@ -382,11 +474,11 @@ fn campaign_jsonl(
         Err(error) => return Err(error.to_string()),
     };
     if parsed.switch("stats") {
-        print_stats(&stats, store);
+        print_stats(&run.stats, store);
     }
     if parsed.opt("out").is_some() && !parsed.switch("quiet") {
         outln!(
-            "campaign: {} {}, seeds {}, shard {}/{}{}: {} programs, {records} violation records \
+            "campaign: {} {}, seeds {}, shard {}/{}{}: {} programs, {} violation records \
              (streamed)",
             campaign.personality,
             campaign.personality.version_names()[campaign.version],
@@ -395,9 +487,10 @@ fn campaign_jsonl(
             campaign.shards,
             backend_suffix(campaign.backend),
             campaign.seeds.shard_len(campaign.shards, campaign.shard),
+            run.records,
         );
     }
-    Ok(())
+    Ok(RunStatus::from_faulted(run.faulted))
 }
 
 // ---------------------------------------------------------------- report
@@ -410,7 +503,9 @@ Table 1, the Venn distribution of Figures 2-3, and (with --issues) the
 Table 3 issue classification. The shard files must cover the campaign's
 full seed range exactly once. Both shard formats are accepted (and may be
 mixed): holes.campaign/v1 documents and holes.campaign-jsonl/v1 streams;
-the merged output is byte-identical either way.
+the merged output is byte-identical either way. A truncated JSONL stream
+(from a killed campaign) is diagnosed with its intact-record count; rerun
+the campaign with --resume to complete it first.
 
 Options:
   --json          Print the machine-readable summary instead of text
@@ -430,14 +525,14 @@ fn parse_shard_file(path: &str) -> Result<CampaignShard, String> {
     CampaignShard::from_json(&json).map_err(|e| format!("`{path}`: {e}"))
 }
 
-fn cmd_report(argv: &[String]) -> Result<(), String> {
+fn cmd_report(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &["out", "issues", "cache-dir"],
         switches: &["json"],
         positionals: true,
     };
     let Some(parsed) = parse_or_help(argv, &spec, REPORT_USAGE).map_err(|e| e.to_string())? else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let _store = cache_store(&parsed)?;
     if parsed.positionals().is_empty() {
@@ -496,7 +591,7 @@ fn cmd_report(argv: &[String]) -> Result<(), String> {
 /// tallies. Output is byte-identical to the materializing path; memory is
 /// bounded by the accumulator (unique violations), never by the record
 /// count.
-fn report_streaming(parsed: &Parsed) -> Result<(), String> {
+fn report_streaming(parsed: &Parsed) -> Result<RunStatus, String> {
     use std::io::{BufRead, Read};
     let mut specs: Vec<CampaignSpec> = Vec::new();
     let mut tallies: Option<CampaignTallies> = None;
@@ -517,6 +612,9 @@ fn report_streaming(parsed: &Parsed) -> Result<(), String> {
             let chained = std::io::Cursor::new(first_line.clone()).chain(reader);
             let summary = fold_jsonl_reader(chained, |record| into.add(&record))
                 .map_err(|e| format!("`{path}`: {e}"))?;
+            for _ in &summary.faults {
+                into.add_fault();
+            }
             specs.push(summary.spec);
         } else {
             // A classic holes.campaign/v1 document: parse it, fold its
@@ -532,6 +630,9 @@ fn report_streaming(parsed: &Parsed) -> Result<(), String> {
             });
             for record in &shard.result.records {
                 into.add(record);
+            }
+            for _ in &shard.result.faults {
+                into.add_fault();
             }
             specs.push(shard.spec);
         }
@@ -556,7 +657,7 @@ fn render_report(
     campaign: &CampaignSpec,
     tallies: &CampaignTallies,
     issues: Option<(&holes::pipeline::report::IssueReport, usize)>,
-) -> Result<(), String> {
+) -> Result<RunStatus, String> {
     // The JSON summary re-aggregates every tally; build it only when a
     // machine-readable sink asked for it.
     if parsed.switch("json") || parsed.opt("out").is_some() {
@@ -583,7 +684,7 @@ fn render_report(
         write_out(parsed, &rendered)?;
         if parsed.switch("json") {
             out!("{rendered}");
-            return Ok(());
+            return Ok(RunStatus::from_faulted(tallies.faulted()));
         }
     }
 
@@ -596,6 +697,15 @@ fn render_report(
         tallies.programs(),
         tallies.records(),
     );
+    // Faulted subjects are reported, never dropped — but the line exists
+    // only when there is something to report, keeping fault-free output
+    // byte-identical to pre-containment reports.
+    if tallies.faulted() > 0 {
+        outln!(
+            "faulted subjects: {} (contained; records above exclude them)",
+            tallies.faulted(),
+        );
+    }
     outln!();
     outln!("Table 1: violations per level (unique across levels in the last row)");
     out!("{}", tallies.table1());
@@ -621,7 +731,7 @@ fn render_report(
         outln!("Table 3: issue classification (first {limit} unique violations)");
         out!("{}", report.render());
     }
-    Ok(())
+    Ok(RunStatus::from_faulted(tallies.faulted()))
 }
 
 // ---------------------------------------------------------------- triage
@@ -654,12 +764,14 @@ Options:
   --json                   Print the machine-readable table instead
   --out FILE               Also write the JSON output to FILE
   --quiet                  Suppress the shard-mode progress summary
+  --fuel-limit N           Contain subjects whose machines exceed N steps
+                           as faults instead of truncating silently
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
   --stats                  Report cache/store statistics on stderr
 ";
 
-fn cmd_triage(argv: &[String]) -> Result<(), String> {
+fn cmd_triage(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &[
             "seeds",
@@ -672,14 +784,16 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
             "top",
             "out",
             "cache-dir",
+            "fuel-limit",
         ],
         switches: &["json", "stats", "quiet"],
         positionals: true,
     };
     let Some(parsed) = parse_or_help(argv, &spec, TRIAGE_USAGE).map_err(|e| e.to_string())? else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let store = cache_store(&parsed)?;
+    let policy = policy_of(&parsed)?;
     let top: usize = parsed.opt_parse("top", 5).map_err(|e| e.to_string())?;
     if !parsed.positionals().is_empty() {
         // Merge mode is selected by the positional shard files; run-mode
@@ -693,6 +807,7 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
             "shards",
             "shard",
             "limit",
+            "fuel-limit",
         ] {
             if parsed.opt(option).is_some() {
                 return Err(format!(
@@ -715,11 +830,20 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
                 parsed.opt_parse("shard", 0).map_err(|e| e.to_string())?,
             )
             .with_backend(backend);
-        return triage_shard_mode(&parsed, &spec, limit, store.as_ref());
+        return triage_shard_mode(&parsed, &spec, limit, &policy, store.as_ref());
     }
     let subjects = subject_pool(seeds.start, seeds.len() as usize);
-    let result = run_campaign_on(&subjects, personality, version, backend);
-    let table = triage_campaign_on(&subjects, personality, version, backend, &result, limit);
+    let result = run_campaign_on_with_policy(&subjects, personality, version, backend, &policy);
+    let (table, triage_faults) = triage_campaign_on_with_policy(
+        &subjects,
+        personality,
+        version,
+        backend,
+        &result,
+        limit,
+        &policy,
+    );
+    let faulted = result.faults.len() + triage_faults.len();
     if parsed.switch("stats") {
         let mut stats = CacheStats::default();
         for subject in &subjects {
@@ -731,7 +855,7 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
     write_out(&parsed, &rendered)?;
     if parsed.switch("json") {
         out!("{rendered}");
-        return Ok(());
+        return Ok(RunStatus::from_faulted(faulted));
     }
     outln!(
         "triage: {} {}, seeds {}{}, up to {limit} violations per conjecture",
@@ -743,7 +867,7 @@ fn cmd_triage(argv: &[String]) -> Result<(), String> {
     outln!();
     outln!("Table 2: culprit passes per conjecture (top {top})");
     out!("{}", table.render(top));
-    Ok(())
+    Ok(RunStatus::from_faulted(faulted))
 }
 
 /// The shard mode of `holes triage`: run one shard, emit its
@@ -752,16 +876,19 @@ fn triage_shard_mode(
     parsed: &Parsed,
     spec: &CampaignSpec,
     limit: usize,
+    policy: &FaultPolicy,
     store: Option<&Arc<ArtifactStore>>,
-) -> Result<(), String> {
-    let (shard, stats) = run_triage_shard(spec, limit).map_err(|e| e.to_string())?;
+) -> Result<RunStatus, String> {
+    let (shard, faults, stats) =
+        run_triage_shard_with_policy(spec, limit, policy).map_err(|e| e.to_string())?;
     if parsed.switch("stats") {
         print_stats(&stats, store);
     }
+    let status = RunStatus::from_faulted(faults.len());
     let rendered = shard.to_json().to_pretty();
     let Some(path) = parsed.opt("out") else {
         out!("{rendered}");
-        return Ok(());
+        return Ok(status);
     };
     std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
     if !parsed.switch("quiet") {
@@ -776,12 +903,12 @@ fn triage_shard_mode(
             backend_suffix(spec.backend),
         );
     }
-    Ok(())
+    Ok(status)
 }
 
 /// The merge mode of `holes triage`: fold triage shard files back into the
 /// monolithic Table 2.
-fn triage_merge(parsed: &Parsed, top: usize) -> Result<(), String> {
+fn triage_merge(parsed: &Parsed, top: usize) -> Result<RunStatus, String> {
     let mut shards = Vec::new();
     for path in parsed.positionals() {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
@@ -794,7 +921,7 @@ fn triage_merge(parsed: &Parsed, top: usize) -> Result<(), String> {
     write_out(parsed, &rendered)?;
     if parsed.switch("json") {
         out!("{rendered}");
-        return Ok(());
+        return Ok(RunStatus::Clean);
     }
     // No shard count in the header: merging K files must render
     // byte-identically to merging the single K=1 file.
@@ -809,7 +936,7 @@ fn triage_merge(parsed: &Parsed, top: usize) -> Result<(), String> {
     outln!();
     outln!("Table 2: culprit passes per conjecture (top {top})");
     out!("{}", table.render(top));
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
 // ---------------------------------------------------------------- reduce
@@ -828,11 +955,13 @@ Options:
   --backend reg|stack      Machine model to compile for (default: reg)
   --level -O2              Optimization level (default: first violating)
   --no-culprit             Reduce without preserving the culprit
+  --fuel-limit N           Contain a reduction whose oracle machines exceed
+                           N steps as a fault (exit 2) instead of hanging
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
 ";
 
-fn cmd_reduce(argv: &[String]) -> Result<(), String> {
+fn cmd_reduce(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &[
             "seed",
@@ -841,14 +970,16 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
             "backend",
             "level",
             "cache-dir",
+            "fuel-limit",
         ],
         switches: &["no-culprit"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, REDUCE_USAGE).map_err(|e| e.to_string())? else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     let _store = cache_store(&parsed)?;
+    let policy = policy_of(&parsed)?;
     let seed: u64 = match parsed.opt("seed") {
         Some(raw) => raw
             .parse()
@@ -897,7 +1028,7 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join(", "),
         );
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     outln!(
         "seed {seed}: {} violation at {} — variable `{}` at line {}, observed {}",
@@ -923,7 +1054,23 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
             }
         }
     };
-    let reduced = reduce(&subject, &config, &violation, culprit.as_deref());
+    let reduced = match reduce_with_policy(
+        &subject,
+        &config,
+        &violation,
+        culprit.as_deref(),
+        &policy,
+        0,
+    ) {
+        SubjectOutcome::Completed(reduced) => reduced,
+        SubjectOutcome::Faulted(fault) => {
+            eprintln!(
+                "holes: reduction of seed {seed} faulted during {} and was contained: {}",
+                fault.stage, fault.cause,
+            );
+            return Ok(RunStatus::Faulted);
+        }
+    };
     outln!(
         "reduced {} -> {} statements ({:.0}% smaller) in {} attempts",
         reduced.original_statements,
@@ -934,7 +1081,7 @@ fn cmd_reduce(argv: &[String]) -> Result<(), String> {
     outln!();
     outln!("// reduced program (seed {seed})");
     out!("{}", reduced.subject.source.text);
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
 // ----------------------------------------------------------------- cache
@@ -952,14 +1099,14 @@ Options:
   --cache-dir DIR  The store to collect (or set HOLES_CACHE_DIR)
 ";
 
-fn cmd_cache(argv: &[String]) -> Result<(), String> {
+fn cmd_cache(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
         options: &["max-bytes", "cache-dir"],
         switches: &[],
         positionals: true,
     };
     let Some(parsed) = parse_or_help(argv, &spec, CACHE_USAGE).map_err(|e| e.to_string())? else {
-        return Ok(());
+        return Ok(RunStatus::Clean);
     };
     match parsed.positionals() {
         [action] if action == "gc" => {}
@@ -991,5 +1138,5 @@ fn cmd_cache(argv: &[String]) -> Result<(), String> {
         stats.deleted_files,
         stats.deleted_bytes,
     );
-    Ok(())
+    Ok(RunStatus::Clean)
 }

@@ -369,9 +369,12 @@ fn jsonl_shards_report_byte_identically_and_mix_with_classic_shards() {
     let cut = jsonl_text.len() - jsonl_text.len() / 4;
     std::fs::write(Path::new(&truncated), &jsonl_text[..cut]).unwrap();
     let failure = holes(&["report", &truncated, &s1]);
-    assert!(!failure.status.success());
+    assert_eq!(failure.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&failure.stderr);
     assert!(stderr.contains("trunc.jsonl"), "{stderr}");
+    // The diagnostic names the intact prefix and the recovery flag.
+    assert!(stderr.contains("truncated stream ("), "{stderr}");
+    assert!(stderr.contains("rerun with --resume"), "{stderr}");
 }
 
 /// The distinct (seed, level, violation-site) keys of a campaign shard
@@ -536,7 +539,7 @@ fn sharded_triage_merges_byte_identically_to_the_single_shard_run() {
     // A stray positional must not silently hijack a run invocation into
     // merge mode (discarding --seeds and friends).
     let mixed = holes(&["triage", "--seeds", seeds, &shard_files[0]]);
-    assert_eq!(mixed.status.code(), Some(2));
+    assert_eq!(mixed.status.code(), Some(1));
     assert!(
         String::from_utf8_lossy(&mixed.stderr).contains("cannot combine"),
         "{}",
@@ -594,7 +597,7 @@ fn cache_gc_caps_the_store_and_keeps_campaigns_correct() {
         vec!["cache", "gc", "1000", "--cache-dir", cache.as_str()],
     ] {
         let output = holes(&bad);
-        assert_eq!(output.status.code(), Some(2), "`holes {}`", bad.join(" "));
+        assert_eq!(output.status.code(), Some(1), "`holes {}`", bad.join(" "));
         assert!(!output.stderr.is_empty());
     }
     // The stray-argument error names the stray, not the valid action.
@@ -634,10 +637,156 @@ fn help_and_usage_errors_behave_like_a_unix_tool() {
         let output = holes(&bad);
         assert_eq!(
             output.status.code(),
-            Some(2),
-            "`holes {}` should fail with exit code 2",
+            Some(1),
+            "`holes {}` should fail with exit code 1",
             bad.join(" ")
         );
         assert!(!output.stderr.is_empty());
     }
+}
+
+/// Run the binary with extra environment variables set.
+fn holes_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_holes"));
+    command.args(args);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    command.output().expect("spawning the holes binary")
+}
+
+#[test]
+fn killed_jsonl_campaigns_resume_byte_identically() {
+    let scratch = Scratch::new("resume");
+    let seeds = "300..330";
+    let full = scratch.path("full.jsonl");
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &full, "--quiet",
+    ]);
+    let reference = std::fs::read(Path::new(&full)).unwrap();
+
+    // Kill points across the whole file: mid-header, mid-record, the last
+    // byte (a footer cut), and a missing file entirely.
+    let partial = scratch.path("partial.jsonl");
+    let cuts = [0, 1, reference.len() / 3, reference.len() - 1];
+    for cut in cuts {
+        std::fs::write(Path::new(&partial), &reference[..cut]).unwrap();
+        ok_stdout(&[
+            "campaign", "--seeds", seeds, "--jsonl", "--out", &partial, "--resume", "--quiet",
+        ]);
+        let resumed = std::fs::read(Path::new(&partial)).unwrap();
+        assert_eq!(resumed, reference, "kill at byte {cut} broke resume");
+    }
+    std::fs::remove_file(Path::new(&partial)).unwrap();
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &partial, "--resume", "--quiet",
+    ]);
+    assert_eq!(std::fs::read(Path::new(&partial)).unwrap(), reference);
+
+    // Resuming the complete file is a no-op that says so.
+    let noop = holes(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &partial, "--resume",
+    ]);
+    assert!(noop.status.success());
+    assert!(String::from_utf8_lossy(&noop.stdout).contains("already complete"));
+    assert_eq!(std::fs::read(Path::new(&partial)).unwrap(), reference);
+
+    // A file from a different campaign is refused, not overwritten.
+    let foreign = scratch.path("foreign.jsonl");
+    ok_stdout(&[
+        "campaign", "--seeds", "0..5", "--jsonl", "--out", &foreign, "--quiet",
+    ]);
+    let before = std::fs::read(Path::new(&foreign)).unwrap();
+    let refused = holes(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &foreign, "--resume", "--quiet",
+    ]);
+    assert_eq!(refused.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&refused.stderr).contains("cannot resume"));
+    assert_eq!(std::fs::read(Path::new(&foreign)).unwrap(), before);
+
+    // --resume needs the streaming format and a file to stream into.
+    for bad in [
+        vec!["campaign", "--seeds", seeds, "--resume"],
+        vec!["campaign", "--seeds", seeds, "--jsonl", "--resume"],
+    ] {
+        let output = holes(&bad);
+        assert_eq!(output.status.code(), Some(1), "`holes {}`", bad.join(" "));
+        assert!(String::from_utf8_lossy(&output.stderr).contains("--resume"));
+    }
+}
+
+#[test]
+fn injected_faults_exit_2_and_flow_into_the_report() {
+    let scratch = Scratch::new("faults");
+    let seeds = "40..52";
+    let faulted = scratch.path("faulted.jsonl");
+    let inject = [("HOLES_FAULT_SEEDS", "43,47")];
+
+    let campaign = holes_env(
+        &[
+            "campaign", "--seeds", seeds, "--jsonl", "--out", &faulted, "--quiet",
+        ],
+        &inject,
+    );
+    assert_eq!(
+        campaign.status.code(),
+        Some(2),
+        "contained faults must exit 2"
+    );
+    let text = std::fs::read_to_string(Path::new(&faulted)).unwrap();
+    assert_eq!(text.matches("\"fault\":").count(), 2, "{text}");
+    assert!(
+        text.contains("\"faulted\":2"),
+        "missing footer tally: {text}"
+    );
+
+    // The report renders the tally, keeps the surviving records, and also
+    // exits 2 — faulted subjects are never silently dropped.
+    let report = holes_env(&["report", &faulted], &[]);
+    assert_eq!(report.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("faulted subjects: 2"), "{stdout}");
+
+    // The classic (non-streaming) format carries the same faults and exit.
+    let classic = scratch.path("faulted.json");
+    let campaign = holes_env(
+        &["campaign", "--seeds", seeds, "--out", &classic, "--quiet"],
+        &inject,
+    );
+    assert_eq!(campaign.status.code(), Some(2));
+    let report = holes_env(&["report", &classic], &[]);
+    assert_eq!(report.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&report.stdout).contains("faulted subjects: 2"));
+
+    // Fault-free runs of the same range are untouched: exit 0 and not a
+    // word about faults anywhere.
+    let clean = holes(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &faulted, "--quiet",
+    ]);
+    assert!(clean.status.success());
+    let text = std::fs::read_to_string(Path::new(&faulted)).unwrap();
+    assert!(!text.contains("fault"), "{text}");
+    let report = ok_stdout(&["report", &faulted]);
+    assert!(!String::from_utf8_lossy(&report).contains("faulted"));
+}
+
+#[test]
+fn unusable_cache_directories_degrade_to_memory_only_with_a_warning() {
+    let scratch = Scratch::new("bad-cache");
+    // A regular file where the store root should be makes every mkdir fail.
+    let blocker = scratch.path("not-a-dir");
+    std::fs::write(Path::new(&blocker), "occupied").unwrap();
+    let reference = ok_stdout(&["campaign", "--seeds", "0..6"]);
+
+    let degraded = holes(&["campaign", "--seeds", "0..6", "--cache-dir", &blocker]);
+    assert!(degraded.status.success(), "degraded run must still succeed");
+    let stderr = String::from_utf8_lossy(&degraded.stderr);
+    assert!(
+        stderr.contains("in-memory caching only"),
+        "missing degrade warning: {stderr}"
+    );
+    assert_eq!(
+        degraded.stdout, reference,
+        "memory-only run changed results"
+    );
 }

@@ -50,7 +50,7 @@ use holes_compiler::Executable;
 use holes_debuginfo::{
     Attr, AttrValue, DebugInfo, DieId, DieTag, LocListEntry, Location, ScopeIndex,
 };
-use holes_machine::{BreakpointSet, MachineRead, StopReason, Vm};
+use holes_machine::{BreakpointSet, MachineError, MachineRead, StopReason, Vm};
 
 /// The debugger personality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -363,8 +363,28 @@ pub fn trace(executable: &Executable, kind: DebuggerKind) -> DebugTrace {
 /// key on the executable's debug information); a foreign plan would
 /// produce a trace for the wrong program.
 pub fn trace_with_plan(executable: &Executable, plan: &StopPlan) -> DebugTrace {
+    trace_with_plan_fuel(executable, plan, None).0
+}
+
+/// [`trace_with_plan`] with an explicit step budget, surfacing how the
+/// session ended.
+///
+/// When `fuel` is `Some`, the machine is spawned with that budget instead of
+/// its default; a program that exceeds it stops with
+/// [`MachineError::OutOfFuel`]. The second component of the return value is
+/// the terminal machine error, if the run ended in one (`None` for a normal
+/// finish). [`trace_with_plan`] is this function with `fuel: None` and the
+/// error discarded, which is the historical behavior.
+pub fn trace_with_plan_fuel(
+    executable: &Executable,
+    plan: &StopPlan,
+    fuel: Option<u64>,
+) -> (DebugTrace, Option<MachineError>) {
     let mut breakpoints: BreakpointSet = plan.frames.iter().map(|&(address, _)| address).collect();
-    let mut machine = executable.machine.spawn();
+    let mut machine = match fuel {
+        Some(budget) => executable.machine.spawn_with_fuel(budget),
+        None => executable.machine.spawn(),
+    };
     let mut trace = DebugTrace {
         stops: Vec::new(),
         steppable_lines: plan.steppable_lines.clone(),
@@ -372,7 +392,12 @@ pub fn trace_with_plan(executable: &Executable, plan: &StopPlan) -> DebugTrace {
     };
     let mut reads: Vec<MachineRead> = Vec::new();
     let mut values: Vec<Option<i64>> = Vec::new();
-    while let StopReason::Breakpoint { address } = machine.run(&breakpoints) {
+    let error = loop {
+        let address = match machine.run(&breakpoints) {
+            StopReason::Breakpoint { address } => address,
+            StopReason::Finished { .. } => break None,
+            StopReason::Error(error) => break Some(error),
+        };
         breakpoints.remove(address);
         let frame = plan
             .frame(address)
@@ -412,8 +437,8 @@ pub fn trace_with_plan(executable: &Executable, plan: &StopPlan) -> DebugTrace {
         let index = trace.stops.len();
         trace.reached.entry(stop.line).or_insert(index);
         trace.stops.push(stop);
-    }
-    trace
+    };
+    (trace, error)
 }
 
 /// The original per-stop tracer: re-resolves scope DIEs and locations from
@@ -422,7 +447,7 @@ pub fn trace_with_plan(executable: &Executable, plan: &StopPlan) -> DebugTrace {
 /// equal [`DebugTrace`] for every executable and personality).
 ///
 /// Both paths deliberately share the per-variable decision procedure
-/// ([`plan_variable`]), so the differential property guards everything the
+/// (`plan_variable`), so the differential property guards everything the
 /// plan *adds* — breakpoint/address mapping, the indexed subprogram
 /// lookup, scope-walk precomputation, interning, and batched reads — not
 /// the leaf location semantics, which the personality-quirk unit tests

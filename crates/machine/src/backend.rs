@@ -118,6 +118,17 @@ impl MachineCode {
         }
     }
 
+    /// Spawn a fresh stepper with an explicit step budget instead of the
+    /// default fuel. Containment layers use this to bound non-terminating
+    /// subjects deterministically: the same program and fuel always stop at
+    /// the same step.
+    pub fn spawn_with_fuel(&self, fuel: u64) -> Box<dyn Vm + '_> {
+        match self {
+            MachineCode::Reg(p) => Box::new(Machine::with_fuel(p, fuel)),
+            MachineCode::Stack(p) => Box::new(StackMachine::with_fuel(p, fuel)),
+        }
+    }
+
     /// Run the program to completion and return the observable outcome.
     ///
     /// # Errors

@@ -7,6 +7,7 @@ use holes_compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
+use crate::fault::{self, FaultPolicy, SubjectFault, SubjectOutcome};
 use crate::par;
 use crate::Subject;
 
@@ -32,6 +33,10 @@ pub struct CampaignResult {
     pub programs: usize,
     /// Levels tested.
     pub levels: Vec<OptLevel>,
+    /// Subjects whose evaluation faulted and was contained (empty on the
+    /// default no-fault path; see [`crate::fault`]). Faulted subjects
+    /// contribute no [`ViolationRecord`]s but are counted, never dropped.
+    pub faults: Vec<SubjectFault>,
 }
 
 /// A unique violation: the paper treats violations at different program lines
@@ -87,6 +92,9 @@ pub struct CampaignTallies {
     per_violation: BTreeMap<UniqueKey, BTreeSet<OptLevel>>,
     /// Per conjecture, the subjects with at least one violation.
     dirty: BTreeMap<Conjecture, BTreeSet<usize>>,
+    /// Subjects whose evaluation faulted (see [`crate::fault`]); 0 on the
+    /// default no-fault path.
+    faulted: usize,
 }
 
 impl CampaignTallies {
@@ -100,7 +108,19 @@ impl CampaignTallies {
             per_cell: BTreeMap::new(),
             per_violation: BTreeMap::new(),
             dirty: BTreeMap::new(),
+            faulted: 0,
         }
+    }
+
+    /// Fold one contained subject fault in (the streaming `holes report`
+    /// path calls this per fault line).
+    pub fn add_fault(&mut self) {
+        self.faulted += 1;
+    }
+
+    /// Number of faulted subjects folded in.
+    pub fn faulted(&self) -> usize {
+        self.faulted
     }
 
     /// Fold one violation record in. Order-independent: any interleaving of
@@ -225,7 +245,7 @@ impl CampaignTallies {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("programs".to_owned(), Json::from_usize(self.programs)),
             (
                 "levels".to_owned(),
@@ -242,7 +262,13 @@ impl CampaignTallies {
                 Json::from_usize(self.at_all_levels()),
             ),
             ("venn".to_owned(), Json::Arr(venn)),
-        ])
+        ];
+        // Emitted only when faults occurred, so no-fault summaries stay
+        // byte-identical to the pre-containment format.
+        if self.faulted > 0 {
+            pairs.push(("faulted".to_owned(), Json::from_usize(self.faulted)));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -317,6 +343,9 @@ impl CampaignResult {
         for record in &self.records {
             tallies.add(record);
         }
+        for _ in &self.faults {
+            tallies.add_fault();
+        }
         tallies
     }
 
@@ -388,14 +417,55 @@ pub fn run_campaign_on(
     version: usize,
     backend: BackendKind,
 ) -> CampaignResult {
+    run_campaign_on_with_policy(
+        subjects,
+        personality,
+        version,
+        backend,
+        &FaultPolicy::default(),
+    )
+}
+
+/// [`run_campaign_on`] with subject-level fault containment: each subject
+/// is evaluated under [`fault::contain`], so a panic or (under a fuel
+/// limit) a runaway program becomes a [`SubjectFault`] in the result's
+/// `faults` list instead of crashing the campaign. On the default policy
+/// the result is byte-identical to [`run_campaign_on`].
+pub fn run_campaign_on_with_policy(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+    backend: BackendKind,
+    policy: &FaultPolicy,
+) -> CampaignResult {
     let levels = personality.levels().to_vec();
     let per_subject = par::par_map(subjects, |index, subject| {
-        subject_records(subject, index, personality, version, backend, &levels)
+        fault::contain(policy, subject.seed, index, || {
+            // A fuel limit is carried on the subject; the clone shares the
+            // cache, so no artifact is recomputed.
+            let limited;
+            let subject = if policy.fuel_limit.is_some() {
+                limited = subject.clone().with_fuel_limit(policy.fuel_limit);
+                &limited
+            } else {
+                subject
+            };
+            subject_records(subject, index, personality, version, backend, &levels)
+        })
     });
+    let mut records = Vec::new();
+    let mut faults = Vec::new();
+    for outcome in per_subject {
+        match outcome {
+            SubjectOutcome::Completed(subject_records) => records.extend(subject_records),
+            SubjectOutcome::Faulted(fault) => faults.push(fault),
+        }
+    }
     CampaignResult {
-        records: per_subject.into_iter().flatten().collect(),
+        records,
         programs: subjects.len(),
         levels,
+        faults,
     }
 }
 
@@ -411,6 +481,7 @@ pub fn run_campaign_serial(
         records: Vec::new(),
         programs: subjects.len(),
         levels: levels.clone(),
+        faults: Vec::new(),
     };
     for (index, subject) in subjects.iter().enumerate() {
         result.records.extend(subject_records(

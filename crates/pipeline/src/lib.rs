@@ -75,6 +75,7 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod fault;
 pub mod reduce;
 pub mod regression;
 pub mod report;
@@ -87,6 +88,7 @@ mod cache;
 pub mod par;
 
 pub use cache::{ArtifactCache, CacheStats};
+pub use fault::{FaultPolicy, FaultStage, SubjectFault, SubjectOutcome};
 pub use holes_compiler::{BackendKind, Fingerprint};
 pub use store::{ArtifactStore, GcStats, StoreStats, SubjectKey};
 
@@ -94,7 +96,7 @@ use std::sync::Arc;
 
 use holes_compiler::{compile, CompilerConfig, Executable, OptLevel, PassSnapshots, Personality};
 use holes_core::{SiteQuery, Violation};
-use holes_debugger::{trace_with_plan, DebugTrace, DebuggerKind, StopPlan};
+use holes_debugger::{trace_with_plan_fuel, DebugTrace, DebuggerKind, StopPlan};
 use holes_minic::analysis::ProgramAnalysis;
 use holes_minic::ast::Program;
 use holes_minic::lines::SourceMap;
@@ -115,6 +117,9 @@ pub struct Subject {
     pub seed: u64,
     /// Memoized executables, traces, and violation sets; shared by clones.
     cache: ArtifactCache,
+    /// Step budget override for the virtual machines (see
+    /// [`Subject::with_fuel_limit`]); `None` keeps the backend defaults.
+    fuel_limit: Option<u64>,
 }
 
 impl Subject {
@@ -132,6 +137,7 @@ impl Subject {
             analysis: generated.analysis,
             seed: generated.seed,
             cache: ArtifactCache::default(),
+            fuel_limit: None,
         };
         subject.attach_env_store();
         subject
@@ -147,9 +153,24 @@ impl Subject {
             analysis,
             seed: 0,
             cache: ArtifactCache::default(),
+            fuel_limit: None,
         };
         subject.attach_env_store();
         subject
+    }
+
+    /// Override the virtual machines' step budget for this subject's traces
+    /// (see [`fault::FaultPolicy::fuel_limit`]). With a limit set, a trace
+    /// whose machine run ends in a terminal error — fuel exhaustion of a
+    /// non-terminating program, or any other machine fault — raises a
+    /// contained panic that [`fault::contain`] converts into a
+    /// [`fault::SubjectFault`] at the [`fault::FaultStage::Trace`] stage.
+    /// With `None` (the default), the backend's default budget applies and
+    /// terminal errors keep the historical behavior of silently truncating
+    /// the trace.
+    pub fn with_fuel_limit(mut self, fuel_limit: Option<u64>) -> Subject {
+        self.fuel_limit = fuel_limit;
+        self
     }
 
     /// Bind this subject's cache to a persistent [`ArtifactStore`] as its
@@ -179,6 +200,7 @@ impl Subject {
     /// — see [`holes_compiler::PassSnapshots`] and
     /// [`CacheStats::codegen_only`].
     pub fn compile_shared(&self, config: &CompilerConfig) -> Arc<Executable> {
+        fault::set_stage(fault::FaultStage::Compile);
         self.cache.executable(
             config,
             || self.derive_from_snapshots(config),
@@ -216,7 +238,13 @@ impl Subject {
             let plan = self
                 .cache
                 .stop_plan(config, kind, || StopPlan::compute(&executable, kind));
-            let trace = trace_with_plan(&executable, &plan);
+            fault::set_stage(fault::FaultStage::Trace);
+            let (trace, error) = trace_with_plan_fuel(&executable, &plan, self.fuel_limit);
+            if let (Some(error), Some(_)) = (&error, self.fuel_limit) {
+                // Under an explicit fuel limit a terminal machine error is a
+                // containable fault, not a silently truncated trace.
+                std::panic::panic_any(format!("machine error while tracing: {error}"));
+            }
             self.cache.note_plan_hits(trace.stops.len());
             trace
         })
@@ -237,6 +265,7 @@ impl Subject {
     ) -> Arc<Vec<Violation>> {
         self.cache.violations(config, kind, || {
             let trace = self.trace_shared(config, kind);
+            fault::set_stage(fault::FaultStage::Check);
             holes_core::check_all(&self.program, &self.analysis, &self.source, &trace)
         })
     }
@@ -287,6 +316,7 @@ impl Subject {
             analysis: self.analysis.clone(),
             seed: self.seed,
             cache: ArtifactCache::default(),
+            fuel_limit: self.fuel_limit,
         }
     }
 }

@@ -19,6 +19,7 @@ use holes_minic::ast::{Program, Stmt, StmtKind};
 use holes_minic::interp::Interpreter;
 use holes_minic::validate::validate;
 
+use crate::fault::{self, FaultPolicy, SubjectOutcome};
 use crate::Subject;
 
 /// The result of reducing a violating program.
@@ -52,6 +53,7 @@ fn still_violates(
     conjecture: Conjecture,
     variable: &str,
     culprit: Option<&str>,
+    fuel_limit: Option<u64>,
 ) -> bool {
     if validate(program).is_err() {
         return false;
@@ -59,7 +61,7 @@ fn still_violates(
     if Interpreter::new(program).run().is_err() {
         return false;
     }
-    let subject = Subject::from_program(program.clone());
+    let subject = Subject::from_program(program.clone()).with_fuel_limit(fuel_limit);
     // Reduction moves lines around, so the oracle matches the violation by
     // (conjecture, variable) at *any* line — a targeted query that stops at
     // the first matching site instead of sweeping every conjecture.
@@ -91,6 +93,38 @@ pub fn reduce(
     violation: &Violation,
     culprit: Option<&str>,
 ) -> ReducedCase {
+    reduce_with_fuel(subject, config, violation, culprit, None)
+}
+
+/// [`reduce`] under an explicit [`FaultPolicy`]: the whole reduction —
+/// including every oracle probe on every candidate program — runs inside
+/// [`fault::contain`] with the policy's fuel limit threaded into each
+/// probe's virtual machines, so a candidate that panics the pipeline or
+/// never terminates becomes a [`crate::fault::SubjectFault`] instead of
+/// hanging or crashing the reducer.
+pub fn reduce_with_policy(
+    subject: &Subject,
+    config: &CompilerConfig,
+    violation: &Violation,
+    culprit: Option<&str>,
+    policy: &FaultPolicy,
+    subject_index: usize,
+) -> SubjectOutcome<ReducedCase> {
+    fault::contain(policy, subject.seed, subject_index, || {
+        reduce_with_fuel(subject, config, violation, culprit, policy.fuel_limit)
+    })
+}
+
+/// The reduction engine, with the step budget each oracle probe's machines
+/// run under (`None` = the backends' default fuel and the historical
+/// silent-truncation behavior).
+fn reduce_with_fuel(
+    subject: &Subject,
+    config: &CompilerConfig,
+    violation: &Violation,
+    culprit: Option<&str>,
+    fuel_limit: Option<u64>,
+) -> ReducedCase {
     let conjecture = violation.conjecture;
     let variable = violation.variable.clone();
     let mut best = subject.program.clone();
@@ -116,7 +150,9 @@ pub fn reduce(
             // assignment is a pure function of program structure, so the
             // next round's re-assignment sees the same program either way).
             candidate.assign_lines();
-            if still_violates(&candidate, config, conjecture, &variable, culprit) {
+            if still_violates(
+                &candidate, config, conjecture, &variable, culprit, fuel_limit,
+            ) {
                 best = candidate;
                 progress = true;
             }
@@ -132,7 +168,9 @@ pub fn reduce(
             }
             attempts += 1;
             candidate.assign_lines();
-            if still_violates(&candidate, config, conjecture, &variable, culprit) {
+            if still_violates(
+                &candidate, config, conjecture, &variable, culprit, fuel_limit,
+            ) {
                 best = candidate;
                 progress = true;
             }

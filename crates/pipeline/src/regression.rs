@@ -128,6 +128,7 @@ pub fn version_table(subjects: &[Subject], personality: Personality) -> VersionT
                 records: cells_left.by_ref().take(subjects.len()).flatten().collect(),
                 programs: subjects.len(),
                 levels: levels.clone(),
+                faults: Vec::new(),
             };
             (
                 name,

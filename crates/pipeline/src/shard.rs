@@ -23,6 +23,7 @@ use holes_minic::ast::FunctionId;
 use holes_progen::SeedRange;
 
 use crate::campaign::{subject_records, CampaignResult, ViolationRecord};
+use crate::fault::{self, FaultPolicy, FaultStage, SubjectFault, SubjectOutcome};
 use crate::par;
 use crate::Subject;
 
@@ -141,27 +142,48 @@ pub fn run_shard(spec: &CampaignSpec) -> Result<CampaignShard, ShardError> {
 pub fn run_shard_with_stats(
     spec: &CampaignSpec,
 ) -> Result<(CampaignShard, crate::CacheStats), ShardError> {
+    run_shard_with_policy(spec, &FaultPolicy::default())
+}
+
+/// [`run_shard_with_stats`] with subject-level fault containment (see
+/// [`crate::fault`]): each seed's generation and evaluation runs under
+/// [`fault::contain`], so a panicking or (under a fuel limit) runaway
+/// subject becomes a [`SubjectFault`] in the shard's result instead of
+/// killing the run. On the default policy the shard is byte-identical to
+/// [`run_shard_with_stats`].
+pub fn run_shard_with_policy(
+    spec: &CampaignSpec,
+    policy: &FaultPolicy,
+) -> Result<(CampaignShard, crate::CacheStats), ShardError> {
     spec.validate()?;
     let levels = spec.personality.levels().to_vec();
     let seeds = spec.shard_seeds();
     let per_seed = par::par_map(&seeds, |_, &seed| {
-        let subject = Subject::from_seed(seed);
         let global_index = (seed - spec.seeds.start) as usize;
-        let records = subject_records(
-            &subject,
-            global_index,
-            spec.personality,
-            spec.version,
-            spec.backend,
-            &levels,
-        );
-        (records, subject.cache_stats())
+        fault::contain(policy, seed, global_index, || {
+            let subject = Subject::from_seed(seed).with_fuel_limit(policy.fuel_limit);
+            let records = subject_records(
+                &subject,
+                global_index,
+                spec.personality,
+                spec.version,
+                spec.backend,
+                &levels,
+            );
+            (records, subject.cache_stats())
+        })
     });
     let mut stats = crate::CacheStats::default();
     let mut records = Vec::new();
-    for (subject_records, subject_stats) in per_seed {
-        stats.absorb(subject_stats);
-        records.extend(subject_records);
+    let mut faults = Vec::new();
+    for outcome in per_seed {
+        match outcome {
+            SubjectOutcome::Completed((subject_records, subject_stats)) => {
+                stats.absorb(subject_stats);
+                records.extend(subject_records);
+            }
+            SubjectOutcome::Faulted(fault) => faults.push(fault),
+        }
     }
     Ok((
         CampaignShard {
@@ -170,6 +192,7 @@ pub fn run_shard_with_stats(
                 records,
                 programs: seeds.len(),
                 levels,
+                faults,
             },
         },
         stats,
@@ -190,13 +213,19 @@ pub fn merge_shards(shards: Vec<CampaignShard>) -> Result<CampaignResult, ShardE
     // Stable sort by global subject index restores the monolithic record
     // order: within a subject all records live in one shard, already in
     // (level, site) order.
-    let mut records: Vec<ViolationRecord> =
-        shards.into_iter().flat_map(|s| s.result.records).collect();
+    let mut records: Vec<ViolationRecord> = Vec::new();
+    let mut faults: Vec<SubjectFault> = Vec::new();
+    for shard in shards {
+        records.extend(shard.result.records);
+        faults.extend(shard.result.faults);
+    }
     records.sort_by_key(|r| r.subject);
+    faults.sort_by_key(|f| f.subject);
     Ok(CampaignResult {
         records,
         programs: first_spec.seeds.len() as usize,
         levels: first_spec.personality.levels().to_vec(),
+        faults,
     })
 }
 
@@ -253,6 +282,14 @@ impl CampaignShard {
             "records".to_owned(),
             Json::Arr(self.result.records.iter().map(record_to_json).collect()),
         ));
+        // Emitted only when faults occurred, so no-fault shard files stay
+        // byte-identical to the pre-containment format.
+        if !self.result.faults.is_empty() {
+            pairs.push((
+                "faults".to_owned(),
+                Json::Arr(self.result.faults.iter().map(fault_to_json).collect()),
+            ));
+        }
         Json::Obj(pairs)
     }
 
@@ -290,12 +327,26 @@ impl CampaignShard {
             })
             .collect::<Result<Vec<_>, _>>()?;
         validate_record_order(&records, &spec)?;
+        let faults = match json.get("faults") {
+            None => Vec::new(),
+            Some(value) => value
+                .as_arr()
+                .ok_or_else(|| ShardError::Malformed("`faults` is not an array".into()))?
+                .iter()
+                .enumerate()
+                .map(|(index, fault)| {
+                    fault_from_json(fault, &spec)
+                        .map_err(|error| error.contextualize(&format!("fault {index}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(CampaignShard {
             spec,
             result: CampaignResult {
                 records,
                 programs,
                 levels,
+                faults,
             },
         })
     }
@@ -512,6 +563,47 @@ pub(crate) fn record_from_json(
             function: FunctionId(usize_field(json, "function")?),
             observed,
         },
+    })
+}
+
+/// Serialize one contained subject fault — the schema shared by the
+/// `faults` array of `holes.campaign/v1` shard files and the fault lines of
+/// the JSON Lines stream ([`crate::stream`]). The `fault` key doubles as
+/// the line discriminator: records never carry it.
+pub(crate) fn fault_to_json(fault: &SubjectFault) -> Json {
+    Json::Obj(vec![
+        ("fault".to_owned(), Json::str(fault.stage.name())),
+        ("seed".to_owned(), Json::from_u64(fault.seed)),
+        ("subject".to_owned(), Json::from_usize(fault.subject)),
+        ("cause".to_owned(), Json::str(&fault.cause)),
+    ])
+}
+
+/// Parse and validate one fault entry against its shard's spec (see
+/// [`fault_to_json`]).
+pub(crate) fn fault_from_json(
+    json: &Json,
+    spec: &CampaignSpec,
+) -> Result<SubjectFault, ShardError> {
+    let stage: FaultStage = parse_field(json, "fault")?;
+    let seed = u64_field(json, "seed")?;
+    let subject = usize_field(json, "subject")?;
+    if !spec.seeds.contains(seed) || (seed - spec.seeds.start) % spec.shards != spec.shard {
+        return Err(ShardError::Malformed(format!(
+            "fault seed {seed} does not belong to shard {} of {} over {}",
+            spec.shard, spec.shards, spec.seeds
+        )));
+    }
+    if subject as u64 != seed - spec.seeds.start {
+        return Err(ShardError::Malformed(format!(
+            "fault subject index {subject} does not match seed {seed}"
+        )));
+    }
+    Ok(SubjectFault {
+        seed,
+        subject,
+        stage,
+        cause: str_field(json, "cause")?.to_owned(),
     })
 }
 

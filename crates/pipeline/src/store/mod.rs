@@ -49,11 +49,14 @@
 //! [`crate::Subject::attach_store`].
 
 mod codec;
+pub mod io;
 
-use std::io;
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use io::{FailingIo, OsIo, StoreIo};
 
 use holes_compiler::{CompilerConfig, Executable, Fingerprint};
 use holes_core::json::Json;
@@ -66,6 +69,21 @@ pub const ARTIFACT_FORMAT: &str = "holes.artifact/v1";
 /// The environment variable that names the cache directory and thereby
 /// enables the store for every subject created by this process.
 pub const CACHE_DIR_ENV: &str = "HOLES_CACHE_DIR";
+
+/// The environment variable that injects periodic store I/O failures for
+/// chaos testing: `HOLES_STORE_CHAOS=<n>` makes every `n`th store file
+/// operation of the [`ArtifactStore::from_env`] store fail (see
+/// [`io::FailingIo::every`]). Campaign *results* must be unaffected — only
+/// the retry/error counters and cache effectiveness may change.
+pub const STORE_CHAOS_ENV: &str = "HOLES_STORE_CHAOS";
+
+/// How many times a transient (non-`NotFound`) store I/O failure is retried
+/// before the operation is abandoned and counted in
+/// [`StoreStats::store_errors`].
+const IO_RETRIES: u32 = 2;
+
+/// Base sleep between store I/O retries, multiplied by the attempt number.
+const IO_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
 
 /// Stable identity of a test subject on disk: a 64-bit FNV-1a digest of the
 /// generator seed and the rendered source text.
@@ -103,6 +121,14 @@ pub struct StoreStats {
     pub rejected: usize,
     /// Artifacts written (or rewritten) to disk.
     pub writes: usize,
+    /// Transient I/O failures that were retried (each retry counts once).
+    pub retries: usize,
+    /// Rejected files moved aside into `<root>/quarantine/` for post-mortem
+    /// inspection instead of being overwritten in place.
+    pub quarantined: usize,
+    /// Operations abandoned after exhausting their retries; each one
+    /// degrades that lookup or write to memory-only behavior.
+    pub store_errors: usize,
 }
 
 /// Outcome of one [`ArtifactStore::gc`] sweep.
@@ -126,10 +152,14 @@ pub struct GcStats {
 #[derive(Debug)]
 pub struct ArtifactStore {
     root: PathBuf,
+    io: Box<dyn StoreIo>,
     loads: AtomicUsize,
     misses: AtomicUsize,
     rejected: AtomicUsize,
     writes: AtomicUsize,
+    retries: AtomicUsize,
+    quarantined: AtomicUsize,
+    store_errors: AtomicUsize,
 }
 
 /// Per-process source of unique temporary file names.
@@ -164,36 +194,134 @@ fn debugger_tag(kind: DebuggerKind) -> &'static str {
 }
 
 impl ArtifactStore {
-    /// Open (creating if necessary) a store rooted at `root`.
+    /// Open (creating if necessary) a store rooted at `root`, on the real
+    /// filesystem.
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the directory cannot be created.
-    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<ArtifactStore> {
+        ArtifactStore::open_with_io(root, Box::new(OsIo))
+    }
+
+    /// [`ArtifactStore::open`] over an explicit [`StoreIo`] implementation —
+    /// the seam the chaos tests use to inject transient failures into the
+    /// load/save path. Transient failures while creating the root are
+    /// retried like any other store operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created after the
+    /// retry budget.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        io: Box<dyn StoreIo>,
+    ) -> std::io::Result<ArtifactStore> {
         let root = root.into();
-        std::fs::create_dir_all(&root)?;
+        let mut attempt = 0u32;
+        loop {
+            match io.create_dir_all(&root) {
+                Ok(()) => break,
+                Err(error) if attempt >= IO_RETRIES => return Err(error),
+                Err(_) => {
+                    attempt += 1;
+                    std::thread::sleep(IO_BACKOFF * attempt);
+                }
+            }
+        }
         Ok(ArtifactStore {
             root,
+            io,
             loads: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
             writes: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            store_errors: AtomicUsize::new(0),
         })
     }
 
     /// The process-wide store named by the [`CACHE_DIR_ENV`] environment
     /// variable, if set when first consulted (all subjects share this one
     /// instance, so its [`stats`](ArtifactStore::stats) aggregate the whole
-    /// process).
+    /// process). An unusable cache directory degrades the process to
+    /// memory-only caching with a single warning rather than failing the
+    /// run; [`STORE_CHAOS_ENV`] wraps the store in a periodic failure
+    /// schedule.
     pub fn from_env() -> Option<Arc<ArtifactStore>> {
         ENV_STORE
             .get_or_init(|| {
-                std::env::var(CACHE_DIR_ENV)
+                let dir = std::env::var(CACHE_DIR_ENV)
                     .ok()
-                    .filter(|dir| !dir.is_empty())
-                    .and_then(|dir| ArtifactStore::open(dir).ok().map(Arc::new))
+                    .filter(|dir| !dir.is_empty())?;
+                let chaos = std::env::var(STORE_CHAOS_ENV)
+                    .ok()
+                    .and_then(|value| value.parse::<usize>().ok())
+                    .filter(|&period| period > 0);
+                let io: Box<dyn StoreIo> = match chaos {
+                    Some(period) => Box::new(FailingIo::every(period)),
+                    None => Box::new(OsIo),
+                };
+                match ArtifactStore::open_with_io(&dir, io) {
+                    Ok(store) => Some(Arc::new(store)),
+                    Err(error) => {
+                        eprintln!(
+                            "warning: cache directory `{dir}` is unusable ({error}); \
+                             continuing with in-memory caching only"
+                        );
+                        None
+                    }
+                }
             })
             .clone()
+    }
+
+    /// Run one store I/O operation with bounded retry: transient
+    /// (non-`NotFound`) failures sleep briefly and retry, counting each
+    /// retry; a failure that survives the budget is counted in
+    /// [`StoreStats::store_errors`] and returned.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(error) if error.kind() == ErrorKind::NotFound => return Err(error),
+                Err(error) => {
+                    if attempt >= IO_RETRIES {
+                        self.store_errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(error);
+                    }
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(IO_BACKOFF * attempt);
+                }
+            }
+        }
+    }
+
+    /// Count one content-level rejection and move the offending file into
+    /// `<root>/quarantine/<subject>/` for post-mortem inspection. The move
+    /// is best-effort: if it fails the file stays put and the recompute
+    /// overwrites it in place, exactly as before quarantining existed.
+    /// Quarantined files are invisible to loads and to [`ArtifactStore::gc`]
+    /// (which only sweeps direct subject directories).
+    fn reject(&self, path: &Path) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let Some(file) = path.file_name() else { return };
+        let Some(subject) = path.parent().and_then(Path::file_name) else {
+            return;
+        };
+        let dir = self.root.join("quarantine").join(subject);
+        if self.with_retry(|| self.io.create_dir_all(&dir)).is_err() {
+            return;
+        }
+        if self
+            .with_retry(|| self.io.rename(path, &dir.join(file)))
+            .is_ok()
+        {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The cache directory this store reads and writes.
@@ -208,6 +336,9 @@ impl ArtifactStore {
             misses: self.misses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -217,17 +348,17 @@ impl ArtifactStore {
             .join(format!("{fingerprint}.{kind}.json"))
     }
 
-    /// Load and validate one artifact envelope; any failure counts as
-    /// rejected (file present) or missed (file absent) and yields `None`.
+    /// Load and validate one artifact envelope; a content-level failure
+    /// counts as rejected (and quarantines the file), an absent file as
+    /// missed, and a persistent I/O failure as a store error — all yield
+    /// `None`, so the artifact is recomputed rather than trusted.
     fn load(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str) -> Option<Json> {
         let path = self.path_for(subject, fingerprint, kind);
-        let text = match std::fs::read_to_string(&path) {
+        let text = match self.with_retry(|| self.io.read_to_string(&path)) {
             Ok(text) => text,
             Err(error) => {
-                if error.kind() == io::ErrorKind::NotFound {
+                if error.kind() == ErrorKind::NotFound {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
                 }
                 return None;
             }
@@ -235,7 +366,7 @@ impl ArtifactStore {
         let envelope = match Json::parse(&text) {
             Ok(envelope) => envelope,
             Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.reject(&path);
                 return None;
             }
         };
@@ -252,24 +383,25 @@ impl ArtifactStore {
             && envelope_fingerprint == Some(fingerprint);
         let payload = valid.then(|| envelope.get("payload")).flatten().cloned();
         let Some(payload) = payload else {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.reject(&path);
             return None;
         };
         let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
         if envelope.get("checksum").and_then(Json::as_str) != Some(checksum.as_str()) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.reject(&path);
             return None;
         }
         Some(payload)
     }
 
-    /// Write one artifact envelope with the atomic-rename protocol; errors
-    /// are swallowed (the store is an accelerator, never a correctness
-    /// dependency).
+    /// Write one artifact envelope with the atomic-rename protocol.
+    /// Transient failures are retried; a write the retry budget cannot
+    /// complete is abandoned and counted — the store is an accelerator,
+    /// never a correctness dependency.
     fn save(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str, payload: Json) {
         let path = self.path_for(subject, fingerprint, kind);
         let Some(dir) = path.parent() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
+        if self.with_retry(|| self.io.create_dir_all(dir)).is_err() {
             return;
         }
         let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
@@ -288,12 +420,19 @@ impl ArtifactStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
-        if std::fs::write(&tmp, text).is_ok() {
-            if std::fs::rename(&tmp, &path).is_ok() {
+        if self
+            .with_retry(|| self.io.write(&tmp, text.as_bytes()))
+            .is_ok()
+        {
+            if self.with_retry(|| self.io.rename(&tmp, &path)).is_ok() {
                 self.writes.fetch_add(1, Ordering::Relaxed);
             } else {
-                let _ = std::fs::remove_file(&tmp);
+                let _ = self.io.remove_file(&tmp);
             }
+        } else {
+            // A partially written temporary (a real disk running dry, not an
+            // injected fault) must not linger for gc to trip over.
+            let _ = self.io.remove_file(&tmp);
         }
     }
 
@@ -311,7 +450,7 @@ impl ArtifactStore {
                 Some(executable)
             }
             _ => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.reject(&self.path_for(subject, config.fingerprint(), "exe"));
                 None
             }
         }
@@ -342,7 +481,7 @@ impl ArtifactStore {
                 Some(trace)
             }
             Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.reject(&self.path_for(subject, config.fingerprint(), &tag));
                 None
             }
         }
@@ -380,7 +519,7 @@ impl ArtifactStore {
                 Some(violations)
             }
             Err(_) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.reject(&self.path_for(subject, config.fingerprint(), &tag));
                 None
             }
         }
@@ -405,7 +544,7 @@ impl ArtifactStore {
     /// Returns the I/O error if the store's directory tree cannot be
     /// enumerated; deletion failures are tolerated (the file may have been
     /// removed by a concurrent sweep).
-    pub fn gc(&self, max_bytes: u64) -> io::Result<GcStats> {
+    pub fn gc(&self, max_bytes: u64) -> std::io::Result<GcStats> {
         // Group artifact files by (subject directory, fingerprint prefix).
         struct Group {
             newest: std::time::SystemTime,
@@ -483,7 +622,7 @@ impl ArtifactStore {
                         group_files += 1;
                         group_deleted += bytes;
                     }
-                    Err(error) if error.kind() == io::ErrorKind::NotFound => {
+                    Err(error) if error.kind() == ErrorKind::NotFound => {
                         group_deleted += bytes;
                     }
                     Err(_) => {}
@@ -807,6 +946,106 @@ mod tests {
         warm.attach_store(Arc::clone(&scratch.store));
         assert_eq!(warm.violations(&config()), truth);
         assert_eq!(warm.cache_stats().compiles, 0);
+    }
+
+    /// A scratch store whose I/O seam is a [`FailingIo`] schedule.
+    fn failing_scratch(name: &str, io: FailingIo) -> (Arc<ArtifactStore>, PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "holes-store-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ArtifactStore::open_with_io(&root, Box::new(io)).expect("open store");
+        (Arc::new(store), root)
+    }
+
+    #[test]
+    fn transient_io_failures_are_retried_and_change_nothing_but_stats() {
+        // Op 1 is open's create_dir_all (always succeeds here); fail a burst
+        // of later operations once each — every one recovers on retry.
+        let schedule = [false, true, false, true, true, false, true];
+        let (store, root) = failing_scratch("retry", FailingIo::script(schedule));
+        let truth = {
+            let plain = Subject::from_seed(7800);
+            plain.violations(&config())
+        };
+        let subject = Subject::from_seed(7800);
+        subject.attach_store(Arc::clone(&store));
+        assert_eq!(subject.violations(&config()), truth);
+        let stats = store.stats();
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert_eq!(stats.store_errors, 0, "a retried op still failed");
+        assert_eq!(stats.quarantined, 0);
+        // The store healed past the schedule: a warm run loads everything.
+        let warm = subject.with_fresh_cache();
+        warm.attach_store(Arc::clone(&store));
+        assert_eq!(warm.violations(&config()), truth);
+        assert_eq!(warm.cache_stats().compiles, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn persistent_io_failures_degrade_to_memory_only_with_correct_results() {
+        // After open's create_dir_all, every operation fails: the store can
+        // never be read or written, and the subject must silently recompute
+        // everything.
+        let schedule = std::iter::once(false).chain(std::iter::repeat_n(true, 10_000));
+        let (store, root) = failing_scratch("dead", FailingIo::script(schedule));
+        let truth = {
+            let plain = Subject::from_seed(7810);
+            plain.violations(&config())
+        };
+        let subject = Subject::from_seed(7810);
+        subject.attach_store(Arc::clone(&store));
+        assert_eq!(subject.violations(&config()), truth);
+        assert_eq!(subject.cache_stats().compiles, 1);
+        let stats = store.stats();
+        assert_eq!(stats.writes, 0, "{stats:?}");
+        assert_eq!(stats.loads, 0, "{stats:?}");
+        assert!(stats.store_errors >= 1, "{stats:?}");
+        assert!(stats.retries >= stats.store_errors * 2, "{stats:?}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejected_files_are_quarantined_for_post_mortem() {
+        let scratch = Scratch::new("quarantine");
+        let subject = Subject::from_seed(7820);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let truth = subject.violations(&config());
+        let files = walk_files(&scratch.root);
+        let victim = files.first().expect("store has artifacts").clone();
+        let original_name = victim.file_name().unwrap().to_owned();
+        std::fs::write(&victim, "garbage").unwrap();
+
+        let reread = subject.with_fresh_cache();
+        reread.attach_store(Arc::clone(&scratch.store));
+        assert_eq!(reread.violations(&config()), truth);
+        // Touch every artifact kind so the damaged one is found, rejected,
+        // and rewritten regardless of which file the walk picked.
+        let _ = reread.trace(&config());
+        let _ = reread.compile(&config());
+        let stats = scratch.store.stats();
+        assert!(stats.quarantined >= 1, "{stats:?}");
+        // The damaged bytes moved under <root>/quarantine/<subject>/ with
+        // their original file name, and the live slot was rewritten.
+        let quarantined: Vec<PathBuf> = walk_files(&scratch.root.join("quarantine"));
+        assert!(
+            quarantined
+                .iter()
+                .any(|p| p.file_name() == Some(&original_name)),
+            "{quarantined:?}"
+        );
+        let moved = quarantined
+            .iter()
+            .find(|p| p.file_name() == Some(&original_name))
+            .unwrap();
+        assert_eq!(std::fs::read_to_string(moved).unwrap(), "garbage");
+        assert!(victim.exists(), "the live slot was not healed");
+        // Quarantine is invisible to gc: a full sweep leaves it alone.
+        scratch.store.gc(0).unwrap();
+        assert!(moved.exists());
     }
 
     #[test]

@@ -35,9 +35,10 @@ use holes_compiler::OptLevel;
 use holes_core::json::Json;
 
 use crate::campaign::{subject_records, CampaignResult, ViolationRecord};
+use crate::fault::{self, FaultPolicy, SubjectFault, SubjectOutcome};
 use crate::shard::{
-    check_record_order, parse_levels, parse_spec_header, record_from_json, record_to_json,
-    spec_header_pairs, CampaignShard, CampaignSpec, ShardError,
+    check_record_order, fault_from_json, fault_to_json, parse_levels, parse_spec_header,
+    record_from_json, record_to_json, spec_header_pairs, CampaignShard, CampaignSpec, ShardError,
 };
 use crate::{par, CacheStats, Subject};
 
@@ -83,6 +84,7 @@ pub struct CampaignJsonlWriter<W: Write> {
     out: W,
     spec: CampaignSpec,
     records: usize,
+    faults: usize,
 }
 
 impl<W: Write> CampaignJsonlWriter<W> {
@@ -91,14 +93,35 @@ impl<W: Write> CampaignJsonlWriter<W> {
     /// # Errors
     ///
     /// Returns the spec validation failure or the sink's I/O error.
-    pub fn new(mut out: W, spec: &CampaignSpec) -> Result<CampaignJsonlWriter<W>, StreamError> {
+    pub fn new(out: W, spec: &CampaignSpec) -> Result<CampaignJsonlWriter<W>, StreamError> {
+        CampaignJsonlWriter::resume(out, spec, 0, 0, true)
+    }
+
+    /// A writer continuing a stream whose intact prefix already carries
+    /// `records` record lines and `faults` fault lines ([`CampaignJsonlWriter::new`]
+    /// is the `(0, 0, emit_header: true)` case). The kept counts flow into
+    /// the footer, so a resumed file ends exactly like an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec validation failure or the sink's I/O error.
+    pub fn resume(
+        mut out: W,
+        spec: &CampaignSpec,
+        records: usize,
+        faults: usize,
+        emit_header: bool,
+    ) -> Result<CampaignJsonlWriter<W>, StreamError> {
         spec.validate()?;
-        let header = Json::Obj(spec_header_pairs(spec, CAMPAIGN_JSONL_FORMAT));
-        writeln!(out, "{}", header.to_compact())?;
+        if emit_header {
+            let header = Json::Obj(spec_header_pairs(spec, CAMPAIGN_JSONL_FORMAT));
+            writeln!(out, "{}", header.to_compact())?;
+        }
         Ok(CampaignJsonlWriter {
             out,
             spec: spec.clone(),
-            records: 0,
+            records,
+            faults,
         })
     }
 
@@ -113,20 +136,38 @@ impl<W: Write> CampaignJsonlWriter<W> {
         Ok(())
     }
 
+    /// Emit one contained-fault line (see [`crate::fault`]). Fault lines
+    /// carry a `fault` key, which records never do, so readers can tell the
+    /// two apart without a schema change.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error.
+    pub fn write_fault(&mut self, subject_fault: &SubjectFault) -> Result<(), StreamError> {
+        writeln!(self.out, "{}", fault_to_json(subject_fault).to_compact())?;
+        self.faults += 1;
+        Ok(())
+    }
+
     /// Emit the footer line and return the sink. A file without a footer is
-    /// truncated by definition, so readers reject it.
+    /// truncated by definition, so readers reject it. The `faulted` count
+    /// appears only when faults occurred, keeping no-fault streams
+    /// byte-identical to the pre-containment format.
     ///
     /// # Errors
     ///
     /// Returns the sink's I/O error.
     pub fn finish(mut self) -> Result<W, StreamError> {
         let programs = self.spec.seeds.shard_len(self.spec.shards, self.spec.shard);
-        let footer = Json::Obj(vec![
+        let mut pairs = vec![
             ("end".to_owned(), Json::Bool(true)),
             ("programs".to_owned(), Json::from_u64(programs)),
             ("records".to_owned(), Json::from_usize(self.records)),
-        ]);
-        writeln!(self.out, "{}", footer.to_compact())?;
+        ];
+        if self.faults > 0 {
+            pairs.push(("faulted".to_owned(), Json::from_usize(self.faults)));
+        }
+        writeln!(self.out, "{}", Json::Obj(pairs).to_compact())?;
         self.out.flush()?;
         Ok(self.out)
     }
@@ -138,6 +179,74 @@ fn chunk_size() -> usize {
     (par::max_workers() * 4).max(1)
 }
 
+/// What a streaming shard run produced: the line counts of the emitted
+/// stream plus the evaluation-engine activity behind them.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRun {
+    /// Record lines emitted (kept **and** new on a resumed run).
+    pub records: usize,
+    /// Fault lines emitted — subjects whose evaluation was contained by the
+    /// [`crate::fault`] layer instead of completing.
+    pub faulted: usize,
+    /// Evaluation-engine activity aggregated over the subjects this run
+    /// actually evaluated (what `holes campaign --stats` reports).
+    pub stats: CacheStats,
+}
+
+/// Evaluate the shard's seeds from global subject index `from_index`
+/// onwards, writing each subject's lines as its chunk completes — the
+/// shared engine of [`run_shard_streaming_with_policy`] and
+/// [`resume_shard_streaming`]. Each subject runs under
+/// [`fault::contain`], so a panicking or fuel-exhausted subject becomes one
+/// fault line instead of tearing down the shard.
+fn stream_seeds<W: Write>(
+    writer: &mut CampaignJsonlWriter<W>,
+    spec: &CampaignSpec,
+    policy: &FaultPolicy,
+    from_index: usize,
+) -> Result<CacheStats, StreamError> {
+    let levels = spec.personality.levels().to_vec();
+    let mut stats = CacheStats::default();
+    let start = spec.seeds.start;
+    let mut seeds = spec
+        .seeds
+        .shard_seeds(spec.shards, spec.shard)
+        .filter(|&seed| (seed - start) as usize >= from_index);
+    loop {
+        let chunk: Vec<u64> = seeds.by_ref().take(chunk_size()).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let per_seed = par::par_map(&chunk, |_, &seed| {
+            let global_index = (seed - start) as usize;
+            fault::contain(policy, seed, global_index, || {
+                let subject = Subject::from_seed(seed).with_fuel_limit(policy.fuel_limit);
+                let records = subject_records(
+                    &subject,
+                    global_index,
+                    spec.personality,
+                    spec.version,
+                    spec.backend,
+                    &levels,
+                );
+                (records, subject.cache_stats())
+            })
+        });
+        for outcome in per_seed {
+            match outcome {
+                SubjectOutcome::Completed((records, subject_stats)) => {
+                    stats.absorb(subject_stats);
+                    for record in &records {
+                        writer.write_record(record)?;
+                    }
+                }
+                SubjectOutcome::Faulted(subject_fault) => writer.write_fault(&subject_fault)?,
+            }
+        }
+    }
+    Ok(stats)
+}
+
 /// Run one campaign shard, streaming each seed's records to `out` as soon
 /// as they are computed. Seeds are evaluated in parallel chunks and emitted
 /// in seed order, so the stream's record sequence is exactly the classic
@@ -146,7 +255,8 @@ fn chunk_size() -> usize {
 ///
 /// Returns the number of records emitted and the evaluation-engine
 /// activity aggregated over all subjects (what `holes campaign --stats`
-/// reports).
+/// reports). Runs with the default (inert) [`FaultPolicy`]; use
+/// [`run_shard_streaming_with_policy`] to contain faulting subjects.
 ///
 /// # Errors
 ///
@@ -155,38 +265,33 @@ pub fn run_shard_streaming<W: Write>(
     spec: &CampaignSpec,
     out: W,
 ) -> Result<(usize, CacheStats), StreamError> {
+    let run = run_shard_streaming_with_policy(spec, out, &FaultPolicy::default())?;
+    Ok((run.records, run.stats))
+}
+
+/// [`run_shard_streaming`] under an explicit [`FaultPolicy`]: each subject
+/// is evaluated inside [`fault::contain`], and contained faults are emitted
+/// as `{"fault": …}` lines in subject order, interleaved with the record
+/// lines. With the default policy the output is byte-identical to
+/// [`run_shard_streaming`].
+///
+/// # Errors
+///
+/// Returns the spec validation failure or the sink's I/O error.
+pub fn run_shard_streaming_with_policy<W: Write>(
+    spec: &CampaignSpec,
+    out: W,
+    policy: &FaultPolicy,
+) -> Result<StreamRun, StreamError> {
     let mut writer = CampaignJsonlWriter::new(out, spec)?;
-    let levels = spec.personality.levels().to_vec();
-    let mut stats = CacheStats::default();
-    let mut seeds = spec.seeds.shard_seeds(spec.shards, spec.shard);
-    loop {
-        let chunk: Vec<u64> = seeds.by_ref().take(chunk_size()).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        let per_seed = par::par_map(&chunk, |_, &seed| {
-            let subject = Subject::from_seed(seed);
-            let global_index = (seed - spec.seeds.start) as usize;
-            let records = subject_records(
-                &subject,
-                global_index,
-                spec.personality,
-                spec.version,
-                spec.backend,
-                &levels,
-            );
-            (records, subject.cache_stats())
-        });
-        for (records, subject_stats) in per_seed {
-            stats.absorb(subject_stats);
-            for record in &records {
-                writer.write_record(record)?;
-            }
-        }
-    }
-    let records = writer.records;
+    let stats = stream_seeds(&mut writer, spec, policy, 0)?;
+    let (records, faulted) = (writer.records, writer.faults);
     writer.finish()?;
-    Ok((records, stats))
+    Ok(StreamRun {
+        records,
+        faulted,
+        stats,
+    })
 }
 
 /// Whether `text` looks like a JSON Lines shard file (first line is a
@@ -222,6 +327,9 @@ pub struct JsonlSummary {
     pub programs: usize,
     /// Records handed to the fold callback.
     pub records: usize,
+    /// Contained subject faults carried by the stream, in subject order.
+    /// Empty for streams produced without a fault policy.
+    pub faults: Vec<SubjectFault>,
 }
 
 /// Parse and validate a JSON Lines shard **header line** (the format's
@@ -285,17 +393,26 @@ pub fn fold_jsonl_reader<R: std::io::BufRead>(
     let mut lines = reader
         .lines()
         .enumerate()
-        .filter(|(_, l)| l.as_ref().map_or(true, |l| !l.trim().is_empty()));
+        .filter(|(_, l)| l.as_ref().map_or(true, |l| !l.trim().is_empty()))
+        .peekable();
     let (line_no, header_text) = match lines.next() {
-        None => return Err(ShardError::Malformed("empty stream".into()).into()),
+        None => {
+            return Err(ShardError::Malformed(
+                "truncated stream (0 intact records): the file is empty; \
+                 rerun with --resume to complete it"
+                    .into(),
+            )
+            .into())
+        }
         Some((line_no, text)) => (line_no, text?),
     };
     let (spec, levels) = parse_jsonl_header_at(&header_text, line_no)?;
 
     let mut count = 0usize;
     let mut previous: Option<ViolationRecord> = None;
+    let mut faults: Vec<SubjectFault> = Vec::new();
     let mut footer: Option<(usize, Json)> = None;
-    for (line_no, line) in lines {
+    while let Some((line_no, line)) = lines.next() {
         let line = line?;
         if let Some((footer_line, _)) = footer {
             return Err(malformed(
@@ -304,9 +421,48 @@ pub fn fold_jsonl_reader<R: std::io::BufRead>(
             )
             .into());
         }
-        let value = Json::parse(&line).map_err(|e| malformed(line_no, e))?;
+        let value = match Json::parse(&line) {
+            Ok(value) => value,
+            // A final line that fails to parse is the signature of a killed
+            // writer: everything before it is intact, only the cut tail is
+            // missing. Point the user at the recovery path instead of at a
+            // JSON syntax error.
+            Err(_) if lines.peek().is_none() => {
+                return Err(malformed(
+                    line_no,
+                    format!(
+                        "truncated stream ({count} intact records): \
+                         the final line is cut mid-record; rerun with --resume to complete it"
+                    ),
+                )
+                .into())
+            }
+            Err(e) => return Err(malformed(line_no, e).into()),
+        };
         if value.get("end").is_some() {
             footer = Some((line_no, value));
+            continue;
+        }
+        if value.get("fault").is_some() {
+            let subject_fault = fault_from_json(&value, &spec)
+                .map_err(|e| e.contextualize(&format!("line {}", line_no + 1)))?;
+            let floor = previous
+                .as_ref()
+                .map(|r| r.subject)
+                .max(faults.last().map(|f| f.subject));
+            if floor.is_some_and(|floor| subject_fault.subject <= floor) {
+                return Err(malformed(
+                    line_no,
+                    format!(
+                        "fault for subject {} violates canonical campaign order \
+                         (a line for subject {} precedes it)",
+                        subject_fault.subject,
+                        floor.expect("floor is Some")
+                    ),
+                )
+                .into());
+            }
+            faults.push(subject_fault);
             continue;
         }
         let record = record_from_json(&value, &spec).map_err(|e| {
@@ -316,12 +472,29 @@ pub fn fold_jsonl_reader<R: std::io::BufRead>(
         if let Some(prev) = &previous {
             check_record_order(count - 1, prev, &record, &spec)?;
         }
+        if let Some(last_fault) = faults.last() {
+            if record.subject <= last_fault.subject {
+                return Err(malformed(
+                    line_no,
+                    format!(
+                        "record for subject {} violates canonical campaign order \
+                         (subject {} already faulted)",
+                        record.subject, last_fault.subject
+                    ),
+                )
+                .into());
+            }
+        }
         previous = Some(record.clone());
         each(record);
         count += 1;
     }
-    let (footer_line, footer) =
-        footer.ok_or_else(|| ShardError::Malformed("missing footer (truncated stream?)".into()))?;
+    let (footer_line, footer) = footer.ok_or_else(|| {
+        ShardError::Malformed(format!(
+            "truncated stream ({count} intact records, missing footer); \
+             rerun with --resume to complete it"
+        ))
+    })?;
     if footer.get("end").and_then(Json::as_bool) != Some(true) {
         return Err(malformed(footer_line, "footer `end` is not `true`").into());
     }
@@ -350,11 +523,23 @@ pub fn fold_jsonl_reader<R: std::io::BufRead>(
         )
         .into());
     }
+    let declared_faulted = footer.get("faulted").and_then(Json::as_usize).unwrap_or(0);
+    if declared_faulted != faults.len() {
+        return Err(malformed(
+            footer_line,
+            format!(
+                "footer declares {declared_faulted} faulted subjects but the stream carries {}",
+                faults.len()
+            ),
+        )
+        .into());
+    }
     Ok(JsonlSummary {
         spec,
         levels,
         programs,
         records: count,
+        faults,
     })
 }
 
@@ -399,7 +584,225 @@ pub fn read_jsonl_shard(text: &str) -> Result<CampaignShard, ShardError> {
             records,
             programs: summary.programs,
             levels: summary.levels,
+            faults: summary.faults,
         },
+    })
+}
+
+/// What [`resume_shard_streaming`] did to the target file.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeOutcome {
+    /// Record lines in the final file (kept prefix plus continuation).
+    pub records: usize,
+    /// Fault lines in the final file.
+    pub faulted: usize,
+    /// Subjects this resume re-evaluated (0 when the file already carried a
+    /// valid footer).
+    pub resumed_subjects: usize,
+    /// Evaluation-engine activity for the re-evaluated subjects only.
+    pub stats: CacheStats,
+    /// The file already ended in a valid footer; nothing was rewritten.
+    pub already_complete: bool,
+}
+
+/// One intact line of a killed stream's body, as the resume scanner sees
+/// it: where it starts in the file and which subject it belongs to.
+struct ScannedLine {
+    start: usize,
+    subject: usize,
+    is_fault: bool,
+}
+
+fn unresumable(message: impl std::fmt::Display) -> StreamError {
+    ShardError::Malformed(format!("cannot resume: {message}")).into()
+}
+
+/// Complete a killed `--jsonl` campaign file in place so the result is
+/// **byte-identical** to an uninterrupted run of the same spec.
+///
+/// The writer emits lines in ascending subject order and a kill can only
+/// lose a suffix, so the recovery is mechanical: scan the newline-terminated
+/// prefix, validate every intact line against `spec`, find the highest
+/// subject `P` with any line (its lines may be incomplete — a flush can land
+/// mid-subject), truncate the file back to the first line of `P`, and
+/// re-evaluate every subject with global index `≥ P`, appending through the
+/// same writer an uninterrupted run uses. Determinism does the rest.
+///
+/// Special cases: a file that already ends in a valid footer is left
+/// untouched (`already_complete`); a missing, empty, or mid-header-cut file
+/// is rewritten from scratch; a file whose header belongs to a different
+/// campaign — or is not a campaign stream at all — is refused rather than
+/// overwritten.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Io`] for filesystem failures and
+/// [`StreamError::Shard`] when the existing content is not a resumable
+/// stream of this campaign.
+pub fn resume_shard_streaming(
+    spec: &CampaignSpec,
+    path: &std::path::Path,
+    policy: &FaultPolicy,
+) -> Result<ResumeOutcome, StreamError> {
+    spec.validate()?;
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let expected_header = Json::Obj(spec_header_pairs(spec, CAMPAIGN_JSONL_FORMAT)).to_compact();
+
+    // Scan the header line. Anything short of a byte-exact match either
+    // restarts the file (a cut within the header loses nothing) or refuses
+    // to touch it (it is not this campaign's stream).
+    let mut segments = data.split_inclusive(|&b| b == b'\n');
+    let mut write_header = true;
+    let mut offset = 0usize;
+    match segments.next() {
+        None => {}
+        Some(segment) => {
+            let complete = segment.ends_with(b"\n");
+            let line = if complete {
+                &segment[..segment.len() - 1]
+            } else {
+                segment
+            };
+            if complete && line == expected_header.as_bytes() {
+                write_header = false;
+                offset = segment.len();
+            } else if !complete && expected_header.as_bytes().starts_with(line) {
+                // The kill landed inside the header; rewrite from scratch.
+            } else if std::str::from_utf8(line)
+                .ok()
+                .is_some_and(|text| parse_jsonl_header(text).is_ok())
+            {
+                return Err(unresumable(
+                    "the file's header describes a different campaign; refusing to overwrite it",
+                ));
+            } else {
+                return Err(unresumable(
+                    "the file does not begin with this campaign's header",
+                ));
+            }
+        }
+    }
+
+    // Scan the body: every newline-terminated line must be an intact record,
+    // fault, or footer of this campaign; a trailing segment without a
+    // newline is the cut the kill left and is dropped.
+    let mut scanned: Vec<ScannedLine> = Vec::new();
+    let mut footer: Option<Json> = None;
+    if !write_header {
+        for segment in segments {
+            let start = offset;
+            offset += segment.len();
+            if footer.is_some() {
+                return Err(unresumable("the file has content after its footer"));
+            }
+            if !segment.ends_with(b"\n") {
+                break;
+            }
+            let line = &segment[..segment.len() - 1];
+            let text = std::str::from_utf8(line)
+                .map_err(|_| unresumable("an intact line is not UTF-8"))?;
+            let value = Json::parse(text)
+                .map_err(|e| unresumable(format!("an intact line failed to parse: {e}")))?;
+            if value.get("end").is_some() {
+                footer = Some(value);
+                continue;
+            }
+            let (subject, is_fault) = if value.get("fault").is_some() {
+                (fault_from_json(&value, spec)?.subject, true)
+            } else {
+                (record_from_json(&value, spec)?.subject, false)
+            };
+            if scanned.last().is_some_and(|last| subject < last.subject) {
+                return Err(unresumable(
+                    "intact lines are not in ascending subject order",
+                ));
+            }
+            scanned.push(ScannedLine {
+                start,
+                subject,
+                is_fault,
+            });
+        }
+    }
+
+    // A valid footer means the run finished; resuming is a no-op. Footer
+    // counts that disagree with the body mean corruption, not truncation.
+    if let Some(footer) = footer {
+        let records = scanned.iter().filter(|l| !l.is_fault).count();
+        let faulted = scanned.iter().filter(|l| l.is_fault).count();
+        let programs = spec.seeds.shard_len(spec.shards, spec.shard);
+        let intact = footer.get("end").and_then(Json::as_bool) == Some(true)
+            && footer.get("programs").and_then(Json::as_u64) == Some(programs)
+            && footer.get("records").and_then(Json::as_usize) == Some(records)
+            && footer.get("faulted").and_then(Json::as_usize).unwrap_or(0) == faulted;
+        if !intact {
+            return Err(unresumable(
+                "the file ends in a footer whose counts do not match its records",
+            ));
+        }
+        return Ok(ResumeOutcome {
+            records,
+            faulted,
+            resumed_subjects: 0,
+            stats: CacheStats::default(),
+            already_complete: true,
+        });
+    }
+
+    // The highest subject with any line may have been cut mid-flush; keep
+    // strictly older subjects, re-evaluate from it onwards.
+    let (keep_bytes, from_index) = match scanned.last().map(|last| last.subject) {
+        None if write_header => (0, 0),
+        None => (offset.min(expected_header.len() + 1), 0),
+        Some(newest) => {
+            let boundary = scanned
+                .iter()
+                .find(|line| line.subject == newest)
+                .expect("newest subject came from `scanned`")
+                .start;
+            (boundary, newest)
+        }
+    };
+    let kept_records = scanned
+        .iter()
+        .filter(|l| l.subject < from_index && !l.is_fault)
+        .count();
+    let kept_faults = scanned
+        .iter()
+        .filter(|l| l.subject < from_index && l.is_fault)
+        .count();
+    let resumed_subjects = spec
+        .seeds
+        .shard_seeds(spec.shards, spec.shard)
+        .filter(|&seed| (seed - spec.seeds.start) as usize >= from_index)
+        .count();
+
+    // Deliberately not `truncate(true)`: the intact prefix of the file is
+    // kept and the explicit `set_len` below cuts exactly at its boundary.
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    file.set_len(keep_bytes as u64)?;
+    let mut file = file;
+    std::io::Seek::seek(&mut file, std::io::SeekFrom::Start(keep_bytes as u64))?;
+    let out = std::io::BufWriter::new(file);
+    let mut writer =
+        CampaignJsonlWriter::resume(out, spec, kept_records, kept_faults, write_header)?;
+    let stats = stream_seeds(&mut writer, spec, policy, from_index)?;
+    let (records, faulted) = (writer.records, writer.faults);
+    writer.finish()?;
+    Ok(ResumeOutcome {
+        records,
+        faulted,
+        resumed_subjects,
+        stats,
+        already_complete: false,
     })
 }
 
@@ -529,6 +932,157 @@ mod tests {
                 "the two readers disagree on the rejection"
             );
         }
+    }
+
+    #[test]
+    fn injected_faults_stream_as_lines_and_count_in_the_footer() {
+        let range = SeedRange::new(2600, 2612);
+        let policy = FaultPolicy {
+            inject_seeds: [2603u64, 2607].into_iter().collect(),
+            ..FaultPolicy::default()
+        };
+        let mut out = Vec::new();
+        let run = run_shard_streaming_with_policy(&spec(range), &mut out, &policy).expect("run");
+        assert_eq!(run.faulted, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"fault\":\"generate\""), "{text}");
+        assert!(
+            text.lines().last().unwrap().contains("\"faulted\":2"),
+            "{text}"
+        );
+        let shard = read_jsonl_shard(&text).expect("faulted stream reads back");
+        assert_eq!(shard.result.faults.len(), 2);
+        assert_eq!(
+            shard
+                .result
+                .faults
+                .iter()
+                .map(|f| f.seed)
+                .collect::<Vec<_>>(),
+            vec![2603, 2607]
+        );
+        // Faulted subjects are excluded from records; everything else is
+        // untouched relative to the clean run.
+        let clean = read_jsonl_shard(&streamed(&spec(range))).unwrap();
+        let survivors: Vec<_> = clean
+            .result
+            .records
+            .iter()
+            .filter(|r| r.seed != 2603 && r.seed != 2607)
+            .cloned()
+            .collect();
+        assert_eq!(shard.result.records, survivors);
+        // The default policy stays byte-identical to the no-policy path:
+        // no fault lines, no `faulted` footer key.
+        assert!(!streamed(&spec(range)).contains("fault"));
+    }
+
+    #[test]
+    fn truncated_streams_name_the_intact_prefix_and_the_recovery_flag() {
+        let range = SeedRange::new(2600, 2612);
+        let text = streamed(&spec(range));
+        // Cut mid-record: the diagnostic counts the intact records and
+        // points at --resume.
+        let cut = &text[..text.len() - text.len() / 3];
+        let err = read_jsonl_shard(cut).unwrap_err().to_string();
+        assert!(err.contains("truncated stream ("), "{err}");
+        assert!(err.contains("--resume"), "{err}");
+        // Footer missing but last line intact.
+        let lines: Vec<&str> = text.lines().collect();
+        let no_footer = lines[..lines.len() - 1].join("\n");
+        let err = read_jsonl_shard(&no_footer).unwrap_err().to_string();
+        assert!(err.contains("missing footer"), "{err}");
+        assert!(err.contains("--resume"), "{err}");
+        // Empty file.
+        let err = read_jsonl_shard("").unwrap_err().to_string();
+        assert!(err.contains("truncated stream (0 intact records)"), "{err}");
+    }
+
+    struct ScratchFile(std::path::PathBuf);
+
+    impl ScratchFile {
+        fn new(name: &str) -> ScratchFile {
+            let path = std::env::temp_dir().join(format!(
+                "holes-stream-{name}-{}-{:?}.jsonl",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            let _ = std::fs::remove_file(&path);
+            ScratchFile(path)
+        }
+    }
+
+    impl Drop for ScratchFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_the_uninterrupted_stream_from_any_kill_point() {
+        let range = SeedRange::new(2600, 2616);
+        let spec = spec(range);
+        let full = streamed(&spec).into_bytes();
+        let scratch = ScratchFile::new("kill");
+        // Sweep a spread of kill points including the header, a line
+        // boundary, and the final byte.
+        for cut in [
+            0,
+            1,
+            full.len() / 7,
+            full.len() / 3,
+            full.len() / 2,
+            full.len() - 1,
+        ] {
+            std::fs::write(&scratch.0, &full[..cut]).unwrap();
+            let outcome =
+                resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).expect("resume");
+            assert!(!outcome.already_complete, "cut at {cut}");
+            let recovered = std::fs::read(&scratch.0).unwrap();
+            assert_eq!(
+                recovered, full,
+                "cut at byte {cut} did not resume byte-identically"
+            );
+        }
+        // A missing file is a fresh run.
+        let _ = std::fs::remove_file(&scratch.0);
+        resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).expect("fresh");
+        assert_eq!(std::fs::read(&scratch.0).unwrap(), full);
+        // A complete file is a no-op.
+        let outcome =
+            resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).expect("no-op");
+        assert!(outcome.already_complete);
+        assert_eq!(outcome.resumed_subjects, 0);
+        assert_eq!(std::fs::read(&scratch.0).unwrap(), full);
+    }
+
+    #[test]
+    fn resume_preserves_fault_lines_and_refuses_foreign_files() {
+        let range = SeedRange::new(2600, 2612);
+        let spec = spec(range);
+        let policy = FaultPolicy {
+            inject_seeds: [2605u64].into_iter().collect(),
+            ..FaultPolicy::default()
+        };
+        let mut out = Vec::new();
+        run_shard_streaming_with_policy(&spec, &mut out, &policy).expect("run");
+        let scratch = ScratchFile::new("faulted");
+        std::fs::write(&scratch.0, &out[..out.len() * 2 / 3]).unwrap();
+        resume_shard_streaming(&spec, &scratch.0, &policy).expect("resume");
+        assert_eq!(std::fs::read(&scratch.0).unwrap(), out);
+
+        // A header from a different campaign is refused, and the file is
+        // left untouched.
+        let other = CampaignSpec::new(Personality::Lcc, Personality::Lcc.trunk(), range);
+        let foreign = streamed(&other);
+        std::fs::write(&scratch.0, &foreign).unwrap();
+        let err = resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        assert_eq!(std::fs::read(&scratch.0).unwrap(), foreign.into_bytes());
+        // Arbitrary content is refused too.
+        std::fs::write(&scratch.0, b"not a stream\n").unwrap();
+        let err = resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
     }
 
     #[test]

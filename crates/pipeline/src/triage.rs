@@ -28,6 +28,7 @@ use holes_core::json::Json;
 use holes_core::{Conjecture, Violation};
 
 use crate::campaign::{subject_records, unique_key, CampaignResult, UniqueKey};
+use crate::fault::{self, FaultPolicy, SubjectFault, SubjectOutcome};
 use crate::par;
 use crate::shard::{parse_levels, parse_spec_header, spec_header_pairs, CampaignSpec, ShardError};
 use crate::Subject;
@@ -310,6 +311,33 @@ pub fn triage_campaign_on(
     result: &CampaignResult,
     per_conjecture_limit: usize,
 ) -> TriageTable {
+    triage_campaign_on_with_policy(
+        subjects,
+        personality,
+        version,
+        backend,
+        result,
+        per_conjecture_limit,
+        &FaultPolicy::default(),
+    )
+    .0
+}
+
+/// [`triage_campaign_on`] under an explicit [`FaultPolicy`]: each selected
+/// violation's triage runs inside [`fault::contain`], so a panicking or
+/// fuel-exhausted probe is recorded as a [`SubjectFault`] (in selection
+/// order) instead of tearing down the whole triage. Faulted triages
+/// contribute nothing to the table; they are never silently dropped from
+/// the returned fault list.
+pub fn triage_campaign_on_with_policy(
+    subjects: &[Subject],
+    personality: Personality,
+    version: usize,
+    backend: BackendKind,
+    result: &CampaignResult,
+    per_conjecture_limit: usize,
+    policy: &FaultPolicy,
+) -> (TriageTable, Vec<SubjectFault>) {
     let mut taken: BTreeMap<Conjecture, usize> = BTreeMap::new();
     let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
     let mut selected: Vec<&crate::campaign::ViolationRecord> = Vec::new();
@@ -325,23 +353,42 @@ pub fn triage_campaign_on(
         selected.push(record);
     }
     let outcomes = par::par_map(&selected, |_, record| {
-        let config = CompilerConfig::new(personality, record.level)
-            .with_version(version)
-            .with_backend(backend);
-        triage(&subjects[record.subject], &config, &record.violation)
+        fault::contain(policy, record.seed, record.subject, || {
+            let config = CompilerConfig::new(personality, record.level)
+                .with_version(version)
+                .with_backend(backend);
+            // A fuel limit rides on a cache-sharing clone, exactly as in the
+            // campaign driver.
+            let limited;
+            let subject = if policy.fuel_limit.is_some() {
+                limited = subjects[record.subject]
+                    .clone()
+                    .with_fuel_limit(policy.fuel_limit);
+                &limited
+            } else {
+                &subjects[record.subject]
+            };
+            triage(subject, &config, &record.violation)
+        })
     });
     let mut table = TriageTable::default();
+    let mut faults = Vec::new();
     for (record, outcome) in selected.iter().zip(outcomes) {
-        for culprit in outcome.culprits {
-            *table
-                .counts
-                .entry(record.violation.conjecture)
-                .or_default()
-                .entry(culprit)
-                .or_insert(0) += 1;
+        match outcome {
+            SubjectOutcome::Completed(outcome) => {
+                for culprit in outcome.culprits {
+                    *table
+                        .counts
+                        .entry(record.violation.conjecture)
+                        .or_default()
+                        .entry(culprit)
+                        .or_insert(0) += 1;
+                }
+            }
+            SubjectOutcome::Faulted(subject_fault) => faults.push(subject_fault),
         }
     }
-    table
+    (table, faults)
 }
 
 /// The identifying first line of a triage shard file.
@@ -382,52 +429,77 @@ pub fn run_triage_shard(
     spec: &CampaignSpec,
     limit: usize,
 ) -> Result<(TriageShard, crate::CacheStats), ShardError> {
+    let (shard, _, stats) = run_triage_shard_with_policy(spec, limit, &FaultPolicy::default())?;
+    Ok((shard, stats))
+}
+
+/// [`run_triage_shard`] under an explicit [`FaultPolicy`]: each seed's
+/// whole evaluation (campaign records plus its triages) runs inside
+/// [`fault::contain`]. A faulted seed contributes nothing to the table and
+/// is reported as a [`SubjectFault`] in subject order.
+///
+/// # Errors
+///
+/// Returns the spec validation failure.
+pub fn run_triage_shard_with_policy(
+    spec: &CampaignSpec,
+    limit: usize,
+    policy: &FaultPolicy,
+) -> Result<(TriageShard, Vec<SubjectFault>, crate::CacheStats), ShardError> {
     spec.validate()?;
     let levels = spec.personality.levels().to_vec();
     let seeds = spec.shard_seeds();
     let per_seed = par::par_map(&seeds, |_, &seed| {
-        let subject = Subject::from_seed(seed);
         let global_index = (seed - spec.seeds.start) as usize;
-        let records = subject_records(
-            &subject,
-            global_index,
-            spec.personality,
-            spec.version,
-            spec.backend,
-            &levels,
-        );
-        let mut taken: BTreeMap<Conjecture, usize> = BTreeMap::new();
-        let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
-        let mut table = TriageTable::default();
-        for record in &records {
-            let conjecture = record.violation.conjecture;
-            if *taken.get(&conjecture).unwrap_or(&0) >= limit {
-                continue;
+        fault::contain(policy, seed, global_index, || {
+            let subject = Subject::from_seed(seed).with_fuel_limit(policy.fuel_limit);
+            let records = subject_records(
+                &subject,
+                global_index,
+                spec.personality,
+                spec.version,
+                spec.backend,
+                &levels,
+            );
+            let mut taken: BTreeMap<Conjecture, usize> = BTreeMap::new();
+            let mut seen: BTreeSet<UniqueKey> = BTreeSet::new();
+            let mut table = TriageTable::default();
+            for record in &records {
+                let conjecture = record.violation.conjecture;
+                if *taken.get(&conjecture).unwrap_or(&0) >= limit {
+                    continue;
+                }
+                if !seen.insert(unique_key(record)) {
+                    continue;
+                }
+                *taken.entry(conjecture).or_insert(0) += 1;
+                let config = CompilerConfig::new(spec.personality, record.level)
+                    .with_version(spec.version)
+                    .with_backend(spec.backend);
+                let outcome = triage(&subject, &config, &record.violation);
+                for culprit in outcome.culprits {
+                    *table
+                        .counts
+                        .entry(conjecture)
+                        .or_default()
+                        .entry(culprit)
+                        .or_insert(0) += 1;
+                }
             }
-            if !seen.insert(unique_key(record)) {
-                continue;
-            }
-            *taken.entry(conjecture).or_insert(0) += 1;
-            let config = CompilerConfig::new(spec.personality, record.level)
-                .with_version(spec.version)
-                .with_backend(spec.backend);
-            let outcome = triage(&subject, &config, &record.violation);
-            for culprit in outcome.culprits {
-                *table
-                    .counts
-                    .entry(conjecture)
-                    .or_default()
-                    .entry(culprit)
-                    .or_insert(0) += 1;
-            }
-        }
-        (table, subject.cache_stats())
+            (table, subject.cache_stats())
+        })
     });
     let mut table = TriageTable::default();
+    let mut faults = Vec::new();
     let mut stats = crate::CacheStats::default();
-    for (subject_table, subject_stats) in per_seed {
-        table.absorb(subject_table);
-        stats.absorb(subject_stats);
+    for outcome in per_seed {
+        match outcome {
+            SubjectOutcome::Completed((subject_table, subject_stats)) => {
+                table.absorb(subject_table);
+                stats.absorb(subject_stats);
+            }
+            SubjectOutcome::Faulted(subject_fault) => faults.push(subject_fault),
+        }
     }
     Ok((
         TriageShard {
@@ -435,6 +507,7 @@ pub fn run_triage_shard(
             limit,
             table,
         },
+        faults,
         stats,
     ))
 }

@@ -406,4 +406,123 @@ proptest! {
 
         let _ = std::fs::remove_dir_all(&root);
     }
+
+    /// Kill-safe resume: truncating a streamed campaign file at an
+    /// **arbitrary byte** — mid-header, mid-record, mid-footer, anywhere —
+    /// and rerunning with resume reproduces the uninterrupted stream
+    /// byte-for-byte, for random seed ranges and kill points.
+    #[test]
+    fn killed_streams_resume_byte_identically(
+        start in 0u64..10_000,
+        len in 1u64..8,
+        kill_permille in 0u64..1001,
+    ) {
+        use holes_pipeline::fault::FaultPolicy;
+        use holes_pipeline::shard::CampaignSpec;
+        use holes_pipeline::stream::{resume_shard_streaming, run_shard_streaming_with_policy};
+        use holes_progen::SeedRange;
+
+        let personality = Personality::Ccg;
+        let seeds = SeedRange::new(start, start + len);
+        let spec = CampaignSpec::new(personality, personality.trunk(), seeds);
+        let policy = FaultPolicy::default();
+
+        let mut full: Vec<u8> = Vec::new();
+        run_shard_streaming_with_policy(&spec, &mut full, &policy).unwrap();
+
+        // The kill point covers the whole file, endpoints included: 0 is a
+        // fresh start, `full.len()` an already-complete no-op.
+        let kill = (full.len() * kill_permille as usize / 1000).min(full.len());
+        let path = std::env::temp_dir().join(format!(
+            "holes-prop-resume-{}-{start}-{len}-{kill}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, &full[..kill]).unwrap();
+
+        let outcome = resume_shard_streaming(&spec, &path, &policy);
+        let resumed = std::fs::read(&path);
+        let _ = std::fs::remove_file(&path);
+        let outcome = outcome.unwrap();
+        prop_assert_eq!(
+            resumed.unwrap(),
+            full,
+            "kill at byte {} of {} did not resume byte-identically",
+            kill,
+            outcome.records
+        );
+    }
+
+    /// Store chaos is invisible to results: an arbitrary schedule of
+    /// injected transient I/O failures changes only the store statistics —
+    /// the campaign JSON stays byte-identical to a run over an undisturbed
+    /// store, and never silently loses records.
+    #[test]
+    fn failing_store_schedules_never_change_campaign_results(
+        start in 30_000u64..40_000,
+        len in 1u64..5,
+        schedule_bits in any::<u64>(),
+        schedule_len in 0usize..64,
+    ) {
+        use std::sync::Arc;
+        use holes_pipeline::campaign::run_campaign;
+        use holes_pipeline::shard::{CampaignShard, CampaignSpec};
+        use holes_pipeline::store::io::FailingIo;
+        use holes_pipeline::{ArtifactStore, Subject};
+        use holes_progen::SeedRange;
+
+        let personality = Personality::Ccg;
+        let seeds = SeedRange::new(start, start + len);
+        let schedule: Vec<bool> = (0..schedule_len)
+            .map(|bit| schedule_bits >> bit & 1 == 1)
+            .collect();
+        let campaign_json = |store: Option<&Arc<ArtifactStore>>| -> String {
+            let subjects: Vec<Subject> = seeds
+                .iter()
+                .map(|seed| {
+                    let subject = Subject::from_seed(seed).with_fresh_cache();
+                    if let Some(store) = store {
+                        subject.attach_store(Arc::clone(store));
+                    }
+                    subject
+                })
+                .collect();
+            let result = run_campaign(&subjects, personality, personality.trunk());
+            let shard = CampaignShard {
+                spec: CampaignSpec::new(personality, personality.trunk(), seeds),
+                result,
+            };
+            shard.to_json().to_pretty()
+        };
+
+        let reference = campaign_json(None);
+
+        let root = std::env::temp_dir().join(format!(
+            "holes-prop-chaos-{}-{start}-{len}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        // The schedule also governs `open`: when it fails the store's
+        // creation outright, degrading to no store at all is the correct
+        // containment — results must still match.
+        let store = ArtifactStore::open_with_io(
+            &root,
+            Box::new(FailingIo::script(schedule.iter().copied())),
+        )
+        .ok()
+        .map(Arc::new);
+
+        let chaotic = campaign_json(store.as_ref());
+        prop_assert_eq!(&chaotic, &reference, "store chaos changed campaign results");
+        if let Some(store) = &store {
+            // Cold misses happen with or without chaos; errors and retries
+            // are bounded by the schedule's failure count.
+            let stats = store.stats();
+            prop_assert!(stats.retries + stats.store_errors <= schedule.len() * 2);
+            // A second pass over the (possibly partially-populated) store
+            // still agrees: whatever survived the chaos is valid.
+            let warm = campaign_json(Some(store));
+            prop_assert_eq!(&warm, &reference, "chaos-surviving store corrupted results");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
 }
