@@ -12,9 +12,18 @@
 //! * `reduce` — shrink one violating program while preserving the violation
 //!   and its culprit.
 //!
+//! On top of them, the regression-gating workflow of §5.4 as CI commands:
+//!
+//! * `baseline` — `record` a run's unique-violation set, `diff` a later run
+//!   against it (known/new/fixed; only *new* violations gate, exit 3);
+//! * `corpus` — `add` distilled, replayable records of known violations,
+//!   `replay` them all (fail fast on known bugs before spending budget).
+//!
 //! Sharding contract: `K` runs of `campaign --seeds A..B --shards K --shard
 //! I`, merged by `report`, produce byte-identical output to the single
-//! unsharded run — the seam that lets campaigns fan out across machines.
+//! unsharded run — the seam that lets campaigns fan out across machines
+//! (and that makes a sharded `baseline record` byte-identical to an
+//! unsharded one).
 
 mod args;
 
@@ -24,9 +33,14 @@ use std::sync::Arc;
 use holes::compiler::{BackendKind, CompilerConfig, OptLevel, Personality};
 use holes::core::json::Json;
 use holes::core::Conjecture;
-use holes::pipeline::campaign::{run_campaign_on_with_policy, CampaignTallies};
+use holes::pipeline::baseline::{Baseline, ViolationFingerprint, BASELINE_FORMAT};
+use holes::pipeline::campaign::{run_campaign_on_with_policy, unique_key, CampaignTallies};
+use holes::pipeline::corpus::{distill, Corpus, CorpusEntry, ReplayOutcome};
+use holes::pipeline::par::par_map;
 use holes::pipeline::reduce::reduce_with_policy;
 use holes::pipeline::report::build_report_from_seeds;
+use holes::pipeline::report::junit::{junit_xml, CaseOutcome, TestCase};
+use holes::pipeline::report::sarif::{sarif_log, SarifResult};
 use holes::pipeline::shard::{
     merge_shards, run_shard_with_policy, validate_shard_specs, CampaignShard, CampaignSpec,
     ShardError,
@@ -41,7 +55,7 @@ use holes::pipeline::triage::{
     TriageShard,
 };
 use holes::pipeline::{
-    subject_pool, ArtifactStore, CacheStats, FaultPolicy, Subject, SubjectOutcome,
+    subject_pool, ArtifactStore, CacheStats, FaultPolicy, Subject, SubjectKey, SubjectOutcome,
 };
 use holes::progen::{ProgramGenerator, SeedRange};
 
@@ -83,6 +97,8 @@ Commands:
   report     Merge shard files; render Table 1, Venn, issue classification
   triage     Attribute violations to culprit optimizations (Table 2)
   reduce     Shrink one violating program, preserving violation + culprit
+  baseline   Record a run's unique violations; diff later runs (CI gate)
+  corpus     Distill known violations for replay; replay them (fail fast)
   cache      Manage the persistent artifact store (gc)
   help       Show this message
 
@@ -96,13 +112,17 @@ Run `holes <command> --help` for per-command options.
 /// How a successfully-completed command ends the process: `Clean` exits 0;
 /// `Faulted` exits 2 — the run finished, but one or more subjects were
 /// contained as faults instead of evaluating, so the output is complete but
-/// not fault-free. Hard failures exit 1.
+/// not fault-free; `Regressed` exits 3 — the regression gate fired
+/// (`baseline diff` found new violations, or `corpus replay` found entries
+/// that no longer reproduce). Hard failures exit 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RunStatus {
     /// Every subject evaluated; exit 0.
     Clean,
     /// The command completed but contained subject faults; exit 2.
     Faulted,
+    /// The regression gate fired; exit 3.
+    Regressed,
 }
 
 impl RunStatus {
@@ -123,6 +143,7 @@ fn main() -> ExitCode {
     match run(&argv) {
         Ok(RunStatus::Clean) => ExitCode::SUCCESS,
         Ok(RunStatus::Faulted) => ExitCode::from(2),
+        Ok(RunStatus::Regressed) => ExitCode::from(3),
         Err(error) => {
             eprintln!("holes: {error}");
             ExitCode::from(1)
@@ -142,6 +163,8 @@ fn run(argv: &[String]) -> Result<RunStatus, String> {
         "report" => cmd_report(rest),
         "triage" => cmd_triage(rest),
         "reduce" => cmd_reduce(rest),
+        "baseline" => cmd_baseline(rest),
+        "corpus" => cmd_corpus(rest),
         "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
@@ -509,7 +532,11 @@ the campaign with --resume to complete it first.
 
 Options:
   --json          Print the machine-readable summary instead of text
-  --out FILE      Also write the JSON summary to FILE
+  --format FMT    Render the unique violations as `sarif` (SARIF 2.1.0,
+                  for code-scanning uploads) or `junit` (JUnit XML, for CI
+                  test-summary UIs) instead of the text/JSON report
+  --out FILE      Also write the JSON summary (or, with --format, that
+                  rendering) to FILE
   --issues N      Classify up to N unique violations (DIE category and
                   compiler/debugger attribution; recompiles the programs)
   --cache-dir DIR Persist/reuse the artifacts --issues recompiles
@@ -527,7 +554,7 @@ fn parse_shard_file(path: &str) -> Result<CampaignShard, String> {
 
 fn cmd_report(argv: &[String]) -> Result<RunStatus, String> {
     let spec = Spec {
-        options: &["out", "issues", "cache-dir"],
+        options: &["out", "issues", "cache-dir", "format"],
         switches: &["json"],
         positionals: true,
     };
@@ -586,16 +613,25 @@ fn cmd_report(argv: &[String]) -> Result<RunStatus, String> {
 }
 
 /// The streaming path of `holes report`: fold every input file's records
-/// into one [`CampaignTallies`] accumulator — line by line for JSONL
-/// shards, per parsed document for classic shards — and render from the
-/// tallies. Output is byte-identical to the materializing path; memory is
-/// bounded by the accumulator (unique violations), never by the record
-/// count.
+/// into one [`CampaignTallies`] accumulator and render from the tallies.
+/// Output is byte-identical to the materializing path; memory is bounded
+/// by the accumulator (unique violations), never by the record count.
 fn report_streaming(parsed: &Parsed) -> Result<RunStatus, String> {
+    let (campaign, tallies) = fold_shard_files(parsed.positionals())?;
+    render_report(parsed, &campaign, &tallies, None)
+}
+
+/// Fold campaign shard files into one [`CampaignTallies`] accumulator —
+/// line by line for JSONL shards, per parsed document for classic shards —
+/// and validate that together they cover one campaign exactly once. The
+/// deterministic-merge seam shared by `holes report` and `holes baseline
+/// record`/`diff`: both commands see the identical merged campaign, so a
+/// sharded baseline is byte-identical to an unsharded one.
+fn fold_shard_files(paths: &[String]) -> Result<(CampaignSpec, CampaignTallies), String> {
     use std::io::{BufRead, Read};
     let mut specs: Vec<CampaignSpec> = Vec::new();
     let mut tallies: Option<CampaignTallies> = None;
-    for path in parsed.positionals() {
+    for path in paths {
         let file = std::fs::File::open(path).map_err(|e| format!("reading `{path}`: {e}"))?;
         let mut reader = std::io::BufReader::new(file);
         let mut first_line = String::new();
@@ -637,8 +673,7 @@ fn report_streaming(parsed: &Parsed) -> Result<RunStatus, String> {
             specs.push(shard.spec);
         }
     }
-    let origins: Vec<String> = parsed
-        .positionals()
+    let origins: Vec<String> = paths
         .iter()
         .zip(&specs)
         .map(|(path, spec)| format!("`{path}` (shard {}/{})", spec.shard, spec.shards))
@@ -646,7 +681,7 @@ fn report_streaming(parsed: &Parsed) -> Result<RunStatus, String> {
     let campaign = validate_shard_specs(&specs)
         .map_err(|e| format!("{e}; inputs were: {}", origins.join(", ")))?;
     let tallies = tallies.expect("at least one input file was folded");
-    render_report(parsed, &campaign, &tallies, None)
+    Ok((campaign, tallies))
 }
 
 /// Render the merged campaign — JSON summary and/or the text tables — from
@@ -658,6 +693,15 @@ fn render_report(
     tallies: &CampaignTallies,
     issues: Option<(&holes::pipeline::report::IssueReport, usize)>,
 ) -> Result<RunStatus, String> {
+    // `--format sarif|junit` replaces the report output entirely with the
+    // CI-native rendering of the unique-violation set; every other path
+    // below is byte-identical to a binary without the option.
+    if let Some(format) = parsed.opt("format") {
+        let rendered = render_report_format(format, campaign, tallies)?;
+        write_out(parsed, &rendered)?;
+        out!("{rendered}");
+        return Ok(RunStatus::from_faulted(tallies.faulted()));
+    }
     // The JSON summary re-aggregates every tally; build it only when a
     // machine-readable sink asked for it.
     if parsed.switch("json") || parsed.opt("out").is_some() {
@@ -732,6 +776,511 @@ fn render_report(
         out!("{}", report.render());
     }
     Ok(RunStatus::from_faulted(tallies.faulted()))
+}
+
+/// Render the merged campaign's unique-violation set as SARIF or JUnit —
+/// each violation keyed by the same canonical fingerprint `baseline diff`
+/// uses, so code-scanning UIs dedup results across runs consistently with
+/// the gate.
+fn render_report_format(
+    format: &str,
+    campaign: &CampaignSpec,
+    tallies: &CampaignTallies,
+) -> Result<String, String> {
+    let violations: Vec<(ViolationFingerprint, String)> = tallies
+        .unique_violations()
+        .map(|((subject, conjecture, line, variable), levels)| {
+            let fingerprint = ViolationFingerprint {
+                seed: campaign.seeds.start + *subject as u64,
+                conjecture: *conjecture,
+                line: *line,
+                variable: variable.to_string(),
+            };
+            let flags: Vec<&str> = levels.iter().map(|l| l.flag()).collect();
+            (fingerprint, flags.join(","))
+        })
+        .collect();
+    let describe = |fp: &ViolationFingerprint, levels: &String| {
+        format!(
+            "{} violation: variable `{}` at line {} of seed {} ({} {} at {levels})",
+            fp.conjecture,
+            fp.variable,
+            fp.line,
+            fp.seed,
+            campaign.personality.name(),
+            campaign.personality.version_names()[campaign.version],
+        )
+    };
+    match format {
+        "sarif" => {
+            let results: Vec<SarifResult> = violations
+                .iter()
+                .map(|(fp, levels)| SarifResult {
+                    rule: fp.conjecture,
+                    level: "warning",
+                    message: describe(fp, levels),
+                    uri: format!("seed-{}.minic", fp.seed),
+                    line: fp.line,
+                    fingerprint: fp.to_string(),
+                })
+                .collect();
+            Ok(sarif_log(&results).to_pretty())
+        }
+        "junit" => {
+            let cases: Vec<TestCase> = violations
+                .iter()
+                .map(|(fp, levels)| TestCase {
+                    classname: format!("holes.{}", fp.conjecture),
+                    name: fp.to_string(),
+                    outcome: CaseOutcome::Failed {
+                        message: describe(fp, levels),
+                    },
+                })
+                .collect();
+            Ok(junit_xml("report", &cases))
+        }
+        other => Err(format!(
+            "unknown report format `{other}` (expected `sarif` or `junit`)"
+        )),
+    }
+}
+
+// -------------------------------------------------------------- baseline
+
+const BASELINE_USAGE: &str = "\
+Usage: holes baseline record SHARD-FILE... [--out FILE] [--quiet]
+       holes baseline diff BASELINE INPUT... [options]
+
+record  Snapshot a merged campaign's unique-violation set into a
+        deterministic holes.baseline/v1 document. The shard files must
+        cover the campaign's full seed range exactly once (both shard
+        formats are accepted); a sharded recording is byte-identical to an
+        unsharded one.
+
+diff    Compare a later run against a recorded baseline and partition its
+        violations into known (in both), new (only in the run), and fixed
+        (only in the baseline). INPUT is either another baseline file or
+        the later run's shard files (auto-detected). The runs must share
+        personality and backend; the seed range and compiler version may
+        differ — growing the range and bumping the version are exactly the
+        regression axes the gate exists for. Exits 3 when (and only when)
+        *new* violations are present.
+
+Options:
+  --out FILE      Write the baseline (record) or the rendered diff (diff)
+                  to FILE as well as stdout
+  --format FMT    Diff rendering: text (default), json
+                  (holes.baseline-diff/v1), sarif (new violations only, as
+                  errors), or junit (known pass, new fail, fixed skipped)
+  --quiet         Suppress the record summary line when --out is given
+";
+
+/// Read and validate one `holes.baseline/v1` file.
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    Baseline::from_json(&json).map_err(|e| format!("`{path}`: {e}"))
+}
+
+/// Whether a file is a baseline document (rather than a shard file),
+/// decided by its `format` tag — JSONL shards never parse as one document,
+/// so they fall through to shard handling naturally.
+fn is_baseline_file(path: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    Ok(Json::parse(&text)
+        .ok()
+        .and_then(|json| json.get("format").and_then(Json::as_str).map(String::from))
+        .is_some_and(|format| format == BASELINE_FORMAT))
+}
+
+fn cmd_baseline(argv: &[String]) -> Result<RunStatus, String> {
+    let spec = Spec {
+        options: &["out", "format"],
+        switches: &["quiet"],
+        positionals: true,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, BASELINE_USAGE).map_err(|e| e.to_string())?
+    else {
+        return Ok(RunStatus::Clean);
+    };
+    match parsed.positionals() {
+        [action, files @ ..] if action == "record" => baseline_record(&parsed, files),
+        [action, baseline, inputs @ ..] if action == "diff" => {
+            baseline_diff(&parsed, baseline, inputs)
+        }
+        [action] if action == "diff" => {
+            Err("diff needs a baseline file and the later run's input".into())
+        }
+        [] => Err("missing action (try `holes baseline record` or `holes baseline diff`)".into()),
+        [other, ..] => Err(format!(
+            "unknown baseline action `{other}` (expected `record` or `diff`)"
+        )),
+    }
+}
+
+/// `holes baseline record`: fold the shard files and snapshot the merged
+/// campaign's unique-violation set.
+fn baseline_record(parsed: &Parsed, files: &[String]) -> Result<RunStatus, String> {
+    if files.is_empty() {
+        return Err("no shard files given".into());
+    }
+    if parsed.opt("format").is_some() {
+        return Err("`--format` applies to `diff` only (a baseline has one format)".into());
+    }
+    let (campaign, tallies) = fold_shard_files(files)?;
+    let baseline = Baseline::from_tallies(&campaign, &tallies);
+    let rendered = baseline.to_json().to_pretty();
+    let status = RunStatus::from_faulted(tallies.faulted());
+    let Some(path) = parsed.opt("out") else {
+        out!("{rendered}");
+        return Ok(status);
+    };
+    std::fs::write(path, &rendered).map_err(|e| format!("writing `{path}`: {e}"))?;
+    if !parsed.switch("quiet") {
+        outln!(
+            "baseline: {} {}, seeds {}{}: {} unique violations recorded",
+            campaign.personality,
+            campaign.personality.version_names()[campaign.version],
+            campaign.seeds,
+            backend_suffix(campaign.backend),
+            baseline.fingerprints.len(),
+        );
+    }
+    Ok(status)
+}
+
+/// `holes baseline diff`: compare a later run (baseline file or shard
+/// files) against the recorded baseline; new violations gate with exit 3.
+fn baseline_diff(
+    parsed: &Parsed,
+    baseline_path: &str,
+    inputs: &[String],
+) -> Result<RunStatus, String> {
+    if inputs.is_empty() {
+        return Err("diff needs a baseline file and the later run's input".into());
+    }
+    let baseline = load_baseline(baseline_path)?;
+    let run = if inputs.len() == 1 && is_baseline_file(&inputs[0])? {
+        load_baseline(&inputs[0])?
+    } else {
+        let (campaign, tallies) = fold_shard_files(inputs)?;
+        Baseline::from_tallies(&campaign, &tallies)
+    };
+    let diff = baseline.diff(&run).map_err(|e| e.to_string())?;
+    let rendered = match parsed.opt("format").unwrap_or("text") {
+        "text" => diff.render(),
+        "json" => diff.to_json().to_pretty(),
+        "sarif" => diff.sarif().to_pretty(),
+        "junit" => diff.junit(),
+        other => {
+            return Err(format!(
+                "unknown diff format `{other}` (expected `text`, `json`, `sarif`, or `junit`)"
+            ))
+        }
+    };
+    write_out(parsed, &rendered)?;
+    out!("{rendered}");
+    if diff.has_regressions() {
+        eprintln!(
+            "holes: {} new violation(s) not in the baseline; exit status 3",
+            diff.new.len(),
+        );
+        return Ok(RunStatus::Regressed);
+    }
+    Ok(RunStatus::Clean)
+}
+
+// ---------------------------------------------------------------- corpus
+
+const CORPUS_USAGE: &str = "\
+Usage: holes corpus add --corpus FILE (--seed S | SHARD-FILE...) [options]
+       holes corpus replay --corpus FILE [options]
+
+add     Distill known violations into replayable holes.corpus/v1 entries:
+        triage the culprit pass, reduce the program while preserving the
+        violation, and merge the entries into FILE (created if missing; an
+        entry re-added for the same seed, configuration, and site replaces
+        the old one). With --seed, distill the first violation of that
+        seeded program; with shard files, distill up to --limit unique
+        violations of the merged campaign in canonical order.
+
+replay  Re-verify every entry of FILE: regenerate its program from the
+        seed, probe the recorded violation site under the recorded
+        configuration, and confirm the culprit attribution (a pass-level
+        culprit must take the violation with it when disabled; an `isel`
+        culprit must survive a zero-pass pipeline). Exits 3 listing the
+        entries that no longer reproduce — run it first in CI, so known
+        bugs fail fast before fresh seeds spend budget.
+
+Options:
+  --corpus FILE            The corpus to add to / replay (required)
+  --seed S                 Distill from this seeded program (add)
+  --limit N                Unique violations distilled per `add` run from
+                           shard files (default: 5)
+  --personality ccg|lcc    Personality for --seed mode (default: ccg)
+  --compiler-version NAME  Version name for --seed mode (default: trunk)
+  --backend reg|stack      Machine model for --seed mode (default: reg)
+  --level -O2              Level for --seed mode (default: first violating)
+  --cache-dir DIR          Persist compiled artifacts under DIR and reuse
+                           them across invocations (or set HOLES_CACHE_DIR);
+                           distilled entries are mirrored into the store
+  --quiet                  Suppress the per-entry progress lines
+";
+
+fn cmd_corpus(argv: &[String]) -> Result<RunStatus, String> {
+    let spec = Spec {
+        options: &[
+            "corpus",
+            "seed",
+            "limit",
+            "personality",
+            "compiler-version",
+            "backend",
+            "level",
+            "cache-dir",
+        ],
+        switches: &["quiet"],
+        positionals: true,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, CORPUS_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(RunStatus::Clean);
+    };
+    match parsed.positionals() {
+        [action, files @ ..] if action == "add" => corpus_add(&parsed, files),
+        [action] if action == "replay" => corpus_replay(&parsed),
+        [action, stray, ..] if action == "replay" => Err(format!(
+            "unexpected argument `{stray}` after `replay` (the corpus is `--corpus FILE`)"
+        )),
+        [] => Err("missing action (try `holes corpus add` or `holes corpus replay`)".into()),
+        [other, ..] => Err(format!(
+            "unknown corpus action `{other}` (expected `add` or `replay`)"
+        )),
+    }
+}
+
+/// Read a corpus file, or start an empty corpus if the file does not exist
+/// yet (so the first `corpus add` needs no separate init step).
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Corpus::new());
+        }
+        Err(error) => return Err(format!("reading `{path}`: {error}")),
+    };
+    let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    Corpus::from_json(&json).map_err(|e| format!("`{path}`: {e}"))
+}
+
+/// `holes corpus add`: distill violations (from one seed or from shard
+/// files) and merge the entries into the corpus file.
+fn corpus_add(parsed: &Parsed, files: &[String]) -> Result<RunStatus, String> {
+    let corpus_path = parsed
+        .opt("corpus")
+        .ok_or("missing required option `--corpus FILE`")?;
+    let store = cache_store(parsed)?;
+    let mut corpus = load_corpus(corpus_path)?;
+    let entries = match parsed.opt("seed") {
+        Some(raw) => {
+            if !files.is_empty() {
+                return Err(format!(
+                    "cannot combine `--seed` with shard files (`{}`)",
+                    files[0]
+                ));
+            }
+            let seed: u64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for `--seed`: `{raw}`"))?;
+            corpus_distill_seed(parsed, seed)?
+        }
+        None => {
+            if files.is_empty() {
+                return Err("nothing to add: give `--seed S` or shard files".into());
+            }
+            let limit: usize = parsed.opt_parse("limit", 5).map_err(|e| e.to_string())?;
+            corpus_distill_shards(files, limit)?
+        }
+    };
+    let mut added = 0usize;
+    for entry in entries {
+        // Mirror the distilled entry into the artifact store, beside the
+        // compiled artifacts its replay will reuse.
+        if let Some(store) = &store {
+            let subject = Subject::from_seed(entry.seed);
+            store.save_corpus_entry(
+                SubjectKey::derive(entry.seed, &subject.source.text),
+                &entry.config(),
+                entry.conjecture,
+                entry.line,
+                &entry.variable,
+                entry.to_json(),
+            );
+        }
+        if !parsed.switch("quiet") {
+            outln!(
+                "corpus add: {} ({} {} {}{}), culprit {}, {} -> {} statements",
+                entry.fingerprint(),
+                entry.personality,
+                entry.personality.version_names()[entry.version],
+                entry.level.flag(),
+                backend_suffix(entry.backend),
+                entry.culprit.as_deref().unwrap_or("none"),
+                entry.original_statements,
+                entry.reduced_statements,
+            );
+        }
+        if corpus.add(entry) {
+            added += 1;
+        }
+    }
+    let rendered = corpus.to_json().to_pretty();
+    std::fs::write(corpus_path, &rendered).map_err(|e| format!("writing `{corpus_path}`: {e}"))?;
+    if !parsed.switch("quiet") {
+        outln!(
+            "corpus: {} entries in `{corpus_path}` ({added} new)",
+            corpus.entries.len(),
+        );
+    }
+    Ok(RunStatus::Clean)
+}
+
+/// Distill the first violation of one seeded program (the `--seed` mode of
+/// `corpus add`), honoring the personality/version/backend/level options.
+fn corpus_distill_seed(parsed: &Parsed, seed: u64) -> Result<Vec<CorpusEntry>, String> {
+    let personality = personality_of(parsed)?;
+    let version = version_of(parsed, personality)?;
+    let backend = backend_of(parsed)?;
+    let subject = Subject::from_seed(seed);
+    let levels: Vec<OptLevel> = match parsed.opt("level") {
+        Some(raw) => {
+            let level: OptLevel = raw.parse().map_err(|e| format!("{e}"))?;
+            if !personality.levels().contains(&level) {
+                return Err(format!(
+                    "{personality} does not evaluate {level} (levels: {})",
+                    personality
+                        .levels()
+                        .iter()
+                        .map(|l| l.flag())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            vec![level]
+        }
+        None => personality.levels().to_vec(),
+    };
+    let found = levels.iter().find_map(|&level| {
+        let config = CompilerConfig::new(personality, level)
+            .with_version(version)
+            .with_backend(backend);
+        let violation = subject.violations(&config).first().cloned()?;
+        Some((config, violation))
+    });
+    let Some((config, violation)) = found else {
+        return Err(format!(
+            "seed {seed}: no violations under {} {} at {}",
+            personality,
+            personality.version_names()[version],
+            levels
+                .iter()
+                .map(|l| l.flag())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    };
+    Ok(vec![distill(&subject, &config, &violation)])
+}
+
+/// Distill up to `limit` unique violations of the merged campaign the
+/// shard files describe, in canonical merged-record order (the shard-file
+/// mode of `corpus add`).
+fn corpus_distill_shards(files: &[String], limit: usize) -> Result<Vec<CorpusEntry>, String> {
+    let mut shards = Vec::new();
+    for path in files {
+        shards.push(parse_shard_file(path)?);
+    }
+    let campaign = shards[0].spec.clone();
+    let origins: Vec<String> = files
+        .iter()
+        .zip(&shards)
+        .map(|(path, shard)| {
+            format!(
+                "`{path}` (shard {}/{})",
+                shard.spec.shard, shard.spec.shards
+            )
+        })
+        .collect();
+    let result = merge_shards(shards)
+        .map_err(|e: ShardError| format!("{e}; inputs were: {}", origins.join(", ")))?;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut entries = Vec::new();
+    for record in &result.records {
+        if entries.len() >= limit {
+            break;
+        }
+        if !seen.insert(unique_key(record)) {
+            continue;
+        }
+        let subject = Subject::from_seed(record.seed);
+        let config = CompilerConfig::new(campaign.personality, record.level)
+            .with_version(campaign.version)
+            .with_backend(campaign.backend);
+        entries.push(distill(&subject, &config, &record.violation));
+    }
+    Ok(entries)
+}
+
+/// `holes corpus replay`: re-verify every entry in parallel; entries that
+/// no longer reproduce (or whose culprit attribution fails) gate with
+/// exit 3.
+fn corpus_replay(parsed: &Parsed) -> Result<RunStatus, String> {
+    let corpus_path = parsed
+        .opt("corpus")
+        .ok_or("missing required option `--corpus FILE`")?;
+    let _store = cache_store(parsed)?;
+    let text = std::fs::read_to_string(corpus_path)
+        .map_err(|e| format!("reading `{corpus_path}`: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("`{corpus_path}`: {e}"))?;
+    let corpus = Corpus::from_json(&json).map_err(|e| format!("`{corpus_path}`: {e}"))?;
+    if corpus.entries.is_empty() {
+        outln!("corpus replay: `{corpus_path}` has no entries");
+        return Ok(RunStatus::Clean);
+    }
+    let outcomes: Vec<ReplayOutcome> = par_map(&corpus.entries, |_, entry| {
+        entry.replay(&Subject::from_seed(entry.seed))
+    });
+    let mut failed = 0usize;
+    for (entry, outcome) in corpus.entries.iter().zip(&outcomes) {
+        let verdict = if outcome.passed() {
+            "ok"
+        } else if !outcome.reproduced {
+            failed += 1;
+            "FAILED (violation gone)"
+        } else {
+            failed += 1;
+            "FAILED (culprit attribution no longer holds)"
+        };
+        if !parsed.switch("quiet") || !outcome.passed() {
+            outln!(
+                "replay {} ({} {} {}{}): {verdict}",
+                outcome.fingerprint,
+                entry.personality,
+                entry.personality.version_names()[entry.version],
+                entry.level.flag(),
+                backend_suffix(entry.backend),
+            );
+        }
+    }
+    outln!(
+        "corpus replay: {} of {} entries reproduced",
+        corpus.entries.len() - failed,
+        corpus.entries.len(),
+    );
+    if failed > 0 {
+        eprintln!("holes: {failed} corpus entr(y/ies) failed to replay; exit status 3");
+        return Ok(RunStatus::Regressed);
+    }
+    Ok(RunStatus::Clean)
 }
 
 // ---------------------------------------------------------------- triage

@@ -790,3 +790,240 @@ fn unusable_cache_directories_degrade_to_memory_only_with_a_warning() {
         "memory-only run changed results"
     );
 }
+
+#[test]
+fn baseline_record_diff_gates_new_violations_with_exit_3() {
+    let scratch = Scratch::new("baseline");
+    let base_run = scratch.path("base-run.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        "2500..2506",
+        "--out",
+        &base_run,
+        "--quiet",
+    ]);
+    let grown_run = scratch.path("grown-run.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        "2500..2507",
+        "--out",
+        &grown_run,
+        "--quiet",
+    ]);
+
+    // Record the baseline from the unsharded run...
+    let baseline = scratch.path("baseline.json");
+    ok_stdout(&[
+        "baseline", "record", &base_run, "--out", &baseline, "--quiet",
+    ]);
+    // ...and again from three shard files given in scrambled order: the
+    // deterministic-merge seam makes the two recordings byte-identical.
+    let mut shard_files = Vec::new();
+    for shard in 0..3 {
+        let file = scratch.path(&format!("bshard{shard}.json"));
+        ok_stdout(&[
+            "campaign",
+            "--seeds",
+            "2500..2506",
+            "--shards",
+            "3",
+            "--shard",
+            &shard.to_string(),
+            "--out",
+            &file,
+            "--quiet",
+        ]);
+        shard_files.push(file);
+    }
+    let sharded = scratch.path("baseline-sharded.json");
+    let mut record_args = vec!["baseline", "record"];
+    record_args.extend(shard_files.iter().rev().map(String::as_str));
+    record_args.extend(["--out", &sharded, "--quiet"]);
+    ok_stdout(&record_args);
+    assert_eq!(
+        std::fs::read(Path::new(&baseline)).unwrap(),
+        std::fs::read(Path::new(&sharded)).unwrap(),
+        "sharded baseline recording is not byte-identical to the unsharded one"
+    );
+
+    // An identical re-run diffs empty and exits 0.
+    let identity = holes(&["baseline", "diff", &baseline, &base_run]);
+    assert!(identity.status.success(), "identity diff must exit 0");
+    let identity_text = String::from_utf8(identity.stdout).unwrap();
+    assert!(identity_text.contains("new: 0"), "{identity_text}");
+    assert!(identity_text.contains("fixed: 0"), "{identity_text}");
+    assert!(!identity_text.contains("new violations"), "{identity_text}");
+
+    // The grown run gates: exit 3, and the text diff names exactly the
+    // added seed's fingerprints as new.
+    let diff = holes(&["baseline", "diff", &baseline, &grown_run]);
+    assert_eq!(diff.status.code(), Some(3), "grown diff must exit 3");
+    assert!(
+        String::from_utf8_lossy(&diff.stderr).contains("exit status 3"),
+        "stderr must explain the gate"
+    );
+    let text = String::from_utf8(diff.stdout).unwrap();
+    let section = text
+        .split("new violations (not in baseline):\n")
+        .nth(1)
+        .expect("text diff lists the new violations");
+    let new_fps: Vec<&str> = section
+        .lines()
+        .take_while(|line| line.starts_with("  "))
+        .map(str::trim)
+        .collect();
+    assert!(!new_fps.is_empty(), "no new fingerprints listed:\n{text}");
+    assert!(
+        new_fps.iter().all(|fp| fp.starts_with("s2506:")),
+        "a fingerprint outside the added seed was reported new:\n{text}"
+    );
+
+    // The JSON and SARIF renderings name the same fingerprints: in both,
+    // the added seed appears once per new violation and nowhere else.
+    let json = String::from_utf8(ok_stdout_status3(&[
+        "baseline", "diff", "--format", "json", &baseline, &grown_run,
+    ]))
+    .unwrap();
+    assert_eq!(json.matches("s2506:").count(), new_fps.len(), "{json}");
+    for fp in &new_fps {
+        assert!(json.contains(fp), "JSON diff is missing `{fp}`");
+    }
+    let sarif = String::from_utf8(ok_stdout_status3(&[
+        "baseline", "diff", "--format", "sarif", &baseline, &grown_run,
+    ]))
+    .unwrap();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"level\": \"error\""), "{sarif}");
+    assert_eq!(sarif.matches("s2506:").count(), new_fps.len(), "{sarif}");
+    assert!(
+        !sarif.contains("s2500:"),
+        "SARIF diff output must list new violations only"
+    );
+    let junit = String::from_utf8(ok_stdout_status3(&[
+        "baseline", "diff", "--format", "junit", &baseline, &grown_run,
+    ]))
+    .unwrap();
+    assert!(
+        junit.contains(&format!("failures=\"{}\"", new_fps.len())),
+        "{junit}"
+    );
+}
+
+/// Like `ok_stdout`, but for gate commands expected to exit 3.
+fn ok_stdout_status3(args: &[&str]) -> Vec<u8> {
+    let output = holes(args);
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "`holes {}` should gate with exit 3: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output.stdout
+}
+
+#[test]
+fn report_on_an_empty_campaign_renders_an_empty_table_and_valid_formats() {
+    let scratch = Scratch::new("empty-report");
+    let run = scratch.path("empty.json");
+    ok_stdout(&["campaign", "--seeds", "5..5", "--out", &run, "--quiet"]);
+
+    let text = String::from_utf8(ok_stdout(&["report", &run])).unwrap();
+    assert!(text.contains("Table 1"), "{text}");
+    assert!(text.contains("unique        0      0      0"), "{text}");
+    assert!(text.contains("violations at all levels: 0"), "{text}");
+
+    let sarif = String::from_utf8(ok_stdout(&["report", "--format", "sarif", &run])).unwrap();
+    assert!(sarif.contains("\"results\": []"), "{sarif}");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+
+    let junit = String::from_utf8(ok_stdout(&["report", "--format", "junit", &run])).unwrap();
+    assert!(
+        junit.contains("<testsuites tests=\"0\" failures=\"0\">"),
+        "{junit}"
+    );
+
+    // An empty run also records an empty baseline that diffs clean against
+    // itself.
+    let baseline = scratch.path("baseline.json");
+    ok_stdout(&["baseline", "record", &run, "--out", &baseline, "--quiet"]);
+    let diff = String::from_utf8(ok_stdout(&["baseline", "diff", &baseline, &run])).unwrap();
+    assert!(diff.contains("known: 0"), "{diff}");
+    assert!(diff.contains("new: 0"), "{diff}");
+}
+
+#[test]
+fn corpus_add_then_replay_reproduces_and_tampered_entries_gate() {
+    let scratch = Scratch::new("corpus");
+    let corpus = scratch.path("corpus.json");
+
+    // Distill one known violation from a seed and replay it.
+    let added = String::from_utf8(ok_stdout(&[
+        "corpus", "add", "--corpus", &corpus, "--seed", "2500",
+    ]))
+    .unwrap();
+    assert!(added.contains("culprit"), "{added}");
+    assert!(added.contains("(1 new)"), "{added}");
+    let replay = String::from_utf8(ok_stdout(&["corpus", "replay", "--corpus", &corpus])).unwrap();
+    assert!(
+        replay.contains("corpus replay: 1 of 1 entries reproduced"),
+        "{replay}"
+    );
+
+    // Adding the same seed again dedupes instead of growing the corpus.
+    let again = String::from_utf8(ok_stdout(&[
+        "corpus", "add", "--corpus", &corpus, "--seed", "2500",
+    ]))
+    .unwrap();
+    assert!(again.contains("(0 new)"), "{again}");
+
+    // Retargeting an entry at a different seed breaks replay: the gate
+    // fires with exit 3 and says which entry died.
+    let text = std::fs::read_to_string(Path::new(&corpus)).unwrap();
+    let tampered = scratch.path("tampered.json");
+    std::fs::write(
+        Path::new(&tampered),
+        text.replace("\"seed\": 2500", "\"seed\": 2501"),
+    )
+    .unwrap();
+    let gate = holes(&["corpus", "replay", "--corpus", &tampered]);
+    assert_eq!(gate.status.code(), Some(3), "tampered replay must exit 3");
+    let gate_text = String::from_utf8(gate.stdout).unwrap();
+    assert!(gate_text.contains("FAILED (violation gone)"), "{gate_text}");
+    assert!(
+        String::from_utf8_lossy(&gate.stderr).contains("exit status 3"),
+        "stderr must explain the gate"
+    );
+
+    // Shard-file mode: distill the first violations of a campaign and
+    // replay them in one go.
+    let run = scratch.path("run.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        "2500..2502",
+        "--out",
+        &run,
+        "--quiet",
+    ]);
+    let from_shards = scratch.path("from-shards.json");
+    let added = String::from_utf8(ok_stdout(&[
+        "corpus",
+        "add",
+        "--corpus",
+        &from_shards,
+        "--limit",
+        "2",
+        &run,
+    ]))
+    .unwrap();
+    assert!(added.contains("(2 new)"), "{added}");
+    let replay =
+        String::from_utf8(ok_stdout(&["corpus", "replay", "--corpus", &from_shards])).unwrap();
+    assert!(
+        replay.contains("corpus replay: 2 of 2 entries reproduced"),
+        "{replay}"
+    );
+}

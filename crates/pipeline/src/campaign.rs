@@ -181,6 +181,16 @@ impl CampaignTallies {
         venn
     }
 
+    /// The unique violations folded in so far, in ascending [`UniqueKey`]
+    /// order, each with the set of levels it reproduces at — the seam the
+    /// baseline recorder ([`crate::baseline`]) and the SARIF/JUnit report
+    /// emitters ([`crate::report::sarif`], [`crate::report::junit`]) read
+    /// fingerprints from. Ascending key order makes every consumer
+    /// deterministic by construction, independent of fold order.
+    pub fn unique_violations(&self) -> impl Iterator<Item = (&UniqueKey, &BTreeSet<OptLevel>)> {
+        self.per_violation.iter()
+    }
+
     /// Violations that occur at all tested levels.
     pub fn at_all_levels(&self) -> usize {
         self.per_violation

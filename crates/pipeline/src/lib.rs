@@ -17,7 +17,11 @@
 //!   cross-check, as in §5.3 (Table 3),
 //! * [`regression`] reruns pools across compiler versions for the §5.4
 //!   regression study (Table 4, Figure 4) and the §2 quantitative study
-//!   (Figure 1).
+//!   (Figure 1),
+//! * [`baseline`] snapshots a run's unique-violation set and diffs later
+//!   runs against it (known/new/fixed) — the §5.4 workflow as a CI gate,
+//! * [`corpus`] persists distilled, replayable records of known violations
+//!   (`holes.corpus/v1`) for fail-fast regression suites.
 //!
 //! # The evaluation engine: caching and parallelism
 //!
@@ -74,7 +78,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod baseline;
 pub mod campaign;
+pub mod corpus;
 pub mod fault;
 pub mod reduce;
 pub mod regression;

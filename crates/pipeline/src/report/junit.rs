@@ -1,0 +1,171 @@
+//! JUnit XML emission: render a set of per-violation verdicts as the
+//! `testsuites` XML dialect every CI test-summary UI understands.
+//!
+//! The mapping (used by [`crate::baseline::BaselineDiff::junit`]) treats
+//! each violation fingerprint as one test case: *known* violations pass
+//! (the gate tolerates them), *new* ones fail (they gate), and *fixed*
+//! ones are skipped (gone, kept visible for bookkeeping). The XML is
+//! hand-rolled like the rest of the wire formats and fully deterministic.
+
+/// The verdict of one test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The case passed (a known, tolerated violation).
+    Passed,
+    /// The case failed with a message (a gating regression).
+    Failed {
+        /// Message shown by the CI UI for the failure.
+        message: String,
+    },
+    /// The case was skipped with a message (a fixed violation).
+    Skipped {
+        /// Message shown by the CI UI for the skip.
+        message: String,
+    },
+}
+
+/// One JUnit test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// Grouping key shown as the case's class (e.g. `holes.C1`).
+    pub classname: String,
+    /// The case name — by convention a canonical violation fingerprint.
+    pub name: String,
+    /// The verdict.
+    pub outcome: CaseOutcome,
+}
+
+/// Escape a string for use in XML text and attribute values.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a complete JUnit document with one `testsuite` named `suite`
+/// holding the given cases, in the order given. Deterministic: equal
+/// inputs produce equal bytes, and the output ends with a newline.
+pub fn junit_xml(suite: &str, cases: &[TestCase]) -> String {
+    let failures = cases
+        .iter()
+        .filter(|c| matches!(c.outcome, CaseOutcome::Failed { .. }))
+        .count();
+    let skipped = cases
+        .iter()
+        .filter(|c| matches!(c.outcome, CaseOutcome::Skipped { .. }))
+        .count();
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&format!(
+        "<testsuites tests=\"{total}\" failures=\"{failures}\">\n\
+         \u{20} <testsuite name=\"{name}\" tests=\"{total}\" failures=\"{failures}\" \
+         skipped=\"{skipped}\">\n",
+        total = cases.len(),
+        name = xml_escape(suite),
+    ));
+    for case in cases {
+        let open = format!(
+            "    <testcase classname=\"{}\" name=\"{}\"",
+            xml_escape(&case.classname),
+            xml_escape(&case.name),
+        );
+        match &case.outcome {
+            CaseOutcome::Passed => {
+                out.push_str(&open);
+                out.push_str("/>\n");
+            }
+            CaseOutcome::Failed { message } => {
+                out.push_str(&open);
+                out.push_str(&format!(
+                    ">\n      <failure message=\"{}\"/>\n    </testcase>\n",
+                    xml_escape(message),
+                ));
+            }
+            CaseOutcome::Skipped { message } => {
+                out.push_str(&open);
+                out.push_str(&format!(
+                    ">\n      <skipped message=\"{}\"/>\n    </testcase>\n",
+                    xml_escape(message),
+                ));
+            }
+        }
+    }
+    out.push_str("  </testsuite>\n</testsuites>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_structure_cover_all_outcomes() {
+        let xml = junit_xml(
+            "baseline-diff",
+            &[
+                TestCase {
+                    classname: "holes.C1".to_owned(),
+                    name: "s1:C1:L5:a".to_owned(),
+                    outcome: CaseOutcome::Passed,
+                },
+                TestCase {
+                    classname: "holes.C3".to_owned(),
+                    name: "s10:C3:L2:c".to_owned(),
+                    outcome: CaseOutcome::Failed {
+                        message: "new violation".to_owned(),
+                    },
+                },
+                TestCase {
+                    classname: "holes.C2".to_owned(),
+                    name: "s2:C2:L6:b".to_owned(),
+                    outcome: CaseOutcome::Skipped {
+                        message: "fixed".to_owned(),
+                    },
+                },
+            ],
+        );
+        assert!(xml.starts_with("<?xml version=\"1.0\""));
+        assert!(xml.contains("<testsuites tests=\"3\" failures=\"1\">"));
+        assert!(xml.contains("name=\"baseline-diff\" tests=\"3\" failures=\"1\" skipped=\"1\""));
+        assert!(xml.contains("<testcase classname=\"holes.C1\" name=\"s1:C1:L5:a\"/>"));
+        assert!(xml.contains("<failure message=\"new violation\"/>"));
+        assert!(xml.contains("<skipped message=\"fixed\"/>"));
+        assert!(xml.ends_with("</testsuites>\n"));
+    }
+
+    #[test]
+    fn escaping_covers_the_five_xml_specials() {
+        assert_eq!(
+            xml_escape("a&b<c>d\"e'f"),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f"
+        );
+        let xml = junit_xml(
+            "a<b>",
+            &[TestCase {
+                classname: "x&y".to_owned(),
+                name: "\"quoted\"".to_owned(),
+                outcome: CaseOutcome::Failed {
+                    message: "it's <broken>".to_owned(),
+                },
+            }],
+        );
+        assert!(xml.contains("name=\"a&lt;b&gt;\""));
+        assert!(xml.contains("classname=\"x&amp;y\""));
+        assert!(xml.contains("message=\"it&apos;s &lt;broken&gt;\""));
+    }
+
+    #[test]
+    fn empty_suite_renders_zero_counts() {
+        let xml = junit_xml("empty", &[]);
+        assert!(xml.contains("<testsuites tests=\"0\" failures=\"0\">"));
+        assert!(xml.contains("skipped=\"0\""));
+    }
+}

@@ -8,6 +8,14 @@
 //! * whether the issue lies in the **compiler or the debugger**, by repeating
 //!   the inspection in the *other* debugger personality, exactly as the paper
 //!   validates violations "also in a different debugger" (§4.2).
+//!
+//! The [`sarif`] and [`junit`] submodules render violation sets in the two
+//! CI-native interchange formats — SARIF 2.1.0 for code-scanning uploads
+//! and JUnit XML for test-summary UIs — consumed by `holes report --format`
+//! and `holes baseline diff --format` (see [`crate::baseline`]).
+
+pub mod junit;
+pub mod sarif;
 
 use std::collections::{BTreeMap, BTreeSet};
 

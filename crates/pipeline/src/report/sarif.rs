@@ -1,0 +1,183 @@
+//! SARIF 2.1.0 emission: render a set of violation results as a Static
+//! Analysis Results Interchange Format log, the format GitHub code
+//! scanning (and most SARIF-aware CI viewers) ingest directly.
+//!
+//! The emitter is deliberately small and deterministic: one `run` by the
+//! `holes` driver, one rule per conjecture (C1–C3), and one result per
+//! violation carrying the generator seed's virtual source file, the
+//! violating line, and the canonical fingerprint under the
+//! `partialFingerprints` key `holes/v1` — the same spelling
+//! [`crate::baseline::ViolationFingerprint`] uses, so scanning UIs dedup
+//! results across runs exactly like `holes baseline diff` does.
+
+use holes_core::json::Json;
+use holes_core::Conjecture;
+
+/// One SARIF result: a single violation rendered for a code-scanning UI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SarifResult {
+    /// The violated conjecture; becomes the result's `ruleId`.
+    pub rule: Conjecture,
+    /// SARIF severity (`"error"` for regressions, `"warning"` for report
+    /// listings).
+    pub level: &'static str,
+    /// Human-readable message shown by the UI.
+    pub message: String,
+    /// Virtual artifact URI of the exposing program (e.g.
+    /// `seed-12.minic`).
+    pub uri: String,
+    /// The violating source line (1-based).
+    pub line: u32,
+    /// Canonical fingerprint, stored under `partialFingerprints` as
+    /// `holes/v1`.
+    pub fingerprint: String,
+}
+
+/// Short description of a conjecture, used as the SARIF rule description.
+fn rule_description(conjecture: Conjecture) -> &'static str {
+    match conjecture {
+        Conjecture::C1 => "a variable in scope at an unoptimized breakpoint must stay visible",
+        Conjecture::C2 => "a variable's value must not appear optimized out when it is live",
+        Conjecture::C3 => "a variable that left scope must not reappear",
+    }
+}
+
+/// Assemble a complete SARIF 2.1.0 log with a single `holes` run holding
+/// the given results, in the order given. The output is deterministic:
+/// equal inputs produce equal bytes.
+pub fn sarif_log(results: &[SarifResult]) -> Json {
+    let rules = Conjecture::ALL
+        .iter()
+        .map(|conjecture| {
+            Json::Obj(vec![
+                ("id".to_owned(), Json::str(conjecture.to_string())),
+                (
+                    "shortDescription".to_owned(),
+                    Json::Obj(vec![(
+                        "text".to_owned(),
+                        Json::str(rule_description(*conjecture)),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+    let rendered = results
+        .iter()
+        .map(|result| {
+            Json::Obj(vec![
+                ("ruleId".to_owned(), Json::str(result.rule.to_string())),
+                ("level".to_owned(), Json::str(result.level)),
+                (
+                    "message".to_owned(),
+                    Json::Obj(vec![("text".to_owned(), Json::str(&result.message))]),
+                ),
+                (
+                    "locations".to_owned(),
+                    Json::Arr(vec![Json::Obj(vec![(
+                        "physicalLocation".to_owned(),
+                        Json::Obj(vec![
+                            (
+                                "artifactLocation".to_owned(),
+                                Json::Obj(vec![("uri".to_owned(), Json::str(&result.uri))]),
+                            ),
+                            (
+                                "region".to_owned(),
+                                Json::Obj(vec![(
+                                    "startLine".to_owned(),
+                                    Json::from_u64(u64::from(result.line)),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+                (
+                    "partialFingerprints".to_owned(),
+                    Json::Obj(vec![(
+                        "holes/v1".to_owned(),
+                        Json::str(&result.fingerprint),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "$schema".to_owned(),
+            Json::str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+            ),
+        ),
+        ("version".to_owned(), Json::str("2.1.0")),
+        (
+            "runs".to_owned(),
+            Json::Arr(vec![Json::Obj(vec![
+                (
+                    "tool".to_owned(),
+                    Json::Obj(vec![(
+                        "driver".to_owned(),
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::str("holes")),
+                            (
+                                "informationUri".to_owned(),
+                                Json::str("https://github.com/holes/holes"),
+                            ),
+                            ("rules".to_owned(), Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".to_owned(), Json::Arr(rendered)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_still_carries_schema_rules_and_results_array() {
+        let log = sarif_log(&[]);
+        let runs = log.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        let results = runs[0].get("results").and_then(Json::as_arr).unwrap();
+        assert!(results.is_empty());
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), 3);
+    }
+
+    #[test]
+    fn results_carry_location_and_fingerprint() {
+        let log = sarif_log(&[SarifResult {
+            rule: Conjecture::C2,
+            level: "error",
+            message: "it broke".to_owned(),
+            uri: "seed-7.minic".to_owned(),
+            line: 4,
+            fingerprint: "s7:C2:L4:g0".to_owned(),
+        }]);
+        let text = log.to_pretty();
+        assert!(text.contains("\"ruleId\": \"C2\""));
+        assert!(text.contains("\"uri\": \"seed-7.minic\""));
+        assert!(text.contains("\"startLine\": 4"));
+        assert!(text.contains("\"holes/v1\": \"s7:C2:L4:g0\""));
+        // Equal inputs produce equal bytes.
+        assert_eq!(
+            text,
+            sarif_log(&[SarifResult {
+                rule: Conjecture::C2,
+                level: "error",
+                message: "it broke".to_owned(),
+                uri: "seed-7.minic".to_owned(),
+                line: 4,
+                fingerprint: "s7:C2:L4:g0".to_owned(),
+            }])
+            .to_pretty()
+        );
+    }
+}

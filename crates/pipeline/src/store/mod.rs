@@ -60,7 +60,7 @@ use io::{FailingIo, OsIo, StoreIo};
 
 use holes_compiler::{CompilerConfig, Executable, Fingerprint};
 use holes_core::json::Json;
-use holes_core::Violation;
+use holes_core::{Conjecture, Violation};
 use holes_debugger::{DebugTrace, DebuggerKind};
 
 /// The identifying `format` value of every artifact file.
@@ -523,6 +523,47 @@ impl ArtifactStore {
                 None
             }
         }
+    }
+
+    /// The artifact kind of a corpus entry at a violation site: one kind
+    /// per `(conjecture, line, variable)`, so several distilled violations
+    /// of the same `(subject, configuration)` coexist side by side.
+    fn corpus_kind(conjecture: Conjecture, line: u32, variable: &str) -> String {
+        format!("corpus-{conjecture}-L{line}-{variable}")
+    }
+
+    /// Load the distilled corpus entry cached for `(subject, config,
+    /// site)`, if present and intact. The payload is the entry object of
+    /// the `holes.corpus/v1` format.
+    pub fn load_corpus_entry(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        conjecture: Conjecture,
+        line: u32,
+        variable: &str,
+    ) -> Option<Json> {
+        let kind = ArtifactStore::corpus_kind(conjecture, line, variable);
+        let payload = self.load(subject, config.fingerprint(), &kind)?;
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        Some(payload)
+    }
+
+    /// Persist a distilled corpus entry beside the subject's compiled
+    /// artifacts, under the same envelope, retry, and quarantine protocol
+    /// (the write is atomic-rename; a corrupted file is quarantined and
+    /// recomputed on the next `corpus add`, never trusted).
+    pub fn save_corpus_entry(
+        &self,
+        subject: SubjectKey,
+        config: &CompilerConfig,
+        conjecture: Conjecture,
+        line: u32,
+        variable: &str,
+        payload: Json,
+    ) {
+        let kind = ArtifactStore::corpus_kind(conjecture, line, variable);
+        self.save(subject, config.fingerprint(), &kind, payload);
     }
 
     /// Garbage-collect the store down to at most `max_bytes` of artifact

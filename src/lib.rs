@@ -22,8 +22,9 @@
 //!
 //! The `holes` binary (`crates/cli`) drives the whole §4 pipeline from a
 //! shell — `holes help` lists the `generate`, `campaign`, `report`,
-//! `triage`, and `reduce` subcommands; the top-level `README.md` has a
-//! copy-pasteable quickstart.
+//! `triage`, `reduce`, `baseline`, `corpus`, and `cache` subcommands; the
+//! top-level `README.md` has a copy-pasteable quickstart and a
+//! "Regression gating in CI" recipe for the `baseline`/`corpus` gates.
 //!
 //! The `examples/` directory exercises the same workflow as library code
 //! (all run with `cargo run --release --example <name>`):

@@ -178,3 +178,64 @@ fn lsr_case_study_reproduces() {
         "the trunk-star profile should fix the O2 LSR violation: {after_fix:?}"
     );
 }
+
+#[test]
+fn corpus_entries_distill_and_replay_deterministically_on_both_backends() {
+    use holes_compiler::BackendKind;
+    use holes_core::SiteQuery;
+    use holes_pipeline::corpus::distill;
+
+    for backend in [BackendKind::Reg, BackendKind::Stack] {
+        // Find a violating site under this backend.
+        let found = (2500u64..2520).find_map(|seed| {
+            let subject = Subject::from_seed(seed);
+            Personality::Ccg.levels().iter().find_map(|&level| {
+                let config = CompilerConfig::new(Personality::Ccg, level).with_backend(backend);
+                let violation = subject.violations(&config).first().cloned()?;
+                Some((seed, config, violation))
+            })
+        });
+        let (seed, config, violation) =
+            found.unwrap_or_else(|| panic!("no violation found under {}", backend.name()));
+
+        let subject = Subject::from_seed(seed);
+        let entry = distill(&subject, &config, &violation);
+        assert_eq!(entry.backend, backend);
+        assert!(
+            entry.reduced_statements <= entry.original_statements,
+            "reduction grew the program"
+        );
+
+        // Replay re-verifies, and a second replay over a freshly built
+        // subject is outcome-identical (determinism across processes).
+        let first = entry.replay(&subject);
+        assert!(
+            first.passed(),
+            "freshly distilled entry failed replay under {}: {first:?}",
+            backend.name()
+        );
+        let again = entry.replay(&Subject::from_seed(entry.seed));
+        assert_eq!(first, again, "replay is nondeterministic");
+
+        // Culprit semantics hold at the recorded site: disabling a
+        // pass-level culprit makes the violation vanish, while a
+        // codegen-level ("isel") culprit survives an empty pass pipeline.
+        let site = SiteQuery {
+            conjecture: entry.conjecture,
+            line: Some(entry.line),
+            variable: &entry.variable,
+            function: None,
+        };
+        match entry.culprit.as_deref() {
+            Some("isel") => assert!(
+                subject.query(&entry.config().with_pass_budget(0), &site),
+                "isel-attributed violation vanished without any passes"
+            ),
+            Some(culprit) => assert!(
+                !subject.query(&entry.config().with_disabled_pass(culprit), &site),
+                "violation survived disabling its culprit `{culprit}`"
+            ),
+            None => {}
+        }
+    }
+}

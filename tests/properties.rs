@@ -525,4 +525,133 @@ proptest! {
         }
         let _ = std::fs::remove_dir_all(&root);
     }
+
+    /// Diffing a run's recorded baseline against itself is always empty:
+    /// every fingerprint is known, nothing is new or fixed, and the gate
+    /// stays silent — for arbitrary ranges and both personalities.
+    #[test]
+    fn baseline_diff_against_itself_is_always_empty(
+        start in 0u64..20_000,
+        len in 0u64..4,
+        personality_index in 0usize..2,
+    ) {
+        use holes_pipeline::baseline::Baseline;
+        use holes_pipeline::shard::{run_shard, CampaignSpec};
+        use holes_progen::SeedRange;
+
+        let personality = [Personality::Ccg, Personality::Lcc][personality_index];
+        let spec = CampaignSpec::new(
+            personality,
+            personality.trunk(),
+            SeedRange::new(start, start + len),
+        );
+        let shard = run_shard(&spec).unwrap();
+        let baseline = Baseline::from_tallies(&spec, &shard.result.tallies());
+        let diff = baseline.diff(&baseline).unwrap();
+        prop_assert_eq!(diff.known.len(), baseline.fingerprints.len());
+        prop_assert!(diff.new.is_empty());
+        prop_assert!(diff.fixed.is_empty());
+        prop_assert!(!diff.has_regressions());
+        prop_assert!(diff.render().contains("new: 0"));
+        // And the document round-trips losslessly through its wire format.
+        let text = baseline.to_json().to_pretty();
+        let json = holes_core::json::Json::parse(&text).unwrap();
+        prop_assert_eq!(Baseline::from_json(&json).unwrap().to_json().to_pretty(), text);
+    }
+
+    /// Recording a baseline from K shards folded in reverse order yields
+    /// bytes identical to the unsharded recording, for arbitrary small
+    /// ranges and shard counts — the CI property that lets sharded fleets
+    /// and single-host runs share one baseline file.
+    #[test]
+    fn sharded_baseline_recording_is_byte_identical_for_any_sharding(
+        start in 0u64..20_000,
+        len in 1u64..4,
+        shards in 1u64..4,
+    ) {
+        use holes_pipeline::baseline::Baseline;
+        use holes_pipeline::campaign::CampaignTallies;
+        use holes_pipeline::shard::{run_shard, CampaignSpec};
+        use holes_progen::SeedRange;
+
+        let range = SeedRange::new(start, start + len);
+        let spec = CampaignSpec::new(Personality::Ccg, Personality::Ccg.trunk(), range);
+        let monolithic = run_shard(&spec).unwrap();
+        let reference =
+            Baseline::from_tallies(&spec, &monolithic.result.tallies()).to_json().to_pretty();
+
+        let mut tallies =
+            CampaignTallies::new(spec.personality.levels().to_vec(), len as usize);
+        for index in (0..shards).rev() {
+            let shard = run_shard(&spec.clone().with_shard(shards, index)).unwrap();
+            for record in &shard.result.records {
+                tallies.add(record);
+            }
+        }
+        let sharded = Baseline::from_tallies(&spec, &tallies).to_json().to_pretty();
+        prop_assert_eq!(sharded, reference, "K={} changed the recorded bytes", shards);
+    }
+
+    /// Corpus documents round-trip losslessly for arbitrary (valid) entry
+    /// contents, and flipping any single byte of the serialized form never
+    /// panics the parser: it either surfaces a named error or yields a
+    /// different-but-valid corpus that itself round-trips.
+    #[test]
+    fn corpus_documents_round_trip_and_survive_byte_flips(
+        seed in any::<u64>(),
+        version in 0usize..6,
+        level_index in 0usize..6,
+        personality_index in 0usize..2,
+        backend_index in 0usize..2,
+        conjecture_index in 0usize..3,
+        line in 1u32..500,
+        variable_index in 0usize..6,
+        statements in 1usize..200,
+        reduced in 1usize..200,
+        flip in 0usize..4096,
+        replacement in any::<u8>(),
+    ) {
+        use holes_compiler::BackendKind;
+        use holes_core::json::Json;
+        use holes_core::{Conjecture, Observed};
+        use holes_pipeline::corpus::{Corpus, CorpusEntry};
+
+        let personality = [Personality::Ccg, Personality::Lcc][personality_index];
+        let mut corpus = Corpus::new();
+        corpus.add(CorpusEntry {
+            seed,
+            personality,
+            version,
+            level: personality.levels()[level_index % personality.levels().len()],
+            backend: [BackendKind::Reg, BackendKind::Stack][backend_index],
+            conjecture: Conjecture::ALL[conjecture_index],
+            line,
+            variable: ["a", "j17", "v_2", "tmp0", "g", "x9"][variable_index].to_owned(),
+            observed: Observed::OptimizedOut,
+            culprit: Some("tree-ccp".to_owned()),
+            original_statements: statements.max(reduced),
+            reduced_statements: reduced,
+            reduced_source: "int a = 0;\n".to_owned(),
+        });
+        let text = corpus.to_json().to_pretty();
+
+        // Lossless round trip of the untampered document.
+        let parsed = Corpus::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(parsed.to_json().to_pretty(), text.clone());
+
+        // A single flipped byte never panics; when the flip happens to
+        // leave a parseable document, that document round-trips too.
+        let mut bytes = text.into_bytes();
+        let index = flip % bytes.len();
+        bytes[index] = replacement;
+        if let Ok(tampered) = String::from_utf8(bytes) {
+            if let Ok(json) = Json::parse(&tampered) {
+                if let Ok(reread) = Corpus::from_json(&json) {
+                    let round = reread.to_json().to_pretty();
+                    let again = Corpus::from_json(&Json::parse(&round).unwrap()).unwrap();
+                    prop_assert_eq!(again.to_json().to_pretty(), round);
+                }
+            }
+        }
+    }
 }
