@@ -19,6 +19,14 @@
 //! * `corpus` — `add` distilled, replayable records of known violations,
 //!   `replay` them all (fail fast on known bugs before spending budget).
 //!
+//! And the distributed campaign service:
+//!
+//! * `serve` — coordinate a campaign as shard leases handed to TCP workers,
+//!   with heartbeat-deadline revocation, bounded retries plus quarantine, a
+//!   crash journal that makes restarts free, and a merged stream
+//!   byte-identical to the single-process unsharded run;
+//! * `work` — a preemptible worker: lease, evaluate resumably, submit.
+//!
 //! Sharding contract: `K` runs of `campaign --seeds A..B --shards K --shard
 //! I`, merged by `report`, produce byte-identical output to the single
 //! unsharded run — the seam that lets campaigns fan out across machines
@@ -41,6 +49,7 @@ use holes::pipeline::reduce::reduce_with_policy;
 use holes::pipeline::report::build_report_from_seeds;
 use holes::pipeline::report::junit::{junit_xml, CaseOutcome, TestCase};
 use holes::pipeline::report::sarif::{sarif_log, SarifResult};
+use holes::pipeline::serve::{run_worker, Coordinator, LeaseConfig, ServeConfig, WorkerConfig};
 use holes::pipeline::shard::{
     merge_shards, run_shard_with_policy, validate_shard_specs, CampaignShard, CampaignSpec,
     ShardError,
@@ -99,6 +108,8 @@ Commands:
   reduce     Shrink one violating program, preserving violation + culprit
   baseline   Record a run's unique violations; diff later runs (CI gate)
   corpus     Distill known violations for replay; replay them (fail fast)
+  serve      Coordinate a distributed campaign over lease-based workers
+  work       Run a worker: lease shards from a coordinator, submit results
   cache      Manage the persistent artifact store (gc)
   help       Show this message
 
@@ -165,6 +176,8 @@ fn run(argv: &[String]) -> Result<RunStatus, String> {
         "reduce" => cmd_reduce(rest),
         "baseline" => cmd_baseline(rest),
         "corpus" => cmd_corpus(rest),
+        "serve" => cmd_serve(rest),
+        "work" => cmd_work(rest),
         "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             out!("{USAGE}");
@@ -228,7 +241,7 @@ fn policy_of(parsed: &Parsed) -> Result<FaultPolicy, String> {
         ),
         None => None,
     };
-    Ok(FaultPolicy::from_env(fuel_limit))
+    FaultPolicy::from_env(fuel_limit)
 }
 
 fn version_of(parsed: &Parsed, personality: Personality) -> Result<usize, String> {
@@ -361,6 +374,11 @@ Options:
                            byte-identical to an uninterrupted run
   --fuel-limit N           Contain subjects whose machines exceed N steps
                            as fault records instead of truncating silently
+  --corpus FILE            Prioritize known violations: replay the
+                           holes.corpus/v1 entries of FILE first (progress
+                           on stderr) and fail fast with exit 3 if any no
+                           longer reproduces, before fresh seeds spend
+                           budget
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
   --stats                  Report cache/store statistics on stderr
@@ -383,6 +401,7 @@ fn cmd_campaign(argv: &[String]) -> Result<RunStatus, String> {
             "out",
             "cache-dir",
             "fuel-limit",
+            "corpus",
         ],
         switches: &["quiet", "jsonl", "stats", "resume"],
         positionals: false,
@@ -393,6 +412,9 @@ fn cmd_campaign(argv: &[String]) -> Result<RunStatus, String> {
     };
     let store = cache_store(&parsed)?;
     let policy = policy_of(&parsed)?;
+    if let Some(regressed) = corpus_prepass(&parsed)? {
+        return Ok(regressed);
+    }
     let personality = personality_of(&parsed)?;
     let campaign = CampaignSpec::new(
         personality,
@@ -1233,23 +1255,26 @@ fn corpus_distill_shards(files: &[String], limit: usize) -> Result<Vec<CorpusEnt
 /// `holes corpus replay`: re-verify every entry in parallel; entries that
 /// no longer reproduce (or whose culprit attribution fails) gate with
 /// exit 3.
-fn corpus_replay(parsed: &Parsed) -> Result<RunStatus, String> {
-    let corpus_path = parsed
-        .opt("corpus")
-        .ok_or("missing required option `--corpus FILE`")?;
-    let _store = cache_store(parsed)?;
+/// The outcome of replaying a whole corpus: rendered per-entry verdict
+/// lines (with pass flags, so callers can filter under `--quiet`) and the
+/// failure tally. Shared by `holes corpus replay` and the `--corpus`
+/// seed-prioritization pre-pass of `campaign` and `serve`.
+struct CorpusReplay {
+    lines: Vec<(String, bool)>,
+    total: usize,
+    failed: usize,
+}
+
+fn replay_corpus(corpus_path: &str) -> Result<CorpusReplay, String> {
     let text = std::fs::read_to_string(corpus_path)
         .map_err(|e| format!("reading `{corpus_path}`: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("`{corpus_path}`: {e}"))?;
     let corpus = Corpus::from_json(&json).map_err(|e| format!("`{corpus_path}`: {e}"))?;
-    if corpus.entries.is_empty() {
-        outln!("corpus replay: `{corpus_path}` has no entries");
-        return Ok(RunStatus::Clean);
-    }
     let outcomes: Vec<ReplayOutcome> = par_map(&corpus.entries, |_, entry| {
         entry.replay(&Subject::from_seed(entry.seed))
     });
     let mut failed = 0usize;
+    let mut lines = Vec::with_capacity(corpus.entries.len());
     for (entry, outcome) in corpus.entries.iter().zip(&outcomes) {
         let verdict = if outcome.passed() {
             "ok"
@@ -1260,25 +1285,366 @@ fn corpus_replay(parsed: &Parsed) -> Result<RunStatus, String> {
             failed += 1;
             "FAILED (culprit attribution no longer holds)"
         };
-        if !parsed.switch("quiet") || !outcome.passed() {
-            outln!(
+        lines.push((
+            format!(
                 "replay {} ({} {} {}{}): {verdict}",
                 outcome.fingerprint,
                 entry.personality,
                 entry.personality.version_names()[entry.version],
                 entry.level.flag(),
                 backend_suffix(entry.backend),
-            );
+            ),
+            outcome.passed(),
+        ));
+    }
+    Ok(CorpusReplay {
+        lines,
+        total: corpus.entries.len(),
+        failed,
+    })
+}
+
+fn corpus_replay(parsed: &Parsed) -> Result<RunStatus, String> {
+    let corpus_path = parsed
+        .opt("corpus")
+        .ok_or("missing required option `--corpus FILE`")?;
+    let _store = cache_store(parsed)?;
+    let replay = replay_corpus(corpus_path)?;
+    if replay.total == 0 {
+        outln!("corpus replay: `{corpus_path}` has no entries");
+        return Ok(RunStatus::Clean);
+    }
+    for (line, passed) in &replay.lines {
+        if !parsed.switch("quiet") || !passed {
+            outln!("{line}");
         }
     }
     outln!(
         "corpus replay: {} of {} entries reproduced",
-        corpus.entries.len() - failed,
-        corpus.entries.len(),
+        replay.total - replay.failed,
+        replay.total,
     );
-    if failed > 0 {
-        eprintln!("holes: {failed} corpus entr(y/ies) failed to replay; exit status 3");
+    if replay.failed > 0 {
+        eprintln!(
+            "holes: {} corpus entr(y/ies) failed to replay; exit status 3",
+            replay.failed
+        );
         return Ok(RunStatus::Regressed);
+    }
+    Ok(RunStatus::Clean)
+}
+
+/// Seed prioritization: when a campaign (or serve) run names a `--corpus`,
+/// replay the known violations *first* and fail fast — exit 3 before any
+/// fresh seed (or shard lease) spends budget — if one no longer
+/// reproduces. All replay output goes to stderr so the campaign's own
+/// stdout (shard JSON, merged stream) stays byte-identical with and
+/// without the pre-pass.
+fn corpus_prepass(parsed: &Parsed) -> Result<Option<RunStatus>, String> {
+    let Some(corpus_path) = parsed.opt("corpus") else {
+        return Ok(None);
+    };
+    let replay = replay_corpus(corpus_path)?;
+    if replay.total == 0 {
+        eprintln!("holes: corpus `{corpus_path}` has no entries; continuing");
+        return Ok(None);
+    }
+    for (line, passed) in &replay.lines {
+        if !parsed.switch("quiet") || !passed {
+            eprintln!("{line}");
+        }
+    }
+    eprintln!(
+        "corpus replay: {} of {} entries reproduced",
+        replay.total - replay.failed,
+        replay.total,
+    );
+    if replay.failed > 0 {
+        eprintln!(
+            "holes: {} known violation(s) no longer reproduce; failing fast before \
+             spending campaign budget; exit status 3",
+            replay.failed
+        );
+        return Ok(Some(RunStatus::Regressed));
+    }
+    Ok(None)
+}
+
+// ----------------------------------------------------------- serve/work
+
+/// SIGTERM → drain. The handler only stores to an atomic the coordinator
+/// loop polls; `signal(2)` is declared directly (typed function-pointer
+/// handler, no cast) so no foreign crate is needed.
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::AtomicBool;
+
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        DRAIN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    use std::sync::atomic::AtomicBool;
+
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
+const SERVE_USAGE: &str = "\
+Usage: holes serve --seeds A..B --listen ADDR --journal FILE [options]
+
+Coordinate a distributed campaign: decompose the seed range into shard
+leases, hand them to `holes work` workers over TCP (holes.rpc/v1), and
+merge the accepted shards into a holes.campaign-jsonl/v1 stream that is
+byte-identical to a single-process unsharded run of the same range.
+
+Leases carry heartbeat deadlines: a worker that dies or is preempted
+loses its lease after 4 missed beats, the shard requeues, and any late
+result from the revoked lease is discarded — no subject is ever
+double-counted. Every accepted shard is fsynced into the journal before
+it is acknowledged, so a coordinator killed mid-campaign and restarted
+with the same --journal resumes without re-running finished work. A
+shard that burns --max-attempts leases is quarantined and reported
+instead of hanging the campaign. SIGTERM drains: no new leases, in-flight
+work finishes and is journaled, then the coordinator exits 2.
+
+Options:
+  --seeds A..B             Seed range of the whole campaign (required)
+  --personality ccg|lcc    Compiler personality (default: ccg)
+  --compiler-version NAME  Version name, e.g. trunk or 8.4 (default: trunk)
+  --backend reg|stack      Machine model to compile for (default: reg)
+  --listen ADDR            host:port to accept workers on (required);
+                           port 0 picks a free port (address on stderr)
+  --journal FILE           holes.serve-journal/v1 crash journal (required)
+  --lease-shards K         Shard leases to cut the campaign into
+                           (default: 16)
+  --heartbeat-ms N         Worker heartbeat cadence (default: 500)
+  --max-attempts N         Leases a shard may burn before quarantine
+                           (default: 3)
+  --out FILE               Write the merged stream here instead of stdout
+  --corpus FILE            Prioritize known violations: replay the
+                           holes.corpus/v1 entries of FILE and fail fast
+                           with exit 3 before any lease is granted
+  --quiet                  Suppress lease progress on stderr
+
+Exit status: 0 — complete, no contained faults; 2 — complete with
+contained faults, or cut short by quarantined shards or a SIGTERM drain
+(the merged output is only written when every shard completed); 1 — hard
+failure (bad spec, unusable journal, socket errors).
+";
+
+fn cmd_serve(argv: &[String]) -> Result<RunStatus, String> {
+    let spec = Spec {
+        options: &[
+            "seeds",
+            "personality",
+            "compiler-version",
+            "backend",
+            "listen",
+            "journal",
+            "lease-shards",
+            "heartbeat-ms",
+            "max-attempts",
+            "out",
+            "corpus",
+        ],
+        switches: &["quiet"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, SERVE_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(RunStatus::Clean);
+    };
+    let personality = personality_of(&parsed)?;
+    let campaign = CampaignSpec::new(
+        personality,
+        version_of(&parsed, personality)?,
+        seeds_of(&parsed)?,
+    )
+    .with_backend(backend_of(&parsed)?);
+    let listen = parsed
+        .opt("listen")
+        .ok_or("missing required option `--listen ADDR`")?;
+    let journal = parsed
+        .opt("journal")
+        .ok_or("missing required option `--journal FILE`")?;
+    if let Some(regressed) = corpus_prepass(&parsed)? {
+        return Ok(regressed);
+    }
+    let heartbeat_ms: u64 = parsed
+        .opt_parse("heartbeat-ms", 500)
+        .map_err(|e| e.to_string())?;
+    let config = ServeConfig {
+        lease_shards: parsed
+            .opt_parse("lease-shards", 16)
+            .map_err(|e| e.to_string())?,
+        lease: LeaseConfig {
+            heartbeat: std::time::Duration::from_millis(heartbeat_ms.max(1)),
+            max_attempts: parsed
+                .opt_parse("max-attempts", 3)
+                .map_err(|e| e.to_string())?,
+        },
+        journal: std::path::PathBuf::from(journal),
+        quiet: parsed.switch("quiet"),
+    };
+    let coordinator = Coordinator::bind(listen).map_err(|e| format!("binding `{listen}`: {e}"))?;
+    // Always announced (even under --quiet): with `--listen 127.0.0.1:0`
+    // this line is how anyone learns the actual port.
+    eprintln!(
+        "serve: listening on {}",
+        coordinator.local_addr().map_err(|e| e.to_string())?
+    );
+    term::install();
+    let report = coordinator
+        .run(&campaign, &config, &term::DRAIN)
+        .map_err(|e| e.to_string())?;
+
+    for (index, cause) in &report.quarantined {
+        eprintln!("holes: shard {index} quarantined: {cause}");
+    }
+    if !report.complete() {
+        if !report.quarantined.is_empty() {
+            eprintln!(
+                "holes: {} shard(s) quarantined; merged output not written; exit status 2",
+                report.quarantined.len()
+            );
+        }
+        if report.drained {
+            eprintln!(
+                "holes: drained before completion; merged output not written \
+                 (resume with the same --journal); exit status 2"
+            );
+        }
+        return Ok(RunStatus::Faulted);
+    }
+
+    let merged = match parsed.opt("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("writing `{path}`: {e}"))?;
+            let run = report
+                .write_merged(std::io::BufWriter::new(file))
+                .map_err(|e| format!("writing `{path}`: {e}"))?;
+            if !parsed.switch("quiet") {
+                outln!(
+                    "serve: campaign complete: {} shards, {} programs, {} violation records \
+                     (merged)",
+                    report.shards.len(),
+                    campaign.seeds.len(),
+                    run.records,
+                );
+            }
+            run
+        }
+        None => match report.write_merged(std::io::stdout().lock()) {
+            Ok(run) => run,
+            // A closed pipe downstream is a clean exit for a Unix filter,
+            // matching `campaign --jsonl`.
+            Err(holes::pipeline::serve::ServeError::Io(error))
+                if error.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                std::process::exit(0);
+            }
+            Err(error) => return Err(error.to_string()),
+        },
+    };
+    Ok(RunStatus::from_faulted(merged.faulted))
+}
+
+const WORK_USAGE: &str = "\
+Usage: holes work --connect ADDR [options]
+
+Run a campaign worker: lease shards from a `holes serve` coordinator,
+evaluate them with fault containment, heartbeat in the background, and
+submit the results. Shards stream through the resumable JSON Lines
+writer into --work-dir, so a worker killed mid-shard (kill -9 included)
+and restarted over the same directory re-evaluates only the unfinished
+suffix of its shard.
+
+Options:
+  --connect ADDR           Coordinator host:port (required)
+  --work-dir DIR           Directory for in-progress shard streams
+                           (default: holes-work); keep it stable across
+                           restarts — that is what makes recovery cheap
+  --worker-id NAME         Label shown in coordinator logs (default: pid-N)
+  --fuel-limit N           Contain subjects whose machines exceed N steps
+                           as fault records instead of truncating silently
+  --patience-ms N          How long to retry an unreachable coordinator —
+                           which may be restarting from its journal —
+                           before shutting down cleanly (default: 10000)
+  --cache-dir DIR          Persist compiled artifacts under DIR and reuse
+                           them across invocations (or set HOLES_CACHE_DIR)
+  --quiet                  Suppress per-lease progress on stderr
+
+A worker exits 0 when the coordinator reports the campaign over (or
+stays unreachable past the patience window) and 1 on hard errors.
+Results from revoked leases are submitted anyway and discarded by the
+coordinator — preemption never double-counts a subject.
+HOLES_SERVE_CHAOS=abort:N|preempt:N injects deterministic failures for
+chaos testing (see `holes serve`).
+";
+
+fn cmd_work(argv: &[String]) -> Result<RunStatus, String> {
+    let spec = Spec {
+        options: &[
+            "connect",
+            "work-dir",
+            "worker-id",
+            "fuel-limit",
+            "patience-ms",
+            "cache-dir",
+        ],
+        switches: &["quiet"],
+        positionals: false,
+    };
+    let Some(parsed) = parse_or_help(argv, &spec, WORK_USAGE).map_err(|e| e.to_string())? else {
+        return Ok(RunStatus::Clean);
+    };
+    let _store = cache_store(&parsed)?;
+    let policy = policy_of(&parsed)?;
+    let connect = parsed
+        .opt("connect")
+        .ok_or("missing required option `--connect ADDR`")?;
+    let patience_ms: u64 = parsed
+        .opt_parse("patience-ms", 10_000)
+        .map_err(|e| e.to_string())?;
+    let config = WorkerConfig {
+        connect: connect.to_owned(),
+        work_dir: std::path::PathBuf::from(parsed.opt("work-dir").unwrap_or("holes-work")),
+        policy,
+        worker_id: parsed
+            .opt("worker-id")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("pid-{}", std::process::id())),
+        patience: std::time::Duration::from_millis(patience_ms),
+        quiet: parsed.switch("quiet"),
+    };
+    let outcome = run_worker(&config).map_err(|e| e.to_string())?;
+    if !parsed.switch("quiet") {
+        outln!(
+            "work: {} lease(s), {} accepted, {} discarded, {} subject(s) resumed",
+            outcome.leases,
+            outcome.accepted,
+            outcome.discarded,
+            outcome.resumed_subjects,
+        );
     }
     Ok(RunStatus::Clean)
 }

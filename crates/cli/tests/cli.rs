@@ -1027,3 +1027,255 @@ fn corpus_add_then_replay_reproduces_and_tampered_entries_gate() {
         "{replay}"
     );
 }
+
+/// Spawn `holes serve` with stderr piped and return the child plus the
+/// actual listening address announced on stderr (`--listen 127.0.0.1:0`).
+fn spawn_serve(args: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_holes"))
+        .arg("serve")
+        .args(args)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawning holes serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("reading serve stderr");
+        if let Some(addr) = line.strip_prefix("serve: listening on ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stderr so the coordinator never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn serve_fleet_with_a_preempted_worker_matches_the_single_process_campaign() {
+    let scratch = Scratch::new("serve-fleet");
+    let seeds = "2600..2618";
+    let reference = scratch.path("reference.jsonl");
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &reference, "--quiet",
+    ]);
+
+    let merged = scratch.path("merged.jsonl");
+    let journal = scratch.path("journal.jsonl");
+    let (mut serve, addr) = spawn_serve(&[
+        "--seeds",
+        seeds,
+        "--listen",
+        "127.0.0.1:0",
+        "--journal",
+        &journal,
+        "--lease-shards",
+        "4",
+        "--heartbeat-ms",
+        "100",
+        "--out",
+        &merged,
+        "--quiet",
+    ]);
+
+    // One worker is chaos-preempted on its first lease (no heartbeats, so
+    // the coordinator revokes it and must discard the late result); the
+    // other runs clean. Between them the campaign completes.
+    let preempted = Command::new(env!("CARGO_BIN_EXE_holes"))
+        .args([
+            "work",
+            "--connect",
+            &addr,
+            "--work-dir",
+            &scratch.path("w1"),
+            "--patience-ms",
+            "2000",
+        ])
+        .env("HOLES_SERVE_CHAOS", "preempt:1")
+        .spawn()
+        .expect("spawning the preempted worker");
+    let clean = Command::new(env!("CARGO_BIN_EXE_holes"))
+        .args([
+            "work",
+            "--connect",
+            &addr,
+            "--work-dir",
+            &scratch.path("w2"),
+            "--patience-ms",
+            "2000",
+            "--quiet",
+        ])
+        .spawn()
+        .expect("spawning the clean worker");
+
+    for mut worker in [preempted, clean] {
+        let status = worker.wait().expect("waiting for a worker");
+        assert!(status.success(), "workers exit 0, got {status}");
+    }
+    let status = serve.wait().expect("waiting for serve");
+    assert_eq!(status.code(), Some(0), "serve exits clean");
+
+    let merged_bytes = std::fs::read(Path::new(&merged)).unwrap();
+    let reference_bytes = std::fs::read(Path::new(&reference)).unwrap();
+    assert_eq!(
+        merged_bytes, reference_bytes,
+        "merged fleet output differs from the single-process run"
+    );
+    assert!(
+        Path::new(&journal).exists(),
+        "the journal survives the campaign"
+    );
+}
+
+#[test]
+fn a_kill_nined_worker_resumes_its_shard_and_the_merge_stays_byte_identical() {
+    let scratch = Scratch::new("serve-kill9");
+    let seeds = "2620..2636";
+    let reference = scratch.path("reference.jsonl");
+    ok_stdout(&[
+        "campaign", "--seeds", seeds, "--jsonl", "--out", &reference, "--quiet",
+    ]);
+
+    let merged = scratch.path("merged.jsonl");
+    let (mut serve, addr) = spawn_serve(&[
+        "--seeds",
+        seeds,
+        "--listen",
+        "127.0.0.1:0",
+        "--journal",
+        &scratch.path("journal.jsonl"),
+        "--lease-shards",
+        "2",
+        "--heartbeat-ms",
+        "100",
+        "--out",
+        &merged,
+        "--quiet",
+    ]);
+
+    // First incarnation dies the hard way (process abort after the 5th
+    // emitted stream line — no flushes, a torn shard file left behind).
+    let work_dir = scratch.path("w");
+    let killed = Command::new(env!("CARGO_BIN_EXE_holes"))
+        .args([
+            "work",
+            "--connect",
+            &addr,
+            "--work-dir",
+            &work_dir,
+            "--patience-ms",
+            "2000",
+            "--quiet",
+        ])
+        .env("HOLES_SERVE_CHAOS", "abort:5")
+        .output()
+        .expect("spawning the doomed worker");
+    assert!(!killed.status.success(), "abort:5 must kill the worker");
+
+    // Second incarnation over the SAME work directory resumes the torn
+    // stream and finishes the campaign.
+    let revived = holes(&[
+        "work",
+        "--connect",
+        &addr,
+        "--work-dir",
+        &work_dir,
+        "--patience-ms",
+        "2000",
+    ]);
+    assert!(revived.status.success(), "revived worker exits 0");
+
+    let status = serve.wait().expect("waiting for serve");
+    assert_eq!(status.code(), Some(0), "serve exits clean");
+    assert_eq!(
+        std::fs::read(Path::new(&merged)).unwrap(),
+        std::fs::read(Path::new(&reference)).unwrap(),
+        "kill -9 mid-shard leaked into the merged bytes"
+    );
+}
+
+#[test]
+fn bogus_fault_seed_lists_are_rejected_up_front_with_the_offending_entry() {
+    let output = holes_env(
+        &["campaign", "--seeds", "0..1", "--quiet"],
+        &[("HOLES_FAULT_SEEDS", "12,zap,14")],
+    );
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a typo'd kill list must not run"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("HOLES_FAULT_SEEDS"), "{stderr}");
+    assert!(
+        stderr.contains("zap"),
+        "the message names the bad entry: {stderr}"
+    );
+}
+
+#[test]
+fn campaign_corpus_prepass_replays_first_and_gates_regressions() {
+    let scratch = Scratch::new("prepass");
+    let corpus = scratch.path("corpus.json");
+    ok_stdout(&["corpus", "add", "--corpus", &corpus, "--seed", "2500"]);
+
+    // A healthy corpus: the prepass replays on stderr and the campaign
+    // output stays byte-identical to a corpus-less run.
+    let plain = ok_stdout(&["campaign", "--seeds", "2500..2503", "--quiet"]);
+    let prepassed = holes(&[
+        "campaign",
+        "--seeds",
+        "2500..2503",
+        "--quiet",
+        "--corpus",
+        &corpus,
+    ]);
+    assert!(prepassed.status.success());
+    assert_eq!(
+        prepassed.stdout, plain,
+        "the prepass must not disturb campaign stdout"
+    );
+
+    // A corpus whose entry no longer reproduces fails fast with exit 3
+    // before any campaign work.
+    let text = std::fs::read_to_string(Path::new(&corpus)).unwrap();
+    let tampered = scratch.path("tampered.json");
+    std::fs::write(
+        Path::new(&tampered),
+        text.replace("\"seed\": 2500", "\"seed\": 2501"),
+    )
+    .unwrap();
+    let gated = holes(&[
+        "campaign",
+        "--seeds",
+        "2500..2503",
+        "--quiet",
+        "--corpus",
+        &tampered,
+    ]);
+    assert_eq!(
+        gated.status.code(),
+        Some(3),
+        "a dead corpus entry gates the campaign"
+    );
+    let stderr = String::from_utf8_lossy(&gated.stderr);
+    assert!(stderr.contains("no longer reproduce"), "{stderr}");
+    assert!(
+        gated.stdout.is_empty(),
+        "no campaign output after a failed prepass"
+    );
+
+    // A missing corpus file is a hard error, not a silent skip.
+    let missing = holes(&[
+        "campaign",
+        "--seeds",
+        "2500..2501",
+        "--corpus",
+        &scratch.path("nope.json"),
+        "--quiet",
+    ]);
+    assert_eq!(missing.status.code(), Some(1));
+}

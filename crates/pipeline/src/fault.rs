@@ -51,21 +51,26 @@ pub struct FaultPolicy {
 impl FaultPolicy {
     /// The policy the CLI builds: an optional fuel limit plus any injected
     /// fault seeds named by the `HOLES_FAULT_SEEDS` environment variable (a
-    /// comma-separated seed list; unparseable entries are ignored).
-    pub fn from_env(fuel_limit: Option<u64>) -> FaultPolicy {
-        let inject_seeds = std::env::var("HOLES_FAULT_SEEDS")
-            .ok()
-            .map(|list| {
-                list.split(',')
-                    .filter_map(|seed| seed.trim().parse().ok())
-                    .collect()
-            })
-            .unwrap_or_default();
-        FaultPolicy {
+    /// comma-separated seed list).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending entry when the variable is
+    /// set but not a valid seed list. A chaos schedule that silently loses
+    /// entries would make an injection test pass vacuously, so a typo is a
+    /// hard error, never ignored.
+    pub fn from_env(fuel_limit: Option<u64>) -> Result<FaultPolicy, String> {
+        let inject_seeds = match std::env::var("HOLES_FAULT_SEEDS") {
+            Err(_) => BTreeSet::new(),
+            Ok(list) => {
+                parse_seed_list(&list).map_err(|entry| format!("HOLES_FAULT_SEEDS: {entry}"))?
+            }
+        };
+        Ok(FaultPolicy {
             fuel_limit,
             inject_seeds,
             ..FaultPolicy::default()
-        }
+        })
     }
 
     /// Whether this policy can produce faults at all (so drivers on the
@@ -73,6 +78,32 @@ impl FaultPolicy {
     pub fn is_default(&self) -> bool {
         *self == FaultPolicy::default()
     }
+}
+
+/// Parse a comma-separated seed list (the `HOLES_FAULT_SEEDS` syntax).
+/// Empty entries — a trailing comma, doubled separators — are tolerated;
+/// anything else that is not an unsigned integer is rejected with a message
+/// naming the entry.
+///
+/// # Errors
+///
+/// Returns the offending entry and the expected syntax.
+pub fn parse_seed_list(list: &str) -> Result<BTreeSet<u64>, String> {
+    let mut seeds = BTreeSet::new();
+    for entry in list.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let seed: u64 = entry.parse().map_err(|_| {
+            format!(
+                "`{entry}` is not a seed (expected a comma-separated list \
+                 of unsigned integers, e.g. `7,23`)"
+            )
+        })?;
+        seeds.insert(seed);
+    }
+    Ok(seeds)
 }
 
 /// The pipeline stage a contained fault was attributed to.
@@ -335,14 +366,77 @@ mod tests {
     #[test]
     fn env_policy_parses_seed_lists() {
         // `from_env` reads the environment at call time, so the parse logic
-        // is exercised through the parsing itself (the variable is unset in
-        // the test environment).
-        let policy = FaultPolicy::from_env(Some(500));
+        // is exercised through `parse_seed_list` directly (the variable is
+        // unset in the test environment).
+        let policy = FaultPolicy::from_env(Some(500)).expect("unset variable parses");
         assert_eq!(policy.fuel_limit, Some(500));
-        let seeds: BTreeSet<u64> = "3, 17,29,,x"
-            .split(',')
-            .filter_map(|seed| seed.trim().parse().ok())
-            .collect();
-        assert_eq!(seeds, [3u64, 17, 29].into_iter().collect());
+        assert_eq!(
+            parse_seed_list("3, 17,29,").unwrap(),
+            [3u64, 17, 29].into_iter().collect()
+        );
+        assert_eq!(parse_seed_list("").unwrap(), BTreeSet::new());
+    }
+
+    #[test]
+    fn seed_list_typos_are_rejected_with_the_offending_entry() {
+        for bad in ["x", "3,x,17", "3;17", "-1", "1.5"] {
+            let err = parse_seed_list(bad).unwrap_err();
+            assert!(
+                err.contains("is not a seed") && err.contains("comma-separated"),
+                "`{bad}` -> {err}"
+            );
+        }
+        // The message names the entry, not the whole list.
+        assert!(parse_seed_list("3,oops,17").unwrap_err().contains("`oops`"));
+    }
+
+    #[test]
+    fn zero_retries_means_exactly_one_attempt_and_no_backoff_sleep() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let attempts = AtomicU32::new(0);
+        let policy = FaultPolicy {
+            max_retries: 0,
+            // A backoff that would stall the test if any retry slept.
+            backoff: Duration::from_secs(3600),
+            ..FaultPolicy::default()
+        };
+        let started = std::time::Instant::now();
+        let outcome = contain(&policy, 5, 2, || {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("first and only attempt");
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 1);
+        assert!(started.elapsed() < Duration::from_secs(60), "backoff slept");
+        match outcome {
+            SubjectOutcome::Faulted(fault) => assert_eq!(fault.cause, "first and only attempt"),
+            SubjectOutcome::Completed(()) => panic!("panic escaped containment"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_the_final_retry_records_the_last_attempt() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Every attempt exhausts its fuel (the trace-stage panic a
+        // fuel-limited VM raises); the recorded fault must be the *final*
+        // attempt's, after exactly max_retries + 1 attempts.
+        let attempts = AtomicU32::new(0);
+        let policy = FaultPolicy {
+            fuel_limit: Some(10),
+            max_retries: 2,
+            ..FaultPolicy::default()
+        };
+        let outcome = contain(&policy, 9, 4, || {
+            let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+            set_stage(FaultStage::Trace);
+            panic!("fuel exhausted after 10 steps (attempt {attempt})");
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        match outcome {
+            SubjectOutcome::Faulted(fault) => {
+                assert_eq!(fault.stage, FaultStage::Trace);
+                assert_eq!(fault.cause, "fuel exhausted after 10 steps (attempt 2)");
+            }
+            SubjectOutcome::Completed(()) => panic!("exhaustion escaped containment"),
+        }
     }
 }

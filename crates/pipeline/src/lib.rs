@@ -85,6 +85,7 @@ pub mod fault;
 pub mod reduce;
 pub mod regression;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod store;
 pub mod stream;

@@ -1,0 +1,153 @@
+//! The `HOLES_SERVE_CHAOS` fault-injection knob.
+//!
+//! The distributed campaign service promises that preemption is invisible
+//! in the final report. That promise needs an executioner: this module
+//! turns an environment variable into deterministic process-level chaos
+//! so the CI smoke (and anyone reproducing a flake) can kill workers at
+//! exact, repeatable points.
+//!
+//! Two modes, both counted so the N-th event fires exactly once:
+//!
+//! * `abort:N` — the process calls [`std::process::abort`] immediately
+//!   after the N-th line is written to a streaming shard file. No
+//!   destructors, no flushes: indistinguishable from `kill -9` mid-shard,
+//!   which is exactly the failure the truncation-tolerant resume footer
+//!   exists for.
+//! * `preempt:N` — the N-th lease taken by a worker runs to completion but
+//!   never heartbeats, so the coordinator revokes the lease out from under
+//!   a live process; the worker then submits its (now stale) result, which
+//!   the coordinator must discard idempotently.
+//!
+//! A malformed value is a hard error (`exit 1`) the first time chaos is
+//! consulted — a typo'd kill schedule silently doing nothing would make a
+//! red chaos run look green.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
+
+/// The environment variable holding the chaos plan (`abort:N` or
+/// `preempt:N`).
+pub const SERVE_CHAOS_ENV: &str = "HOLES_SERVE_CHAOS";
+
+#[derive(Debug, PartialEq, Eq)]
+enum Mode {
+    Abort,
+    Preempt,
+}
+
+#[derive(Debug)]
+struct Plan {
+    mode: Mode,
+    /// Counts down; the event whose decrement observes `1` fires.
+    remaining: AtomicI64,
+}
+
+static PLAN: OnceLock<Option<Plan>> = OnceLock::new();
+
+fn plan() -> Option<&'static Plan> {
+    PLAN.get_or_init(parse_env).as_ref()
+}
+
+fn parse_env() -> Option<Plan> {
+    let raw = std::env::var(SERVE_CHAOS_ENV).ok()?;
+    match parse_plan(&raw) {
+        Ok(plan) => plan,
+        Err(message) => {
+            eprintln!("holes: {SERVE_CHAOS_ENV}: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_plan(raw: &str) -> Result<Option<Plan>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    let (mode, count) = raw.split_once(':').ok_or_else(|| {
+        format!("`{raw}` is not a chaos plan (expected `abort:N` or `preempt:N`)")
+    })?;
+    let mode = match mode {
+        "abort" => Mode::Abort,
+        "preempt" => Mode::Preempt,
+        other => {
+            return Err(format!(
+                "unknown chaos mode `{other}` (expected `abort` or `preempt`)"
+            ))
+        }
+    };
+    let count: i64 = count
+        .parse()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("`{count}` is not a positive event count"))?;
+    Ok(Some(Plan {
+        mode,
+        remaining: AtomicI64::new(count),
+    }))
+}
+
+/// Called by the streaming shard writer after every emitted line; under
+/// `abort:N` the N-th call hard-kills the process (no unwinding, no
+/// flushes), leaving a torn shard file behind.
+pub(crate) fn on_line_emitted() {
+    if let Some(plan) = plan() {
+        if plan.mode == Mode::Abort && plan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            std::process::abort();
+        }
+    }
+}
+
+/// Consulted by the worker once per lease; returns `true` when this lease
+/// is the `preempt:N` victim that must run without heartbeats and submit
+/// a late (discardable) result.
+pub fn preempt_this_lease() -> bool {
+    match plan() {
+        Some(plan) if plan.mode == Mode::Preempt => {
+            plan.remaining.fetch_sub(1, Ordering::SeqCst) == 1
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_plans_parse_and_typos_are_rejected() {
+        assert!(parse_plan("").expect("empty is no plan").is_none());
+        assert!(parse_plan("  ").expect("blank is no plan").is_none());
+
+        let abort = parse_plan("abort:3")
+            .expect("valid plan")
+            .expect("plan present");
+        assert!(abort.mode == Mode::Abort);
+        assert_eq!(abort.remaining.load(Ordering::SeqCst), 3);
+
+        let preempt = parse_plan("preempt:1")
+            .expect("valid plan")
+            .expect("plan present");
+        assert!(preempt.mode == Mode::Preempt);
+
+        for bogus in [
+            "abort", "abort:", "abort:0", "abort:-2", "abort:x", "stall:4", "4",
+        ] {
+            assert!(parse_plan(bogus).is_err(), "`{bogus}` should be rejected");
+        }
+        let message = parse_plan("stall:4").expect_err("unknown mode");
+        assert!(
+            message.contains("stall"),
+            "message names the mode: {message}"
+        );
+    }
+
+    #[test]
+    fn the_nth_event_fires_exactly_once() {
+        let plan = parse_plan("preempt:2").expect("valid").expect("present");
+        let fired: Vec<bool> = (0..4)
+            .map(|_| plan.remaining.fetch_sub(1, Ordering::SeqCst) == 1)
+            .collect();
+        assert_eq!(fired, vec![false, true, false, false]);
+    }
+}

@@ -1,0 +1,367 @@
+//! The campaign coordinator: the transport-free service core
+//! ([`ServeState`]) and the thin TCP accept loop around it
+//! ([`Coordinator`]).
+//!
+//! The split is deliberate. Everything that decides — leasing, revocation,
+//! idempotent discards, journaling-before-acknowledgement, the merge — is
+//! in [`ServeState::handle`] and takes `now: Instant` as an argument, so
+//! the determinism proptests can drive the *actual* service logic through
+//! random kill/restart/late-submit schedules without sockets or sleeps.
+//! The TCP layer only moves lines and never makes a scheduling decision.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use super::journal::Journal;
+use super::lease::{Assignment, LeaseConfig, LeaseTable, Revocation, Submission};
+use super::protocol::{read_message, write_message, Reply, Request};
+use super::ServeError;
+use crate::shard::{CampaignShard, CampaignSpec};
+use crate::stream::{write_merged_stream, StreamRun};
+
+/// Coordinator configuration: how to decompose the campaign and where to
+/// journal accepted work.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How many shard leases to cut the campaign into.
+    pub lease_shards: u64,
+    /// Heartbeat cadence and retry budget for leases.
+    pub lease: LeaseConfig,
+    /// Path of the `holes.serve-journal/v1` crash journal.
+    pub journal: PathBuf,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+/// The coordinator's in-memory service state: lease table, accepted
+/// results, and the crash journal, with every decision point parameterized
+/// on the clock.
+#[derive(Debug)]
+pub struct ServeState {
+    table: LeaseTable,
+    results: Vec<Option<CampaignShard>>,
+    journal: Journal,
+    heartbeat_ms: u64,
+    recovered: usize,
+    quiet: bool,
+}
+
+/// The end state of a serve run: every accepted shard (by index), the
+/// quarantined holes, and whether the run was cut short by a drain.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Accepted shard results, indexed by shard; `None` where the campaign
+    /// was drained or quarantined before the shard resolved.
+    pub shards: Vec<Option<CampaignShard>>,
+    /// Shards excluded after exhausting their lease attempts, with causes.
+    pub quarantined: Vec<(usize, String)>,
+    /// Whether the run ended in a drain with work still unassigned or
+    /// unfinished (as opposed to resolving every shard).
+    pub drained: bool,
+}
+
+impl ServeReport {
+    /// Whether every shard of the decomposition was evaluated and accepted.
+    pub fn complete(&self) -> bool {
+        self.shards.iter().all(Option::is_some)
+    }
+
+    /// Accepted violation records across all shards.
+    pub fn records(&self) -> usize {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.result.records.len())
+            .sum()
+    }
+
+    /// Contained subject faults carried by the accepted shards.
+    pub fn faulted(&self) -> usize {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|s| s.result.faults.len())
+            .sum()
+    }
+
+    /// Write the merged campaign stream — byte-identical to a
+    /// single-process unsharded run of the same spec. Only meaningful when
+    /// [`ServeReport::complete`]; an incomplete merge is refused by the
+    /// shard validators rather than silently emitting a partial campaign.
+    pub fn write_merged<W: Write>(&self, out: W) -> Result<StreamRun, ServeError> {
+        let shards: Vec<CampaignShard> = self.shards.iter().flatten().cloned().collect();
+        Ok(write_merged_stream(shards, out)?)
+    }
+}
+
+impl ServeState {
+    /// Decompose `spec` into the configured lease shards and recover any
+    /// previously journaled completions. `spec` must be the whole campaign
+    /// (an unsharded spec): the coordinator owns the sharding.
+    pub fn open(spec: &CampaignSpec, config: &ServeConfig) -> Result<ServeState, ServeError> {
+        spec.validate()?;
+        if spec.shards != 1 {
+            return Err(ServeError::Protocol(
+                "serve takes the whole campaign (an unsharded spec); \
+                 the coordinator does its own sharding"
+                    .into(),
+            ));
+        }
+        let k = config.lease_shards.max(1);
+        let specs: Vec<CampaignSpec> = (0..k).map(|i| spec.clone().with_shard(k, i)).collect();
+        let (journal, entries) = Journal::open(&config.journal, spec, k)?;
+        let mut table = LeaseTable::new(specs, config.lease);
+        let mut results: Vec<Option<CampaignShard>> = vec![None; k as usize];
+        let recovered = entries.len();
+        for (index, shard) in entries {
+            table.mark_done(index);
+            results[index] = Some(shard);
+        }
+        Ok(ServeState {
+            table,
+            results,
+            journal,
+            heartbeat_ms: config.lease.heartbeat.as_millis().max(1) as u64,
+            recovered,
+            quiet: config.quiet,
+        })
+    }
+
+    /// Serve one request at time `now`. Infallible decisions come back as
+    /// replies (including discards); an `Err` means the coordinator itself
+    /// is broken (journal write failure) and the run must abort — losing
+    /// durability silently would betray the resume guarantee.
+    pub fn handle(&mut self, request: &Request, now: Instant) -> Result<Reply, ServeError> {
+        match request {
+            Request::Lease { worker } => Ok(match self.table.assign(now) {
+                Assignment::Lease { lease, index, spec } => {
+                    self.log(&format!(
+                        "lease {lease}: shard {index} of {} -> {worker}",
+                        self.table.shards()
+                    ));
+                    Reply::Lease {
+                        lease,
+                        spec,
+                        heartbeat_ms: self.heartbeat_ms,
+                    }
+                }
+                Assignment::Wait => Reply::Wait {
+                    backoff_ms: (self.heartbeat_ms / 2).max(10),
+                },
+                Assignment::Shutdown => Reply::Shutdown,
+            }),
+            Request::Heartbeat { lease } => Ok(Reply::Heartbeat {
+                active: self.table.heartbeat(*lease, now),
+            }),
+            Request::Result { lease, shard } => {
+                let Some(index) = self.table.lease_index(*lease) else {
+                    return Ok(Reply::Discarded {
+                        reason: format!(
+                            "lease {lease} is not active (revoked, already completed, or unknown)"
+                        ),
+                    });
+                };
+                if *self.table.shard_spec(index) != shard.spec {
+                    return Ok(Reply::Discarded {
+                        reason: format!(
+                            "result spec does not match the shard leased under {lease}"
+                        ),
+                    });
+                }
+                // Durability precedes acknowledgement: journal first, so a
+                // coordinator that crashes after replying `accepted` can
+                // never forget the shard.
+                self.journal.record(index, shard)?;
+                match self.table.submit(*lease, &shard.spec) {
+                    Submission::Accepted { index } => {
+                        self.results[index] = Some((**shard).clone());
+                        self.log(&format!(
+                            "lease {lease}: shard {index} accepted ({} records, {} faults)",
+                            shard.result.records.len(),
+                            shard.result.faults.len()
+                        ));
+                        Ok(Reply::Accepted)
+                    }
+                    Submission::Discarded { reason } => Ok(Reply::Discarded { reason }),
+                }
+            }
+        }
+    }
+
+    /// Revoke every lease whose deadline has passed (see
+    /// [`LeaseTable::revoke_expired`]), logging each loss.
+    pub fn reap(&mut self, now: Instant) -> Vec<Revocation> {
+        let revoked = self.table.revoke_expired(now);
+        for revocation in &revoked {
+            self.log(&format!(
+                "lease {}: shard {} {} after missed heartbeats (attempt {})",
+                revocation.lease,
+                revocation.index,
+                if revocation.quarantined {
+                    "quarantined"
+                } else {
+                    "requeued"
+                },
+                revocation.attempts,
+            ));
+        }
+        revoked
+    }
+
+    /// Stop granting leases; in-flight ones may still complete.
+    pub fn drain(&mut self) {
+        self.table.drain();
+    }
+
+    /// Whether [`ServeState::drain`] was called.
+    pub fn draining(&self) -> bool {
+        self.table.draining()
+    }
+
+    /// Whether every shard is resolved (accepted or quarantined).
+    pub fn complete(&self) -> bool {
+        self.table.complete()
+    }
+
+    /// Whether no lease is in flight.
+    pub fn idle(&self) -> bool {
+        self.table.idle()
+    }
+
+    /// Shards recovered from the journal at open, never re-leased.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// Number of shards in the decomposition.
+    pub fn shards(&self) -> usize {
+        self.table.shards()
+    }
+
+    /// Consume the state into the run's end report.
+    pub fn into_report(self) -> ServeReport {
+        let drained = !self.table.complete();
+        ServeReport {
+            quarantined: self.table.quarantined(),
+            shards: self.results,
+            drained,
+        }
+    }
+
+    fn log(&self, message: &str) {
+        if !self.quiet {
+            eprintln!("serve: {message}");
+        }
+    }
+}
+
+/// The TCP front of the service: accepts one-request connections and feeds
+/// them to a [`ServeState`].
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+/// How long a single connection may take to deliver its request line or
+/// absorb its reply before the coordinator abandons it. Generous — a
+/// result line for a large shard takes real time — but finite, so one
+/// wedged socket cannot stall every other worker's heartbeats forever.
+const PEER_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl Coordinator {
+    /// Bind the coordinator's listening socket (nonblocking, so the accept
+    /// loop can interleave lease reaping and drain checks).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Coordinator, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator { listener })
+    }
+
+    /// The bound address — useful when binding port 0.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Run the campaign to resolution. Returns when every shard is
+    /// accepted or quarantined, or — once `drain` becomes `true` (the
+    /// SIGTERM flag) — when the last in-flight lease resolves or expires.
+    pub fn run(
+        &self,
+        spec: &CampaignSpec,
+        config: &ServeConfig,
+        drain: &AtomicBool,
+    ) -> Result<ServeReport, ServeError> {
+        let mut state = ServeState::open(spec, config)?;
+        if !config.quiet && state.recovered() > 0 {
+            eprintln!(
+                "serve: resumed {} of {} shards from journal {}",
+                state.recovered(),
+                state.shards(),
+                config.journal.display()
+            );
+        }
+        loop {
+            if drain.load(Ordering::SeqCst) && !state.draining() {
+                state.drain();
+                if !config.quiet {
+                    eprintln!("serve: draining — no new leases, waiting for in-flight work");
+                }
+            }
+            state.reap(Instant::now());
+            if state.complete() || (state.draining() && state.idle()) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => self.serve_connection(stream, &mut state, config.quiet)?,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(state.into_report())
+    }
+
+    /// Serve one connection: one request line, one reply line. Peer
+    /// misbehavior (torn lines, timeouts, sockets dead before the reply) is
+    /// logged and dropped — a killed worker must never take the
+    /// coordinator down with it. Only coordinator-side failures (the
+    /// journal) propagate.
+    fn serve_connection(
+        &self,
+        stream: TcpStream,
+        state: &mut ServeState,
+        quiet: bool,
+    ) -> Result<(), ServeError> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(PEER_TIMEOUT))?;
+        stream.set_write_timeout(Some(PEER_TIMEOUT))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let message = match read_message(&mut reader) {
+            Ok(message) => message,
+            Err(error) => {
+                if !quiet {
+                    eprintln!("serve: dropped connection: {error}");
+                }
+                return Ok(());
+            }
+        };
+        let reply = match Request::from_json(&message) {
+            Ok(request) => state.handle(&request, Instant::now())?,
+            Err(error) => Reply::Error {
+                message: error.to_string(),
+            },
+        };
+        if let Err(error) = write_message(&mut writer, &reply.to_json()) {
+            if !quiet {
+                eprintln!("serve: peer vanished before the reply: {error}");
+            }
+        }
+        Ok(())
+    }
+}

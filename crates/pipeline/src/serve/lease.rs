@@ -1,0 +1,467 @@
+//! The coordinator's shard state machine: leases, deadlines, revocation,
+//! bounded retries, and quarantine.
+//!
+//! Every public method takes `now: Instant` instead of reading the clock,
+//! so proptests can drive the exact schedules — revoke-then-late-submit,
+//! double submission, restart mid-lease — that wall-clock tests only hit by
+//! luck. The invariants the table maintains:
+//!
+//! * a shard is `Done` at most once; late or duplicate results are
+//!   [`Submission::Discarded`], never double-counted;
+//! * a revoked shard returns to the queue until it has burned
+//!   [`LeaseConfig::max_attempts`] leases, after which it is quarantined
+//!   (the campaign finishes with an explicit hole rather than hanging on a
+//!   poisoned shard — the same judgement call the artifact store's
+//!   quarantine makes);
+//! * once [`LeaseTable::drain`] is called no new lease is ever granted, but
+//!   in-flight leases may still complete.
+
+use std::time::{Duration, Instant};
+
+use crate::shard::CampaignSpec;
+
+/// How many heartbeat periods a lease survives without hearing from its
+/// worker before it is revoked. More than one, so a single delayed packet
+/// or a coordinator busy validating a large result does not strip a healthy
+/// worker; small enough that a dead worker's shard requeues quickly.
+pub const GRACE_BEATS: u32 = 4;
+
+/// Tuning knobs for the lease table.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Cadence workers must heartbeat at; the revocation deadline is
+    /// [`GRACE_BEATS`] of these.
+    pub heartbeat: Duration,
+    /// Maximum leases granted per shard before it is quarantined.
+    pub max_attempts: u32,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig {
+            heartbeat: Duration::from_millis(500),
+            max_attempts: 3,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// Waiting for a worker.
+    Pending,
+    /// Held by lease `lease` until `deadline`.
+    Leased { lease: u64, deadline: Instant },
+    /// Result accepted and journaled.
+    Done,
+    /// Burned every attempt; excluded from the campaign with a cause.
+    Quarantined { cause: String },
+}
+
+#[derive(Debug)]
+struct Slot {
+    spec: CampaignSpec,
+    state: SlotState,
+    attempts: u32,
+}
+
+/// The coordinator's view of every shard of the campaign.
+#[derive(Debug)]
+pub struct LeaseTable {
+    config: LeaseConfig,
+    slots: Vec<Slot>,
+    next_lease: u64,
+    draining: bool,
+}
+
+/// What [`LeaseTable::assign`] hands a worker asking for work.
+#[derive(Debug)]
+pub enum Assignment {
+    /// A granted lease over one shard.
+    Lease {
+        /// Lease identifier (unique across the coordinator's lifetime,
+        /// including re-leases of the same shard).
+        lease: u64,
+        /// Index of the shard in the campaign decomposition.
+        index: usize,
+        /// The shard spec the worker must evaluate.
+        spec: CampaignSpec,
+    },
+    /// Nothing assignable right now (all remaining shards are in flight);
+    /// ask again shortly.
+    Wait,
+    /// The campaign is over for workers: every shard is resolved, or the
+    /// coordinator is draining.
+    Shutdown,
+}
+
+/// What [`LeaseTable::submit`] decided about a submitted result.
+#[derive(Debug)]
+pub enum Submission {
+    /// The result was bound to its shard; the shard is now `Done`.
+    Accepted {
+        /// Index of the shard the result completes.
+        index: usize,
+    },
+    /// The result was ignored: the lease is not active (revoked, already
+    /// completed, or from a previous coordinator life), or the submitted
+    /// spec does not match the leased shard.
+    Discarded {
+        /// Why the result was dropped.
+        reason: String,
+    },
+}
+
+/// One lease revoked by [`LeaseTable::revoke_expired`].
+#[derive(Debug)]
+pub struct Revocation {
+    /// Index of the shard whose lease expired.
+    pub index: usize,
+    /// The revoked lease.
+    pub lease: u64,
+    /// Leases this shard has burned so far.
+    pub attempts: u32,
+    /// Whether the shard was quarantined (attempts exhausted) rather than
+    /// requeued.
+    pub quarantined: bool,
+}
+
+impl LeaseTable {
+    /// A table over the campaign's shard decomposition, every shard pending.
+    pub fn new(specs: Vec<CampaignSpec>, config: LeaseConfig) -> LeaseTable {
+        LeaseTable {
+            config,
+            slots: specs
+                .into_iter()
+                .map(|spec| Slot {
+                    spec,
+                    state: SlotState::Pending,
+                    attempts: 0,
+                })
+                .collect(),
+            next_lease: 1,
+            draining: false,
+        }
+    }
+
+    /// Mark shard `index` already done — journal recovery, before any
+    /// lease is granted. Recovered shards are never re-leased.
+    pub fn mark_done(&mut self, index: usize) {
+        self.slots[index].state = SlotState::Done;
+    }
+
+    /// Grant the first pending shard to a worker, or say why not.
+    pub fn assign(&mut self, now: Instant) -> Assignment {
+        if self.draining || self.complete() {
+            return Assignment::Shutdown;
+        }
+        let deadline = now + self.config.heartbeat * GRACE_BEATS;
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if let SlotState::Pending = slot.state {
+                let lease = self.next_lease;
+                self.next_lease += 1;
+                slot.attempts += 1;
+                slot.state = SlotState::Leased { lease, deadline };
+                return Assignment::Lease {
+                    lease,
+                    index,
+                    spec: slot.spec.clone(),
+                };
+            }
+        }
+        Assignment::Wait
+    }
+
+    /// Extend the deadline of an active lease. Returns `false` for a lease
+    /// that is no longer held — the worker's cue that its result will be
+    /// discarded and it should stop burning cycles on the shard.
+    pub fn heartbeat(&mut self, lease: u64, now: Instant) -> bool {
+        let deadline = now + self.config.heartbeat * GRACE_BEATS;
+        for slot in &mut self.slots {
+            if let SlotState::Leased {
+                lease: held,
+                deadline: d,
+            } = &mut slot.state
+            {
+                if *held == lease {
+                    *d = deadline;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The shard index an active lease is bound to, if any — the
+    /// coordinator journals under this index *before* committing the
+    /// submission, so durability precedes acknowledgement.
+    pub fn lease_index(&self, lease: u64) -> Option<usize> {
+        self.slots.iter().position(
+            |slot| matches!(slot.state, SlotState::Leased { lease: held, .. } if held == lease),
+        )
+    }
+
+    /// Bind a submitted result to its shard. `spec` is the spec the worker
+    /// claims to have evaluated; a mismatch against the leased shard is
+    /// discarded rather than trusted.
+    pub fn submit(&mut self, lease: u64, spec: &CampaignSpec) -> Submission {
+        let Some(index) = self.lease_index(lease) else {
+            return Submission::Discarded {
+                reason: format!(
+                    "lease {lease} is not active (revoked, already completed, or unknown)"
+                ),
+            };
+        };
+        if self.slots[index].spec != *spec {
+            return Submission::Discarded {
+                reason: format!("result spec does not match the shard leased under {lease}"),
+            };
+        }
+        self.slots[index].state = SlotState::Done;
+        Submission::Accepted { index }
+    }
+
+    /// Revoke every lease whose deadline has passed: requeue the shard, or
+    /// quarantine it when its attempts are exhausted.
+    pub fn revoke_expired(&mut self, now: Instant) -> Vec<Revocation> {
+        let mut revoked = Vec::new();
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let SlotState::Leased { lease, deadline } = slot.state else {
+                continue;
+            };
+            if deadline > now {
+                continue;
+            }
+            let quarantined = slot.attempts >= self.config.max_attempts;
+            slot.state = if quarantined {
+                SlotState::Quarantined {
+                    cause: format!(
+                        "lost {} leases to missed heartbeats (last lease {lease})",
+                        slot.attempts
+                    ),
+                }
+            } else {
+                SlotState::Pending
+            };
+            revoked.push(Revocation {
+                index,
+                lease,
+                attempts: slot.attempts,
+                quarantined,
+            });
+        }
+        revoked
+    }
+
+    /// Stop granting leases; in-flight ones may still complete.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether [`LeaseTable::drain`] was called.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether every shard is resolved (`Done` or quarantined).
+    pub fn complete(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Done | SlotState::Quarantined { .. }))
+    }
+
+    /// Whether no lease is in flight — with [`LeaseTable::draining`], the
+    /// drained-and-safe-to-exit condition.
+    pub fn idle(&self) -> bool {
+        !self
+            .slots
+            .iter()
+            .any(|s| matches!(s.state, SlotState::Leased { .. }))
+    }
+
+    /// Shard indices resolved as `Done`.
+    pub fn done(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.state, SlotState::Done))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Quarantined shards and their causes, in index order.
+    pub fn quarantined(&self) -> Vec<(usize, String)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match &s.state {
+                SlotState::Quarantined { cause } => Some((i, cause.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of shards in the campaign decomposition.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The spec of shard `index` of the decomposition.
+    pub fn shard_spec(&self, index: usize) -> &CampaignSpec {
+        &self.slots[index].spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holes_compiler::Personality;
+    use holes_progen::SeedRange;
+
+    fn shard_specs(k: u64) -> Vec<CampaignSpec> {
+        let spec = CampaignSpec::new(
+            Personality::Ccg,
+            Personality::Ccg.trunk(),
+            SeedRange::new(100, 140),
+        );
+        (0..k).map(|i| spec.clone().with_shard(k, i)).collect()
+    }
+
+    fn config(heartbeat_ms: u64, max_attempts: u32) -> LeaseConfig {
+        LeaseConfig {
+            heartbeat: Duration::from_millis(heartbeat_ms),
+            max_attempts,
+        }
+    }
+
+    fn lease_of(assignment: Assignment) -> (u64, usize, CampaignSpec) {
+        match assignment {
+            Assignment::Lease { lease, index, spec } => (lease, index, spec),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leases_cover_every_shard_exactly_once_and_then_shut_down() {
+        let mut table = LeaseTable::new(shard_specs(3), config(100, 3));
+        let now = Instant::now();
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let (lease, index, spec) = lease_of(table.assign(now));
+            assert_eq!(spec.shard, index as u64);
+            seen.push(index);
+            assert!(
+                matches!(table.submit(lease, &spec), Submission::Accepted { index: i } if i == index)
+            );
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(table.complete());
+        assert!(matches!(table.assign(now), Assignment::Shutdown));
+        assert!(table.quarantined().is_empty());
+    }
+
+    #[test]
+    fn missed_heartbeats_revoke_requeue_and_eventually_quarantine() {
+        let mut table = LeaseTable::new(shard_specs(1), config(100, 2));
+        let t0 = Instant::now();
+
+        // First lease: heartbeat once, then go silent past the grace window.
+        let (lease1, _, _) = lease_of(table.assign(t0));
+        let mid = t0 + Duration::from_millis(100);
+        assert!(table.heartbeat(lease1, mid));
+        assert!(table.revoke_expired(mid).is_empty(), "deadline not reached");
+        let late = mid + Duration::from_millis(100 * GRACE_BEATS as u64 + 1);
+        let revoked = table.revoke_expired(late);
+        assert_eq!(revoked.len(), 1);
+        assert!(!revoked[0].quarantined, "first loss requeues");
+        assert!(
+            !table.heartbeat(lease1, late),
+            "revoked lease refuses heartbeats"
+        );
+
+        // Second (final) attempt times out too: quarantine, with a cause.
+        let (lease2, _, _) = lease_of(table.assign(late));
+        assert_ne!(lease1, lease2, "re-lease gets a fresh identifier");
+        let later = late + Duration::from_millis(100 * GRACE_BEATS as u64 + 1);
+        let revoked = table.revoke_expired(later);
+        assert_eq!(revoked.len(), 1);
+        assert!(revoked[0].quarantined, "attempts exhausted");
+        assert!(table.complete(), "quarantine resolves the campaign");
+        let quarantined = table.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].1.contains("missed heartbeats"));
+    }
+
+    #[test]
+    fn late_duplicate_and_mismatched_results_are_discarded() {
+        let mut table = LeaseTable::new(shard_specs(2), config(100, 3));
+        let t0 = Instant::now();
+        let (lease, index, spec) = lease_of(table.assign(t0));
+
+        // A result claiming a different spec than was leased is not trusted.
+        let (_, _, other_spec) = lease_of(table.assign(t0));
+        let verdict = table.submit(lease, &other_spec);
+        assert!(matches!(&verdict, Submission::Discarded { reason } if reason.contains("match")));
+
+        // Revoke, then let the old worker submit late: discarded, and the
+        // requeued shard can still be completed exactly once.
+        let late = t0 + Duration::from_millis(100 * GRACE_BEATS as u64 + 1);
+        table.revoke_expired(late);
+        let verdict = table.submit(lease, &spec);
+        assert!(
+            matches!(&verdict, Submission::Discarded { reason } if reason.contains("not active"))
+        );
+
+        let (release, reindex, respec) = lease_of(table.assign(late));
+        assert_eq!(reindex, index, "revoked shard returns to the queue");
+        assert!(matches!(
+            table.submit(release, &respec),
+            Submission::Accepted { .. }
+        ));
+        let verdict = table.submit(release, &respec);
+        assert!(
+            matches!(verdict, Submission::Discarded { .. }),
+            "double submit discarded"
+        );
+    }
+
+    #[test]
+    fn draining_stops_assignment_but_lets_in_flight_leases_finish() {
+        let mut table = LeaseTable::new(shard_specs(3), config(100, 3));
+        let now = Instant::now();
+        let (lease, _, spec) = lease_of(table.assign(now));
+        table.drain();
+        assert!(matches!(table.assign(now), Assignment::Shutdown));
+        assert!(!table.idle(), "one lease still in flight");
+        assert!(
+            table.heartbeat(lease, now),
+            "draining does not revoke in-flight work"
+        );
+        assert!(matches!(
+            table.submit(lease, &spec),
+            Submission::Accepted { .. }
+        ));
+        assert!(table.idle(), "drained once the in-flight lease resolves");
+        assert!(
+            !table.complete(),
+            "pending shards remain unresolved after a drain"
+        );
+    }
+
+    #[test]
+    fn journal_recovered_shards_are_never_re_leased() {
+        let mut table = LeaseTable::new(shard_specs(3), config(100, 3));
+        table.mark_done(1);
+        let now = Instant::now();
+        let (_, first, _) = lease_of(table.assign(now));
+        let (_, second, _) = lease_of(table.assign(now));
+        let mut granted = vec![first, second];
+        granted.sort_unstable();
+        assert_eq!(granted, vec![0, 2], "recovered shard 1 skipped");
+        assert!(
+            matches!(table.assign(now), Assignment::Wait),
+            "rest in flight"
+        );
+        assert_eq!(table.done(), vec![1]);
+    }
+}

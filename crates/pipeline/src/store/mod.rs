@@ -606,6 +606,12 @@ impl ArtifactStore {
                 continue;
             }
             let subject_name = subject_entry.file_name().to_string_lossy().into_owned();
+            // The quarantine area holds rejected files moved aside for
+            // post-mortem inspection, not subject artifacts; evicting them
+            // to meet the budget would destroy the evidence.
+            if subject_name == "quarantine" {
+                continue;
+            }
             let Ok(artifacts) = std::fs::read_dir(&subject_path) else {
                 continue;
             };
@@ -1087,6 +1093,46 @@ mod tests {
         // Quarantine is invisible to gc: a full sweep leaves it alone.
         scratch.store.gc(0).unwrap();
         assert!(moved.exists());
+    }
+
+    #[test]
+    fn gc_skips_the_quarantine_directory_entirely() {
+        let scratch = Scratch::new("gc-quarantine");
+        let subject = Subject::from_seed(7830);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let _ = subject.violations(&config());
+        let live_bytes = store_bytes(&scratch.root);
+        assert!(live_bytes > 0);
+        // Populate the quarantine area both ways a post-mortem can leave it:
+        // the usual <root>/quarantine/<subject>/<file> nesting and a file
+        // directly under <root>/quarantine/ — gc must treat neither as
+        // subject artifacts.
+        let quarantine = scratch.root.join("quarantine");
+        std::fs::create_dir_all(quarantine.join("s7830")).unwrap();
+        std::fs::write(
+            quarantine.join("s7830").join("deadbeef.exe.json"),
+            "evidence",
+        )
+        .unwrap();
+        std::fs::write(quarantine.join("deadbeef.trace.json"), "stray evidence").unwrap();
+        let stats = scratch.store.gc(0).unwrap();
+        // The sweep emptied the live store without ever counting — or
+        // deleting — the quarantined bytes: every surviving file is under
+        // quarantine/.
+        assert_eq!(stats.scanned_bytes, live_bytes, "{stats:?}");
+        let survivors = walk_files(&scratch.root);
+        assert!(
+            !survivors.is_empty() && survivors.iter().all(|p| p.starts_with(&quarantine)),
+            "{survivors:?}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(quarantine.join("s7830").join("deadbeef.exe.json")).unwrap(),
+            "evidence"
+        );
+        assert_eq!(
+            std::fs::read_to_string(quarantine.join("deadbeef.trace.json")).unwrap(),
+            "stray evidence"
+        );
     }
 
     #[test]

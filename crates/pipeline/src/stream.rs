@@ -238,9 +238,13 @@ fn stream_seeds<W: Write>(
                     stats.absorb(subject_stats);
                     for record in &records {
                         writer.write_record(record)?;
+                        crate::serve::chaos::on_line_emitted();
                     }
                 }
-                SubjectOutcome::Faulted(subject_fault) => writer.write_fault(&subject_fault)?,
+                SubjectOutcome::Faulted(subject_fault) => {
+                    writer.write_fault(&subject_fault)?;
+                    crate::serve::chaos::on_line_emitted();
+                }
             }
         }
     }
@@ -291,6 +295,59 @@ pub fn run_shard_streaming_with_policy<W: Write>(
         records,
         faulted,
         stats,
+    })
+}
+
+/// Fold a complete set of shard runs into one **unsharded** JSON Lines
+/// stream, byte-identical to [`run_shard_streaming_with_policy`] over the
+/// whole range in a single process — the merge seam the distributed
+/// coordinator ([`crate::serve`]) writes its final report through.
+///
+/// The shards are validated exactly like [`crate::shard::merge_shards`]
+/// (same campaign, indices covering `0..shards` once — so a duplicate or
+/// double-submitted shard is rejected, never double-counted), their records
+/// and faults are stably sorted by global subject index, and the lines are
+/// interleaved in ascending subject order. A subject either faults or
+/// yields records, never both, so that interleaving reproduces the
+/// single-process writer's line sequence exactly; the emitted header and
+/// footer describe the unsharded campaign.
+///
+/// # Errors
+///
+/// Returns the shard-set validation failure or the sink's I/O error.
+pub fn write_merged_stream<W: Write>(
+    shards: Vec<CampaignShard>,
+    out: W,
+) -> Result<StreamRun, StreamError> {
+    let specs: Vec<CampaignSpec> = shards.iter().map(|s| s.spec.clone()).collect();
+    let first = crate::shard::validate_shard_specs(&specs)?;
+    let merged = crate::shard::merge_shards(shards)?;
+    let mut spec = first;
+    spec.shards = 1;
+    spec.shard = 0;
+    let mut writer = CampaignJsonlWriter::new(out, &spec)?;
+    let mut faults = merged.faults.iter();
+    let mut pending_fault = faults.next();
+    for record in &merged.records {
+        while let Some(subject_fault) = pending_fault {
+            if subject_fault.subject >= record.subject {
+                break;
+            }
+            writer.write_fault(subject_fault)?;
+            pending_fault = faults.next();
+        }
+        writer.write_record(record)?;
+    }
+    while let Some(subject_fault) = pending_fault {
+        writer.write_fault(subject_fault)?;
+        pending_fault = faults.next();
+    }
+    let (records, faulted) = (writer.records, writer.faults);
+    writer.finish()?;
+    Ok(StreamRun {
+        records,
+        faulted,
+        stats: CacheStats::default(),
     })
 }
 
@@ -1083,6 +1140,53 @@ mod tests {
         std::fs::write(&scratch.0, b"not a stream\n").unwrap();
         let err = resume_shard_streaming(&spec, &scratch.0, &FaultPolicy::default()).unwrap_err();
         assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
+    fn merged_stream_is_byte_identical_to_the_single_process_run() {
+        let range = SeedRange::new(2700, 2716);
+        let spec = spec(range);
+        let reference = streamed(&spec);
+        for shards in [1u64, 2, 3, 5, 16, 20] {
+            let runs: Vec<CampaignShard> = (0..shards)
+                .map(|i| read_jsonl_shard(&streamed(&spec.clone().with_shard(shards, i))).unwrap())
+                .collect();
+            let mut scrambled = runs;
+            scrambled.reverse();
+            let mut out = Vec::new();
+            let run = write_merged_stream(scrambled, &mut out).expect("merge");
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                reference,
+                "K={shards} merge is not byte-identical"
+            );
+            assert_eq!(run.faulted, 0);
+        }
+        // Faults interleave in subject order exactly like the
+        // single-process writer emits them.
+        let policy = FaultPolicy {
+            inject_seeds: [2703u64, 2712].into_iter().collect(),
+            ..FaultPolicy::default()
+        };
+        let mut faulted_ref = Vec::new();
+        run_shard_streaming_with_policy(&spec, &mut faulted_ref, &policy).expect("run");
+        let runs: Vec<CampaignShard> = (0..3)
+            .map(|i| {
+                let mut out = Vec::new();
+                let shard_spec = spec.clone().with_shard(3, i);
+                run_shard_streaming_with_policy(&shard_spec, &mut out, &policy).expect("run");
+                read_jsonl_shard(&String::from_utf8(out).unwrap()).unwrap()
+            })
+            .collect();
+        let mut out = Vec::new();
+        let run = write_merged_stream(runs, &mut out).expect("merge with faults");
+        assert_eq!(run.faulted, 2);
+        assert_eq!(out, faulted_ref, "faulted merge is not byte-identical");
+        // An incomplete or duplicated shard set is rejected, never
+        // double-counted.
+        let s0 = read_jsonl_shard(&streamed(&spec.clone().with_shard(2, 0))).unwrap();
+        assert!(write_merged_stream(vec![s0.clone()], Vec::new()).is_err());
+        assert!(write_merged_stream(vec![s0.clone(), s0], Vec::new()).is_err());
     }
 
     #[test]
