@@ -113,9 +113,11 @@ Commands:
   cache      Manage the persistent artifact store (gc)
   help       Show this message
 
-Most compiling commands accept `--backend reg|stack` to target the second
-simulated machine model (the stack VM), whose spill-heavy codegen exposes
-location-loss classes the register backend cannot express.
+Most compiling commands accept `--backend reg|stack|frame` to target an
+alternative machine model: the stack VM (`stack`), whose spill-heavy codegen
+exposes location-loss classes the register backend cannot express, or the
+frame-ABI register backend (`frame`), whose callee-saved save/restore frames
+expose frame-base corruption classes neither other backend can express.
 
 Run `holes <command> --help` for per-command options.
 ";
@@ -360,7 +362,7 @@ Options:
   --seeds A..B             Seed range of the whole campaign (required)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name, e.g. trunk or 8.4 (default: trunk)
-  --backend reg|stack      Machine model to compile for (default: reg);
+  --backend reg|stack|frame  Machine model to compile for (default: reg);
                            the stack VM surfaces spill-slot location-loss
                            classes the register backend cannot express
   --shards K               Total number of shards (default: 1)
@@ -1041,7 +1043,7 @@ Options:
                            shard files (default: 5)
   --personality ccg|lcc    Personality for --seed mode (default: ccg)
   --compiler-version NAME  Version name for --seed mode (default: trunk)
-  --backend reg|stack      Machine model for --seed mode (default: reg)
+  --backend reg|stack|frame  Machine model for --seed mode (default: reg)
   --level -O2              Level for --seed mode (default: first violating)
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR);
@@ -1431,13 +1433,14 @@ Options:
   --seeds A..B             Seed range of the whole campaign (required)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name, e.g. trunk or 8.4 (default: trunk)
-  --backend reg|stack      Machine model to compile for (default: reg)
+  --backend reg|stack|frame  Machine model to compile for (default: reg)
   --listen ADDR            host:port to accept workers on (required);
                            port 0 picks a free port (address on stderr)
   --journal FILE           holes.serve-journal/v1 crash journal (required)
   --lease-shards K         Shard leases to cut the campaign into
                            (default: 16)
-  --heartbeat-ms N         Worker heartbeat cadence (default: 500)
+  --heartbeat-ms N         Worker heartbeat cadence, 1..=86400000
+                           (default: 500)
   --max-attempts N         Leases a shard may burn before quarantine
                            (default: 3)
   --out FILE               Write the merged stream here instead of stdout
@@ -1492,12 +1495,21 @@ fn cmd_serve(argv: &[String]) -> Result<RunStatus, String> {
     let heartbeat_ms: u64 = parsed
         .opt_parse("heartbeat-ms", 500)
         .map_err(|e| e.to_string())?;
+    // Reject nonsense cadences at the door rather than letting them reach
+    // deadline arithmetic: zero would revoke every lease instantly, and
+    // anything beyond a day is a typo'd unit, not a heartbeat.
+    const MAX_HEARTBEAT_MS: u64 = 24 * 60 * 60 * 1000;
+    if heartbeat_ms == 0 || heartbeat_ms > MAX_HEARTBEAT_MS {
+        return Err(format!(
+            "`--heartbeat-ms {heartbeat_ms}` is out of range (expected 1..={MAX_HEARTBEAT_MS})"
+        ));
+    }
     let config = ServeConfig {
         lease_shards: parsed
             .opt_parse("lease-shards", 16)
             .map_err(|e| e.to_string())?,
         lease: LeaseConfig {
-            heartbeat: std::time::Duration::from_millis(heartbeat_ms.max(1)),
+            heartbeat: std::time::Duration::from_millis(heartbeat_ms),
             max_attempts: parsed
                 .opt_parse("max-attempts", 3)
                 .map_err(|e| e.to_string())?,
@@ -1670,7 +1682,7 @@ Options:
   --seeds A..B             Seed range (required unless merging files)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name (default: trunk)
-  --backend reg|stack      Machine model to compile for (default: reg)
+  --backend reg|stack|frame  Machine model to compile for (default: reg)
   --shards K               Total number of triage shards
   --shard I                This run's shard index, 0-based
   --limit N                Violations triaged per conjecture (default: 10);
@@ -1867,7 +1879,7 @@ Options:
   --seed S                 Program seed (required)
   --personality ccg|lcc    Compiler personality (default: ccg)
   --compiler-version NAME  Version name (default: trunk)
-  --backend reg|stack      Machine model to compile for (default: reg)
+  --backend reg|stack|frame  Machine model to compile for (default: reg)
   --level -O2              Optimization level (default: first violating)
   --no-culprit             Reduce without preserving the culprit
   --fuel-limit N           Contain a reduction whose oracle machines exceed

@@ -24,6 +24,31 @@ fn ok_stdout(args: &[&str]) -> Vec<u8> {
     output.stdout
 }
 
+/// Compare `actual` against the committed fixture `tests/golden/<name>` at
+/// the workspace root, or rewrite the fixture when `HOLES_BLESS=1` is set
+/// (mirroring the root crate's golden-file tests).
+fn golden(name: &str, actual: &[u8]) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    if std::env::var_os("HOLES_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with `HOLES_BLESS=1 cargo test -p holes_cli`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        String::from_utf8_lossy(actual),
+        String::from_utf8_lossy(&expected),
+        "`{name}` drifted from its golden fixture; if the change is \
+         intended, re-bless with `HOLES_BLESS=1 cargo test -p holes_cli`"
+    );
+}
+
 /// A scratch directory, removed on drop.
 struct Scratch(PathBuf);
 
@@ -470,6 +495,97 @@ fn stack_backend_surfaces_violations_the_register_backend_cannot_express() {
     ]);
     assert_eq!(
         std::fs::read(Path::new(&stack_file)).unwrap(),
+        std::fs::read(Path::new(&again)).unwrap()
+    );
+}
+
+/// The register backend is the default, and its campaign/report bytes are
+/// pinned by committed golden files: the codegen-pipeline refactor (and any
+/// future one) must reproduce them exactly, not merely equivalently.
+#[test]
+fn default_campaign_and_report_bytes_match_the_committed_goldens() {
+    let scratch = Scratch::new("golden-bytes");
+    let campaign_file = scratch.path("campaign.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        "2500..2506",
+        "--out",
+        &campaign_file,
+        "--quiet",
+    ]);
+    golden(
+        "cli-campaign-2500-2506.json",
+        &std::fs::read(Path::new(&campaign_file)).unwrap(),
+    );
+    golden(
+        "cli-report-2500-2506.txt",
+        &ok_stdout(&["report", &campaign_file]),
+    );
+}
+
+#[test]
+fn frame_backend_surfaces_violations_neither_existing_backend_can_express() {
+    let scratch = Scratch::new("frame-backend");
+    let seeds = "0..30";
+    let reg_file = scratch.path("reg.json");
+    let stack_file = scratch.path("stack.json");
+    let frame_file = scratch.path("frame.json");
+    ok_stdout(&["campaign", "--seeds", seeds, "--out", &reg_file, "--quiet"]);
+    for (backend, file) in [("stack", &stack_file), ("frame", &frame_file)] {
+        ok_stdout(&[
+            "campaign",
+            "--seeds",
+            seeds,
+            "--backend",
+            backend,
+            "--out",
+            file,
+            "--quiet",
+        ]);
+    }
+
+    let frame_text = std::fs::read_to_string(Path::new(&frame_file)).unwrap();
+    assert!(
+        frame_text.contains("\"backend\": \"frame\""),
+        "{frame_text}"
+    );
+
+    // The acceptance criterion for the frame-layout defect class: the
+    // frame-backend campaign surfaces violation sites (stale frame-base
+    // offsets resolving past the frame, dropped callee-saved locations)
+    // that neither the register nor the stack campaign over the same
+    // seeds contains.
+    let reg_keys = record_keys(&reg_file);
+    let stack_keys = record_keys(&stack_file);
+    let frame_keys = record_keys(&frame_file);
+    let frame_only: Vec<_> = frame_keys
+        .iter()
+        .filter(|key| !reg_keys.contains(*key) && !stack_keys.contains(*key))
+        .collect();
+    assert!(
+        !frame_only.is_empty(),
+        "frame backend exposed no new violation sites"
+    );
+
+    // The report renders and names the backend.
+    let frame_report = String::from_utf8(ok_stdout(&["report", &frame_file])).unwrap();
+    assert!(frame_report.contains("backend frame"), "{frame_report}");
+
+    // Frame campaigns are deterministic.
+    let again = scratch.path("frame2.json");
+    ok_stdout(&[
+        "campaign",
+        "--seeds",
+        seeds,
+        "--backend",
+        "frame",
+        "--out",
+        &again,
+        "--quiet",
+    ]);
+    assert_eq!(
+        std::fs::read(Path::new(&frame_file)).unwrap(),
         std::fs::read(Path::new(&again)).unwrap()
     );
 }
@@ -1026,6 +1142,33 @@ fn corpus_add_then_replay_reproduces_and_tampered_entries_gate() {
         replay.contains("corpus replay: 2 of 2 entries reproduced"),
         "{replay}"
     );
+}
+
+/// Out-of-range heartbeat cadences are rejected when the command line is
+/// parsed, before the coordinator binds a socket or touches its journal —
+/// they would otherwise reach the lease-deadline arithmetic.
+#[test]
+fn serve_rejects_out_of_range_heartbeats_at_parse_time() {
+    let scratch = Scratch::new("serve-heartbeat");
+    for bad in ["0", "86400001", "18446744073709551615"] {
+        let output = holes(&[
+            "serve",
+            "--seeds",
+            "0..4",
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            &scratch.path("journal.jsonl"),
+            "--heartbeat-ms",
+            bad,
+        ]);
+        assert!(
+            !output.status.success(),
+            "`--heartbeat-ms {bad}` was accepted"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("out of range"), "{stderr}");
+    }
 }
 
 /// Spawn `holes serve` with stderr piped and return the child plus the

@@ -90,11 +90,33 @@ impl Backend for StackBackend {
     }
 }
 
+/// The frame-ABI backend: the register ISA with callee-saved registers, a
+/// real frame layout, and frame-base-relative location descriptions.
+pub struct FrameBackend;
+
+impl Backend for FrameBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Frame
+    }
+
+    fn codegen(
+        &self,
+        source: &Program,
+        ir: &IrProgram,
+        source_name: &str,
+        config: &CompilerConfig,
+    ) -> (MachineCode, DebugInfo, Vec<&'static str>) {
+        let (machine, debug, applied) = codegen::codegen_frame(source, ir, source_name, config);
+        (MachineCode::Frame(machine), debug, applied)
+    }
+}
+
 /// The backend implementing a selector.
 pub fn backend_for(kind: BackendKind) -> &'static dyn Backend {
     match kind {
         BackendKind::Reg => &RegBackend,
         BackendKind::Stack => &StackBackend,
+        BackendKind::Frame => &FrameBackend,
     }
 }
 

@@ -153,6 +153,7 @@ impl<'f> StackEmitter<'f> {
             line_rows: self.line_rows,
             inst_scopes: self.inst_scopes,
             bindings: self.bindings,
+            frame_base: None,
         };
         (function, artifacts, self.dropped)
     }

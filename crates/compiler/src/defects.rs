@@ -56,6 +56,29 @@ pub enum DefectAction {
     /// is inexpressible there. Models the "variable went missing once it
     /// was spilled" holes of the paper's §2 taxonomy.
     DropSpillLoc,
+    /// Describe the selected frame-resident variables with
+    /// frame-base-relative (`DW_OP_fbreg`) offsets computed against the
+    /// *function-entry* frame-base rule — the rule that held before the
+    /// prologue allocated the frame — so every offset is shifted up by the
+    /// whole frame and resolves past its end. Where the stack has never
+    /// grown beyond the stopped frame the read fails and the debugger
+    /// reports the variable optimized out; where a deeper call has been
+    /// and gone it reads stale bytes from the dead frame. A
+    /// **code-generation** defect of the frame-ABI backend only
+    /// ([`apply_defect`] is a no-op): neither the banked register backend
+    /// (no frame base at all) nor the stack backend (no prologue-advanced
+    /// frame rule) can express it. Models `DW_CFA`-advance bugs where the
+    /// consumer applies a CFA rule that lags the prologue.
+    StaleFrameBase,
+    /// Drop the location of the selected variables that live in a
+    /// callee-saved register: the frame map is missing that register's
+    /// save-slot rule, so the producer cannot prove where the value lives
+    /// across calls and conservatively emits no location at all. The
+    /// debugger reports the variable optimized out even though the
+    /// register holds it the whole time — modelling a frame map whose
+    /// callee-saved rule set is incomplete. Frame-ABI backend only, for
+    /// the same reason as [`DefectAction::StaleFrameBase`].
+    ClobberCalleeSaved,
 }
 
 /// Which variables a defect applies to.
@@ -748,6 +771,107 @@ pub fn stack_catalogue(personality: Personality) -> Vec<Defect> {
     }]
 }
 
+/// The frame-layout defect catalogue: defects that live in the frame-ABI
+/// backend's emission stage (`"isel"`) and corrupt the frame-base-relative
+/// location descriptions only that backend emits. Like [`stack_catalogue`],
+/// these have no IR-level effect — the frame backend consults them via
+/// [`frame_defect_plan`]. Both classes corrupt descriptions only a real
+/// frame layout can express — fbreg offsets resolved against a
+/// prologue-advanced frame rule, and callee-saved save-slot rules — so
+/// the availability holes they open (fbreg reads past the frame, dropped
+/// callee-saved locations) occur at sites no other backend's defect can
+/// reach.
+pub fn frame_catalogue(personality: Personality) -> Vec<Defect> {
+    let levels = match personality {
+        Personality::Ccg => ALL_CCG_LEVELS,
+        Personality::Lcc => ALL_LCC_LEVELS,
+    };
+    let (stale_id, stale_ref, clobber_id, clobber_ref) = match personality {
+        Personality::Ccg => (
+            "ccg-frame-fbreg-stale",
+            "fbreg offsets computed before the prologue's CFA advance",
+            "ccg-frame-callee-clobber",
+            "callee-saved register's save-slot rule missing from the frame map",
+        ),
+        Personality::Lcc => (
+            "lcc-frame-fbreg-stale",
+            "fbreg offsets resolved against the function-entry frame rule",
+            "lcc-frame-callee-clobber",
+            "callee-saved location dropped when the save-slot rule is absent",
+        ),
+    };
+    vec![
+        Defect {
+            id: stale_id,
+            paper_ref: stale_ref,
+            personality,
+            pass: "isel",
+            levels,
+            category: Cat::Covered,
+            conjectures: &[1, 2, 3],
+            action: A::StaleFrameBase,
+            // Every frame-resident binding is affected: frequency control
+            // comes from how often values live in frame slots rather than
+            // registers, as with the stack-spill defect.
+            selector: VarSelector::all(C::Any),
+            introduced: 0,
+            fixed: None,
+        },
+        Defect {
+            id: clobber_id,
+            paper_ref: clobber_ref,
+            personality,
+            pass: "isel",
+            levels,
+            category: Cat::IncompleteDie,
+            conjectures: &[1, 2, 3],
+            action: A::ClobberCalleeSaved,
+            selector: VarSelector::all(C::Any),
+            introduced: 0,
+            fixed: None,
+        },
+    ]
+}
+
+/// Which variables of a function the frame-ABI backend's emission stage
+/// must corrupt, per frame defect action (see [`frame_catalogue`]). Empty
+/// on every other backend and with defects disabled.
+#[derive(Debug, Clone, Default)]
+pub struct FrameDefectPlan {
+    /// Variables whose frame-resident bindings get function-entry (stale)
+    /// frame-base offsets.
+    pub stale_fbreg: Vec<DebugVarId>,
+    /// Variables whose callee-saved-register bindings lose their location
+    /// (the register's save-slot rule is missing from the frame map).
+    pub callee_clobber: Vec<DebugVarId>,
+}
+
+/// Build the [`FrameDefectPlan`] of one function under `config`.
+pub fn frame_defect_plan(config: &CompilerConfig, func: &IrFunction) -> FrameDefectPlan {
+    let mut plan = FrameDefectPlan::default();
+    if config.backend != holes_machine::BackendKind::Frame {
+        return plan;
+    }
+    for defect in frame_catalogue(config.personality) {
+        if !defect.active_in(config) {
+            continue;
+        }
+        let victims = match defect.action {
+            DefectAction::StaleFrameBase => &mut plan.stale_fbreg,
+            DefectAction::ClobberCalleeSaved => &mut plan.callee_clobber,
+            _ => continue,
+        };
+        for var in (0..func.vars.len() as u32).map(DebugVarId) {
+            if selects(func, defect.selector, var) && !victims.contains(&var) {
+                victims.push(var);
+            }
+        }
+    }
+    plan.stale_fbreg.sort_unstable();
+    plan.callee_clobber.sort_unstable();
+    plan
+}
+
 /// The variables of `func` whose spilled bindings lose their location under
 /// `config`'s active stack-backend defects (empty on the register backend,
 /// with defects disabled, or when no stack defect matches the version and
@@ -812,6 +936,9 @@ pub fn apply_defect(func: &mut IrFunction, defect: &Defect) {
         // Applied by the stack backend's code generator (see
         // `spill_loss_victims`); there is nothing to corrupt at the IR level.
         DefectAction::DropSpillLoc => {}
+        // Applied by the frame-ABI backend's emission stage (see
+        // `frame_defect_plan`); there is nothing to corrupt at the IR level.
+        DefectAction::StaleFrameBase | DefectAction::ClobberCalleeSaved => {}
     }
 }
 

@@ -49,9 +49,12 @@ pub mod codegen_stack;
 pub mod config;
 pub mod defects;
 pub mod executable;
+pub mod frame;
 pub mod ir;
 pub mod lower;
 pub mod passes;
+pub mod regalloc;
+pub mod vcode;
 
 pub use backend::{backend_for, Backend};
 pub use config::{BackendKind, CompilerConfig, Fingerprint, OptLevel, Personality};

@@ -1,0 +1,218 @@
+//! Backend-neutral linear-scan register allocation over [`VCode`].
+//!
+//! The allocator is the second stage of the backend pipeline: it consumes
+//! the per-IR-position liveness summaries ([`PosInfo`]) lowering recorded,
+//! computes live ranges, runs a linear scan with pinned parameter
+//! registers, and returns an [`Allocation`]: every vreg's [`Storage`] plus
+//! an explicit list of spill/reload [`Edit`]s keyed by virtual-instruction
+//! index. Emission applies the edits mechanically — it never re-derives
+//! spill decisions — so the allocator is the single authority on where
+//! values live.
+//!
+//! The algorithm is intentionally identical to the one the monolithic
+//! register backend used before the pipeline split (same range
+//! construction, same free-list discipline, same spill heuristic), because
+//! the default backend's machine code is pinned byte-for-byte by golden
+//! tests: refactoring must not move a single register.
+//!
+//! [`PosInfo`]: crate::vcode::PosInfo
+
+use std::collections::HashMap;
+
+use crate::vcode::{Storage, VCode, VInstruction, VReg};
+
+/// A spill/reload edit the emission stage must insert around a virtual
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edit {
+    /// Before the instruction: load spill ordinal `spill` into register
+    /// `to`. Reloads for one instruction are listed in operand evaluation
+    /// order.
+    Reload {
+        /// Spill ordinal to load from.
+        spill: u32,
+        /// Scratch register to load into.
+        to: u8,
+    },
+    /// After the instruction: store register `from` to spill ordinal
+    /// `spill`.
+    SpillStore {
+        /// Spill ordinal to store to.
+        spill: u32,
+        /// Register holding the freshly computed value.
+        from: u8,
+    },
+}
+
+/// The allocator's output: vreg homes plus the edit list.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// Where every vreg lives. Spills are numbered by ordinal in the order
+    /// the scan created them.
+    pub homes: HashMap<VReg, Storage>,
+    /// Number of spill ordinals allocated.
+    pub spill_count: u32,
+    /// Spill/reload edits, sorted by virtual-instruction index; within one
+    /// index, reloads precede the spill store, in operand order.
+    pub edits: Vec<(u32, Edit)>,
+}
+
+impl Allocation {
+    /// The storage assigned to a vreg (`None` for vregs that never appear
+    /// in the function's liveness — defensive, lowering records every use).
+    pub fn home(&self, vreg: VReg) -> Option<Storage> {
+        self.homes.get(&vreg).copied()
+    }
+}
+
+/// Run linear-scan allocation over `vcode` with `allocatable` physical
+/// registers (registers `0..allocatable`; anything above is scratch and
+/// never assigned).
+pub fn allocate<I: VInstruction>(vcode: &VCode<I>, allocatable: u8) -> Allocation {
+    let mut allocation = Allocation::default();
+    assign_homes(vcode, allocatable, &mut allocation);
+    plan_edits(vcode, &mut allocation);
+    allocation
+}
+
+/// Live-range construction and the linear scan itself.
+fn assign_homes<I>(vcode: &VCode<I>, allocatable: u8, allocation: &mut Allocation) {
+    let end = vcode.end_position();
+    let mut first_def: HashMap<VReg, usize> = HashMap::new();
+    let mut last_use: HashMap<VReg, usize> = HashMap::new();
+    for param in &vcode.params {
+        first_def.insert(*param, 0);
+        last_use.insert(*param, end);
+    }
+    let extend = |map: &mut HashMap<VReg, usize>, v: VReg, i: usize| {
+        let entry = map.entry(v).or_insert(i);
+        *entry = (*entry).max(i);
+    };
+    for (i, pos) in vcode.positions.iter().enumerate() {
+        if let Some(d) = pos.def {
+            first_def.entry(d).or_insert(i);
+            extend(&mut last_use, d, i);
+        }
+        for &u in &pos.uses {
+            first_def.entry(u).or_insert(i);
+            extend(&mut last_use, u, i);
+        }
+        if let Some(t) = pos.dbg_use {
+            // Debug-referenced vregs stay live to the end of the function so
+            // their location descriptions remain valid.
+            first_def.entry(t).or_insert(i);
+            extend(&mut last_use, t, end);
+        }
+    }
+    // Loop back edges: a vreg live anywhere inside a loop must stay live
+    // until the backward branch, otherwise a vreg defined later in the body
+    // could take its register and clobber it on the next iteration.
+    let mut back_edges: Vec<(usize, usize)> = Vec::new();
+    for (i, pos) in vcode.positions.iter().enumerate() {
+        if let Some(t) = pos.branch_target {
+            if t < i {
+                back_edges.push((t, i));
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(header, branch) in &back_edges {
+            for (vreg, start) in first_def.iter() {
+                let stop = last_use.get(vreg).copied().unwrap_or(*start);
+                if *start <= branch && stop >= header && stop < branch {
+                    last_use.insert(*vreg, branch);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut ranges: Vec<(VReg, usize, usize)> = first_def
+        .iter()
+        .map(|(v, start)| (*v, *start, *last_use.get(v).unwrap_or(start)))
+        .collect();
+    ranges.sort_by_key(|(v, start, _)| (*start, v.0));
+
+    let mut free: Vec<u8> = (0..allocatable).rev().collect();
+    // Pre-colour parameters into the argument registers; they are pinned
+    // (never spilled) because the calling convention delivers arguments
+    // there.
+    let pinned: Vec<VReg> = vcode.params.clone();
+    let mut active: Vec<(usize, VReg, u8)> = Vec::new();
+    for (i, param) in vcode.params.iter().enumerate() {
+        let reg = i as u8;
+        free.retain(|r| *r != reg);
+        allocation.homes.insert(*param, Storage::Reg(reg));
+        active.push((end, *param, reg));
+    }
+    for (vreg, start, stop) in ranges {
+        if allocation.homes.contains_key(&vreg) {
+            continue;
+        }
+        // Expire old intervals.
+        let mut still_active = Vec::new();
+        for (a_end, a_vreg, a_reg) in active.drain(..) {
+            if a_end < start {
+                free.push(a_reg);
+            } else {
+                still_active.push((a_end, a_vreg, a_reg));
+            }
+        }
+        active = still_active;
+        if let Some(reg) = free.pop() {
+            allocation.homes.insert(vreg, Storage::Reg(reg));
+            active.push((stop, vreg, reg));
+        } else {
+            // Spill: prefer to spill the spillable active interval that
+            // ends last (never a pinned parameter).
+            active.sort_by_key(|(e, _, _)| *e);
+            let victim_index = active.iter().rposition(|(_, v, _)| !pinned.contains(v));
+            let spill_self = match victim_index {
+                Some(vi) => active[vi].0 < stop,
+                None => true,
+            };
+            if spill_self {
+                let ordinal = allocation.spill_count;
+                allocation.spill_count += 1;
+                allocation.homes.insert(vreg, Storage::Spill(ordinal));
+            } else {
+                let (_, victim, reg) = active.remove(victim_index.expect("victim exists"));
+                let ordinal = allocation.spill_count;
+                allocation.spill_count += 1;
+                allocation.homes.insert(victim, Storage::Spill(ordinal));
+                allocation.homes.insert(vreg, Storage::Reg(reg));
+                active.push((stop, vreg, reg));
+            }
+        }
+    }
+}
+
+/// Walk the virtual instructions and record the reload/spill-store edits
+/// their operand constraints require for spilled vregs.
+fn plan_edits<I: VInstruction>(vcode: &VCode<I>, allocation: &mut Allocation) {
+    for (i, vinst) in vcode.insts.iter().enumerate() {
+        vinst.inst.visit_uses(&mut |vreg, reload_into| {
+            if let (Some(Storage::Spill(spill)), Some(to)) =
+                (allocation.homes.get(&vreg).copied(), reload_into)
+            {
+                allocation
+                    .edits
+                    .push((i as u32, Edit::Reload { spill, to }));
+            }
+        });
+        if let Some(def) = vinst.inst.def() {
+            if def.store_after {
+                if let Some(Storage::Spill(spill)) = allocation.homes.get(&def.vreg).copied() {
+                    allocation.edits.push((
+                        i as u32,
+                        Edit::SpillStore {
+                            spill,
+                            from: def.scratch,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -456,9 +456,15 @@ impl Parser<'_> {
         let digits = self
             .bytes
             .get(self.pos..self.pos + 4)
-            .and_then(|d| std::str::from_utf8(d).ok())
             .ok_or_else(|| self.error("truncated \\u escape"))?;
-        let unit = u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        // Exactly four ASCII hex digits — `u32::from_str_radix` alone would
+        // also accept a leading `+`, letting `\u+123` slip through.
+        if !digits.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.error("invalid \\u escape"));
+        }
+        let unit = digits.iter().fold(0u32, |unit, &digit| {
+            unit << 4 | (digit as char).to_digit(16).expect("validated hex digit")
+        });
         self.pos += 4;
         Ok(unit)
     }
@@ -591,6 +597,46 @@ mod tests {
             let err = Json::parse(bad).unwrap_err();
             assert!(!err.to_string().is_empty(), "{bad:?}");
         }
+    }
+
+    /// The `\u` escape is exactly four hex digits, and a high surrogate
+    /// must be completed by a `\u`-escaped low surrogate — every way of
+    /// falling short (signs smuggled into the hex field, the string or the
+    /// document ending mid-escape, a high surrogate followed by anything
+    /// else) is a parse error, not a silently accepted code unit.
+    #[test]
+    fn parser_rejects_malformed_unicode_escapes() {
+        for bad in [
+            // `u32::from_str_radix` accepts `+123`; the escape must not.
+            r#""\u+123""#,
+            r#""\u-123""#,
+            r#""\u12g4""#,
+            // EOF mid-escape: in the hex field and between the digits.
+            r#""\u"#,
+            r#""\u12"#,
+            r#""\uD800\u"#,
+            // A lone high surrogate at the end of the string.
+            r#""\uD800""#,
+            // A high surrogate completed by a non-`\u` escape…
+            r#""\uD800\n""#,
+            // …by a plain character…
+            r#""\uD800x""#,
+            // …or by a `\u` escape that is not a low surrogate.
+            r#""\uD800\u0041""#,
+            // An unpaired low surrogate is no better.
+            r#""\uDC00""#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // The boundary cases around the surrogate range still parse.
+        assert_eq!(
+            Json::parse(r#""\uD7FF\uE000""#).unwrap().as_str(),
+            Some("\u{D7FF}\u{E000}")
+        );
+        assert_eq!(
+            Json::parse(r#""\uD800\uDC00""#).unwrap().as_str(),
+            Some("\u{10000}")
+        );
     }
 
     #[test]

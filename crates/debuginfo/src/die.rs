@@ -55,6 +55,11 @@ pub enum Attr {
     CallLine,
     /// `DW_AT_external` — the variable is a global.
     External,
+    /// `DW_AT_frame_base` — modelled as the subprogram's total frame size in
+    /// slots. Its presence records that the function lays out a real frame
+    /// (callee-saved save area, spill slots) whose frame-base-relative
+    /// location descriptions ([`crate::Location::FrameBase`]) are meaningful.
+    FrameBase,
 }
 
 /// Attribute values.

@@ -17,10 +17,11 @@ pub enum Location {
     /// explicitly optimized out over this range.
     Empty,
     /// The value lives `offset` slots (8 bytes each) past the frame base —
-    /// the model of a `DW_OP_fbreg` expression. Only backends that maintain
-    /// a frame base (the stack VM) can resolve it; on the register VM the
-    /// description is inexpressible and a debugger must report the variable
-    /// unavailable. This is the location class of stack-VM spill slots.
+    /// the model of a `DW_OP_fbreg` expression, resolved against
+    /// `Vm::frame_base` at stop time. This is the location class of
+    /// stack-VM spill slots and of the frame-ABI backend's spilled and
+    /// callee-saved variables; default register-backend code never emits
+    /// it.
     FrameBase {
         /// Slot offset from the frame base (may be negative in principle;
         /// the stack backend only emits non-negative offsets).

@@ -29,18 +29,28 @@ pub enum BackendKind {
     /// (register + offset + dereference) location descriptions that the
     /// register ISA never produces.
     Stack,
+    /// The register ISA under a callee-saved calling convention: the same
+    /// instruction set and VM as [`BackendKind::Reg`], but code generation
+    /// lays out a real frame — a callee-saved register set with
+    /// prologue/epilogue save/restore — and describes spilled and saved
+    /// variables with frame-base-relative locations
+    /// (`DW_OP_fbreg`-style). This is the only backend whose frame layout
+    /// can express the `DW_CFA`-style defect class (stale frame-base and
+    /// clobbered callee-saved descriptions).
+    Frame,
 }
 
 impl BackendKind {
     /// Every backend, in default-first order.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Reg, BackendKind::Stack];
+    pub const ALL: [BackendKind; 3] = [BackendKind::Reg, BackendKind::Stack, BackendKind::Frame];
 
     /// The stable spelling used by CLI flags and file formats
-    /// (`reg` / `stack`).
+    /// (`reg` / `stack` / `frame`).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Reg => "reg",
             BackendKind::Stack => "stack",
+            BackendKind::Frame => "frame",
         }
     }
 }
@@ -59,7 +69,7 @@ impl std::fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown backend: `{}` (expected `reg` or `stack`)",
+            "unknown backend: `{}` (expected `reg`, `stack`, or `frame`)",
             self.0
         )
     }
@@ -71,11 +81,12 @@ impl std::str::FromStr for BackendKind {
     type Err = ParseBackendError;
 
     /// Parse a backend name as spelled in CLI flags and shard headers
-    /// (`reg` or `stack`, case-insensitive).
+    /// (`reg`, `stack`, or `frame`, case-insensitive).
     fn from_str(s: &str) -> Result<BackendKind, ParseBackendError> {
         match s.to_ascii_lowercase().as_str() {
             "reg" => Ok(BackendKind::Reg),
             "stack" => Ok(BackendKind::Stack),
+            "frame" => Ok(BackendKind::Frame),
             other => Err(ParseBackendError(other.to_owned())),
         }
     }
@@ -90,6 +101,11 @@ pub enum MachineCode {
     Reg(MachineProgram),
     /// A stack-VM program.
     Stack(StackProgram),
+    /// A register-VM program compiled under the callee-saved frame ABI.
+    /// Runs on the same [`Machine`] stepper as [`MachineCode::Reg`]; the
+    /// distinction matters to the *debug information* (frame-base-relative
+    /// locations) and to file formats, not to execution.
+    Frame(MachineProgram),
 }
 
 impl MachineCode {
@@ -98,13 +114,14 @@ impl MachineCode {
         match self {
             MachineCode::Reg(_) => BackendKind::Reg,
             MachineCode::Stack(_) => BackendKind::Stack,
+            MachineCode::Frame(_) => BackendKind::Frame,
         }
     }
 
     /// Total number of instructions.
     pub fn instruction_count(&self) -> usize {
         match self {
-            MachineCode::Reg(p) => p.instruction_count(),
+            MachineCode::Reg(p) | MachineCode::Frame(p) => p.instruction_count(),
             MachineCode::Stack(p) => p.instruction_count(),
         }
     }
@@ -113,7 +130,7 @@ impl MachineCode {
     /// function.
     pub fn spawn(&self) -> Box<dyn Vm + '_> {
         match self {
-            MachineCode::Reg(p) => Box::new(Machine::new(p)),
+            MachineCode::Reg(p) | MachineCode::Frame(p) => Box::new(Machine::new(p)),
             MachineCode::Stack(p) => Box::new(StackMachine::new(p)),
         }
     }
@@ -124,7 +141,7 @@ impl MachineCode {
     /// the same step.
     pub fn spawn_with_fuel(&self, fuel: u64) -> Box<dyn Vm + '_> {
         match self {
-            MachineCode::Reg(p) => Box::new(Machine::with_fuel(p, fuel)),
+            MachineCode::Reg(p) | MachineCode::Frame(p) => Box::new(Machine::with_fuel(p, fuel)),
             MachineCode::Stack(p) => Box::new(StackMachine::with_fuel(p, fuel)),
         }
     }
@@ -136,15 +153,15 @@ impl MachineCode {
     /// Returns the machine error if execution faults or exceeds its budget.
     pub fn run_to_completion(&self) -> Result<RunOutcome, MachineError> {
         match self {
-            MachineCode::Reg(p) => Machine::new(p).run_to_completion(),
+            MachineCode::Reg(p) | MachineCode::Frame(p) => Machine::new(p).run_to_completion(),
             MachineCode::Stack(p) => StackMachine::new(p).run_to_completion(),
         }
     }
 
-    /// The register-VM program, if this is register code.
+    /// The register-VM program, if this is register code (either ABI).
     pub fn as_reg(&self) -> Option<&MachineProgram> {
         match self {
-            MachineCode::Reg(p) => Some(p),
+            MachineCode::Reg(p) | MachineCode::Frame(p) => Some(p),
             MachineCode::Stack(_) => None,
         }
     }
@@ -152,7 +169,7 @@ impl MachineCode {
     /// The stack-VM program, if this is stack code.
     pub fn as_stack(&self) -> Option<&StackProgram> {
         match self {
-            MachineCode::Reg(_) => None,
+            MachineCode::Reg(_) | MachineCode::Frame(_) => None,
             MachineCode::Stack(p) => Some(p),
         }
     }
@@ -168,6 +185,7 @@ mod tests {
             assert_eq!(backend.name().parse(), Ok(backend));
         }
         assert_eq!("STACK".parse(), Ok(BackendKind::Stack));
+        assert_eq!("Frame".parse(), Ok(BackendKind::Frame));
         assert!("gcc".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::default(), BackendKind::Reg);
         let err = "x86".parse::<BackendKind>().unwrap_err();

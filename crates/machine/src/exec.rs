@@ -613,10 +613,14 @@ impl crate::vm::Vm for Machine<'_> {
         Machine::read_address(self, address)
     }
 
-    /// The register VM maintains no frame-base register: frame-base-relative
-    /// location descriptions can never resolve on this backend.
+    /// The active frame's base address: the stack address of its slot 0.
+    /// Frame-base-relative location descriptions (`DW_OP_fbreg`-style, as the
+    /// frame-ABI backend emits for spilled and callee-saved variables)
+    /// resolve against this; default register-backend code never emits such
+    /// descriptions, so for it the value is simply unused.
     fn frame_base(&self) -> Option<i64> {
-        None
+        let frame = self.frames.last()?;
+        Some(STACK_BASE + (frame.slot_base as i64) * 8)
     }
 }
 

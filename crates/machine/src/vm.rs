@@ -13,13 +13,12 @@ use crate::exec::StopReason;
 /// A running virtual machine the debugger can step and inspect.
 ///
 /// The inspection methods mirror the location description language of
-/// `holes-debuginfo`: registers, frame slots, absolute addresses, and — for
-/// backends that maintain one — the current frame's base address (what a
-/// DWARF `DW_OP_fbreg` expression would be evaluated against). Backends
-/// without a frame base (the register VM) return `None` from
-/// [`Vm::frame_base`], so frame-base-relative locations can never resolve
-/// there — exactly the expressiveness gap the stack backend exists to
-/// exercise.
+/// `holes-debuginfo`: registers, frame slots, absolute addresses, and the
+/// current frame's base address (what a DWARF `DW_OP_fbreg` expression
+/// would be evaluated against). A backend without an active frame returns
+/// `None` from [`Vm::frame_base`], and frame-base-relative locations
+/// cannot resolve at such a stop — the debugger reports the variable as
+/// optimized out.
 pub trait Vm {
     /// Run until a breakpoint, completion or error.
     fn run(&mut self, breakpoints: &BreakpointSet) -> StopReason;

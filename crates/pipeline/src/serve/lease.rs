@@ -26,6 +26,23 @@ use crate::shard::CampaignSpec;
 /// worker; small enough that a dead worker's shard requeues quickly.
 pub const GRACE_BEATS: u32 = 4;
 
+/// The revocation deadline a fresh lease or heartbeat earns:
+/// [`GRACE_BEATS`] heartbeat intervals from `now`. Computed with checked
+/// arithmetic — an operator-supplied interval large enough to overflow the
+/// multiplication or the instant saturates to the farthest representable
+/// deadline (effectively "never expires") instead of panicking the
+/// coordinator mid-campaign.
+fn grace_deadline(now: Instant, heartbeat: Duration) -> Instant {
+    heartbeat
+        .checked_mul(GRACE_BEATS)
+        .and_then(|grace| now.checked_add(grace))
+        // A century from now is beyond any campaign's lifetime; the final
+        // fallback can only be reached on an `Instant` within a heartbeat
+        // of its own overflow, which real clocks never produce.
+        .or_else(|| now.checked_add(Duration::from_secs(100 * 365 * 24 * 60 * 60)))
+        .unwrap_or(now)
+}
+
 /// Tuning knobs for the lease table.
 #[derive(Debug, Clone, Copy)]
 pub struct LeaseConfig {
@@ -154,7 +171,7 @@ impl LeaseTable {
         if self.draining || self.complete() {
             return Assignment::Shutdown;
         }
-        let deadline = now + self.config.heartbeat * GRACE_BEATS;
+        let deadline = grace_deadline(now, self.config.heartbeat);
         for (index, slot) in self.slots.iter_mut().enumerate() {
             if let SlotState::Pending = slot.state {
                 let lease = self.next_lease;
@@ -175,7 +192,7 @@ impl LeaseTable {
     /// that is no longer held — the worker's cue that its result will be
     /// discarded and it should stop burning cycles on the shard.
     pub fn heartbeat(&mut self, lease: u64, now: Instant) -> bool {
-        let deadline = now + self.config.heartbeat * GRACE_BEATS;
+        let deadline = grace_deadline(now, self.config.heartbeat);
         for slot in &mut self.slots {
             if let SlotState::Leased {
                 lease: held,
@@ -358,6 +375,30 @@ mod tests {
         assert!(table.complete());
         assert!(matches!(table.assign(now), Assignment::Shutdown));
         assert!(table.quarantined().is_empty());
+    }
+
+    /// Regression test: an absurd heartbeat interval used to overflow the
+    /// `heartbeat * GRACE_BEATS` multiplication (or the instant addition)
+    /// and panic the coordinator on the first lease grant. The deadline
+    /// saturates instead, and such a lease simply never expires.
+    #[test]
+    fn extreme_heartbeat_intervals_saturate_instead_of_panicking() {
+        let extreme = LeaseConfig {
+            heartbeat: Duration::MAX,
+            max_attempts: 3,
+        };
+        let mut table = LeaseTable::new(shard_specs(1), extreme);
+        let now = Instant::now();
+        let (lease, index, spec) = lease_of(table.assign(now));
+        assert!(table.heartbeat(lease, now + Duration::from_secs(3600)));
+        let far = now + Duration::from_secs(10 * 365 * 24 * 60 * 60);
+        assert!(
+            table.revoke_expired(far).is_empty(),
+            "a saturated deadline must never expire"
+        );
+        assert!(
+            matches!(table.submit(lease, &spec), Submission::Accepted { index: i } if i == index)
+        );
     }
 
     #[test]

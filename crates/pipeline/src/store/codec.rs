@@ -678,13 +678,21 @@ fn validate_location_registers(debug: &DebugInfo, reg_limit: usize) -> Result<()
     Ok(())
 }
 
-/// Encode either backend's machine code. Register programs keep the
-/// pre-backend object shape (no tag), so existing store files stay valid
-/// byte-for-byte; stack programs carry a `"backend": "stack"` marker.
+/// Encode a backend's machine code. Register programs keep the pre-backend
+/// object shape (no tag), so existing store files stay valid byte-for-byte;
+/// stack and frame programs carry a `"backend"` marker.
 fn code_to_json(code: &MachineCode) -> Json {
     match code {
         MachineCode::Reg(program) => machine_to_json(program),
         MachineCode::Stack(program) => stack_program_to_json(program),
+        MachineCode::Frame(program) => {
+            // Same register-ISA object shape, distinguished only by the tag.
+            let mut json = machine_to_json(program);
+            if let Json::Obj(pairs) = &mut json {
+                pairs.insert(0, ("backend".to_owned(), Json::str("frame")));
+            }
+            json
+        }
     }
 }
 
@@ -693,6 +701,9 @@ fn code_from_json(json: &Json) -> Result<MachineCode, DecodeError> {
         None => Ok(MachineCode::Reg(machine_from_json(json)?)),
         Some(tag) if tag.as_str() == Some("stack") => {
             Ok(MachineCode::Stack(stack_program_from_json(json)?))
+        }
+        Some(tag) if tag.as_str() == Some("frame") => {
+            Ok(MachineCode::Frame(machine_from_json(json)?))
         }
         Some(_) => err("unknown machine-code backend tag"),
     }
@@ -808,6 +819,7 @@ fn attr_name(attr: Attr) -> &'static str {
         Attr::AbstractOrigin => "origin",
         Attr::CallLine => "call_line",
         Attr::External => "external",
+        Attr::FrameBase => "frame_base",
     }
 }
 
@@ -822,6 +834,7 @@ fn attr_from_name(name: &str) -> Result<Attr, DecodeError> {
         Attr::AbstractOrigin,
         Attr::CallLine,
         Attr::External,
+        Attr::FrameBase,
     ]
     .into_iter()
     .find(|&a| attr_name(a) == name)
@@ -1066,7 +1079,9 @@ pub(super) fn executable_from_json(json: &Json) -> Result<Executable, DecodeErro
     }
     let debug = debug_info_from_json(get(json, "debug")?)?;
     let reg_limit = match machine.backend() {
-        holes_machine::BackendKind::Reg => holes_machine::NUM_REGS,
+        holes_machine::BackendKind::Reg | holes_machine::BackendKind::Frame => {
+            holes_machine::NUM_REGS
+        }
         holes_machine::BackendKind::Stack => holes_machine::STACK_NUM_REGS,
     };
     validate_location_registers(&debug, reg_limit)?;

@@ -596,6 +596,7 @@ impl ArtifactStore {
         let mut groups: std::collections::BTreeMap<(String, String), Group> =
             std::collections::BTreeMap::new();
         let mut scanned_bytes = 0u64;
+        let sweep_started = std::time::SystemTime::now();
         for subject_entry in std::fs::read_dir(&self.root)? {
             let subject_entry = match subject_entry {
                 Ok(entry) => entry,
@@ -628,9 +629,7 @@ impl ArtifactStore {
                     continue;
                 }
                 let fingerprint = name.split('.').next().unwrap_or(&name).to_owned();
-                let modified = metadata
-                    .modified()
-                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                let modified = observed_mtime(metadata.modified(), sweep_started);
                 scanned_bytes += metadata.len();
                 let group = groups
                     .entry((subject_name.clone(), fingerprint))
@@ -708,6 +707,18 @@ impl ArtifactStore {
             codec::violations_to_json(violations),
         );
     }
+}
+
+/// The timestamp a GC sweep uses for a group member. A file whose mtime
+/// cannot be read must count as the *newest* thing on disk (the sweep's own
+/// start time), never the oldest: defaulting an unreadable timestamp to the
+/// epoch would put the group first in eviction order and make a transient
+/// metadata error delete a perfectly warm artifact family.
+fn observed_mtime(
+    modified: std::io::Result<std::time::SystemTime>,
+    sweep_started: std::time::SystemTime,
+) -> std::time::SystemTime {
+    modified.unwrap_or(sweep_started)
 }
 
 #[cfg(test)]
@@ -956,6 +967,59 @@ mod tests {
         let stats = scratch.store.gc(0).unwrap();
         assert_eq!(stats.remaining_bytes, 0);
         assert_eq!(store_bytes(&scratch.root), 0);
+    }
+
+    /// Regression test: an unreadable mtime used to default to the Unix
+    /// epoch, which made the sweep treat the affected family as the oldest
+    /// on disk and evict it first. It must rank as the newest instead.
+    #[test]
+    fn gc_treats_unreadable_mtimes_as_newest_not_oldest() {
+        let sweep_started = std::time::SystemTime::now();
+        let aged = sweep_started - std::time::Duration::from_secs(3600);
+        let unreadable = observed_mtime(Err(std::io::Error::other("stat failed")), sweep_started);
+        assert_eq!(unreadable, sweep_started);
+        assert!(
+            unreadable > aged,
+            "a family with an unreadable timestamp must sort after aged ones"
+        );
+        // A readable timestamp passes through untouched.
+        assert_eq!(observed_mtime(Ok(aged), sweep_started), aged);
+    }
+
+    /// Groups whose timestamps tie are evicted in deterministic
+    /// (subject, fingerprint) order, so two sweeps of identical stores
+    /// delete the same families.
+    #[test]
+    fn gc_breaks_mtime_ties_deterministically_by_fingerprint() {
+        let scratch = Scratch::new("gc-ties");
+        let subject = Subject::from_seed(7600);
+        subject.attach_store(Arc::clone(&scratch.store));
+        let a = CompilerConfig::new(Personality::Ccg, OptLevel::O0);
+        let b = config(); // -O2
+        let _ = subject.violations(&a);
+        let _ = subject.violations(&b);
+        // Give both families the exact same mtime.
+        age_fingerprint(&scratch.root, a.fingerprint(), 3600);
+        let target = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        for file in walk_files(&scratch.root) {
+            let handle = std::fs::File::options().write(true).open(&file).unwrap();
+            handle
+                .set_times(std::fs::FileTimes::new().set_modified(target))
+                .unwrap();
+        }
+        let total = store_bytes(&scratch.root);
+        let stats = scratch.store.gc(total - 1).unwrap();
+        assert_eq!(stats.evicted_fingerprints, 1, "{stats:?}");
+        // The evicted family is the lexicographically smaller fingerprint:
+        // the survivor's files all carry the larger one.
+        let smaller = a.fingerprint().to_string().min(b.fingerprint().to_string());
+        for file in walk_files(&scratch.root) {
+            let name = file.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(
+                !name.starts_with(&smaller),
+                "tie-break evicted the wrong family: {name} survived"
+            );
+        }
     }
 
     #[test]

@@ -179,13 +179,65 @@ fn lsr_case_study_reproduces() {
     );
 }
 
+/// The frame-layout defect class (stale frame-base rule, missing
+/// callee-saved save-slot rule) surfaces violations at sites no
+/// pre-existing class reaches: over a seed range, the frame-backend
+/// campaign's violation set minus the register- and stack-backend sets
+/// (same seeds, same levels) is non-empty, and the frame defects verifiably
+/// fired (they appear in the pipeline report like pass-level defects).
 #[test]
-fn corpus_entries_distill_and_replay_deterministically_on_both_backends() {
+fn frame_defect_class_surfaces_violations_no_preexisting_class_produces() {
+    use holes_compiler::BackendKind;
+    use std::collections::HashSet;
+
+    let key = |v: holes_core::Violation| (v.conjecture, v.line, v.variable.as_ref().to_owned());
+    let mut frame_only = 0usize;
+    let mut frame_defects_fired = false;
+    for seed in 0u64..8 {
+        let subject = Subject::from_seed(seed);
+        for &level in Personality::Ccg.levels() {
+            let base = CompilerConfig::new(Personality::Ccg, level);
+            let preexisting: HashSet<_> = [BackendKind::Reg, BackendKind::Stack]
+                .into_iter()
+                .flat_map(|backend| {
+                    subject
+                        .violations(&base.clone().with_backend(backend))
+                        .into_iter()
+                        .map(key)
+                })
+                .collect();
+            let frame_config = base.with_backend(BackendKind::Frame);
+            frame_defects_fired |= subject
+                .compile(&frame_config)
+                .report
+                .defects_applied
+                .iter()
+                .any(|id| id.contains("-frame-"));
+            frame_only += subject
+                .violations(&frame_config)
+                .into_iter()
+                .map(key)
+                .filter(|site| !preexisting.contains(site))
+                .count();
+        }
+    }
+    assert!(
+        frame_defects_fired,
+        "no frame-layout defect fired over the probed seed range"
+    );
+    assert!(
+        frame_only > 0,
+        "the frame-layout defect class exposed no new violation sites"
+    );
+}
+
+#[test]
+fn corpus_entries_distill_and_replay_deterministically_on_every_backend() {
     use holes_compiler::BackendKind;
     use holes_core::SiteQuery;
     use holes_pipeline::corpus::distill;
 
-    for backend in [BackendKind::Reg, BackendKind::Stack] {
+    for backend in [BackendKind::Reg, BackendKind::Stack, BackendKind::Frame] {
         // Find a violating site under this backend.
         let found = (2500u64..2520).find_map(|seed| {
             let subject = Subject::from_seed(seed);

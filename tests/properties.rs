@@ -100,14 +100,14 @@ proptest! {
     }
 
     /// The cross-backend differential oracle: on defect-free
-    /// configurations the register VM and the stack VM are semantically
-    /// equivalent end to end — same observable run outcome as the reference
-    /// interpreter, same steppable and reached source lines, and the same
-    /// variable availability *and values* at every matching line stop. Any
-    /// divergence would mean one backend's codegen or location descriptions
-    /// are wrong, so this property is what licenses attributing
-    /// stack-campaign-only violations to the injected spill defects rather
-    /// than to the backend itself.
+    /// configurations the register VM, the stack VM, and the frame-ABI
+    /// backend are semantically equivalent end to end — same observable run
+    /// outcome as the reference interpreter, same steppable and reached
+    /// source lines, and the same variable availability *and values* at
+    /// every matching line stop. Any divergence would mean one backend's
+    /// codegen or location descriptions are wrong, so this property is what
+    /// licenses attributing backend-only violations to the injected
+    /// spill/frame defects rather than to the backend itself.
     #[test]
     fn backends_agree_on_defect_free_traces(
         seed in 0u64..250,
@@ -123,37 +123,40 @@ proptest! {
             .collect();
         let level = levels[level_index % levels.len()];
         let reg_config = CompilerConfig::new(personality, level).without_defects();
-        let stack_config = reg_config.clone().with_backend(BackendKind::Stack);
         let reg_exe = compile(&generated.program, &reg_config);
-        let stack_exe = compile(&generated.program, &stack_config);
         prop_assert!(reg_exe.run().unwrap().matches(&reference));
-        prop_assert!(stack_exe.run().unwrap().matches(&reference));
         let kind = DebuggerKind::native_for(personality);
         let reg_trace = trace(&reg_exe, kind);
-        let stack_trace = trace(&stack_exe, kind);
-        prop_assert_eq!(&reg_trace.steppable_lines, &stack_trace.steppable_lines);
-        let reg_lines: Vec<u32> = reg_trace.reached.keys().copied().collect();
-        let stack_lines: Vec<u32> = stack_trace.reached.keys().copied().collect();
-        prop_assert_eq!(&reg_lines, &stack_lines, "reached lines diverge");
-        for &line in &reg_lines {
-            let stop = reg_trace.stop_at(line).unwrap();
-            for variable in &stop.variables {
-                let reg_status = reg_trace.var_at(line, &variable.name).unwrap();
-                let stack_status = stack_trace.var_at(line, &variable.name).unwrap();
-                prop_assert_eq!(
-                    reg_status,
-                    stack_status,
-                    "seed {} {} {}: line {} variable {}",
-                    seed,
-                    personality,
-                    level,
-                    line,
-                    variable.name
-                );
+        for backend in [BackendKind::Stack, BackendKind::Frame] {
+            let other_config = reg_config.clone().with_backend(backend);
+            let other_exe = compile(&generated.program, &other_config);
+            prop_assert!(other_exe.run().unwrap().matches(&reference));
+            let other_trace = trace(&other_exe, kind);
+            prop_assert_eq!(&reg_trace.steppable_lines, &other_trace.steppable_lines);
+            let reg_lines: Vec<u32> = reg_trace.reached.keys().copied().collect();
+            let other_lines: Vec<u32> = other_trace.reached.keys().copied().collect();
+            prop_assert_eq!(&reg_lines, &other_lines, "reached lines diverge ({})", backend);
+            for &line in &reg_lines {
+                let stop = reg_trace.stop_at(line).unwrap();
+                for variable in &stop.variables {
+                    let reg_status = reg_trace.var_at(line, &variable.name).unwrap();
+                    let other_status = other_trace.var_at(line, &variable.name).unwrap();
+                    prop_assert_eq!(
+                        reg_status,
+                        other_status,
+                        "seed {} {} {} {}: line {} variable {}",
+                        seed,
+                        personality,
+                        level,
+                        backend,
+                        line,
+                        variable.name
+                    );
+                }
+                // The variable listings cover the same names in both directions.
+                let other_stop = other_trace.stop_at(line).unwrap();
+                prop_assert_eq!(stop.variables.len(), other_stop.variables.len());
             }
-            // The variable listings cover the same names in both directions.
-            let stack_stop = stack_trace.stop_at(line).unwrap();
-            prop_assert_eq!(stop.variables.len(), stack_stop.variables.len());
         }
     }
 
@@ -168,7 +171,7 @@ proptest! {
         seed in 0u64..300,
         level_index in 0usize..7,
         personality_index in 0usize..2,
-        backend_index in 0usize..2,
+        backend_index in 0usize..3,
     ) {
         use holes_compiler::BackendKind;
         use holes_debugger::{trace_unplanned, trace_with_plan, StopPlan};
@@ -602,7 +605,7 @@ proptest! {
         version in 0usize..6,
         level_index in 0usize..6,
         personality_index in 0usize..2,
-        backend_index in 0usize..2,
+        backend_index in 0usize..3,
         conjecture_index in 0usize..3,
         line in 1u32..500,
         variable_index in 0usize..6,
@@ -623,7 +626,7 @@ proptest! {
             personality,
             version,
             level: personality.levels()[level_index % personality.levels().len()],
-            backend: [BackendKind::Reg, BackendKind::Stack][backend_index],
+            backend: [BackendKind::Reg, BackendKind::Stack, BackendKind::Frame][backend_index],
             conjecture: Conjecture::ALL[conjecture_index],
             line,
             variable: ["a", "j17", "v_2", "tmp0", "g", "x9"][variable_index].to_owned(),
