@@ -49,12 +49,14 @@ use holes::pipeline::reduce::reduce_with_policy;
 use holes::pipeline::report::build_report_from_seeds;
 use holes::pipeline::report::junit::{junit_xml, CaseOutcome, TestCase};
 use holes::pipeline::report::sarif::{sarif_log, SarifResult};
-use holes::pipeline::serve::{run_worker, Coordinator, LeaseConfig, ServeConfig, WorkerConfig};
+use holes::pipeline::serve::{
+    run_worker, Coordinator, LeaseConfig, RemoteStore, ServeConfig, WorkerConfig,
+};
 use holes::pipeline::shard::{
     merge_shards, run_shard_with_policy, validate_shard_specs, CampaignShard, CampaignSpec,
     ShardError,
 };
-use holes::pipeline::store::CACHE_DIR_ENV;
+use holes::pipeline::store::{install_process_store, CACHE_DIR_ENV};
 use holes::pipeline::stream::{
     fold_jsonl_reader, is_jsonl_shard, parse_jsonl_header, read_jsonl_shard,
     resume_shard_streaming, run_shard_streaming_with_policy, StreamError,
@@ -307,6 +309,10 @@ fn print_stats(stats: &CacheStats, store: Option<&Arc<ArtifactStore>>) {
             s.retries,
             s.quarantined,
             s.store_errors,
+        );
+        eprintln!(
+            "remote: hits {}, misses {}, rejected {}, degraded {}",
+            s.remote_hits, s.remote_misses, s.remote_rejected, s.remote_degraded,
         );
     }
 }
@@ -1447,6 +1453,12 @@ Options:
   --corpus FILE            Prioritize known violations: replay the
                            holes.corpus/v1 entries of FILE and fail fast
                            with exit 3 before any lease is granted
+  --cache-dir DIR          Also serve a fleet-wide artifact cache out of
+                           DIR (holes.cache-rpc/v1, same listener; or set
+                           HOLES_CACHE_DIR); workers opt in with
+                           --cache-server. HOLES_CACHE_CHAOS=
+                           drop:N|corrupt:N|delay:N mutates the N-th
+                           cache reply for chaos testing
   --quiet                  Suppress lease progress on stderr
 
 Exit status: 0 — complete, no contained faults; 2 — complete with
@@ -1469,6 +1481,7 @@ fn cmd_serve(argv: &[String]) -> Result<RunStatus, String> {
             "max-attempts",
             "out",
             "corpus",
+            "cache-dir",
         ],
         switches: &["quiet"],
         positionals: false,
@@ -1515,6 +1528,8 @@ fn cmd_serve(argv: &[String]) -> Result<RunStatus, String> {
                 .map_err(|e| e.to_string())?,
         },
         journal: std::path::PathBuf::from(journal),
+        cache: cache_store(&parsed)?,
+        cache_chaos: None,
         quiet: parsed.switch("quiet"),
     };
     let coordinator = Coordinator::bind(listen).map_err(|e| format!("binding `{listen}`: {e}"))?;
@@ -1603,12 +1618,26 @@ Options:
                            before shutting down cleanly (default: 10000)
   --cache-dir DIR          Persist compiled artifacts under DIR and reuse
                            them across invocations (or set HOLES_CACHE_DIR)
+  --cache-server ADDR      Fetch artifacts from (and write them through
+                           to) the coordinator's shared cache at ADDR
+                           (holes.cache-rpc/v1); without --cache-dir the
+                           local tier defaults to WORK-DIR/cache. Every
+                           fetched artifact is revalidated like a disk
+                           load — a corrupt or stale reply is quarantined
+                           and recomputed, never trusted
+  --cache-failures N       Consecutive cache transport failures before the
+                           circuit breaker degrades this worker to
+                           local-only caching, with periodic re-probes
+                           (default: 3)
+  --stats                  Report cache/store statistics on stderr
   --quiet                  Suppress per-lease progress on stderr
 
 A worker exits 0 when the coordinator reports the campaign over (or
-stays unreachable past the patience window) and 1 on hard errors.
-Results from revoked leases are submitted anyway and discarded by the
-coordinator — preemption never double-counts a subject.
+stays unreachable past the patience window) and 1 on hard errors. An
+unreachable or misbehaving cache server is never fatal: the worker
+degrades to local-only caching and still exits 0. Results from revoked
+leases are submitted anyway and discarded by the coordinator —
+preemption never double-counts a subject.
 HOLES_SERVE_CHAOS=abort:N|preempt:N injects deterministic failures for
 chaos testing (see `holes serve`).
 ";
@@ -1622,14 +1651,47 @@ fn cmd_work(argv: &[String]) -> Result<RunStatus, String> {
             "fuel-limit",
             "patience-ms",
             "cache-dir",
+            "cache-server",
+            "cache-failures",
         ],
-        switches: &["quiet"],
+        switches: &["quiet", "stats"],
         positionals: false,
     };
     let Some(parsed) = parse_or_help(argv, &spec, WORK_USAGE).map_err(|e| e.to_string())? else {
         return Ok(RunStatus::Clean);
     };
-    let _store = cache_store(&parsed)?;
+    let mut store = cache_store(&parsed)?;
+    let work_dir = std::path::PathBuf::from(parsed.opt("work-dir").unwrap_or("holes-work"));
+    if let Some(server) = parsed.opt("cache-server") {
+        if store.is_none() {
+            // The remote tier layers under a local store; default to a
+            // cache beside the shard streams so `--cache-server` alone
+            // gives the full memory → disk → remote ladder.
+            let root = work_dir.join("cache");
+            match ArtifactStore::open(&root) {
+                Ok(local) => {
+                    let local = Arc::new(local);
+                    install_process_store(Some(Arc::clone(&local)));
+                    store = Some(local);
+                }
+                Err(error) => eprintln!(
+                    "holes: cache at {} unusable ({error}); continuing with in-memory caching only",
+                    root.display()
+                ),
+            }
+        }
+        if let Some(local) = &store {
+            let failures: u32 = parsed
+                .opt_parse("cache-failures", 3)
+                .map_err(|e| e.to_string())?;
+            let remote = RemoteStore::new(server)
+                .with_failure_threshold(failures)
+                .with_quiet(parsed.switch("quiet"));
+            local.attach_remote(Arc::new(remote));
+        }
+    } else if parsed.opt("cache-failures").is_some() {
+        return Err("`--cache-failures` requires `--cache-server ADDR`".into());
+    }
     let policy = policy_of(&parsed)?;
     let connect = parsed
         .opt("connect")
@@ -1639,7 +1701,7 @@ fn cmd_work(argv: &[String]) -> Result<RunStatus, String> {
         .map_err(|e| e.to_string())?;
     let config = WorkerConfig {
         connect: connect.to_owned(),
-        work_dir: std::path::PathBuf::from(parsed.opt("work-dir").unwrap_or("holes-work")),
+        work_dir,
         policy,
         worker_id: parsed
             .opt("worker-id")
@@ -1649,6 +1711,9 @@ fn cmd_work(argv: &[String]) -> Result<RunStatus, String> {
         quiet: parsed.switch("quiet"),
     };
     let outcome = run_worker(&config).map_err(|e| e.to_string())?;
+    if parsed.switch("stats") {
+        print_stats(&outcome.stats, store.as_ref());
+    }
     if !parsed.switch("quiet") {
         outln!(
             "work: {} lease(s), {} accepted, {} discarded, {} subject(s) resumed",

@@ -97,7 +97,10 @@ pub mod par;
 pub use cache::{ArtifactCache, CacheStats};
 pub use fault::{FaultPolicy, FaultStage, SubjectFault, SubjectOutcome};
 pub use holes_compiler::{BackendKind, Fingerprint};
-pub use store::{ArtifactStore, GcStats, StoreStats, SubjectKey};
+pub use store::{
+    install_process_store, ArtifactStore, GcStats, RemoteFetch, RemoteSource, StoreStats,
+    SubjectKey,
+};
 
 use std::sync::Arc;
 

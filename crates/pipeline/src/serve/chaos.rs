@@ -110,6 +110,97 @@ pub fn preempt_this_lease() -> bool {
     }
 }
 
+/// The environment variable holding the cache-reply chaos plan
+/// (`drop:N`, `corrupt:N`, or `delay:N`).
+pub const CACHE_CHAOS_ENV: &str = "HOLES_CACHE_CHAOS";
+
+/// What `HOLES_CACHE_CHAOS` does to the N-th `holes.cache-rpc/v1` reply
+/// the coordinator sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Close the connection without replying — the client sees a torn
+    /// exchange and must retry or degrade.
+    Drop,
+    /// Flip one bit of the reply line — either the line no longer parses
+    /// (a transport-level failure) or it parses into an envelope the
+    /// store's validation gates must quarantine. Both end in a recompute,
+    /// never a wrong byte.
+    Corrupt,
+    /// Hold the reply past the client's read timeout before sending it.
+    Delay,
+}
+
+/// A counted cache-reply mutation: the N-th reply after the plan engages
+/// is dropped, corrupted, or delayed — exactly once, like the serve plans.
+/// Constructable directly ([`CachePlan::new`]) so in-process fleet tests
+/// can inject chaos without touching the process-global environment.
+#[derive(Debug)]
+pub struct CachePlan {
+    mode: CacheMode,
+    remaining: AtomicI64,
+}
+
+impl CachePlan {
+    /// A plan firing `mode` on the `count`-th reply (1-based).
+    pub fn new(mode: CacheMode, count: u32) -> CachePlan {
+        CachePlan {
+            mode,
+            remaining: AtomicI64::new(i64::from(count.max(1))),
+        }
+    }
+
+    /// Consulted once per cache reply; `Some(mode)` on the N-th call only.
+    pub fn fire(&self) -> Option<CacheMode> {
+        (self.remaining.fetch_sub(1, Ordering::SeqCst) == 1).then_some(self.mode)
+    }
+}
+
+static CACHE_PLAN: OnceLock<Option<std::sync::Arc<CachePlan>>> = OnceLock::new();
+
+/// The process-wide cache chaos plan named by [`CACHE_CHAOS_ENV`], if any.
+/// Like the serve plan, a malformed value is a hard `exit 1` the first
+/// time chaos is consulted — a typo'd schedule must not silently pass.
+pub fn cache_plan_from_env() -> Option<std::sync::Arc<CachePlan>> {
+    CACHE_PLAN
+        .get_or_init(|| {
+            let raw = std::env::var(CACHE_CHAOS_ENV).ok()?;
+            match parse_cache_plan(&raw) {
+                Ok(plan) => plan.map(std::sync::Arc::new),
+                Err(message) => {
+                    eprintln!("holes: {CACHE_CHAOS_ENV}: {message}");
+                    std::process::exit(1);
+                }
+            }
+        })
+        .clone()
+}
+
+fn parse_cache_plan(raw: &str) -> Result<Option<CachePlan>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    let (mode, count) = raw.split_once(':').ok_or_else(|| {
+        format!("`{raw}` is not a cache chaos plan (expected `drop:N`, `corrupt:N`, or `delay:N`)")
+    })?;
+    let mode = match mode {
+        "drop" => CacheMode::Drop,
+        "corrupt" => CacheMode::Corrupt,
+        "delay" => CacheMode::Delay,
+        other => {
+            return Err(format!(
+                "unknown cache chaos mode `{other}` (expected `drop`, `corrupt`, or `delay`)"
+            ))
+        }
+    };
+    let count: u32 = count
+        .parse()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("`{count}` is not a positive event count"))?;
+    Ok(Some(CachePlan::new(mode, count)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +240,32 @@ mod tests {
             .map(|_| plan.remaining.fetch_sub(1, Ordering::SeqCst) == 1)
             .collect();
         assert_eq!(fired, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn cache_chaos_plans_parse_and_fire_exactly_once() {
+        assert!(parse_cache_plan("").expect("empty is no plan").is_none());
+        for (raw, mode) in [
+            ("drop:1", CacheMode::Drop),
+            ("corrupt:3", CacheMode::Corrupt),
+            ("delay:2", CacheMode::Delay),
+        ] {
+            let plan = parse_cache_plan(raw).expect("valid").expect("present");
+            assert_eq!(plan.mode, mode, "{raw}");
+        }
+        for bogus in ["drop", "drop:", "drop:0", "corrupt:-1", "stall:4", "4"] {
+            assert!(
+                parse_cache_plan(bogus).is_err(),
+                "`{bogus}` should be rejected"
+            );
+        }
+
+        let plan = CachePlan::new(CacheMode::Corrupt, 2);
+        let fired: Vec<Option<CacheMode>> = (0..4).map(|_| plan.fire()).collect();
+        assert_eq!(
+            fired,
+            vec![None, Some(CacheMode::Corrupt), None, None],
+            "the N-th reply is mutated exactly once"
+        );
     }
 }

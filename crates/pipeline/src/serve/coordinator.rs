@@ -13,13 +13,19 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use holes_core::json::Json;
+
+use super::cache::{serve_cache_connection, CACHE_RPC_FORMAT};
+use super::chaos::{cache_plan_from_env, CachePlan};
 use super::journal::Journal;
 use super::lease::{Assignment, LeaseConfig, LeaseTable, Revocation, Submission};
 use super::protocol::{read_message, write_message, Reply, Request};
 use super::ServeError;
 use crate::shard::{CampaignShard, CampaignSpec};
+use crate::store::ArtifactStore;
 use crate::stream::{write_merged_stream, StreamRun};
 
 /// Coordinator configuration: how to decompose the campaign and where to
@@ -32,6 +38,13 @@ pub struct ServeConfig {
     pub lease: LeaseConfig,
     /// Path of the `holes.serve-journal/v1` crash journal.
     pub journal: PathBuf,
+    /// The artifact store served to the fleet over `holes.cache-rpc/v1`;
+    /// `None` disables the shared cache (cache requests get a clean
+    /// error reply and workers degrade to local-only caching).
+    pub cache: Option<Arc<ArtifactStore>>,
+    /// Cache-reply chaos override for in-process tests; when `None` the
+    /// `HOLES_CACHE_CHAOS` environment plan applies.
+    pub cache_chaos: Option<Arc<CachePlan>>,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
 }
@@ -271,6 +284,14 @@ pub struct Coordinator {
 /// wedged socket cannot stall every other worker's heartbeats forever.
 const PEER_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Bounds on the post-completion linger window (twice the heartbeat,
+/// clamped): long enough that every worker's next poll lands inside it,
+/// short enough that `holes serve` never dawdles after the merge is ready.
+const LINGER_FLOOR: Duration = Duration::from_millis(200);
+
+/// See [`LINGER_FLOOR`].
+const LINGER_CEILING: Duration = Duration::from_secs(2);
+
 impl Coordinator {
     /// Bind the coordinator's listening socket (nonblocking, so the accept
     /// loop can interleave lease reaping and drain checks).
@@ -295,6 +316,7 @@ impl Coordinator {
         drain: &AtomicBool,
     ) -> Result<ServeReport, ServeError> {
         let mut state = ServeState::open(spec, config)?;
+        let cache_chaos = config.cache_chaos.clone().or_else(cache_plan_from_env);
         if !config.quiet && state.recovered() > 0 {
             eprintln!(
                 "serve: resumed {} of {} shards from journal {}",
@@ -315,7 +337,28 @@ impl Coordinator {
                 break;
             }
             match self.listener.accept() {
-                Ok((stream, _)) => self.serve_connection(stream, &mut state, config.quiet)?,
+                Ok((stream, _)) => {
+                    self.serve_connection(stream, &mut state, config, &cache_chaos)?
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Completion linger: fleet members poll again within a heartbeat
+        // or two, and answering that next request with `Shutdown` lets
+        // them exit immediately. Without it a worker's request can land in
+        // the backlog of a listener nobody will ever accept from again and
+        // block there until its read timeout expires.
+        let linger = (config.lease.heartbeat * 2).clamp(LINGER_FLOOR, LINGER_CEILING);
+        let deadline = Instant::now() + linger;
+        while Instant::now() < deadline {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.serve_connection(stream, &mut state, config, &cache_chaos)?
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
                 }
@@ -331,12 +374,20 @@ impl Coordinator {
     /// logged and dropped — a killed worker must never take the
     /// coordinator down with it. Only coordinator-side failures (the
     /// journal) propagate.
+    ///
+    /// Connections are dispatched on the `rpc` version tag:
+    /// `holes.rpc/v1` (lease/heartbeat/submit) is served inline against
+    /// the lease state, while `holes.cache-rpc/v1` is handed to a detached
+    /// thread — a slow disk read or a chaos-stalled cache reply must never
+    /// block the accept loop that keeps every worker's heartbeats alive.
     fn serve_connection(
         &self,
         stream: TcpStream,
         state: &mut ServeState,
-        quiet: bool,
+        config: &ServeConfig,
+        cache_chaos: &Option<Arc<CachePlan>>,
     ) -> Result<(), ServeError> {
+        let quiet = config.quiet;
         stream.set_nonblocking(false)?;
         stream.set_read_timeout(Some(PEER_TIMEOUT))?;
         stream.set_write_timeout(Some(PEER_TIMEOUT))?;
@@ -351,6 +402,14 @@ impl Coordinator {
                 return Ok(());
             }
         };
+        if message.get("rpc").and_then(Json::as_str) == Some(CACHE_RPC_FORMAT) {
+            let store = config.cache.clone();
+            let chaos = cache_chaos.clone();
+            std::thread::spawn(move || {
+                serve_cache_connection(writer, store, message, chaos, quiet);
+            });
+            return Ok(());
+        }
         let reply = match Request::from_json(&message) {
             Ok(request) => state.handle(&request, Instant::now())?,
             Err(error) => Reply::Error {

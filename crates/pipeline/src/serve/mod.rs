@@ -25,9 +25,18 @@
 //!   [`crate::stream::resume_shard_streaming`] (so a `kill -9`'d worker
 //!   restarted over the same work directory re-evaluates only the
 //!   unfinished suffix), heartbeat in the background, submit.
+//! * [`cache`] — the `holes.cache-rpc/v1` fleet-wide artifact cache: the
+//!   coordinator serves fetch/put requests straight out of its
+//!   [`crate::store::ArtifactStore`] on the same listener, and workers
+//!   layer a [`RemoteStore`] client into their miss path (memory → local
+//!   store → remote fetch → recompute, with write-through puts), behind
+//!   timeouts, bounded retry, and a circuit breaker that degrades to
+//!   local-only caching.
 //! * [`chaos`] — the `HOLES_SERVE_CHAOS` fault-injection knob the CI smoke
 //!   drives (`abort:N` hard-kills the process mid-shard; `preempt:N`
-//!   silences heartbeats so a lease is revoked under a live worker).
+//!   silences heartbeats so a lease is revoked under a live worker), plus
+//!   `HOLES_CACHE_CHAOS` (`drop:N`/`corrupt:N`/`delay:N`) for mutating
+//!   cache replies.
 //!
 //! The load-bearing guarantee, held by proptests over random kill and
 //! revocation schedules: the coordinator's merged stream is
@@ -38,6 +47,7 @@
 //! [`ServeState`]: coordinator::ServeState
 //! [`Coordinator`]: coordinator::Coordinator
 
+pub mod cache;
 pub mod chaos;
 pub mod coordinator;
 pub mod journal;
@@ -45,6 +55,7 @@ pub mod lease;
 pub mod protocol;
 pub mod worker;
 
+pub use cache::{CacheReply, CacheRequest, RemoteStore, CACHE_RPC_FORMAT};
 pub use coordinator::{Coordinator, ServeConfig, ServeReport, ServeState};
 pub use journal::{Journal, JOURNAL_FORMAT};
 pub use lease::{Assignment, LeaseConfig, LeaseTable, Revocation, Submission};
@@ -62,7 +73,7 @@ pub enum ServeError {
     /// An embedded spec or shard failed validation (see [`ShardError`]).
     Shard(ShardError),
     /// The peer (or a journal on disk) violated the `holes.rpc/v1` /
-    /// `holes.serve-journal/v1` contract.
+    /// `holes.cache-rpc/v1` / `holes.serve-journal/v1` contract.
     Protocol(String),
 }
 

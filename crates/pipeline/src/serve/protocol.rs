@@ -11,7 +11,7 @@
 //! submitted shard with [`CampaignShard::from_json`] — the same parser
 //! `holes report` trusts — before a single record enters the merge.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 use holes_core::json::Json;
 
@@ -221,18 +221,75 @@ pub fn write_message<W: Write>(out: &mut W, message: &Json) -> Result<(), ServeE
     Ok(())
 }
 
+/// The longest message line [`read_message`] will buffer. Far beyond any
+/// legitimate shard result, but finite: a corrupt or malicious peer
+/// streaming an endless line must cost the coordinator at most this much
+/// memory, never an OOM.
+pub const MAX_MESSAGE_BYTES: usize = 64 * 1024 * 1024;
+
 /// Read one message line. A peer that closes the socket before completing
 /// its line (a killed worker, a torn write) is a protocol error the caller
-/// can log and drop — never a crash.
+/// can log and drop — never a crash; so is a line longer than
+/// [`MAX_MESSAGE_BYTES`].
 pub fn read_message<R: BufRead>(input: &mut R) -> Result<Json, ServeError> {
+    read_message_with_limit(input, MAX_MESSAGE_BYTES)
+}
+
+/// [`read_message`] under an explicit line-length cap (exposed so the cap
+/// logic is testable without allocating 64 MiB).
+pub fn read_message_with_limit<R: BufRead>(
+    input: &mut R,
+    max_bytes: usize,
+) -> Result<Json, ServeError> {
     let mut line = String::new();
-    if input.read_line(&mut line)? == 0 {
+    // `take` bounds what one message may pull into memory; one extra byte
+    // distinguishes "exactly at the cap" from "over it".
+    if input
+        .by_ref()
+        .take(max_bytes as u64 + 1)
+        .read_line(&mut line)?
+        == 0
+    {
         return Err(ServeError::Protocol(
             "peer closed the connection before sending a message".into(),
         ));
     }
+    if line.len() > max_bytes {
+        return Err(ServeError::Protocol(format!(
+            "message line exceeds the {max_bytes}-byte cap"
+        )));
+    }
     Json::parse(line.trim_end_matches(['\n', '\r']))
         .map_err(|e| ServeError::Protocol(format!("malformed message: {e}")))
+}
+
+/// Open a TCP connection to `addr` with `timeout` bounding the connect
+/// *and* installed as the stream's read and write timeouts — the one
+/// transport opener every `holes.rpc/v1` and `holes.cache-rpc/v1` client
+/// path uses, so a stalled or black-holed peer always surfaces as the same
+/// retriable [`ServeError::Io`] within a bounded wait.
+pub fn connect_with_timeout(
+    addr: &str,
+    timeout: std::time::Duration,
+) -> Result<std::net::TcpStream, ServeError> {
+    use std::net::ToSocketAddrs;
+    let mut last = None;
+    for resolved in addr.to_socket_addrs()? {
+        match std::net::TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                return Ok(stream);
+            }
+            Err(error) => last = Some(error),
+        }
+    }
+    Err(ServeError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("`{addr}` resolved to no addresses"),
+        )
+    })))
 }
 
 fn check_version(json: &Json) -> Result<(), ServeError> {
@@ -247,11 +304,11 @@ fn check_version(json: &Json) -> Result<(), ServeError> {
     }
 }
 
-fn missing(key: &str) -> ServeError {
+pub(crate) fn missing(key: &str) -> ServeError {
     ServeError::Protocol(format!("missing field `{key}`"))
 }
 
-fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, ServeError> {
+pub(crate) fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, ServeError> {
     json.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| missing(key))
@@ -325,6 +382,31 @@ mod tests {
             let back = Reply::from_json(&parsed).expect("reply round-trips");
             assert_eq!(back.to_json().to_compact(), line);
         }
+    }
+
+    #[test]
+    fn oversized_message_lines_are_a_clean_protocol_error() {
+        // Under the cap: parses normally.
+        let fine = b"{\"rpc\":\"holes.rpc/v1\"}\n";
+        let parsed = read_message_with_limit(&mut &fine[..], 64).expect("small line parses");
+        assert_eq!(parsed.get("rpc").and_then(Json::as_str), Some(RPC_FORMAT));
+
+        // Over the cap: a clean ServeError naming the limit, not an OOM —
+        // and the reader must not have buffered the whole line to decide.
+        let mut oversized = vec![b'{'; 100];
+        oversized.push(b'\n');
+        let error = read_message_with_limit(&mut &oversized[..], 64).expect_err("capped");
+        assert!(
+            error.to_string().contains("64-byte cap"),
+            "error names the cap: {error}"
+        );
+
+        // A line that *ends* within the cap is unaffected by junk after it.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"{\"rpc\":\"holes.rpc/v1\"}\n");
+        stream.extend_from_slice(&[b'x'; 100]);
+        let parsed = read_message_with_limit(&mut &stream[..], 64).expect("first line parses");
+        assert_eq!(parsed.get("rpc").and_then(Json::as_str), Some(RPC_FORMAT));
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! else's problem to finish), while protocol violations are hard errors.
 
 use std::io::BufReader;
-use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,8 +25,9 @@ use holes_core::json::Json;
 
 use super::chaos;
 use super::lease::GRACE_BEATS;
-use super::protocol::{read_message, write_message, Reply, Request};
+use super::protocol::{connect_with_timeout, read_message, write_message, Reply, Request};
 use super::ServeError;
+use crate::cache::CacheStats;
 use crate::fault::FaultPolicy;
 use crate::shard::{spec_header_pairs, CampaignSpec};
 use crate::stream::{read_jsonl_shard, resume_shard_streaming, CAMPAIGN_JSONL_FORMAT};
@@ -62,6 +62,9 @@ pub struct WorkerOutcome {
     pub discarded: usize,
     /// Subjects re-evaluated when resuming partially evaluated shard files.
     pub resumed_subjects: usize,
+    /// Aggregate pipeline cache statistics across every leased shard —
+    /// the fleet's warm-cache proof reads `stats.compiles` here.
+    pub stats: CacheStats,
 }
 
 /// Run the worker loop until the coordinator says [`Reply::Shutdown`] or
@@ -154,6 +157,7 @@ fn run_lease(
         }
     };
     outcome.resumed_subjects += evaluated.resumed_subjects;
+    outcome.stats.absorb(evaluated.stats);
     if evaluated.already_complete {
         log(
             config,
@@ -263,10 +267,13 @@ fn heartbeat_loop(connect: &str, lease: u64, heartbeat_ms: u64, stop: &AtomicBoo
     }
 }
 
+/// Connect/read/write timeout for heartbeat exchanges: short, because a
+/// heartbeat that cannot complete quickly is better treated as a missed
+/// beat (the grace window absorbs it) than a wedged thread.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn heartbeat_once(connect: &str, lease: u64) -> Result<bool, ServeError> {
-    let stream = TcpStream::connect(connect)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let stream = connect_with_timeout(connect, HEARTBEAT_TIMEOUT)?;
     let mut writer = stream.try_clone()?;
     write_message(&mut writer, &Request::Heartbeat { lease }.to_json())?;
     let mut reader = BufReader::new(stream);
@@ -298,10 +305,21 @@ fn rpc(config: &WorkerConfig, request: &Request) -> Result<Reply, ServeError> {
     }
 }
 
+/// Connect/write timeout for lease and submit exchanges. Generous —
+/// a result line for a large shard takes real time to absorb — but finite:
+/// a stalled coordinator surfaces as the same retriable transport error an
+/// unreachable one does, and the `rpc` patience loop owns the retry.
+const RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Read timeout for the reply line, which is always small (a lease spec or
+/// an acknowledgement). Tighter than [`RPC_TIMEOUT`] so a request that
+/// lands in the backlog of a dying coordinator — accepted by the kernel,
+/// never served — fails over to the patience loop quickly.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
 fn try_rpc(config: &WorkerConfig, request: &Request) -> Result<Reply, ServeError> {
-    let stream = TcpStream::connect(&config.connect)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let stream = connect_with_timeout(&config.connect, RPC_TIMEOUT)?;
+    stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     write_message(&mut writer, &request.to_json())?;
     let mut reader = BufReader::new(stream);

@@ -54,7 +54,7 @@ pub mod io;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 use io::{FailingIo, OsIo, StoreIo};
 
@@ -76,6 +76,41 @@ pub const CACHE_DIR_ENV: &str = "HOLES_CACHE_DIR";
 /// [`io::FailingIo::every`]). Campaign *results* must be unaffected — only
 /// the retry/error counters and cache effectiveness may change.
 pub const STORE_CHAOS_ENV: &str = "HOLES_STORE_CHAOS";
+
+/// What a [`RemoteSource`] lookup produced: a full artifact envelope, a
+/// definitive "the remote has no such artifact", or "the remote could not
+/// be asked" (transport failure or an open circuit breaker). The store
+/// treats `Unavailable` exactly like a miss — the artifact is recomputed —
+/// but counts it in [`StoreStats::remote_degraded`] so degradation is
+/// observable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteFetch {
+    /// The remote returned a `holes.artifact/v1` envelope. It is
+    /// **untrusted**: the store revalidates it through the same gates as a
+    /// disk load before a single payload byte is used.
+    Hit(Json),
+    /// The remote answered and has no such artifact.
+    Miss,
+    /// The remote could not be reached (or its circuit breaker is open).
+    Unavailable,
+}
+
+/// A fleet-wide artifact source a store may be layered over (see
+/// [`ArtifactStore::attach_remote`]): typically
+/// `holes_pipeline::serve::cache::RemoteStore`, the `holes.cache-rpc/v1`
+/// TCP client, but any fallible key-value fetch/put will do (the tests use
+/// an in-memory fake). Implementations own their own availability policy
+/// (timeouts, retries, circuit breaking); the store never blocks
+/// correctness on them.
+pub trait RemoteSource: Send + Sync + std::fmt::Debug {
+    /// Fetch the envelope for `(subject, fingerprint, kind)`.
+    fn fetch(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str) -> RemoteFetch;
+
+    /// Offer a freshly written envelope to the remote (write-through).
+    /// Returns `false` when the remote was unavailable; the put is
+    /// best-effort either way.
+    fn put(&self, envelope: &Json) -> bool;
+}
 
 /// How many times a transient (non-`NotFound`) store I/O failure is retried
 /// before the operation is abandoned and counted in
@@ -108,6 +143,21 @@ impl std::fmt::Display for SubjectKey {
     }
 }
 
+impl std::str::FromStr for SubjectKey {
+    type Err = String;
+
+    /// Parse the 16-digit hex spelling `Display` emits — the round-trip
+    /// the cache RPC uses to carry subject keys on the wire.
+    fn from_str(text: &str) -> Result<SubjectKey, String> {
+        if text.len() != 16 {
+            return Err(format!("`{text}` is not a 16-digit subject key"));
+        }
+        u64::from_str_radix(text, 16)
+            .map(SubjectKey)
+            .map_err(|e| format!("`{text}` is not a subject key: {e}"))
+    }
+}
+
 /// Store activity counters, taken at one instant (see
 /// [`ArtifactStore::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,6 +179,18 @@ pub struct StoreStats {
     /// Operations abandoned after exhausting their retries; each one
     /// degrades that lookup or write to memory-only behavior.
     pub store_errors: usize,
+    /// Local misses answered by a validated fetch from the attached
+    /// [`RemoteSource`] (each one also written through to local disk).
+    pub remote_hits: usize,
+    /// Local misses the remote also missed.
+    pub remote_misses: usize,
+    /// Remote envelopes that failed the checksum/identity gates and were
+    /// quarantined instead of trusted (the artifact is recomputed).
+    pub remote_rejected: usize,
+    /// Remote operations skipped or failed because the remote was
+    /// unavailable (transport error after retries, or an open circuit
+    /// breaker) — the store degraded to local-only behavior for them.
+    pub remote_degraded: usize,
 }
 
 /// Outcome of one [`ArtifactStore::gc`] sweep.
@@ -153,6 +215,7 @@ pub struct GcStats {
 pub struct ArtifactStore {
     root: PathBuf,
     io: Box<dyn StoreIo>,
+    remote: OnceLock<Arc<dyn RemoteSource>>,
     loads: AtomicUsize,
     misses: AtomicUsize,
     rejected: AtomicUsize,
@@ -160,6 +223,10 @@ pub struct ArtifactStore {
     retries: AtomicUsize,
     quarantined: AtomicUsize,
     store_errors: AtomicUsize,
+    remote_hits: AtomicUsize,
+    remote_misses: AtomicUsize,
+    remote_rejected: AtomicUsize,
+    remote_degraded: AtomicUsize,
 }
 
 /// Per-process source of unique temporary file names.
@@ -167,6 +234,22 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// The lazily initialized process-wide store named by [`CACHE_DIR_ENV`].
 static ENV_STORE: OnceLock<Option<Arc<ArtifactStore>>> = OnceLock::new();
+
+/// An explicitly installed process-wide store, consulted by
+/// [`ArtifactStore::from_env`] *before* the environment lookup. Unlike
+/// `ENV_STORE` it is replaceable, which is what lets a `holes work` process
+/// bind its remote-layered store for every subject it creates, and lets
+/// in-process fleet tests rebind between scenarios.
+static PROCESS_STORE: RwLock<Option<Arc<ArtifactStore>>> = RwLock::new(None);
+
+/// Install (or, with `None`, remove) the store every subsequently created
+/// subject binds to, overriding the [`CACHE_DIR_ENV`] lookup. Subjects
+/// already created keep whatever store they were bound to.
+pub fn install_process_store(store: Option<Arc<ArtifactStore>>) {
+    *PROCESS_STORE
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = store;
+}
 
 /// FNV-1a offset basis — the shared starting state of every digest in this
 /// module (subject keys and payload checksums).
@@ -232,6 +315,7 @@ impl ArtifactStore {
         Ok(ArtifactStore {
             root,
             io,
+            remote: OnceLock::new(),
             loads: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
@@ -239,7 +323,20 @@ impl ArtifactStore {
             retries: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
             store_errors: AtomicUsize::new(0),
+            remote_hits: AtomicUsize::new(0),
+            remote_misses: AtomicUsize::new(0),
+            remote_rejected: AtomicUsize::new(0),
+            remote_degraded: AtomicUsize::new(0),
         })
+    }
+
+    /// Layer this store over a fleet-wide [`RemoteSource`] as its third
+    /// cache level: local misses fall through to a remote fetch (validated,
+    /// then written through to local disk) and every local save is also
+    /// offered to the remote. At most one remote takes effect per store;
+    /// later calls are no-ops.
+    pub fn attach_remote(&self, remote: Arc<dyn RemoteSource>) {
+        let _ = self.remote.set(remote);
     }
 
     /// The process-wide store named by the [`CACHE_DIR_ENV`] environment
@@ -248,8 +345,16 @@ impl ArtifactStore {
     /// process). An unusable cache directory degrades the process to
     /// memory-only caching with a single warning rather than failing the
     /// run; [`STORE_CHAOS_ENV`] wraps the store in a periodic failure
-    /// schedule.
+    /// schedule. A store installed via [`install_process_store`] takes
+    /// precedence over the environment lookup.
     pub fn from_env() -> Option<Arc<ArtifactStore>> {
+        if let Some(installed) = PROCESS_STORE
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            return Some(Arc::clone(installed));
+        }
         ENV_STORE
             .get_or_init(|| {
                 let dir = std::env::var(CACHE_DIR_ENV)
@@ -339,6 +444,10 @@ impl ArtifactStore {
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             store_errors: self.store_errors.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_misses: self.remote_misses.load(Ordering::Relaxed),
+            remote_rejected: self.remote_rejected.load(Ordering::Relaxed),
+            remote_degraded: self.remote_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -350,8 +459,9 @@ impl ArtifactStore {
 
     /// Load and validate one artifact envelope; a content-level failure
     /// counts as rejected (and quarantines the file), an absent file as
-    /// missed, and a persistent I/O failure as a store error — all yield
-    /// `None`, so the artifact is recomputed rather than trusted.
+    /// missed (falling through to the attached [`RemoteSource`], if any),
+    /// and a persistent I/O failure as a store error — all yield `None`, so
+    /// the artifact is recomputed rather than trusted.
     fn load(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str) -> Option<Json> {
         let path = self.path_for(subject, fingerprint, kind);
         let text = match self.with_retry(|| self.io.read_to_string(&path)) {
@@ -359,6 +469,7 @@ impl ArtifactStore {
             Err(error) => {
                 if error.kind() == ErrorKind::NotFound {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    return self.load_remote(subject, fingerprint, kind, &path);
                 }
                 return None;
             }
@@ -370,28 +481,78 @@ impl ArtifactStore {
                 return None;
             }
         };
-        // The envelope's fingerprint round-trips through `Fingerprint`'s
-        // canonical hex spelling rather than raw string equality, so the
-        // check survives cosmetic re-spellings of the same identity.
-        let envelope_fingerprint = envelope
-            .get("fingerprint")
-            .and_then(Json::as_str)
-            .and_then(|text| text.parse::<Fingerprint>().ok());
-        let valid = envelope.get("format").and_then(Json::as_str) == Some(ARTIFACT_FORMAT)
-            && envelope.get("kind").and_then(Json::as_str) == Some(kind)
-            && envelope.get("subject").and_then(Json::as_str) == Some(subject.to_string().as_str())
-            && envelope_fingerprint == Some(fingerprint);
-        let payload = valid.then(|| envelope.get("payload")).flatten().cloned();
-        let Some(payload) = payload else {
-            self.reject(&path);
-            return None;
-        };
-        let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
-        if envelope.get("checksum").and_then(Json::as_str) != Some(checksum.as_str()) {
-            self.reject(&path);
-            return None;
+        match validate_envelope(&envelope, subject, fingerprint, kind) {
+            Some(payload) => Some(payload),
+            None => {
+                self.reject(&path);
+                None
+            }
         }
-        Some(payload)
+    }
+
+    /// The remote leg of a local miss: fetch the envelope from the attached
+    /// [`RemoteSource`], revalidate it through exactly the gates a disk
+    /// load passes, quarantine it on any failure (the recompute heals the
+    /// cache), and write a validated envelope through to `path` so the next
+    /// process pays nothing.
+    fn load_remote(
+        &self,
+        subject: SubjectKey,
+        fingerprint: Fingerprint,
+        kind: &str,
+        path: &Path,
+    ) -> Option<Json> {
+        let remote = self.remote.get()?;
+        match remote.fetch(subject, fingerprint, kind) {
+            RemoteFetch::Hit(envelope) => {
+                match validate_envelope(&envelope, subject, fingerprint, kind) {
+                    Some(payload) => {
+                        self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                        self.write_envelope(path, &envelope);
+                        Some(payload)
+                    }
+                    None => {
+                        self.remote_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.quarantine_remote(subject, fingerprint, kind, &envelope);
+                        None
+                    }
+                }
+            }
+            RemoteFetch::Miss => {
+                self.remote_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            RemoteFetch::Unavailable => {
+                self.remote_degraded.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Preserve a rejected remote envelope under
+    /// `<root>/quarantine/<subject>/<fingerprint>.<kind>.remote.json` for
+    /// post-mortem inspection, mirroring [`ArtifactStore::reject`] for
+    /// bytes that never reached the artifact tree. Best-effort.
+    fn quarantine_remote(
+        &self,
+        subject: SubjectKey,
+        fingerprint: Fingerprint,
+        kind: &str,
+        envelope: &Json,
+    ) {
+        let dir = self.root.join("quarantine").join(subject.to_string());
+        if self.with_retry(|| self.io.create_dir_all(&dir)).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{fingerprint}.{kind}.remote.json"));
+        let mut text = envelope.to_compact();
+        text.push('\n');
+        if self
+            .with_retry(|| self.io.write(&path, text.as_bytes()))
+            .is_ok()
+        {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Write one artifact envelope with the atomic-rename protocol.
@@ -400,23 +561,33 @@ impl ArtifactStore {
     /// never a correctness dependency.
     fn save(&self, subject: SubjectKey, fingerprint: Fingerprint, kind: &str, payload: Json) {
         let path = self.path_for(subject, fingerprint, kind);
-        let Some(dir) = path.parent() else { return };
-        if self.with_retry(|| self.io.create_dir_all(dir)).is_err() {
-            return;
+        let envelope = build_envelope(subject, fingerprint, kind, payload);
+        self.write_envelope(&path, &envelope);
+        if let Some(remote) = self.remote.get() {
+            if !remote.put(&envelope) {
+                self.remote_degraded.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
-        let envelope = Json::Obj(vec![
-            ("format".to_owned(), Json::str(ARTIFACT_FORMAT)),
-            ("kind".to_owned(), Json::str(kind)),
-            ("subject".to_owned(), Json::str(subject.to_string())),
-            ("fingerprint".to_owned(), Json::str(fingerprint.to_string())),
-            ("checksum".to_owned(), Json::str(checksum)),
-            ("payload".to_owned(), payload),
-        ]);
+    }
+
+    /// Publish `envelope` at `path` via a unique temporary file and an
+    /// atomic rename (the shared engine of [`ArtifactStore::save`],
+    /// remote write-through, and [`ArtifactStore::put_envelope`]). Returns
+    /// whether the artifact landed.
+    fn write_envelope(&self, path: &Path, envelope: &Json) -> bool {
+        let Some(dir) = path.parent() else {
+            return false;
+        };
+        if self.with_retry(|| self.io.create_dir_all(dir)).is_err() {
+            return false;
+        }
+        let Some(file) = path.file_name().and_then(|name| name.to_str()) else {
+            return false;
+        };
         let mut text = envelope.to_compact();
         text.push('\n');
         let tmp = dir.join(format!(
-            ".{fingerprint}.{kind}.{}-{}.tmp",
+            ".{file}.{}-{}.tmp",
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
@@ -424,15 +595,94 @@ impl ArtifactStore {
             .with_retry(|| self.io.write(&tmp, text.as_bytes()))
             .is_ok()
         {
-            if self.with_retry(|| self.io.rename(&tmp, &path)).is_ok() {
+            if self.with_retry(|| self.io.rename(&tmp, path)).is_ok() {
                 self.writes.fetch_add(1, Ordering::Relaxed);
-            } else {
-                let _ = self.io.remove_file(&tmp);
+                return true;
             }
+            let _ = self.io.remove_file(&tmp);
         } else {
             // A partially written temporary (a real disk running dry, not an
             // injected fault) must not linger for gc to trip over.
             let _ = self.io.remove_file(&tmp);
+        }
+        false
+    }
+
+    /// Read the raw envelope for `(subject, fingerprint, kind)` for serving
+    /// over the cache RPC. The envelope is fully revalidated before it
+    /// ships — a coordinator must never forward a corrupted disk artifact
+    /// to the fleet — and an invalid file is quarantined exactly like a
+    /// failed local load.
+    pub fn fetch_envelope(
+        &self,
+        subject: SubjectKey,
+        fingerprint: Fingerprint,
+        kind: &str,
+    ) -> Option<Json> {
+        let path = self.path_for(subject, fingerprint, kind);
+        let text = match self.with_retry(|| self.io.read_to_string(&path)) {
+            Ok(text) => text,
+            Err(error) => {
+                if error.kind() == ErrorKind::NotFound {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                return None;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(envelope) if validate_envelope(&envelope, subject, fingerprint, kind).is_some() => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                Some(envelope)
+            }
+            _ => {
+                self.reject(&path);
+                None
+            }
+        }
+    }
+
+    /// Validate and store an envelope pushed by a remote peer (the
+    /// `Put` half of the cache RPC). The envelope's own identity fields
+    /// name its location; every gate — format, parseable subject and
+    /// fingerprint, a path-safe kind, and the payload checksum — must pass
+    /// before a byte is written, so a malicious or corrupted put can
+    /// neither poison the tree nor escape it.
+    ///
+    /// # Errors
+    ///
+    /// Returns what the envelope failed (identity fields, validation, or
+    /// the store write).
+    pub fn put_envelope(&self, envelope: &Json) -> Result<(), String> {
+        let subject = envelope
+            .get("subject")
+            .and_then(Json::as_str)
+            .and_then(|text| text.parse::<SubjectKey>().ok())
+            .ok_or("envelope carries no valid `subject`")?;
+        let fingerprint = envelope
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|text| text.parse::<Fingerprint>().ok())
+            .ok_or("envelope carries no valid `fingerprint`")?;
+        let kind = envelope
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("envelope carries no `kind`")?;
+        if kind.is_empty()
+            || !kind
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("`{kind}` is not a valid artifact kind"));
+        }
+        let kind = kind.to_owned();
+        if validate_envelope(envelope, subject, fingerprint, &kind).is_none() {
+            return Err("envelope failed validation (format or checksum)".into());
+        }
+        let path = self.path_for(subject, fingerprint, &kind);
+        if self.write_envelope(&path, envelope) {
+            Ok(())
+        } else {
+            Err("store write failed".into())
         }
     }
 
@@ -707,6 +957,56 @@ impl ArtifactStore {
             codec::violations_to_json(violations),
         );
     }
+}
+
+/// Validate a `holes.artifact/v1` envelope against the identity it is
+/// supposed to carry, returning the payload only when every gate passes:
+/// the format tag, the artifact kind, the subject key, the fingerprint
+/// (round-tripped through [`Fingerprint`]'s canonical hex spelling rather
+/// than raw string equality, so the check survives cosmetic re-spellings of
+/// the same identity), and the FNV-1a checksum of the compact payload text.
+/// This is the single gate every envelope passes — read from disk, fetched
+/// from a remote, or pushed by a put — so no path can trust bytes another
+/// path would reject.
+fn validate_envelope(
+    envelope: &Json,
+    subject: SubjectKey,
+    fingerprint: Fingerprint,
+    kind: &str,
+) -> Option<Json> {
+    let envelope_fingerprint = envelope
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|text| text.parse::<Fingerprint>().ok());
+    let valid = envelope.get("format").and_then(Json::as_str) == Some(ARTIFACT_FORMAT)
+        && envelope.get("kind").and_then(Json::as_str) == Some(kind)
+        && envelope.get("subject").and_then(Json::as_str) == Some(subject.to_string().as_str())
+        && envelope_fingerprint == Some(fingerprint);
+    let payload = valid.then(|| envelope.get("payload")).flatten().cloned()?;
+    let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
+    if envelope.get("checksum").and_then(Json::as_str) != Some(checksum.as_str()) {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Assemble the `holes.artifact/v1` envelope for a payload (the exact
+/// object [`validate_envelope`] accepts).
+fn build_envelope(
+    subject: SubjectKey,
+    fingerprint: Fingerprint,
+    kind: &str,
+    payload: Json,
+) -> Json {
+    let checksum = format!("{:016x}", fnv1a(payload.to_compact().as_bytes()));
+    Json::Obj(vec![
+        ("format".to_owned(), Json::str(ARTIFACT_FORMAT)),
+        ("kind".to_owned(), Json::str(kind)),
+        ("subject".to_owned(), Json::str(subject.to_string())),
+        ("fingerprint".to_owned(), Json::str(fingerprint.to_string())),
+        ("checksum".to_owned(), Json::str(checksum)),
+        ("payload".to_owned(), payload),
+    ])
 }
 
 /// The timestamp a GC sweep uses for a group member. A file whose mtime

@@ -119,6 +119,8 @@ impl Sim {
                 max_attempts: u32::MAX,
             },
             journal,
+            cache: None,
+            cache_chaos: None,
             quiet: true,
         };
         let state = ServeState::open(&spec, &config).expect("state opens");
@@ -364,6 +366,8 @@ fn tcp_fleet_reproduces_the_single_process_stream() {
             max_attempts: 5,
         },
         journal: journal.path.clone(),
+        cache: None,
+        cache_chaos: None,
         quiet: true,
     };
 
