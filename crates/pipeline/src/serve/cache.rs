@@ -44,7 +44,7 @@ use holes_core::json::Json;
 use super::chaos::{CacheMode, CachePlan};
 use super::protocol::{connect_with_timeout, missing, read_message, str_field, write_message};
 use super::ServeError;
-use crate::store::{ArtifactStore, RemoteFetch, RemoteSource, SubjectKey};
+use crate::store::{valid_kind, ArtifactStore, RemoteFetch, RemoteSource, SubjectKey};
 
 /// Version tag every `holes.cache-rpc/v1` message carries in its `rpc`
 /// field; the coordinator listener dispatches on it, and mismatched
@@ -128,10 +128,20 @@ impl CacheRequest {
                 let fingerprint = str_field(json, "fingerprint")?
                     .parse::<Fingerprint>()
                     .map_err(|error| ServeError::Protocol(format!("bad fingerprint: {error}")))?;
+                let kind = str_field(json, "kind")?;
+                // Same gate as `ArtifactStore::put_envelope`: the kind
+                // becomes an on-disk file name, so a wire value carrying
+                // path separators or `..` must die here, before it can
+                // address anything outside the store root.
+                if !valid_kind(kind) {
+                    return Err(ServeError::Protocol(format!(
+                        "`{kind}` is not a valid artifact kind"
+                    )));
+                }
                 Ok(CacheRequest::Fetch {
                     subject,
                     fingerprint,
-                    kind: str_field(json, "kind")?.to_owned(),
+                    kind: kind.to_owned(),
                 })
             }
             "put" => Ok(CacheRequest::Put {
@@ -404,11 +414,17 @@ impl RemoteStore {
             .open_until
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if open.take().is_some() && !self.quiet {
-            eprintln!(
-                "work: cache server {} recovered; resuming remote caching",
-                self.addr
-            );
+        if open.take().is_some() {
+            // Re-arm the degradation warning: each degrade episode should
+            // announce itself once, so a recovery line is never followed by
+            // a silent re-degradation.
+            self.warned.store(false, Ordering::SeqCst);
+            if !self.quiet {
+                eprintln!(
+                    "work: cache server {} recovered; resuming remote caching",
+                    self.addr
+                );
+            }
         }
     }
 
@@ -598,6 +614,47 @@ mod tests {
             ("kind".to_owned(), Json::str("exe")),
         ]);
         assert!(CacheRequest::from_json(&bad_subject).is_err());
+    }
+
+    #[test]
+    fn path_escaping_fetch_kinds_are_rejected_at_the_wire() {
+        for kind in ["x/../../../../journal", "../x", "a\\b", "a.b", "", "/etc"] {
+            let request = Json::Obj(vec![
+                ("rpc".to_owned(), Json::str(CACHE_RPC_FORMAT)),
+                ("req".to_owned(), Json::str("fetch")),
+                ("subject".to_owned(), Json::str(SubjectKey(1).to_string())),
+                (
+                    "fingerprint".to_owned(),
+                    Json::str(Fingerprint(2).to_string()),
+                ),
+                ("kind".to_owned(), Json::str(kind)),
+            ]);
+            let error = CacheRequest::from_json(&request)
+                .expect_err("a kind that cannot name an artifact file must die at parse");
+            assert!(
+                error.to_string().contains("artifact kind"),
+                "kind `{kind}`: {error}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_rearms_the_degradation_warning() {
+        let remote = RemoteStore::new("127.0.0.1:1")
+            .with_failure_threshold(1)
+            .with_quiet(true);
+        remote.note_failure();
+        assert!(remote.degraded(), "breaker tripped");
+        assert!(
+            remote.warned.load(Ordering::SeqCst),
+            "tripping records the (suppressed) warning"
+        );
+        remote.note_success();
+        assert!(!remote.degraded(), "breaker closed on success");
+        assert!(
+            !remote.warned.load(Ordering::SeqCst),
+            "recovery re-arms the warning for the next degradation episode"
+        );
     }
 
     #[test]

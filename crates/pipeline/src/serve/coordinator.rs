@@ -12,7 +12,8 @@
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -292,6 +293,39 @@ const LINGER_FLOOR: Duration = Duration::from_millis(200);
 /// See [`LINGER_FLOOR`].
 const LINGER_CEILING: Duration = Duration::from_secs(2);
 
+/// Cap on concurrently live per-connection threads (request readers and
+/// cache servers). Far above what a healthy fleet needs, but finite: a
+/// connection burst — or many chaos-stalled cache replies at
+/// [`super::cache`]'s 6 s apiece — piles up threads only to this depth,
+/// after which excess connections get a clean busy error instead.
+pub const MAX_CONNECTION_THREADS: usize = 64;
+
+/// A held slot in the coordinator's connection-thread budget, released on
+/// drop (including panic unwinds inside a connection thread).
+struct ThreadSlot(Arc<AtomicUsize>);
+
+impl ThreadSlot {
+    /// Claim a slot, or `None` when `MAX_CONNECTION_THREADS` are live.
+    fn acquire(live: &Arc<AtomicUsize>) -> Option<ThreadSlot> {
+        let mut current = live.load(Ordering::SeqCst);
+        loop {
+            if current >= MAX_CONNECTION_THREADS {
+                return None;
+            }
+            match live.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Some(ThreadSlot(Arc::clone(live))),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl Coordinator {
     /// Bind the coordinator's listening socket (nonblocking, so the accept
     /// loop can interleave lease reaping and drain checks).
@@ -317,6 +351,11 @@ impl Coordinator {
     ) -> Result<ServeReport, ServeError> {
         let mut state = ServeState::open(spec, config)?;
         let cache_chaos = config.cache_chaos.clone().or_else(cache_plan_from_env);
+        // Connection threads read the request line off the accept loop and
+        // forward parsed `holes.rpc/v1` messages (with the socket to answer
+        // on) back over this channel; the lease state stays single-threaded.
+        let (rpc_tx, rpc_rx) = std::sync::mpsc::channel::<(Json, TcpStream)>();
+        let live_threads = Arc::new(AtomicUsize::new(0));
         if !config.quiet && state.recovered() > 0 {
             eprintln!(
                 "serve: resumed {} of {} shards from journal {}",
@@ -332,13 +371,17 @@ impl Coordinator {
                     eprintln!("serve: draining — no new leases, waiting for in-flight work");
                 }
             }
+            // Answer forwarded requests before reaping, so a heartbeat
+            // already delivered to the channel can never lose its lease to
+            // the reaper in the same tick.
+            Self::drain_rpc(&rpc_rx, &mut state, config)?;
             state.reap(Instant::now());
             if state.complete() || (state.draining() && state.idle()) {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.serve_connection(stream, &mut state, config, &cache_chaos)?
+                    self.serve_connection(stream, config, &cache_chaos, &rpc_tx, &live_threads)?
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -355,9 +398,10 @@ impl Coordinator {
         let linger = (config.lease.heartbeat * 2).clamp(LINGER_FLOOR, LINGER_CEILING);
         let deadline = Instant::now() + linger;
         while Instant::now() < deadline {
+            Self::drain_rpc(&rpc_rx, &mut state, config)?;
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.serve_connection(stream, &mut state, config, &cache_chaos)?
+                    self.serve_connection(stream, config, &cache_chaos, &rpc_tx, &live_threads)?
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -366,7 +410,34 @@ impl Coordinator {
                 Err(e) => return Err(e.into()),
             }
         }
+        Self::drain_rpc(&rpc_rx, &mut state, config)?;
         Ok(state.into_report())
+    }
+
+    /// Answer every `holes.rpc/v1` message the connection threads have
+    /// forwarded so far. Runs on the accept loop — the only place that may
+    /// touch `state` — and never blocks on peer reads (those happened on
+    /// the forwarding thread); reply writes go to sockets whose buffers
+    /// are empty, bounded by the peer write timeout in the worst case.
+    fn drain_rpc(
+        rpc: &Receiver<(Json, TcpStream)>,
+        state: &mut ServeState,
+        config: &ServeConfig,
+    ) -> Result<(), ServeError> {
+        while let Ok((message, mut writer)) = rpc.try_recv() {
+            let reply = match Request::from_json(&message) {
+                Ok(request) => state.handle(&request, Instant::now())?,
+                Err(error) => Reply::Error {
+                    message: error.to_string(),
+                },
+            };
+            if let Err(error) = write_message(&mut writer, &reply.to_json()) {
+                if !config.quiet {
+                    eprintln!("serve: peer vanished before the reply: {error}");
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Serve one connection: one request line, one reply line. Peer
@@ -375,52 +446,69 @@ impl Coordinator {
     /// coordinator down with it. Only coordinator-side failures (the
     /// journal) propagate.
     ///
-    /// Connections are dispatched on the `rpc` version tag:
-    /// `holes.rpc/v1` (lease/heartbeat/submit) is served inline against
-    /// the lease state, while `holes.cache-rpc/v1` is handed to a detached
-    /// thread — a slow disk read or a chaos-stalled cache reply must never
-    /// block the accept loop that keeps every worker's heartbeats alive.
+    /// The request line is read on a bounded per-connection thread — never
+    /// on the accept loop, where one slow-loris peer (or a worker
+    /// streaming a large submit over a congested link) could stall every
+    /// other worker's heartbeats past the grace window. The thread then
+    /// dispatches on the `rpc` version tag: `holes.cache-rpc/v1` is served
+    /// right there (a slow store read or chaos-stalled reply blocks only
+    /// its own thread), while `holes.rpc/v1` is forwarded to the accept
+    /// loop, the sole owner of the lease state.
     fn serve_connection(
         &self,
         stream: TcpStream,
-        state: &mut ServeState,
         config: &ServeConfig,
         cache_chaos: &Option<Arc<CachePlan>>,
+        rpc: &Sender<(Json, TcpStream)>,
+        live_threads: &Arc<AtomicUsize>,
     ) -> Result<(), ServeError> {
         let quiet = config.quiet;
         stream.set_nonblocking(false)?;
         stream.set_read_timeout(Some(PEER_TIMEOUT))?;
         stream.set_write_timeout(Some(PEER_TIMEOUT))?;
-        let mut writer = stream.try_clone()?;
-        let mut reader = BufReader::new(stream);
-        let message = match read_message(&mut reader) {
-            Ok(message) => message,
-            Err(error) => {
-                if !quiet {
-                    eprintln!("serve: dropped connection: {error}");
-                }
-                return Ok(());
-            }
-        };
-        if message.get("rpc").and_then(Json::as_str) == Some(CACHE_RPC_FORMAT) {
-            let store = config.cache.clone();
-            let chaos = cache_chaos.clone();
-            std::thread::spawn(move || {
-                serve_cache_connection(writer, store, message, chaos, quiet);
-            });
+        let Some(slot) = ThreadSlot::acquire(live_threads) else {
+            // Saturated: refuse cleanly. The reply goes to a socket whose
+            // send buffer is empty, so this write cannot stall the loop.
+            let mut writer = stream;
+            let busy = Reply::Error {
+                message: "coordinator is saturated; retry shortly".into(),
+            };
+            let _ = write_message(&mut writer, &busy.to_json());
             return Ok(());
-        }
-        let reply = match Request::from_json(&message) {
-            Ok(request) => state.handle(&request, Instant::now())?,
-            Err(error) => Reply::Error {
-                message: error.to_string(),
-            },
         };
-        if let Err(error) = write_message(&mut writer, &reply.to_json()) {
-            if !quiet {
-                eprintln!("serve: peer vanished before the reply: {error}");
+        let store = config.cache.clone();
+        let chaos = cache_chaos.clone();
+        let rpc = rpc.clone();
+        std::thread::spawn(move || {
+            let _slot = slot;
+            let writer = match stream.try_clone() {
+                Ok(writer) => writer,
+                Err(error) => {
+                    if !quiet {
+                        eprintln!("serve: dropped connection: {error}");
+                    }
+                    return;
+                }
+            };
+            let mut reader = BufReader::new(stream);
+            let message = match read_message(&mut reader) {
+                Ok(message) => message,
+                Err(error) => {
+                    if !quiet {
+                        eprintln!("serve: dropped connection: {error}");
+                    }
+                    return;
+                }
+            };
+            if message.get("rpc").and_then(Json::as_str) == Some(CACHE_RPC_FORMAT) {
+                serve_cache_connection(writer, store, message, chaos, quiet);
+            } else {
+                // The accept loop answers on its next tick; a send only
+                // fails when the run is already over, and then the peer's
+                // read timeout is the intended outcome.
+                let _ = rpc.send((message, writer));
             }
-        }
+        });
         Ok(())
     }
 }

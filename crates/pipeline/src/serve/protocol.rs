@@ -242,11 +242,12 @@ pub fn read_message_with_limit<R: BufRead>(
     max_bytes: usize,
 ) -> Result<Json, ServeError> {
     let mut line = String::new();
-    // `take` bounds what one message may pull into memory; one extra byte
-    // distinguishes "exactly at the cap" from "over it".
+    // `take` bounds what one message may pull into memory; two extra bytes
+    // leave room for a `\r\n` terminator on a line whose *content* sits
+    // exactly at the cap — the cap governs the message, not its framing.
     if input
         .by_ref()
-        .take(max_bytes as u64 + 1)
+        .take(max_bytes as u64 + 2)
         .read_line(&mut line)?
         == 0
     {
@@ -254,13 +255,13 @@ pub fn read_message_with_limit<R: BufRead>(
             "peer closed the connection before sending a message".into(),
         ));
     }
-    if line.len() > max_bytes {
+    let content = line.trim_end_matches(['\n', '\r']);
+    if content.len() > max_bytes {
         return Err(ServeError::Protocol(format!(
             "message line exceeds the {max_bytes}-byte cap"
         )));
     }
-    Json::parse(line.trim_end_matches(['\n', '\r']))
-        .map_err(|e| ServeError::Protocol(format!("malformed message: {e}")))
+    Json::parse(content).map_err(|e| ServeError::Protocol(format!("malformed message: {e}")))
 }
 
 /// Open a TCP connection to `addr` with `timeout` bounding the connect
@@ -407,6 +408,21 @@ mod tests {
         stream.extend_from_slice(&[b'x'; 100]);
         let parsed = read_message_with_limit(&mut &stream[..], 64).expect("first line parses");
         assert_eq!(parsed.get("rpc").and_then(Json::as_str), Some(RPC_FORMAT));
+
+        // Content exactly at the cap is accepted: the cap bounds the
+        // message, and the line terminator (`\n` or `\r\n`) rides free.
+        let content = b"{\"rpc\":\"holes.rpc/v1\"}";
+        for terminator in [&b"\n"[..], &b"\r\n"[..]] {
+            let mut exact = content.to_vec();
+            exact.extend_from_slice(terminator);
+            let parsed = read_message_with_limit(&mut &exact[..], content.len())
+                .expect("content exactly at the cap parses");
+            assert_eq!(parsed.get("rpc").and_then(Json::as_str), Some(RPC_FORMAT));
+        }
+        // ...but one content byte over it is still rejected.
+        let mut over = content.to_vec();
+        over.extend_from_slice(b"\n");
+        assert!(read_message_with_limit(&mut &over[..], content.len() - 1).is_err());
     }
 
     #[test]

@@ -619,6 +619,13 @@ impl ArtifactStore {
         fingerprint: Fingerprint,
         kind: &str,
     ) -> Option<Json> {
+        // The kind arrives off the wire: gate it before it touches a path.
+        // Without this a fetch for `x/../../etc` would read — and, on a
+        // failed validation, quarantine (rename away) — files outside the
+        // store root.
+        if !valid_kind(kind) {
+            return None;
+        }
         let path = self.path_for(subject, fingerprint, kind);
         let text = match self.with_retry(|| self.io.read_to_string(&path)) {
             Ok(text) => text,
@@ -667,11 +674,7 @@ impl ArtifactStore {
             .get("kind")
             .and_then(Json::as_str)
             .ok_or("envelope carries no `kind`")?;
-        if kind.is_empty()
-            || !kind
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
-        {
+        if !valid_kind(kind) {
             return Err(format!("`{kind}` is not a valid artifact kind"));
         }
         let kind = kind.to_owned();
@@ -957,6 +960,19 @@ impl ArtifactStore {
             codec::violations_to_json(violations),
         );
     }
+}
+
+/// Whether `kind` may be embedded in an on-disk artifact file name:
+/// non-empty, ASCII alphanumerics plus `-` and `_` only. Both halves of
+/// the cache RPC gate on this before a wire-supplied kind reaches
+/// [`ArtifactStore::path_for`] — anything looser would let a remote peer
+/// smuggle path separators or `..` and address files outside the store
+/// root.
+pub(crate) fn valid_kind(kind: &str) -> bool {
+    !kind.is_empty()
+        && kind
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
 }
 
 /// Validate a `holes.artifact/v1` envelope against the identity it is
@@ -1496,6 +1512,33 @@ mod tests {
         assert_eq!(
             std::fs::read_to_string(quarantine.join("deadbeef.trace.json")).unwrap(),
             "stray evidence"
+        );
+    }
+
+    #[test]
+    fn fetch_envelope_refuses_path_escaping_kinds() {
+        let scratch = Scratch::new("fetch-kind-gate");
+        // A victim file inside the root but outside any subject directory —
+        // the position of e.g. a journal a traversal kind could reach.
+        let victim = scratch.root.join("victim.json");
+        std::fs::write(&victim, "{\"format\":\"not-an-artifact\"}\n").unwrap();
+        for kind in ["k/../../victim", "../victim", "k\\..\\victim", "", "."] {
+            assert!(
+                scratch
+                    .store
+                    .fetch_envelope(SubjectKey(1), Fingerprint(2), kind)
+                    .is_none(),
+                "kind `{kind}` must not resolve"
+            );
+        }
+        assert!(
+            victim.exists(),
+            "a traversal fetch must not quarantine files outside subject dirs"
+        );
+        assert_eq!(
+            scratch.store.stats().rejected,
+            0,
+            "gated kinds never reach the content validator"
         );
     }
 

@@ -417,3 +417,123 @@ fn tcp_fleet_reproduces_the_single_process_stream() {
         String::from_utf8(reference).expect("UTF-8"),
     );
 }
+
+/// Peers that connect and never send a byte must not stall lease traffic:
+/// request lines are read on per-connection threads, so the accept loop
+/// keeps heartbeats flowing while the loris connections sit in their 10 s
+/// read timeout. Before that fix each such connection froze the whole
+/// coordinator for the full timeout.
+#[test]
+fn slow_loris_peers_do_not_stall_lease_traffic() {
+    let campaign = spec(2840, 6);
+    let reference = reference_stream(&campaign);
+    let journal = Scratch::file("loris");
+    let config = ServeConfig {
+        lease_shards: 3,
+        lease: LeaseConfig {
+            heartbeat: Duration::from_millis(100),
+            max_attempts: 5,
+        },
+        journal: journal.path.clone(),
+        cache: None,
+        cache_chaos: None,
+        quiet: true,
+    };
+
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let _loris: Vec<std::net::TcpStream> = (0..4)
+        .map(|_| std::net::TcpStream::connect(&addr).expect("loris connects"))
+        .collect();
+    let drain = std::sync::atomic::AtomicBool::new(false);
+    let started = Instant::now();
+    let report = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let work_dir = Scratch::dir(&format!("loris-w{i}"));
+                    run_worker(&WorkerConfig {
+                        connect: addr,
+                        work_dir: work_dir.path.clone(),
+                        policy: FaultPolicy::default(),
+                        worker_id: format!("w{i}"),
+                        patience: Duration::from_secs(10),
+                        quiet: true,
+                    })
+                    .expect("worker runs")
+                })
+            })
+            .collect();
+        let report = coordinator
+            .run(&campaign, &config, &drain)
+            .expect("coordinator runs");
+        for worker in workers {
+            worker.join().expect("worker joins");
+        }
+        report
+    });
+
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "stalled peers must not serialize the run behind their read \
+         timeouts (took {:?})",
+        started.elapsed()
+    );
+    assert!(report.complete());
+    assert!(report.quarantined.is_empty());
+    let mut merged = Vec::new();
+    report.write_merged(&mut merged).expect("merge writes");
+    assert_eq!(
+        String::from_utf8(merged).expect("UTF-8"),
+        String::from_utf8(reference).expect("UTF-8"),
+    );
+}
+
+/// The per-connection thread budget is finite: once every slot is held by
+/// a stalled peer, the next connection gets an immediate, clean busy error
+/// instead of an unbounded thread pile (or a hang).
+#[test]
+fn saturated_coordinator_refuses_extra_connections_cleanly() {
+    use std::io::BufRead;
+
+    use holes_pipeline::serve::coordinator::MAX_CONNECTION_THREADS;
+
+    let campaign = spec(2850, 2);
+    let journal = Scratch::file("busy");
+    let config = ServeConfig {
+        lease_shards: 1,
+        lease: LeaseConfig {
+            heartbeat: Duration::from_millis(100),
+            max_attempts: 5,
+        },
+        journal: journal.path.clone(),
+        cache: None,
+        cache_chaos: None,
+        quiet: true,
+    };
+
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let drain = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| coordinator.run(&campaign, &config, &drain));
+        // Fill every connection-thread slot with peers that never send.
+        let _loris: Vec<std::net::TcpStream> = (0..MAX_CONNECTION_THREADS)
+            .map(|_| std::net::TcpStream::connect(&addr).expect("loris connects"))
+            .collect();
+        // The one-over-budget connection is answered without a request.
+        let extra = std::net::TcpStream::connect(&addr).expect("extra connects");
+        extra
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut line = String::new();
+        std::io::BufReader::new(extra)
+            .read_line(&mut line)
+            .expect("busy reply arrives");
+        assert!(line.contains("saturated"), "clean busy error: {line}");
+        drain.store(true, std::sync::atomic::Ordering::SeqCst);
+        let report = run.join().expect("run joins").expect("coordinator runs");
+        assert!(report.drained, "no worker ever evaluated anything");
+    });
+}
